@@ -1,0 +1,178 @@
+//! k-means with k-means++ seeding over z-normalized subsequences —
+//! the clustering substrate shared by NormA and SAND.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Fraction of points assigned to each centroid.
+    pub weights: Vec<f64>,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index and squared distance of the nearest centroid.
+pub fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = sq_dist(cent, p);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// Fits k-means with k-means++ seeding. `k` is clamped to the number of
+/// points; empty input yields an empty model.
+pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> KMeans {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return KMeans { centroids: Vec::new(), weights: Vec::new() };
+    }
+    let k = k.min(n);
+    let dim = points[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // k-means++ seeding
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 1e-300 {
+            rng.gen_range(0..n)
+        } else {
+            let mut r = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if r < d {
+                    pick = i;
+                    break;
+                }
+                r -= d;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().expect("non-empty"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    // Lloyd iterations
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters.max(1) {
+        let mut moved = false;
+        for (i, p) in points.iter().enumerate() {
+            let (c, _) = nearest(&centroids, p);
+            if assign[i] != c {
+                assign[i] = c;
+                moved = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, v) in sums[assign[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    let mut counts = vec![0usize; k];
+    for (i, p) in points.iter().enumerate() {
+        let (c, _) = nearest(&centroids, p);
+        assign[i] = c;
+        counts[c] += 1;
+    }
+    let weights: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+    KMeans { centroids, weights }
+}
+
+/// Extracts z-normalized subsequences of length `m` with the given stride.
+pub fn znorm_subsequences(x: &[f64], m: usize, stride: usize) -> Vec<Vec<f64>> {
+    if m == 0 || x.len() < m {
+        return Vec::new();
+    }
+    let stride = stride.max(1);
+    (0..=x.len() - m)
+        .step_by(stride)
+        .map(|i| {
+            let mut w = x[i..i + m].to_vec();
+            tskit::stats::znormalize(&mut w, 1e-9);
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let e = (i % 5) as f64 * 0.01;
+            pts.push(vec![0.0 + e, 0.0 - e]);
+            pts.push(vec![5.0 - e, 5.0 + e]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let model = kmeans(&two_blobs(), 2, 20, 1);
+        assert_eq!(model.centroids.len(), 2);
+        let mut c: Vec<f64> = model.centroids.iter().map(|c| c[0]).collect();
+        c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((c[0] - 0.0).abs() < 0.1, "centroid near 0: {}", c[0]);
+        assert!((c[1] - 5.0).abs() < 0.1, "centroid near 5: {}", c[1]);
+        assert!((model.weights[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let model = kmeans(&[vec![1.0], vec![2.0]], 5, 5, 1);
+        assert_eq!(model.centroids.len(), 2);
+        let empty = kmeans(&[], 3, 5, 1);
+        assert!(empty.centroids.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kmeans(&two_blobs(), 3, 10, 9);
+        let b = kmeans(&two_blobs(), 3, 10, 9);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn subsequence_extraction_is_znormed() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let subs = znorm_subsequences(&x, 10, 5);
+        assert_eq!(subs.len(), 7);
+        for s in &subs {
+            assert!(tskit::stats::mean(s).abs() < 1e-9);
+            assert!((tskit::stats::std_dev(s) - 1.0).abs() < 1e-6);
+        }
+        assert!(znorm_subsequences(&x, 50, 1).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! MASS: Mueen's Algorithm for Similarity Search.
+//!
+//! Computes the z-normalized Euclidean distance between a query and every
+//! window of a series in `O(n log n)` via the FFT sliding dot product:
+//!
+//! `d²(i) = 2m · (1 − (QT_i − m·μ_q·μ_i) / (m·σ_q·σ_i))`.
+
+use crate::znorm::rolling_mean_std;
+use tskit::fft::{sliding_dot_product, sliding_dot_product_naive};
+
+/// Distance profile of `query` against every window of `series`
+/// (`series.len() − query.len() + 1` entries). Empty when the query is
+/// longer than the series or empty.
+pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let m = query.len();
+    let n = series.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    let qt = if n < 256 {
+        sliding_dot_product_naive(query, series)
+    } else {
+        sliding_dot_product(query, series)
+    };
+    distance_profile_from_dots(&qt, query, series, m)
+}
+
+/// Converts sliding dot products into the z-normalized distance profile.
+/// Exposed so STOMP can reuse its incrementally-maintained dot products.
+pub fn distance_profile_from_dots(
+    qt: &[f64],
+    query: &[f64],
+    series: &[f64],
+    m: usize,
+) -> Vec<f64> {
+    let mu_q = tskit::stats::mean(query);
+    let sigma_q = tskit::stats::std_dev(query).max(1e-12);
+    let (mu, sigma) = rolling_mean_std(series, m);
+    let mf = m as f64;
+    qt.iter()
+        .zip(mu.iter().zip(&sigma))
+        .map(|(&dot, (&mi, &si))| {
+            let corr = (dot - mf * mu_q * mi) / (mf * sigma_q * si);
+            let d2 = 2.0 * mf * (1.0 - corr.clamp(-1.0, 1.0));
+            d2.max(0.0).sqrt()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::znorm::znorm_distance;
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.31).sin() + 0.3 * ((i * 7919) % 17) as f64 / 17.0).collect()
+    }
+
+    #[test]
+    fn matches_direct_znorm_distances() {
+        let s = series(300);
+        let m = 24;
+        let q = &s[40..40 + m];
+        let prof = mass(q, &s);
+        assert_eq!(prof.len(), s.len() - m + 1);
+        for i in (0..prof.len()).step_by(13) {
+            let direct = znorm_distance(q, &s[i..i + m]);
+            assert!(
+                (prof[i] - direct).abs() < 1e-6,
+                "i={i}: {} vs {}",
+                prof[i],
+                direct
+            );
+        }
+        // self-match distance is ~0
+        assert!(prof[40] < 1e-6);
+    }
+
+    #[test]
+    fn small_series_uses_naive_path_consistently() {
+        let s = series(100); // < 256 triggers the naive dot product
+        let q = &s[10..30];
+        let prof = mass(q, &s);
+        let direct = znorm_distance(q, &s[55..75]);
+        assert!((prof[55] - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mass(&[], &[1.0, 2.0]).is_empty());
+        assert!(mass(&[1.0, 2.0, 3.0], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn flat_regions_do_not_produce_nan() {
+        let mut s = series(400);
+        for v in s[100..160].iter_mut() {
+            *v = 3.0;
+        }
+        let q = &s[120..150].to_vec(); // flat query
+        let prof = mass(q, &s);
+        assert!(prof.iter().all(|d| d.is_finite()));
+    }
+}

@@ -1,0 +1,151 @@
+//! NormA (Boniol et al., VLDB Journal 2021): anomaly detection by scoring
+//! against a weighted set of recurrent "normal" patterns.
+//!
+//! 1. Sample z-normalized subsequences and cluster them; the centroids
+//!    weighted by cluster size form the **normal model** `N = {(c, w)}`.
+//! 2. Score every subsequence by `Σ_c w_c · d(subseq, c)` — far from all
+//!    frequent patterns ⇒ anomalous.
+//!
+//! NormA is a *batch* method (paper Table 3/4 classifies it so): it builds
+//! its model from train + test, then scores the test region.
+
+use crate::cluster::{kmeans, znorm_subsequences, KMeans};
+use crate::traits::TsadMethod;
+
+/// The NormA detector.
+#[derive(Debug, Clone)]
+pub struct NormA {
+    /// Number of normal-model patterns (clusters).
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iters: usize,
+    /// Sampling stride for model building, in fractions of `m`
+    /// (`stride = m / stride_div`).
+    pub stride_div: usize,
+    /// RNG seed for clustering.
+    pub seed: u64,
+}
+
+impl Default for NormA {
+    fn default() -> Self {
+        NormA { k: 8, iters: 15, stride_div: 4, seed: 0x5EED }
+    }
+}
+
+impl NormA {
+    /// Builds the normal model from a series.
+    pub fn fit_model(&self, x: &[f64], m: usize) -> KMeans {
+        let stride = (m / self.stride_div).max(1);
+        let subs = znorm_subsequences(x, m, stride);
+        kmeans(&subs, self.k, self.iters, self.seed)
+    }
+
+    /// Weighted distance of one z-normalized window to the model.
+    pub fn model_distance(model: &KMeans, w: &[f64]) -> f64 {
+        if model.centroids.is_empty() {
+            return 0.0;
+        }
+        model
+            .centroids
+            .iter()
+            .zip(&model.weights)
+            .map(|(c, wt)| {
+                let d: f64 =
+                    c.iter().zip(w).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                wt * d
+            })
+            .sum()
+    }
+}
+
+impl TsadMethod for NormA {
+    fn name(&self) -> String {
+        "NormA".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
+        let m = period.clamp(8, 256);
+        let mut x = train.to_vec();
+        x.extend_from_slice(test);
+        if x.len() < 2 * m {
+            return vec![0.0; test.len()];
+        }
+        let model = self.fit_model(&x, m);
+        // score every subsequence (stride 1), then assign to points by
+        // averaging the scores of the windows covering each point
+        let n = x.len();
+        let mut point_sum = vec![0.0; n];
+        let mut point_cnt = vec![0usize; n];
+        for i in 0..=n - m {
+            let mut w = x[i..i + m].to_vec();
+            tskit::stats::znormalize(&mut w, 1e-9);
+            let s = Self::model_distance(&model, &w);
+            for j in i..i + m {
+                point_sum[j] += s;
+                point_cnt[j] += 1;
+            }
+        }
+        (train.len()..n)
+            .map(|i| point_sum[i] / point_cnt[i].max(1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn signal(n: usize, t: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.07 * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scores_shape_anomaly_high() {
+        let t = 24;
+        let mut x = signal(900, t, 1);
+        // inject a pattern unlike the normal cycles
+        for (off, v) in x[600..624].iter_mut().enumerate() {
+            *v = if off % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let mut norma = NormA::default();
+        let scores = norma.score(&x[..300], &x[300..], t);
+        let peak = tskit::stats::argmax(&scores).unwrap() + 300;
+        assert!(
+            (600usize.saturating_sub(t)..624 + t).contains(&peak),
+            "anomaly at 600..624, peak at {peak}"
+        );
+    }
+
+    #[test]
+    fn uniform_data_scores_uniformly() {
+        let t = 16;
+        let x = signal(600, t, 2);
+        let mut norma = NormA::default();
+        let scores = norma.score(&x[..200], &x[200..], t);
+        let max = scores.iter().cloned().fold(0.0f64, f64::max);
+        let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min < 0.8 * max + 1e-9, "clean data spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn model_distance_zero_for_centroid() {
+        let model = KMeans { centroids: vec![vec![1.0, 0.0]], weights: vec![1.0] };
+        assert_eq!(NormA::model_distance(&model, &[1.0, 0.0]), 0.0);
+        assert!(NormA::model_distance(&model, &[0.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn short_input_safe() {
+        let mut norma = NormA::default();
+        let s = norma.score(&[1.0; 5], &[1.0; 5], 50);
+        assert_eq!(s, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,217 @@
+//! STOMP (batch matrix profile) and STOMPI (incremental append).
+//!
+//! The matrix profile `MP[i]` is the z-normalized distance from the
+//! subsequence starting at `i` to its nearest non-trivial neighbour; high
+//! values mark discords (anomalies). STOMP computes all profiles in
+//! `O(n²)` with an `O(1)` dot-product recurrence per cell; STOMPI appends
+//! one point in `O(n)` — the online variant benchmarked in Table 3/4.
+
+use crate::mass::mass;
+use crate::traits::TsadMethod;
+use crate::znorm::rolling_mean_std;
+use tskit::fft::sliding_dot_product_naive;
+
+/// Batch z-normalized matrix profile of `x` with subsequence length `m`
+/// and an exclusion zone of `m/2` around the trivial match. Returns one
+/// value per subsequence start (`x.len() − m + 1` entries).
+pub fn matrix_profile(x: &[f64], m: usize) -> Vec<f64> {
+    let n = x.len();
+    if m < 2 || n < 2 * m {
+        return vec![0.0; n.saturating_sub(m.max(1)) + 1];
+    }
+    let l = n - m + 1;
+    let excl = (m / 2).max(1);
+    let (mu, sigma) = rolling_mean_std(x, m);
+    let mf = m as f64;
+    // initial dot products: first row of the distance matrix
+    let mut qt = sliding_dot_product_naive(&x[0..m], x);
+    let qt_first = qt.clone();
+    let mut profile = vec![f64::INFINITY; l];
+    let update_profile = |profile: &mut [f64], row: usize, qt: &[f64]| {
+        for j in 0..l {
+            if (j as i64 - row as i64).abs() < excl as i64 {
+                continue;
+            }
+            let corr =
+                (qt[j] - mf * mu[row] * mu[j]) / (mf * sigma[row] * sigma[j]);
+            let d = (2.0 * mf * (1.0 - corr.clamp(-1.0, 1.0))).max(0.0).sqrt();
+            if d < profile[row] {
+                profile[row] = d;
+            }
+            if d < profile[j] {
+                profile[j] = d;
+            }
+        }
+    };
+    update_profile(&mut profile, 0, &qt);
+    for row in 1..l {
+        // QT(row, j) = QT(row-1, j-1) − x[row-1]·x[j-1] + x[row+m-1]·x[j+m-1]
+        for j in (1..l).rev() {
+            qt[j] = qt[j - 1] - x[row - 1] * x[j - 1] + x[row + m - 1] * x[j + m - 1];
+        }
+        qt[0] = qt_first[row];
+        update_profile(&mut profile, row, &qt);
+    }
+    for p in profile.iter_mut() {
+        if !p.is_finite() {
+            *p = 0.0;
+        }
+    }
+    profile
+}
+
+/// Incremental matrix profile: maintains the series and left-profile data
+/// so each appended point costs `O(n)` (one MASS-style pass).
+#[derive(Debug, Clone)]
+pub struct Stompi {
+    m: usize,
+    x: Vec<f64>,
+    /// `profile[i]`: best distance for the subsequence starting at `i`.
+    profile: Vec<f64>,
+}
+
+impl Stompi {
+    /// Initializes from a training prefix (batch STOMP over it).
+    pub fn new(train: &[f64], m: usize) -> Self {
+        let m = m.max(2);
+        let profile = if train.len() >= 2 * m {
+            matrix_profile(train, m)
+        } else {
+            Vec::new()
+        };
+        Stompi { m, x: train.to_vec(), profile }
+    }
+
+    /// Appends one point; returns the profile value of the newest complete
+    /// subsequence (0 until enough data has arrived).
+    pub fn push(&mut self, y: f64) -> f64 {
+        self.x.push(y);
+        let n = self.x.len();
+        let m = self.m;
+        if n < 2 * m {
+            return 0.0;
+        }
+        let start = n - m; // newest subsequence start
+        let query = &self.x[start..];
+        let dp = mass(query, &self.x[..n]);
+        let excl = (m / 2).max(1);
+        // distance of the new subsequence to all previous ones, and update
+        // the previous entries with their distance to the new one
+        let mut best = f64::INFINITY;
+        let limit = dp.len().saturating_sub(excl); // exclusion zone at the end
+        for (j, &d) in dp.iter().enumerate().take(limit) {
+            if d < best {
+                best = d;
+            }
+            if j < self.profile.len() && d < self.profile[j] {
+                self.profile[j] = d;
+            }
+        }
+        while self.profile.len() < start {
+            self.profile.push(f64::INFINITY);
+        }
+        let score = if best.is_finite() { best } else { 0.0 };
+        self.profile.push(score);
+        score
+    }
+}
+
+impl TsadMethod for Stompi {
+    fn name(&self) -> String {
+        "STOMPI".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
+        let m = period.clamp(8, 256);
+        *self = Stompi::new(train, m);
+        test.iter().map(|&y| self.push(y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seasonal_with_discord(n: usize, t: usize, discord_at: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| {
+                (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.05 * rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        // a shape discord: reverse one window
+        x[discord_at..discord_at + t].reverse();
+        x
+    }
+
+    #[test]
+    fn profile_peaks_at_discord() {
+        let t = 32;
+        let x = seasonal_with_discord(800, t, 500, 1);
+        let mp = matrix_profile(&x, t);
+        let peak = tskit::stats::argmax(&mp).unwrap();
+        assert!(
+            (peak as i64 - 500).abs() < t as i64,
+            "discord at 500, profile peak at {peak}"
+        );
+    }
+
+    #[test]
+    fn profile_near_zero_on_pure_period() {
+        let t = 25;
+        let x: Vec<f64> =
+            (0..500).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect();
+        let mp = matrix_profile(&x, t);
+        assert!(mp.iter().all(|&d| d < 0.5), "max {:?}", mp.iter().cloned().fold(0.0f64, f64::max));
+    }
+
+    #[test]
+    fn stompi_matches_batch_on_final_profile() {
+        let t = 16;
+        let x = seasonal_with_discord(420, t, 300, 2);
+        let split = 200;
+        let mut inc = Stompi::new(&x[..split], t);
+        for &v in &x[split..] {
+            inc.push(v);
+        }
+        let batch = matrix_profile(&x, t);
+        // STOMPI computes the same nearest-neighbour structure; allow small
+        // slack because entries in [split-m, split) were frozen at init
+        let l = batch.len();
+        let mut close = 0;
+        for i in 0..l {
+            if (inc.profile[i] - batch[i]).abs() < 1e-6 {
+                close += 1;
+            }
+        }
+        assert!(
+            close as f64 > 0.9 * l as f64,
+            "only {close}/{l} profile entries agree"
+        );
+    }
+
+    #[test]
+    fn stompi_scores_discord_highest() {
+        let t = 32;
+        let x = seasonal_with_discord(900, t, 600, 3);
+        let mut s = Stompi::new(&x[..400], t);
+        let scores: Vec<f64> = x[400..].iter().map(|&v| s.push(v)).collect();
+        let peak = tskit::stats::argmax(&scores).unwrap() + 400;
+        assert!(
+            (peak as i64 - (600 + t as i64)).abs() <= t as i64 + 2,
+            "discord window [600,632), newest-subsequence peak at {peak}"
+        );
+    }
+
+    #[test]
+    fn short_input_degenerates_gracefully() {
+        let x = vec![1.0; 10];
+        let mp = matrix_profile(&x, 8);
+        assert!(mp.iter().all(|&v| v == 0.0));
+        let mut s = Stompi::new(&[1.0, 2.0], 8);
+        assert_eq!(s.push(1.0), 0.0);
+    }
+}

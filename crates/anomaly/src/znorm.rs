@@ -1,0 +1,96 @@
+//! Rolling statistics for z-normalized subsequence distances.
+
+/// Means and standard deviations of every length-`m` window of `x`
+/// (`x.len() − m + 1` entries), computed with prefix sums in `O(n)`.
+/// Standard deviations are clamped below by `1e-12` so z-normalization of
+/// flat windows stays finite.
+pub fn rolling_mean_std(x: &[f64], m: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = x.len();
+    assert!(m >= 1, "window must be non-empty");
+    if m > n {
+        return (Vec::new(), Vec::new());
+    }
+    let mut ps = vec![0.0; n + 1];
+    let mut ps2 = vec![0.0; n + 1];
+    for i in 0..n {
+        ps[i + 1] = ps[i] + x[i];
+        ps2[i + 1] = ps2[i] + x[i] * x[i];
+    }
+    let mut means = Vec::with_capacity(n - m + 1);
+    let mut stds = Vec::with_capacity(n - m + 1);
+    let mf = m as f64;
+    for i in 0..=n - m {
+        let s = ps[i + m] - ps[i];
+        let s2 = ps2[i + m] - ps2[i];
+        let mean = s / mf;
+        let var = (s2 / mf - mean * mean).max(0.0);
+        means.push(mean);
+        stds.push(var.sqrt().max(1e-12));
+    }
+    (means, stds)
+}
+
+/// Z-normalized Euclidean distance between two equal-length slices,
+/// computed directly (reference for the MASS fast path).
+pub fn znorm_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "znorm_distance: length mismatch");
+    let m = a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let (ma, sa) = (tskit::stats::mean(a), tskit::stats::std_dev(a).max(1e-12));
+    let (mb, sb) = (tskit::stats::mean(b), tskit::stats::std_dev(b).max(1e-12));
+    let mut d2 = 0.0;
+    for i in 0..m {
+        let za = (a[i] - ma) / sa;
+        let zb = (b[i] - mb) / sb;
+        d2 += (za - zb) * (za - zb);
+    }
+    d2.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_stats_match_direct() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let m = 8;
+        let (means, stds) = rolling_mean_std(&x, m);
+        assert_eq!(means.len(), 43);
+        for i in 0..means.len() {
+            let w = &x[i..i + m];
+            assert!((means[i] - tskit::stats::mean(w)).abs() < 1e-10);
+            assert!((stds[i] - tskit::stats::std_dev(w)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn flat_window_std_is_clamped() {
+        let x = vec![2.0; 10];
+        let (_, stds) = rolling_mean_std(&x, 4);
+        assert!(stds.iter().all(|&s| s >= 1e-12));
+    }
+
+    #[test]
+    fn window_longer_than_series_is_empty() {
+        let (m, s) = rolling_mean_std(&[1.0, 2.0], 5);
+        assert!(m.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn znorm_distance_is_shift_scale_invariant() {
+        let a = [1.0, 2.0, 4.0, 2.0];
+        let b: Vec<f64> = a.iter().map(|v| 10.0 + 3.0 * v).collect();
+        assert!(znorm_distance(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn znorm_distance_maximal_for_anticorrelated() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b = [-1.0, 1.0, -1.0, 1.0];
+        // perfectly anti-correlated: d = sqrt(4m)
+        assert!((znorm_distance(&a, &b) - 4.0).abs() < 1e-9);
+    }
+}

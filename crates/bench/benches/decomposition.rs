@@ -1,0 +1,45 @@
+//! Criterion microbenchmark: batch decomposition cost (STL vs RobustSTL vs
+//! JointSTL) on a 4-period window — the per-slide cost of the windowed
+//! baselines in Table 2 / Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decomp::traits::BatchDecomposer;
+use decomp::{RobustStl, Stl};
+use oneshotstl::JointStl;
+use std::hint::black_box;
+
+fn stream(n: usize, t: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            0.001 * i as f64 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_decomposition");
+    group.sample_size(10);
+    for &t in &[25usize, 50, 100] {
+        let y = stream(4 * t, t);
+        group.bench_with_input(BenchmarkId::new("STL", t), &t, |b, &t| {
+            let stl = Stl::new();
+            b.iter(|| black_box(stl.decompose(black_box(&y), t).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("RobustSTL", t), &t, |b, &t| {
+            let r = RobustStl::new();
+            b.iter(|| black_box(r.decompose(black_box(&y), t).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("JointSTL", t), &t, |b, &t| {
+            let j = JointStl::with_lambda(100.0);
+            b.iter(|| black_box(j.decompose(black_box(&y), t).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion microbenchmark: matrix-profile substrate costs — MASS distance
+//! profiles, STOMPI per-point appends, and DAMP scoring (the Table 3/4
+//! runtime context for the STD-vs-matrix-profile comparison).
+
+use anomaly::mass::mass;
+use anomaly::{Damp, Stompi, TsadMethod};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn stream(n: usize, t: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                + 0.05 * ((i * 7919 % 101) as f64 / 101.0)
+        })
+        .collect()
+}
+
+fn bench_mp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_profile");
+    group.sample_size(10);
+    let t = 64usize;
+    for &n in &[2_000usize, 8_000] {
+        let y = stream(n, t);
+        group.bench_with_input(BenchmarkId::new("MASS", n), &n, |b, _| {
+            let q = &y[100..100 + t];
+            b.iter(|| black_box(mass(black_box(q), black_box(&y))));
+        });
+        group.bench_with_input(BenchmarkId::new("STOMPI_push", n), &n, |b, _| {
+            let mut s = Stompi::new(&y[..n - 256], t);
+            let mut i = 0usize;
+            b.iter(|| {
+                let v = y[n - 256 + (i % 256)];
+                i += 1;
+                black_box(s.push(black_box(v)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("DAMP_score", n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = Damp::default();
+                black_box(d.score(black_box(&y[..n / 2]), black_box(&y[n / 2..]), t))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mp
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmark behind Figure 7: single-point update cost of
+//! the online decomposers as the period grows. OneShotSTL should be flat;
+//! OnlineSTL linear in T.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decomp::traits::OnlineDecomposer;
+use decomp::OnlineStl;
+use oneshotstl::oneshot::OneShotStlConfig;
+use oneshotstl::OneShotStl;
+use std::hint::black_box;
+
+fn stream(n: usize, t: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+        .collect()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_latency");
+    for &t in &[100usize, 400, 1600, 6400] {
+        // replay region must span a whole number of periods: the models
+        // keep their own phase counters, and a mis-sized modulo would
+        // desynchronize the stream from the model every wrap, firing the
+        // seasonality-shift search on every point and measuring that
+        // instead of the steady-state update
+        let replay = 4 * t;
+        let y = stream(4 * t + replay, t);
+        group.bench_with_input(BenchmarkId::new("OneShotSTL", t), &t, |b, _| {
+            let mut m = OneShotStl::new(OneShotStlConfig::default());
+            m.init(&y[..4 * t], t).unwrap();
+            let mut i = 0usize;
+            b.iter(|| {
+                let v = y[4 * t + (i % replay)];
+                i += 1;
+                black_box(m.update(black_box(v)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("OnlineSTL", t), &t, |b, _| {
+            let mut m = OnlineStl::new();
+            m.init(&y[..4 * t], t).unwrap();
+            let mut i = 0usize;
+            b.iter(|| {
+                let v = y[4 * t + (i % replay)];
+                i += 1;
+                black_box(m.update(black_box(v)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_updates
+}
+criterion_main!(benches);

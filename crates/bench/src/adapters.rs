@@ -1,0 +1,243 @@
+//! Adapters wiring the neural baselines into the `TsadMethod` /
+//! `Forecaster` interfaces (kept here so the `neural` crate stays free of
+//! evaluation dependencies).
+
+use anomaly::TsadMethod;
+use forecast::traits::Forecaster;
+use neural::{DeepArLite, MlpForecaster, NBeats, TranAdLite, Usad};
+use tskit::error::{Result, TsError};
+
+/// LSTM-AD stand-in: window-MLP forecaster scored by prediction error.
+pub struct LstmLike {
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TsadMethod for LstmLike {
+    fn name(&self) -> String {
+        "LSTM".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
+        let w = period.clamp(16, 128);
+        if train.len() <= 2 * w {
+            return vec![0.0; test.len()];
+        }
+        let mut m = MlpForecaster::new(w, 32, self.epochs, self.seed);
+        m.fit(train);
+        m.score_stream(train, test)
+    }
+}
+
+/// USAD adapter.
+pub struct UsadMethod {
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TsadMethod for UsadMethod {
+    fn name(&self) -> String {
+        "USAD".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
+        let w = period.clamp(16, 128);
+        if train.len() <= 2 * w {
+            return vec![0.0; test.len()];
+        }
+        let mut m = Usad::new(w, (w / 4).max(4), self.epochs, self.seed);
+        m.fit(train);
+        m.score_stream(train, test)
+    }
+}
+
+/// TranAD-lite adapter.
+pub struct TranAdMethod {
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TsadMethod for TranAdMethod {
+    fn name(&self) -> String {
+        "TranAD".into()
+    }
+
+    fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
+        let w = period.clamp(16, 128);
+        if train.len() <= 2 * w {
+            return vec![0.0; test.len()];
+        }
+        let mut m = TranAdLite::new(w, 32, self.epochs, self.seed);
+        m.fit(train);
+        m.score_stream(train, test)
+    }
+}
+
+/// N-BEATS as a batch [`Forecaster`].
+pub struct NBeatsForecaster {
+    /// Forecast horizon (fixed per model, as in the original).
+    pub horizon: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    model: Option<NBeats>,
+    recent: Vec<f64>,
+}
+
+impl NBeatsForecaster {
+    /// Creates a forecaster for a specific horizon.
+    pub fn new(horizon: usize, epochs: usize, seed: u64) -> Self {
+        NBeatsForecaster { horizon, epochs, seed, model: None, recent: Vec::new() }
+    }
+
+    fn lookback(&self, period: usize) -> usize {
+        (2 * self.horizon).min(4 * period.max(1)).clamp(16, 256)
+    }
+}
+
+impl Forecaster for NBeatsForecaster {
+    fn name(&self) -> String {
+        "NBEATS".into()
+    }
+
+    fn fit(&mut self, history: &[f64], period: usize) -> Result<()> {
+        let lookback = self.lookback(period);
+        if history.len() < lookback + self.horizon + 10 {
+            return Err(TsError::TooShort {
+                what: "NBEATS history",
+                need: lookback + self.horizon + 10,
+                got: history.len(),
+            });
+        }
+        let mut m = NBeats::new(lookback, self.horizon, self.seed);
+        m.epochs = self.epochs;
+        m.fit(history);
+        self.recent = history[history.len() - lookback..].to_vec();
+        self.model = Some(m);
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        match &self.model {
+            Some(m) if m.is_fitted() => {
+                let mut p = m.predict(&self.recent);
+                p.truncate(horizon);
+                p
+            }
+            _ => vec![0.0; horizon],
+        }
+    }
+
+    fn observe(&mut self, y: f64) {
+        if !self.recent.is_empty() {
+            self.recent.remove(0);
+            self.recent.push(y);
+        }
+    }
+}
+
+/// DeepAR-lite as a batch [`Forecaster`].
+pub struct DeepArForecaster {
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    model: Option<DeepArLite>,
+    recent: Vec<f64>,
+    t: usize,
+}
+
+impl DeepArForecaster {
+    /// Creates an untrained DeepAR-lite forecaster.
+    pub fn new(epochs: usize, seed: u64) -> Self {
+        DeepArForecaster { epochs, seed, model: None, recent: Vec::new(), t: 0 }
+    }
+}
+
+impl Forecaster for DeepArForecaster {
+    fn name(&self) -> String {
+        "DeepAR".into()
+    }
+
+    fn fit(&mut self, history: &[f64], period: usize) -> Result<()> {
+        let w = period.clamp(16, 128);
+        if history.len() < 2 * w + 10 {
+            return Err(TsError::TooShort {
+                what: "DeepAR history",
+                need: 2 * w + 10,
+                got: history.len(),
+            });
+        }
+        let mut m = DeepArLite::new(w, period.max(2), self.seed);
+        m.epochs = self.epochs;
+        m.fit(history);
+        self.recent = history[history.len() - w..].to_vec();
+        self.t = history.len();
+        self.model = Some(m);
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        match &self.model {
+            Some(m) if m.is_fitted() => m.predict(&self.recent, self.t, horizon),
+            _ => vec![0.0; horizon],
+        }
+    }
+
+    fn observe(&mut self, y: f64) {
+        if !self.recent.is_empty() {
+            self.recent.remove(0);
+            self.recent.push(y);
+            self.t += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(n: usize, t: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect()
+    }
+
+    #[test]
+    fn lstm_like_scores_stream() {
+        let y = seasonal(600, 24);
+        let mut m = LstmLike { epochs: 3, seed: 1 };
+        let s = m.score(&y[..400], &y[400..], 24);
+        assert_eq!(s.len(), 200);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nbeats_forecaster_roundtrip() {
+        let t = 16;
+        let y = seasonal(600, t);
+        let mut f = NBeatsForecaster::new(t, 5, 1);
+        f.fit(&y[..500], t).unwrap();
+        let p = f.forecast(t);
+        assert_eq!(p.len(), t);
+        assert!(p.iter().all(|v| v.is_finite()));
+        f.observe(0.5);
+        assert_eq!(f.recent.last().copied(), Some(0.5));
+    }
+
+    #[test]
+    fn deepar_forecaster_roundtrip() {
+        let t = 16;
+        let y = seasonal(600, t);
+        let mut f = DeepArForecaster::new(5, 2);
+        f.fit(&y[..500], t).unwrap();
+        let p = f.forecast(8);
+        assert_eq!(p.len(), 8);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+}

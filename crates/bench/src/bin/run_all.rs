@@ -1,0 +1,45 @@
+//! Runs every experiment binary in sequence (pass `--quick` through for a
+//! smoke pass). Each experiment writes its own report under
+//! `target/experiments/`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table2",
+        "fig5_6",
+        "fig7_latency",
+        "table3",
+        "table4",
+        "table5",
+        "fig8_ablation",
+        "fig9_ablation",
+        "fig10_ablation",
+        "ablation_init",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n===== running {bin} =====");
+        let status = Command::new(dir.join(bin)).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(bin);
+            }
+            Err(e) => {
+                eprintln!("could not launch {bin}: {e}");
+                failed.push(bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed; reports in target/experiments/");
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

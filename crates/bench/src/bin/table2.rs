@@ -1,0 +1,189 @@
+//! Table 2: decomposition MAE on Syn1 and Syn2.
+//!
+//! Protocol (paper §5.2): batch methods decompose the whole series; online
+//! methods initialize on the first 4 periods and stream the rest. MAE is
+//! measured against the generator's ground truth over the online region,
+//! with λ tuned per §5.1.4.
+//!
+//! The Window-* baselines re-run a batch decomposition per point, which is
+//! exactly the `O(W)`-per-update cost the paper criticizes — evaluating
+//! them on every point would take hours. Because each windowed update is a
+//! pure function of the current buffer, we evaluate them on a uniform
+//! sample of update points and compute the MAE on those points (a faithful
+//! estimate of their per-point output quality).
+
+use benchkit::methods::{oneshotstl_tuned, tune_lambda};
+use benchkit::paper::TABLE2_PAPER;
+use benchkit::{fmt3, Cli, Experiment};
+use decomp::traits::OnlineDecomposer;
+use decomp::{BatchDecomposer, OnlineRobustStl, OnlineStl, RobustStl, Stl};
+use tskit::ring::RingBuffer;
+use tskit::synth::{syn1, syn2, StdDataset};
+use tsmetrics::DecompErrors;
+
+fn paper_ref(dataset: &str, method: &str) -> String {
+    TABLE2_PAPER
+        .iter()
+        .find(|(d, m, _)| *d == dataset && *m == method)
+        .map(|(_, _, v)| format!("{}/{}/{}", fmt3(v[0]), fmt3(v[1]), fmt3(v[2])))
+        .unwrap_or_else(|| "-".into())
+}
+
+/// Sampled evaluation of a sliding-window batch method: decompose the
+/// buffer at `samples` uniformly spaced online points; MAE over those.
+fn windowed_sampled(
+    batch: &dyn BatchDecomposer,
+    ds: &StdDataset,
+    split: usize,
+    samples: usize,
+) -> Option<DecompErrors> {
+    let truth = ds.truth.as_ref()?;
+    let t = ds.period;
+    let w = 4 * t;
+    let mut buf = RingBuffer::from_slice(w, &ds.values[..split]);
+    let n = ds.values.len();
+    let stride = ((n - split) / samples.max(1)).max(1);
+    let (mut te, mut se, mut re, mut cnt) = (0.0, 0.0, 0.0, 0usize);
+    for i in split..n {
+        buf.push(ds.values[i]);
+        if !(i - split).is_multiple_of(stride) {
+            continue;
+        }
+        let window = buf.to_vec();
+        if let Ok(d) = batch.decompose(&window, t) {
+            let last = d.len() - 1;
+            te += (d.trend[last] - truth.trend[i]).abs();
+            se += (d.seasonal[last] - truth.seasonal[i]).abs();
+            re += (d.residual[last] - truth.residual[i]).abs();
+            cnt += 1;
+        }
+    }
+    if cnt == 0 {
+        return None;
+    }
+    Some(DecompErrors {
+        trend: te / cnt as f64,
+        seasonal: se / cnt as f64,
+        residual: re / cnt as f64,
+    })
+}
+
+fn run_dataset(ds: &StdDataset, samples: usize, exp: &mut Experiment, rows_csv: &mut Vec<Vec<String>>) {
+    let truth = ds.truth.as_ref().expect("synthetic dataset has ground truth");
+    let t = ds.period;
+    let split = 4 * t;
+    let eval = split..ds.values.len();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |name: &str, kind: &str, e: DecompErrors| {
+        rows.push(vec![
+            name.to_string(),
+            kind.to_string(),
+            fmt3(e.trend),
+            fmt3(e.seasonal),
+            fmt3(e.residual),
+            paper_ref(&ds.name, name),
+        ]);
+        rows_csv.push(vec![
+            ds.name.clone(),
+            name.to_string(),
+            format!("{}", e.trend),
+            format!("{}", e.seasonal),
+            format!("{}", e.residual),
+        ]);
+    };
+    // batch methods on the full series
+    let stl = if t > 200 { Stl::fast() } else { Stl::new() };
+    for batch in [Box::new(stl) as Box<dyn BatchDecomposer>, Box::new(RobustStl::new())] {
+        match batch.decompose(&ds.values, t) {
+            Ok(d) => push(
+                batch.name(),
+                "Batch",
+                DecompErrors::over_range(&d, truth, eval.clone()),
+            ),
+            Err(e) => eprintln!("{} failed on {}: {e}", batch.name(), ds.name),
+        }
+    }
+    eprintln!("{}: batch methods done", ds.name);
+    // windowed baselines (sampled; see module docs)
+    let fast_stl = if t > 200 { Stl::fast() } else { Stl::new() };
+    if let Some(e) = windowed_sampled(&fast_stl, ds, split, samples) {
+        push("Window-STL", "Online", e);
+    }
+    eprintln!("{}: Window-STL done", ds.name);
+    if let Some(e) = windowed_sampled(&RobustStl::new(), ds, split, samples) {
+        push("Window-RobustSTL", "Online", e);
+    }
+    eprintln!("{}: Window-RobustSTL done", ds.name);
+    // true online baselines on every point
+    for mut m in [
+        Box::new(OnlineStl::new()) as Box<dyn OnlineDecomposer>,
+        Box::new(OnlineRobustStl::new()),
+    ] {
+        match m.run_series(&ds.values, t, split) {
+            Ok(d) => push(
+                m.name(),
+                "Online",
+                DecompErrors::over_range(&d, truth, eval.clone()),
+            ),
+            Err(e) => eprintln!("{} failed on {}: {e}", m.name(), ds.name),
+        }
+        eprintln!("{}: {} done", ds.name, m.name());
+    }
+    // OneShotSTL with λ tuned per the paper's §5.1.4 protocol (STL
+    // proximity on the training window)...
+    let lambda = tune_lambda(&ds.values[..split], t);
+    let mut oneshot = oneshotstl_tuned(lambda);
+    match oneshot.run_series(&ds.values, t, split) {
+        Ok(d) => push(
+            "OneShotSTL",
+            "Online",
+            DecompErrors::over_range(&d, truth, eval.clone()),
+        ),
+        Err(e) => eprintln!("OneShotSTL failed on {}: {e}", ds.name),
+    }
+    eprintln!("{}: OneShotSTL done (λ = {lambda})", ds.name);
+    // ...and with the best grid λ selected on ground truth ("oracle"): the
+    // tuning protocol only sees the stationary training window, so it
+    // cannot anticipate trend regime changes that occur later; this row
+    // separates the algorithm's capability from the tuning blind spot.
+    let mut best: Option<(f64, DecompErrors)> = None;
+    for &l in &benchkit::methods::LAMBDA_GRID {
+        let mut m = oneshotstl_tuned(l);
+        if let Ok(d) = m.run_series(&ds.values, t, split) {
+            let e = DecompErrors::over_range(&d, truth, eval.clone());
+            if best.as_ref().is_none_or(|(_, b)| e.trend < b.trend) {
+                best = Some((l, e));
+            }
+        }
+    }
+    if let Some((l, e)) = best {
+        push(&format!("OneShotSTL (oracle λ={l})"), "Online", e);
+    }
+    exp.table(
+        &format!("{} (T = {t}, λ = {lambda})", ds.name),
+        &["Method", "Type", "Trend MAE", "Seasonal MAE", "Residual MAE", "paper (t/s/r)"],
+        &rows,
+    );
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let samples = if cli.quick { 12 } else { 40 };
+    let mut exp = Experiment::new(
+        "table2",
+        "Table 2 — decomposition MAE on synthetic datasets",
+    );
+    exp.para(
+        "Synthetic stand-ins regenerate the paper's Syn1 (abrupt trend \
+         changes, T=500) and Syn2 (four cycles shifted by 10 points, \
+         T=250); MAE is computed against generator ground truth over the \
+         online region (after 4 initialization periods). Window-* methods \
+         are evaluated on a uniform sample of update points (see source).",
+    );
+    let mut csv = Vec::new();
+    for ds in [syn1(cli.seed), syn2(cli.seed)] {
+        run_dataset(&ds, samples, &mut exp, &mut csv);
+    }
+    exp.csv("results", &["dataset", "method", "trend", "seasonal", "residual"], &csv);
+    exp.finish();
+}

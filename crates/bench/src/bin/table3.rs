@@ -1,0 +1,113 @@
+//! Table 3: univariate TSAD on the 17-family TSB-UAD stand-in suite,
+//! scored by VUS-ROC, with average rank and total runtime per method.
+
+use anomaly::{Damp, NSigmaDetector, NormA, Sand, StdNSigma, Stompi, TsadMethod};
+use benchkit::adapters::{LstmLike, TranAdMethod, UsadMethod};
+use benchkit::methods::{oneshotstl_tuned, tune_lambda};
+use benchkit::paper::TABLE3_PAPER_AVG;
+use benchkit::{fmt3, fmt_duration, Cli, Experiment};
+use decomp::OnlineStl;
+use std::time::{Duration, Instant};
+use tskit::period::find_length;
+use tskit::synth::tsad_suite;
+use tsmetrics::{average_ranks, vus_roc};
+
+fn methods(cli: &Cli) -> Vec<Box<dyn TsadMethod>> {
+    let epochs = if cli.quick { 2 } else { 8 };
+    let seed = cli.seed;
+    vec![
+        Box::new(LstmLike { epochs, seed }),
+        Box::new(UsadMethod { epochs, seed }),
+        Box::new(TranAdMethod { epochs, seed }),
+        Box::new(NormA::default()),
+        Box::new(Sand::default()),
+        Box::new(Stompi::new(&[], 8)),
+        Box::new(Damp::default()),
+        Box::new(NSigmaDetector::default()),
+        Box::new(StdNSigma::new("OnlineSTL", 5.0, OnlineStl::new)),
+        Box::new(TunedOneShot),
+    ]
+}
+
+/// OneShotSTL with λ tuned per series on the training prefix (§5.1.4).
+struct TunedOneShot;
+
+impl TsadMethod for TunedOneShot {
+    fn name(&self) -> String {
+        "OneShotSTL".into()
+    }
+    fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
+        let lambda = tune_lambda(train, period);
+        let mut inner = StdNSigma::new("OneShotSTL", 5.0, || oneshotstl_tuned(lambda));
+        inner.score(train, test, period)
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n_series = if cli.quick { 1 } else { 2 };
+    let suite = tsad_suite(n_series, cli.seed);
+    let mut ms = methods(&cli);
+    let names: Vec<String> = ms.iter().map(|m| m.name()).collect();
+    let mut exp = Experiment::new("table3", "Table 3 — TSAD VUS-ROC on the 17-family suite");
+    exp.para(&format!(
+        "{} families × {n_series} series; period detected with TSB-UAD's \
+         `find_length`; VUS-ROC buffer up to one period.",
+        suite.len()
+    ));
+    let mut value_rows: Vec<Vec<f64>> = Vec::new();
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    let mut times = vec![Duration::ZERO; ms.len()];
+    let mut csv = Vec::new();
+    for family in &suite {
+        let mut row_vals = vec![0.0f64; ms.len()];
+        for series in &family.series {
+            let period = find_length(series.train());
+            let max_l = period.min(series.test().len() / 10).max(10);
+            for (mi, m) in ms.iter_mut().enumerate() {
+                let start = Instant::now();
+                let scores = m.score(series.train(), series.test(), period);
+                times[mi] += start.elapsed();
+                let v = vus_roc(&scores, series.test_labels(), max_l, 8);
+                row_vals[mi] += v / family.series.len() as f64;
+            }
+        }
+        let mut row = vec![family.name.clone()];
+        row.extend(row_vals.iter().map(|v| fmt3(*v)));
+        table_rows.push(row);
+        for (mi, v) in row_vals.iter().enumerate() {
+            csv.push(vec![family.name.clone(), names[mi].clone(), format!("{v}")]);
+        }
+        value_rows.push(row_vals);
+        eprintln!("{} done", family.name);
+    }
+    // averages, ranks, runtimes
+    let m_count = ms.len();
+    let avg: Vec<f64> = (0..m_count)
+        .map(|mi| value_rows.iter().map(|r| r[mi]).sum::<f64>() / value_rows.len() as f64)
+        .collect();
+    let ranks = average_ranks(&value_rows, true);
+    let mut avg_row = vec!["**Avg. VUS-ROC**".to_string()];
+    avg_row.extend(avg.iter().map(|v| fmt3(*v)));
+    table_rows.push(avg_row);
+    let mut rank_row = vec!["**Avg. Rank**".to_string()];
+    rank_row.extend(ranks.iter().map(|r| format!("{r:.2}")));
+    table_rows.push(rank_row);
+    let mut time_row = vec!["**Total time**".to_string()];
+    time_row.extend(times.iter().map(|t| fmt_duration(*t)));
+    table_rows.push(time_row);
+    let mut paper_row = vec!["paper Avg.".to_string()];
+    paper_row.extend(names.iter().map(|n| {
+        TABLE3_PAPER_AVG
+            .iter()
+            .find(|(pn, _)| pn == n)
+            .map(|(_, v)| fmt3(*v))
+            .unwrap_or_else(|| "-".into())
+    }));
+    table_rows.push(paper_row);
+    let mut headers: Vec<&str> = vec!["Dataset"];
+    headers.extend(names.iter().map(String::as_str));
+    exp.table("VUS-ROC per family", &headers, &table_rows);
+    exp.csv("results", &["family", "method", "vus_roc"], &csv);
+    exp.finish();
+}

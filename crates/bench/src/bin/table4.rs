@@ -1,0 +1,93 @@
+//! Table 4: KDD21-style evaluation — each series has exactly one anomaly;
+//! a method scores when its top-ranked point falls in the anomaly's
+//! neighbourhood. Includes the paper's STD-prefilter + DAMP hybrids.
+
+use anomaly::{Damp, NSigmaDetector, NormA, PrefilterDamp, Sand, StdNSigma, Stompi, TsadMethod};
+use benchkit::adapters::{LstmLike, TranAdMethod, UsadMethod};
+use benchkit::methods::{oneshotstl_tuned, tune_lambda};
+use benchkit::paper::TABLE4_PAPER;
+use benchkit::{fmt3, fmt_duration, Cli, Experiment};
+use decomp::OnlineStl;
+use std::time::{Duration, Instant};
+use tskit::period::find_length;
+use tskit::synth::kdd21_like;
+use tsmetrics::kdd::kdd21_hit;
+
+/// OneShotSTL with λ tuned per series on the training prefix (§5.1.4).
+struct TunedOneShot;
+
+impl TsadMethod for TunedOneShot {
+    fn name(&self) -> String {
+        "OneShotSTL".into()
+    }
+    fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
+        let lambda = tune_lambda(train, period);
+        let mut inner = StdNSigma::new("OneShotSTL", 5.0, || oneshotstl_tuned(lambda));
+        inner.score(train, test, period)
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n_series = if cli.quick { 5 } else { 25 };
+    let tolerance = 100usize;
+    let series = kdd21_like(n_series, cli.seed);
+    let epochs = if cli.quick { 2 } else { 8 };
+    let mut ms: Vec<Box<dyn TsadMethod>> = vec![
+        Box::new(LstmLike { epochs, seed: cli.seed }),
+        Box::new(UsadMethod { epochs, seed: cli.seed }),
+        Box::new(TranAdMethod { epochs, seed: cli.seed }),
+        Box::new(NormA::default()),
+        Box::new(Stompi::new(&[], 8)),
+        Box::new(Sand::default()),
+        Box::new(Damp::default()),
+        Box::new(NSigmaDetector::default()),
+        Box::new(StdNSigma::new("OnlineSTL", 5.0, OnlineStl::new)),
+        Box::new(TunedOneShot),
+        Box::new(PrefilterDamp::new(NSigmaDetector::default())),
+        Box::new(PrefilterDamp::new(StdNSigma::new("OnlineSTL", 5.0, OnlineStl::new))),
+        Box::new(PrefilterDamp::new(TunedOneShot)),
+    ];
+    let mut exp = Experiment::new("table4", "Table 4 — KDD21-style top-1 accuracy");
+    exp.para(&format!(
+        "{n_series} single-anomaly series; hit = argmax score within \
+         ±{tolerance} points of the event."
+    ));
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for m in ms.iter_mut() {
+        let name = m.name();
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for s in &series {
+            let period = s.period.unwrap_or_else(|| find_length(s.train()));
+            let scores = m.score(s.train(), s.test(), period);
+            if kdd21_hit(&scores, s.test_labels(), tolerance) {
+                hits += 1;
+            }
+        }
+        let elapsed: Duration = start.elapsed();
+        let score = hits as f64 / series.len() as f64;
+        let paper = TABLE4_PAPER
+            .iter()
+            .find(|(pn, _)| *pn == name)
+            .map(|(_, v)| fmt3(*v))
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![name.clone(), fmt3(score), fmt_duration(elapsed), paper]);
+        csv.push(vec![name.clone(), format!("{score}"), format!("{}", elapsed.as_secs_f64())]);
+        eprintln!("{name} done: {score:.3} in {}", fmt_duration(elapsed));
+    }
+    exp.table(
+        "KDD21 accuracy",
+        &["Method", "Score", "Time", "paper"],
+        &rows,
+    );
+    exp.para(
+        "Expected shape: matrix-profile methods (DAMP/NormA) lead, plain \
+         NSigma trails, STD methods land in between, and the \
+         OneShotSTL+DAMP hybrid approaches DAMP's accuracy at a fraction \
+         of its runtime (the paper's 40× speed-up claim).",
+    );
+    exp.csv("results", &["method", "score", "seconds"], &csv);
+    exp.finish();
+}

@@ -1,0 +1,99 @@
+//! Reference numbers from the paper, printed next to our measurements so
+//! EXPERIMENTS.md can record paper-vs-measured for every artifact.
+
+/// Table 2 (paper): decomposition MAE `(trend, seasonal, residual)` per
+/// `(dataset, method)`.
+pub const TABLE2_PAPER: &[(&str, &str, [f64; 3])] = &[
+    ("Syn1", "STL", [0.134, 0.015, 0.144]),
+    ("Syn1", "RobustSTL", [0.004, 0.013, 0.016]),
+    ("Syn1", "Window-STL", [0.134, 0.092, 0.174]),
+    ("Syn1", "OnlineSTL", [0.104, 0.023, 0.093]),
+    ("Syn1", "Window-RobustSTL", [0.045, 0.018, 0.046]),
+    ("Syn1", "OnlineRobustSTL", [0.131, 0.033, 0.123]),
+    ("Syn1", "OneShotSTL", [0.007, 0.014, 0.019]),
+    ("Syn2", "STL", [0.084, 0.433, 0.505]),
+    ("Syn2", "RobustSTL", [0.004, 0.004, 0.004]),
+    ("Syn2", "Window-STL", [0.084, 0.313, 0.313]),
+    ("Syn2", "OnlineSTL", [0.225, 0.374, 0.571]),
+    ("Syn2", "Window-RobustSTL", [0.032, 0.031, 0.006]),
+    ("Syn2", "OnlineRobustSTL", [0.037, 0.031, 0.013]),
+    ("Syn2", "OneShotSTL", [0.004, 0.013, 0.013]),
+];
+
+/// Table 3 (paper): average VUS-ROC over the 17 TSB-UAD datasets.
+pub const TABLE3_PAPER_AVG: &[(&str, f64)] = &[
+    ("LSTM", 0.624),
+    ("USAD", 0.698),
+    ("TranAD", 0.664),
+    ("NormA", 0.713),
+    ("SAND", 0.669),
+    ("STOMPI", 0.634),
+    ("DAMP", 0.652),
+    ("NSigma", 0.695),
+    ("OnlineSTL", 0.693),
+    ("OneShotSTL", 0.713),
+];
+
+/// Table 4 (paper): KDD21 accuracy.
+pub const TABLE4_PAPER: &[(&str, f64)] = &[
+    ("LSTM", 0.460),
+    ("USAD", 0.168),
+    ("TranAD", 0.196),
+    ("NormA", 0.500),
+    ("STOMPI", 0.360),
+    ("SAND", 0.388),
+    ("DAMP", 0.512),
+    ("NSigma", 0.132),
+    ("OnlineSTL", 0.268),
+    ("OneShotSTL", 0.288),
+    ("NSigma+DAMP", 0.324),
+    ("OnlineSTL+DAMP", 0.408),
+    ("OneShotSTL+DAMP", 0.508),
+];
+
+/// Table 5 (paper): average MAE over all datasets/horizons for the methods
+/// we reproduce, plus the transformer references we do not re-implement.
+pub const TABLE5_PAPER_AVG: &[(&str, f64)] = &[
+    ("FiLM*", 0.308),
+    ("FEDformer*", 0.368),
+    ("Informer*", 0.702),
+    ("NBEATS", 0.373),
+    ("DeepAR", 0.677),
+    ("AutoARIMA", 0.647),
+    ("OnlineSTL", 0.707),
+    ("OneShotSTL", 0.337),
+];
+
+/// Figure 7 (paper): OneShotSTL holds ~20µs/point for every T; OnlineSTL
+/// crosses it around T ≈ 800 and reaches ~450µs at T = 12800; windowed
+/// batch methods are ≥ 2 orders of magnitude slower.
+pub const FIG7_PAPER_NOTE: &str = "paper: OneShotSTL flat ~20µs/point for all T; \
+OnlineSTL linear in T (~450µs at T=12800, crossover vs OneShotSTL at T≈800); \
+Window-STL / Window-RobustSTL / OnlineRobustSTL ≥ 100× slower than the online methods";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_complete() {
+        assert_eq!(TABLE2_PAPER.len(), 14);
+        assert_eq!(TABLE3_PAPER_AVG.len(), 10);
+        assert_eq!(TABLE4_PAPER.len(), 13);
+        assert!(TABLE5_PAPER_AVG.len() >= 8);
+    }
+
+    #[test]
+    fn paper_claims_oneshot_best_online_on_syn() {
+        // sanity on the hard-coded reference data itself
+        let syn1_online: Vec<&(&str, &str, [f64; 3])> = TABLE2_PAPER
+            .iter()
+            .filter(|(d, m, _)| *d == "Syn1" && *m != "STL" && *m != "RobustSTL")
+            .collect();
+        let best = syn1_online
+            .iter()
+            .min_by(|a, b| a.2[0].partial_cmp(&b.2[0]).unwrap())
+            .unwrap();
+        assert_eq!(best.1, "OneShotSTL");
+    }
+}

@@ -1,0 +1,562 @@
+//! OneShotSTL (paper Algorithm 5) with seasonality-shift handling (§3.4).
+//!
+//! ## Structure
+//!
+//! [`OnlineJointStl`] is the IRLS shell shared by the `O(1)` algorithm and
+//! the exact Algorithm-2 reference: it owns the seasonal buffer `v`, the
+//! per-iteration weight histories, the NSigma trigger and the shift search.
+//! The per-iteration linear-system solving is delegated to a [`TailSolver`]:
+//!
+//! - [`crate::online_doolittle::IncrementalSolver`] → [`OneShotStl`]
+//!   (the paper's `O(1)` algorithm), and
+//! - [`crate::reference::GrowingSolver`] → [`crate::ModifiedJointStlRef`]
+//!   (Algorithm 2 solved exactly at every step, `O(M)` per update).
+//!
+//! Equivalence of the two (property-tested below) is the paper's central
+//! correctness claim: OnlineDoolittle computes the *exact* newest solution
+//! entries of the growing system.
+//!
+//! ## Per-update flow (one arriving point `y_t`)
+//!
+//! 1. For each IRLS iteration `i = 0..I`: build the trailing system block
+//!    from the last three observations, seasonal anchors
+//!    `u_j = v[(t_j + Δ) mod T]`, and iteration-`i` weights; solve for
+//!    `(τ_t, s_t)`; derive the iteration-`i+1` weights from Eq. 4–5
+//!    (append-only, as in Algorithm 2).
+//! 2. Feed `r_t = y_t − τ_t − s_t` to NSigma. On an anomaly verdict,
+//!    re-run step 1 for every phase offset `Δt ∈ [−H, H]` and keep the
+//!    result with the smallest `|r_t|` (§3.4). How an accepted offset
+//!    persists is governed by [`ShiftPolicy`].
+//! 3. Write the seasonal buffer: `v[(t + Δ) mod T] = s_t`.
+
+use crate::nsigma::NSigma;
+use crate::online_doolittle::IncrementalSolver;
+use crate::system::{Lambdas, TailData};
+use decomp::traits::{BatchDecomposer, OnlineDecomposer};
+use decomp::{Stl, StlConfig};
+use tskit::error::{Result, TsError};
+use tskit::series::{DecompPoint, Decomposition};
+
+/// Per-iteration linear-system solver: consumes one trailing block per
+/// online point and returns the exact `(τ_t, s_t)` of its growing system.
+pub trait TailSolver: Clone + Default {
+    /// Short name for diagnostics.
+    const NAME: &'static str;
+
+    /// Processes the next point (`tail.m` must advance by one each call).
+    fn step(&mut self, tail: &TailData) -> (f64, f64);
+}
+
+impl TailSolver for IncrementalSolver {
+    const NAME: &'static str = "OneShotSTL";
+
+    fn step(&mut self, tail: &TailData) -> (f64, f64) {
+        IncrementalSolver::step(self, tail)
+    }
+}
+
+/// How an accepted seasonality-shift offset affects subsequent points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShiftPolicy {
+    /// The accepted `Δt` is added to a persistent cumulative offset — the
+    /// buffer index permanently follows the drifted phase (default; models
+    /// the lasting shift of paper Fig. 3).
+    #[default]
+    Cumulative,
+    /// The accepted `Δt` applies to the current point only.
+    Transient,
+}
+
+/// Initialization method for the offline phase (Algorithm 5, line 1:
+/// "obtain τ, s, r by STL or JointSTL").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitMethod {
+    /// Classic STL (robust, `O(N)`, the default).
+    #[default]
+    Stl,
+    /// Batch JointSTL (Algorithm 1) — the model-consistent choice, more
+    /// expensive for long periods.
+    JointStl,
+}
+
+/// OneShotSTL configuration (paper defaults per §5.1.4).
+#[derive(Debug, Clone)]
+pub struct OneShotStlConfig {
+    /// Trend penalties λ1, λ2 (the paper ties and tunes them).
+    pub lambdas: Lambdas,
+    /// IRLS iterations `I` (paper default 8).
+    pub iters: usize,
+    /// Maximum seasonality-shift `H` (paper default 20; 0 disables the
+    /// shift search).
+    pub shift_window: usize,
+    /// NSigma threshold `n` for the shift trigger (paper default 5).
+    pub nsigma: f64,
+    /// Shift persistence policy.
+    pub shift_policy: ShiftPolicy,
+    /// A non-zero Δt is accepted only when its |r_t| is below this fraction
+    /// of the Δt = 0 residual. A genuine phase shift shrinks the residual
+    /// by an order of magnitude, easily clearing the bar; a trend jump
+    /// (which no phase offset can fix) does not — without this guard the
+    /// shift search would latch onto spurious offsets at trend changes.
+    pub shift_accept_ratio: f64,
+    /// Offline initialization method.
+    pub init: InitMethod,
+    /// IRLS clamp ε.
+    pub eps: f64,
+}
+
+impl Default for OneShotStlConfig {
+    fn default() -> Self {
+        OneShotStlConfig {
+            lambdas: Lambdas::default(),
+            iters: 8,
+            shift_window: 20,
+            nsigma: 5.0,
+            shift_policy: ShiftPolicy::Cumulative,
+            shift_accept_ratio: 0.5,
+            init: InitMethod::Stl,
+            eps: 1e-10,
+        }
+    }
+}
+
+/// Per-IRLS-iteration state (Algorithm 5 keeps one weight vector per
+/// iteration; only the trailing two entries are ever read again).
+#[derive(Debug, Clone)]
+struct IterState<S> {
+    solver: S,
+    /// `pw` at times `m−2, m−1` (weight of the diff `(j−1, j)`).
+    pw_hist: [f64; 2],
+    /// `qw` at times `m−2, m−1`.
+    qw_hist: [f64; 2],
+    /// This iteration's trend output at times `m−2, m−1` (Eq. 4–5 inputs).
+    tau_hist: [f64; 2],
+}
+
+/// The outcome of running all IRLS iterations for one candidate shift.
+struct Trial<S> {
+    iters: Vec<IterState<S>>,
+    point: DecompPoint,
+    /// The anchor used for the newest point (frozen into `u_hist`).
+    u_new: f64,
+}
+
+/// The shared online-JointSTL shell (see module docs). Use the
+/// [`OneShotStl`] alias for the paper's `O(1)` algorithm.
+#[derive(Debug, Clone)]
+pub struct OnlineJointStl<S> {
+    /// Configuration (λ, I, H, n, policies).
+    pub config: OneShotStlConfig,
+    period: usize,
+    /// Global time index of the next arriving point.
+    t: u64,
+    /// Number of online points processed.
+    m: usize,
+    /// Cumulative phase offset Δ.
+    shift: i64,
+    /// Seasonal buffer `v ∈ R^T`.
+    v: Vec<f64>,
+    /// Last two observed values (times `m−2`, `m−1`).
+    y_hist: [f64; 2],
+    /// Seasonal anchors of the last two points, **frozen at arrival**:
+    /// `u_j = v[(t_j + Δ) mod T]` read before `v` is overwritten at that
+    /// phase. Re-reading them later would return the point's own seasonal
+    /// estimate (written at its step), silently un-anchoring the tail from
+    /// the previous cycle and letting the trend/seasonal split drift.
+    u_hist: [f64; 2],
+    iters: Vec<IterState<S>>,
+    nsigma: NSigma,
+    initialized: bool,
+}
+
+/// The paper's OneShotSTL: `O(1)` per-point online decomposition.
+pub type OneShotStl = OnlineJointStl<IncrementalSolver>;
+
+impl OneShotStl {
+    /// Creates a OneShotSTL instance (call [`OnlineDecomposer::init`]
+    /// before updating).
+    pub fn new(config: OneShotStlConfig) -> Self {
+        OnlineJointStl::with_solver(config)
+    }
+
+    /// OneShotSTL with all paper defaults.
+    pub fn default_paper() -> Self {
+        Self::new(OneShotStlConfig::default())
+    }
+}
+
+impl<S: TailSolver> Default for OnlineJointStl<S> {
+    fn default() -> Self {
+        Self::with_solver(OneShotStlConfig::default())
+    }
+}
+
+impl<S: TailSolver> OnlineJointStl<S> {
+    /// Generic constructor used by both the `O(1)` and the reference
+    /// instantiation.
+    pub fn with_solver(config: OneShotStlConfig) -> Self {
+        OnlineJointStl {
+            config,
+            period: 0,
+            t: 0,
+            m: 0,
+            shift: 0,
+            v: Vec::new(),
+            y_hist: [0.0; 2],
+            u_hist: [0.0; 2],
+            iters: Vec::new(),
+            nsigma: NSigma::new(5.0),
+            initialized: false,
+        }
+    }
+
+    /// Seasonal period `T` (0 before init).
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Current cumulative phase offset Δ.
+    pub fn shift(&self) -> i64 {
+        self.shift
+    }
+
+    /// Read-only view of the seasonal buffer `v` (indexed by
+    /// `(t + Δ) mod T`).
+    pub fn seasonal_buffer(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// The NSigma score of the most recent residual *without* updating
+    /// state; useful for monitoring.
+    pub fn score_residual(&self, r: f64) -> f64 {
+        self.nsigma.score_only(r).score
+    }
+
+    #[inline]
+    fn slot(&self, t: u64, shift: i64) -> usize {
+        let period = self.period as i64;
+        ((t as i64 + shift).rem_euclid(period)) as usize
+    }
+
+    /// Runs all IRLS iterations for the arriving value under a candidate
+    /// shift, without committing any state.
+    fn run_trial(&self, y_new: f64, shift: i64) -> Trial<S> {
+        let m_new = self.m + 1;
+        let k = m_new.min(3);
+        let mut y3 = [0.0; 3];
+        let mut u3 = [0.0; 3];
+        // the newest point reads the (pre-write) seasonal buffer — one
+        // cycle ago at its phase; previous points keep their frozen anchors
+        let u_new = self.v[self.slot(self.t, shift)];
+        // times covered: m_new-k .. m_new-1; newest last (slot 2)
+        for j in m_new - k..m_new {
+            let s = 3 - (m_new - j);
+            if j + 1 == m_new {
+                y3[s] = y_new;
+                u3[s] = u_new;
+            } else {
+                // histories hold times m-2 (index 0) and m-1 (index 1)
+                y3[s] = self.y_hist[2 - (m_new - 1 - j)];
+                u3[s] = self.u_hist[2 - (m_new - 1 - j)];
+            }
+        }
+        let mut iters = self.iters.clone();
+        let eps = self.config.eps;
+        let mut p_fresh = 1.0;
+        let mut q_fresh = 1.0;
+        let mut tau = 0.0;
+        let mut s_out = 0.0;
+        for st in iters.iter_mut() {
+            let p3 = [st.pw_hist[0], st.pw_hist[1], p_fresh];
+            let q3 = [st.qw_hist[0], st.qw_hist[1], q_fresh];
+            let tail =
+                TailData { m: m_new, y3, u3, p3, q3, lambdas: self.config.lambdas };
+            let (t_i, s_i) = st.solver.step(&tail);
+            let next_p = 1.0 / (2.0 * (t_i - st.tau_hist[1]).abs().max(eps));
+            let next_q = 1.0
+                / (2.0 * (t_i - 2.0 * st.tau_hist[1] + st.tau_hist[0]).abs().max(eps));
+            st.pw_hist = [st.pw_hist[1], p_fresh];
+            st.qw_hist = [st.qw_hist[1], q_fresh];
+            st.tau_hist = [st.tau_hist[1], t_i];
+            p_fresh = next_p;
+            q_fresh = next_q;
+            tau = t_i;
+            s_out = s_i;
+        }
+        Trial {
+            iters,
+            point: DecompPoint { trend: tau, seasonal: s_out, residual: y_new - tau - s_out },
+            u_new,
+        }
+    }
+
+    fn commit(&mut self, y_new: f64, shift_used: i64, trial: Trial<S>) -> DecompPoint {
+        self.iters = trial.iters;
+        match self.config.shift_policy {
+            ShiftPolicy::Cumulative => self.shift = shift_used,
+            ShiftPolicy::Transient => {}
+        }
+        let slot = self.slot(self.t, shift_used);
+        self.v[slot] = trial.point.seasonal;
+        self.y_hist = [self.y_hist[1], y_new];
+        self.u_hist = [self.u_hist[1], trial.u_new];
+        self.t += 1;
+        self.m += 1;
+        self.nsigma.absorb(trial.point.residual);
+        trial.point
+    }
+}
+
+impl<S: TailSolver> OnlineDecomposer for OnlineJointStl<S> {
+    fn name(&self) -> &'static str {
+        S::NAME
+    }
+
+    fn init(&mut self, y: &[f64], period: usize) -> Result<Decomposition> {
+        if period < 2 {
+            return Err(TsError::InvalidParam {
+                name: "period",
+                msg: format!("OneShotSTL needs period >= 2, got {period}"),
+            });
+        }
+        if y.len() < 2 * period + 1 {
+            return Err(TsError::TooShort {
+                what: "OneShotSTL initialization window",
+                need: 2 * period + 1,
+                got: y.len(),
+            });
+        }
+        let d = match self.config.init {
+            InitMethod::Stl => {
+                // "Periodic" seasonal smoothing: with the short 2–4 cycle
+                // initialization windows of the online protocol, per-phase
+                // LOESS has large edge error in the final cycle — exactly
+                // the part that seeds the seasonal buffer v. The periodic
+                // variant (per-phase robust mean) is far more accurate
+                // there.
+                let cfg = StlConfig {
+                    seasonal: decomp::SeasonalSpan::Periodic,
+                    outer_iters: 1,
+                    jump: if period > 400 { 10 } else { 1 },
+                    ..Default::default()
+                };
+                Stl::with_config(cfg).decompose(y, period)?
+            }
+            InitMethod::JointStl => crate::jointstl::JointStl {
+                config: crate::jointstl::JointStlConfig {
+                    lambdas: self.config.lambdas,
+                    ..Default::default()
+                },
+            }
+            .decompose(y, period)?,
+        };
+        self.period = period;
+        let n = y.len();
+        self.t = n as u64;
+        self.m = 0;
+        self.shift = 0;
+        // v[t mod T] = s_t for the last T initialization points
+        self.v = vec![0.0; period];
+        for idx in n - period..n {
+            self.v[idx % period] = d.seasonal[idx];
+        }
+        self.y_hist = [y[n - 2], y[n - 1]];
+        // the last two init points never re-enter a tail block as
+        // "previous" times with online anchors, but seed them consistently
+        // with the buffer anyway
+        self.u_hist = [self.v[(n - 2) % period], self.v[(n - 1) % period]];
+        let tau_hist = [d.trend[n - 2], d.trend[n - 1]];
+        self.iters = (0..self.config.iters.max(1))
+            .map(|_| IterState {
+                solver: S::default(),
+                pw_hist: [1.0, 1.0],
+                qw_hist: [1.0, 1.0],
+                tau_hist,
+            })
+            .collect();
+        self.nsigma = NSigma::new(self.config.nsigma);
+        self.nsigma.seed(&d.residual);
+        self.initialized = true;
+        Ok(d)
+    }
+
+    fn update(&mut self, y: f64) -> DecompPoint {
+        assert!(self.initialized, "OneShotSTL::update called before init");
+        let y = if y.is_finite() {
+            y
+        } else {
+            // missing/corrupt data: impute with the model's one-step-ahead
+            // prediction (trend carry-forward + seasonal buffer)
+            self.iters.last().map_or(0.0, |st| st.tau_hist[1])
+                + self.v[self.slot(self.t, self.shift)]
+        };
+        let base = self.run_trial(y, self.shift);
+        let verdict = self.nsigma.score_only(base.point.residual);
+        let h = self.config.shift_window as i64;
+        if !verdict.is_anomaly || h == 0 {
+            return self.commit(y, self.shift, base);
+        }
+        // §3.4: retry with every Δt in the neighbourhood E = [−H, H],
+        // keep the smallest |r_t| — but only adopt a non-zero offset when
+        // it actually explains the anomaly (see `shift_accept_ratio`)
+        let base_resid = base.point.residual.abs();
+        let mut best_shift = self.shift;
+        let mut best = base;
+        for dt in -h..=h {
+            if dt == 0 {
+                continue;
+            }
+            let cand_shift = self.shift + dt;
+            let cand = self.run_trial(y, cand_shift);
+            if cand.point.residual.abs() < best.point.residual.abs() {
+                best = cand;
+                best_shift = cand_shift;
+            }
+        }
+        if best_shift != self.shift
+            && best.point.residual.abs() > self.config.shift_accept_ratio * base_resid
+        {
+            // not convincingly better than staying in phase: reject
+            best = self.run_trial(y, self.shift);
+            best_shift = self.shift;
+        }
+        self.commit(y, best_shift, best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seasonal(n: usize, t: usize, noise: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + noise * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn additive_identity_every_update() {
+        let t = 24;
+        let y = seasonal(600, t, 0.05, 1);
+        let mut m = OneShotStl::default_paper();
+        m.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..] {
+            let p = m.update(v);
+            assert!((p.value() - v).abs() < 1e-9);
+            assert!(p.trend.is_finite() && p.seasonal.is_finite());
+        }
+    }
+
+    #[test]
+    fn residuals_small_on_clean_seasonal_stream() {
+        let t = 24;
+        let y = seasonal(1000, t, 0.02, 2);
+        let mut m = OneShotStl::default_paper();
+        let d = m.run_series(&y, t, 4 * t).unwrap();
+        let tail: f64 =
+            d.residual[500..].iter().map(|r| r.abs()).sum::<f64>() / 500.0;
+        assert!(tail < 0.1, "tail residual {tail}");
+    }
+
+    #[test]
+    fn follows_abrupt_trend_change() {
+        let t = 24;
+        let mut y = seasonal(1000, t, 0.03, 3);
+        for v in y.iter_mut().skip(600) {
+            *v += 4.0;
+        }
+        let cfg = OneShotStlConfig {
+            lambdas: Lambdas { lambda1: 1.0, lambda2: 1.0, anchor: 1.0 },
+            ..Default::default()
+        };
+        let mut m = OneShotStl::new(cfg);
+        let d = m.run_series(&y, t, 4 * t).unwrap();
+        // within half a period the trend should capture most of the jump
+        assert!(
+            d.trend[612] - d.trend[599] > 2.0,
+            "trend jump not tracked: {} -> {}",
+            d.trend[599],
+            d.trend[612]
+        );
+        // and the residual should settle again
+        let settled: f64 =
+            d.residual[700..900].iter().map(|r| r.abs()).sum::<f64>() / 200.0;
+        assert!(settled < 0.2, "residual after jump {settled}");
+    }
+
+    #[test]
+    fn recovers_from_seasonality_shift() {
+        // the Syn2 scenario: the pattern permanently shifts by 6 points
+        let t = 50;
+        let n = 1400;
+        let shift_at = 800;
+        let delta = 6usize;
+        let mut rng = StdRng::seed_from_u64(4);
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let phase = if i >= shift_at { (i + t - delta) % t } else { i % t };
+                3.0 * (2.0 * std::f64::consts::PI * phase as f64 / t as f64).sin()
+                    + 0.02 * rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        let with_shift = {
+            let cfg = OneShotStlConfig { shift_window: 20, ..Default::default() };
+            let mut m = OneShotStl::new(cfg);
+            m.run_series(&y, t, 8 * t).unwrap()
+        };
+        let without_shift = {
+            let cfg = OneShotStlConfig { shift_window: 0, ..Default::default() };
+            let mut m = OneShotStl::new(cfg);
+            m.run_series(&y, t, 8 * t).unwrap()
+        };
+        let err = |d: &tskit::Decomposition| -> f64 {
+            d.residual[shift_at + 2 * t..shift_at + 6 * t]
+                .iter()
+                .map(|r| r.abs())
+                .sum::<f64>()
+                / (4 * t) as f64
+        };
+        let e_with = err(&with_shift);
+        let e_without = err(&without_shift);
+        assert!(
+            e_with < e_without,
+            "shift handling should reduce post-shift residual: {e_with} vs {e_without}"
+        );
+        assert!(e_with < 0.5, "post-shift residual too large: {e_with}");
+    }
+
+    #[test]
+    fn nonfinite_input_is_imputed() {
+        let t = 20;
+        let y = seasonal(400, t, 0.05, 5);
+        let mut m = OneShotStl::default_paper();
+        m.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..200] {
+            m.update(v);
+        }
+        let p = m.update(f64::NAN);
+        assert!(p.trend.is_finite() && p.seasonal.is_finite() && p.residual.is_finite());
+        // stream continues normally
+        let p2 = m.update(y[201]);
+        assert!(p2.value().is_finite());
+    }
+
+    #[test]
+    fn init_validation() {
+        let mut m = OneShotStl::default_paper();
+        assert!(m.init(&[1.0; 10], 24).is_err());
+        assert!(m.init(&[1.0; 10], 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "before init")]
+    fn update_before_init_panics() {
+        OneShotStl::default_paper().update(1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! OnlineRobustSTL — the `O(T)` online variant of RobustSTL used as a
+//! baseline in Table 2 / Fig. 7 (the paper cites the SREWorks
+//! implementation \[7\] and FastRobustSTL \[42\]).
+//!
+//! Per arriving point it performs a bounded amount of RobustSTL-style work
+//! on a sliding window:
+//!
+//! 1. causal bilateral denoising of the newest point (`O(denoise window)`),
+//! 2. robust ℓ1 trend re-fit over the most recent `tail_periods` cycles of
+//!    the deseasonalized signal, reporting its last value (`O(T)` with a
+//!    fixed iteration count),
+//! 3. non-local seasonal filtering of the newest point against neighbouring
+//!    cycles (`O(neighbors × window)`).
+
+use crate::l1trend::{l1_trend_filter, L1TrendConfig};
+use crate::robuststl::{RobustStl, RobustStlConfig};
+use crate::traits::{BatchDecomposer, OnlineDecomposer};
+use tskit::error::{Result, TsError};
+use tskit::ring::RingBuffer;
+use tskit::series::{DecompPoint, Decomposition};
+use tskit::stats::std_dev;
+
+/// Online RobustSTL. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct OnlineRobustStl {
+    /// RobustSTL-style parameters (denoise / seasonal filter settings are
+    /// shared with the batch method).
+    pub config: RobustStlConfig,
+    /// How many recent cycles the per-point trend re-fit spans.
+    pub tail_periods: usize,
+    period: usize,
+    /// Raw values, capacity `window` (= `season_neighbors + 1` cycles).
+    raw: Option<RingBuffer>,
+    /// Denoised values, same capacity.
+    denoised: Option<RingBuffer>,
+    /// Seasonal estimates aligned with `raw`.
+    seasonal_hist: Option<RingBuffer>,
+    /// Detrended (denoised − trend) values aligned with `raw`.
+    detrended: Option<RingBuffer>,
+    trend_prev: f64,
+}
+
+impl OnlineRobustStl {
+    /// Creates an OnlineRobustSTL with default parameters.
+    pub fn new() -> Self {
+        OnlineRobustStl {
+            config: RobustStlConfig::default(),
+            tail_periods: 2,
+            period: 0,
+            raw: None,
+            denoised: None,
+            seasonal_hist: None,
+            detrended: None,
+            trend_prev: 0.0,
+        }
+    }
+}
+
+impl Default for OnlineRobustStl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineDecomposer for OnlineRobustStl {
+    fn name(&self) -> &'static str {
+        "OnlineRobustSTL"
+    }
+
+    fn init(&mut self, y: &[f64], period: usize) -> Result<Decomposition> {
+        if period < 2 {
+            return Err(TsError::InvalidParam {
+                name: "period",
+                msg: format!("OnlineRobustSTL needs period >= 2, got {period}"),
+            });
+        }
+        if y.len() < 2 * period + 1 {
+            return Err(TsError::TooShort {
+                what: "OnlineRobustSTL initialization window",
+                need: 2 * period + 1,
+                got: y.len(),
+            });
+        }
+        self.period = period;
+        let d = RobustStl::with_config(self.config.clone()).decompose(y, period)?;
+        let cap = (self.config.season_neighbors + 1) * period + self.config.season_half_window + 1;
+        self.raw = Some(RingBuffer::from_slice(cap, y));
+        // the bilateral denoise of history ≈ y − residual spike part; reuse
+        // trend+seasonal as the denoised estimate plus small residuals
+        let denoised: Vec<f64> =
+            (0..y.len()).map(|i| d.trend[i] + d.seasonal[i] + 0.0).collect();
+        self.denoised = Some(RingBuffer::from_slice(cap, &denoised));
+        self.seasonal_hist = Some(RingBuffer::from_slice(cap, &d.seasonal));
+        let detr: Vec<f64> = (0..y.len()).map(|i| y[i] - d.trend[i]).collect();
+        self.detrended = Some(RingBuffer::from_slice(cap, &detr));
+        self.trend_prev = *d.trend.last().expect("non-empty");
+        Ok(d)
+    }
+
+    fn update(&mut self, y: f64) -> DecompPoint {
+        let period = self.period;
+        assert!(period >= 2, "OnlineRobustStl::update called before init");
+        let cfg = self.config.clone();
+        let raw = self.raw.as_mut().expect("initialized");
+        raw.push(y);
+        // 1. causal bilateral denoise of the newest point
+        let hw = cfg.denoise_half_window;
+        let len = raw.len();
+        let sd = {
+            let tail: Vec<f64> = (0..(2 * period).min(len)).map(|i| raw.back(i)).collect();
+            std_dev(&tail).max(1e-9)
+        };
+        let (mut num, mut den) = (0.0, 0.0);
+        for i in 0..=(2 * hw).min(len - 1) {
+            let v = raw.back(i);
+            let dd = (i * i) as f64 / (2.0 * cfg.denoise_sigma_d * cfg.denoise_sigma_d);
+            let di = (v - y).powi(2) / (2.0 * (cfg.denoise_sigma_i * sd).powi(2));
+            let w = (-dd - di).exp();
+            num += w * v;
+            den += w;
+        }
+        let denoised_pt = if den > 0.0 { num / den } else { y };
+        let denoised = self.denoised.as_mut().expect("initialized");
+        denoised.push(denoised_pt);
+
+        // 2. robust trend over the recent tail of the deseasonalized signal
+        let tail_len = (self.tail_periods * period).min(denoised.len());
+        let seasonal_hist = self.seasonal_hist.as_mut().expect("initialized");
+        let mut deseason = Vec::with_capacity(tail_len);
+        for i in (0..tail_len).rev() {
+            let d_i = denoised.back(i);
+            // previous-cycle seasonal estimate at the same phase: offset by
+            // period, falling back to the oldest available
+            let s_i = if i + period < seasonal_hist.len() + 1 && seasonal_hist.len() >= period {
+                // back(i) aligns with raw.back(i); seasonal of one cycle ago
+                let idx = (i + period - 1).min(seasonal_hist.len() - 1);
+                seasonal_hist.back(idx)
+            } else {
+                0.0
+            };
+            deseason.push(d_i - s_i);
+        }
+        let tcfg = L1TrendConfig {
+            lambda1: cfg.lambda1,
+            lambda2: cfg.lambda2,
+            iters: 3,
+            robust_data: true,
+            eps: 1e-10,
+        };
+        let trend = match l1_trend_filter(&deseason, &tcfg) {
+            Ok(tau) => *tau.last().unwrap_or(&self.trend_prev),
+            Err(_) => self.trend_prev,
+        };
+        self.trend_prev = trend;
+
+        // 3. non-local seasonal filter for the newest point
+        let detrended = self.detrended.as_mut().expect("initialized");
+        detrended.push(denoised_pt - trend);
+        let dlen = detrended.len();
+        let newest = detrended.back(0);
+        let det_sd = {
+            let tail: Vec<f64> = (0..(2 * period).min(dlen)).map(|i| detrended.back(i)).collect();
+            std_dev(&tail).max(1e-9)
+        };
+        let sigma = cfg.season_sigma * det_sd;
+        let inv_2s2 = 1.0 / (2.0 * sigma * sigma);
+        let (mut num, mut den) = (0.0, 0.0);
+        for k in 1..=cfg.season_neighbors {
+            let center = k * period;
+            for j in 0..=2 * cfg.season_half_window {
+                let off = center + cfg.season_half_window;
+                if off < j {
+                    continue;
+                }
+                let idx = off - j;
+                if idx >= dlen || idx == 0 {
+                    continue;
+                }
+                let v = detrended.back(idx);
+                let dv = v - newest;
+                let dist = (j as i64 - cfg.season_half_window as i64).unsigned_abs() as f64;
+                let w = (-dv * dv * inv_2s2).exp()
+                    / (1.0 + dist / (cfg.season_half_window as f64 + 1.0));
+                num += w * v;
+                den += w;
+            }
+        }
+        let seasonal = if den > 0.0 { num / den } else { newest };
+        seasonal_hist.push(seasonal);
+        DecompPoint { trend, seasonal, residual: y - trend - seasonal }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn signal(n: usize, t: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                0.5 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.05 * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn additive_identity_and_tracking() {
+        let t = 20;
+        let y = signal(600, t, 1);
+        let mut m = OnlineRobustStl::new();
+        let d = m.run_series(&y, t, 4 * t).unwrap();
+        assert_eq!(d.len(), y.len());
+        assert_eq!(d.check_additive(&y, 1e-9), None);
+        let tail: f64 =
+            d.residual[300..].iter().map(|r| r.abs()).sum::<f64>() / 300.0;
+        assert!(tail < 0.35, "tail residual {tail}");
+    }
+
+    #[test]
+    fn trend_follows_level_shift() {
+        let t = 20;
+        let mut y = signal(800, t, 2);
+        for v in y.iter_mut().skip(500) {
+            *v += 3.0;
+        }
+        let mut m = OnlineRobustStl::new();
+        let d = m.run_series(&y, t, 4 * t).unwrap();
+        // within two periods of the jump the trend should have moved most
+        // of the way
+        assert!(
+            d.trend[540] - d.trend[499] > 1.5,
+            "trend failed to follow jump: {} -> {}",
+            d.trend[499],
+            d.trend[540]
+        );
+    }
+
+    #[test]
+    fn init_validation() {
+        let mut m = OnlineRobustStl::new();
+        assert!(m.init(&[0.0; 5], 10).is_err());
+        assert!(m.init(&[0.0; 5], 0).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! OnlineSTL (Mishra, Sriharsha, Zhong — VLDB 2022).
+//!
+//! The first online STD algorithm: after a batch initialization it updates
+//! each arriving point with
+//!
+//! 1. a causal **tri-cube weighted trend filter** over the last `T + 1`
+//!    deseasonalized points (`O(T)` dot product — this is exactly the
+//!    `O(T)` cost OneShotSTL eliminates), and
+//! 2. **per-phase exponential smoothing** of the seasonal component:
+//!    `s_t = α·(y_t − τ_t) + (1 − α)·s_{t−T}`.
+//!
+//! Simple filters make it fast but unable to track abrupt trend changes or
+//! seasonality shifts (paper Fig. 5, Table 2). `α = 0.7` per the paper's
+//! §5.1.4.
+
+use crate::stl::Stl;
+use crate::traits::{BatchDecomposer, OnlineDecomposer};
+use tskit::error::{Result, TsError};
+use tskit::loess::tricube;
+use tskit::ring::RingBuffer;
+use tskit::series::{DecompPoint, Decomposition};
+
+/// The OnlineSTL online decomposer. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct OnlineStl {
+    /// Seasonal smoothing factor α ∈ (0, 1].
+    pub alpha: f64,
+    period: usize,
+    /// Tri-cube weights, newest first; length `period + 1`.
+    weights: Vec<f64>,
+    /// Deseasonalized history (newest last), capacity `period + 1`.
+    deseason: Option<RingBuffer>,
+    /// Per-phase seasonal estimates `s[t mod T]`.
+    seasonal: Vec<f64>,
+    /// Current stream position (continues from the end of init).
+    t: usize,
+}
+
+impl OnlineStl {
+    /// Creates an OnlineSTL instance with the paper's default `α = 0.7`.
+    pub fn new() -> Self {
+        Self::with_alpha(0.7)
+    }
+
+    /// Creates an OnlineSTL instance with a custom smoothing factor.
+    pub fn with_alpha(alpha: f64) -> Self {
+        OnlineStl {
+            alpha: alpha.clamp(1e-6, 1.0),
+            period: 0,
+            weights: Vec::new(),
+            deseason: None,
+            seasonal: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Default for OnlineStl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineDecomposer for OnlineStl {
+    fn name(&self) -> &'static str {
+        "OnlineSTL"
+    }
+
+    fn init(&mut self, y: &[f64], period: usize) -> Result<Decomposition> {
+        if period < 2 {
+            return Err(TsError::InvalidParam {
+                name: "period",
+                msg: format!("OnlineSTL needs period >= 2, got {period}"),
+            });
+        }
+        if y.len() < 2 * period + 1 {
+            return Err(TsError::TooShort {
+                what: "OnlineSTL initialization window",
+                need: 2 * period + 1,
+                got: y.len(),
+            });
+        }
+        self.period = period;
+        // causal tri-cube filter: weight w_i for the point i steps back
+        let l = period + 1;
+        let mut w: Vec<f64> = (0..l).map(|i| tricube(i as f64 / l as f64)).collect();
+        let sum: f64 = w.iter().sum();
+        for v in w.iter_mut() {
+            *v /= sum;
+        }
+        self.weights = w;
+        // batch initialization with STL
+        let stl = if period > 400 { Stl::fast() } else { Stl::new() };
+        let d = stl.decompose(y, period)?;
+        // seed per-phase seasonal estimates from the last full cycle
+        self.seasonal = vec![0.0; period];
+        let n = y.len();
+        for k in 0..period {
+            let idx = n - period + k;
+            self.seasonal[(idx) % period] = d.seasonal[idx];
+        }
+        // seed the deseasonalized buffer
+        let mut buf = RingBuffer::new(period + 1);
+        for i in n.saturating_sub(period + 1)..n {
+            buf.push(y[i] - d.seasonal[i]);
+        }
+        self.deseason = Some(buf);
+        self.t = n;
+        Ok(d)
+    }
+
+    fn update(&mut self, y: f64) -> DecompPoint {
+        let period = self.period;
+        assert!(period >= 2, "OnlineStl::update called before init");
+        let phase = self.t % period;
+        // 1. deseasonalize with the previous cycle's estimate
+        let s_prev = self.seasonal[phase];
+        let buf = self.deseason.as_mut().expect("initialized");
+        buf.push(y - s_prev);
+        // 2. tri-cube trend filter over the deseasonalized history
+        let mut trend = 0.0;
+        let mut wsum = 0.0;
+        let len = buf.len();
+        for (i, &w) in self.weights.iter().enumerate() {
+            if i >= len {
+                break;
+            }
+            trend += w * buf.back(i);
+            wsum += w;
+        }
+        if wsum > 0.0 {
+            trend /= wsum;
+        }
+        // 3. per-phase exponential seasonal smoothing
+        let seasonal = self.alpha * (y - trend) + (1.0 - self.alpha) * s_prev;
+        self.seasonal[phase] = seasonal;
+        self.t += 1;
+        DecompPoint { trend, seasonal, residual: y - trend - seasonal }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn signal(n: usize, t: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                1.0 + 0.001 * i as f64
+                    + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.05 * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_stationary_seasonal_signal() {
+        let t = 24;
+        let y = signal(1200, t, 1);
+        let mut m = OnlineStl::new();
+        let d = m.run_series(&y, t, 4 * t).unwrap();
+        assert_eq!(d.len(), y.len());
+        // after burn-in, residuals should be small
+        let tail: f64 =
+            d.residual[600..].iter().map(|r| r.abs()).sum::<f64>() / 600.0;
+        assert!(tail < 0.2, "tail residual {tail}");
+    }
+
+    #[test]
+    fn additive_identity_every_point() {
+        let t = 16;
+        let y = signal(400, t, 2);
+        let mut m = OnlineStl::new();
+        let mut _init = m.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..] {
+            let p = m.update(v);
+            assert!((p.value() - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smooths_trend_through_abrupt_change_slowly() {
+        // OnlineSTL is *expected* to lag at abrupt changes (paper Fig. 5);
+        // verify the lag exists: right after a +5 jump, its trend is far
+        // from the new level.
+        let t = 24;
+        let mut y = signal(1200, t, 3);
+        for v in y.iter_mut().skip(600) {
+            *v += 5.0;
+        }
+        let mut m = OnlineStl::new();
+        let d = m.run_series(&y, t, 4 * t).unwrap();
+        let right_after = d.trend[602];
+        let long_after = d.trend[1100];
+        assert!(long_after - d.trend[599] > 3.0, "eventually adapts");
+        assert!(
+            long_after - right_after > 1.0,
+            "tri-cube filter should lag the jump: after={right_after}, settled={long_after}"
+        );
+    }
+
+    #[test]
+    fn init_validation() {
+        let mut m = OnlineStl::new();
+        assert!(m.init(&[1.0; 10], 24).is_err());
+        assert!(m.init(&[1.0; 10], 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "before init")]
+    fn update_before_init_panics() {
+        OnlineStl::new().update(1.0);
+    }
+}

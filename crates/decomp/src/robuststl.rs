@@ -1,0 +1,281 @@
+//! RobustSTL (Wen et al., AAAI 2019) — the paper's quality reference.
+//!
+//! Three-stage iterative scheme:
+//!
+//! 1. **Bilateral denoising** removes spiky noise while preserving abrupt
+//!    level changes (unlike a moving average).
+//! 2. **Robust trend extraction**: ℓ1-loss trend fit with first- and
+//!    second-order ℓ1 difference penalties (via [`crate::l1trend`] with
+//!    `robust_data = true`), applied to the deseasonalized signal — this is
+//!    what recovers *abrupt trend changes* (Table 2 / Fig. 5).
+//! 3. **Non-local seasonal filtering**: each seasonal value is a
+//!    similarity-weighted average over windows around the same phase in
+//!    neighbouring cycles; because the weights depend on *values* rather
+//!    than a rigid phase, moderate *seasonality shifts* are absorbed
+//!    (Fig. 5 (e)-(h)).
+//!
+//! The stages alternate a configurable number of rounds. This is a faithful
+//! re-implementation of the published algorithm's structure; the original
+//! solves stage 2 as an LP, we use the IRLS approximation (documented
+//! substitution, DESIGN.md §4).
+
+use crate::l1trend::{l1_trend_filter, L1TrendConfig};
+use crate::traits::BatchDecomposer;
+use tskit::error::{check_finite, Result, TsError};
+use tskit::series::Decomposition;
+use tskit::smooth::bilateral_filter;
+use tskit::stats::{mean, std_dev};
+
+/// RobustSTL configuration.
+#[derive(Debug, Clone)]
+pub struct RobustStlConfig {
+    /// Bilateral denoise: half window.
+    pub denoise_half_window: usize,
+    /// Bilateral denoise: time-distance bandwidth σ_d.
+    pub denoise_sigma_d: f64,
+    /// Bilateral denoise: value-distance bandwidth σ_i (in units of the
+    /// series' standard deviation).
+    pub denoise_sigma_i: f64,
+    /// Trend penalty λ1 (first differences).
+    pub lambda1: f64,
+    /// Trend penalty λ2 (second differences).
+    pub lambda2: f64,
+    /// Non-local seasonal filter: number of neighbouring cycles each side.
+    pub season_neighbors: usize,
+    /// Non-local seasonal filter: half window around the same phase.
+    pub season_half_window: usize,
+    /// Non-local seasonal filter: value-similarity bandwidth (in units of
+    /// the detrended signal's standard deviation).
+    pub season_sigma: f64,
+    /// Alternation rounds between trend and seasonal estimation.
+    pub rounds: usize,
+    /// IRLS iterations inside the trend solver.
+    pub trend_iters: usize,
+}
+
+impl Default for RobustStlConfig {
+    fn default() -> Self {
+        RobustStlConfig {
+            denoise_half_window: 3,
+            denoise_sigma_d: 2.0,
+            denoise_sigma_i: 1.0,
+            lambda1: 20.0,
+            lambda2: 2.0,
+            season_neighbors: 2,
+            season_half_window: 10,
+            season_sigma: 0.6,
+            rounds: 2,
+            trend_iters: 8,
+        }
+    }
+}
+
+/// The RobustSTL decomposer. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct RobustStl {
+    /// Configuration used by [`BatchDecomposer::decompose`].
+    pub config: RobustStlConfig,
+}
+
+impl RobustStl {
+    /// RobustSTL with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// RobustSTL with a custom configuration.
+    pub fn with_config(config: RobustStlConfig) -> Self {
+        RobustStl { config }
+    }
+}
+
+/// Non-local seasonal filter: weighted average of detrended values around
+/// the same phase in up to `neighbors` cycles on both sides.
+pub(crate) fn nonlocal_seasonal(
+    detrended: &[f64],
+    period: usize,
+    neighbors: usize,
+    half_window: usize,
+    sigma_abs: f64,
+) -> Vec<f64> {
+    let n = detrended.len();
+    let inv_2s2 = 1.0 / (2.0 * sigma_abs * sigma_abs);
+    let mut out = vec![0.0; n];
+    for t in 0..n {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for k in 1..=neighbors {
+            for dir in [-1i64, 1i64] {
+                let center = t as i64 + dir * (k * period) as i64;
+                for j in -(half_window as i64)..=(half_window as i64) {
+                    let idx = center + j;
+                    if idx < 0 || idx >= n as i64 {
+                        continue;
+                    }
+                    let v = detrended[idx as usize];
+                    let dv = v - detrended[t];
+                    // weight: value similarity × mild distance decay within
+                    // the window
+                    let w = (-dv * dv * inv_2s2).exp()
+                        / (1.0 + (j.unsigned_abs() as f64) / (half_window as f64 + 1.0));
+                    num += w * v;
+                    den += w;
+                }
+            }
+        }
+        out[t] = if den > 0.0 { num / den } else { detrended[t] };
+    }
+    out
+}
+
+impl BatchDecomposer for RobustStl {
+    fn name(&self) -> &'static str {
+        "RobustSTL"
+    }
+
+    fn decompose(&self, y: &[f64], period: usize) -> Result<Decomposition> {
+        let n = y.len();
+        if period < 2 {
+            return Err(TsError::InvalidParam {
+                name: "period",
+                msg: format!("RobustSTL needs period >= 2, got {period}"),
+            });
+        }
+        if n < 2 * period + 1 {
+            return Err(TsError::TooShort {
+                what: "RobustSTL input",
+                need: 2 * period + 1,
+                got: n,
+            });
+        }
+        check_finite(y)?;
+        let cfg = &self.config;
+        let sd = std_dev(y).max(1e-9);
+        // 1. denoise
+        let denoised = bilateral_filter(
+            y,
+            cfg.denoise_half_window,
+            cfg.denoise_sigma_d,
+            cfg.denoise_sigma_i * sd,
+        );
+        // initial seasonal: per-phase median of the (crudely) detrended
+        // signal
+        let rough_trend = tskit::smooth::centered_moving_average(&denoised, period);
+        let rough_det: Vec<f64> =
+            denoised.iter().zip(&rough_trend).map(|(v, t)| v - t).collect();
+        let mut seasonal = {
+            let mut phase_vals: Vec<Vec<f64>> = vec![Vec::new(); period];
+            for (i, &v) in rough_det.iter().enumerate() {
+                phase_vals[i % period].push(v);
+            }
+            let phase_med: Vec<f64> =
+                phase_vals.iter().map(|v| tskit::stats::median(v)).collect();
+            (0..n).map(|i| phase_med[i % period]).collect::<Vec<f64>>()
+        };
+        let mut trend = rough_trend;
+        let tcfg = L1TrendConfig {
+            lambda1: cfg.lambda1,
+            lambda2: cfg.lambda2,
+            iters: cfg.trend_iters,
+            robust_data: true,
+            eps: 1e-10,
+        };
+        for _ in 0..cfg.rounds.max(1) {
+            // 2. robust trend on the deseasonalized signal
+            let deseason: Vec<f64> =
+                denoised.iter().zip(&seasonal).map(|(v, s)| v - s).collect();
+            trend = l1_trend_filter(&deseason, &tcfg)?;
+            // 3. non-local seasonal filter on the detrended signal
+            let detrended: Vec<f64> =
+                denoised.iter().zip(&trend).map(|(v, t)| v - t).collect();
+            let det_sd = std_dev(&detrended).max(1e-9);
+            seasonal = nonlocal_seasonal(
+                &detrended,
+                period,
+                cfg.season_neighbors,
+                cfg.season_half_window,
+                cfg.season_sigma * det_sd,
+            );
+            // keep the seasonal component centred; absorb its mean into the
+            // trend (standard identifiability convention)
+            let m = mean(&seasonal);
+            for s in seasonal.iter_mut() {
+                *s -= m;
+            }
+            for t in trend.iter_mut() {
+                *t += m;
+            }
+        }
+        let residual: Vec<f64> = (0..n).map(|i| y[i] - trend[i] - seasonal[i]).collect();
+        Ok(Decomposition { trend, seasonal, residual })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tskit::stats::mae;
+
+    fn gen(n: usize, t: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trend: Vec<f64> = (0..n).map(|i| if i < n / 2 { 0.0 } else { 3.0 }).collect();
+        let season: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| trend[i] + season[i] + 0.05 * rng.gen_range(-1.0..1.0))
+            .collect();
+        (y, trend, season)
+    }
+
+    #[test]
+    fn captures_abrupt_trend_change() {
+        let (y, truth_trend, _) = gen(400, 40, 1);
+        let d = RobustStl::new().decompose(&y, 40).unwrap();
+        assert_eq!(d.check_additive(&y, 1e-9), None);
+        // jump height preserved within a period of the change point
+        let before = d.trend[180];
+        let after = d.trend[220];
+        assert!(after - before > 2.0, "trend jump flattened: {before} -> {after}");
+        let err = mae(&d.trend[40..360], &truth_trend[40..360]);
+        assert!(err < 0.35, "trend MAE {err}");
+    }
+
+    #[test]
+    fn recovers_seasonal_component() {
+        let (y, _, truth_season) = gen(400, 40, 2);
+        let d = RobustStl::new().decompose(&y, 40).unwrap();
+        let err = mae(&d.seasonal[40..360], &truth_season[40..360]);
+        assert!(err < 0.15, "seasonal MAE {err}");
+    }
+
+    #[test]
+    fn absorbs_seasonality_shift() {
+        // build a shifted-season signal: cycles 5.. delayed by 4 points
+        let n = 600;
+        let t = 50usize;
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = |i: usize| (2.0 * std::f64::consts::PI * (i % t) as f64 / t as f64).sin();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let cycle = i / t;
+                let idx = if cycle >= 5 { (i + t - 4) % t } else { i % t };
+                base(idx) + 0.03 * rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        let d = RobustStl::new().decompose(&y, t).unwrap();
+        // residual in the shifted region should stay small: the non-local
+        // filter finds the shifted pattern
+        let shifted_resid: f64 =
+            d.residual[6 * t..10 * t].iter().map(|r| r.abs()).sum::<f64>() / (4 * t) as f64;
+        assert!(shifted_resid < 0.25, "shifted-region residual too large: {shifted_resid}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(RobustStl::new().decompose(&[1.0; 10], 20).is_err());
+        assert!(RobustStl::new().decompose(&[1.0; 10], 1).is_err());
+    }
+}

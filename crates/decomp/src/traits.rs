@@ -1,0 +1,73 @@
+//! Decomposer traits shared by all STD implementations in the workspace.
+
+use tskit::{DecompPoint, Decomposition, Result};
+
+/// A batch STD method: consumes a full window and returns all components.
+pub trait BatchDecomposer {
+    /// Short method name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Decomposes `y` with seasonal period `period`.
+    fn decompose(&self, y: &[f64], period: usize) -> Result<Decomposition>;
+}
+
+/// An online STD method: a one-time initialization over a prefix, then one
+/// [`OnlineDecomposer::update`] per arriving point (the paper's §2.2
+/// protocol).
+pub trait OnlineDecomposer {
+    /// Short method name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Consumes the initialization prefix; returns its decomposition so the
+    /// caller can stitch full series together. After `init`, the stream
+    /// continues with `update`.
+    fn init(&mut self, y: &[f64], period: usize) -> Result<Decomposition>;
+
+    /// Decomposes the newly arrived point `y_t`.
+    fn update(&mut self, y: f64) -> DecompPoint;
+
+    /// Runs init + updates over a full series, concatenating the results
+    /// (convenience for evaluation harnesses). `split` is the init length.
+    fn run_series(&mut self, y: &[f64], period: usize, split: usize) -> Result<Decomposition> {
+        let mut out = self.init(&y[..split], period)?;
+        for &v in &y[split..] {
+            out.push(self.update(v));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial decomposer for exercising the trait defaults: everything
+    /// is "trend".
+    struct Passthrough;
+
+    impl OnlineDecomposer for Passthrough {
+        fn name(&self) -> &'static str {
+            "passthrough"
+        }
+        fn init(&mut self, y: &[f64], _period: usize) -> Result<Decomposition> {
+            Ok(Decomposition {
+                trend: y.to_vec(),
+                seasonal: vec![0.0; y.len()],
+                residual: vec![0.0; y.len()],
+            })
+        }
+        fn update(&mut self, y: f64) -> DecompPoint {
+            DecompPoint { trend: y, seasonal: 0.0, residual: 0.0 }
+        }
+    }
+
+    #[test]
+    fn run_series_concatenates_init_and_updates() {
+        let mut d = Passthrough;
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let out = d.run_series(&y, 2, 3).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.trend, y.to_vec());
+        assert_eq!(out.check_additive(&y, 1e-12), None);
+    }
+}

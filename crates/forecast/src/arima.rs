@@ -1,0 +1,340 @@
+//! AutoARIMA-lite: automatic seasonal ARIMA along the lines of
+//! `statsforecast`'s AutoARIMA (the paper's classical TSF baseline).
+//!
+//! Pipeline: (1) seasonal differencing when the seasonal strength warrants
+//! it, (2) regular differencing chosen by a variance-reduction heuristic,
+//! (3) ARMA(p, q) fitting with the Hannan–Rissanen two-stage regression,
+//! (4) order selection by AICc over a small (p, q) grid, (5) forecasting by
+//! the ARMA recursion and inverting the differencing transforms.
+
+use crate::traits::Forecaster;
+use tskit::dense::{lstsq, Mat};
+use tskit::error::{Result, TsError};
+use tskit::stats::{seasonal_strength, variance};
+
+/// The fitted ARMA state on the differenced series.
+#[derive(Debug, Clone, Default)]
+struct ArmaFit {
+    p: usize,
+    q: usize,
+    /// [intercept, φ_1..φ_p, θ_1..θ_q]
+    coef: Vec<f64>,
+    /// tail of the differenced series (most recent last)
+    w_tail: Vec<f64>,
+    /// tail of the residuals (aligned with `w_tail`)
+    e_tail: Vec<f64>,
+}
+
+/// AutoARIMA-lite. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct AutoArima {
+    /// Maximum AR order searched.
+    pub max_p: usize,
+    /// Maximum MA order searched.
+    pub max_q: usize,
+    /// Maximum regular differencing order.
+    pub max_d: usize,
+    /// Seasonal-strength threshold for seasonal differencing.
+    pub seasonal_threshold: f64,
+    d: usize,
+    seasonal_d: bool,
+    period: usize,
+    fit: ArmaFit,
+    /// raw history tail needed to invert the differencing
+    history_tail: Vec<f64>,
+}
+
+impl Default for AutoArima {
+    fn default() -> Self {
+        AutoArima {
+            max_p: 3,
+            max_q: 2,
+            max_d: 2,
+            seasonal_threshold: 0.5,
+            d: 0,
+            seasonal_d: false,
+            period: 1,
+            fit: ArmaFit::default(),
+            history_tail: Vec::new(),
+        }
+    }
+}
+
+fn difference(x: &[f64], lag: usize) -> Vec<f64> {
+    if x.len() <= lag {
+        return Vec::new();
+    }
+    (lag..x.len()).map(|i| x[i] - x[i - lag]).collect()
+}
+
+/// Hannan–Rissanen: high-order AR for residuals, then OLS on lags of both.
+fn fit_arma(w: &[f64], p: usize, q: usize) -> Option<(Vec<f64>, Vec<f64>, f64)> {
+    let n = w.len();
+    let k = p.max(1).max(q);
+    let ar_order = (2 * (p + q + 1)).clamp(4, n / 4);
+    if n < ar_order + p + q + 10 {
+        return None;
+    }
+    // stage 1: AR(ar_order) residuals
+    let rows = n - ar_order;
+    let mut design = Mat::zeros(rows, ar_order + 1);
+    let mut target = vec![0.0; rows];
+    for r in 0..rows {
+        let t = r + ar_order;
+        design[(r, 0)] = 1.0;
+        for j in 0..ar_order {
+            design[(r, j + 1)] = w[t - 1 - j];
+        }
+        target[r] = w[t];
+    }
+    let ar_coef = lstsq(&design, &target, 1e-8).ok()?;
+    let mut resid = vec![0.0; n];
+    for t in ar_order..n {
+        let mut pred = ar_coef[0];
+        for j in 0..ar_order {
+            pred += ar_coef[j + 1] * w[t - 1 - j];
+        }
+        resid[t] = w[t] - pred;
+    }
+    // stage 2: regress w_t on p lags of w and q lags of resid
+    let start = ar_order + k;
+    let rows2 = n - start;
+    if rows2 < p + q + 5 {
+        return None;
+    }
+    let cols = 1 + p + q;
+    let mut d2 = Mat::zeros(rows2, cols);
+    let mut t2 = vec![0.0; rows2];
+    for r in 0..rows2 {
+        let t = r + start;
+        d2[(r, 0)] = 1.0;
+        for j in 0..p {
+            d2[(r, 1 + j)] = w[t - 1 - j];
+        }
+        for j in 0..q {
+            d2[(r, 1 + p + j)] = resid[t - 1 - j];
+        }
+        t2[r] = w[t];
+    }
+    let coef = lstsq(&d2, &t2, 1e-8).ok()?;
+    // in-sample residuals of the final model (for the forecast recursion)
+    let mut final_resid = vec![0.0; n];
+    let mut sse = 0.0;
+    let mut count = 0usize;
+    for t in start..n {
+        let mut pred = coef[0];
+        for j in 0..p {
+            pred += coef[1 + j] * w[t - 1 - j];
+        }
+        for j in 0..q {
+            pred += coef[1 + p + j] * final_resid[t - 1 - j];
+        }
+        final_resid[t] = w[t] - pred;
+        sse += final_resid[t] * final_resid[t];
+        count += 1;
+    }
+    let sigma2 = sse / count.max(1) as f64;
+    Some((coef, final_resid, sigma2))
+}
+
+fn aicc(sigma2: f64, n_eff: usize, k: usize) -> f64 {
+    let n = n_eff as f64;
+    let kf = (k + 1) as f64;
+    let denom = (n - kf - 1.0).max(1.0);
+    n * sigma2.max(1e-300).ln() + 2.0 * kf + 2.0 * kf * (kf + 1.0) / denom
+}
+
+impl Forecaster for AutoArima {
+    fn name(&self) -> String {
+        "AutoARIMA".into()
+    }
+
+    fn fit(&mut self, history: &[f64], period: usize) -> Result<()> {
+        let n = history.len();
+        if n < 30 {
+            return Err(TsError::TooShort { what: "AutoARIMA history", need: 30, got: n });
+        }
+        self.period = period.max(1);
+        // (1) seasonal differencing
+        self.seasonal_d = period >= 2
+            && n > 3 * period
+            && seasonal_strength(history, period) > self.seasonal_threshold;
+        let mut w = if self.seasonal_d {
+            difference(history, period)
+        } else {
+            history.to_vec()
+        };
+        // (2) regular differencing: only for near-unit-root series (very
+        // high lag-1 autocorrelation) where differencing also shrinks the
+        // variance — a cheap stand-in for the KPSS test
+        self.d = 0;
+        while self.d < self.max_d {
+            let acf1 = tskit::stats::acf(&w, 1)[1];
+            let dw = difference(&w, 1);
+            if acf1 < 0.9 || dw.len() < 20 || variance(&dw) >= variance(&w) {
+                break;
+            }
+            w = dw;
+            self.d += 1;
+        }
+        // (3)/(4) order search
+        let mut best: Option<(f64, usize, usize, Vec<f64>, Vec<f64>)> = None;
+        for p in 0..=self.max_p {
+            for q in 0..=self.max_q {
+                if p == 0 && q == 0 {
+                    continue;
+                }
+                if let Some((coef, resid, sigma2)) = fit_arma(&w, p, q) {
+                    let score = aicc(sigma2, w.len(), p + q + 1);
+                    if best.as_ref().is_none_or(|b| score < b.0) {
+                        best = Some((score, p, q, coef, resid));
+                    }
+                }
+            }
+        }
+        let (_, p, q, coef, resid) = best.ok_or(TsError::TooShort {
+            what: "AutoARIMA differenced series",
+            need: 40,
+            got: w.len(),
+        })?;
+        let tail = p.max(q).max(1);
+        self.fit = ArmaFit {
+            p,
+            q,
+            coef,
+            w_tail: w[w.len() - tail..].to_vec(),
+            e_tail: resid[resid.len() - tail..].to_vec(),
+        };
+        // history tail for inverting differencing: d values + one period
+        let keep = self.d + if self.seasonal_d { self.period } else { 1 } + self.period;
+        self.history_tail = history[n.saturating_sub(keep.max(2))..].to_vec();
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let f = &self.fit;
+        if f.coef.is_empty() {
+            return vec![0.0; horizon];
+        }
+        // ARMA recursion on the differenced scale
+        let mut w_hist = f.w_tail.clone();
+        let mut e_hist = f.e_tail.clone();
+        let mut w_fore = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mut pred = f.coef[0];
+            for j in 0..f.p {
+                let idx = w_hist.len() - 1 - j;
+                pred += f.coef[1 + j] * w_hist[idx];
+            }
+            for j in 0..f.q {
+                let idx = e_hist.len() - 1 - j;
+                pred += f.coef[1 + f.p + j] * e_hist[idx];
+            }
+            w_fore.push(pred);
+            w_hist.push(pred);
+            e_hist.push(0.0);
+        }
+        // invert regular differencing (d integrations)
+        let mut series = w_fore;
+        for level in (0..self.d).rev() {
+            // reconstruct the level-th differenced history's last value
+            let mut base_hist = if self.seasonal_d {
+                difference(&self.history_tail, self.period)
+            } else {
+                self.history_tail.clone()
+            };
+            for _ in 0..level {
+                base_hist = difference(&base_hist, 1);
+            }
+            let mut last = *base_hist.last().unwrap_or(&0.0);
+            for v in series.iter_mut() {
+                last += *v;
+                *v = last;
+            }
+        }
+        // invert seasonal differencing
+        if self.seasonal_d {
+            let t = self.period;
+            let hist = &self.history_tail;
+            let mut out = Vec::with_capacity(series.len());
+            for (h, &v) in series.iter().enumerate() {
+                let prev = if h < t {
+                    hist[hist.len() - t + h]
+                } else {
+                    out[h - t]
+                };
+                out.push(prev + v);
+            }
+            series = out;
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fits_ar1_process() {
+        // y_t = 0.8 y_{t-1} + e_t
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut y = vec![0.0];
+        for _ in 1..500 {
+            let e: f64 = rng.gen_range(-0.5..0.5);
+            y.push(0.8 * y.last().unwrap() + e);
+        }
+        let mut f = AutoArima::default();
+        f.fit(&y, 1).unwrap();
+        assert_eq!(f.d, 0, "AR(1) is stationary");
+        // one-step forecast should shrink toward zero like 0.8·last
+        let p = f.forecast(1)[0];
+        let expect = 0.8 * y.last().unwrap();
+        assert!((p - expect).abs() < 0.5, "forecast {p} vs ~{expect}");
+    }
+
+    #[test]
+    fn differences_random_walk() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut y = vec![10.0];
+        for _ in 1..500 {
+            y.push(y.last().unwrap() + rng.gen_range(-0.5..0.5));
+        }
+        let mut f = AutoArima::default();
+        f.fit(&y, 1).unwrap();
+        assert!(f.d >= 1, "random walk needs differencing");
+        let p = f.forecast(5);
+        // forecasts stay near the last value
+        for v in &p {
+            assert!((v - y.last().unwrap()).abs() < 2.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn seasonal_differencing_on_seasonal_data() {
+        let t = 24;
+        let mut rng = StdRng::seed_from_u64(3);
+        let y: Vec<f64> = (0..600)
+            .map(|i| {
+                5.0 + 3.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.1 * rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        let mut f = AutoArima::default();
+        f.fit(&y, t).unwrap();
+        assert!(f.seasonal_d, "strong season should trigger seasonal differencing");
+        let pred = f.forecast(t);
+        let truth: Vec<f64> = (600..600 + t)
+            .map(|i| 5.0 + 3.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let err = tskit::stats::mae(&pred, &truth);
+        assert!(err < 0.8, "seasonal ARIMA MAE {err}");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(AutoArima::default().fit(&[1.0; 10], 1).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Exponential smoothing: SES, Holt's linear trend, and additive
+//! Holt-Winters, with in-sample grid search for the smoothing parameters.
+
+use crate::traits::Forecaster;
+use tskit::error::{Result, TsError};
+
+/// Simple exponential smoothing with grid-tuned α.
+#[derive(Debug, Clone, Default)]
+pub struct Ses {
+    /// Smoothing parameter (set by [`Forecaster::fit`]).
+    pub alpha: f64,
+    level: f64,
+}
+
+impl Ses {
+    fn sse(history: &[f64], alpha: f64) -> f64 {
+        let mut level = history[0];
+        let mut sse = 0.0;
+        for &y in &history[1..] {
+            sse += (y - level) * (y - level);
+            level += alpha * (y - level);
+        }
+        sse
+    }
+}
+
+impl Forecaster for Ses {
+    fn name(&self) -> String {
+        "SES".into()
+    }
+
+    fn fit(&mut self, history: &[f64], _period: usize) -> Result<()> {
+        if history.len() < 3 {
+            return Err(TsError::TooShort { what: "SES history", need: 3, got: history.len() });
+        }
+        let mut best = (0.3, f64::INFINITY);
+        for k in 1..=19 {
+            let a = k as f64 / 20.0;
+            let s = Self::sse(history, a);
+            if s < best.1 {
+                best = (a, s);
+            }
+        }
+        self.alpha = best.0;
+        let mut level = history[0];
+        for &y in &history[1..] {
+            level += self.alpha * (y - level);
+        }
+        self.level = level;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        vec![self.level; horizon]
+    }
+
+    fn observe(&mut self, y: f64) {
+        self.level += self.alpha * (y - self.level);
+    }
+}
+
+/// Additive Holt-Winters (level + trend + seasonal), grid-tuned.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    /// Level smoothing α.
+    pub alpha: f64,
+    /// Trend smoothing β.
+    pub beta: f64,
+    /// Seasonal smoothing γ.
+    pub gamma: f64,
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    pos: usize,
+}
+
+impl Default for HoltWinters {
+    fn default() -> Self {
+        HoltWinters {
+            alpha: 0.3,
+            beta: 0.05,
+            gamma: 0.2,
+            level: 0.0,
+            trend: 0.0,
+            season: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl HoltWinters {
+    /// Runs the filter over `history`, returning the one-step SSE and the
+    /// final state.
+    fn run(
+        history: &[f64],
+        period: usize,
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+    ) -> (f64, f64, f64, Vec<f64>, usize) {
+        let t = period;
+        // init: level = mean of first cycle, trend from cycle means,
+        // season = first-cycle deviations
+        let first: f64 = history[..t].iter().sum::<f64>() / t as f64;
+        let second: f64 = history[t..2 * t].iter().sum::<f64>() / t as f64;
+        let mut level = first;
+        let mut trend = (second - first) / t as f64;
+        let mut season: Vec<f64> = history[..t].iter().map(|y| y - first).collect();
+        let mut sse = 0.0;
+        for (i, &y) in history.iter().enumerate().skip(t) {
+            let s = season[i % t];
+            let pred = level + trend + s;
+            sse += (y - pred) * (y - pred);
+            let new_level = alpha * (y - s) + (1.0 - alpha) * (level + trend);
+            trend = beta * (new_level - level) + (1.0 - beta) * trend;
+            season[i % t] = gamma * (y - new_level) + (1.0 - gamma) * s;
+            level = new_level;
+        }
+        (sse, level, trend, season, history.len() % t)
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn name(&self) -> String {
+        "HoltWinters".into()
+    }
+
+    fn fit(&mut self, history: &[f64], period: usize) -> Result<()> {
+        if period < 2 {
+            return Err(TsError::InvalidParam {
+                name: "period",
+                msg: "Holt-Winters needs period >= 2".into(),
+            });
+        }
+        if history.len() < 2 * period + 1 {
+            return Err(TsError::TooShort {
+                what: "Holt-Winters history",
+                need: 2 * period + 1,
+                got: history.len(),
+            });
+        }
+        let mut best = (self.alpha, self.beta, self.gamma, f64::INFINITY);
+        for &a in &[0.1, 0.3, 0.5, 0.8] {
+            for &b in &[0.01, 0.05, 0.2] {
+                for &g in &[0.05, 0.2, 0.5] {
+                    let (sse, ..) = Self::run(history, period, a, b, g);
+                    if sse < best.3 {
+                        best = (a, b, g, sse);
+                    }
+                }
+            }
+        }
+        let (a, b, g, _) = best;
+        let (_, level, trend, season, pos) = Self::run(history, period, a, b, g);
+        self.alpha = a;
+        self.beta = b;
+        self.gamma = g;
+        self.level = level;
+        self.trend = trend;
+        self.season = season;
+        self.pos = pos;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let t = self.season.len().max(1);
+        (1..=horizon)
+            .map(|i| self.level + self.trend * i as f64 + self.season[(self.pos + i - 1) % t])
+            .collect()
+    }
+
+    fn observe(&mut self, y: f64) {
+        if self.season.is_empty() {
+            return;
+        }
+        let t = self.season.len();
+        let s = self.season[self.pos % t];
+        let new_level = self.alpha * (y - s) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (new_level - self.level) + (1.0 - self.beta) * self.trend;
+        self.season[self.pos % t] = self.gamma * (y - new_level) + (1.0 - self.gamma) * s;
+        self.level = new_level;
+        self.pos = (self.pos + 1) % t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ses_flat_forecast_near_mean_level() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let y: Vec<f64> = (0..200).map(|_| 5.0 + 0.1 * rng.gen_range(-1.0..1.0)).collect();
+        let mut f = Ses::default();
+        f.fit(&y, 1).unwrap();
+        let p = f.forecast(3);
+        assert!((p[0] - 5.0).abs() < 0.2);
+        assert_eq!(p[0], p[2]);
+    }
+
+    #[test]
+    fn holt_winters_tracks_trend_and_season() {
+        let t = 12;
+        let y: Vec<f64> = (0..20 * t)
+            .map(|i| {
+                0.05 * i as f64
+                    + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+            })
+            .collect();
+        let mut f = HoltWinters::default();
+        f.fit(&y[..18 * t], t).unwrap();
+        let pred = f.forecast(t);
+        let truth = &y[18 * t..19 * t];
+        let err = tskit::stats::mae(&pred, truth);
+        assert!(err < 0.4, "Holt-Winters MAE {err}");
+    }
+
+    #[test]
+    fn holt_winters_observe_matches_refit_direction() {
+        let t = 8;
+        let y: Vec<f64> = (0..12 * t)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut f = HoltWinters::default();
+        f.fit(&y[..10 * t], t).unwrap();
+        // stream 2 more periods via observe
+        for &v in &y[10 * t..12 * t] {
+            f.observe(v);
+        }
+        let pred = f.forecast(t);
+        // forecast should still track the sine
+        let truth: Vec<f64> = (12 * t..13 * t)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let err = tskit::stats::mae(&pred, &truth);
+        assert!(err < 0.3, "post-observe MAE {err}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(Ses::default().fit(&[1.0], 1).is_err());
+        assert!(HoltWinters::default().fit(&[1.0; 10], 1).is_err());
+        assert!(HoltWinters::default().fit(&[1.0; 10], 8).is_err());
+    }
+}

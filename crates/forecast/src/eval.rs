@@ -1,0 +1,185 @@
+//! Rolling-origin forecast evaluation (the Table 5 protocol).
+//!
+//! For every origin `t` in the test region (stepped by `stride`), the model
+//! sees data up to `t` and predicts `t+1 … t+h`; errors are pooled over all
+//! origins and horizon steps. Online methods absorb each point exactly
+//! once; batch methods absorb points via [`crate::traits::Forecaster::observe`]
+//! and may be refit periodically.
+
+use crate::traits::{Forecaster, OnlineForecaster};
+use std::time::{Duration, Instant};
+use tskit::error::Result;
+
+/// Outcome of one (method, horizon) evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Method name.
+    pub method: String,
+    /// Forecast horizon evaluated.
+    pub horizon: usize,
+    /// Pooled mean absolute error.
+    pub mae: f64,
+    /// Pooled symmetric MAPE.
+    pub smape: f64,
+    /// Number of forecast origins evaluated.
+    pub windows: usize,
+    /// Wall-clock time spent (fit + rolling forecasts).
+    pub elapsed: Duration,
+}
+
+/// Evaluates an [`OnlineForecaster`]: init on `values[..init_end]`, then
+/// stream through the test region, forecasting every `stride` points.
+pub fn evaluate_online<F: OnlineForecaster + ?Sized>(
+    f: &mut F,
+    values: &[f64],
+    period: usize,
+    init_end: usize,
+    test_start: usize,
+    horizon: usize,
+    stride: usize,
+) -> Result<EvalReport> {
+    assert!(init_end <= test_start && test_start < values.len(), "invalid split");
+    let start = Instant::now();
+    f.init(&values[..init_end], period)?;
+    for &v in &values[init_end..test_start] {
+        f.observe(v);
+    }
+    let mut abs_err = 0.0;
+    let mut smape_sum = 0.0;
+    let mut count = 0usize;
+    let mut windows = 0usize;
+    let stride = stride.max(1);
+    let mut t = test_start;
+    while t + horizon <= values.len() {
+        let pred = f.forecast(horizon);
+        for (i, &p) in pred.iter().enumerate() {
+            let truth = values[t + i];
+            abs_err += (truth - p).abs();
+            smape_sum += 2.0 * (truth - p).abs() / (truth.abs() + p.abs()).max(1e-12);
+            count += 1;
+        }
+        windows += 1;
+        for &v in &values[t..(t + stride).min(values.len())] {
+            f.observe(v);
+        }
+        t += stride;
+    }
+    Ok(EvalReport {
+        method: f.name(),
+        horizon,
+        mae: if count > 0 { abs_err / count as f64 } else { 0.0 },
+        smape: if count > 0 { smape_sum / count as f64 } else { 0.0 },
+        windows,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Evaluates a batch [`Forecaster`]: fit on `values[..test_start]`, then
+/// roll through the test region absorbing points via `observe`, refitting
+/// every `refit_every` origins (0 = never refit).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_forecaster<F: Forecaster + ?Sized>(
+    f: &mut F,
+    values: &[f64],
+    period: usize,
+    test_start: usize,
+    horizon: usize,
+    stride: usize,
+    refit_every: usize,
+) -> Result<EvalReport> {
+    assert!(test_start < values.len(), "invalid split");
+    let start = Instant::now();
+    f.fit(&values[..test_start], period)?;
+    let mut abs_err = 0.0;
+    let mut smape_sum = 0.0;
+    let mut count = 0usize;
+    let mut windows = 0usize;
+    let stride = stride.max(1);
+    let mut t = test_start;
+    while t + horizon <= values.len() {
+        if refit_every > 0 && windows > 0 && windows.is_multiple_of(refit_every) {
+            f.fit(&values[..t], period)?;
+        }
+        let pred = f.forecast(horizon);
+        for (i, &p) in pred.iter().enumerate() {
+            let truth = values[t + i];
+            abs_err += (truth - p).abs();
+            smape_sum += 2.0 * (truth - p).abs() / (truth.abs() + p.abs()).max(1e-12);
+            count += 1;
+        }
+        windows += 1;
+        for &v in &values[t..(t + stride).min(values.len())] {
+            f.observe(v);
+        }
+        t += stride;
+    }
+    Ok(EvalReport {
+        method: f.name(),
+        horizon,
+        mae: if count > 0 { abs_err / count as f64 } else { 0.0 },
+        smape: if count > 0 { smape_sum / count as f64 } else { 0.0 },
+        windows,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{Naive, SeasonalNaive};
+    use crate::std_forecast::StdOnlineForecaster;
+    use oneshotstl::{OneShotStl, OneShotStlConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seasonal(n: usize, t: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.05 * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seasonal_naive_beats_naive_on_seasonal_data() {
+        let t = 24;
+        let y = seasonal(1000, t, 1);
+        let mut naive = Naive::default();
+        let r_naive =
+            evaluate_forecaster(&mut naive, &y, t, 800, t, t, 0).unwrap();
+        let mut snaive = SeasonalNaive::default();
+        let r_snaive =
+            evaluate_forecaster(&mut snaive, &y, t, 800, t, t, 0).unwrap();
+        assert!(
+            r_snaive.mae < 0.5 * r_naive.mae,
+            "seasonal naive {} vs naive {}",
+            r_snaive.mae,
+            r_naive.mae
+        );
+        assert!(r_snaive.windows > 0);
+    }
+
+    #[test]
+    fn online_eval_runs_oneshotstl() {
+        let t = 24;
+        let y = seasonal(1000, t, 2);
+        let mut f = StdOnlineForecaster::new(
+            "OneShotSTL",
+            OneShotStl::new(OneShotStlConfig::default()),
+        );
+        let r = evaluate_online(&mut f, &y, t, 4 * t, 800, t, t / 2).unwrap();
+        assert!(r.mae < 0.2, "OneShotSTL rolling MAE {}", r.mae);
+        assert!(r.windows >= 5);
+        assert_eq!(r.method, "OneShotSTL");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split")]
+    fn bad_split_panics() {
+        let y = vec![0.0; 10];
+        let mut f = Naive::default();
+        let _ = evaluate_forecaster(&mut f, &y, 1, 20, 2, 1, 0);
+    }
+}

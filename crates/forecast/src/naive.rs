@@ -1,0 +1,136 @@
+//! Naive forecasting baselines (floors for Table 5).
+
+use crate::traits::Forecaster;
+use tskit::error::{Result, TsError};
+
+/// Predicts the last observed value for every horizon step.
+#[derive(Debug, Clone, Default)]
+pub struct Naive {
+    last: f64,
+}
+
+impl Forecaster for Naive {
+    fn name(&self) -> String {
+        "Naive".into()
+    }
+
+    fn fit(&mut self, history: &[f64], _period: usize) -> Result<()> {
+        self.last = *history.last().ok_or(TsError::TooShort {
+            what: "naive history",
+            need: 1,
+            got: 0,
+        })?;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        vec![self.last; horizon]
+    }
+
+    fn observe(&mut self, y: f64) {
+        self.last = y;
+    }
+}
+
+/// Repeats the last full seasonal cycle.
+#[derive(Debug, Clone, Default)]
+pub struct SeasonalNaive {
+    cycle: Vec<f64>,
+    pos: usize,
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> String {
+        "SeasonalNaive".into()
+    }
+
+    fn fit(&mut self, history: &[f64], period: usize) -> Result<()> {
+        if period < 1 || history.len() < period {
+            return Err(TsError::TooShort {
+                what: "seasonal-naive history",
+                need: period.max(1),
+                got: history.len(),
+            });
+        }
+        self.cycle = history[history.len() - period..].to_vec();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let t = self.cycle.len();
+        (0..horizon).map(|i| self.cycle[(self.pos + i) % t]).collect()
+    }
+
+    fn observe(&mut self, y: f64) {
+        if self.cycle.is_empty() {
+            return;
+        }
+        let t = self.cycle.len();
+        self.cycle[self.pos % t] = y;
+        self.pos = (self.pos + 1) % t;
+    }
+}
+
+/// Extends the line through the first and last observations.
+#[derive(Debug, Clone, Default)]
+pub struct Drift {
+    last: f64,
+    slope: f64,
+}
+
+impl Forecaster for Drift {
+    fn name(&self) -> String {
+        "Drift".into()
+    }
+
+    fn fit(&mut self, history: &[f64], _period: usize) -> Result<()> {
+        if history.len() < 2 {
+            return Err(TsError::TooShort { what: "drift history", need: 2, got: history.len() });
+        }
+        self.last = *history.last().expect("non-empty");
+        self.slope = (self.last - history[0]) / (history.len() - 1) as f64;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (1..=horizon).map(|i| self.last + self.slope * i as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_repeats_last() {
+        let mut f = Naive::default();
+        f.fit(&[1.0, 5.0], 1).unwrap();
+        assert_eq!(f.forecast(3), vec![5.0; 3]);
+        assert!(Naive::default().fit(&[], 1).is_err());
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_cycle() {
+        let mut f = SeasonalNaive::default();
+        f.fit(&[9.0, 1.0, 2.0, 3.0], 3).unwrap();
+        assert_eq!(f.forecast(5), vec![1.0, 2.0, 3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_observe_rolls_forward() {
+        let mut f = SeasonalNaive::default();
+        f.fit(&[1.0, 2.0, 3.0], 3).unwrap();
+        f.observe(10.0); // replaces phase 0
+        assert_eq!(f.forecast(3), vec![2.0, 3.0, 10.0]);
+    }
+
+    #[test]
+    fn drift_extrapolates_line() {
+        let mut f = Drift::default();
+        f.fit(&[0.0, 1.0, 2.0, 3.0], 1).unwrap();
+        let p = f.forecast(2);
+        assert!((p[0] - 4.0).abs() < 1e-12);
+        assert!((p[1] - 5.0).abs() < 1e-12);
+    }
+}

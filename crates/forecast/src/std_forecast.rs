@@ -1,0 +1,95 @@
+//! STD-based forecasting (paper §4): wrap an online decomposer, keep the
+//! newest trend value and one period of seasonal values, and predict
+//! `ŷ_{t+i} = τ_{t−1} + v[(t+i) mod T]`.
+//!
+//! This is the `OneShotSTL` / `OnlineSTL` entry of Table 5 — its striking
+//! property is the **~0.3 s total runtime** against hours for the deep
+//! baselines, with competitive MAE on strongly seasonal data.
+
+use crate::traits::OnlineForecaster;
+use decomp::traits::OnlineDecomposer;
+use oneshotstl::StdForecaster;
+use tskit::error::Result;
+
+/// Adapter turning any [`OnlineDecomposer`] into an [`OnlineForecaster`].
+pub struct StdOnlineForecaster<D: OnlineDecomposer> {
+    inner: StdForecaster<D>,
+    label: String,
+}
+
+impl<D: OnlineDecomposer> StdOnlineForecaster<D> {
+    /// Wraps a decomposer under the given display name.
+    pub fn new(label: impl Into<String>, decomposer: D) -> Self {
+        StdOnlineForecaster { inner: StdForecaster::new(decomposer), label: label.into() }
+    }
+}
+
+impl<D: OnlineDecomposer> OnlineForecaster for StdOnlineForecaster<D> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn init(&mut self, history: &[f64], period: usize) -> Result<()> {
+        self.inner.init(history, period)
+    }
+
+    fn observe(&mut self, y: f64) {
+        self.inner.observe(y);
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        self.inner.predict_horizon(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decomp::OnlineStl;
+    use oneshotstl::{OneShotStl, OneShotStlConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seasonal(n: usize, t: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.05 * rng.gen_range(-1.0..1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oneshot_forecaster_tracks_season() {
+        let t = 24;
+        let y = seasonal(800, t, 1);
+        let mut f = StdOnlineForecaster::new(
+            "OneShotSTL",
+            OneShotStl::new(OneShotStlConfig::default()),
+        );
+        f.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..700] {
+            f.observe(v);
+        }
+        let pred = f.forecast(t);
+        let truth = &y[700..700 + t];
+        let err = tskit::stats::mae(&pred, truth);
+        assert!(err < 0.15, "OneShotSTL forecast MAE {err}");
+    }
+
+    #[test]
+    fn onlinestl_forecaster_also_works() {
+        let t = 24;
+        let y = seasonal(800, t, 2);
+        let mut f = StdOnlineForecaster::new("OnlineSTL", OnlineStl::new());
+        f.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..700] {
+            f.observe(v);
+        }
+        let pred = f.forecast(t);
+        let truth = &y[700..700 + t];
+        let err = tskit::stats::mae(&pred, truth);
+        assert!(err < 0.3, "OnlineSTL forecast MAE {err}");
+    }
+}

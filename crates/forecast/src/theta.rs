@@ -1,0 +1,149 @@
+//! The Theta method (Assimakopoulos & Nikolopoulos 2000) — the M3
+//! competition winner, equivalent to SES with drift on the θ=2 line,
+//! applied to seasonally adjusted data.
+
+use crate::ets::Ses;
+use crate::traits::Forecaster;
+use tskit::error::{Result, TsError};
+
+/// Theta forecaster with additive seasonal adjustment.
+#[derive(Debug, Clone, Default)]
+pub struct Theta {
+    ses: Ses,
+    drift: f64,
+    season: Vec<f64>,
+    pos: usize,
+    seasonal: bool,
+}
+
+impl Forecaster for Theta {
+    fn name(&self) -> String {
+        "Theta".into()
+    }
+
+    fn fit(&mut self, history: &[f64], period: usize) -> Result<()> {
+        let n = history.len();
+        if n < 4 {
+            return Err(TsError::TooShort { what: "Theta history", need: 4, got: n });
+        }
+        // additive seasonal adjustment when the data is seasonal enough
+        self.seasonal = period >= 2
+            && n >= 3 * period
+            && tskit::stats::seasonal_strength(history, period) > 0.3;
+        let (adjusted, season) = if self.seasonal {
+            let trend = tskit::smooth::centered_moving_average(history, period);
+            let mut phase_sum = vec![0.0; period];
+            let mut phase_cnt = vec![0usize; period];
+            for i in 0..n {
+                phase_sum[i % period] += history[i] - trend[i];
+                phase_cnt[i % period] += 1;
+            }
+            let season: Vec<f64> = phase_sum
+                .iter()
+                .zip(&phase_cnt)
+                .map(|(s, &c)| s / c.max(1) as f64)
+                .collect();
+            let adjusted: Vec<f64> =
+                (0..n).map(|i| history[i] - season[i % period]).collect();
+            (adjusted, season)
+        } else {
+            (history.to_vec(), Vec::new())
+        };
+        // θ = 0 line: linear regression slope (the drift term, halved)
+        let xbar = (n - 1) as f64 / 2.0;
+        let ybar = tskit::stats::mean(&adjusted);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &y) in adjusted.iter().enumerate() {
+            num += (i as f64 - xbar) * (y - ybar);
+            den += (i as f64 - xbar) * (i as f64 - xbar);
+        }
+        let slope = if den > 0.0 { num / den } else { 0.0 };
+        self.drift = slope / 2.0;
+        // θ = 2 line smoothed by SES
+        self.ses = Ses::default();
+        self.ses.fit(&adjusted, 1)?;
+        self.season = season;
+        self.pos = n % period.max(1);
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let base = self.ses.forecast(horizon);
+        (0..horizon)
+            .map(|i| {
+                let mut v = base[i] + self.drift * (i + 1) as f64;
+                if self.seasonal && !self.season.is_empty() {
+                    v += self.season[(self.pos + i) % self.season.len()];
+                }
+                v
+            })
+            .collect()
+    }
+
+    fn observe(&mut self, y: f64) {
+        let adj = if self.seasonal && !self.season.is_empty() {
+            let s = self.season[self.pos % self.season.len()];
+            self.pos = (self.pos + 1) % self.season.len();
+            y - s
+        } else {
+            y
+        };
+        self.ses.observe(adj);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_trend_with_drift() {
+        let y: Vec<f64> = (0..100).map(|i| 1.0 + 0.5 * i as f64).collect();
+        let mut f = Theta::default();
+        f.fit(&y, 1).unwrap();
+        let p = f.forecast(4);
+        // theta forecast grows with half the regression slope + SES level
+        assert!(p[3] > p[0], "must trend upward: {p:?}");
+        assert!(p[0] > 45.0, "level should be near the end of history: {}", p[0]);
+    }
+
+    #[test]
+    fn seasonal_adjustment_kicks_in() {
+        let t = 12;
+        let y: Vec<f64> = (0..20 * t)
+            .map(|i| 3.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut f = Theta::default();
+        f.fit(&y, t).unwrap();
+        assert!(f.seasonal);
+        let pred = f.forecast(t);
+        let truth: Vec<f64> = (20 * t..21 * t)
+            .map(|i| 3.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let err = tskit::stats::mae(&pred, &truth);
+        assert!(err < 0.5, "seasonal Theta MAE {err}");
+    }
+
+    #[test]
+    fn non_seasonal_data_skips_adjustment() {
+        // white noise via xorshift (no spurious periodicity)
+        let mut st = 0x1234_5678_9ABC_DEFu64;
+        let y: Vec<f64> = (0..200)
+            .map(|_| {
+                st ^= st << 13;
+                st ^= st >> 7;
+                st ^= st << 17;
+                (st >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let mut f = Theta::default();
+        f.fit(&y, 12).unwrap();
+        assert!(!f.seasonal);
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(Theta::default().fit(&[1.0, 2.0], 1).is_err());
+    }
+}

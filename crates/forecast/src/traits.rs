@@ -1,0 +1,69 @@
+//! Forecaster interfaces used by the Table 5 harness.
+
+use tskit::error::Result;
+
+/// A batch forecaster: fit on history, then predict a fixed horizon from
+/// the end of that history.
+pub trait Forecaster {
+    /// Method name as printed in result tables.
+    fn name(&self) -> String;
+
+    /// Fits on the training history (chronological).
+    fn fit(&mut self, history: &[f64], period: usize) -> Result<()>;
+
+    /// Predicts the next `horizon` values after the fitted history.
+    fn forecast(&self, horizon: usize) -> Vec<f64>;
+
+    /// Optionally absorbs one new observation without a full refit
+    /// (default: refit-free models override; others ignore and keep their
+    /// fit — the rolling evaluation refits periodically instead).
+    fn observe(&mut self, _y: f64) {}
+}
+
+/// An online forecaster in the paper's §4 sense: processes every arriving
+/// point with an `O(1)`-ish update and can predict any horizon at any time.
+pub trait OnlineForecaster {
+    /// Method name as printed in result tables.
+    fn name(&self) -> String;
+
+    /// One-time initialization on a history prefix.
+    fn init(&mut self, history: &[f64], period: usize) -> Result<()>;
+
+    /// Absorbs one arriving observation.
+    fn observe(&mut self, y: f64);
+
+    /// Predicts the next `horizon` values from the current position.
+    fn forecast(&self, horizon: usize) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Last(f64);
+
+    impl Forecaster for Last {
+        fn name(&self) -> String {
+            "last".into()
+        }
+        fn fit(&mut self, history: &[f64], _period: usize) -> Result<()> {
+            self.0 = *history.last().unwrap_or(&0.0);
+            Ok(())
+        }
+        fn forecast(&self, horizon: usize) -> Vec<f64> {
+            vec![self.0; horizon]
+        }
+        fn observe(&mut self, y: f64) {
+            self.0 = y;
+        }
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let mut f: Box<dyn Forecaster> = Box::new(Last(0.0));
+        f.fit(&[1.0, 2.0, 3.0], 1).unwrap();
+        assert_eq!(f.forecast(2), vec![3.0, 3.0]);
+        f.observe(9.0);
+        assert_eq!(f.forecast(1), vec![9.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Threshold-free classification metrics over anomaly scores.
+
+/// ROC-AUC via the rank statistic (Mann–Whitney U), with midrank handling
+/// for tied scores. Supports fractional label weights in `[0, 1]` — the
+/// generalization needed by VUS-ROC's soft labels. Returns 0.5 when either
+/// class is (effectively) empty.
+pub fn weighted_roc_auc(scores: &[f64], label_weights: &[f64]) -> f64 {
+    assert_eq!(scores.len(), label_weights.len(), "roc_auc: length mismatch");
+    let n = scores.len();
+    if n == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // midranks
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = mid;
+        }
+        i = j + 1;
+    }
+    let w_pos: f64 = label_weights.iter().sum();
+    let w_neg: f64 = label_weights.iter().map(|w| 1.0 - w).sum();
+    if w_pos <= 1e-12 || w_neg <= 1e-12 {
+        return 0.5;
+    }
+    // Weighted Mann–Whitney: each (pos, neg) pair contributes its weight
+    // product; with midranks this reduces to the weighted rank-sum formula.
+    let rank_sum_pos: f64 =
+        (0..n).map(|k| label_weights[k] * ranks[k]).sum();
+    // expected rank sum contributed by positive-vs-positive pairs
+    // (generalized: pairs weighted w_i * w_j). Compute via the identity
+    // U = Σ_i w_i R_i − Σ_{i≤j pos pairs} ... — use the direct O(n log n)
+    // prefix formulation instead for exactness with fractional weights.
+    let _ = rank_sum_pos;
+    // Direct pass over the sorted order with prefix sums of weights.
+    let mut auc = 0.0;
+    let mut neg_below = 0.0; // total negative weight with strictly smaller score
+    let mut k = 0;
+    while k < n {
+        let mut j = k;
+        let mut pos_here = 0.0;
+        let mut neg_here = 0.0;
+        while j < n && scores[idx[j]] == scores[idx[k]] {
+            pos_here += label_weights[idx[j]];
+            neg_here += 1.0 - label_weights[idx[j]];
+            j += 1;
+        }
+        // positives in this tie group: beat all negatives below, tie with
+        // the ones at the same score
+        auc += pos_here * (neg_below + 0.5 * neg_here);
+        neg_below += neg_here;
+        k = j;
+    }
+    auc / (w_pos * w_neg)
+}
+
+/// Standard ROC-AUC for boolean labels.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    let w: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+    weighted_roc_auc(scores, &w)
+}
+
+/// Area under the precision-recall curve (step-wise interpolation),
+/// boolean labels. Returns the positive rate when scores are all equal.
+pub fn pr_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "pr_auc: length mismatch");
+    let n = scores.len();
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if n == 0 || total_pos == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && scores[idx[j]] == scores[idx[i]] {
+            if labels[idx[j]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            j += 1;
+        }
+        let recall = tp as f64 / total_pos as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        auc += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        i = j;
+    }
+    auc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_one() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_separation_gives_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert!(roc_auc(&scores, &labels) < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_give_half() {
+        // alternating identical scores: AUC must be 0.5 by tie handling
+        let scores = vec![1.0; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_give_half() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn matches_hand_computed_example() {
+        // scores: pos {3, 1}, neg {2, 0}: pairs (3>2, 3>0, 1<2, 1>0) = 3/4
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_labels_interpolate() {
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let hard = [1.0, 1.0, 0.0, 0.0];
+        let soft = [1.0, 0.5, 0.0, 0.0];
+        let a_hard = weighted_roc_auc(&scores, &hard);
+        let a_soft = weighted_roc_auc(&scores, &soft);
+        // halving the weight of the misranked positive raises the AUC
+        assert!(a_soft > a_hard);
+        assert!(a_soft <= 1.0);
+    }
+
+    #[test]
+    fn pr_auc_prefers_early_precision() {
+        // one positive ranked first vs ranked last among 5
+        let labels = [true, false, false, false, false];
+        let early = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let late = [1.0, 4.0, 3.0, 2.0, 5.0];
+        assert!(pr_auc(&early, &labels) > pr_auc(&late, &labels));
+    }
+}

@@ -1,0 +1,76 @@
+//! The KDD CUP 2021 scoring rule (paper Table 4).
+//!
+//! Each series has exactly one labelled anomaly event; a method scores 1 on
+//! a series iff the *single highest-scored point* falls within a
+//! neighbourhood of the labelled event, and the reported score is the
+//! fraction of series solved.
+
+/// Per-series verdict: is the argmax of `scores` within `tolerance` points
+/// of any labelled anomaly?
+pub fn kdd21_hit(scores: &[f64], labels: &[bool], tolerance: usize) -> bool {
+    assert_eq!(scores.len(), labels.len(), "kdd21_hit: length mismatch");
+    let Some(best) = tskit::stats::argmax(scores) else {
+        return false;
+    };
+    let lo = best.saturating_sub(tolerance);
+    let hi = (best + tolerance).min(labels.len().saturating_sub(1));
+    labels[lo..=hi].iter().any(|&b| b)
+}
+
+/// Fraction of `(scores, labels)` series where the top-1 point hits the
+/// anomaly neighbourhood (the KDD21 competition accuracy).
+pub fn kdd21_score(series: &[(Vec<f64>, Vec<bool>)], tolerance: usize) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let hits = series
+        .iter()
+        .filter(|(scores, labels)| kdd21_hit(scores, labels, tolerance))
+        .count();
+    hits as f64 / series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hit_counts() {
+        let mut labels = vec![false; 100];
+        labels[40] = true;
+        let mut scores = vec![0.0; 100];
+        scores[40] = 9.0;
+        assert!(kdd21_hit(&scores, &labels, 0));
+    }
+
+    #[test]
+    fn near_hit_within_tolerance() {
+        let mut labels = vec![false; 100];
+        labels[40] = true;
+        let mut scores = vec![0.0; 100];
+        scores[45] = 9.0;
+        assert!(!kdd21_hit(&scores, &labels, 3));
+        assert!(kdd21_hit(&scores, &labels, 5));
+    }
+
+    #[test]
+    fn aggregate_score_is_fraction() {
+        let mut l1 = vec![false; 10];
+        l1[5] = true;
+        let mut s_hit = vec![0.0; 10];
+        s_hit[5] = 1.0;
+        let mut s_miss = vec![0.0; 10];
+        s_miss[0] = 1.0;
+        let series = vec![(s_hit, l1.clone()), (s_miss, l1)];
+        assert!((kdd21_score(&series, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(kdd21_score(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn boundary_tolerance_does_not_overflow() {
+        let mut labels = vec![false; 5];
+        labels[4] = true;
+        let scores = vec![0.0, 0.0, 0.0, 0.0, 1.0];
+        assert!(kdd21_hit(&scores, &labels, 100));
+    }
+}

@@ -1,0 +1,24 @@
+//! # tsmetrics — evaluation metrics for the OneShotSTL reproduction
+//!
+//! - [`decomp`]: component-wise MAE against ground truth (Table 2).
+//! - [`classify`]: ROC-AUC / PR-AUC on anomaly scores.
+//! - [`vus`]: VUS-ROC (Paparrizos et al., VLDB 2022) — the headline TSAD
+//!   metric of Table 3.
+//! - [`kdd`]: the KDD CUP 2021 top-1 scoring rule (Table 4).
+//! - [`tsf`]: forecasting errors (Table 5).
+//! - [`rank`]: per-row rankings and average ranks, as printed in the
+//!   paper's tables.
+
+pub mod classify;
+pub mod decomp;
+pub mod kdd;
+pub mod rank;
+pub mod tsf;
+pub mod vus;
+
+pub use classify::{pr_auc, roc_auc};
+pub use decomp::DecompErrors;
+pub use kdd::kdd21_score;
+pub use rank::{average_ranks, rank_row};
+pub use tsf::{horizon_mae, mae, mse, smape};
+pub use vus::{range_auc_roc, vus_roc};

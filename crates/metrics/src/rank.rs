@@ -1,0 +1,79 @@
+//! Rankings and rank aggregation, as shown in the paper's result tables
+//! (each cell carries the method's rank on that row; the last rows report
+//! average metric and average rank).
+
+/// Ranks one row of metric values: rank 1 = best. `higher_is_better`
+/// selects the direction. Ties share the smaller rank (competition
+/// ranking), matching how the paper brackets equal scores.
+pub fn rank_row(values: &[f64], higher_is_better: bool) -> Vec<usize> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        let ord = values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal);
+        if higher_is_better {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    let mut ranks = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        for k in i..=j {
+            ranks[idx[k]] = i + 1;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Average rank per method across many rows (each row = one dataset).
+pub fn average_ranks(rows: &[Vec<f64>], higher_is_better: bool) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let m = rows[0].len();
+    let mut sums = vec![0.0; m];
+    for row in rows {
+        assert_eq!(row.len(), m, "average_ranks: ragged rows");
+        for (s, r) in sums.iter_mut().zip(rank_row(row, higher_is_better)) {
+            *s += r as f64;
+        }
+    }
+    sums.iter().map(|s| s / rows.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_higher_better() {
+        let r = rank_row(&[0.9, 0.7, 0.8], true);
+        assert_eq!(r, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn ranks_lower_better() {
+        let r = rank_row(&[0.9, 0.7, 0.8], false);
+        assert_eq!(r, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn ties_share_rank() {
+        let r = rank_row(&[0.5, 0.5, 0.1], true);
+        assert_eq!(r, vec![1, 1, 3]);
+    }
+
+    #[test]
+    fn average_over_rows() {
+        let rows = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
+        let avg = average_ranks(&rows, true);
+        assert_eq!(avg, vec![1.5, 1.5]);
+        assert!(average_ranks(&[], true).is_empty());
+    }
+}

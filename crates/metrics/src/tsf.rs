@@ -1,0 +1,60 @@
+//! Forecasting error metrics (paper Table 5 reports MAE).
+
+pub use tskit::stats::{mae, mse};
+
+/// Symmetric mean absolute percentage error in `[0, 2]`.
+pub fn smape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "smape: length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (a, p) in actual.iter().zip(predicted) {
+        let denom = (a.abs() + p.abs()).max(1e-12);
+        total += 2.0 * (a - p).abs() / denom;
+    }
+    total / actual.len() as f64
+}
+
+/// MAE of a rolling-origin evaluation: `windows` holds
+/// `(truth, prediction)` pairs for each forecast origin; all horizons are
+/// pooled, matching the Informer-benchmark protocol.
+pub fn horizon_mae(windows: &[(Vec<f64>, Vec<f64>)]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (truth, pred) in windows {
+        assert_eq!(truth.len(), pred.len(), "horizon_mae: window length mismatch");
+        for (t, p) in truth.iter().zip(pred) {
+            total += (t - p).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smape_bounds_and_zero() {
+        assert_eq!(smape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // completely opposite signs saturate at 2
+        let s = smape(&[1.0], &[-1.0]);
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizon_mae_pools_windows() {
+        let w = vec![
+            (vec![1.0, 2.0], vec![1.0, 3.0]), // errors 0, 1
+            (vec![0.0], vec![2.0]),           // error 2
+        ];
+        assert!((horizon_mae(&w) - 1.0).abs() < 1e-12);
+        assert_eq!(horizon_mae(&[]), 0.0);
+    }
+}

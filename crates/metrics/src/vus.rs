@@ -1,0 +1,151 @@
+//! VUS-ROC: Volume Under the ROC Surface (Paparrizos et al., VLDB 2022).
+//!
+//! The paper's Table 3 metric. Point-wise TSAD metrics punish small
+//! misalignments between a detector's peak and the labelled region; VUS
+//! fixes this by (a) widening each labelled anomaly with a *buffer region*
+//! of length `l` whose labels decay continuously from 1 to 0
+//! (`R-AUC-ROC_l`), and (b) integrating the resulting AUC over a range of
+//! buffer lengths `l = 0..L` so the metric is parameter-free. The soft
+//! labels are handled by the weighted ROC-AUC in [`crate::classify`].
+
+use crate::classify::weighted_roc_auc;
+
+/// Builds the soft label curve for buffer length `l`: inside a labelled
+/// anomaly the weight is 1; within `l` points of an anomaly border it
+/// decays as `sqrt(1 − d/l)` (the VUS paper's choice); elsewhere 0.
+pub fn soft_labels(labels: &[bool], l: usize) -> Vec<f64> {
+    let n = labels.len();
+    let mut w: Vec<f64> = labels.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    if l == 0 {
+        return w;
+    }
+    // distance to the nearest labelled point (two sweeps)
+    let big = usize::MAX / 2;
+    let mut dist = vec![big; n];
+    for i in 0..n {
+        if labels[i] {
+            dist[i] = 0;
+        } else if i > 0 && dist[i - 1] < big {
+            dist[i] = dist[i - 1] + 1;
+        }
+    }
+    for i in (0..n).rev() {
+        if i + 1 < n && dist[i + 1] < big {
+            dist[i] = dist[i].min(dist[i + 1] + 1);
+        }
+    }
+    for i in 0..n {
+        if !labels[i] && dist[i] <= l {
+            let frac = 1.0 - dist[i] as f64 / (l + 1) as f64;
+            w[i] = frac.sqrt();
+        }
+    }
+    w
+}
+
+/// `R-AUC-ROC_l`: ROC-AUC with the buffered soft labels of width `l`.
+pub fn range_auc_roc(scores: &[f64], labels: &[bool], l: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "range_auc_roc: length mismatch");
+    let w = soft_labels(labels, l);
+    weighted_roc_auc(scores, &w)
+}
+
+/// VUS-ROC: mean of `R-AUC-ROC_l` over `l = 0, step, 2·step, …, max_l`.
+/// The TSB-UAD convention sets `max_l` to the series' seasonal period
+/// (or a fixed sliding-window length); `steps` controls the grid
+/// resolution (the reference implementation uses `2·step` granularity).
+pub fn vus_roc(scores: &[f64], labels: &[bool], max_l: usize, steps: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "vus_roc: length mismatch");
+    if scores.is_empty() {
+        return 0.5;
+    }
+    let steps = steps.max(1);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for k in 0..=steps {
+        let l = max_l * k / steps;
+        total += range_auc_roc(scores, labels, l);
+        count += 1;
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_labels_decay_to_zero() {
+        let mut labels = vec![false; 21];
+        labels[10] = true;
+        let w = soft_labels(&labels, 4);
+        assert_eq!(w[10], 1.0);
+        assert!(w[11] > w[12] && w[12] > w[13] && w[13] > w[14]);
+        assert!(w[14] > 0.0);
+        assert_eq!(w[15], 0.0);
+        // symmetric
+        assert!((w[9] - w[11]).abs() < 1e-12);
+        // l = 0 keeps hard labels
+        let hard = soft_labels(&labels, 0);
+        assert_eq!(hard[9], 0.0);
+    }
+
+    #[test]
+    fn vus_rewards_near_miss_more_than_far_miss() {
+        // anomaly at 50; detector A peaks at 52 (near), B at 80 (far)
+        let n = 100;
+        let mut labels = vec![false; n];
+        labels[50] = true;
+        let mut near = vec![0.0; n];
+        near[52] = 1.0;
+        let mut far = vec![0.0; n];
+        far[80] = 1.0;
+        let v_near = vus_roc(&near, &labels, 10, 5);
+        let v_far = vus_roc(&far, &labels, 10, 5);
+        assert!(
+            v_near > v_far,
+            "near miss ({v_near}) must outscore far miss ({v_far})"
+        );
+    }
+
+    #[test]
+    fn perfect_detector_close_to_one() {
+        // a detector whose scores peak on the anomaly and decay smoothly
+        // around it dominates every soft-label grid point
+        let n = 200;
+        let labels: Vec<bool> = (0..n).map(|i| (60..70).contains(&i)).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = if i < 60 {
+                    60 - i
+                } else if i >= 70 {
+                    i - 69
+                } else {
+                    0
+                };
+                (1.0 - d as f64 / 40.0).max(0.0)
+            })
+            .collect();
+        let v = vus_roc(&scores, &labels, 20, 10);
+        assert!(v > 0.95, "VUS {v}");
+        // a hard rectangular detector is strictly worse under VUS because
+        // it ties with the negatives throughout the buffer zone
+        let hard: Vec<f64> =
+            (0..n).map(|i| if (60..70).contains(&i) { 1.0 } else { 0.0 }).collect();
+        let v_hard = vus_roc(&hard, &labels, 20, 10);
+        assert!(v_hard < v, "smooth {v} should beat hard {v_hard}");
+    }
+
+    #[test]
+    fn constant_scores_give_half() {
+        let labels: Vec<bool> = (0..50).map(|i| i == 25).collect();
+        let scores = vec![1.0; 50];
+        let v = vus_roc(&scores, &labels, 10, 5);
+        assert!((v - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_neutral() {
+        assert_eq!(vus_roc(&[], &[], 10, 5), 0.5);
+    }
+}

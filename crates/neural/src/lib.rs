@@ -1,0 +1,37 @@
+//! # neural — minimal learned-baseline substrate
+//!
+//! The paper compares OneShotSTL against GPU-trained deep models (LSTM,
+//! USAD, TranAD for TSAD; NBEATS, DeepAR, FiLM/FEDformer/Informer for
+//! TSF). Re-implementing transformer stacks is out of scope for a CPU
+//! library, but the evaluation still needs *representative learned
+//! baselines* — so this crate provides a small, dependency-free neural
+//! substrate (dense layers, activations, Adam) and faithful-in-scheme
+//! implementations of the implementable baselines (see DESIGN.md §4 for
+//! the substitution table):
+//!
+//! - [`nn`]: dense layers, activations, Adam, MLPs with manual backprop.
+//! - [`windows`]: sliding-window dataset construction.
+//! - [`mlp_forecast`]: window-MLP forecaster (LSTM-AD stand-in for TSAD).
+//! - [`usad`]: USAD's two-decoder adversarial autoencoder scheme
+//!   (Audibert et al., KDD 2020) on MLP encoders.
+//! - [`tranad`]: TranAD's two-phase self-conditioning reconstruction
+//!   (attention-free variant).
+//! - [`nbeats`]: N-BEATS doubly-residual stacks with generic basis
+//!   (Oreshkin et al., ICLR 2020).
+//! - [`deepar`]: DeepAR-style autoregressive Gaussian-head forecaster
+//!   trained by NLL (MLP conditioning instead of an RNN).
+
+pub mod deepar;
+pub mod mlp_forecast;
+pub mod nbeats;
+pub mod nn;
+pub mod tranad;
+pub mod usad;
+pub mod windows;
+
+pub use deepar::DeepArLite;
+pub use mlp_forecast::MlpForecaster;
+pub use nbeats::NBeats;
+pub use nn::{Activation, Dense, Mlp};
+pub use tranad::TranAdLite;
+pub use usad::Usad;

@@ -1,0 +1,122 @@
+//! Window-MLP one-step forecaster — the LSTM-AD stand-in (DESIGN.md §4).
+//!
+//! LSTM-based TSAD (Park et al. 2018, the paper's "LSTM" row) scores each
+//! point by the error of a learned one-step forecast. The recurrent cell is
+//! replaced by a window MLP (same training signal, same scoring rule),
+//! preserving the *scheme* while staying CPU-friendly.
+
+use crate::nn::{Activation, Mlp};
+use crate::windows::{window_next_pairs, Scaler};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One-step-ahead MLP forecaster with prediction-error anomaly scores.
+#[derive(Debug, Clone)]
+pub struct MlpForecaster {
+    /// Input window length.
+    pub window: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+    model: Option<(Mlp, Scaler)>,
+}
+
+impl MlpForecaster {
+    /// Creates an untrained forecaster.
+    pub fn new(window: usize, hidden: usize, epochs: usize, seed: u64) -> Self {
+        MlpForecaster { window, hidden, epochs, lr: 1e-3, seed, model: None }
+    }
+
+    /// Trains on the series (windows with stride 1).
+    pub fn fit(&mut self, train: &[f64]) {
+        let scaler = Scaler::fit(train);
+        let z = scaler.transform(train);
+        let mut pairs = window_next_pairs(&z, self.window, 1);
+        let mut mlp = Mlp::new(
+            &[self.window, self.hidden, 1],
+            &[Activation::Relu, Activation::Identity],
+            self.seed,
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xF17);
+        for _ in 0..self.epochs.max(1) {
+            pairs.shuffle(&mut rng);
+            for (x, y) in &pairs {
+                mlp.train_mse(x, &[*y], self.lr);
+            }
+        }
+        self.model = Some((mlp, scaler));
+    }
+
+    /// Predicts the next value given the last `window` observations
+    /// (original scale).
+    pub fn predict_next(&self, recent: &[f64]) -> f64 {
+        let (mlp, scaler) = self.model.as_ref().expect("fit() before predict");
+        assert_eq!(recent.len(), self.window, "need exactly `window` values");
+        let z = scaler.transform(recent);
+        scaler.unscale(mlp.forward(&z)[0])
+    }
+
+    /// Scores a test stream by absolute one-step prediction error;
+    /// `context` supplies the points immediately before `test`.
+    pub fn score_stream(&self, context: &[f64], test: &[f64]) -> Vec<f64> {
+        assert!(context.len() >= self.window, "context shorter than window");
+        let mut hist: Vec<f64> = context[context.len() - self.window..].to_vec();
+        let mut scores = Vec::with_capacity(test.len());
+        for &y in test {
+            let pred = self.predict_next(&hist);
+            scores.push((y - pred).abs());
+            hist.remove(0);
+            hist.push(y);
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(n: usize, t: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect()
+    }
+
+    #[test]
+    fn learns_to_forecast_sine() {
+        let t = 16;
+        let y = seasonal(600, t);
+        let mut f = MlpForecaster::new(t, 24, 20, 1);
+        f.fit(&y[..400]);
+        let mut err = 0.0;
+        for i in 400..500 {
+            let pred = f.predict_next(&y[i - t..i]);
+            err += (pred - y[i]).abs();
+        }
+        err /= 100.0;
+        assert!(err < 0.12, "one-step MAE {err}");
+    }
+
+    #[test]
+    fn scores_spike_higher_than_normal() {
+        let t = 16;
+        let mut y = seasonal(700, t);
+        y[600] += 3.0;
+        let mut f = MlpForecaster::new(t, 24, 15, 2);
+        f.fit(&y[..500]);
+        let scores = f.score_stream(&y[..500], &y[500..]);
+        let peak = tskit::stats::argmax(&scores).unwrap();
+        assert_eq!(peak + 500, 600, "spike should carry the max error");
+    }
+
+    #[test]
+    #[should_panic(expected = "fit() before predict")]
+    fn predict_before_fit_panics() {
+        let f = MlpForecaster::new(8, 8, 1, 1);
+        f.predict_next(&[0.0; 8]);
+    }
+}

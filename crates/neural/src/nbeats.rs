@@ -1,0 +1,263 @@
+//! N-BEATS (Oreshkin et al., ICLR 2020) with the generic basis.
+//!
+//! Doubly residual stacking: block `k` receives the running residual
+//! `x_k`, produces a backcast `b_k` and a forecast `f_k` from a shared MLP
+//! trunk with two linear heads; then `x_{k+1} = x_k − b_k` and the final
+//! forecast is `Σ_k f_k`. Backpropagation follows both the forecast-sum
+//! path and the residual path through every block.
+
+use crate::nn::{Activation, Dense, Mlp};
+use crate::windows::{window_horizon_pairs, Scaler};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One N-BEATS block: MLP trunk + linear backcast/forecast heads.
+#[derive(Debug, Clone)]
+struct Block {
+    trunk: Mlp,
+    backcast_head: Dense,
+    forecast_head: Dense,
+}
+
+impl Block {
+    fn new(lookback: usize, horizon: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let seed: u64 = rng.gen();
+        Block {
+            trunk: Mlp::new(
+                &[lookback, hidden, hidden],
+                &[Activation::Relu, Activation::Relu],
+                seed,
+            ),
+            backcast_head: Dense::new(hidden, lookback, rng),
+            forecast_head: Dense::new(hidden, horizon, rng),
+        }
+    }
+}
+
+/// The N-BEATS forecaster.
+#[derive(Debug, Clone)]
+pub struct NBeats {
+    /// Lookback window length (input size).
+    pub lookback: usize,
+    /// Forecast horizon (output size).
+    pub horizon: usize,
+    /// Number of residual blocks.
+    pub blocks: usize,
+    /// Hidden width of each block's trunk.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+    model: Option<(Vec<Block>, Scaler)>,
+}
+
+impl NBeats {
+    /// Creates an untrained N-BEATS model.
+    pub fn new(lookback: usize, horizon: usize, seed: u64) -> Self {
+        NBeats {
+            lookback,
+            horizon,
+            blocks: 3,
+            hidden: 32,
+            epochs: 10,
+            lr: 1e-3,
+            seed,
+            model: None,
+        }
+    }
+
+    fn forward_blocks(blocks: &[Block], x: &[f64], horizon: usize) -> Vec<f64> {
+        let mut residual = x.to_vec();
+        let mut forecast = vec![0.0; horizon];
+        let mut tmp = Vec::new();
+        for blk in blocks {
+            let h = blk.trunk.forward(&residual);
+            blk.backcast_head.forward(&h, &mut tmp);
+            for (r, b) in residual.iter_mut().zip(&tmp) {
+                *r -= b;
+            }
+            blk.forecast_head.forward(&h, &mut tmp);
+            for (f, v) in forecast.iter_mut().zip(&tmp) {
+                *f += v;
+            }
+        }
+        forecast
+    }
+
+    /// One training step on a (lookback, horizon) pair; returns the loss.
+    fn train_pair(blocks: &mut [Block], x: &[f64], y: &[f64], _lr: f64, horizon: usize) -> f64 {
+        let k = blocks.len();
+        // forward with caches
+        let mut residuals = Vec::with_capacity(k + 1);
+        residuals.push(x.to_vec());
+        let mut trunk_caches = Vec::with_capacity(k);
+        let mut trunk_outs = Vec::with_capacity(k);
+        let mut backcasts = Vec::with_capacity(k);
+        let mut forecast = vec![0.0; horizon];
+        let mut tmp = Vec::new();
+        for blk in blocks.iter() {
+            let cache = blk.trunk.forward_train(residuals.last().expect("seeded"));
+            let h = cache.output().to_vec();
+            blk.backcast_head.forward(&h, &mut tmp);
+            let backcast = tmp.clone();
+            let next: Vec<f64> = residuals
+                .last()
+                .expect("seeded")
+                .iter()
+                .zip(&backcast)
+                .map(|(r, b)| r - b)
+                .collect();
+            blk.forecast_head.forward(&h, &mut tmp);
+            for (f, v) in forecast.iter_mut().zip(&tmp) {
+                *f += v;
+            }
+            residuals.push(next);
+            trunk_caches.push(cache);
+            trunk_outs.push(h);
+            backcasts.push(backcast);
+        }
+        let n = horizon as f64;
+        let loss: f64 =
+            forecast.iter().zip(y).map(|(f, t)| (f - t) * (f - t)).sum::<f64>() / n;
+        let dforecast: Vec<f64> =
+            forecast.iter().zip(y).map(|(f, t)| 2.0 * (f - t) / n).collect();
+        // backward through the residual chain
+        for blk in blocks.iter_mut() {
+            blk.trunk.zero_grad();
+        }
+        let mut dresidual = vec![0.0; x.len()]; // dL/dx_K = 0
+        for i in (0..k).rev() {
+            let blk = &mut blocks[i];
+            // forecast head: dL/dh from the forecast path
+            let dh_f = blk.forecast_head.backward(&trunk_outs[i], &dforecast);
+            // backcast head: x_{i+1} = x_i − b_i → dL/db_i = −dL/dx_{i+1}
+            let dback: Vec<f64> = dresidual.iter().map(|g| -g).collect();
+            let dh_b = blk.backcast_head.backward(&trunk_outs[i], &dback);
+            let dh: Vec<f64> = dh_f.iter().zip(&dh_b).map(|(a, b)| a + b).collect();
+            let dx_trunk = blk.trunk.backward(&trunk_caches[i], &dh);
+            // dL/dx_i = identity path + trunk path
+            for (g, t) in dresidual.iter_mut().zip(&dx_trunk) {
+                *g += t;
+            }
+        }
+        let _ = (&backcasts, &residuals);
+        loss
+    }
+
+    /// Trains on a series (z-scored with train statistics).
+    pub fn fit(&mut self, train: &[f64]) {
+        let scaler = Scaler::fit(train);
+        let z = scaler.transform(train);
+        let mut pairs =
+            window_horizon_pairs(&z, self.lookback, self.horizon, (self.horizon / 4).max(1));
+        if pairs.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut blocks: Vec<Block> = (0..self.blocks)
+            .map(|_| Block::new(self.lookback, self.horizon, self.hidden, &mut rng))
+            .collect();
+        let mut step = 0usize;
+        for _ in 0..self.epochs.max(1) {
+            pairs.shuffle(&mut rng);
+            for (x, y) in &pairs {
+                Self::train_pair(&mut blocks, x, y, self.lr, self.horizon);
+                step += 1;
+                // apply accumulated grads per sample (Adam steps live in
+                // the layers; trunk handled via Mlp::step, heads manually)
+                for blk in blocks.iter_mut() {
+                    blk.trunk.step(self.lr);
+                    blk.backcast_head_step(self.lr, step);
+                    blk.forecast_head_step(self.lr, step);
+                    blk.trunk.zero_grad();
+                    blk.zero_head_grads();
+                }
+            }
+        }
+        self.model = Some((blocks, scaler));
+    }
+
+    /// Forecasts `horizon` values from the most recent `lookback` values.
+    pub fn predict(&self, recent: &[f64]) -> Vec<f64> {
+        let (blocks, scaler) = self.model.as_ref().expect("fit() before predict");
+        assert_eq!(recent.len(), self.lookback, "need exactly `lookback` values");
+        let x = scaler.transform(recent);
+        Self::forward_blocks(blocks, &x, self.horizon)
+            .into_iter()
+            .map(|v| scaler.unscale(v))
+            .collect()
+    }
+
+    /// True when the model has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+}
+
+impl Block {
+    fn backcast_head_step(&mut self, lr: f64, t: usize) {
+        self.backcast_head.adam_step_public(lr, t);
+    }
+    fn forecast_head_step(&mut self, lr: f64, t: usize) {
+        self.forecast_head.adam_step_public(lr, t);
+    }
+    fn zero_head_grads(&mut self) {
+        self.backcast_head.zero_grad_public();
+        self.forecast_head.zero_grad_public();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(n: usize, t: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                    + 0.3 * (4.0 * std::f64::consts::PI * i as f64 / t as f64).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forecasts_seasonal_pattern() {
+        let t = 24;
+        let y = seasonal(800, t);
+        let mut m = NBeats::new(2 * t, t, 1);
+        m.epochs = 40;
+        m.lr = 2e-3;
+        m.fit(&y[..700]);
+        let pred = m.predict(&y[700 - 2 * t..700]);
+        let truth = &y[700..700 + t];
+        let err = tskit::stats::mae(&pred, truth);
+        // the naive "repeat last value" error for this signal is ~0.8
+        assert!(err < 0.35, "N-BEATS horizon MAE {err}");
+    }
+
+    #[test]
+    fn beats_constant_prediction() {
+        let t = 16;
+        let y = seasonal(600, t);
+        let mut m = NBeats::new(2 * t, t, 2);
+        m.epochs = 10;
+        m.fit(&y[..500]);
+        let pred = m.predict(&y[500 - 2 * t..500]);
+        let truth = &y[500..500 + t];
+        let err = tskit::stats::mae(&pred, truth);
+        let mean = tskit::stats::mean(&y[..500]);
+        let const_err: f64 =
+            truth.iter().map(|v| (v - mean).abs()).sum::<f64>() / t as f64;
+        assert!(err < const_err, "N-BEATS {err} vs constant {const_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fit() before predict")]
+    fn predict_before_fit_panics() {
+        NBeats::new(8, 4, 1).predict(&[0.0; 8]);
+    }
+}

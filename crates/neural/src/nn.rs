@@ -1,0 +1,382 @@
+//! Dense layers, activations, Adam, and MLPs with manual backpropagation.
+//!
+//! Everything operates on `Vec<f64>` activations — at the model sizes used
+//! by the baselines (windows of ≤ 128, hidden ≤ 64) this is fast enough on
+//! a single core and keeps the substrate fully transparent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// tanh(x)
+    Tanh,
+    /// 1 / (1 + e^−x)
+    Sigmoid,
+    /// x
+    Identity,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed via the activation *output* `a`.
+    #[inline]
+    fn grad_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// A fully connected layer with Adam state.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    w: Vec<f64>, // out x in, row-major
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    /// He-uniform initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / in_dim as f64).sqrt();
+        let w: Vec<f64> =
+            (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Dense {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    /// `z = W x + b`.
+    pub fn forward(&self, x: &[f64], z: &mut Vec<f64>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        z.clear();
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            z.push(acc);
+        }
+    }
+
+    /// Accumulates gradients for `dz` at input `x`; returns `dx`.
+    pub fn backward(&mut self, x: &[f64], dz: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(dz.len(), self.out_dim);
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = dz[o];
+            self.gb[o] += g;
+            let row = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.gw[row + i] += g * x[i];
+                dx[i] += self.w[row + i] * g;
+            }
+        }
+        dx
+    }
+
+    fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Clears accumulated gradients (for layers used outside an [`Mlp`],
+    /// e.g. the N-BEATS heads).
+    pub fn zero_grad_public(&mut self) {
+        self.zero_grad();
+    }
+
+    /// Adam update with explicit step counter (for standalone layers).
+    pub fn adam_step_public(&mut self, lr: f64, t: usize) {
+        self.adam_step(lr, t.max(1));
+    }
+
+    fn adam_step(&mut self, lr: f64, t: usize) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.len() {
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * self.gw[i];
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * self.gw[i] * self.gw[i];
+            self.w[i] -= lr * (self.mw[i] / bc1) / ((self.vw[i] / bc2).sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * self.gb[i];
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * self.gb[i] * self.gb[i];
+            self.b[i] -= lr * (self.mb[i] / bc1) / ((self.vb[i] / bc2).sqrt() + EPS);
+        }
+    }
+}
+
+/// Forward-pass cache needed for backpropagation.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// Layer inputs (`activations[0]` is the network input).
+    pub activations: Vec<Vec<f64>>,
+}
+
+impl Cache {
+    /// Network output of the cached pass.
+    pub fn output(&self) -> &[f64] {
+        self.activations.last().expect("cache from a forward pass")
+    }
+}
+
+/// A multi-layer perceptron: dense layers with per-layer activations.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// The layers.
+    pub layers: Vec<Dense>,
+    /// Activation applied after each layer (same length as `layers`).
+    pub acts: Vec<Activation>,
+    step_count: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP from layer sizes, e.g. `&[32, 16, 1]` with
+    /// activations `&[Relu, Identity]`.
+    pub fn new(sizes: &[usize], acts: &[Activation], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert_eq!(sizes.len() - 1, acts.len(), "one activation per layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp { layers, acts: acts.to_vec(), step_count: 0 }
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut z = Vec::new();
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            layer.forward(&cur, &mut z);
+            cur.clear();
+            cur.extend(z.iter().map(|&v| act.apply(v)));
+        }
+        cur
+    }
+
+    /// Forward pass caching every layer input for [`Mlp::backward`].
+    pub fn forward_train(&self, x: &[f64]) -> Cache {
+        let mut cache = Cache { activations: Vec::with_capacity(self.layers.len() + 1) };
+        cache.activations.push(x.to_vec());
+        let mut z = Vec::new();
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            layer.forward(cache.activations.last().expect("seeded"), &mut z);
+            cache.activations.push(z.iter().map(|&v| act.apply(v)).collect());
+        }
+        cache
+    }
+
+    /// Backpropagates `dout` (gradient at the network output), accumulating
+    /// parameter gradients; returns the gradient at the network input.
+    pub fn backward(&mut self, cache: &Cache, dout: &[f64]) -> Vec<f64> {
+        let mut grad = dout.to_vec();
+        for k in (0..self.layers.len()).rev() {
+            let a = &cache.activations[k + 1];
+            let act = self.acts[k];
+            let dz: Vec<f64> =
+                grad.iter().zip(a).map(|(g, &ai)| g * act.grad_from_output(ai)).collect();
+            grad = self.layers[k].backward(&cache.activations[k], &dz);
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in self.layers.iter_mut() {
+            l.zero_grad();
+        }
+    }
+
+    /// One Adam update with the accumulated gradients.
+    pub fn step(&mut self, lr: f64) {
+        self.step_count += 1;
+        let t = self.step_count;
+        for l in self.layers.iter_mut() {
+            l.adam_step(lr, t);
+        }
+    }
+
+    /// Clips accumulated gradients to a global L2 norm (stabilizes
+    /// adversarial objectives like USAD's phase-B loss).
+    pub fn clip_grad_norm(&mut self, max_norm: f64) {
+        let mut total = 0.0;
+        for l in &self.layers {
+            total += l.gw.iter().map(|g| g * g).sum::<f64>();
+            total += l.gb.iter().map(|g| g * g).sum::<f64>();
+        }
+        let norm = total.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for l in self.layers.iter_mut() {
+                l.gw.iter_mut().for_each(|g| *g *= scale);
+                l.gb.iter_mut().for_each(|g| *g *= scale);
+            }
+        }
+    }
+
+    /// Convenience: one SGD-style training step on a single (x, y) pair
+    /// under MSE loss. Returns the loss.
+    pub fn train_mse(&mut self, x: &[f64], y: &[f64], lr: f64) -> f64 {
+        let cache = self.forward_train(x);
+        let out = cache.output();
+        assert_eq!(out.len(), y.len(), "target dimension mismatch");
+        let n = y.len() as f64;
+        let loss: f64 = out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / n;
+        let dout: Vec<f64> = out.iter().zip(y).map(|(o, t)| 2.0 * (o - t) / n).collect();
+        self.zero_grad();
+        self.backward(&cache, &dout);
+        self.step(lr);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let m = Mlp::new(&[3, 5, 2], &[Activation::Relu, Activation::Identity], 1);
+        let out = m.forward(&[0.1, -0.2, 0.3]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut m = Mlp::new(&[4, 6, 3], &[Activation::Tanh, Activation::Identity], 7);
+        let x = [0.3, -0.5, 0.8, 0.1];
+        let y = [0.2, -0.1, 0.4];
+        // analytic gradient of MSE wrt the input
+        let cache = m.forward_train(&x);
+        let out = cache.output().to_vec();
+        let n = y.len() as f64;
+        let dout: Vec<f64> = out.iter().zip(&y).map(|(o, t)| 2.0 * (o - t) / n).collect();
+        m.zero_grad();
+        let dx = m.backward(&cache, &dout);
+        // finite differences on the input
+        let loss = |m: &Mlp, x: &[f64]| {
+            let o = m.forward(x);
+            o.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / n
+        };
+        let h = 1e-6;
+        for i in 0..4 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (loss(&m, &xp) - loss(&m, &xm)) / (2.0 * h);
+            assert!(
+                (fd - dx[i]).abs() < 1e-5,
+                "input grad {i}: fd {fd} vs analytic {}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let mut m = Mlp::new(&[2, 3, 1], &[Activation::Relu, Activation::Identity], 3);
+        let x = [0.7, -0.4];
+        let y = [0.5];
+        let cache = m.forward_train(&x);
+        let out = cache.output().to_vec();
+        let dout = vec![2.0 * (out[0] - y[0])];
+        m.zero_grad();
+        m.backward(&cache, &dout);
+        let analytic = m.layers[0].gw.clone();
+        let h = 1e-6;
+        for i in 0..analytic.len() {
+            let mut mp = m.clone();
+            mp.layers[0].w[i] += h;
+            let op = mp.forward(&x)[0];
+            let mut mm = m.clone();
+            mm.layers[0].w[i] -= h;
+            let om = mm.forward(&x)[0];
+            let fd = ((op - y[0]).powi(2) - (om - y[0]).powi(2)) / (2.0 * h);
+            assert!(
+                (fd - analytic[i]).abs() < 1e-5,
+                "w grad {i}: fd {fd} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_xor_like_function() {
+        let mut m = Mlp::new(
+            &[2, 16, 1],
+            &[Activation::Tanh, Activation::Identity],
+            42,
+        );
+        let data = [
+            ([0.0, 0.0], [0.0]),
+            ([0.0, 1.0], [1.0]),
+            ([1.0, 0.0], [1.0]),
+            ([1.0, 1.0], [0.0]),
+        ];
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..2000 {
+            let mut total = 0.0;
+            for (x, y) in &data {
+                total += m.train_mse(x, y, 0.01);
+            }
+            final_loss = total / 4.0;
+        }
+        assert!(final_loss < 0.02, "XOR not learned: loss {final_loss}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Mlp::new(&[3, 4, 1], &[Activation::Relu, Activation::Identity], 5);
+        let b = Mlp::new(&[3, 4, 1], &[Activation::Relu, Activation::Identity], 5);
+        assert_eq!(a.forward(&[1.0, 2.0, 3.0]), b.forward(&[1.0, 2.0, 3.0]));
+    }
+}

@@ -1,0 +1,166 @@
+//! TranAD-lite: two-phase self-conditioned reconstruction
+//! (Tuli et al., VLDB 2022), attention-free variant.
+//!
+//! TranAD's key idea — independent of its transformer backbone — is
+//! *self-conditioning*: reconstruct once, then reconstruct again with the
+//! first pass's error map as an extra input ("focus score"), training the
+//! second pass adversarially so that anomalous deviations are amplified.
+//! We keep exactly that scheme on an MLP backbone (substitution documented
+//! in DESIGN.md §4): the model maps `[w ; c] → ŵ` where `c` is the
+//! element-wise squared error of phase 1 (zeros in phase 1).
+
+use crate::nn::{Activation, Mlp};
+use crate::windows::Scaler;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The TranAD-lite detector.
+#[derive(Debug, Clone)]
+pub struct TranAdLite {
+    /// Window length.
+    pub window: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+    state: Option<(Mlp, Scaler)>,
+}
+
+impl TranAdLite {
+    /// Creates an untrained detector.
+    pub fn new(window: usize, hidden: usize, epochs: usize, seed: u64) -> Self {
+        TranAdLite { window, hidden, epochs, lr: 1e-3, seed, state: None }
+    }
+
+    fn phase_input(x: &[f64], focus: &[f64]) -> Vec<f64> {
+        let mut v = Vec::with_capacity(2 * x.len());
+        v.extend_from_slice(x);
+        v.extend_from_slice(focus);
+        v
+    }
+
+    /// Trains the two-phase reconstruction model.
+    pub fn fit(&mut self, train: &[f64]) {
+        let w = self.window;
+        let scaler = Scaler::fit(train);
+        let z = scaler.transform(train);
+        if z.len() < w + 1 {
+            return;
+        }
+        let stride = (w / 4).max(1);
+        let mut windows: Vec<Vec<f64>> =
+            (0..=z.len() - w).step_by(stride).map(|i| z[i..i + w].to_vec()).collect();
+        let mut model = Mlp::new(
+            &[2 * w, self.hidden, w],
+            &[Activation::Relu, Activation::Identity],
+            self.seed,
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7A4D);
+        let n_w = w as f64;
+        for epoch in 1..=self.epochs.max(1) {
+            let eps = 1.0 / epoch as f64; // phase-1 weight decays over epochs
+            windows.shuffle(&mut rng);
+            for x in &windows {
+                // phase 1: focus = 0
+                let in1 = Self::phase_input(x, &vec![0.0; w]);
+                let c1 = model.forward_train(&in1);
+                let o1 = c1.output().to_vec();
+                // phase 2: focus = squared error of phase 1
+                let focus: Vec<f64> =
+                    o1.iter().zip(x).map(|(o, t)| (o - t) * (o - t)).collect();
+                let in2 = Self::phase_input(x, &focus);
+                let c2 = model.forward_train(&in2);
+                let o2 = c2.output().to_vec();
+                // L = eps·‖x−o1‖² + (1−eps)·‖x−o2‖²
+                model.zero_grad();
+                let d1: Vec<f64> =
+                    o1.iter().zip(x).map(|(o, t)| eps * 2.0 * (o - t) / n_w).collect();
+                model.backward(&c1, &d1);
+                let d2: Vec<f64> = o2
+                    .iter()
+                    .zip(x)
+                    .map(|(o, t)| (1.0 - eps) * 2.0 * (o - t) / n_w)
+                    .collect();
+                model.backward(&c2, &d2);
+                model.step(self.lr);
+            }
+        }
+        self.state = Some((model, scaler));
+    }
+
+    /// Window score: mean of phase-1 and phase-2 reconstruction errors.
+    pub fn score_window(&self, window: &[f64]) -> f64 {
+        let (model, scaler) = self.state.as_ref().expect("fit() before scoring");
+        let w = self.window;
+        assert_eq!(window.len(), w);
+        let x = scaler.transform(window);
+        let o1 = model.forward(&Self::phase_input(&x, &vec![0.0; w]));
+        let focus: Vec<f64> = o1.iter().zip(&x).map(|(o, t)| (o - t) * (o - t)).collect();
+        let o2 = model.forward(&Self::phase_input(&x, &focus));
+        let e1: f64 = o1.iter().zip(&x).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / w as f64;
+        let e2: f64 = o2.iter().zip(&x).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / w as f64;
+        0.5 * (e1 + e2)
+    }
+
+    /// Point-wise scores for a test stream (causal windows).
+    pub fn score_stream(&self, context: &[f64], test: &[f64]) -> Vec<f64> {
+        if self.state.is_none() {
+            return vec![0.0; test.len()];
+        }
+        let w = self.window;
+        let mut hist: Vec<f64> = context[context.len().saturating_sub(w)..].to_vec();
+        let mut out = Vec::with_capacity(test.len());
+        for &y in test {
+            hist.push(y);
+            if hist.len() > w {
+                hist.remove(0);
+            }
+            out.push(if hist.len() == w { self.score_window(&hist) } else { 0.0 });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(n: usize, t: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect()
+    }
+
+    #[test]
+    fn detects_pattern_break() {
+        let t = 16;
+        let mut y = seasonal(700, t);
+        let mut m = TranAdLite::new(t, 32, 15, 1);
+        m.fit(&y[..500]);
+        let normal = m.score_window(&y[520..520 + t]);
+        for v in y[600..606].iter_mut() {
+            *v = 2.0;
+        }
+        let broken = m.score_window(&y[596..596 + t]);
+        assert!(broken > 2.0 * normal, "broken {broken} vs normal {normal}");
+    }
+
+    #[test]
+    fn stream_scores_are_finite() {
+        let y = seasonal(400, 16);
+        let mut m = TranAdLite::new(16, 16, 3, 2);
+        m.fit(&y[..300]);
+        let s = m.score_stream(&y[..300], &y[300..]);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn unfitted_is_safe() {
+        let m = TranAdLite::new(8, 8, 1, 1);
+        assert_eq!(m.score_stream(&[0.0; 8], &[1.0]), vec![0.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Sliding-window dataset construction and normalization for the learned
+//! baselines.
+
+/// Train-time normalization statistics (z-score with train moments, the
+//  Informer-benchmark convention).
+#[derive(Debug, Clone, Copy)]
+pub struct Scaler {
+    /// Training mean.
+    pub mean: f64,
+    /// Training standard deviation (clamped away from zero).
+    pub std: f64,
+}
+
+impl Scaler {
+    /// Fits the scaler on training data.
+    pub fn fit(train: &[f64]) -> Self {
+        Scaler {
+            mean: tskit::stats::mean(train),
+            std: tskit::stats::std_dev(train).max(1e-9),
+        }
+    }
+
+    /// Applies the transform.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|v| (v - self.mean) / self.std).collect()
+    }
+
+    /// Normalizes a single value.
+    pub fn scale(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Inverts the transform for a single value.
+    pub fn unscale(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+/// Builds `(window, next_value)` pairs with the given stride.
+pub fn window_next_pairs(x: &[f64], w: usize, stride: usize) -> Vec<(Vec<f64>, f64)> {
+    if x.len() <= w {
+        return Vec::new();
+    }
+    (0..x.len() - w)
+        .step_by(stride.max(1))
+        .map(|i| (x[i..i + w].to_vec(), x[i + w]))
+        .collect()
+}
+
+/// Builds `(lookback, horizon)` pairs for sequence-to-sequence training.
+pub fn window_horizon_pairs(
+    x: &[f64],
+    lookback: usize,
+    horizon: usize,
+    stride: usize,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
+    if x.len() < lookback + horizon {
+        return Vec::new();
+    }
+    (0..=x.len() - lookback - horizon)
+        .step_by(stride.max(1))
+        .map(|i| {
+            (
+                x[i..i + lookback].to_vec(),
+                x[i + lookback..i + lookback + horizon].to_vec(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_roundtrip() {
+        let train = [2.0, 4.0, 6.0];
+        let s = Scaler::fit(&train);
+        let z = s.transform(&train);
+        assert!(tskit::stats::mean(&z).abs() < 1e-12);
+        assert!((s.unscale(s.scale(5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaler_on_constant_input() {
+        let s = Scaler::fit(&[3.0, 3.0]);
+        assert!(s.scale(3.0).abs() < 1e-9);
+        assert!(s.scale(4.0).is_finite());
+    }
+
+    #[test]
+    fn window_pairs_align() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let pairs = window_next_pairs(&x, 2, 1);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], (vec![1.0, 2.0], 3.0));
+        assert_eq!(pairs[2], (vec![3.0, 4.0], 5.0));
+        assert!(window_next_pairs(&x, 5, 1).is_empty());
+    }
+
+    #[test]
+    fn horizon_pairs_align() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let pairs = window_horizon_pairs(&x, 3, 2, 2);
+        assert_eq!(pairs[0], (vec![1.0, 2.0, 3.0], vec![4.0, 5.0]));
+        assert_eq!(pairs.len(), 1);
+        let all = window_horizon_pairs(&x, 3, 2, 1);
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by all crates in the workspace.
+
+use std::fmt;
+
+/// Errors produced by the time-series substrate and the algorithms built on
+/// top of it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsError {
+    /// An input slice was shorter than the algorithm requires.
+    TooShort {
+        /// What was being validated (e.g. `"initialization window"`).
+        what: &'static str,
+        /// Required minimum length.
+        need: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParam {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        msg: String,
+    },
+    /// A linear system could not be solved (singular / not positive definite).
+    Singular {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// Input contained NaN or infinite values where finite ones are required.
+    NonFinite {
+        /// Index of the offending value.
+        index: usize,
+    },
+    /// I/O error from the experiment harness helpers.
+    Io(String),
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::TooShort { what, need, got } => {
+                write!(f, "{what}: need at least {need} points, got {got}")
+            }
+            TsError::InvalidParam { name, msg } => write!(f, "invalid parameter `{name}`: {msg}"),
+            TsError::Singular { pivot } => {
+                write!(f, "linear system is singular or indefinite at pivot {pivot}")
+            }
+            TsError::NonFinite { index } => write!(f, "non-finite value at index {index}"),
+            TsError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+impl From<std::io::Error> for TsError {
+    fn from(e: std::io::Error) -> Self {
+        TsError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TsError>;
+
+/// Validates that every value in `y` is finite.
+pub fn check_finite(y: &[f64]) -> Result<()> {
+    match y.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(TsError::NonFinite { index }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TsError::TooShort { what: "init window", need: 10, got: 3 };
+        assert!(e.to_string().contains("init window"));
+        assert!(e.to_string().contains("10"));
+        let e = TsError::InvalidParam { name: "period", msg: "must be >= 2".into() };
+        assert!(e.to_string().contains("period"));
+    }
+
+    #[test]
+    fn check_finite_flags_nan_position() {
+        assert_eq!(check_finite(&[1.0, 2.0, 3.0]), Ok(()));
+        assert_eq!(check_finite(&[1.0, f64::NAN]), Err(TsError::NonFinite { index: 1 }));
+        assert_eq!(check_finite(&[f64::INFINITY]), Err(TsError::NonFinite { index: 0 }));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TsError = ioe.into();
+        assert!(matches!(e, TsError::Io(_)));
+    }
+}

@@ -1,0 +1,37 @@
+//! # tskit — time-series substrate
+//!
+//! Foundation crate for the OneShotSTL reproduction. Everything here is a
+//! *substrate* the paper's evaluation depends on rather than the paper's
+//! contribution itself:
+//!
+//! - [`series`]: component containers ([`Decomposition`], [`DecompPoint`])
+//!   and labelled series used by the anomaly-detection benchmarks.
+//! - [`stats`]: streaming-friendly descriptive statistics, autocorrelation.
+//! - [`ring`]: fixed-capacity ring buffer used by the online algorithms.
+//! - [`fft`]: radix-2 FFT used by the matrix-profile methods (MASS).
+//! - [`linalg`]: symmetric banded matrices with LDLᵀ factorization — the
+//!   numeric core behind JointSTL and ℓ1 trend filtering.
+//! - [`dense`]: small dense solves / least squares for LOESS and AR fitting.
+//! - [`loess`]: LOESS local regression (STL's smoother).
+//! - [`period`]: ACF-based seasonality-length detection (TSB-UAD's
+//!   `find_length` heuristic).
+//! - [`smooth`]: moving averages and related linear filters.
+//! - [`synth`]: synthetic workload generators that stand in for the paper's
+//!   datasets (see `DESIGN.md` §4 for the substitution rationale).
+//! - [`io`]: tiny CSV/markdown writers for the experiment harness.
+
+pub mod dense;
+pub mod error;
+pub mod fft;
+pub mod io;
+pub mod linalg;
+pub mod loess;
+pub mod period;
+pub mod ring;
+pub mod series;
+pub mod smooth;
+pub mod stats;
+pub mod synth;
+
+pub use error::{Result, TsError};
+pub use series::{DecompPoint, Decomposition, LabeledSeries};

@@ -1,0 +1,250 @@
+//! LOESS (LOcal regrESSion) smoothing — the workhorse of STL.
+//!
+//! Follows Cleveland et al. (1990): tri-cube distance weights over the `q`
+//! nearest neighbours, optional robustness weights, polynomial degree 0–2,
+//! and the `jump` speed-up that fits only every `jump`-th point and linearly
+//! interpolates in between.
+
+use crate::dense::{weighted_lstsq, Mat};
+
+/// Tri-cube weight `(1 - u³)³` for `u = d / d_max ∈ [0, 1]`; zero outside.
+#[inline]
+pub fn tricube(u: f64) -> f64 {
+    if u >= 1.0 {
+        0.0
+    } else {
+        let t = 1.0 - u * u * u;
+        t * t * t
+    }
+}
+
+/// LOESS configuration.
+#[derive(Debug, Clone)]
+pub struct LoessConfig {
+    /// Neighbourhood size `q` (number of points in each local fit). Values
+    /// larger than the series are clamped.
+    pub span: usize,
+    /// Polynomial degree of the local fit: 0, 1 or 2.
+    pub degree: usize,
+    /// Fit every `jump`-th point and interpolate linearly between fits
+    /// (1 = fit everywhere).
+    pub jump: usize,
+}
+
+impl LoessConfig {
+    /// Degree-1 LOESS with the given span, no jumping.
+    pub fn new(span: usize) -> Self {
+        LoessConfig { span: span.max(2), degree: 1, jump: 1 }
+    }
+
+    /// Sets the polynomial degree (clamped to 0..=2).
+    pub fn degree(mut self, d: usize) -> Self {
+        self.degree = d.min(2);
+        self
+    }
+
+    /// Sets the jump parameter (≥ 1).
+    pub fn jump(mut self, j: usize) -> Self {
+        self.jump = j.max(1);
+        self
+    }
+}
+
+/// Evaluates the local weighted polynomial fit of `y` (indexed by position
+/// `0..n`) at arbitrary position `x_eval`. `robustness`, when given, is
+/// multiplied into the tri-cube weights (STL's outer-loop weights).
+pub fn loess_point(y: &[f64], x_eval: f64, cfg: &LoessConfig, robustness: Option<&[f64]>) -> f64 {
+    let n = y.len();
+    debug_assert!(n > 0, "loess_point: empty input");
+    if n == 1 {
+        return y[0];
+    }
+    let q = cfg.span.min(n).max(2);
+    // window of the q nearest integer positions to x_eval
+    let center = x_eval.round().clamp(0.0, (n - 1) as f64) as usize;
+    let mut lo = center.saturating_sub(q / 2);
+    if lo + q > n {
+        lo = n - q;
+    }
+    // widen toward the true nearest set (handles x_eval outside [lo, lo+q))
+    while lo > 0 && (x_eval - (lo - 1) as f64).abs() < ((lo + q - 1) as f64 - x_eval).abs() {
+        lo -= 1;
+    }
+    while lo + q < n && ((lo + q) as f64 - x_eval).abs() < (x_eval - lo as f64).abs() {
+        lo += 1;
+    }
+    let hi = lo + q; // exclusive
+    let mut dmax: f64 = 0.0;
+    for j in lo..hi {
+        dmax = dmax.max((j as f64 - x_eval).abs());
+    }
+    if dmax <= 0.0 {
+        dmax = 1.0;
+    }
+    // STL convention: for spans larger than the data, inflate the distance
+    // denominator so weights stay positive across the window.
+    if cfg.span > n {
+        dmax += ((cfg.span - n) / 2) as f64;
+    }
+    let k = cfg.degree + 1;
+    let m = hi - lo;
+    let mut design = Mat::zeros(m, k);
+    let mut rhs = vec![0.0; m];
+    let mut weights = vec![0.0; m];
+    let mut wsum = 0.0;
+    for (row, j) in (lo..hi).enumerate() {
+        let d = (j as f64 - x_eval).abs() / dmax;
+        let mut w = tricube(d);
+        if let Some(r) = robustness {
+            w *= r[j];
+        }
+        let dx = j as f64 - x_eval;
+        design[(row, 0)] = 1.0;
+        if k > 1 {
+            design[(row, 1)] = dx;
+        }
+        if k > 2 {
+            design[(row, 2)] = dx * dx;
+        }
+        rhs[row] = y[j];
+        weights[row] = w;
+        wsum += w;
+    }
+    if wsum <= 1e-300 {
+        // all weights vanished (e.g. robustness zeroed the window):
+        // fall back to the unweighted window mean.
+        return rhs.iter().sum::<f64>() / m as f64;
+    }
+    match weighted_lstsq(&design, &rhs, Some(&weights), 1e-12) {
+        Ok(coef) => coef[0],
+        Err(_) => {
+            // degenerate fit: weighted mean
+            let num: f64 = weights.iter().zip(&rhs).map(|(w, v)| w * v).sum();
+            num / wsum
+        }
+    }
+}
+
+/// Smooths `y` with LOESS, returning a same-length vector. With
+/// `cfg.jump > 1`, fits are computed on a grid and linearly interpolated.
+pub fn loess(y: &[f64], cfg: &LoessConfig, robustness: Option<&[f64]>) -> Vec<f64> {
+    let n = y.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if cfg.jump <= 1 || n <= 2 {
+        return (0..n).map(|i| loess_point(y, i as f64, cfg, robustness)).collect();
+    }
+    // fitted anchor points: 0, jump, 2*jump, ..., and always n-1
+    let mut anchors: Vec<usize> = (0..n).step_by(cfg.jump).collect();
+    if *anchors.last().unwrap() != n - 1 {
+        anchors.push(n - 1);
+    }
+    let fitted: Vec<f64> =
+        anchors.iter().map(|&i| loess_point(y, i as f64, cfg, robustness)).collect();
+    let mut out = vec![0.0; n];
+    for w in 0..anchors.len() - 1 {
+        let (a, b) = (anchors[w], anchors[w + 1]);
+        let (fa, fb) = (fitted[w], fitted[w + 1]);
+        let len = (b - a) as f64;
+        for i in a..=b {
+            let t = (i - a) as f64 / len;
+            out[i] = fa * (1.0 - t) + fb * t;
+        }
+    }
+    out
+}
+
+/// Smooths a series and also extrapolates one fitted value before the first
+/// point and one after the last (positions `-1` and `n`). STL's
+/// cycle-subseries smoothing requires this 2-point extension.
+pub fn loess_extended(y: &[f64], cfg: &LoessConfig, robustness: Option<&[f64]>) -> Vec<f64> {
+    let n = y.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n + 2);
+    out.push(loess_point(y, -1.0, cfg, robustness));
+    out.extend(loess(y, cfg, robustness));
+    out.push(loess_point(y, n as f64, cfg, robustness));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tricube_shape() {
+        assert!((tricube(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(tricube(1.0), 0.0);
+        assert_eq!(tricube(2.0), 0.0);
+        assert!(tricube(0.5) > 0.0 && tricube(0.5) < 1.0);
+    }
+
+    #[test]
+    fn loess_reproduces_linear_data_exactly() {
+        let y: Vec<f64> = (0..50).map(|i| 3.0 + 0.5 * i as f64).collect();
+        let cfg = LoessConfig::new(11);
+        let s = loess(&y, &cfg, None);
+        for i in 0..50 {
+            assert!((s[i] - y[i]).abs() < 1e-8, "i={i}: {} vs {}", s[i], y[i]);
+        }
+    }
+
+    #[test]
+    fn degree2_reproduces_quadratic() {
+        let y: Vec<f64> = (0..60).map(|i| 1.0 + 0.2 * i as f64 + 0.01 * (i * i) as f64).collect();
+        let cfg = LoessConfig::new(15).degree(2);
+        let s = loess(&y, &cfg, None);
+        for i in 0..60 {
+            assert!((s[i] - y[i]).abs() < 1e-6, "i={i}");
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_variance() {
+        // noisy constant -> smoothed variance should shrink a lot
+        let y: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let cfg = LoessConfig::new(21);
+        let s = loess(&y, &cfg, None);
+        assert!(crate::stats::variance(&s) < 0.05 * crate::stats::variance(&y));
+    }
+
+    #[test]
+    fn jump_approximates_full_fit() {
+        let y: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.1).sin() + 0.05 * ((i * 7919) % 13) as f64)
+            .collect();
+        let full = loess(&y, &LoessConfig::new(25), None);
+        let jumped = loess(&y, &LoessConfig::new(25).jump(5), None);
+        let err = crate::stats::mae(&full, &jumped);
+        assert!(err < 0.02, "jump interpolation error too large: {err}");
+    }
+
+    #[test]
+    fn robustness_weights_suppress_outliers() {
+        let mut y: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        y[20] = 50.0;
+        let mut rob = vec![1.0; 40];
+        rob[20] = 0.0;
+        let cfg = LoessConfig::new(9);
+        let with = loess(&y, &cfg, Some(&rob));
+        // outlier has no influence: fitted value at 20 close to the line
+        assert!((with[20] - 2.0).abs() < 0.05, "got {}", with[20]);
+    }
+
+    #[test]
+    fn extension_extrapolates_linearly() {
+        let y: Vec<f64> = (0..30).map(|i| 2.0 * i as f64).collect();
+        let ext = loess_extended(&y, &LoessConfig::new(7), None);
+        assert_eq!(ext.len(), 32);
+        assert!((ext[0] - (-2.0)).abs() < 1e-6, "left extension {}", ext[0]);
+        assert!((ext[31] - 60.0).abs() < 1e-6, "right extension {}", ext[31]);
+    }
+
+    #[test]
+    fn single_point_input() {
+        assert_eq!(loess(&[5.0], &LoessConfig::new(3), None), vec![5.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixed-capacity ring buffer used by the online decomposition algorithms.
+
+/// A fixed-capacity circular buffer over `f64` values.
+///
+/// Once full, pushing a new value overwrites the oldest. Indexing is oldest
+/// first: `get(0)` is the oldest retained value, `back(0)` the newest.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    data: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl RingBuffer {
+    /// Creates an empty buffer with capacity `cap` (> 0).
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "RingBuffer capacity must be positive");
+        RingBuffer { data: vec![0.0; cap], head: 0, len: 0 }
+    }
+
+    /// Creates a buffer pre-filled with the last `cap` values of `init`
+    /// (or all of them when `init` is shorter than `cap`).
+    pub fn from_slice(cap: usize, init: &[f64]) -> Self {
+        let mut rb = RingBuffer::new(cap);
+        let start = init.len().saturating_sub(cap);
+        for &v in &init[start..] {
+            rb.push(v);
+        }
+        rb
+    }
+
+    /// Capacity of the buffer.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of stored values (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Pushes `v`, overwriting the oldest value when full. Returns the
+    /// evicted value, if any.
+    pub fn push(&mut self, v: f64) -> Option<f64> {
+        let cap = self.capacity();
+        if self.len < cap {
+            let idx = (self.head + self.len) % cap;
+            self.data[idx] = v;
+            self.len += 1;
+            None
+        } else {
+            let evicted = self.data[self.head];
+            self.data[self.head] = v;
+            self.head = (self.head + 1) % cap;
+            Some(evicted)
+        }
+    }
+
+    /// Value at logical index `i` (0 = oldest).
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.len, "RingBuffer index {i} out of range (len {})", self.len);
+        self.data[(self.head + i) % self.capacity()]
+    }
+
+    /// Value at reverse index `i` (0 = newest).
+    pub fn back(&self, i: usize) -> f64 {
+        assert!(i < self.len, "RingBuffer back index {i} out of range (len {})", self.len);
+        self.get(self.len - 1 - i)
+    }
+
+    /// Overwrites the value at logical index `i` (0 = oldest).
+    pub fn set(&mut self, i: usize, v: f64) {
+        assert!(i < self.len, "RingBuffer index {i} out of range (len {})", self.len);
+        let cap = self.capacity();
+        self.data[(self.head + i) % cap] = v;
+    }
+
+    /// Copies the contents oldest-to-newest into a vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut rb = RingBuffer::new(3);
+        assert!(rb.is_empty());
+        assert_eq!(rb.push(1.0), None);
+        assert_eq!(rb.push(2.0), None);
+        assert_eq!(rb.push(3.0), None);
+        assert!(rb.is_full());
+        assert_eq!(rb.push(4.0), Some(1.0));
+        assert_eq!(rb.to_vec(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(rb.get(0), 2.0);
+        assert_eq!(rb.back(0), 4.0);
+        assert_eq!(rb.back(2), 2.0);
+    }
+
+    #[test]
+    fn set_updates_in_place() {
+        let mut rb = RingBuffer::from_slice(3, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(rb.to_vec(), vec![2.0, 3.0, 4.0]);
+        rb.set(1, 9.0);
+        assert_eq!(rb.to_vec(), vec![2.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn from_slice_shorter_than_cap() {
+        let rb = RingBuffer::from_slice(5, &[1.0, 2.0]);
+        assert_eq!(rb.len(), 2);
+        assert_eq!(rb.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_matches_to_vec() {
+        let mut rb = RingBuffer::new(4);
+        for i in 0..9 {
+            rb.push(i as f64);
+        }
+        let v: Vec<f64> = rb.iter().collect();
+        assert_eq!(v, rb.to_vec());
+        assert_eq!(v, vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let rb = RingBuffer::from_slice(3, &[1.0]);
+        let _ = rb.get(1);
+    }
+}

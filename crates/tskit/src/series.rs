@@ -1,0 +1,173 @@
+//! Containers for decomposition results and labelled benchmark series.
+
+/// A full batch seasonal-trend decomposition:
+/// `y[i] == trend[i] + seasonal[i] + residual[i]` for every `i`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Decomposition {
+    /// Trend component τ.
+    pub trend: Vec<f64>,
+    /// Seasonal component s.
+    pub seasonal: Vec<f64>,
+    /// Remainder r.
+    pub residual: Vec<f64>,
+}
+
+impl Decomposition {
+    /// Creates a decomposition filled with zeros of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Decomposition { trend: vec![0.0; n], seasonal: vec![0.0; n], residual: vec![0.0; n] }
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.trend.len()
+    }
+
+    /// True when the decomposition holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.trend.is_empty()
+    }
+
+    /// Reconstructs the original series `trend + seasonal + residual`.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.trend
+            .iter()
+            .zip(&self.seasonal)
+            .zip(&self.residual)
+            .map(|((t, s), r)| t + s + r)
+            .collect()
+    }
+
+    /// The decomposition of a single time point `i`.
+    pub fn point(&self, i: usize) -> DecompPoint {
+        DecompPoint { trend: self.trend[i], seasonal: self.seasonal[i], residual: self.residual[i] }
+    }
+
+    /// Appends a single decomposed point.
+    pub fn push(&mut self, p: DecompPoint) {
+        self.trend.push(p.trend);
+        self.seasonal.push(p.seasonal);
+        self.residual.push(p.residual);
+    }
+
+    /// Checks the additive identity `y == τ + s + r` within `tol` and returns
+    /// the first violating index, if any.
+    pub fn check_additive(&self, y: &[f64], tol: f64) -> Option<usize> {
+        y.iter()
+            .enumerate()
+            .position(|(i, &v)| (self.trend[i] + self.seasonal[i] + self.residual[i] - v).abs() > tol)
+    }
+}
+
+/// The decomposition of one streaming data point, as produced by the online
+/// algorithms (`y_t = trend + seasonal + residual`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DecompPoint {
+    /// Trend τ_t.
+    pub trend: f64,
+    /// Seasonal s_t.
+    pub seasonal: f64,
+    /// Residual r_t.
+    pub residual: f64,
+}
+
+impl DecompPoint {
+    /// Reconstructs `y_t`.
+    pub fn value(&self) -> f64 {
+        self.trend + self.seasonal + self.residual
+    }
+}
+
+/// A univariate series with point-wise binary anomaly labels and a
+/// train/test split, mirroring how the TSB-UAD benchmark presents data.
+#[derive(Debug, Clone)]
+pub struct LabeledSeries {
+    /// Identifier used in experiment reports.
+    pub name: String,
+    /// Observed values, train followed by test.
+    pub values: Vec<f64>,
+    /// `true` marks an anomalous point. Same length as `values`.
+    pub labels: Vec<bool>,
+    /// Index of the first test point; `values[..split]` is the training /
+    /// initialization prefix that online methods may consume first.
+    pub split: usize,
+    /// Dominant seasonal period if known (generators always know it).
+    pub period: Option<usize>,
+}
+
+impl LabeledSeries {
+    /// Training prefix (used by online methods for initialization).
+    pub fn train(&self) -> &[f64] {
+        &self.values[..self.split]
+    }
+
+    /// Test suffix to be scored.
+    pub fn test(&self) -> &[f64] {
+        &self.values[self.split..]
+    }
+
+    /// Labels aligned with [`Self::test`].
+    pub fn test_labels(&self) -> &[bool] {
+        &self.labels[self.split..]
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of anomalous points in the test region.
+    pub fn test_anomaly_count(&self) -> usize {
+        self.test_labels().iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruct_roundtrips() {
+        let d = Decomposition {
+            trend: vec![1.0, 2.0],
+            seasonal: vec![0.5, -0.5],
+            residual: vec![0.1, 0.2],
+        };
+        let y = d.reconstruct();
+        assert!((y[0] - 1.6).abs() < 1e-12);
+        assert!((y[1] - 1.7).abs() < 1e-12);
+        assert_eq!(d.check_additive(&y, 1e-12), None);
+        assert_eq!(d.check_additive(&[0.0, 1.7], 1e-12), Some(0));
+    }
+
+    #[test]
+    fn push_and_point_agree() {
+        let mut d = Decomposition::zeros(0);
+        let p = DecompPoint { trend: 3.0, seasonal: 1.0, residual: -0.5 };
+        d.push(p);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.point(0), p);
+        assert!((p.value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeled_series_split_views() {
+        let s = LabeledSeries {
+            name: "t".into(),
+            values: vec![1.0, 2.0, 3.0, 4.0],
+            labels: vec![false, false, true, false],
+            split: 2,
+            period: Some(2),
+        };
+        assert_eq!(s.train(), &[1.0, 2.0]);
+        assert_eq!(s.test(), &[3.0, 4.0]);
+        assert_eq!(s.test_labels(), &[true, false]);
+        assert_eq!(s.test_anomaly_count(), 1);
+        assert_eq!(s.len(), 4);
+    }
+}

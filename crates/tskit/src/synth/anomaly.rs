@@ -1,0 +1,205 @@
+//! Anomaly injection for the TSAD benchmark families.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The anomaly types injected into the synthetic TSAD families, chosen to
+/// cover the behaviours in TSB-UAD: point anomalies (spikes), contextual
+/// anomalies (level shifts), and subsequence anomalies (pattern
+/// distortions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// A single extreme point, `magnitude` standard deviations away.
+    Spike,
+    /// A sustained additive offset over a span.
+    LevelShift,
+    /// A span replaced by its local mean (the pattern disappears).
+    Flatten,
+    /// A span with strongly amplified noise.
+    NoiseBurst,
+    /// A span where the seasonal pattern is time-reversed (shape anomaly,
+    /// invisible to pure amplitude detectors).
+    Reverse,
+    /// A span where the pattern amplitude is scaled.
+    AmplitudeChange,
+}
+
+/// Where and what was injected.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedAnomaly {
+    /// Anomaly type.
+    pub kind: AnomalyKind,
+    /// First affected index.
+    pub start: usize,
+    /// Length of the affected span (1 for spikes).
+    pub len: usize,
+}
+
+/// Injects one anomaly of `kind` into `values[start..start+len]`, marking
+/// `labels` accordingly. `scale` should be the typical signal deviation so
+/// magnitudes are comparable across families. Returns the injection record.
+///
+/// # Panics
+/// Panics if the span exceeds the series bounds.
+pub fn inject(
+    values: &mut [f64],
+    labels: &mut [bool],
+    kind: AnomalyKind,
+    start: usize,
+    len: usize,
+    scale: f64,
+    rng: &mut StdRng,
+) -> InjectedAnomaly {
+    assert!(start + len <= values.len(), "anomaly span out of bounds");
+    assert!(len >= 1, "anomaly span must be non-empty");
+    match kind {
+        AnomalyKind::Spike => {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let mag = rng.gen_range(4.0..8.0);
+            values[start] += sign * mag * scale;
+            labels[start] = true;
+            return InjectedAnomaly { kind, start, len: 1 };
+        }
+        AnomalyKind::LevelShift => {
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let mag = rng.gen_range(2.5..5.0);
+            for v in values[start..start + len].iter_mut() {
+                *v += sign * mag * scale;
+            }
+        }
+        AnomalyKind::Flatten => {
+            let mean =
+                values[start..start + len].iter().sum::<f64>() / len as f64;
+            for v in values[start..start + len].iter_mut() {
+                *v = mean;
+            }
+        }
+        AnomalyKind::NoiseBurst => {
+            for v in values[start..start + len].iter_mut() {
+                *v += 3.0 * scale * super::components::sample_standard_normal(rng);
+            }
+        }
+        AnomalyKind::Reverse => {
+            values[start..start + len].reverse();
+        }
+        AnomalyKind::AmplitudeChange => {
+            let mean = values[start..start + len].iter().sum::<f64>() / len as f64;
+            let factor = if rng.gen_bool(0.5) { rng.gen_range(2.0..3.0) } else { rng.gen_range(0.1..0.4) };
+            for v in values[start..start + len].iter_mut() {
+                *v = mean + factor * (*v - mean);
+            }
+        }
+    }
+    for l in labels[start..start + len].iter_mut() {
+        *l = true;
+    }
+    InjectedAnomaly { kind, start, len }
+}
+
+/// Picks `count` non-overlapping anomaly spans in `[lo, hi)` with lengths in
+/// `len_range`, keeping a `gap` between them. Returns (start, len) pairs in
+/// increasing order. May return fewer than `count` if space runs out.
+pub fn pick_spans(
+    lo: usize,
+    hi: usize,
+    count: usize,
+    len_range: (usize, usize),
+    gap: usize,
+    rng: &mut StdRng,
+) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut attempts = 0;
+    while spans.len() < count && attempts < count * 50 {
+        attempts += 1;
+        let len = rng.gen_range(len_range.0..=len_range.1);
+        if hi <= lo + len {
+            break;
+        }
+        let start = rng.gen_range(lo..hi - len);
+        let clashes = spans.iter().any(|&(s, l)| {
+            let a0 = start.saturating_sub(gap);
+            let a1 = start + len + gap;
+            s < a1 && a0 < s + l
+        });
+        if !clashes {
+            spans.push((start, len));
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::components::rng_from;
+    use super::*;
+
+    #[test]
+    fn spike_marks_one_point() {
+        let mut rng = rng_from(1);
+        let mut v = vec![0.0; 100];
+        let mut l = vec![false; 100];
+        let rec = inject(&mut v, &mut l, AnomalyKind::Spike, 50, 10, 1.0, &mut rng);
+        assert_eq!(rec.len, 1);
+        assert_eq!(l.iter().filter(|&&b| b).count(), 1);
+        assert!(l[50]);
+        assert!(v[50].abs() >= 4.0);
+        assert_eq!(v[51], 0.0);
+    }
+
+    #[test]
+    fn level_shift_marks_span() {
+        let mut rng = rng_from(2);
+        let mut v = vec![1.0; 100];
+        let mut l = vec![false; 100];
+        inject(&mut v, &mut l, AnomalyKind::LevelShift, 10, 20, 1.0, &mut rng);
+        assert_eq!(l.iter().filter(|&&b| b).count(), 20);
+        assert!((v[10] - 1.0).abs() >= 2.5);
+        assert_eq!(v[9], 1.0);
+        assert_eq!(v[30], 1.0);
+    }
+
+    #[test]
+    fn flatten_replaces_with_mean() {
+        let mut rng = rng_from(3);
+        let mut v: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut l = vec![false; 50];
+        inject(&mut v, &mut l, AnomalyKind::Flatten, 20, 10, 1.0, &mut rng);
+        let first = v[20];
+        assert!(v[20..30].iter().all(|&x| (x - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn reverse_keeps_values_set() {
+        let mut rng = rng_from(4);
+        let mut v: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut l = vec![false; 30];
+        inject(&mut v, &mut l, AnomalyKind::Reverse, 5, 10, 1.0, &mut rng);
+        assert_eq!(v[5], 14.0);
+        assert_eq!(v[14], 5.0);
+        assert_eq!(v[4], 4.0);
+    }
+
+    #[test]
+    fn spans_do_not_overlap() {
+        let mut rng = rng_from(5);
+        let spans = pick_spans(100, 1000, 8, (10, 30), 20, &mut rng);
+        assert!(!spans.is_empty());
+        for w in spans.windows(2) {
+            let (s0, l0) = w[0];
+            let (s1, _) = w[1];
+            assert!(s0 + l0 + 20 <= s1, "spans overlap or too close: {:?}", w);
+        }
+        for &(s, l) in &spans {
+            assert!(s >= 100 && s + l <= 1000);
+        }
+    }
+
+    #[test]
+    fn pick_spans_gives_up_gracefully() {
+        let mut rng = rng_from(6);
+        // impossible request: tiny range, many spans
+        let spans = pick_spans(0, 50, 10, (20, 30), 10, &mut rng);
+        assert!(spans.len() <= 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Building blocks for the synthetic generators: seasonal templates,
+//! trend shapes and noise processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed one-period seasonal shape, evaluated by phase index.
+///
+/// The template is a random sum of a few harmonics, normalized so its
+/// maximum absolute value is 1; the amplitude is applied at evaluation.
+/// Using a *fixed* template (rather than re-sampling noise each period)
+/// gives the decomposition a well-defined seasonal ground truth.
+#[derive(Debug, Clone)]
+pub struct SeasonTemplate {
+    period: usize,
+    values: Vec<f64>,
+}
+
+impl SeasonTemplate {
+    /// Samples a random smooth template with `harmonics` sinusoidal terms.
+    pub fn random(period: usize, harmonics: usize, rng: &mut StdRng) -> Self {
+        assert!(period >= 2, "season period must be >= 2");
+        let h = harmonics.max(1);
+        let amps: Vec<f64> = (0..h).map(|k| rng.gen_range(0.3..1.0) / (k + 1) as f64).collect();
+        let phases: Vec<f64> =
+            (0..h).map(|_| rng.gen_range(0.0..2.0 * std::f64::consts::PI)).collect();
+        let mut values: Vec<f64> = (0..period)
+            .map(|i| {
+                let x = i as f64 / period as f64;
+                amps.iter()
+                    .zip(&phases)
+                    .enumerate()
+                    .map(|(k, (a, p))| {
+                        a * (2.0 * std::f64::consts::PI * (k + 1) as f64 * x + p).sin()
+                    })
+                    .sum()
+            })
+            .collect();
+        // centre and normalize to max-abs 1
+        let mean = crate::stats::mean(&values);
+        for v in values.iter_mut() {
+            *v -= mean;
+        }
+        let maxabs = values.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-12);
+        for v in values.iter_mut() {
+            *v /= maxabs;
+        }
+        SeasonTemplate { period, values }
+    }
+
+    /// A "request rate"-shaped template: low at night, a broad daytime bump
+    /// with a morning ramp — the shape of the paper's Real1/Real2 API
+    /// traffic (Figure 4 (c)-(d)).
+    pub fn request_rate(period: usize, rng: &mut StdRng) -> Self {
+        assert!(period >= 4, "request-rate period must be >= 4");
+        let peak_pos = rng.gen_range(0.45..0.6);
+        let width = rng.gen_range(0.15..0.25);
+        let shoulder = rng.gen_range(0.2..0.4);
+        let mut values: Vec<f64> = (0..period)
+            .map(|i| {
+                let x = i as f64 / period as f64;
+                let main = (-(x - peak_pos).powi(2) / (2.0 * width * width)).exp();
+                let secondary =
+                    shoulder * (-(x - peak_pos - 0.18).powi(2) / (2.0 * 0.05f64.powi(2))).exp();
+                main + secondary
+            })
+            .collect();
+        let mean = crate::stats::mean(&values);
+        for v in values.iter_mut() {
+            *v -= mean;
+        }
+        let maxabs = values.iter().fold(0.0f64, |a, &b| a.max(b.abs())).max(1e-12);
+        for v in values.iter_mut() {
+            *v /= maxabs;
+        }
+        SeasonTemplate { period, values }
+    }
+
+    /// Season length.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Template value at phase `i mod period`.
+    #[inline]
+    pub fn at(&self, i: usize) -> f64 {
+        self.values[i % self.period]
+    }
+
+    /// Renders `n` points with the given amplitude starting at phase 0.
+    pub fn render(&self, n: usize, amplitude: f64) -> Vec<f64> {
+        (0..n).map(|i| amplitude * self.at(i)).collect()
+    }
+
+    /// Renders `n` points where each seasonal cycle `c` may be shifted by
+    /// `shift_of(c)` points (positive shift delays the pattern). This is how
+    /// the Syn2 "seasonality shift" dataset is built.
+    pub fn render_shifted(
+        &self,
+        n: usize,
+        amplitude: f64,
+        shift_of: impl Fn(usize) -> i64,
+    ) -> Vec<f64> {
+        let t = self.period as i64;
+        (0..n)
+            .map(|i| {
+                let cycle = i / self.period;
+                let shift = shift_of(cycle);
+                let idx = (i as i64 - shift).rem_euclid(t) as usize;
+                amplitude * self.values[idx]
+            })
+            .collect()
+    }
+}
+
+/// One linear segment of a piecewise trend.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendSegment {
+    /// First index of the segment.
+    pub start: usize,
+    /// Level at the segment start (jumps between segments are allowed —
+    /// that is the "abrupt trend change" the paper stresses).
+    pub level: f64,
+    /// Per-step slope within the segment.
+    pub slope: f64,
+}
+
+/// Renders a piecewise-linear trend of length `n` from ordered segments.
+/// The first segment must start at 0.
+pub fn piecewise_trend(n: usize, segments: &[TrendSegment]) -> Vec<f64> {
+    assert!(!segments.is_empty(), "piecewise_trend: need at least one segment");
+    assert_eq!(segments[0].start, 0, "piecewise_trend: first segment must start at 0");
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for i in 0..n {
+        while seg + 1 < segments.len() && segments[seg + 1].start <= i {
+            seg += 1;
+        }
+        let s = &segments[seg];
+        out.push(s.level + s.slope * (i - s.start) as f64);
+    }
+    out
+}
+
+/// Gaussian white noise.
+pub fn gaussian_noise(n: usize, sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    (0..n).map(|_| sigma * sample_standard_normal(rng)).collect()
+}
+
+/// Laplace (double-exponential) noise — heavier tails, used for the noisy
+/// weak-seasonality families.
+pub fn laplace_noise(n: usize, scale: f64, rng: &mut StdRng) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(-0.5..0.5);
+            -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+        })
+        .collect()
+}
+
+/// Gaussian random walk starting at `start` with step deviation `sigma`.
+pub fn random_walk(n: usize, start: f64, sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut v = start;
+    for _ in 0..n {
+        v += sigma * sample_standard_normal(rng);
+        out.push(v);
+    }
+    out
+}
+
+/// Standard normal sample via Box–Muller (keeps us independent of
+/// `rand_distr`).
+pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Seeded RNG helper so generators are reproducible.
+pub(crate) fn rng_from(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_is_periodic_and_normalized() {
+        let mut rng = rng_from(1);
+        let t = SeasonTemplate::random(50, 3, &mut rng);
+        assert_eq!(t.period(), 50);
+        assert!((t.at(3) - t.at(53)).abs() < 1e-12);
+        let maxabs = (0..50).map(|i| t.at(i).abs()).fold(0.0f64, f64::max);
+        assert!((maxabs - 1.0).abs() < 1e-9);
+        let mean: f64 = (0..50).map(|i| t.at(i)).sum::<f64>() / 50.0;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_shifted_moves_pattern() {
+        let mut rng = rng_from(2);
+        let t = SeasonTemplate::random(20, 2, &mut rng);
+        let base = t.render(60, 1.0);
+        let shifted = t.render_shifted(60, 1.0, |c| if c == 1 { 5 } else { 0 });
+        // cycle 0 identical
+        for i in 0..20 {
+            assert!((base[i] - shifted[i]).abs() < 1e-12);
+        }
+        // cycle 1 delayed by 5
+        for i in 25..40 {
+            assert!((shifted[i] - base[i - 5]).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn piecewise_trend_jumps() {
+        let tr = piecewise_trend(
+            10,
+            &[
+                TrendSegment { start: 0, level: 0.0, slope: 0.0 },
+                TrendSegment { start: 5, level: 2.0, slope: 1.0 },
+            ],
+        );
+        assert_eq!(tr[4], 0.0);
+        assert_eq!(tr[5], 2.0);
+        assert_eq!(tr[7], 4.0);
+    }
+
+    #[test]
+    fn noise_moments_are_sane() {
+        let mut rng = rng_from(3);
+        let g = gaussian_noise(20_000, 2.0, &mut rng);
+        assert!(crate::stats::mean(&g).abs() < 0.1);
+        assert!((crate::stats::std_dev(&g) - 2.0).abs() < 0.1);
+        let l = laplace_noise(20_000, 1.0, &mut rng);
+        assert!(crate::stats::mean(&l).abs() < 0.1);
+        // Laplace(b=1) std = sqrt(2)
+        assert!((crate::stats::std_dev(&l) - std::f64::consts::SQRT_2).abs() < 0.15);
+    }
+
+    #[test]
+    fn random_walk_is_continuous() {
+        let mut rng = rng_from(4);
+        let w = random_walk(100, 5.0, 0.1, &mut rng);
+        assert_eq!(w.len(), 100);
+        for i in 1..100 {
+            assert!((w[i] - w[i - 1]).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let a = gaussian_noise(10, 1.0, &mut rng_from(42));
+        let b = gaussian_noise(10, 1.0, &mut rng_from(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on (a) two synthetic STD datasets with known ground
+//! truth, (b) two Alibaba-internal real series, (c) the TSB-UAD anomaly
+//! benchmark, (d) the KDD CUP 2021 dataset, and (e) six public forecasting
+//! datasets. Only (a) is reconstructible exactly; the others are either
+//! proprietary or unavailable offline, so this module generates synthetic
+//! stand-ins that preserve the characteristics the algorithms are sensitive
+//! to (seasonality strength and length, noise level and tail weight,
+//! trend regime changes, anomaly types). See `DESIGN.md` §4 for the full
+//! substitution table.
+
+mod anomaly;
+mod components;
+mod std_data;
+mod tsad;
+mod tsf;
+
+pub use anomaly::{inject, AnomalyKind, InjectedAnomaly};
+pub use components::{
+    gaussian_noise, laplace_noise, piecewise_trend, random_walk, SeasonTemplate, TrendSegment,
+};
+pub use std_data::{real1_like, real2_like, syn1, syn2, StdDataset};
+pub use tsad::{kdd21_like, tsad_family, tsad_family_names, tsad_suite, TsadFamily};
+pub use tsf::{tsf_dataset, tsf_dataset_names, tsf_suite, TsfDataset};

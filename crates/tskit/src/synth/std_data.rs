@@ -1,0 +1,169 @@
+//! The four decomposition-quality datasets of the paper's §5.1.1:
+//! Syn1, Syn2 (synthetic, with ground truth) and Real1/Real2-like series.
+
+use super::components::{
+    gaussian_noise, laplace_noise, piecewise_trend, rng_from, SeasonTemplate, TrendSegment,
+};
+use crate::series::Decomposition;
+
+/// A decomposition-benchmark dataset: observed values, the seasonal period,
+/// and (for synthetic data) the ground-truth components.
+#[derive(Debug, Clone)]
+pub struct StdDataset {
+    /// Dataset identifier (`"Syn1"`, `"Syn2"`, `"Real1"`, `"Real2"`).
+    pub name: String,
+    /// Observed series `y = trend + seasonal + residual`.
+    pub values: Vec<f64>,
+    /// Seasonal period used by all methods.
+    pub period: usize,
+    /// Ground truth components (synthetic datasets only).
+    pub truth: Option<Decomposition>,
+}
+
+/// Syn1 — abrupt **trend changes** (paper Fig. 4(a), Table 2 upper half).
+///
+/// 7000 points, period 500: a smooth seasonal template plus a piecewise
+/// trend with three abrupt level changes, plus Gaussian noise. The red line
+/// of Fig. 4(a) (ground-truth trend) jumps between levels around 0–4.
+pub fn syn1(seed: u64) -> StdDataset {
+    let n = 7000;
+    let t = 500;
+    let mut rng = rng_from(seed.wrapping_add(0x5EED_0001));
+    let season = SeasonTemplate::random(t, 3, &mut rng);
+    let trend = piecewise_trend(
+        n,
+        &[
+            TrendSegment { start: 0, level: 0.5, slope: 0.0 },
+            TrendSegment { start: 1800, level: 2.5, slope: 0.0002 },
+            TrendSegment { start: 3600, level: 4.0, slope: -0.0003 },
+            TrendSegment { start: 5200, level: 1.0, slope: 0.0 },
+        ],
+    );
+    let seasonal = season.render(n, 1.0);
+    let residual = gaussian_noise(n, 0.05, &mut rng);
+    let values: Vec<f64> =
+        (0..n).map(|i| trend[i] + seasonal[i] + residual[i]).collect();
+    StdDataset {
+        name: "Syn1".into(),
+        values,
+        period: t,
+        truth: Some(Decomposition { trend, seasonal, residual }),
+    }
+}
+
+/// Syn2 — **seasonality shift** (paper Fig. 4(b), Table 2 lower half).
+///
+/// 2500 points, period 250 (10 cycles); four consecutive cycles are shifted
+/// by 10 points — "not visually distinguishable", but fatal for methods
+/// that assume a rigid phase. Flat trend, light noise.
+pub fn syn2(seed: u64) -> StdDataset {
+    let n = 2500;
+    let t = 250;
+    let shift_points = 10i64;
+    let mut rng = rng_from(seed.wrapping_add(0x5EED_0002));
+    let season = SeasonTemplate::random(t, 4, &mut rng);
+    // cycles 4..8 are delayed by 10 points
+    let seasonal =
+        season.render_shifted(n, 2.0, |c| if (4..8).contains(&c) { shift_points } else { 0 });
+    let trend = piecewise_trend(n, &[TrendSegment { start: 0, level: 0.0, slope: 0.0 }]);
+    let residual = gaussian_noise(n, 0.05, &mut rng);
+    let values: Vec<f64> = (0..n).map(|i| trend[i] + seasonal[i] + residual[i]).collect();
+    StdDataset {
+        name: "Syn2".into(),
+        values,
+        period: t,
+        truth: Some(Decomposition { trend, seasonal, residual }),
+    }
+}
+
+/// Real1-like — API request rate with an **abrupt trend change**
+/// (paper Fig. 4(c)). Daily pattern, values roughly in [0, 1], a sustained
+/// capacity step around 60% of the series. No ground truth (matches the
+/// paper: Fig. 6 comparisons are qualitative).
+pub fn real1_like(seed: u64) -> StdDataset {
+    let n = 9000;
+    let t = 500;
+    let mut rng = rng_from(seed.wrapping_add(0x5EED_0003));
+    let season = SeasonTemplate::request_rate(t, &mut rng);
+    let trend = piecewise_trend(
+        n,
+        &[
+            TrendSegment { start: 0, level: 0.35, slope: 0.0 },
+            TrendSegment { start: 5400, level: 0.65, slope: -0.00001 },
+        ],
+    );
+    let seasonal = season.render(n, 0.25);
+    let noise = gaussian_noise(n, 0.02, &mut rng);
+    let values: Vec<f64> =
+        (0..n).map(|i| (trend[i] + seasonal[i] + noise[i]).max(0.0)).collect();
+    StdDataset { name: "Real1".into(), values, period: t, truth: None }
+}
+
+/// Real2-like — **weak seasonality with observable noise**
+/// (paper Fig. 4(d)). Heavy-tailed noise dominates a small daily pattern;
+/// the trend drifts slowly.
+pub fn real2_like(seed: u64) -> StdDataset {
+    let n = 7000;
+    let t = 500;
+    let mut rng = rng_from(seed.wrapping_add(0x5EED_0004));
+    let season = SeasonTemplate::request_rate(t, &mut rng);
+    let trend = piecewise_trend(
+        n,
+        &[
+            TrendSegment { start: 0, level: 0.4, slope: 0.00002 },
+            TrendSegment { start: 3500, level: 0.5, slope: -0.00002 },
+        ],
+    );
+    let seasonal = season.render(n, 0.06);
+    let noise = laplace_noise(n, 0.05, &mut rng);
+    let values: Vec<f64> =
+        (0..n).map(|i| (trend[i] + seasonal[i] + noise[i]).max(0.0)).collect();
+    StdDataset { name: "Real2".into(), values, period: t, truth: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::seasonal_strength;
+
+    #[test]
+    fn syn1_additive_identity_and_shape() {
+        let d = syn1(7);
+        assert_eq!(d.values.len(), 7000);
+        assert_eq!(d.period, 500);
+        let truth = d.truth.as_ref().unwrap();
+        assert_eq!(truth.check_additive(&d.values, 1e-9), None);
+        // abrupt jump exists at 1800
+        assert!((truth.trend[1800] - truth.trend[1799]).abs() > 1.0);
+    }
+
+    #[test]
+    fn syn2_shift_is_present_and_bounded() {
+        let d = syn2(7);
+        let truth = d.truth.unwrap();
+        // cycle 3 (unshifted) vs cycle 4 (shifted): same template, offset 10
+        let t = d.period;
+        for i in 0..t - 10 {
+            let unshifted = truth.seasonal[3 * t + i];
+            let shifted = truth.seasonal[4 * t + i + 10];
+            assert!((unshifted - shifted).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn real_series_are_nonnegative_and_seasonal() {
+        let r1 = real1_like(3);
+        assert!(r1.values.iter().all(|&v| v >= 0.0));
+        assert!(seasonal_strength(&r1.values, r1.period) > 0.6);
+        let r2 = real2_like(3);
+        assert!(r2.values.iter().all(|&v| v >= 0.0));
+        // weak seasonality by construction
+        assert!(seasonal_strength(&r2.values, r2.period) < 0.6);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(syn1(1).values, syn1(1).values);
+        assert_ne!(syn1(1).values, syn1(2).values);
+    }
+}

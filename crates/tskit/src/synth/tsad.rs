@@ -1,0 +1,278 @@
+//! Synthetic stand-ins for the TSB-UAD anomaly benchmark (17 dataset
+//! families, Table 3) and the KDD CUP 2021 dataset (Table 4).
+//!
+//! Each family mirrors the salient statistics of its real counterpart —
+//! season length, seasonality strength, noise level/tail, and the dominant
+//! anomaly types. Family parameters were chosen from the dataset
+//! descriptions in the TSB-UAD paper (Paparrizos et al., VLDB 2022).
+
+use super::anomaly::{inject, pick_spans, AnomalyKind};
+use super::components::{
+    gaussian_noise, laplace_noise, piecewise_trend, random_walk, rng_from, SeasonTemplate,
+    TrendSegment,
+};
+use crate::series::LabeledSeries;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A named family of labelled series (stand-in for one TSB-UAD dataset).
+#[derive(Debug, Clone)]
+pub struct TsadFamily {
+    /// Family name (mirrors the TSB-UAD dataset name).
+    pub name: String,
+    /// Labelled member series.
+    pub series: Vec<LabeledSeries>,
+}
+
+struct FamilySpec {
+    name: &'static str,
+    length: usize,
+    period: usize,
+    seasonal_amp: f64,
+    noise: f64,
+    heavy_tail: bool,
+    wandering_trend: bool,
+    kinds: &'static [AnomalyKind],
+    anomalies: usize,
+    subseq: (usize, usize),
+    /// Mackey-Glass chaotic base signal instead of season+trend.
+    chaotic: bool,
+}
+
+const SPECS: &[FamilySpec] = &[
+    FamilySpec { name: "Daphnet", length: 5000, period: 64, seasonal_amp: 0.8, noise: 0.35, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::LevelShift, AnomalyKind::Flatten], anomalies: 3, subseq: (40, 120), chaotic: false },
+    FamilySpec { name: "Dodgers", length: 6000, period: 144, seasonal_amp: 1.0, noise: 0.30, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 4, subseq: (30, 100), chaotic: false },
+    FamilySpec { name: "ECG", length: 8000, period: 96, seasonal_amp: 1.2, noise: 0.10, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange], anomalies: 4, subseq: (60, 150), chaotic: false },
+    FamilySpec { name: "Genesis", length: 5000, period: 50, seasonal_amp: 0.9, noise: 0.15, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Spike], anomalies: 3, subseq: (1, 1), chaotic: false },
+    FamilySpec { name: "GHL", length: 6000, period: 200, seasonal_amp: 0.8, noise: 0.12, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::LevelShift], anomalies: 3, subseq: (80, 200), chaotic: false },
+    FamilySpec { name: "IOPS", length: 7000, period: 144, seasonal_amp: 1.0, noise: 0.20, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 5, subseq: (20, 80), chaotic: false },
+    FamilySpec { name: "MGAB", length: 6000, period: 0, seasonal_amp: 0.0, noise: 0.02, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Reverse], anomalies: 3, subseq: (50, 120), chaotic: true },
+    FamilySpec { name: "MITDB", length: 8000, period: 128, seasonal_amp: 1.1, noise: 0.25, heavy_tail: true, wandering_trend: false, kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange], anomalies: 4, subseq: (60, 160), chaotic: false },
+    FamilySpec { name: "NAB", length: 5000, period: 100, seasonal_amp: 0.5, noise: 0.40, heavy_tail: true, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 3, subseq: (30, 90), chaotic: false },
+    FamilySpec { name: "NASA-MSL", length: 4500, period: 80, seasonal_amp: 0.4, noise: 0.30, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::LevelShift, AnomalyKind::Flatten], anomalies: 2, subseq: (60, 150), chaotic: false },
+    FamilySpec { name: "NASA-SMAP", length: 5000, period: 100, seasonal_amp: 0.6, noise: 0.25, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Flatten, AnomalyKind::LevelShift], anomalies: 2, subseq: (60, 150), chaotic: false },
+    FamilySpec { name: "Occupancy", length: 5500, period: 144, seasonal_amp: 1.0, noise: 0.15, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::LevelShift], anomalies: 3, subseq: (40, 120), chaotic: false },
+    FamilySpec { name: "Opportunity", length: 5000, period: 60, seasonal_amp: 0.3, noise: 0.45, heavy_tail: true, wandering_trend: true, kinds: &[AnomalyKind::NoiseBurst], anomalies: 3, subseq: (40, 100), chaotic: false },
+    FamilySpec { name: "SensorScope", length: 5000, period: 120, seasonal_amp: 0.7, noise: 0.35, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::NoiseBurst], anomalies: 4, subseq: (20, 70), chaotic: false },
+    FamilySpec { name: "SMD", length: 7000, period: 144, seasonal_amp: 1.0, noise: 0.18, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 4, subseq: (30, 100), chaotic: false },
+    FamilySpec { name: "SVDB", length: 8000, period: 128, seasonal_amp: 1.1, noise: 0.20, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange], anomalies: 4, subseq: (60, 160), chaotic: false },
+    FamilySpec { name: "YAHOO", length: 4000, period: 24, seasonal_amp: 1.0, noise: 0.15, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike], anomalies: 4, subseq: (1, 1), chaotic: false },
+];
+
+/// Names of all 17 families in Table 3 order.
+pub fn tsad_family_names() -> Vec<&'static str> {
+    SPECS.iter().map(|s| s.name).collect()
+}
+
+/// Mackey-Glass chaotic series (β=0.2, γ=0.1, n=10, τ=17), the basis of the
+/// MGAB benchmark.
+fn mackey_glass(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    let tau = 17usize;
+    let (beta, gamma, pow): (f64, f64, f64) = (0.2, 0.1, 10.0);
+    let warmup = 300;
+    let total = n + warmup + tau;
+    let mut x = Vec::with_capacity(total);
+    for _ in 0..=tau {
+        x.push(1.2 + 0.1 * rng.gen_range(-1.0..1.0));
+    }
+    for t in tau..total - 1 {
+        let xd = x[t - tau];
+        let next = x[t] + beta * xd / (1.0 + xd.powf(pow)) - gamma * x[t];
+        x.push(next);
+    }
+    let out: Vec<f64> = x[x.len() - n..].to_vec();
+    out
+}
+
+fn generate_base(spec: &FamilySpec, rng: &mut StdRng) -> Vec<f64> {
+    if spec.chaotic {
+        let mut base = mackey_glass(spec.length, rng);
+        let noise = gaussian_noise(spec.length, spec.noise, rng);
+        for (b, e) in base.iter_mut().zip(noise) {
+            *b += e;
+        }
+        return base;
+    }
+    let season = SeasonTemplate::random(spec.period.max(2), 3, rng);
+    let trend = if spec.wandering_trend {
+        random_walk(spec.length, 0.0, 0.01, rng)
+    } else {
+        piecewise_trend(spec.length, &[TrendSegment { start: 0, level: 0.0, slope: 0.0 }])
+    };
+    let noise = if spec.heavy_tail {
+        laplace_noise(spec.length, spec.noise / std::f64::consts::SQRT_2, rng)
+    } else {
+        gaussian_noise(spec.length, spec.noise, rng)
+    };
+    (0..spec.length)
+        .map(|i| trend[i] + spec.seasonal_amp * season.at(i) + noise[i])
+        .collect()
+}
+
+fn generate_series(spec: &FamilySpec, idx: usize, seed: u64) -> LabeledSeries {
+    let mut rng = rng_from(seed ^ (0x7A5D << 16) ^ (idx as u64));
+    let mut values = generate_base(spec, &mut rng);
+    let mut labels = vec![false; values.len()];
+    // Paper protocol: first 3000 points (or train part) initialize online
+    // methods; anomalies live in the test region.
+    let split = 3000.min(values.len() * 2 / 5).max(4 * spec.period.max(25));
+    let scale = crate::stats::std_dev(&values).max(1e-6);
+    let spans = pick_spans(
+        split + spec.period.max(25),
+        values.len().saturating_sub(spec.period.max(25)),
+        spec.anomalies,
+        spec.subseq,
+        2 * spec.period.max(25),
+        &mut rng,
+    );
+    for &(start, len) in &spans {
+        let kind = spec.kinds[rng.gen_range(0..spec.kinds.len())];
+        let len = if matches!(kind, AnomalyKind::Spike) { 1 } else { len };
+        inject(&mut values, &mut labels, kind, start, len, scale, &mut rng);
+    }
+    LabeledSeries {
+        name: format!("{}-{}", spec.name, idx),
+        values,
+        labels,
+        split,
+        period: if spec.chaotic { None } else { Some(spec.period) },
+    }
+}
+
+/// Generates one family by name with `n_series` members.
+///
+/// # Panics
+/// Panics on an unknown family name (see [`tsad_family_names`]).
+pub fn tsad_family(name: &str, n_series: usize, seed: u64) -> TsadFamily {
+    let spec = SPECS
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown TSAD family `{name}`"));
+    let series = (0..n_series).map(|i| generate_series(spec, i, seed)).collect();
+    TsadFamily { name: spec.name.to_string(), series }
+}
+
+/// The full 17-family suite (Table 3 stand-in).
+pub fn tsad_suite(n_series: usize, seed: u64) -> Vec<TsadFamily> {
+    SPECS.iter().map(|s| tsad_family(s.name, n_series, seed)).collect()
+}
+
+/// KDD CUP 2021 stand-in: `n` series, each with exactly **one** anomaly
+/// event located after the train/test split (Table 4 protocol).
+pub fn kdd21_like(n: usize, seed: u64) -> Vec<LabeledSeries> {
+    let kinds = [
+        AnomalyKind::Spike,
+        AnomalyKind::Reverse,
+        AnomalyKind::Flatten,
+        AnomalyKind::AmplitudeChange,
+        AnomalyKind::LevelShift,
+    ];
+    (0..n)
+        .map(|i| {
+            let mut rng = rng_from(seed ^ 0x0DD2_1CC0_FFEE ^ (i as u64));
+            let period = rng.gen_range(60..300);
+            let length = rng.gen_range(6000..9000);
+            let spec = FamilySpec {
+                name: "KDD21",
+                length,
+                period,
+                seasonal_amp: rng.gen_range(0.6..1.2),
+                noise: rng.gen_range(0.08..0.3),
+                heavy_tail: rng.gen_bool(0.3),
+                wandering_trend: rng.gen_bool(0.5),
+                kinds: &[],
+                anomalies: 0,
+                subseq: (0, 0),
+                chaotic: false,
+            };
+            let mut values = generate_base(&spec, &mut rng);
+            let mut labels = vec![false; values.len()];
+            let split = (length as f64 * rng.gen_range(0.35..0.5)) as usize;
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let len = if matches!(kind, AnomalyKind::Spike) {
+                1
+            } else {
+                rng.gen_range(period / 2..=period)
+            };
+            let start = rng.gen_range(split + 2 * period..length - len - period);
+            let scale = crate::stats::std_dev(&values).max(1e-6);
+            inject(&mut values, &mut labels, kind, start, len, scale, &mut rng);
+            LabeledSeries {
+                name: format!("KDD21-{i}"),
+                values,
+                labels,
+                split,
+                period: Some(period),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_17_families() {
+        let names = tsad_family_names();
+        assert_eq!(names.len(), 17);
+        assert!(names.contains(&"YAHOO"));
+        assert!(names.contains(&"MGAB"));
+    }
+
+    #[test]
+    fn family_series_have_test_anomalies() {
+        for name in ["ECG", "IOPS", "YAHOO", "MGAB"] {
+            let fam = tsad_family(name, 2, 11);
+            assert_eq!(fam.series.len(), 2);
+            for s in &fam.series {
+                assert!(s.split >= 100);
+                assert!(
+                    s.test_anomaly_count() > 0,
+                    "{}: no anomalies injected in test region",
+                    s.name
+                );
+                // train region is clean
+                assert!(s.labels[..s.split].iter().all(|&b| !b));
+            }
+        }
+    }
+
+    #[test]
+    fn kdd21_has_exactly_one_event() {
+        let series = kdd21_like(5, 3);
+        assert_eq!(series.len(), 5);
+        for s in &series {
+            let marked = s.labels.iter().filter(|&&b| b).count();
+            assert!(marked >= 1);
+            // one contiguous event: count label edges
+            let mut edges = 0;
+            let mut prev = false;
+            for &l in &s.labels {
+                if l != prev {
+                    edges += 1;
+                    prev = l;
+                }
+            }
+            assert!(edges <= 2, "{}: more than one event", s.name);
+            assert!(s.labels[..s.split].iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn mackey_glass_is_bounded_and_aperiodic() {
+        let mut rng = rng_from(5);
+        let x = mackey_glass(3000, &mut rng);
+        assert_eq!(x.len(), 3000);
+        assert!(x.iter().all(|v| v.is_finite() && v.abs() < 5.0));
+        // chaotic: autocorrelation should decay, no clean period
+        assert!(crate::stats::seasonal_strength(&x, 50) < 0.9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tsad_family("ECG", 1, 9);
+        let b = tsad_family("ECG", 1, 9);
+        assert_eq!(a.series[0].values, b.series[0].values);
+    }
+}

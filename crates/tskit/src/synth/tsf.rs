@@ -1,0 +1,230 @@
+//! Synthetic stand-ins for the six Informer forecasting benchmarks
+//! (ETTm2, Electricity, Exchange, Traffic, Weather, Illness — Table 5).
+//!
+//! Each family reproduces the property that drives Table 5's outcome:
+//! the strength and length of seasonality. ETTm2 / Electricity / Traffic /
+//! Weather are strongly seasonal (STD-based forecasters competitive with
+//! the best deep models); Exchange is a random walk and Illness is short
+//! with weak seasonality (STD forecasters fall behind).
+
+use super::components::{
+    gaussian_noise, random_walk, rng_from, sample_standard_normal, SeasonTemplate,
+};
+use rand::Rng;
+
+/// A forecasting dataset with the standard chronological split.
+#[derive(Debug, Clone)]
+pub struct TsfDataset {
+    /// Dataset identifier (mirrors the Informer benchmark name).
+    pub name: String,
+    /// Values (train + validation + test, chronological).
+    pub values: Vec<f64>,
+    /// Dominant seasonal period.
+    pub period: usize,
+    /// End of the training region (exclusive).
+    pub train_end: usize,
+    /// End of the validation region (exclusive); test is the remainder.
+    pub val_end: usize,
+    /// Forecasting horizons evaluated on this dataset.
+    pub horizons: Vec<usize>,
+}
+
+impl TsfDataset {
+    /// Training slice.
+    pub fn train(&self) -> &[f64] {
+        &self.values[..self.train_end]
+    }
+
+    /// Validation slice.
+    pub fn val(&self) -> &[f64] {
+        &self.values[self.train_end..self.val_end]
+    }
+
+    /// Test slice.
+    pub fn test(&self) -> &[f64] {
+        &self.values[self.val_end..]
+    }
+}
+
+/// Names of the six datasets in Table 5 order.
+pub fn tsf_dataset_names() -> Vec<&'static str> {
+    vec!["ETTm2", "Electricity", "Exchange", "Traffic", "Weather", "Illness"]
+}
+
+fn split(n: usize) -> (usize, usize) {
+    // Informer convention: 70% train / 10% val / 20% test.
+    let train_end = n * 7 / 10;
+    let val_end = n * 8 / 10;
+    (train_end, val_end)
+}
+
+/// Generates one dataset by name.
+///
+/// # Panics
+/// Panics on an unknown name (see [`tsf_dataset_names`]).
+pub fn tsf_dataset(name: &str, seed: u64) -> TsfDataset {
+    let mut rng = rng_from(seed ^ 0x75F0_0000 ^ name.bytes().map(u64::from).sum::<u64>());
+    let long_horizons = vec![96, 192, 336, 720];
+    match name {
+        // 15-minute data, daily season of 96 steps; smooth temperature-like
+        // trend; strong seasonality.
+        "ETTm2" => {
+            let n = 11520; // 120 days
+            let t = 96;
+            let season = SeasonTemplate::random(t, 3, &mut rng);
+            let trend = random_walk(n, 0.0, 0.02, &mut rng);
+            let noise = gaussian_noise(n, 0.15, &mut rng);
+            let values =
+                (0..n).map(|i| trend[i] + 1.0 * season.at(i) + noise[i]).collect();
+            let (a, b) = split(n);
+            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+        }
+        // hourly consumption: daily (24) nested in weekly (168) pattern,
+        // very strong seasonality, low noise.
+        "Electricity" => {
+            let n = 10080; // 60 weeks of hourly data
+            let t = 168;
+            let daily = SeasonTemplate::request_rate(24, &mut rng);
+            let weekly = SeasonTemplate::random(t, 2, &mut rng);
+            let trend = random_walk(n, 0.0, 0.005, &mut rng);
+            let noise = gaussian_noise(n, 0.08, &mut rng);
+            let values = (0..n)
+                .map(|i| trend[i] + 0.9 * daily.at(i) + 0.5 * weekly.at(i) + noise[i])
+                .collect();
+            let (a, b) = split(n);
+            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+        }
+        // daily FX rates: pure random walk, no seasonality at all.
+        "Exchange" => {
+            let n = 7588;
+            let values = random_walk(n, 0.8, 0.006, &mut rng);
+            let (a, b) = split(n);
+            TsfDataset { name: name.into(), values, period: 30, train_end: a, val_end: b, horizons: long_horizons }
+        }
+        // hourly road occupancy: strong daily+weekly season, occasional
+        // congestion spikes, non-negative.
+        "Traffic" => {
+            let n = 10080;
+            let t = 168;
+            let daily = SeasonTemplate::request_rate(24, &mut rng);
+            let weekly = SeasonTemplate::random(t, 2, &mut rng);
+            let noise = gaussian_noise(n, 0.06, &mut rng);
+            let values = (0..n)
+                .map(|i| {
+                    let mut v = 0.5 + 0.35 * daily.at(i) + 0.15 * weekly.at(i) + noise[i];
+                    // sporadic congestion bursts
+                    if rng.gen_bool(0.002) {
+                        v += rng.gen_range(0.3..0.8);
+                    }
+                    v.max(0.0)
+                })
+                .collect();
+            let (a, b) = split(n);
+            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+        }
+        // 10-minute meteorological data: very smooth, strong daily season
+        // (144 steps), tiny noise — the easiest family in Table 5.
+        "Weather" => {
+            let n = 14400; // 100 days
+            let t = 144;
+            let season = SeasonTemplate::random(t, 2, &mut rng);
+            let trend = random_walk(n, 0.0, 0.003, &mut rng);
+            // smooth the noise with an AR(1) to mimic weather inertia
+            let mut ar = 0.0;
+            let values = (0..n)
+                .map(|i| {
+                    ar = 0.9 * ar + 0.01 * sample_standard_normal(&mut rng);
+                    trend[i] + 0.12 * season.at(i) + ar
+                })
+                .collect();
+            let (a, b) = split(n);
+            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+        }
+        // weekly influenza counts: short series, weak yearly (52-week)
+        // seasonality, level changes between flu seasons.
+        "Illness" => {
+            let n = 966;
+            let t = 52;
+            let season = SeasonTemplate::random(t, 2, &mut rng);
+            let trend = random_walk(n, 1.5, 0.05, &mut rng);
+            let noise = gaussian_noise(n, 0.35, &mut rng);
+            let values = (0..n)
+                .map(|i| {
+                    // season amplitude itself varies year to year
+                    let year = i / t;
+                    let amp = 0.5 + 0.3 * ((year * 2654435761) % 7) as f64 / 7.0;
+                    (trend[i] + amp * season.at(i) + noise[i]).max(0.0)
+                })
+                .collect();
+            let (a, b) = split(n);
+            TsfDataset {
+                name: name.into(),
+                values,
+                period: t,
+                train_end: a,
+                val_end: b,
+                horizons: vec![24, 36, 48, 60],
+            }
+        }
+        other => panic!("unknown TSF dataset `{other}`"),
+    }
+}
+
+/// The full six-dataset suite (Table 5 stand-in).
+pub fn tsf_suite(seed: u64) -> Vec<TsfDataset> {
+    tsf_dataset_names().into_iter().map(|n| tsf_dataset(n, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::seasonal_strength;
+
+    #[test]
+    fn suite_has_six_datasets_with_valid_splits() {
+        let suite = tsf_suite(1);
+        assert_eq!(suite.len(), 6);
+        for d in &suite {
+            assert!(d.train_end < d.val_end && d.val_end < d.values.len(), "{}", d.name);
+            assert!(!d.horizons.is_empty());
+            let max_h = *d.horizons.iter().max().unwrap();
+            assert!(
+                d.test().len() > max_h,
+                "{}: test region shorter than max horizon",
+                d.name
+            );
+            assert!(d.values.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn seasonal_families_are_strongly_seasonal() {
+        for name in ["ETTm2", "Traffic", "Weather"] {
+            let d = tsf_dataset(name, 2);
+            let s = seasonal_strength(&d.values, d.period);
+            assert!(s > 0.5, "{name}: seasonal strength {s}");
+        }
+    }
+
+    #[test]
+    fn exchange_is_not_seasonal() {
+        let d = tsf_dataset("Exchange", 2);
+        // test a handful of candidate periods: none should be strong
+        for t in [24, 30, 96, 168] {
+            assert!(seasonal_strength(&d.values, t) < 0.4, "period {t}");
+        }
+    }
+
+    #[test]
+    fn illness_uses_short_horizons() {
+        let d = tsf_dataset("Illness", 3);
+        assert_eq!(d.horizons, vec![24, 36, 48, 60]);
+        assert!(d.values.len() < 1500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(tsf_dataset("ETTm2", 5).values, tsf_dataset("ETTm2", 5).values);
+        assert_ne!(tsf_dataset("ETTm2", 5).values, tsf_dataset("ETTm2", 6).values);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the numeric substrate: these invariants are
+//! what the OneShotSTL solver stack silently relies on.
+
+use proptest::prelude::*;
+use tskit::fft::{ifft, rfft, sliding_dot_product, sliding_dot_product_naive};
+use tskit::linalg::{solve_tridiagonal, SymBanded};
+use tskit::ring::RingBuffer;
+use tskit::stats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT round-trip is the identity for any real signal.
+    #[test]
+    fn fft_roundtrip_identity(x in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let spec = rfft(&x, x.len());
+        let back = ifft(spec);
+        for (i, v) in x.iter().enumerate() {
+            prop_assert!((back[i] - v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+    }
+
+    /// FFT sliding dot products match the naive O(n·m) computation.
+    #[test]
+    fn sliding_dot_product_agrees_with_naive(
+        series in prop::collection::vec(-100f64..100.0, 8..120),
+        qlen in 2usize..8,
+    ) {
+        prop_assume!(qlen <= series.len());
+        let query = &series[..qlen];
+        let fast = sliding_dot_product(query, &series);
+        let slow = sliding_dot_product_naive(query, &series);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Banded LDLᵀ solves diagonally dominant systems to high accuracy.
+    #[test]
+    fn banded_solver_solves_dd_systems(
+        n in 2usize..40,
+        w in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let w = w.min(n - 1);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = SymBanded::zeros(n, w);
+        for i in 0..n {
+            for d in 1..=w.min(i) {
+                a.set(i, i - d, rnd());
+            }
+        }
+        for i in 0..n {
+            let mut row = 0.0;
+            for j in 0..n {
+                if j != i {
+                    row += a.get(i, j).abs();
+                }
+            }
+            a.set(i, i, row + 1.0);
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| rnd() * 10.0).collect();
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-6, "i={} {} vs {}", i, x[i], x_true[i]);
+        }
+    }
+
+    /// Thomas algorithm agrees with the banded solver on SPD tridiagonals.
+    #[test]
+    fn tridiagonal_matches_banded(n in 2usize..50, seed in 0u64..500) {
+        let mut s = seed.wrapping_add(7);
+        let mut rnd = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let sub: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+        let diag: Vec<f64> = (0..n).map(|_| 3.0 + rnd().abs()).collect();
+        let b: Vec<f64> = (0..n).map(|_| rnd() * 5.0).collect();
+        let x1 = solve_tridiagonal(&sub, &diag, &sub, &b).unwrap();
+        let mut a = SymBanded::zeros(n, 1);
+        for i in 0..n {
+            a.set(i, i, diag[i]);
+            if i + 1 < n {
+                a.set(i + 1, i, sub[i]);
+            }
+        }
+        let x2 = a.solve(&b).unwrap();
+        for i in 0..n {
+            prop_assert!((x1[i] - x2[i]).abs() < 1e-8);
+        }
+    }
+
+    /// Ring buffer behaves like a Vec truncated to the last `cap` items.
+    #[test]
+    fn ring_buffer_matches_vec_model(
+        cap in 1usize..20,
+        values in prop::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut rb = RingBuffer::new(cap);
+        for &v in &values {
+            rb.push(v);
+        }
+        let start = values.len().saturating_sub(cap);
+        let model = &values[start..];
+        prop_assert_eq!(rb.len(), model.len());
+        prop_assert_eq!(rb.to_vec(), model.to_vec());
+        if !model.is_empty() {
+            prop_assert_eq!(rb.back(0), *model.last().unwrap());
+            prop_assert_eq!(rb.get(0), model[0]);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        x in prop::collection::vec(-1e4f64..1e4, 1..80),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&x, lo);
+        let b = stats::quantile(&x, hi);
+        prop_assert!(a <= b + 1e-12);
+        prop_assert!(a >= stats::min(&x) - 1e-12);
+        prop_assert!(b <= stats::max(&x) + 1e-12);
+    }
+
+    /// Welford streaming moments match the batch formulas.
+    #[test]
+    fn running_stats_match_batch(x in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let mut rs = stats::RunningStats::new();
+        for &v in &x {
+            rs.push(v);
+        }
+        prop_assert!((rs.mean() - stats::mean(&x)).abs() < 1e-6);
+        prop_assert!((rs.variance() - stats::variance(&x)).abs() < 1e-4 * (1.0 + stats::variance(&x)));
+    }
+
+    /// ACF is 1 at lag 0 and bounded by 1 in magnitude.
+    #[test]
+    fn acf_is_normalized(x in prop::collection::vec(-1e2f64..1e2, 3..120), lags in 1usize..20) {
+        let a = stats::acf(&x, lags);
+        prop_assert!((a[0] - 1.0).abs() < 1e-9 || stats::variance(&x) < 1e-12);
+        for v in &a {
+            prop_assert!(v.abs() <= 1.0 + 1e-9);
+        }
+    }
+}
