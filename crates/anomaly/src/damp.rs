@@ -146,10 +146,7 @@ mod tests {
         let mut damp = Damp::default();
         let scores = damp.score(&x[..split], &x[split..], t);
         let peak = tskit::stats::argmax(&scores).unwrap() + split;
-        assert!(
-            (800..800 + 2 * t).contains(&peak),
-            "anomaly at 800..816, peak at {peak}"
-        );
+        assert!((800..800 + 2 * t).contains(&peak), "anomaly at 800..816, peak at {peak}");
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod tests {
     use crate::znorm::znorm_distance;
 
     fn series(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.31).sin() + 0.3 * ((i * 7919) % 17) as f64 / 17.0).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.31).sin() + 0.3 * ((i * 7919) % 17) as f64 / 17.0)
+            .collect()
     }
 
     #[test]
@@ -65,12 +67,7 @@ mod tests {
         assert_eq!(prof.len(), s.len() - m + 1);
         for i in (0..prof.len()).step_by(13) {
             let direct = znorm_distance(q, &s[i..i + m]);
-            assert!(
-                (prof[i] - direct).abs() < 1e-6,
-                "i={i}: {} vs {}",
-                prof[i],
-                direct
-            );
+            assert!((prof[i] - direct).abs() < 1e-6, "i={i}: {} vs {}", prof[i], direct);
         }
         // self-match distance is ~0
         assert!(prof[40] < 1e-6);

@@ -85,9 +85,7 @@ impl TsadMethod for NormA {
                 point_cnt[j] += 1;
             }
         }
-        (train.len()..n)
-            .map(|i| point_sum[i] / point_cnt[i].max(1) as f64)
-            .collect()
+        (train.len()..n).map(|i| point_sum[i] / point_cnt[i].max(1) as f64).collect()
     }
 }
 

@@ -222,9 +222,8 @@ mod tests {
         x[500] -= 4.0; // spike of +2 total: within global range
         let mut raw = NSigmaDetector::default();
         let raw_scores = raw.score(&x[..4 * t], &x[4 * t..], t);
-        let mut std = StdNSigma::new("OneShotSTL", 5.0, || {
-            OneShotStl::new(OneShotStlConfig::default())
-        });
+        let mut std =
+            StdNSigma::new("OneShotSTL", 5.0, || OneShotStl::new(OneShotStlConfig::default()));
         let std_scores = std.score(&x[..4 * t], &x[4 * t..], t);
         let target = 500 - 4 * t;
         let rank = |scores: &[f64]| {
@@ -242,19 +241,15 @@ mod tests {
     fn prefilter_damp_scores_only_a_few_points() {
         let t = 24;
         let x = series_with_spike(1200, t, 900, 3);
-        let pre = StdNSigma::new("OneShotSTL", 5.0, || {
-            OneShotStl::new(OneShotStlConfig::default())
-        });
+        let pre =
+            StdNSigma::new("OneShotSTL", 5.0, || OneShotStl::new(OneShotStlConfig::default()));
         let mut hybrid = PrefilterDamp::new(pre);
         let scores = hybrid.score(&x[..400], &x[400..], t);
         let nonzero = scores.iter().filter(|&&s| s > 0.0).count();
         assert!(nonzero <= 1 + scores.len() / 50, "only ~1% rescored, got {nonzero}");
         // and the spike region still carries the top score
         let peak = tskit::stats::argmax(&scores).unwrap() + 400;
-        assert!(
-            (900..900 + 2 * t).contains(&peak),
-            "spike at 900, peak at {peak}"
-        );
+        assert!((900..900 + 2 * t).contains(&peak), "spike at 900, peak at {peak}");
     }
 
     #[test]

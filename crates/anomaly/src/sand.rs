@@ -67,8 +67,7 @@ impl Model {
             if counts[c] == 0 {
                 continue;
             }
-            let batch_mean: Vec<f64> =
-                sums[c].iter().map(|v| v / counts[c] as f64).collect();
+            let batch_mean: Vec<f64> = sums[c].iter().map(|v| v / counts[c] as f64).collect();
             // blend proportional to batch evidence
             let w = alpha * counts[c] as f64 / (counts[c] as f64 + self.mass[c]);
             for (cv, bv) in self.centroids[c].iter_mut().zip(&batch_mean) {
@@ -92,8 +91,7 @@ impl TsadMethod for Sand {
         // initial model from the training prefix
         let init_subs = znorm_subsequences(train, m, (m / 4).max(1));
         let km = kmeans(&init_subs, self.k, 15, self.seed);
-        let mass: Vec<f64> =
-            km.weights.iter().map(|w| w * init_subs.len() as f64).collect();
+        let mass: Vec<f64> = km.weights.iter().map(|w| w * init_subs.len() as f64).collect();
         let mut model = Model { centroids: km.centroids, mass };
         // process the test region in batches
         let batch_len = (self.batch_periods * m).max(2 * m);
@@ -128,11 +126,7 @@ impl TsadMethod for Sand {
                 scores[idx] = sums[j] / cnts[j].max(1) as f64;
             }
             // then absorb the batch into the model
-            let batch_subs = znorm_subsequences(
-                &ctx[cstart..],
-                m,
-                (m / 4).max(1),
-            );
+            let batch_subs = znorm_subsequences(&ctx[cstart..], m, (m / 4).max(1));
             model.update(&batch_subs, self.alpha);
             batch_start = batch_end;
         }
@@ -194,10 +188,7 @@ mod tests {
         // settle again
         let early: f64 = scores[600..640].iter().sum::<f64>() / 40.0; // right at change (abs 1000..1040)
         let late: f64 = scores[1200..1400].iter().sum::<f64>() / 200.0; // long after
-        assert!(
-            late < early,
-            "model should adapt: early {early}, late {late}"
-        );
+        assert!(late < early, "model should adapt: early {early}, late {late}");
     }
 
     #[test]

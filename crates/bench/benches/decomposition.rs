@@ -10,9 +10,7 @@ use std::hint::black_box;
 
 fn stream(n: usize, t: usize) -> Vec<f64> {
     (0..n)
-        .map(|i| {
-            0.001 * i as f64 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
-        })
+        .map(|i| 0.001 * i as f64 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
         .collect()
 }
 

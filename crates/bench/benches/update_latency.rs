@@ -10,9 +10,7 @@ use oneshotstl::OneShotStl;
 use std::hint::black_box;
 
 fn stream(n: usize, t: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| 1.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
-        .collect()
+    (0..n).map(|i| 1.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect()
 }
 
 fn bench_updates(c: &mut Criterion) {

@@ -10,10 +10,8 @@ use tskit::synth::tsf_dataset;
 fn main() {
     let cli = Cli::parse();
     let datasets = ["ETTm2", "Electricity", "Traffic", "Weather"];
-    let mut exp = Experiment::new(
-        "fig10_ablation",
-        "Figure 10 — TSF MAE, I = 1 vs I = 8 (H = 20)",
-    );
+    let mut exp =
+        Experiment::new("fig10_ablation", "Figure 10 — TSF MAE, I = 1 vs I = 8 (H = 20)");
     exp.para(
         "More IRLS iterations refine the trend/seasonal split. The paper \
          reports I = 8 at least as good as I = 1 on most settings, with \
@@ -30,10 +28,8 @@ fn main() {
             let mut row = vec![name.to_string(), h.to_string()];
             for &iters in &[1usize, 8] {
                 let init_end = (4 * ds.period).min(ds.train_end / 2).max(2 * ds.period + 2);
-                let mut f = StdOnlineForecaster::new(
-                    "OneShotSTL",
-                    oneshotstl_with(100.0, iters, 20),
-                );
+                let mut f =
+                    StdOnlineForecaster::new("OneShotSTL", oneshotstl_with(100.0, iters, 20));
                 match evaluate_online(&mut f, &z, ds.period, init_end, ds.val_end, h, h) {
                     Ok(r) => {
                         row.push(fmt3(r.mae));

@@ -76,12 +76,7 @@ fn main() {
             match measure(m.as_mut(), &stream, t, init_len, budget, max_points) {
                 Some((us, points)) => {
                     row.push(format!("{us:.1}µs ({points} pts)"));
-                    csv.push(vec![
-                        t.to_string(),
-                        name,
-                        format!("{us}"),
-                        points.to_string(),
-                    ]);
+                    csv.push(vec![t.to_string(), name, format!("{us}"), points.to_string()]);
                 }
                 None => {
                     row.push(format!("init>{}", fmt_duration(started.elapsed())));

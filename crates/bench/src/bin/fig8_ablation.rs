@@ -12,10 +12,8 @@ fn main() {
     let cli = Cli::parse();
     let n_series = if cli.quick { 1 } else { 2 };
     let deltas: &[usize] = if cli.quick { &[0, 10, 20] } else { &[0, 5, 10, 15, 20] };
-    let mut exp = Experiment::new(
-        "fig8_ablation",
-        "Figure 8 — TSAD vs period error ΔT, H ∈ {0, 20}",
-    );
+    let mut exp =
+        Experiment::new("fig8_ablation", "Figure 8 — TSAD vs period error ΔT, H ∈ {0, 20}");
     exp.para(
         "OneShotSTL receives T + ΔT instead of the true period. The paper's \
          expectation: H = 20 dominates H = 0 everywhere, and accuracy \
@@ -32,8 +30,7 @@ fn main() {
             let mut hits = 0usize;
             for s in &kdd {
                 let period = s.period.expect("generator sets period") + dt;
-                let mut m =
-                    StdNSigma::new("OneShotSTL", 5.0, || oneshotstl_with(100.0, 8, h));
+                let mut m = StdNSigma::new("OneShotSTL", 5.0, || oneshotstl_with(100.0, 8, h));
                 let scores = m.score(s.train(), s.test(), period);
                 if kdd21_hit(&scores, s.test_labels(), 100) {
                     hits += 1;
@@ -56,12 +53,7 @@ fn main() {
                 }
                 let v = total / fam.series.len() as f64;
                 row.push(fmt3(v));
-                csv.push(vec![
-                    h.to_string(),
-                    dt.to_string(),
-                    fam_name.into(),
-                    format!("{v}"),
-                ]);
+                csv.push(vec![h.to_string(), dt.to_string(), fam_name.into(), format!("{v}")]);
             }
             rows.push(row);
             eprintln!("H={h} ΔT={dt} done");

@@ -11,10 +11,8 @@ fn main() {
     let cli = Cli::parse();
     let deltas: &[usize] = if cli.quick { &[0, 10, 20] } else { &[0, 5, 10, 15, 20] };
     let datasets = ["ETTm2", "Electricity", "Traffic", "Weather"];
-    let mut exp = Experiment::new(
-        "fig9_ablation",
-        "Figure 9 — TSF MAE vs period error ΔT, H ∈ {0, 20}",
-    );
+    let mut exp =
+        Experiment::new("fig9_ablation", "Figure 9 — TSF MAE vs period error ΔT, H ∈ {0, 20}");
     exp.para(
         "Unlike TSAD (Fig. 8), forecasting cannot correct a wrong T for \
          future points (ŷ uses v[(t+i) mod T] directly), so the paper \
@@ -32,12 +30,11 @@ fn main() {
                 let horizon = 96usize;
                 let period = ds.period + dt;
                 let init_end = (4 * period).min(ds.train_end / 2).max(2 * period + 2);
-                let mut f = StdOnlineForecaster::new(
-                    "OneShotSTL",
-                    oneshotstl_with(100.0, 8, h),
-                );
-                match evaluate_online(&mut f, &z, period, init_end, ds.val_end, horizon, horizon)
-                {
+                let mut f =
+                    StdOnlineForecaster::new("OneShotSTL", oneshotstl_with(100.0, 8, h));
+                match evaluate_online(
+                    &mut f, &z, period, init_end, ds.val_end, horizon, horizon,
+                ) {
                     Ok(r) => {
                         row.push(fmt3(r.mae));
                         csv.push(vec![

@@ -1,0 +1,187 @@
+//! Fleet engine throughput: points/sec vs. shard count at two fleet sizes.
+//!
+//! Protocol: for each fleet size, one engine is warmed to fully-live state
+//! (fixed period 24, `init_len` 72 points per series) and snapshotted; each
+//! shard-count configuration then restores that snapshot — exercising the
+//! codec at scale — and ingests full-fleet rounds in 8192-record batches.
+//! Only the live-scoring phase is timed.
+//!
+//! Emits `BENCH_fleet.json` in the working directory (the repo's perf
+//! trajectory seed) and a markdown report under `target/experiments/`.
+//! Note: shard scaling is hardware-bound — the JSON records the host's
+//! core count so flat curves on small machines read as what they are.
+
+use benchkit::{fmt_duration, Cli, Experiment};
+use fleet::{FleetConfig, FleetEngine, PeriodPolicy, Record, SeriesKey};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PERIOD: usize = 24;
+const BATCH: usize = 8192;
+
+struct Run {
+    series: usize,
+    shards: usize,
+    points: u64,
+    elapsed_s: f64,
+    points_per_sec: f64,
+    restore_s: f64,
+    snapshot_mib: f64,
+}
+
+fn series_value(series: usize, t: u64) -> f64 {
+    let phase = (series % 17) as f64 * 0.37;
+    (2.0 * std::f64::consts::PI * (t as f64 / PERIOD as f64 + phase)).sin()
+        + 0.001 * (series % 5) as f64 * t as f64
+}
+
+fn keys(n: usize) -> Vec<SeriesKey> {
+    (0..n).map(|s| SeriesKey::new(format!("fleet/metric-{s}"))).collect()
+}
+
+/// Full-fleet rounds of ingest in `BATCH`-record chunks; returns points sent.
+fn pump(engine: &mut FleetEngine, keys: &[SeriesKey], t0: u64, rounds: u64) -> u64 {
+    let mut points = 0u64;
+    for round in 0..rounds {
+        let t = t0 + round;
+        for (chunk_idx, chunk) in keys.chunks(BATCH).enumerate() {
+            let batch: Vec<Record> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, k)| Record::new(k.clone(), t, series_value(chunk_idx * BATCH + i, t)))
+                .collect();
+            points += batch.len() as u64;
+            engine.ingest(batch).expect("ingest");
+        }
+    }
+    points
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let fleet_sizes: &[usize] = if cli.quick { &[1_000, 5_000] } else { &[10_000, 100_000] };
+    let shard_counts = [1usize, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut report = Experiment::new("fleet_throughput", "Fleet engine throughput");
+
+    for &n_series in fleet_sizes {
+        let warm_rounds = (FleetConfig::default().init_len(PERIOD) + 8) as u64;
+        let score_rounds: u64 = if cli.quick {
+            4
+        } else if n_series >= 100_000 {
+            5
+        } else {
+            20
+        };
+        let keys = keys(n_series);
+
+        // warm one engine to fully-live, snapshot it once
+        eprintln!("[fleet_throughput] warming {n_series} series ({warm_rounds} rounds)…");
+        let t_warm = Instant::now();
+        let mut warm = FleetEngine::new(FleetConfig {
+            shards: 4,
+            period: PeriodPolicy::Fixed(PERIOD),
+            ..Default::default()
+        })
+        .expect("engine config");
+        pump(&mut warm, &keys, 0, warm_rounds);
+        let stats = warm.stats().expect("stats");
+        assert_eq!(stats.live, n_series, "all series live after warm-up");
+        let snapshot = warm.snapshot_bytes().expect("snapshot");
+        drop(warm);
+        eprintln!(
+            "[fleet_throughput]   warmed in {}, snapshot {:.1} MiB",
+            fmt_duration(t_warm.elapsed()),
+            snapshot.len() as f64 / (1 << 20) as f64
+        );
+
+        for &shards in &shard_counts {
+            let t_restore = Instant::now();
+            let mut engine = {
+                let snap = fleet::codec::decode(&snapshot).expect("decode");
+                FleetEngine::restore_with_shards(snap, shards).expect("restore")
+            };
+            let restore_s = t_restore.elapsed().as_secs_f64();
+            let t_run = Instant::now();
+            let points = pump(&mut engine, &keys, warm_rounds, score_rounds);
+            let elapsed_s = t_run.elapsed().as_secs_f64();
+            let pps = points as f64 / elapsed_s;
+            eprintln!(
+                "[fleet_throughput]   {n_series} series × {shards} shards: \
+                 {points} pts in {} → {:.0} pts/s",
+                fmt_duration(t_run.elapsed()),
+                pps
+            );
+            runs.push(Run {
+                series: n_series,
+                shards,
+                points,
+                elapsed_s,
+                points_per_sec: pps,
+                restore_s,
+                snapshot_mib: snapshot.len() as f64 / (1 << 20) as f64,
+            });
+        }
+    }
+
+    // BENCH_fleet.json — hand-rolled (the workspace is dependency-free)
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"fleet_throughput\",");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"quick\": {},", cli.quick);
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"series\": {}, \"shards\": {}, \"points\": {}, \
+             \"elapsed_s\": {:.4}, \"points_per_sec\": {:.1}, \
+             \"restore_s\": {:.4}, \"snapshot_mib\": {:.2}}}{comma}",
+            r.series,
+            r.shards,
+            r.points,
+            r.elapsed_s,
+            r.points_per_sec,
+            r.restore_s,
+            r.snapshot_mib
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_fleet.json", &json).expect("writing BENCH_fleet.json");
+    eprintln!("[fleet_throughput] wrote BENCH_fleet.json");
+
+    // markdown report
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for r in &runs {
+        rows.push(vec![
+            r.series.to_string(),
+            r.shards.to_string(),
+            r.points.to_string(),
+            format!("{:.2}", r.elapsed_s),
+            format!("{:.0}", r.points_per_sec),
+            format!("{:.2}", r.restore_s),
+            format!("{:.1}", r.snapshot_mib),
+        ]);
+    }
+    report.table(
+        "Throughput (points/sec)",
+        &[
+            "series",
+            "shards",
+            "points",
+            "elapsed (s)",
+            "pts/sec",
+            "restore (s)",
+            "snapshot (MiB)",
+        ],
+        &rows,
+    );
+    report.para(&format!(
+        "host cores: {cores}; shard scaling is bounded by physical parallelism"
+    ));
+    report.finish();
+}

@@ -68,7 +68,12 @@ fn windowed_sampled(
     })
 }
 
-fn run_dataset(ds: &StdDataset, samples: usize, exp: &mut Experiment, rows_csv: &mut Vec<Vec<String>>) {
+fn run_dataset(
+    ds: &StdDataset,
+    samples: usize,
+    exp: &mut Experiment,
+    rows_csv: &mut Vec<Vec<String>>,
+) {
     let truth = ds.truth.as_ref().expect("synthetic dataset has ground truth");
     let t = ds.period;
     let split = 4 * t;
@@ -95,11 +100,9 @@ fn run_dataset(ds: &StdDataset, samples: usize, exp: &mut Experiment, rows_csv: 
     let stl = if t > 200 { Stl::fast() } else { Stl::new() };
     for batch in [Box::new(stl) as Box<dyn BatchDecomposer>, Box::new(RobustStl::new())] {
         match batch.decompose(&ds.values, t) {
-            Ok(d) => push(
-                batch.name(),
-                "Batch",
-                DecompErrors::over_range(&d, truth, eval.clone()),
-            ),
+            Ok(d) => {
+                push(batch.name(), "Batch", DecompErrors::over_range(&d, truth, eval.clone()))
+            }
             Err(e) => eprintln!("{} failed on {}: {e}", batch.name(), ds.name),
         }
     }
@@ -120,11 +123,9 @@ fn run_dataset(ds: &StdDataset, samples: usize, exp: &mut Experiment, rows_csv: 
         Box::new(OnlineRobustStl::new()),
     ] {
         match m.run_series(&ds.values, t, split) {
-            Ok(d) => push(
-                m.name(),
-                "Online",
-                DecompErrors::over_range(&d, truth, eval.clone()),
-            ),
+            Ok(d) => {
+                push(m.name(), "Online", DecompErrors::over_range(&d, truth, eval.clone()))
+            }
             Err(e) => eprintln!("{} failed on {}: {e}", m.name(), ds.name),
         }
         eprintln!("{}: {} done", ds.name, m.name());
@@ -134,11 +135,9 @@ fn run_dataset(ds: &StdDataset, samples: usize, exp: &mut Experiment, rows_csv: 
     let lambda = tune_lambda(&ds.values[..split], t);
     let mut oneshot = oneshotstl_tuned(lambda);
     match oneshot.run_series(&ds.values, t, split) {
-        Ok(d) => push(
-            "OneShotSTL",
-            "Online",
-            DecompErrors::over_range(&d, truth, eval.clone()),
-        ),
+        Ok(d) => {
+            push("OneShotSTL", "Online", DecompErrors::over_range(&d, truth, eval.clone()))
+        }
         Err(e) => eprintln!("OneShotSTL failed on {}: {e}", ds.name),
     }
     eprintln!("{}: OneShotSTL done (λ = {lambda})", ds.name);
@@ -169,10 +168,8 @@ fn run_dataset(ds: &StdDataset, samples: usize, exp: &mut Experiment, rows_csv: 
 fn main() {
     let cli = Cli::parse();
     let samples = if cli.quick { 12 } else { 40 };
-    let mut exp = Experiment::new(
-        "table2",
-        "Table 2 — decomposition MAE on synthetic datasets",
-    );
+    let mut exp =
+        Experiment::new("table2", "Table 2 — decomposition MAE on synthetic datasets");
     exp.para(
         "Synthetic stand-ins regenerate the paper's Syn1 (abrupt trend \
          changes, T=500) and Syn2 (four cycles shifted by 10 points, \

@@ -2,7 +2,9 @@
 //! a method scores when its top-ranked point falls in the anomaly's
 //! neighbourhood. Includes the paper's STD-prefilter + DAMP hybrids.
 
-use anomaly::{Damp, NSigmaDetector, NormA, PrefilterDamp, Sand, StdNSigma, Stompi, TsadMethod};
+use anomaly::{
+    Damp, NSigmaDetector, NormA, PrefilterDamp, Sand, StdNSigma, Stompi, TsadMethod,
+};
 use benchkit::adapters::{LstmLike, TranAdMethod, UsadMethod};
 use benchkit::methods::{oneshotstl_tuned, tune_lambda};
 use benchkit::paper::TABLE4_PAPER;
@@ -77,11 +79,7 @@ fn main() {
         csv.push(vec![name.clone(), format!("{score}"), format!("{}", elapsed.as_secs_f64())]);
         eprintln!("{name} done: {score:.3} in {}", fmt_duration(elapsed));
     }
-    exp.table(
-        "KDD21 accuracy",
-        &["Method", "Score", "Time", "paper"],
-        &rows,
-    );
+    exp.table("KDD21 accuracy", &["Method", "Score", "Time", "paper"], &rows);
     exp.para(
         "Expected shape: matrix-profile methods (DAMP/NormA) lead, plain \
          NSigma trails, STD methods land in between, and the \

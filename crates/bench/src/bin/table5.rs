@@ -44,11 +44,8 @@ fn main() {
     for ds in &suite {
         let scaler = Scaler::fit(ds.train());
         let z: Vec<f64> = scaler.transform(&ds.values);
-        let horizons: Vec<usize> = if cli.quick {
-            vec![ds.horizons[0]]
-        } else {
-            ds.horizons.clone()
-        };
+        let horizons: Vec<usize> =
+            if cli.quick { vec![ds.horizons[0]] } else { ds.horizons.clone() };
         for &h in &horizons {
             let stride = h; // non-overlapping windows
             let mut row = vec![format!("{} h={h}", ds.name)];
@@ -80,32 +77,32 @@ fn main() {
             }
             // online STD methods
             let init_end = (4 * ds.period).min(ds.train_end / 2).max(2 * ds.period + 2);
-            let mut run_online = |mi: usize,
-                                  row: &mut Vec<String>,
-                                  maes: &mut Vec<f64>,
-                                  r: tskit::Result<forecast::EvalReport>| {
-                match r {
-                    Ok(r) => {
-                        row.push(fmt3(r.mae));
-                        maes.push(r.mae);
-                        sums[mi] += r.mae;
-                        times[mi] += r.elapsed;
+            let mut run_online =
+                |mi: usize,
+                 row: &mut Vec<String>,
+                 maes: &mut Vec<f64>,
+                 r: tskit::Result<forecast::EvalReport>| {
+                    match r {
+                        Ok(r) => {
+                            row.push(fmt3(r.mae));
+                            maes.push(r.mae);
+                            sums[mi] += r.mae;
+                            times[mi] += r.elapsed;
+                        }
+                        Err(e) => {
+                            eprintln!("online method failed: {e}");
+                            row.push("-".into());
+                            maes.push(f64::NAN);
+                        }
                     }
-                    Err(e) => {
-                        eprintln!("online method failed: {e}");
-                        row.push("-".into());
-                        maes.push(f64::NAN);
-                    }
-                }
-            };
+                };
             {
                 let mut f = StdOnlineForecaster::new("OnlineSTL", OnlineStl::new());
                 let r = evaluate_online(&mut f, &z, ds.period, init_end, ds.val_end, h, stride);
                 run_online(6, &mut row, &mut maes, r);
             }
             {
-                let mut f =
-                    StdOnlineForecaster::new("OneShotSTL", oneshotstl_tuned(100.0));
+                let mut f = StdOnlineForecaster::new("OneShotSTL", oneshotstl_tuned(100.0));
                 let r = evaluate_online(&mut f, &z, ds.period, init_end, ds.val_end, h, stride);
                 run_online(7, &mut row, &mut maes, r);
             }
@@ -131,10 +128,8 @@ fn main() {
     let mut headers: Vec<&str> = vec!["Dataset"];
     headers.extend(method_names.iter());
     exp.table("MAE per dataset × horizon", &headers, &rows);
-    let paper_rows: Vec<Vec<String>> = TABLE5_PAPER_AVG
-        .iter()
-        .map(|(n, v)| vec![n.to_string(), fmt3(*v)])
-        .collect();
+    let paper_rows: Vec<Vec<String>> =
+        TABLE5_PAPER_AVG.iter().map(|(n, v)| vec![n.to_string(), fmt3(*v)]).collect();
     exp.table(
         "paper Avg. MAE (reference; * = transformer baselines not re-implemented)",
         &["Method", "Avg. MAE"],

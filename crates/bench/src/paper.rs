@@ -90,10 +90,8 @@ mod tests {
             .iter()
             .filter(|(d, m, _)| *d == "Syn1" && *m != "STL" && *m != "RobustSTL")
             .collect();
-        let best = syn1_online
-            .iter()
-            .min_by(|a, b| a.2[0].partial_cmp(&b.2[0]).unwrap())
-            .unwrap();
+        let best =
+            syn1_online.iter().min_by(|a, b| a.2[0].partial_cmp(&b.2[0]).unwrap()).unwrap();
         assert_eq!(best.1, "OneShotSTL");
     }
 }

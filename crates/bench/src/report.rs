@@ -44,8 +44,7 @@ impl Experiment {
 
     /// Output directory (`target/experiments`).
     pub fn dir() -> PathBuf {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("../../target/experiments")
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments")
     }
 
     /// Appends a paragraph.

@@ -5,6 +5,9 @@
 //! algorithm and as the test oracle for [`crate::online_doolittle`]; the
 //! production paths use the banded variant in [`tskit::linalg`].
 
+// index recurrences here mirror the published algorithms; iterator
+// rewrites obscure the maths
+#![allow(clippy::needless_range_loop)]
 use tskit::error::{Result, TsError};
 
 /// Dense `L D Lᵀ` factors (row-major `L` with implicit/explicit unit
@@ -130,9 +133,7 @@ mod tests {
     fn solve_matches_known_solution() {
         let a = spd(15, 7);
         let x_true: Vec<f64> = (0..15).map(|i| (i as f64 * 0.31).cos()).collect();
-        let b: Vec<f64> = (0..15)
-            .map(|i| (0..15).map(|j| a[i][j] * x_true[j]).sum())
-            .collect();
+        let b: Vec<f64> = (0..15).map(|i| (0..15).map(|j| a[i][j] * x_true[j]).sum()).collect();
         let f = symmetric_doolittle(&a).unwrap();
         let x = f.solve(&b);
         for i in 0..15 {

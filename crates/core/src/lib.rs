@@ -51,7 +51,8 @@ pub mod system;
 pub mod tasks;
 
 pub use jointstl::{JointStl, JointStlConfig};
-pub use nsigma::NSigma;
-pub use oneshot::{OneShotStl, OneShotStlConfig, ShiftPolicy};
+pub use nsigma::{NSigma, NSigmaState};
+pub use oneshot::{IterSnapshot, OneShotStl, OneShotStlConfig, OneShotStlState, ShiftPolicy};
+pub use online_doolittle::SolverState;
 pub use reference::ModifiedJointStlRef;
 pub use tasks::{StdAnomalyDetector, StdForecaster};

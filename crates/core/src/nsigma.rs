@@ -95,6 +95,31 @@ impl NSigma {
             self.absorb(x);
         }
     }
+
+    /// Extracts a plain-data snapshot for serialization (see
+    /// `fleet::codec`).
+    pub fn to_state(&self) -> NSigmaState {
+        NSigmaState { n: self.n, count: self.count, sum: self.sum, sum_sq: self.sum_sq }
+    }
+
+    /// Rebuilds a detector from [`NSigma::to_state`] output; the running
+    /// statistics are restored bit-identically.
+    pub fn from_state(state: NSigmaState) -> Self {
+        NSigma { n: state.n, count: state.count, sum: state.sum, sum_sq: state.sum_sq }
+    }
+}
+
+/// Plain-data snapshot of an [`NSigma`] detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NSigmaState {
+    /// Threshold `n`.
+    pub n: f64,
+    /// Number of absorbed values.
+    pub count: u64,
+    /// Running sum.
+    pub sum: f64,
+    /// Running sum of squares.
+    pub sum_sq: f64,
 }
 
 #[cfg(test)]

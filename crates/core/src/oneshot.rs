@@ -80,7 +80,7 @@ pub enum InitMethod {
 }
 
 /// OneShotSTL configuration (paper defaults per §5.1.4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OneShotStlConfig {
     /// Trend penalties λ1, λ2 (the paper ties and tunes them).
     pub lambdas: Lambdas,
@@ -183,6 +183,126 @@ impl OneShotStl {
     pub fn default_paper() -> Self {
         Self::new(OneShotStlConfig::default())
     }
+
+    /// Extracts a plain-data snapshot of the full online state (see
+    /// `fleet::codec`). Restoring it with [`OneShotStl::from_state`] yields
+    /// a model whose subsequent [`OnlineDecomposer::update`] stream is
+    /// bit-identical to continuing the original.
+    pub fn to_state(&self) -> OneShotStlState {
+        OneShotStlState {
+            config: self.config.clone(),
+            period: self.period as u64,
+            t: self.t,
+            m: self.m as u64,
+            shift: self.shift,
+            v: self.v.clone(),
+            y_hist: self.y_hist,
+            u_hist: self.u_hist,
+            iters: self
+                .iters
+                .iter()
+                .map(|st| IterSnapshot {
+                    solver: st.solver.to_state(),
+                    pw_hist: st.pw_hist,
+                    qw_hist: st.qw_hist,
+                    tau_hist: st.tau_hist,
+                })
+                .collect(),
+            nsigma: self.nsigma.to_state(),
+            initialized: self.initialized,
+        }
+    }
+
+    /// Rebuilds a model from [`OneShotStl::to_state`] output.
+    pub fn from_state(state: OneShotStlState) -> Result<Self> {
+        let period = state.period as usize;
+        if state.initialized && (period < 2 || state.v.len() != period) {
+            return Err(TsError::InvalidParam {
+                name: "OneShotStlState",
+                msg: format!(
+                    "initialized state needs a seasonal buffer of one period \
+                     (period {period}, buffer {})",
+                    state.v.len()
+                ),
+            });
+        }
+        let mut iters = Vec::with_capacity(state.iters.len());
+        for snap in state.iters {
+            let solver = IncrementalSolver::from_state(snap.solver)?;
+            // each IRLS iteration steps its solver exactly once per online
+            // point; a mismatch means a corrupted snapshot that would
+            // panic (`steps must be consecutive`) on the next update
+            if solver.len() as u64 != state.m {
+                return Err(TsError::InvalidParam {
+                    name: "OneShotStlState.iters",
+                    msg: format!(
+                        "solver has {} steps but the model processed {} points",
+                        solver.len(),
+                        state.m
+                    ),
+                });
+            }
+            iters.push(IterState {
+                solver,
+                pw_hist: snap.pw_hist,
+                qw_hist: snap.qw_hist,
+                tau_hist: snap.tau_hist,
+            });
+        }
+        Ok(OnlineJointStl {
+            config: state.config,
+            period,
+            t: state.t,
+            m: state.m as usize,
+            shift: state.shift,
+            v: state.v,
+            y_hist: state.y_hist,
+            u_hist: state.u_hist,
+            iters,
+            nsigma: NSigma::from_state(state.nsigma),
+            initialized: state.initialized,
+        })
+    }
+}
+
+/// Plain-data snapshot of a [`OneShotStl`] (see [`OneShotStl::to_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneShotStlState {
+    /// Model configuration.
+    pub config: OneShotStlConfig,
+    /// Seasonal period `T`.
+    pub period: u64,
+    /// Global time index of the next arriving point.
+    pub t: u64,
+    /// Number of online points processed.
+    pub m: u64,
+    /// Cumulative phase offset Δ.
+    pub shift: i64,
+    /// Seasonal buffer `v`.
+    pub v: Vec<f64>,
+    /// Last two observed values.
+    pub y_hist: [f64; 2],
+    /// Frozen seasonal anchors of the last two points.
+    pub u_hist: [f64; 2],
+    /// Per-IRLS-iteration solver and weight state.
+    pub iters: Vec<IterSnapshot>,
+    /// Residual NSigma statistics (shift-search trigger).
+    pub nsigma: crate::nsigma::NSigmaState,
+    /// Whether `init` has run.
+    pub initialized: bool,
+}
+
+/// Plain-data snapshot of one IRLS iteration's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterSnapshot {
+    /// The `O(1)` solver window.
+    pub solver: crate::online_doolittle::SolverState,
+    /// First-difference weights at times `m−2, m−1`.
+    pub pw_hist: [f64; 2],
+    /// Second-difference weights at times `m−2, m−1`.
+    pub qw_hist: [f64; 2],
+    /// Trend outputs at times `m−2, m−1`.
+    pub tau_hist: [f64; 2],
 }
 
 impl<S: TailSolver> Default for OnlineJointStl<S> {
@@ -218,6 +338,25 @@ impl<S: TailSolver> OnlineJointStl<S> {
     /// Current cumulative phase offset Δ.
     pub fn shift(&self) -> i64 {
         self.shift
+    }
+
+    /// Whether [`OnlineDecomposer::init`] has run.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Latest trend estimate τ_{t−1} (0 before any update).
+    pub fn last_trend(&self) -> f64 {
+        self.iters.last().map_or(0.0, |st| st.tau_hist[1])
+    }
+
+    /// The model's `i`-step-ahead prediction (`i ≥ 1`):
+    /// `τ_{t−1} + v[(t−1+i+Δ) mod T]` — trend carry-forward plus the
+    /// seasonal buffer, the same rule the paper's STD→TSF adapter uses.
+    pub fn predict(&self, i: usize) -> f64 {
+        assert!(self.initialized, "OneShotSTL::predict called before init");
+        assert!(i >= 1, "OneShotSTL::predict horizon starts at 1");
+        self.last_trend() + self.v[self.slot(self.t + i as u64 - 1, self.shift)]
     }
 
     /// Read-only view of the seasonal buffer `v` (indexed by
@@ -269,12 +408,11 @@ impl<S: TailSolver> OnlineJointStl<S> {
         for st in iters.iter_mut() {
             let p3 = [st.pw_hist[0], st.pw_hist[1], p_fresh];
             let q3 = [st.qw_hist[0], st.qw_hist[1], q_fresh];
-            let tail =
-                TailData { m: m_new, y3, u3, p3, q3, lambdas: self.config.lambdas };
+            let tail = TailData { m: m_new, y3, u3, p3, q3, lambdas: self.config.lambdas };
             let (t_i, s_i) = st.solver.step(&tail);
             let next_p = 1.0 / (2.0 * (t_i - st.tau_hist[1]).abs().max(eps));
-            let next_q = 1.0
-                / (2.0 * (t_i - 2.0 * st.tau_hist[1] + st.tau_hist[0]).abs().max(eps));
+            let next_q =
+                1.0 / (2.0 * (t_i - 2.0 * st.tau_hist[1] + st.tau_hist[0]).abs().max(eps));
             st.pw_hist = [st.pw_hist[1], p_fresh];
             st.qw_hist = [st.qw_hist[1], q_fresh];
             st.tau_hist = [st.tau_hist[1], t_i];
@@ -459,8 +597,7 @@ mod tests {
         let y = seasonal(1000, t, 0.02, 2);
         let mut m = OneShotStl::default_paper();
         let d = m.run_series(&y, t, 4 * t).unwrap();
-        let tail: f64 =
-            d.residual[500..].iter().map(|r| r.abs()).sum::<f64>() / 500.0;
+        let tail: f64 = d.residual[500..].iter().map(|r| r.abs()).sum::<f64>() / 500.0;
         assert!(tail < 0.1, "tail residual {tail}");
     }
 
@@ -485,8 +622,7 @@ mod tests {
             d.trend[612]
         );
         // and the residual should settle again
-        let settled: f64 =
-            d.residual[700..900].iter().map(|r| r.abs()).sum::<f64>() / 200.0;
+        let settled: f64 = d.residual[700..900].iter().map(|r| r.abs()).sum::<f64>() / 200.0;
         assert!(settled < 0.2, "residual after jump {settled}");
     }
 
@@ -516,10 +652,7 @@ mod tests {
             m.run_series(&y, t, 8 * t).unwrap()
         };
         let err = |d: &tskit::Decomposition| -> f64 {
-            d.residual[shift_at + 2 * t..shift_at + 6 * t]
-                .iter()
-                .map(|r| r.abs())
-                .sum::<f64>()
+            d.residual[shift_at + 2 * t..shift_at + 6 * t].iter().map(|r| r.abs()).sum::<f64>()
                 / (4 * t) as f64
         };
         let e_with = err(&with_shift);

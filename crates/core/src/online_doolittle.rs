@@ -26,12 +26,47 @@
 //! directly; the window state is extracted at step 4. All work per step is
 //! bounded by fixed 10×10 loops either way: the update is `O(1)`.
 
+// index recurrences here mirror the published algorithms; iterator
+// rewrites obscure the maths
+#![allow(clippy::needless_range_loop)]
 use crate::system::{assemble_block, assemble_full, SystemData, TailBlock, TailData};
+use tskit::error::TsError;
+
+/// Plain-data snapshot of an [`IncrementalSolver`] (see `fleet::codec`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverState {
+    /// Snapshot of the warm-up phase (`M ≤ 4`): full tiny histories.
+    Warmup {
+        /// Observations so far.
+        y: Vec<f64>,
+        /// Seasonal anchors so far.
+        u: Vec<f64>,
+        /// First-difference weights so far.
+        pw: Vec<f64>,
+        /// Second-difference weights so far.
+        qw: Vec<f64>,
+    },
+    /// Snapshot of the steady phase (`M ≥ 5`): the constant-size window.
+    Steady {
+        /// Points processed so far.
+        m: u64,
+        /// `L` window, row-major `8×4` (32 values).
+        lo: Vec<f64>,
+        /// `D` window (4 values).
+        dd: Vec<f64>,
+        /// `z` window (4 values).
+        zo: Vec<f64>,
+    },
+}
 
 /// Incremental solver for one IRLS iteration's linear system.
 ///
 /// Feed one [`TailData`] per online point via [`IncrementalSolver::step`];
 /// it returns the exact `(τ_t, s_t)` of the growing system's solution.
+// the Steady window (41 f64s, Copy) intentionally dwarfs the transient
+// Warmup variant: boxing it would put the O(1) per-update state behind a
+// pointer on the hot path
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum IncrementalSolver {
     /// Steps `M ≤ 4`: keep full (tiny) histories and solve directly.
@@ -92,6 +127,63 @@ impl IncrementalSolver {
         self.len() == 0
     }
 
+    /// Extracts a plain-data snapshot for serialization (see
+    /// `fleet::codec`).
+    pub fn to_state(&self) -> SolverState {
+        match self {
+            IncrementalSolver::Warmup { y, u, pw, qw } => SolverState::Warmup {
+                y: y.clone(),
+                u: u.clone(),
+                pw: pw.clone(),
+                qw: qw.clone(),
+            },
+            IncrementalSolver::Steady(w) => SolverState::Steady {
+                m: w.m as u64,
+                lo: w.lo.iter().flatten().copied().collect(),
+                dd: w.dd.to_vec(),
+                zo: w.zo.to_vec(),
+            },
+        }
+    }
+
+    /// Rebuilds a solver from [`IncrementalSolver::to_state`] output. The
+    /// restored solver produces a bit-identical step stream.
+    pub fn from_state(state: SolverState) -> Result<Self, TsError> {
+        match state {
+            SolverState::Warmup { y, u, pw, qw } => {
+                // the warm-up phase holds at most 3 entries: step 4
+                // converts the solver to Steady
+                if y.len() > 3
+                    || u.len() != y.len()
+                    || pw.len() != y.len()
+                    || qw.len() != y.len()
+                {
+                    return Err(TsError::InvalidParam {
+                        name: "SolverState::Warmup",
+                        msg: "inconsistent warm-up history lengths".into(),
+                    });
+                }
+                Ok(IncrementalSolver::Warmup { y, u, pw, qw })
+            }
+            SolverState::Steady { m, lo, dd, zo } => {
+                if lo.len() != 32 || dd.len() != 4 || zo.len() != 4 || m < 4 {
+                    return Err(TsError::InvalidParam {
+                        name: "SolverState::Steady",
+                        msg: "malformed window state".into(),
+                    });
+                }
+                let mut w =
+                    Window { m: m as usize, lo: [[0.0; 4]; 8], dd: [0.0; 4], zo: [0.0; 4] };
+                for (r, row) in w.lo.iter_mut().enumerate() {
+                    row.copy_from_slice(&lo[4 * r..4 * r + 4]);
+                }
+                w.dd.copy_from_slice(&dd);
+                w.zo.copy_from_slice(&zo);
+                Ok(IncrementalSolver::Steady(w))
+            }
+        }
+    }
+
     /// Processes the next point and returns the exact `(τ_t, s_t)` for it.
     ///
     /// `tail.m` must equal `self.len() + 1` (the new step count).
@@ -114,8 +206,7 @@ impl IncrementalSolver {
                     pw[j] = tail.p3[s];
                     qw[j] = tail.q3[s];
                 }
-                let data =
-                    SystemData { y, u, pw, qw, lambdas: tail.lambdas };
+                let data = SystemData { y, u, pw, qw, lambdas: tail.lambdas };
                 let (a, b) = assemble_full(&data);
                 let f = a.ldlt().expect("online system is SPD");
                 let x = f.solve(&b);
@@ -250,7 +341,12 @@ mod tests {
         }
     }
 
-    fn random_tail(m: usize, rng: &mut StdRng, lambdas: Lambdas, hist: &mut Vec<[f64; 4]>) -> TailData {
+    fn random_tail(
+        m: usize,
+        rng: &mut StdRng,
+        lambdas: Lambdas,
+        hist: &mut Vec<[f64; 4]>,
+    ) -> TailData {
         // keep a rolling record of (y, u, pw, qw) per time so that the
         // "refreshed tail" semantics stay consistent across steps
         hist.push([
@@ -280,13 +376,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let lambdas = Lambdas { lambda1: 1.0, lambda2: 10.0, anchor: 1.0 };
             let mut inc = IncrementalSolver::new();
-            let mut full = FullSolver {
-                y: vec![],
-                u: vec![],
-                pw: vec![],
-                qw: vec![],
-                lambdas,
-            };
+            let mut full = FullSolver { y: vec![], u: vec![], pw: vec![], qw: vec![], lambdas };
             let mut hist = Vec::new();
             for m in 1..=60 {
                 let tail = random_tail(m, &mut rng, lambdas, &mut hist);
@@ -306,8 +396,7 @@ mod tests {
         // refreshed p/q for the 3 trailing times.
         let lambdas = Lambdas { lambda1: 5.0, lambda2: 1.0, anchor: 1.0 };
         let mut inc = IncrementalSolver::new();
-        let mut full =
-            FullSolver { y: vec![], u: vec![], pw: vec![], qw: vec![], lambdas };
+        let mut full = FullSolver { y: vec![], u: vec![], pw: vec![], qw: vec![], lambdas };
         let mut hist: Vec<[f64; 4]> = Vec::new();
         for m in 1..=40usize {
             hist.push([

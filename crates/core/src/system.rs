@@ -234,10 +234,7 @@ mod tests {
         let stable = 2 * (8 - 2); // unknowns untouched by the new point
         for i in 0..stable {
             for j in 0..stable {
-                assert!(
-                    (a8.get(i, j) - a9.get(i, j)).abs() < 1e-12,
-                    "A changed at ({i},{j})"
-                );
+                assert!((a8.get(i, j) - a9.get(i, j)).abs() < 1e-12, "A changed at ({i},{j})");
             }
             assert!((b8[i] - b9[i]).abs() < 1e-12, "b changed at {i}");
         }
@@ -285,10 +282,7 @@ mod tests {
                         a.get(base + i, base + jj)
                     );
                 }
-                assert!(
-                    (block.b[i] - b[base + i]).abs() < 1e-12,
-                    "m={m}: b mismatch at {i}"
-                );
+                assert!((block.b[i] - b[base + i]).abs() < 1e-12, "m={m}: b mismatch at {i}");
             }
         }
     }

@@ -22,6 +22,17 @@ impl<D: OnlineDecomposer> StdAnomalyDetector<D> {
         StdAnomalyDetector { decomposer, nsigma: NSigma::new(n) }
     }
 
+    /// Read-only view of the residual scoring statistics.
+    pub fn nsigma(&self) -> &NSigma {
+        &self.nsigma
+    }
+
+    /// Reassembles a detector from a decomposer and scoring statistics
+    /// (snapshot restore; see `fleet::codec`).
+    pub fn from_parts(decomposer: D, nsigma: NSigma) -> Self {
+        StdAnomalyDetector { decomposer, nsigma }
+    }
+
     /// Initializes the decomposer on a prefix; residuals of the prefix seed
     /// the NSigma statistics.
     pub fn init(&mut self, y: &[f64], period: usize) -> Result<()> {
@@ -32,9 +43,16 @@ impl<D: OnlineDecomposer> StdAnomalyDetector<D> {
 
     /// Decomposes one arriving point and returns `(components, score)`.
     pub fn update(&mut self, y: f64) -> (DecompPoint, f64) {
+        let (p, v) = self.update_scored(y);
+        (p, v.score)
+    }
+
+    /// [`Self::update`] with the full NSigma verdict (score + threshold
+    /// decision), so callers don't re-implement the `score > n` rule.
+    pub fn update_scored(&mut self, y: f64) -> (DecompPoint, crate::nsigma::NSigmaVerdict) {
         let p = self.decomposer.update(y);
         let v = self.nsigma.update(p.residual);
-        (p, v.score)
+        (p, v)
     }
 
     /// Scores a whole test stream (after [`Self::init`]).
@@ -186,8 +204,8 @@ mod tests {
         let preds = f.predict_horizon(horizon);
         let truth = &y[split..split + horizon];
         let std_err = tskit::stats::mae(&preds, truth);
-        let mean_err: f64 = truth.iter().map(|v| (v - mean_f.predict()).abs()).sum::<f64>()
-            / horizon as f64;
+        let mean_err: f64 =
+            truth.iter().map(|v| (v - mean_f.predict()).abs()).sum::<f64>() / horizon as f64;
         assert!(
             std_err < 0.5 * mean_err,
             "seasonal forecaster ({std_err}) should easily beat mean ({mean_err})"

@@ -5,8 +5,8 @@
 //! majorized by `w x² + 1/(4w)` with `w = 1/(2|x|)` (the same IRLS device
 //! the paper uses for JointSTL, Eq. 3–5), giving a pentadiagonal SPD system
 //! per iteration. With `robust_data = true` the data-fidelity term is also
-//! ℓ1 (RobustSTL's choice); otherwise it is squared ℓ2 (classic ℓ1 trend
-//! filtering, and the paper's JointSTL choice).
+//!   ℓ1 (RobustSTL's choice); otherwise it is squared ℓ2 (classic ℓ1 trend
+//!   filtering, and the paper's JointSTL choice).
 
 use tskit::error::{check_finite, Result, TsError};
 use tskit::linalg::SymBanded;
@@ -28,7 +28,13 @@ pub struct L1TrendConfig {
 
 impl Default for L1TrendConfig {
     fn default() -> Self {
-        L1TrendConfig { lambda1: 10.0, lambda2: 10.0, iters: 10, robust_data: false, eps: 1e-10 }
+        L1TrendConfig {
+            lambda1: 10.0,
+            lambda2: 10.0,
+            iters: 10,
+            robust_data: false,
+            eps: 1e-10,
+        }
     }
 }
 
@@ -114,15 +120,15 @@ mod tests {
         let y: Vec<f64> = truth.iter().map(|t| t + 0.1 * rng.gen_range(-1.0..1.0)).collect();
         // piecewise-constant prior: strong first-difference penalty, weak
         // second-difference penalty (λ2 would smear the jump into a ramp)
-        let cfg = L1TrendConfig { lambda1: 10.0, lambda2: 0.1, iters: 20, ..Default::default() };
+        let cfg =
+            L1TrendConfig { lambda1: 10.0, lambda2: 0.1, iters: 20, ..Default::default() };
         let tau = l1_trend_filter(&y, &cfg).unwrap();
         // near-exact recovery away from the jump
         for i in (10..140).chain(160..290) {
             assert!((tau[i] - truth[i]).abs() < 0.15, "i={i}: {}", tau[i]);
         }
         // the jump is sharp: large one-step change near 150
-        let maxstep =
-            (140..160).map(|i| (tau[i + 1] - tau[i]).abs()).fold(0.0f64, f64::max);
+        let maxstep = (140..160).map(|i| (tau[i + 1] - tau[i]).abs()).fold(0.0f64, f64::max);
         assert!(maxstep > 1.5, "jump was smoothed away: {maxstep}");
     }
 
@@ -149,7 +155,12 @@ mod tests {
         let cfg = L1TrendConfig { robust_data: true, ..Default::default() };
         let tau = l1_trend_filter(&y, &cfg).unwrap();
         assert!((tau[50] - 2.0).abs() < 0.3, "spike leaked into trend: {}", tau[50]);
-        let cfg2 = L1TrendConfig { robust_data: false, lambda1: 10.0, lambda2: 10.0, ..Default::default() };
+        let cfg2 = L1TrendConfig {
+            robust_data: false,
+            lambda1: 10.0,
+            lambda2: 10.0,
+            ..Default::default()
+        };
         let tau2 = l1_trend_filter(&y, &cfg2).unwrap();
         assert!(
             (tau[50] - 2.0).abs() < (tau2[50] - 2.0).abs(),
@@ -160,7 +171,10 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert!(l1_trend_filter(&[], &L1TrendConfig::default()).unwrap().is_empty());
-        assert_eq!(l1_trend_filter(&[1.0, 2.0], &L1TrendConfig::default()).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(
+            l1_trend_filter(&[1.0, 2.0], &L1TrendConfig::default()).unwrap(),
+            vec![1.0, 2.0]
+        );
         let bad = L1TrendConfig { lambda1: -1.0, ..Default::default() };
         assert!(l1_trend_filter(&[1.0, 2.0, 3.0], &bad).is_err());
     }

@@ -83,7 +83,8 @@ impl OnlineDecomposer for OnlineRobustStl {
         }
         self.period = period;
         let d = RobustStl::with_config(self.config.clone()).decompose(y, period)?;
-        let cap = (self.config.season_neighbors + 1) * period + self.config.season_half_window + 1;
+        let cap =
+            (self.config.season_neighbors + 1) * period + self.config.season_half_window + 1;
         self.raw = Some(RingBuffer::from_slice(cap, y));
         // the bilateral denoise of history ≈ y − residual spike part; reuse
         // trend+seasonal as the denoised estimate plus small residuals
@@ -159,7 +160,8 @@ impl OnlineDecomposer for OnlineRobustStl {
         let dlen = detrended.len();
         let newest = detrended.back(0);
         let det_sd = {
-            let tail: Vec<f64> = (0..(2 * period).min(dlen)).map(|i| detrended.back(i)).collect();
+            let tail: Vec<f64> =
+                (0..(2 * period).min(dlen)).map(|i| detrended.back(i)).collect();
             std_dev(&tail).max(1e-9)
         };
         let sigma = cfg.season_sigma * det_sd;
@@ -215,8 +217,7 @@ mod tests {
         let d = m.run_series(&y, t, 4 * t).unwrap();
         assert_eq!(d.len(), y.len());
         assert_eq!(d.check_additive(&y, 1e-9), None);
-        let tail: f64 =
-            d.residual[300..].iter().map(|r| r.abs()).sum::<f64>() / 300.0;
+        let tail: f64 = d.residual[300..].iter().map(|r| r.abs()).sum::<f64>() / 300.0;
         assert!(tail < 0.35, "tail residual {tail}");
     }
 

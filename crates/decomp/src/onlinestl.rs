@@ -101,8 +101,9 @@ impl OnlineDecomposer for OnlineStl {
         }
         // seed the deseasonalized buffer
         let mut buf = RingBuffer::new(period + 1);
-        for i in n.saturating_sub(period + 1)..n {
-            buf.push(y[i] - d.seasonal[i]);
+        let lo = n.saturating_sub(period + 1);
+        for (yv, sv) in y[lo..n].iter().zip(&d.seasonal[lo..n]) {
+            buf.push(yv - sv);
         }
         self.deseason = Some(buf);
         self.t = n;
@@ -164,8 +165,7 @@ mod tests {
         let d = m.run_series(&y, t, 4 * t).unwrap();
         assert_eq!(d.len(), y.len());
         // after burn-in, residuals should be small
-        let tail: f64 =
-            d.residual[600..].iter().map(|r| r.abs()).sum::<f64>() / 600.0;
+        let tail: f64 = d.residual[600..].iter().map(|r| r.abs()).sum::<f64>() / 600.0;
         assert!(tail < 0.2, "tail residual {tail}");
     }
 

@@ -186,8 +186,7 @@ impl BatchDecomposer for RobustStl {
                 denoised.iter().zip(&seasonal).map(|(v, s)| v - s).collect();
             trend = l1_trend_filter(&deseason, &tcfg)?;
             // 3. non-local seasonal filter on the detrended signal
-            let detrended: Vec<f64> =
-                denoised.iter().zip(&trend).map(|(v, t)| v - t).collect();
+            let detrended: Vec<f64> = denoised.iter().zip(&trend).map(|(v, t)| v - t).collect();
             let det_sd = std_dev(&detrended).max(1e-9);
             seasonal = nonlocal_seasonal(
                 &detrended,
@@ -221,12 +220,10 @@ mod tests {
     fn gen(n: usize, t: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let trend: Vec<f64> = (0..n).map(|i| if i < n / 2 { 0.0 } else { 3.0 }).collect();
-        let season: Vec<f64> = (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
-            .collect();
-        let y: Vec<f64> = (0..n)
-            .map(|i| trend[i] + season[i] + 0.05 * rng.gen_range(-1.0..1.0))
-            .collect();
+        let season: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect();
+        let y: Vec<f64> =
+            (0..n).map(|i| trend[i] + season[i] + 0.05 * rng.gen_range(-1.0..1.0)).collect();
         (y, trend, season)
     }
 

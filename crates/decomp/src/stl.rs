@@ -3,10 +3,10 @@
 //! Faithful implementation of the inner/outer loop structure:
 //!
 //! 1. detrend, 2. cycle-subseries LOESS smoothing (with one-point extension
-//! at both ends), 3. low-pass filtering of the smoothed subseries
-//! (two moving averages of length `T`, one of length 3, then LOESS),
-//! 4. seasonal = smoothed − low-pass, 5. deseasonalize, 6. trend LOESS.
-//! The outer loop recomputes bisquare robustness weights from the remainder.
+//!    at both ends), 3. low-pass filtering of the smoothed subseries
+//!    (two moving averages of length `T`, one of length 3, then LOESS),
+//!    4. seasonal = smoothed − low-pass, 5. deseasonalize, 6. trend LOESS.
+//!    The outer loop recomputes bisquare robustness weights from the remainder.
 //!
 //! STL is used both as a baseline (Table 2, Fig. 5–7) and as OneShotSTL's
 //! initialization routine (Algorithm 5, line 1).
@@ -229,15 +229,18 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use tskit::stats::mae;
 
-    fn seasonal_signal(n: usize, t: usize, noise: f64, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    fn seasonal_signal(
+        n: usize,
+        t: usize,
+        noise: f64,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let trend: Vec<f64> = (0..n).map(|i| 0.002 * i as f64).collect();
-        let season: Vec<f64> = (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
-            .collect();
-        let y: Vec<f64> = (0..n)
-            .map(|i| trend[i] + season[i] + noise * rng.gen_range(-1.0..1.0))
-            .collect();
+        let season: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect();
+        let y: Vec<f64> =
+            (0..n).map(|i| trend[i] + season[i] + noise * rng.gen_range(-1.0..1.0)).collect();
         (y, trend, season)
     }
 
@@ -301,14 +304,8 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let y = vec![1.0; 30];
-        assert!(matches!(
-            Stl::new().decompose(&y, 1),
-            Err(TsError::InvalidParam { .. })
-        ));
-        assert!(matches!(
-            Stl::new().decompose(&y, 20),
-            Err(TsError::TooShort { .. })
-        ));
+        assert!(matches!(Stl::new().decompose(&y, 1), Err(TsError::InvalidParam { .. })));
+        assert!(matches!(Stl::new().decompose(&y, 20), Err(TsError::TooShort { .. })));
         let bad = vec![f64::NAN; 100];
         assert!(matches!(Stl::new().decompose(&bad, 10), Err(TsError::NonFinite { .. })));
     }

@@ -1,0 +1,526 @@
+//! Versioned binary codec for [`FleetSnapshot`].
+//!
+//! Layout: magic `b"OSSTLFLT"`, `u16` version, then the snapshot fields in
+//! a fixed order. All integers are little-endian; `f64` round-trips via
+//! [`f64::to_bits`], so restored values are **bit-identical** — the basis
+//! of the snapshot determinism guarantee. The format is self-contained:
+//! per-series detector configs are encoded with each series, so a snapshot
+//! survives engine-level config changes between writer and reader.
+
+use crate::engine::{CarriedTotals, FleetSnapshot};
+use crate::error::CodecError;
+use crate::series::PhaseSnapshot;
+use crate::shard::SeriesSnapshot;
+use crate::types::SeriesKey;
+use crate::{FleetConfig, PeriodPolicy};
+use oneshotstl::oneshot::InitMethod;
+use oneshotstl::system::Lambdas;
+use oneshotstl::{
+    IterSnapshot, NSigmaState, OneShotStlConfig, OneShotStlState, ShiftPolicy, SolverState,
+};
+
+const MAGIC: &[u8; 8] = b"OSSTLFLT";
+const VERSION: u16 = 1;
+
+/// Serializes a snapshot to the versioned binary format.
+pub fn encode(snapshot: &FleetSnapshot) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.bytes(MAGIC);
+    w.u16(VERSION);
+    encode_config(&mut w, &snapshot.config);
+    w.u64(snapshot.clock);
+    w.u64(snapshot.batches);
+    w.u64(snapshot.totals.evicted);
+    w.u64(snapshot.totals.admitted);
+    w.u64(snapshot.totals.points);
+    w.u64(snapshot.totals.anomalies);
+    w.u64(snapshot.series.len() as u64);
+    for s in &snapshot.series {
+        encode_series(&mut w, s);
+    }
+    w.buf
+}
+
+/// Deserializes [`encode`] output.
+pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
+    let mut r = Reader { data: bytes, pos: 0 };
+    if r.take(8)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let config = decode_config(&mut r)?;
+    let clock = r.u64()?;
+    let batches = r.u64()?;
+    let totals = CarriedTotals {
+        evicted: r.u64()?,
+        admitted: r.u64()?,
+        points: r.u64()?,
+        anomalies: r.u64()?,
+    };
+    let n = r.u64()? as usize;
+    let mut series = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        series.push(decode_series(&mut r)?);
+    }
+    if r.pos != r.data.len() {
+        return Err(CodecError::Invalid("trailing bytes after snapshot"));
+    }
+    Ok(FleetSnapshot { config, clock, batches, totals, series })
+}
+
+fn encode_config(w: &mut Writer, c: &FleetConfig) {
+    w.u32(c.shards as u32);
+    w.u32(c.init_cycles as u32);
+    match &c.period {
+        PeriodPolicy::Fixed(t) => {
+            w.u8(0);
+            w.u32(*t as u32);
+        }
+        PeriodPolicy::Detect { min_period, max_period, min_acf, fallback } => {
+            w.u8(1);
+            w.u32(*min_period as u32);
+            w.u32(*max_period as u32);
+            w.f64(*min_acf);
+            w.opt_u32(fallback.map(|v| v as u32));
+        }
+    }
+    w.opt_u32(c.max_warmup.map(|v| v as u32));
+    w.f64(c.nsigma);
+    w.opt_u64(c.ttl);
+    w.opt_u64(c.max_clock_step);
+    encode_detector_config(w, &c.detector);
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<FleetConfig, CodecError> {
+    let shards = r.u32()? as usize;
+    let init_cycles = r.u32()? as usize;
+    let period = match r.u8()? {
+        0 => PeriodPolicy::Fixed(r.u32()? as usize),
+        1 => PeriodPolicy::Detect {
+            min_period: r.u32()? as usize,
+            max_period: r.u32()? as usize,
+            min_acf: r.f64()?,
+            fallback: r.opt_u32()?.map(|v| v as usize),
+        },
+        _ => return Err(CodecError::Invalid("period policy tag")),
+    };
+    let max_warmup = r.opt_u32()?.map(|v| v as usize);
+    let nsigma = r.f64()?;
+    let ttl = r.opt_u64()?;
+    let max_clock_step = r.opt_u64()?;
+    let detector = decode_detector_config(r)?;
+    Ok(FleetConfig {
+        shards,
+        init_cycles,
+        period,
+        max_warmup,
+        nsigma,
+        ttl,
+        max_clock_step,
+        detector,
+    })
+}
+
+fn encode_detector_config(w: &mut Writer, c: &OneShotStlConfig) {
+    w.f64(c.lambdas.lambda1);
+    w.f64(c.lambdas.lambda2);
+    w.f64(c.lambdas.anchor);
+    w.u32(c.iters as u32);
+    w.u32(c.shift_window as u32);
+    w.f64(c.nsigma);
+    w.u8(match c.shift_policy {
+        ShiftPolicy::Cumulative => 0,
+        ShiftPolicy::Transient => 1,
+    });
+    w.f64(c.shift_accept_ratio);
+    w.u8(match c.init {
+        InitMethod::Stl => 0,
+        InitMethod::JointStl => 1,
+    });
+    w.f64(c.eps);
+}
+
+fn decode_detector_config(r: &mut Reader<'_>) -> Result<OneShotStlConfig, CodecError> {
+    let lambdas = Lambdas { lambda1: r.f64()?, lambda2: r.f64()?, anchor: r.f64()? };
+    let iters = r.u32()? as usize;
+    let shift_window = r.u32()? as usize;
+    let nsigma = r.f64()?;
+    let shift_policy = match r.u8()? {
+        0 => ShiftPolicy::Cumulative,
+        1 => ShiftPolicy::Transient,
+        _ => return Err(CodecError::Invalid("shift policy tag")),
+    };
+    let shift_accept_ratio = r.f64()?;
+    let init = match r.u8()? {
+        0 => InitMethod::Stl,
+        1 => InitMethod::JointStl,
+        _ => return Err(CodecError::Invalid("init method tag")),
+    };
+    let eps = r.f64()?;
+    Ok(OneShotStlConfig {
+        lambdas,
+        iters,
+        shift_window,
+        nsigma,
+        shift_policy,
+        shift_accept_ratio,
+        init,
+        eps,
+    })
+}
+
+fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
+    w.string(s.key.as_str());
+    w.u64(s.last_seen);
+    match &s.phase {
+        PhaseSnapshot::Warming { values, period, last_attempt } => {
+            w.u8(0);
+            w.vec_f64(values);
+            w.opt_u32(period.map(|v| v as u32));
+            w.u64(*last_attempt as u64);
+        }
+        PhaseSnapshot::Live { decomposer, nsigma } => {
+            w.u8(1);
+            encode_decomposer(w, decomposer);
+            encode_nsigma(w, nsigma);
+        }
+        PhaseSnapshot::Rejected => w.u8(2),
+    }
+}
+
+fn decode_series(r: &mut Reader<'_>) -> Result<SeriesSnapshot, CodecError> {
+    let key = SeriesKey::new(r.string()?);
+    let last_seen = r.u64()?;
+    let phase = match r.u8()? {
+        0 => PhaseSnapshot::Warming {
+            values: r.vec_f64()?,
+            period: r.opt_u32()?.map(|v| v as usize),
+            last_attempt: r.u64()? as usize,
+        },
+        1 => {
+            PhaseSnapshot::Live { decomposer: decode_decomposer(r)?, nsigma: decode_nsigma(r)? }
+        }
+        2 => PhaseSnapshot::Rejected,
+        _ => return Err(CodecError::Invalid("series phase tag")),
+    };
+    Ok(SeriesSnapshot { key, last_seen, phase })
+}
+
+fn encode_decomposer(w: &mut Writer, s: &OneShotStlState) {
+    encode_detector_config(w, &s.config);
+    w.u64(s.period);
+    w.u64(s.t);
+    w.u64(s.m);
+    w.i64(s.shift);
+    w.vec_f64(&s.v);
+    w.f64_pair(s.y_hist);
+    w.f64_pair(s.u_hist);
+    w.u32(s.iters.len() as u32);
+    for it in &s.iters {
+        encode_solver(w, &it.solver);
+        w.f64_pair(it.pw_hist);
+        w.f64_pair(it.qw_hist);
+        w.f64_pair(it.tau_hist);
+    }
+    encode_nsigma(w, &s.nsigma);
+    w.u8(s.initialized as u8);
+}
+
+fn decode_decomposer(r: &mut Reader<'_>) -> Result<OneShotStlState, CodecError> {
+    let config = decode_detector_config(r)?;
+    let period = r.u64()?;
+    let t = r.u64()?;
+    let m = r.u64()?;
+    let shift = r.i64()?;
+    let v = r.vec_f64()?;
+    let y_hist = r.f64_pair()?;
+    let u_hist = r.f64_pair()?;
+    let n_iters = r.u32()? as usize;
+    let mut iters = Vec::with_capacity(n_iters.min(1 << 10));
+    for _ in 0..n_iters {
+        let solver = decode_solver(r)?;
+        iters.push(IterSnapshot {
+            solver,
+            pw_hist: r.f64_pair()?,
+            qw_hist: r.f64_pair()?,
+            tau_hist: r.f64_pair()?,
+        });
+    }
+    let nsigma = decode_nsigma(r)?;
+    let initialized = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::Invalid("initialized flag")),
+    };
+    Ok(OneShotStlState {
+        config,
+        period,
+        t,
+        m,
+        shift,
+        v,
+        y_hist,
+        u_hist,
+        iters,
+        nsigma,
+        initialized,
+    })
+}
+
+fn encode_solver(w: &mut Writer, s: &SolverState) {
+    match s {
+        SolverState::Warmup { y, u, pw, qw } => {
+            w.u8(0);
+            w.vec_f64(y);
+            w.vec_f64(u);
+            w.vec_f64(pw);
+            w.vec_f64(qw);
+        }
+        SolverState::Steady { m, lo, dd, zo } => {
+            w.u8(1);
+            w.u64(*m);
+            w.vec_f64(lo);
+            w.vec_f64(dd);
+            w.vec_f64(zo);
+        }
+    }
+}
+
+fn decode_solver(r: &mut Reader<'_>) -> Result<SolverState, CodecError> {
+    match r.u8()? {
+        0 => Ok(SolverState::Warmup {
+            y: r.vec_f64()?,
+            u: r.vec_f64()?,
+            pw: r.vec_f64()?,
+            qw: r.vec_f64()?,
+        }),
+        1 => Ok(SolverState::Steady {
+            m: r.u64()?,
+            lo: r.vec_f64()?,
+            dd: r.vec_f64()?,
+            zo: r.vec_f64()?,
+        }),
+        _ => Err(CodecError::Invalid("solver state tag")),
+    }
+}
+
+fn encode_nsigma(w: &mut Writer, s: &NSigmaState) {
+    w.f64(s.n);
+    w.u64(s.count);
+    w.f64(s.sum);
+    w.f64(s.sum_sq);
+}
+
+fn decode_nsigma(r: &mut Reader<'_>) -> Result<NSigmaState, CodecError> {
+    Ok(NSigmaState { n: r.f64()?, count: r.u64()?, sum: r.f64()?, sum_sq: r.f64()? })
+}
+
+/// Little-endian byte sink.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn f64_pair(&mut self, v: [f64; 2]) {
+        self.f64(v[0]);
+        self.f64(v[1]);
+    }
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+    fn vec_f64(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+/// Little-endian byte source with bounds checking.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn f64_pair(&mut self) -> Result<[f64; 2], CodecError> {
+        Ok([self.f64()?, self.f64()?])
+    }
+    fn opt_u32(&mut self) -> Result<Option<u32>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            _ => Err(CodecError::Invalid("option tag")),
+        }
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(CodecError::Invalid("option tag")),
+        }
+    }
+    fn string(&mut self) -> Result<&'a str, CodecError> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n)?).map_err(|_| CodecError::Invalid("utf-8 string"))
+    }
+    fn vec_f64(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.u64()? as usize;
+        let raw = self.take(n.checked_mul(8).ok_or(CodecError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> FleetSnapshot {
+        // a value with a messy bit pattern to catch any lossy encode
+        let messy = std::f64::consts::PI * 1e-17;
+        FleetSnapshot {
+            config: FleetConfig::fixed_period(24),
+            clock: 99,
+            batches: 7,
+            totals: CarriedTotals { evicted: 1, admitted: 2, points: 300, anomalies: 4 },
+            series: vec![
+                SeriesSnapshot {
+                    key: SeriesKey::new("warm"),
+                    last_seen: 42,
+                    phase: PhaseSnapshot::Warming {
+                        values: vec![1.0, -2.5, messy],
+                        period: Some(24),
+                        last_attempt: 3,
+                    },
+                },
+                SeriesSnapshot {
+                    key: SeriesKey::new("dead"),
+                    last_seen: 7,
+                    phase: PhaseSnapshot::Rejected,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = sample_snapshot();
+        let bytes = encode(&snap);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.clock, snap.clock);
+        assert_eq!(back.batches, snap.batches);
+        assert_eq!(back.totals, snap.totals);
+        assert_eq!(back.series.len(), 2);
+        assert_eq!(back.series[0].key, snap.series[0].key);
+        match (&back.series[0].phase, &snap.series[0].phase) {
+            (
+                PhaseSnapshot::Warming { values: a, period: pa, last_attempt: la },
+                PhaseSnapshot::Warming { values: b, period: pb, last_attempt: lb },
+            ) => {
+                assert_eq!((pa, la), (pb, lb));
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "bit-identical floats");
+                }
+            }
+            _ => panic!("phase mismatch"),
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_not_panicked() {
+        let snap = sample_snapshot();
+        let bytes = encode(&snap);
+        assert_eq!(decode(b"short"), Err(CodecError::Truncated));
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert_eq!(decode(&wrong_magic), Err(CodecError::BadMagic));
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 0xEE;
+        assert!(matches!(decode(&wrong_version), Err(CodecError::UnsupportedVersion(_))));
+        // every truncation point fails cleanly
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should not decode");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            decode(&trailing),
+            Err(CodecError::Invalid("trailing bytes after snapshot"))
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Engine configuration.
+
+use oneshotstl::OneShotStlConfig;
+
+/// How the seasonal period of an incoming series is determined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeriodPolicy {
+    /// Every series uses this period (no detection).
+    Fixed(usize),
+    /// Detect the period from the warm-up buffer with the ACF detector
+    /// (`tskit::period::detect_period`).
+    Detect {
+        /// Smallest admissible period (≥ 2).
+        min_period: usize,
+        /// Largest admissible period.
+        max_period: usize,
+        /// Minimum ACF peak for a detection to count.
+        min_acf: f64,
+        /// Period to assume when the warm-up cap is reached without a
+        /// detection; `None` rejects the series instead.
+        fallback: Option<usize>,
+    },
+}
+
+impl PeriodPolicy {
+    /// The default detector: periods in `[4, 512]`, modest ACF bar, and a
+    /// `find_length`-style fallback of 125.
+    pub fn detect_default() -> Self {
+        PeriodPolicy::Detect {
+            min_period: 4,
+            max_period: 512,
+            min_acf: 0.1,
+            fallback: Some(125),
+        }
+    }
+}
+
+/// Configuration of a [`crate::FleetEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Worker shards (threads). Keys are routed by stable hash.
+    pub shards: usize,
+    /// Warm-up length multiplier: a series is admitted once `k·T` points
+    /// are buffered (`T` = its period). Must be ≥ 3 so the OneShotSTL
+    /// initialization window constraint `≥ 2T + 1` always holds.
+    pub init_cycles: usize,
+    /// Period determination policy.
+    pub period: PeriodPolicy,
+    /// Hard cap on warm-up buffering per series; reaching it without a
+    /// usable period rejects the series (or admits it with the policy's
+    /// fallback period). `None` derives a cap from the period policy.
+    pub max_warmup: Option<usize>,
+    /// NSigma threshold for the per-series anomaly verdict.
+    pub nsigma: f64,
+    /// Evict series idle for more than this many clock ticks (record `t`
+    /// units). `None` disables TTL eviction.
+    pub ttl: Option<u64>,
+    /// Upper bound on how far one record may advance the engine clock
+    /// (record `t` units). With untrusted producers, a single absurd
+    /// timestamp would otherwise jump the clock and the next TTL sweep
+    /// would evict the entire fleet; a bound keeps the clock moving at
+    /// most `max_clock_step` per record. `None` trusts timestamps fully.
+    pub max_clock_step: Option<u64>,
+    /// Decomposer configuration for admitted series.
+    pub detector: OneShotStlConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            init_cycles: 3,
+            period: PeriodPolicy::detect_default(),
+            max_warmup: None,
+            nsigma: 5.0,
+            ttl: None,
+            max_clock_step: None,
+            detector: OneShotStlConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A fixed-period config — the common case when the tenant declares
+    /// its metric resolution up front.
+    pub fn fixed_period(period: usize) -> Self {
+        FleetConfig { period: PeriodPolicy::Fixed(period), ..Default::default() }
+    }
+
+    /// Admission length for a known period `t`: `max(init_cycles·T, 2T+1)`.
+    pub fn init_len(&self, period: usize) -> usize {
+        (self.init_cycles * period).max(2 * period + 1)
+    }
+
+    /// The effective warm-up cap.
+    pub fn warmup_cap(&self) -> usize {
+        if let Some(cap) = self.max_warmup {
+            return cap;
+        }
+        match &self.period {
+            PeriodPolicy::Fixed(t) => self.init_len(*t),
+            PeriodPolicy::Detect { max_period, .. } => self.init_len(*max_period),
+        }
+    }
+
+    /// Validates the configuration, returning a message for the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if self.init_cycles < 3 {
+            return Err(
+                "init_cycles must be >= 3 (OneShotSTL needs >= 2T+1 init points)".into()
+            );
+        }
+        match &self.period {
+            PeriodPolicy::Fixed(t) if *t < 2 => {
+                return Err(format!("fixed period must be >= 2, got {t}"));
+            }
+            PeriodPolicy::Detect { min_period, max_period, fallback, .. } => {
+                if *min_period < 2 || max_period <= min_period {
+                    return Err(format!(
+                        "detect range must satisfy 2 <= min < max, got [{min_period}, {max_period}]"
+                    ));
+                }
+                if let Some(f) = fallback {
+                    if *f < 2 {
+                        return Err(format!("fallback period must be >= 2, got {f}"));
+                    }
+                }
+            }
+            PeriodPolicy::Fixed(_) => {}
+        }
+        if self.warmup_cap() < 5 {
+            return Err("warm-up cap too small to ever admit a series".into());
+        }
+        if self.max_clock_step == Some(0) {
+            return Err("max_clock_step must be >= 1 (or None)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(FleetConfig::default().validate(), Ok(()));
+        assert_eq!(FleetConfig::fixed_period(24).validate(), Ok(()));
+    }
+
+    #[test]
+    fn init_len_honours_oneshotstl_minimum() {
+        let cfg = FleetConfig { init_cycles: 3, ..Default::default() };
+        assert_eq!(cfg.init_len(24), 72);
+        // tiny periods: 2T+1 dominates k·T only when k·T would be too short
+        assert_eq!(cfg.init_len(2), 6);
+        let cfg4 = FleetConfig { init_cycles: 4, ..Default::default() };
+        assert_eq!(cfg4.init_len(2), 8);
+    }
+
+    #[test]
+    fn invalid_configs_are_caught() {
+        assert!(FleetConfig { shards: 0, ..Default::default() }.validate().is_err());
+        assert!(FleetConfig { init_cycles: 2, ..Default::default() }.validate().is_err());
+        assert!(FleetConfig::fixed_period(1).validate().is_err());
+        let bad_detect = FleetConfig {
+            period: PeriodPolicy::Detect {
+                min_period: 10,
+                max_period: 10,
+                min_acf: 0.1,
+                fallback: None,
+            },
+            ..Default::default()
+        };
+        assert!(bad_detect.validate().is_err());
+    }
+}

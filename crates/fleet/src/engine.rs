@@ -1,0 +1,324 @@
+//! The multi-tenant engine: routes batches to shard workers, admits new
+//! series, snapshots and restores the whole fleet.
+
+use crate::config::FleetConfig;
+use crate::error::FleetError;
+use crate::series::SeriesState;
+use crate::shard::{run_worker, SeriesEntry, SeriesSnapshot, ShardMsg, ShardState};
+use crate::types::{FleetStats, Record, ScoredPoint, SeriesKey, ShardStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How often (in ingest batches) the engine sweeps for TTL-expired series
+/// when a TTL is configured.
+const TTL_SWEEP_EVERY: u64 = 64;
+
+/// Lifetime counters carried across snapshot/restore (shard counters reset
+/// on restore because the shard count may change).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CarriedTotals {
+    /// Series evicted by TTL before the snapshot.
+    pub evicted: u64,
+    /// Series admitted before the snapshot.
+    pub admitted: u64,
+    /// Records processed before the snapshot.
+    pub points: u64,
+    /// Anomalies flagged before the snapshot.
+    pub anomalies: u64,
+}
+
+/// A complete, self-contained image of an engine: configuration, clocks,
+/// and every series' state. Produced by [`FleetEngine::snapshot`]; turned
+/// into bytes by [`crate::codec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Engine configuration at snapshot time.
+    pub config: FleetConfig,
+    /// Engine clock (max record `t` seen).
+    pub clock: u64,
+    /// Ingest batches processed (TTL sweep cadence).
+    pub batches: u64,
+    /// Lifetime counters.
+    pub totals: CarriedTotals,
+    /// Every series, sorted by key.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Sharded multi-series streaming engine. See the crate docs for a tour.
+pub struct FleetEngine {
+    config: Arc<FleetConfig>,
+    senders: Vec<Sender<ShardMsg>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    handles: Vec<JoinHandle<()>>,
+    clock: u64,
+    batches: u64,
+    carried: CarriedTotals,
+}
+
+impl FleetEngine {
+    /// Starts an empty engine: spawns `config.shards` worker threads.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        config.validate().map_err(FleetError::Config)?;
+        let config = Arc::new(config);
+        let states =
+            (0..config.shards).map(|i| ShardState::new(i, Arc::clone(&config))).collect();
+        Ok(Self::spawn(config, states, 0, 0, CarriedTotals::default()))
+    }
+
+    /// Rebuilds an engine from a snapshot. The restored engine's scoring
+    /// stream is bit-identical to the snapshotted engine's continuation.
+    /// The shard count comes from the snapshot's config; keys re-route
+    /// deterministically, so a different count would also be correct —
+    /// use [`FleetEngine::restore_with_shards`] to override.
+    pub fn restore(snapshot: FleetSnapshot) -> Result<Self, FleetError> {
+        let shards = snapshot.config.shards;
+        Self::restore_with_shards(snapshot, shards)
+    }
+
+    /// [`FleetEngine::restore`] with an explicit shard count (scale a
+    /// snapshot up or down on the way back in).
+    pub fn restore_with_shards(
+        mut snapshot: FleetSnapshot,
+        shards: usize,
+    ) -> Result<Self, FleetError> {
+        snapshot.config.shards = shards;
+        snapshot.config.validate().map_err(FleetError::Config)?;
+        let config = Arc::new(snapshot.config);
+        let mut states: Vec<ShardState> =
+            (0..shards).map(|i| ShardState::new(i, Arc::clone(&config))).collect();
+        for s in snapshot.series {
+            let shard = s.key.shard_of(shards);
+            let state = SeriesState::from_snapshot(s.phase, &config)?;
+            states[shard].registry.insert(s.key, SeriesEntry { state, last_seen: s.last_seen });
+        }
+        Ok(Self::spawn(config, states, snapshot.clock, snapshot.batches, snapshot.totals))
+    }
+
+    fn spawn(
+        config: Arc<FleetConfig>,
+        states: Vec<ShardState>,
+        clock: u64,
+        batches: u64,
+        carried: CarriedTotals,
+    ) -> Self {
+        let mut senders = Vec::with_capacity(states.len());
+        let mut depths = Vec::with_capacity(states.len());
+        let mut handles = Vec::with_capacity(states.len());
+        for state in states {
+            let (tx, rx) = channel::<ShardMsg>();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = Arc::clone(&depth);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("fleet-shard-{}", state.index))
+                    .spawn(move || run_worker(state, rx, worker_depth))
+                    .expect("spawning a shard worker thread"),
+            );
+            senders.push(tx);
+            depths.push(depth);
+        }
+        FleetEngine { config, senders, depths, handles, clock, batches, carried }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Engine clock: the largest record `t` ingested so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    fn send(&self, shard: usize, msg: ShardMsg) -> Result<(), FleetError> {
+        self.depths[shard].fetch_add(1, Ordering::Relaxed);
+        self.senders[shard].send(msg).map_err(|_| FleetError::ShardDown)
+    }
+
+    /// Ingests a batch of records and returns one [`ScoredPoint`] per
+    /// record, in batch order. Records are routed to shards by stable key
+    /// hash and processed in parallel across shards; per-series order
+    /// within the batch is preserved.
+    pub fn ingest(&mut self, batch: Vec<Record>) -> Result<Vec<ScoredPoint>, FleetError> {
+        let n = batch.len();
+        let shards = self.shard_count();
+        let mut routed: Vec<Vec<(usize, Record, u64)>> = vec![Vec::new(); shards];
+        for (idx, rec) in batch.into_iter().enumerate() {
+            // a bounded clock step contains timestamp poisoning (see
+            // `FleetConfig::max_clock_step`); the record keeps its raw `t`
+            // in the output, but liveness tracking uses the clamped value
+            // so a future-dated record is neither eviction-immune nor able
+            // to age out the rest of the fleet
+            let t = match self.config.max_clock_step {
+                Some(step) => rec.t.min(self.clock.saturating_add(step)),
+                None => rec.t,
+            };
+            self.clock = self.clock.max(t);
+            routed[rec.key.shard_of(shards)].push((idx, rec, t));
+        }
+        let (reply_tx, reply_rx) = channel();
+        let mut in_flight = 0usize;
+        for (shard, items) in routed.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            self.send(shard, ShardMsg::Ingest { items, reply: reply_tx.clone() })?;
+            in_flight += 1;
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<ScoredPoint>> = (0..n).map(|_| None).collect();
+        for _ in 0..in_flight {
+            let part = reply_rx.recv().map_err(|_| FleetError::ShardDown)?;
+            for (idx, sp) in part {
+                out[idx] = Some(sp);
+            }
+        }
+        self.batches += 1;
+        if self.config.ttl.is_some() && self.batches.is_multiple_of(TTL_SWEEP_EVERY) {
+            self.evict_idle(self.clock)?;
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every batch index answered by exactly one shard"))
+            .collect())
+    }
+
+    /// Convenience single-record ingest.
+    pub fn ingest_one(
+        &mut self,
+        key: impl Into<SeriesKey>,
+        t: u64,
+        value: f64,
+    ) -> Result<ScoredPoint, FleetError> {
+        let mut out = self.ingest(vec![Record::new(key, t, value)])?;
+        Ok(out.pop().expect("one record in, one point out"))
+    }
+
+    /// Evicts series whose `last_seen` is more than the configured TTL
+    /// behind `now`. Returns how many series were evicted. No-op without a
+    /// configured TTL.
+    ///
+    /// Liveness clocks live in the engine's (possibly step-bounded) clock
+    /// domain, so `now` is clamped the same way records are: with
+    /// `max_clock_step` configured, a wall-clock `now` far ahead of the
+    /// engine clock cannot evict the whole fleet in one call.
+    pub fn evict_idle(&mut self, now: u64) -> Result<usize, FleetError> {
+        let Some(ttl) = self.config.ttl else { return Ok(0) };
+        let now = match self.config.max_clock_step {
+            Some(step) => now.min(self.clock.saturating_add(step)),
+            None => now,
+        };
+        let (tx, rx) = channel();
+        for shard in 0..self.shard_count() {
+            self.send(shard, ShardMsg::EvictIdle { now, ttl, reply: tx.clone() })?;
+        }
+        drop(tx);
+        let mut total = 0;
+        for _ in 0..self.shard_count() {
+            total += rx.recv().map_err(|_| FleetError::ShardDown)?;
+        }
+        Ok(total)
+    }
+
+    /// Forecasts `1..=horizon` steps ahead for one series (`None` when the
+    /// series is unknown or still warming).
+    pub fn forecast(
+        &self,
+        key: &SeriesKey,
+        horizon: usize,
+    ) -> Result<Option<Vec<f64>>, FleetError> {
+        let shard = key.shard_of(self.shard_count());
+        let (tx, rx) = channel();
+        self.send(shard, ShardMsg::Forecast { key: key.clone(), horizon, reply: tx })?;
+        rx.recv().map_err(|_| FleetError::ShardDown)
+    }
+
+    /// Aggregate + per-shard statistics.
+    pub fn stats(&self) -> Result<FleetStats, FleetError> {
+        let (tx, rx) = channel();
+        for shard in 0..self.shard_count() {
+            self.send(shard, ShardMsg::Stats { reply: tx.clone() })?;
+        }
+        drop(tx);
+        let mut per_shard: Vec<ShardStats> = Vec::with_capacity(self.shard_count());
+        for _ in 0..self.shard_count() {
+            per_shard.push(rx.recv().map_err(|_| FleetError::ShardDown)?);
+        }
+        per_shard.sort_by_key(|s| s.shard);
+        let mut stats = FleetStats {
+            evicted: self.carried.evicted,
+            admitted: self.carried.admitted,
+            points: self.carried.points,
+            anomalies: self.carried.anomalies,
+            ..Default::default()
+        };
+        for s in &per_shard {
+            stats.live += s.live;
+            stats.warming += s.warming;
+            stats.rejected += s.rejected;
+            stats.evicted += s.evicted;
+            stats.admitted += s.admitted;
+            stats.points += s.points;
+            stats.anomalies += s.anomalies;
+        }
+        stats.shards = per_shard;
+        Ok(stats)
+    }
+
+    /// Serializes the complete engine state. The engine stays usable; the
+    /// snapshot is a consistent point-in-time image because the engine's
+    /// `&mut` API means no ingest can be interleaved with the collection.
+    pub fn snapshot(&mut self) -> Result<FleetSnapshot, FleetError> {
+        let (tx, rx) = channel();
+        for shard in 0..self.shard_count() {
+            self.send(shard, ShardMsg::Snapshot { reply: tx.clone() })?;
+        }
+        drop(tx);
+        let mut series: Vec<SeriesSnapshot> = Vec::new();
+        let mut totals = self.carried;
+        for _ in 0..self.shard_count() {
+            let (part, stats) = rx.recv().map_err(|_| FleetError::ShardDown)?;
+            series.extend(part);
+            totals.evicted += stats.evicted;
+            totals.admitted += stats.admitted;
+            totals.points += stats.points;
+            totals.anomalies += stats.anomalies;
+        }
+        series.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(FleetSnapshot {
+            config: (*self.config).clone(),
+            clock: self.clock,
+            batches: self.batches,
+            totals,
+            series,
+        })
+    }
+
+    /// [`FleetEngine::snapshot`] straight to the versioned binary format.
+    pub fn snapshot_bytes(&mut self) -> Result<Vec<u8>, FleetError> {
+        Ok(crate::codec::encode(&self.snapshot()?))
+    }
+
+    /// Restores an engine from [`FleetEngine::snapshot_bytes`] output.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Self, FleetError> {
+        Self::restore(crate::codec::decode(bytes)?)
+    }
+}
+
+impl Drop for FleetEngine {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

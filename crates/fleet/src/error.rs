@@ -1,0 +1,68 @@
+//! Error type of the fleet engine.
+
+use std::fmt;
+use tskit::error::TsError;
+
+/// Errors produced by the engine and the snapshot codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// Invalid [`crate::FleetConfig`].
+    Config(String),
+    /// Snapshot bytes could not be decoded.
+    Codec(CodecError),
+    /// A per-series state failed validation during restore.
+    State(TsError),
+    /// A shard worker is gone (channel closed) — the engine is poisoned.
+    ShardDown,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(msg) => write!(f, "invalid fleet config: {msg}"),
+            FleetError::Codec(e) => write!(f, "snapshot codec: {e}"),
+            FleetError::State(e) => write!(f, "series state: {e}"),
+            FleetError::ShardDown => write!(f, "a shard worker terminated unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CodecError> for FleetError {
+    fn from(e: CodecError) -> Self {
+        FleetError::Codec(e)
+    }
+}
+
+impl From<TsError> for FleetError {
+    fn from(e: TsError) -> Self {
+        FleetError::State(e)
+    }
+}
+
+/// Decoding failures of the versioned snapshot format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// The input does not start with the snapshot magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// A field held a value outside its domain.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated input"),
+            CodecError::BadMagic => write!(f, "not a fleet snapshot (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

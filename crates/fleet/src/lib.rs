@@ -1,0 +1,73 @@
+//! # fleet — sharded multi-series streaming engine
+//!
+//! OneShotSTL's `O(1)` per-point update (see the `oneshotstl` crate) only
+//! pays off in production when one process hosts *many* concurrent series —
+//! the cloud-monitoring setting of the paper's deployment. This crate is
+//! that hosting layer: a multi-tenant engine owning a registry of
+//! per-series detector state, sharded across worker threads, with warm-up
+//! admission for unknown series, TTL lifecycle, and versioned binary
+//! snapshot/restore.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            ingest(Vec<Record>)                ┌────────────────────────┐
+//!  caller ──────────────────────▶ FleetEngine ──▶ shard 0 (OS thread)    │
+//!            Vec<ScoredPoint>          │        │  SeriesKey → SeriesState│
+//!            (batch order)             ├────────▶ shard 1 …              │
+//!                                      │        │  Warming → Live        │
+//!            stable FNV-1a router ─────┘        └────────────────────────┘
+//! ```
+//!
+//! - **Registry + sharding.** Records route to `shards` worker threads by a
+//!   stable 64-bit key hash ([`SeriesKey::stable_hash`]); plain
+//!   `std::thread` + `mpsc`, no external dependencies. A batch fans out to
+//!   all shards in parallel and reassembles in input order.
+//! - **Warm-up admission.** An unknown key buffers raw points until
+//!   `init_len = init_cycles·T` arrive, where the period `T` is either
+//!   declared ([`PeriodPolicy::Fixed`]) or ACF-detected from the buffer
+//!   ([`PeriodPolicy::Detect`]). The series is then promoted to a live
+//!   `StdAnomalyDetector<OneShotStl>`.
+//! - **Snapshot/restore.** [`FleetEngine::snapshot_bytes`] serializes every
+//!   series (via `to_state`/`from_state` hooks on `OneShotStl`, `NSigma`)
+//!   with a versioned codec ([`codec`]) that round-trips `f64`s by bit
+//!   pattern: a restored engine continues the scoring stream
+//!   **bit-identically**.
+//! - **Lifecycle.** Per-series last-seen clocks; series idle beyond
+//!   `config.ttl` are evicted (amortized sweep during ingest, or explicit
+//!   [`FleetEngine::evict_idle`]). [`FleetEngine::stats`] reports
+//!   live/warming/rejected counts, lifetime counters, and per-shard queue
+//!   depth.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fleet::{FleetConfig, FleetEngine, Record};
+//!
+//! let mut engine = FleetEngine::new(FleetConfig::fixed_period(24)).unwrap();
+//! // warm up one series: 3 cycles of a daily pattern
+//! for t in 0..72 {
+//!     let v = (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin();
+//!     engine.ingest_one("host-1/cpu", t, v).unwrap();
+//! }
+//! // the series is now live: points come back scored
+//! let p = engine.ingest_one("host-1/cpu", 72, 0.0).unwrap();
+//! assert!(p.score().is_some());
+//! let snapshot = engine.snapshot_bytes().unwrap();
+//! let restored = FleetEngine::restore_bytes(&snapshot).unwrap();
+//! assert_eq!(restored.stats().unwrap().live, 1);
+//! ```
+
+pub mod codec;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod series;
+pub mod shard;
+pub mod types;
+
+pub use config::{FleetConfig, PeriodPolicy};
+pub use engine::{CarriedTotals, FleetEngine, FleetSnapshot};
+pub use error::{CodecError, FleetError};
+pub use shard::SeriesSnapshot;
+pub use types::{FleetStats, PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};

@@ -1,0 +1,502 @@
+//! Per-series state machine: warm-up buffering → admission → live scoring.
+
+use crate::config::{FleetConfig, PeriodPolicy};
+use crate::types::PointOutput;
+use oneshotstl::{NSigma, NSigmaState, OneShotStl, OneShotStlState, StdAnomalyDetector};
+use tskit::period::detect_period;
+
+/// One registered series: either buffering toward admission or live.
+// the Live variant dominates the size on purpose: almost every registry
+// entry is live at steady state, so boxing would only add a pointer chase
+// to the hot scoring path
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SeriesState {
+    /// Accumulating raw points until `init_len = k·T` arrive.
+    Warming(Warmup),
+    /// Admitted: a live detector scores every point.
+    Live(LiveSeries),
+    /// Warm-up overflowed without a usable period; points are dropped
+    /// until TTL eviction clears the tombstone.
+    Rejected,
+}
+
+/// Warm-up buffer of a not-yet-admitted series.
+#[derive(Debug, Clone)]
+pub struct Warmup {
+    /// Raw values in arrival order.
+    pub values: Vec<f64>,
+    /// Detected or declared period (`None` until known).
+    pub period: Option<usize>,
+    /// Buffer length at the last detection attempt.
+    last_attempt: usize,
+}
+
+/// A live (admitted) series.
+#[derive(Debug)]
+pub struct LiveSeries {
+    /// The scoring pipeline: OneShotSTL + residual NSigma.
+    pub detector: StdAnomalyDetector<OneShotStl>,
+}
+
+/// What processing one point did to a series.
+pub enum StepOutcome {
+    /// Output for the ingested point.
+    Output(PointOutput),
+    /// The point completed warm-up: the series was promoted (the point is
+    /// part of the initialization window). Carries the admission output.
+    Promoted(PointOutput),
+}
+
+impl Warmup {
+    /// An empty warm-up buffer under `config`'s period policy.
+    pub fn new(config: &FleetConfig) -> Self {
+        let period = match &config.period {
+            PeriodPolicy::Fixed(t) => Some(*t),
+            PeriodPolicy::Detect { .. } => None,
+        };
+        Warmup { values: Vec::new(), period, last_attempt: 0 }
+    }
+
+    /// Rebuilds a warm-up buffer from snapshot data. Detection bookkeeping
+    /// is restored too, so the restored series attempts detection at the
+    /// same buffer lengths the uninterrupted one would have.
+    pub fn from_snapshot(
+        config: &FleetConfig,
+        values: Vec<f64>,
+        period: Option<usize>,
+        last_attempt: usize,
+    ) -> Self {
+        let mut w = Warmup::new(config);
+        w.values = values;
+        // a declared (Fixed) period always wins over a snapshotted one
+        if w.period.is_none() {
+            w.period = period;
+        }
+        w.last_attempt = last_attempt;
+        w
+    }
+
+    /// Points needed for admission, when the period is known.
+    pub fn needed(&self, config: &FleetConfig) -> Option<usize> {
+        self.period.map(|t| config.init_len(t))
+    }
+
+    /// Attempts ACF period detection on the buffer. Detection is
+    /// `O(n·max_period)`, so attempts back off geometrically (the buffer
+    /// must grow by ~25% between attempts) — total warm-up detection cost
+    /// stays `O(n·max_period)` instead of quadratic.
+    fn try_detect(&mut self, config: &FleetConfig) {
+        let PeriodPolicy::Detect { min_period, .. } = &config.period else {
+            return;
+        };
+        let n = self.values.len();
+        let step = (self.last_attempt / 4).max(*min_period);
+        if n < 3 * *min_period || n < self.last_attempt + step {
+            return;
+        }
+        self.force_detect(config);
+    }
+
+    /// One detection attempt right now, ignoring the back-off schedule
+    /// (used as the last chance when the warm-up cap is reached).
+    fn force_detect(&mut self, config: &FleetConfig) {
+        let PeriodPolicy::Detect { min_period, max_period, min_acf, .. } = &config.period
+        else {
+            return;
+        };
+        let n = self.values.len();
+        if n < 3 * *min_period {
+            return;
+        }
+        self.last_attempt = n;
+        self.period = detect_period(&self.values, *min_period, *max_period, *min_acf);
+    }
+}
+
+impl SeriesState {
+    /// A fresh series in the warming phase.
+    pub fn new(config: &FleetConfig) -> Self {
+        SeriesState::Warming(Warmup::new(config))
+    }
+
+    /// Processes one arriving value.
+    pub fn step(&mut self, value: f64, config: &FleetConfig) -> StepOutcome {
+        match self {
+            SeriesState::Rejected => StepOutcome::Output(PointOutput::Rejected),
+            SeriesState::Live(live) => {
+                // the detector's own NSigma owns the threshold rule
+                let (point, verdict) = live.detector.update_scored(value);
+                StepOutcome::Output(PointOutput::Scored {
+                    point,
+                    score: verdict.score,
+                    is_anomaly: verdict.is_anomaly,
+                })
+            }
+            SeriesState::Warming(w) => {
+                // impute non-finite values with the last buffered one (or
+                // drop a leading one): a single NaN must not poison the
+                // initialization window — post-admission updates impute
+                // the same way
+                if value.is_finite() {
+                    w.values.push(value);
+                } else if let Some(&last) = w.values.last() {
+                    w.values.push(last);
+                } else {
+                    return StepOutcome::Output(PointOutput::Warming {
+                        buffered: 0,
+                        needed: w.needed(config),
+                    });
+                }
+                if w.period.is_none() {
+                    w.try_detect(config);
+                }
+                let buffered = w.values.len();
+                if let Some(t) = w.period {
+                    if buffered >= config.init_len(t) {
+                        return self.promote(t, config);
+                    }
+                    // period known: keep buffering toward init_len even
+                    // past the cap (growth stays bounded by
+                    // init_len(max_period))
+                } else if buffered >= config.warmup_cap() {
+                    // cap reached without a period: one forced (back-off
+                    // bypassing) detection attempt before deciding
+                    if buffered == config.warmup_cap() {
+                        w.force_detect(config);
+                    }
+                    if let Some(t) = w.period {
+                        if buffered >= config.init_len(t) {
+                            return self.promote(t, config);
+                        }
+                        return StepOutcome::Output(PointOutput::Warming {
+                            buffered,
+                            needed: w.needed(config),
+                        });
+                    }
+                    let fallback = match &config.period {
+                        PeriodPolicy::Detect { fallback, .. } => *fallback,
+                        PeriodPolicy::Fixed(t) => Some(*t),
+                    };
+                    match fallback {
+                        // admit under the fallback period only once enough
+                        // points for it are buffered (cap can be below k·T
+                        // for a custom max_warmup)
+                        Some(t) if buffered >= config.init_len(t) => {
+                            return self.promote(t, config);
+                        }
+                        Some(_) => {}
+                        None => {
+                            *self = SeriesState::Rejected;
+                            return StepOutcome::Output(PointOutput::Rejected);
+                        }
+                    }
+                }
+                StepOutcome::Output(PointOutput::Warming { buffered, needed: w.needed(config) })
+            }
+        }
+    }
+
+    /// Promotes a warming series: initializes a detector on the whole
+    /// buffer. On a (rare) init failure the series is tomb-stoned.
+    fn promote(&mut self, period: usize, config: &FleetConfig) -> StepOutcome {
+        let SeriesState::Warming(w) = self else {
+            unreachable!("promote called on a non-warming series");
+        };
+        let buffered = w.values.len();
+        let mut detector =
+            StdAnomalyDetector::new(OneShotStl::new(config.detector.clone()), config.nsigma);
+        match detector.init(&w.values, period) {
+            Ok(()) => {
+                *self = SeriesState::Live(LiveSeries { detector });
+                StepOutcome::Promoted(PointOutput::Warming { buffered, needed: Some(buffered) })
+            }
+            Err(_) => {
+                *self = SeriesState::Rejected;
+                StepOutcome::Output(PointOutput::Rejected)
+            }
+        }
+    }
+}
+
+/// Plain-data snapshot of one series (key and clock live in the registry
+/// entry; see [`crate::codec`]).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseSnapshot {
+    /// Warm-up buffer contents.
+    Warming {
+        /// Buffered raw values, arrival order.
+        values: Vec<f64>,
+        /// Detected period, when detection has already succeeded.
+        period: Option<usize>,
+        /// Buffer length at the last detection attempt.
+        last_attempt: usize,
+    },
+    /// Live detector state.
+    Live {
+        /// The OneShotSTL decomposer state.
+        decomposer: OneShotStlState,
+        /// The task-level residual scoring statistics.
+        nsigma: NSigmaState,
+    },
+    /// Tombstone.
+    Rejected,
+}
+
+impl SeriesState {
+    /// Extracts the plain-data snapshot of this series.
+    pub fn to_snapshot(&self) -> PhaseSnapshot {
+        match self {
+            SeriesState::Warming(w) => PhaseSnapshot::Warming {
+                values: w.values.clone(),
+                period: w.period,
+                last_attempt: w.last_attempt,
+            },
+            SeriesState::Live(live) => PhaseSnapshot::Live {
+                decomposer: live.detector.decomposer.to_state(),
+                nsigma: live.detector.nsigma().to_state(),
+            },
+            SeriesState::Rejected => PhaseSnapshot::Rejected,
+        }
+    }
+
+    /// Rebuilds a series from its snapshot.
+    pub fn from_snapshot(
+        snapshot: PhaseSnapshot,
+        config: &FleetConfig,
+    ) -> Result<Self, tskit::error::TsError> {
+        Ok(match snapshot {
+            PhaseSnapshot::Warming { values, period, last_attempt } => SeriesState::Warming(
+                Warmup::from_snapshot(config, values, period, last_attempt),
+            ),
+            PhaseSnapshot::Live { decomposer, nsigma } => {
+                // live implies initialized: an uninitialized decomposer
+                // would panic the shard worker on the first update
+                if !decomposer.initialized {
+                    return Err(tskit::error::TsError::InvalidParam {
+                        name: "PhaseSnapshot::Live",
+                        msg: "live series with uninitialized decomposer".into(),
+                    });
+                }
+                SeriesState::Live(LiveSeries {
+                    detector: StdAnomalyDetector::from_parts(
+                        OneShotStl::from_state(decomposer)?,
+                        NSigma::from_state(nsigma),
+                    ),
+                })
+            }
+            PhaseSnapshot::Rejected => SeriesState::Rejected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(n: usize, t: usize) -> Vec<f64> {
+        (0..n).map(|i| 2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect()
+    }
+
+    #[test]
+    fn non_finite_warmup_values_do_not_poison_admission() {
+        // a NaN mid-warm-up is imputed (last value carried forward), so the
+        // series still admits and scores — mirroring the live impute path
+        let cfg = FleetConfig::fixed_period(24);
+        let need = cfg.init_len(24);
+        let y = seasonal(need + 10, 24);
+        let mut s = SeriesState::new(&cfg);
+        // a leading NaN (nothing to impute from) is dropped, not buffered
+        match s.step(f64::NAN, &cfg) {
+            StepOutcome::Output(PointOutput::Warming { buffered, .. }) => {
+                assert_eq!(buffered, 0)
+            }
+            _ => panic!("leading NaN should leave the series warming"),
+        }
+        for (i, &v) in y.iter().enumerate() {
+            let v = if i == 30 { f64::INFINITY } else { v };
+            s.step(v, &cfg);
+        }
+        assert!(matches!(s, SeriesState::Live(_)), "NaN must not tombstone the series");
+    }
+
+    #[test]
+    fn detected_period_beyond_cap_keeps_buffering_to_admission() {
+        // the cap only rejects series with *no* usable period: once T is
+        // detected, the series buffers past the cap until init_len(T)
+        let cfg = FleetConfig {
+            period: PeriodPolicy::Detect {
+                min_period: 4,
+                max_period: 64,
+                min_acf: 0.3,
+                fallback: None,
+            },
+            max_warmup: Some(100), // < init_len(48) = 144
+            ..Default::default()
+        };
+        let y = seasonal(400, 48);
+        let mut s = SeriesState::new(&cfg);
+        let mut promoted = None;
+        for (i, &v) in y.iter().enumerate() {
+            match s.step(v, &cfg) {
+                StepOutcome::Promoted(_) => {
+                    promoted = Some(i + 1);
+                    break;
+                }
+                StepOutcome::Output(PointOutput::Rejected) => {
+                    panic!("series with a detected period must not be rejected at the cap")
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(promoted, Some(cfg.init_len(48)));
+    }
+
+    #[test]
+    fn live_snapshot_with_uninitialized_decomposer_is_rejected() {
+        // a crafted/corrupted snapshot must fail at restore, not panic a
+        // shard worker on the first update
+        let cfg = FleetConfig::fixed_period(8);
+        let never_inited = OneShotStl::new(cfg.detector.clone()).to_state();
+        let nsigma = NSigma::new(cfg.nsigma).to_state();
+        let snap = PhaseSnapshot::Live { decomposer: never_inited, nsigma };
+        assert!(SeriesState::from_snapshot(snap, &cfg).is_err());
+    }
+
+    #[test]
+    fn fixed_period_series_admits_at_init_len() {
+        let cfg = FleetConfig::fixed_period(24);
+        let need = cfg.init_len(24);
+        let mut s = SeriesState::new(&cfg);
+        let y = seasonal(need + 10, 24);
+        for (i, &v) in y.iter().enumerate() {
+            match s.step(v, &cfg) {
+                StepOutcome::Output(PointOutput::Warming { buffered, needed }) => {
+                    assert_eq!(buffered, i + 1);
+                    assert_eq!(needed, Some(need));
+                    assert!(i + 1 < need);
+                }
+                StepOutcome::Promoted(_) => assert_eq!(i + 1, need),
+                StepOutcome::Output(PointOutput::Scored { .. }) => assert!(i + 1 > need),
+                other => panic!("unexpected outcome at {i}: {:?}", discr(&other)),
+            }
+        }
+        assert!(matches!(s, SeriesState::Live(_)));
+    }
+
+    #[test]
+    fn detected_period_series_admits() {
+        let cfg = FleetConfig {
+            period: PeriodPolicy::Detect {
+                min_period: 4,
+                max_period: 64,
+                min_acf: 0.1,
+                fallback: None,
+            },
+            ..Default::default()
+        };
+        let mut s = SeriesState::new(&cfg);
+        let y = seasonal(400, 24);
+        let mut promoted_at = None;
+        for (i, &v) in y.iter().enumerate() {
+            if let StepOutcome::Promoted(_) = s.step(v, &cfg) {
+                promoted_at = Some(i + 1);
+                break;
+            }
+        }
+        let at = promoted_at.expect("seasonal series should be admitted");
+        // detection needs 3 periods; admission needs init_len(T)
+        assert!(at >= cfg.init_len(24), "admitted after {at}");
+        assert!(at <= 200, "admitted too late: {at}");
+    }
+
+    #[test]
+    fn white_noise_without_fallback_is_rejected() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let cfg = FleetConfig {
+            period: PeriodPolicy::Detect {
+                min_period: 4,
+                max_period: 32,
+                min_acf: 0.6,
+                fallback: None,
+            },
+            max_warmup: Some(120),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = SeriesState::new(&cfg);
+        let mut rejected = false;
+        for _ in 0..200 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            if let StepOutcome::Output(PointOutput::Rejected) = s.step(v, &cfg) {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "noise should overflow warm-up and be rejected");
+        assert!(matches!(s, SeriesState::Rejected));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_bit_identically() {
+        let cfg = FleetConfig::fixed_period(16);
+        let y = seasonal(400, 16);
+        let mut a = SeriesState::new(&cfg);
+        for &v in &y[..200] {
+            a.step(v, &cfg);
+        }
+        let snap = a.to_snapshot();
+        let mut b = SeriesState::from_snapshot(snap, &cfg).unwrap();
+        for &v in &y[200..] {
+            let (ra, rb) = (a.step(v, &cfg), b.step(v, &cfg));
+            match (ra, rb) {
+                (StepOutcome::Output(oa), StepOutcome::Output(ob)) => assert_eq!(oa, ob),
+                _ => panic!("phases diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn warming_snapshot_roundtrip_admits_at_the_same_point() {
+        // Detect policy, snapshot taken mid-warm-up: the restored series
+        // must attempt detection at the same buffer lengths and admit at
+        // the same point as the uninterrupted one.
+        let cfg = FleetConfig {
+            period: PeriodPolicy::Detect {
+                min_period: 4,
+                max_period: 64,
+                min_acf: 0.3,
+                fallback: None,
+            },
+            ..Default::default()
+        };
+        let y = seasonal(400, 24);
+        let mut a = SeriesState::new(&cfg);
+        for &v in &y[..40] {
+            a.step(v, &cfg);
+        }
+        let mut b = SeriesState::from_snapshot(a.to_snapshot(), &cfg).unwrap();
+        let mut admitted = (None, None);
+        for (i, &v) in y[40..].iter().enumerate() {
+            if let StepOutcome::Promoted(_) = a.step(v, &cfg) {
+                admitted.0 = Some(i);
+            }
+            if let StepOutcome::Promoted(_) = b.step(v, &cfg) {
+                admitted.1 = Some(i);
+            }
+        }
+        assert!(admitted.0.is_some(), "seasonal series should be admitted");
+        assert_eq!(admitted.0, admitted.1, "restored warm-up must admit in lockstep");
+    }
+
+    fn discr(o: &StepOutcome) -> &'static str {
+        match o {
+            StepOutcome::Output(PointOutput::Warming { .. }) => "warming",
+            StepOutcome::Output(PointOutput::Scored { .. }) => "scored",
+            StepOutcome::Output(PointOutput::Rejected) => "rejected",
+            StepOutcome::Promoted(_) => "promoted",
+        }
+    }
+}

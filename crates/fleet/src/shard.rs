@@ -1,0 +1,229 @@
+//! Shard worker: owns a slice of the series registry and processes the
+//! messages the engine routes to it. One OS thread per shard, plain
+//! `std::sync::mpsc` channels — no external runtime.
+
+use crate::config::FleetConfig;
+use crate::series::{PhaseSnapshot, SeriesState, StepOutcome};
+use crate::types::{PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// One registry entry: the series state machine plus its liveness clock.
+#[derive(Debug)]
+pub struct SeriesEntry {
+    /// Warm-up / live / tombstone state.
+    pub state: SeriesState,
+    /// Largest record `t` seen for this series (TTL clock).
+    pub last_seen: u64,
+}
+
+/// Snapshot of one registry entry, keyed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// The series key.
+    pub key: SeriesKey,
+    /// TTL clock at snapshot time.
+    pub last_seen: u64,
+    /// Phase state.
+    pub phase: PhaseSnapshot,
+}
+
+/// Messages the engine sends to a shard worker.
+pub enum ShardMsg {
+    /// Process a sub-batch; reply with `(original_index, output)` pairs.
+    Ingest {
+        /// `(position in the caller's batch, record, liveness clock)`
+        /// triples, batch order. The liveness clock is the record's `t`
+        /// clamped by the engine's bounded clock (see
+        /// `FleetConfig::max_clock_step`) — a future-dated record must not
+        /// make its series immune to TTL eviction.
+        items: Vec<(usize, Record, u64)>,
+        /// Reply channel.
+        reply: Sender<Vec<(usize, ScoredPoint)>>,
+    },
+    /// Serialize every registry entry (sorted by key for stable output),
+    /// together with the shard's counters — one round-trip serves both.
+    Snapshot {
+        /// Reply channel.
+        reply: Sender<(Vec<SeriesSnapshot>, ShardStats)>,
+    },
+    /// Report registry/queue statistics.
+    Stats {
+        /// Reply channel.
+        reply: Sender<ShardStats>,
+    },
+    /// Evict series idle beyond `ttl` at clock `now`; reply with the count.
+    EvictIdle {
+        /// Current engine clock.
+        now: u64,
+        /// Idle threshold.
+        ttl: u64,
+        /// Reply channel.
+        reply: Sender<usize>,
+    },
+    /// Forecast `horizon` steps ahead for one live series.
+    Forecast {
+        /// The series to forecast.
+        key: SeriesKey,
+        /// Steps ahead (`1..=horizon`).
+        horizon: usize,
+        /// Reply channel (`None` when the series is not live).
+        reply: Sender<Option<Vec<f64>>>,
+    },
+    /// Terminate the worker.
+    Shutdown,
+}
+
+/// A shard's registry plus lifetime counters. Owned by the worker thread;
+/// also constructed engine-side during restore.
+pub struct ShardState {
+    /// Shard index (stats labelling).
+    pub index: usize,
+    /// The series registry.
+    pub registry: HashMap<SeriesKey, SeriesEntry>,
+    /// Engine configuration (shared, immutable).
+    pub config: Arc<FleetConfig>,
+    /// Lifetime counters.
+    pub evicted: u64,
+    /// Series promoted to live.
+    pub admitted: u64,
+    /// Records processed.
+    pub points: u64,
+    /// Anomalies flagged.
+    pub anomalies: u64,
+}
+
+impl ShardState {
+    /// An empty shard.
+    pub fn new(index: usize, config: Arc<FleetConfig>) -> Self {
+        ShardState {
+            index,
+            registry: HashMap::new(),
+            config,
+            evicted: 0,
+            admitted: 0,
+            points: 0,
+            anomalies: 0,
+        }
+    }
+
+    /// Processes one record, creating the series on first contact.
+    /// `liveness_t` is the engine-clamped clock for this record.
+    pub fn ingest_one(&mut self, record: Record, liveness_t: u64) -> ScoredPoint {
+        self.points += 1;
+        let entry = self.registry.entry(record.key.clone()).or_insert_with(|| SeriesEntry {
+            state: SeriesState::new(&self.config),
+            last_seen: liveness_t,
+        });
+        entry.last_seen = entry.last_seen.max(liveness_t);
+        let outcome = entry.state.step(record.value, &self.config);
+        let output = match outcome {
+            StepOutcome::Promoted(out) => {
+                self.admitted += 1;
+                out
+            }
+            StepOutcome::Output(out) => out,
+        };
+        if matches!(output, PointOutput::Scored { is_anomaly: true, .. }) {
+            self.anomalies += 1;
+        }
+        ScoredPoint { key: record.key, t: record.t, value: record.value, output }
+    }
+
+    /// Evicts entries idle beyond `ttl`, returning how many were removed.
+    pub fn evict_idle(&mut self, now: u64, ttl: u64) -> usize {
+        let before = self.registry.len();
+        self.registry.retain(|_, e| now.saturating_sub(e.last_seen) <= ttl);
+        let evicted = before - self.registry.len();
+        self.evicted += evicted as u64;
+        evicted
+    }
+
+    /// Serializes the registry, sorted by key (stable snapshot bytes).
+    pub fn snapshot(&self) -> Vec<SeriesSnapshot> {
+        let mut out: Vec<SeriesSnapshot> = self
+            .registry
+            .iter()
+            .map(|(key, e)| SeriesSnapshot {
+                key: key.clone(),
+                last_seen: e.last_seen,
+                phase: e.state.to_snapshot(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// Registry/queue statistics (queue depth filled in by the worker).
+    pub fn stats(&self) -> ShardStats {
+        let mut s = ShardStats {
+            shard: self.index,
+            evicted: self.evicted,
+            admitted: self.admitted,
+            points: self.points,
+            anomalies: self.anomalies,
+            ..Default::default()
+        };
+        for e in self.registry.values() {
+            match e.state {
+                SeriesState::Live(_) => s.live += 1,
+                SeriesState::Warming(_) => s.warming += 1,
+                SeriesState::Rejected => s.rejected += 1,
+            }
+        }
+        s
+    }
+}
+
+/// The worker loop: drains messages until `Shutdown` or channel close.
+///
+/// `queue_depth` counts requests the engine has sent but the worker has not
+/// finished; the engine samples it for [`ShardStats::queue_depth`].
+pub fn run_worker(
+    mut state: ShardState,
+    rx: Receiver<ShardMsg>,
+    queue_depth: Arc<AtomicUsize>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Ingest { items, reply } => {
+                let out: Vec<(usize, ScoredPoint)> = items
+                    .into_iter()
+                    .map(|(idx, rec, live_t)| (idx, state.ingest_one(rec, live_t)))
+                    .collect();
+                // a dropped reply receiver is not an error: the engine may
+                // have abandoned the batch
+                let _ = reply.send(out);
+            }
+            ShardMsg::Snapshot { reply } => {
+                let _ = reply.send((state.snapshot(), state.stats()));
+            }
+            ShardMsg::Stats { reply } => {
+                let mut s = state.stats();
+                // depth including this request; report the backlog behind it
+                s.queue_depth = queue_depth.load(Ordering::Relaxed).saturating_sub(1);
+                let _ = reply.send(s);
+            }
+            ShardMsg::EvictIdle { now, ttl, reply } => {
+                let _ = reply.send(state.evict_idle(now, ttl));
+            }
+            ShardMsg::Forecast { key, horizon, reply } => {
+                let out = state.registry.get(&key).and_then(|e| match &e.state {
+                    SeriesState::Live(live) if live.detector.decomposer.is_initialized() => {
+                        Some(
+                            (1..=horizon)
+                                .map(|i| live.detector.decomposer.predict(i))
+                                .collect(),
+                        )
+                    }
+                    _ => None,
+                });
+                let _ = reply.send(out);
+            }
+            ShardMsg::Shutdown => break,
+        }
+        queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}

@@ -137,6 +137,9 @@ fn fit_arma(w: &[f64], p: usize, q: usize) -> Option<(Vec<f64>, Vec<f64>, f64)> 
     Some((coef, final_resid, sigma2))
 }
 
+/// One order-search candidate: `(aicc, p, q, coefficients, residuals)`.
+type CandidateModel = (f64, usize, usize, Vec<f64>, Vec<f64>);
+
 fn aicc(sigma2: f64, n_eff: usize, k: usize) -> f64 {
     let n = n_eff as f64;
     let kf = (k + 1) as f64;
@@ -159,11 +162,8 @@ impl Forecaster for AutoArima {
         self.seasonal_d = period >= 2
             && n > 3 * period
             && seasonal_strength(history, period) > self.seasonal_threshold;
-        let mut w = if self.seasonal_d {
-            difference(history, period)
-        } else {
-            history.to_vec()
-        };
+        let mut w =
+            if self.seasonal_d { difference(history, period) } else { history.to_vec() };
         // (2) regular differencing: only for near-unit-root series (very
         // high lag-1 autocorrelation) where differencing also shrinks the
         // variance — a cheap stand-in for the KPSS test
@@ -178,7 +178,8 @@ impl Forecaster for AutoArima {
             self.d += 1;
         }
         // (3)/(4) order search
-        let mut best: Option<(f64, usize, usize, Vec<f64>, Vec<f64>)> = None;
+        // (aic, p, q, ar, ma) of the best candidate so far
+        let mut best: Option<CandidateModel> = None;
         for p in 0..=self.max_p {
             for q in 0..=self.max_q {
                 if p == 0 && q == 0 {
@@ -258,11 +259,7 @@ impl Forecaster for AutoArima {
             let hist = &self.history_tail;
             let mut out = Vec::with_capacity(series.len());
             for (h, &v) in series.iter().enumerate() {
-                let prev = if h < t {
-                    hist[hist.len() - t + h]
-                } else {
-                    out[h - t]
-                };
+                let prev = if h < t { hist[hist.len() - t + h] } else { out[h - t] };
                 out.push(prev + v);
             }
             series = out;

@@ -205,8 +205,7 @@ mod tests {
         let t = 12;
         let y: Vec<f64> = (0..20 * t)
             .map(|i| {
-                0.05 * i as f64
-                    + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                0.05 * i as f64 + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
             })
             .collect();
         let mut f = HoltWinters::default();

@@ -147,11 +147,9 @@ mod tests {
         let t = 24;
         let y = seasonal(1000, t, 1);
         let mut naive = Naive::default();
-        let r_naive =
-            evaluate_forecaster(&mut naive, &y, t, 800, t, t, 0).unwrap();
+        let r_naive = evaluate_forecaster(&mut naive, &y, t, 800, t, t, 0).unwrap();
         let mut snaive = SeasonalNaive::default();
-        let r_snaive =
-            evaluate_forecaster(&mut snaive, &y, t, 800, t, t, 0).unwrap();
+        let r_snaive = evaluate_forecaster(&mut snaive, &y, t, 800, t, t, 0).unwrap();
         assert!(
             r_snaive.mae < 0.5 * r_naive.mae,
             "seasonal naive {} vs naive {}",

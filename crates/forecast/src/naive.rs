@@ -86,7 +86,11 @@ impl Forecaster for Drift {
 
     fn fit(&mut self, history: &[f64], _period: usize) -> Result<()> {
         if history.len() < 2 {
-            return Err(TsError::TooShort { what: "drift history", need: 2, got: history.len() });
+            return Err(TsError::TooShort {
+                what: "drift history",
+                need: 2,
+                got: history.len(),
+            });
         }
         self.last = *history.last().expect("non-empty");
         self.slope = (self.last - history[0]) / (history.len() - 1) as f64;

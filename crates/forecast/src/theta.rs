@@ -38,13 +38,9 @@ impl Forecaster for Theta {
                 phase_sum[i % period] += history[i] - trend[i];
                 phase_cnt[i % period] += 1;
             }
-            let season: Vec<f64> = phase_sum
-                .iter()
-                .zip(&phase_cnt)
-                .map(|(s, &c)| s / c.max(1) as f64)
-                .collect();
-            let adjusted: Vec<f64> =
-                (0..n).map(|i| history[i] - season[i % period]).collect();
+            let season: Vec<f64> =
+                phase_sum.iter().zip(&phase_cnt).map(|(s, &c)| s / c.max(1) as f64).collect();
+            let adjusted: Vec<f64> = (0..n).map(|i| history[i] - season[i % period]).collect();
             (adjusted, season)
         } else {
             (history.to_vec(), Vec::new())
@@ -128,7 +124,7 @@ mod tests {
     #[test]
     fn non_seasonal_data_skips_adjustment() {
         // white noise via xorshift (no spurious periodicity)
-        let mut st = 0x1234_5678_9ABC_DEFu64;
+        let mut st = 0x0123_4567_89AB_CDEF_u64;
         let y: Vec<f64> = (0..200)
             .map(|_| {
                 st ^= st << 13;

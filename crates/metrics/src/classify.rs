@@ -35,8 +35,7 @@ pub fn weighted_roc_auc(scores: &[f64], label_weights: &[f64]) -> f64 {
     }
     // Weighted Mann–Whitney: each (pos, neg) pair contributes its weight
     // product; with midranks this reduces to the weighted rank-sum formula.
-    let rank_sum_pos: f64 =
-        (0..n).map(|k| label_weights[k] * ranks[k]).sum();
+    let rank_sum_pos: f64 = (0..n).map(|k| label_weights[k] * ranks[k]).sum();
     // expected rank sum contributed by positive-vs-positive pairs
     // (generalized: pairs weighted w_i * w_j). Compute via the identity
     // U = Σ_i w_i R_i − Σ_{i≤j pos pairs} ... — use the direct O(n log n)

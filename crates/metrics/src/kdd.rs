@@ -23,10 +23,8 @@ pub fn kdd21_score(series: &[(Vec<f64>, Vec<bool>)], tolerance: usize) -> f64 {
     if series.is_empty() {
         return 0.0;
     }
-    let hits = series
-        .iter()
-        .filter(|(scores, labels)| kdd21_hit(scores, labels, tolerance))
-        .count();
+    let hits =
+        series.iter().filter(|(scores, labels)| kdd21_hit(scores, labels, tolerance)).count();
     hits as f64 / series.len() as f64
 }
 

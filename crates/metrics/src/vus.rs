@@ -102,10 +102,7 @@ mod tests {
         far[80] = 1.0;
         let v_near = vus_roc(&near, &labels, 10, 5);
         let v_far = vus_roc(&far, &labels, 10, 5);
-        assert!(
-            v_near > v_far,
-            "near miss ({v_near}) must outscore far miss ({v_far})"
-        );
+        assert!(v_near > v_far, "near miss ({v_near}) must outscore far miss ({v_far})");
     }
 
     #[test]

@@ -35,7 +35,15 @@ pub struct DeepArLite {
 impl DeepArLite {
     /// Creates an untrained DeepAR-lite model.
     pub fn new(window: usize, period: usize, seed: u64) -> Self {
-        DeepArLite { window, period: period.max(2), hidden: 32, epochs: 10, lr: 1e-3, seed, model: None }
+        DeepArLite {
+            window,
+            period: period.max(2),
+            hidden: 32,
+            epochs: 10,
+            lr: 1e-3,
+            seed,
+            model: None,
+        }
     }
 
     fn features(&self, lags: &[f64], t: usize) -> Vec<f64> {

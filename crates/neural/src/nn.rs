@@ -4,6 +4,9 @@
 //! by the baselines (windows of ≤ 128, hidden ≤ 64) this is fast enough on
 //! a single core and keeps the substrate fully transparent.
 
+// index recurrences here mirror the published algorithms; iterator
+// rewrites obscure the maths
+#![allow(clippy::needless_range_loop)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,8 +73,7 @@ impl Dense {
     /// He-uniform initialized layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
         let bound = (6.0 / in_dim as f64).sqrt();
-        let w: Vec<f64> =
-            (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let w: Vec<f64> = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
         Dense {
             in_dim,
             out_dim,
@@ -182,10 +184,7 @@ impl Mlp {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         assert_eq!(sizes.len() - 1, acts.len(), "one activation per layer");
         let mut rng = StdRng::seed_from_u64(seed);
-        let layers = sizes
-            .windows(2)
-            .map(|w| Dense::new(w[0], w[1], &mut rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Dense::new(w[0], w[1], &mut rng)).collect();
         Mlp { layers, acts: acts.to_vec(), step_count: 0 }
     }
 
@@ -313,11 +312,7 @@ mod tests {
             let mut xm = x;
             xm[i] -= h;
             let fd = (loss(&m, &xp) - loss(&m, &xm)) / (2.0 * h);
-            assert!(
-                (fd - dx[i]).abs() < 1e-5,
-                "input grad {i}: fd {fd} vs analytic {}",
-                dx[i]
-            );
+            assert!((fd - dx[i]).abs() < 1e-5, "input grad {i}: fd {fd} vs analytic {}", dx[i]);
         }
     }
 
@@ -351,11 +346,7 @@ mod tests {
 
     #[test]
     fn learns_xor_like_function() {
-        let mut m = Mlp::new(
-            &[2, 16, 1],
-            &[Activation::Tanh, Activation::Identity],
-            42,
-        );
+        let mut m = Mlp::new(&[2, 16, 1], &[Activation::Tanh, Activation::Identity], 42);
         let data = [
             ([0.0, 0.0], [0.0]),
             ([0.0, 1.0], [1.0]),

@@ -81,11 +81,8 @@ impl TranAdLite {
                 let d1: Vec<f64> =
                     o1.iter().zip(x).map(|(o, t)| eps * 2.0 * (o - t) / n_w).collect();
                 model.backward(&c1, &d1);
-                let d2: Vec<f64> = o2
-                    .iter()
-                    .zip(x)
-                    .map(|(o, t)| (1.0 - eps) * 2.0 * (o - t) / n_w)
-                    .collect();
+                let d2: Vec<f64> =
+                    o2.iter().zip(x).map(|(o, t)| (1.0 - eps) * 2.0 * (o - t) / n_w).collect();
                 model.backward(&c2, &d2);
                 model.step(self.lr);
             }

@@ -15,7 +15,7 @@
 //! (the original also uses dense nets over flattened windows).
 
 use crate::nn::{Activation, Mlp};
-use crate::windows::{Scaler};
+use crate::windows::Scaler;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -69,21 +69,11 @@ impl Usad {
             (0..=z.len() - w).step_by(stride).map(|i| z[i..i + w].to_vec()).collect();
         let h = self.latent;
         let mid = (w / 2).max(h);
-        let mut enc = Mlp::new(
-            &[w, mid, h],
-            &[Activation::Relu, Activation::Tanh],
-            self.seed,
-        );
-        let mut d1 = Mlp::new(
-            &[h, mid, w],
-            &[Activation::Relu, Activation::Identity],
-            self.seed ^ 1,
-        );
-        let mut d2 = Mlp::new(
-            &[h, mid, w],
-            &[Activation::Relu, Activation::Identity],
-            self.seed ^ 2,
-        );
+        let mut enc = Mlp::new(&[w, mid, h], &[Activation::Relu, Activation::Tanh], self.seed);
+        let mut d1 =
+            Mlp::new(&[h, mid, w], &[Activation::Relu, Activation::Identity], self.seed ^ 1);
+        let mut d2 =
+            Mlp::new(&[h, mid, w], &[Activation::Relu, Activation::Identity], self.seed ^ 2);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x05AD);
         let n_w = w as f64;
         let total_epochs = self.epochs.max(1);
@@ -236,10 +226,7 @@ mod tests {
             *v += 2.5;
         }
         let anomalous = usad.score_window(&y[596..596 + t]);
-        assert!(
-            anomalous > 2.0 * normal,
-            "anomalous {anomalous} vs normal {normal}"
-        );
+        assert!(anomalous > 2.0 * normal, "anomalous {anomalous} vs normal {normal}");
     }
 
     #[test]

@@ -14,10 +14,7 @@ pub struct Scaler {
 impl Scaler {
     /// Fits the scaler on training data.
     pub fn fit(train: &[f64]) -> Self {
-        Scaler {
-            mean: tskit::stats::mean(train),
-            std: tskit::stats::std_dev(train).max(1e-9),
-        }
+        Scaler { mean: tskit::stats::mean(train), std: tskit::stats::std_dev(train).max(1e-9) }
     }
 
     /// Applies the transform.
@@ -41,10 +38,7 @@ pub fn window_next_pairs(x: &[f64], w: usize, stride: usize) -> Vec<(Vec<f64>, f
     if x.len() <= w {
         return Vec::new();
     }
-    (0..x.len() - w)
-        .step_by(stride.max(1))
-        .map(|i| (x[i..i + w].to_vec(), x[i + w]))
-        .collect()
+    (0..x.len() - w).step_by(stride.max(1)).map(|i| (x[i..i + w].to_vec(), x[i + w])).collect()
 }
 
 /// Builds `(lookback, horizon)` pairs for sequence-to-sequence training.
@@ -60,10 +54,7 @@ pub fn window_horizon_pairs(
     (0..=x.len() - lookback - horizon)
         .step_by(stride.max(1))
         .map(|i| {
-            (
-                x[i..i + lookback].to_vec(),
-                x[i + lookback..i + lookback + horizon].to_vec(),
-            )
+            (x[i..i + lookback].to_vec(), x[i + lookback..i + lookback + horizon].to_vec())
         })
         .collect()
 }

@@ -72,9 +72,7 @@ impl Mat {
     /// Matrix-vector product.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
-        (0..self.rows)
-            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
-            .collect()
+        (0..self.rows).map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum()).collect()
     }
 
     /// Transpose.

@@ -42,7 +42,9 @@ impl fmt::Display for TsError {
             TsError::TooShort { what, need, got } => {
                 write!(f, "{what}: need at least {need} points, got {got}")
             }
-            TsError::InvalidParam { name, msg } => write!(f, "invalid parameter `{name}`: {msg}"),
+            TsError::InvalidParam { name, msg } => {
+                write!(f, "invalid parameter `{name}`: {msg}")
+            }
             TsError::Singular { pivot } => {
                 write!(f, "linear system is singular or indefinite at pivot {pivot}")
             }

@@ -22,6 +22,7 @@ impl Complex {
 
     /// Complex multiplication.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Complex) -> Complex {
         Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
     }

@@ -6,6 +6,9 @@
 //! LDLᵀ (symmetric Doolittle) factorization that preserves the band, and the
 //! associated triangular solves — all `O(n·w²)` for half-bandwidth `w`.
 
+// index recurrences here mirror the published algorithms; iterator
+// rewrites obscure the maths
+#![allow(clippy::needless_range_loop)]
 use crate::error::{Result, TsError};
 
 /// Symmetric matrix stored as its lower band.
@@ -209,7 +212,12 @@ impl BandedLdlt {
 ///
 /// `sub`, `diag`, `sup` are the sub-, main and super-diagonals
 /// (`sub.len() == sup.len() == diag.len() - 1`).
-pub fn solve_tridiagonal(sub: &[f64], diag: &[f64], sup: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+pub fn solve_tridiagonal(
+    sub: &[f64],
+    diag: &[f64],
+    sup: &[f64],
+    b: &[f64],
+) -> Result<Vec<f64>> {
     let n = diag.len();
     assert_eq!(b.len(), n, "tridiagonal: rhs length mismatch");
     assert_eq!(sub.len() + 1, n, "tridiagonal: sub-diagonal length mismatch");

@@ -5,6 +5,9 @@
 //! and the `jump` speed-up that fits only every `jump`-th point and linearly
 //! interpolates in between.
 
+// index recurrences here mirror the published algorithms; iterator
+// rewrites obscure the maths
+#![allow(clippy::needless_range_loop)]
 use crate::dense::{weighted_lstsq, Mat};
 
 /// Tri-cube weight `(1 - u³)³` for `u = d / d_max ∈ [0, 1]`; zero outside.
@@ -53,7 +56,12 @@ impl LoessConfig {
 /// Evaluates the local weighted polynomial fit of `y` (indexed by position
 /// `0..n`) at arbitrary position `x_eval`. `robustness`, when given, is
 /// multiplied into the tri-cube weights (STL's outer-loop weights).
-pub fn loess_point(y: &[f64], x_eval: f64, cfg: &LoessConfig, robustness: Option<&[f64]>) -> f64 {
+pub fn loess_point(
+    y: &[f64],
+    x_eval: f64,
+    cfg: &LoessConfig,
+    robustness: Option<&[f64]>,
+) -> f64 {
     let n = y.len();
     debug_assert!(n > 0, "loess_point: empty input");
     if n == 1 {
@@ -194,7 +202,8 @@ mod tests {
 
     #[test]
     fn degree2_reproduces_quadratic() {
-        let y: Vec<f64> = (0..60).map(|i| 1.0 + 0.2 * i as f64 + 0.01 * (i * i) as f64).collect();
+        let y: Vec<f64> =
+            (0..60).map(|i| 1.0 + 0.2 * i as f64 + 0.01 * (i * i) as f64).collect();
         let cfg = LoessConfig::new(15).degree(2);
         let s = loess(&y, &cfg, None);
         for i in 0..60 {

@@ -49,7 +49,12 @@ pub fn find_length(data: &[f64]) -> usize {
 /// lag in `[min_period, max_period]` whose ACF is a local maximum with the
 /// highest value, or `None` when the signal shows no periodic structure
 /// (best local-max ACF below `min_acf`).
-pub fn detect_period(data: &[f64], min_period: usize, max_period: usize, min_acf: f64) -> Option<usize> {
+pub fn detect_period(
+    data: &[f64],
+    min_period: usize,
+    max_period: usize,
+    min_acf: f64,
+) -> Option<usize> {
     if data.len() < 2 * min_period + 2 || min_period < 2 || max_period <= min_period {
         return None;
     }
@@ -68,7 +73,12 @@ pub fn detect_period(data: &[f64], min_period: usize, max_period: usize, min_acf
 }
 
 /// Like [`detect_period`] but falls back to `default` when detection fails.
-pub fn detect_period_or(data: &[f64], min_period: usize, max_period: usize, default: usize) -> usize {
+pub fn detect_period_or(
+    data: &[f64],
+    min_period: usize,
+    max_period: usize,
+    default: usize,
+) -> usize {
     detect_period(data, min_period, max_period, 0.1).unwrap_or(default)
 }
 
@@ -100,10 +110,7 @@ mod tests {
         for t in [24usize, 50, 120, 200] {
             let x = periodic(3000, t, 0.1);
             let est = find_length(&x);
-            assert!(
-                (est as i64 - t as i64).abs() <= 2,
-                "period {t}: estimated {est}"
-            );
+            assert!((est as i64 - t as i64).abs() <= 2, "period {t}: estimated {est}");
         }
     }
 

@@ -97,6 +97,45 @@ impl RingBuffer {
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
+
+    /// Extracts a plain-data snapshot for serialization (see
+    /// `fleet::codec`). The contents are stored oldest-first, so the
+    /// physical `head` position is not part of the state.
+    pub fn to_state(&self) -> RingBufferState {
+        RingBufferState { capacity: self.capacity(), values: self.to_vec() }
+    }
+
+    /// Rebuilds a buffer from [`RingBuffer::to_state`] output. The restored
+    /// buffer is behaviorally identical to the snapshotted one: same
+    /// capacity, same logical contents, bit-identical values.
+    pub fn from_state(state: RingBufferState) -> crate::error::Result<Self> {
+        if state.capacity == 0 {
+            return Err(crate::error::TsError::InvalidParam {
+                name: "RingBufferState.capacity",
+                msg: "capacity must be positive".into(),
+            });
+        }
+        if state.values.len() > state.capacity {
+            return Err(crate::error::TsError::InvalidParam {
+                name: "RingBufferState.values",
+                msg: format!(
+                    "{} values exceed capacity {}",
+                    state.values.len(),
+                    state.capacity
+                ),
+            });
+        }
+        Ok(RingBuffer::from_slice(state.capacity, &state.values))
+    }
+}
+
+/// Plain-data snapshot of a [`RingBuffer`] (logical contents oldest-first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBufferState {
+    /// Buffer capacity.
+    pub capacity: usize,
+    /// Stored values, oldest first (`len() <= capacity`).
+    pub values: Vec<f64>,
 }
 
 #[cfg(test)]

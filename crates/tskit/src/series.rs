@@ -40,7 +40,11 @@ impl Decomposition {
 
     /// The decomposition of a single time point `i`.
     pub fn point(&self, i: usize) -> DecompPoint {
-        DecompPoint { trend: self.trend[i], seasonal: self.seasonal[i], residual: self.residual[i] }
+        DecompPoint {
+            trend: self.trend[i],
+            seasonal: self.seasonal[i],
+            residual: self.residual[i],
+        }
     }
 
     /// Appends a single decomposed point.
@@ -53,9 +57,9 @@ impl Decomposition {
     /// Checks the additive identity `y == τ + s + r` within `tol` and returns
     /// the first violating index, if any.
     pub fn check_additive(&self, y: &[f64], tol: f64) -> Option<usize> {
-        y.iter()
-            .enumerate()
-            .position(|(i, &v)| (self.trend[i] + self.seasonal[i] + self.residual[i] - v).abs() > tol)
+        y.iter().enumerate().position(|(i, &v)| {
+            (self.trend[i] + self.seasonal[i] + self.residual[i] - v).abs() > tol
+        })
     }
 }
 

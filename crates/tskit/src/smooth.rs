@@ -174,11 +174,16 @@ mod tests {
     fn lowpass_removes_seasonal_mean() {
         // A pure sinusoid with period t should be flattened near zero.
         let t = 12;
-        let x: Vec<f64> =
-            (0..120).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect();
+        let x: Vec<f64> = (0..120)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
         let lp = stl_lowpass(&x, t);
         let interior = &lp[2 * t..lp.len() - 2 * t];
-        assert!(interior.iter().all(|v| v.abs() < 0.05), "max {:?}", interior.iter().fold(0.0f64, |a, &b| a.max(b.abs())));
+        assert!(
+            interior.iter().all(|v| v.abs() < 0.05),
+            "max {:?}",
+            interior.iter().fold(0.0f64, |a, &b| a.max(b.abs()))
+        );
     }
 
     #[test]

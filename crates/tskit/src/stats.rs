@@ -172,8 +172,9 @@ pub fn seasonal_strength(x: &[f64], t: usize) -> f64 {
         phase_sum[i % t] += d;
         phase_cnt[i % t] += 1;
     }
-    let seasonal: Vec<f64> =
-        (0..detrended.len()).map(|i| phase_sum[i % t] / phase_cnt[i % t].max(1) as f64).collect();
+    let seasonal: Vec<f64> = (0..detrended.len())
+        .map(|i| phase_sum[i % t] / phase_cnt[i % t].max(1) as f64)
+        .collect();
     let resid: Vec<f64> = detrended.iter().zip(&seasonal).map(|(d, s)| d - s).collect();
     let var_r = variance(&resid);
     let var_sr = variance(&detrended);

@@ -68,8 +68,7 @@ pub fn inject(
             }
         }
         AnomalyKind::Flatten => {
-            let mean =
-                values[start..start + len].iter().sum::<f64>() / len as f64;
+            let mean = values[start..start + len].iter().sum::<f64>() / len as f64;
             for v in values[start..start + len].iter_mut() {
                 *v = mean;
             }
@@ -84,7 +83,11 @@ pub fn inject(
         }
         AnomalyKind::AmplitudeChange => {
             let mean = values[start..start + len].iter().sum::<f64>() / len as f64;
-            let factor = if rng.gen_bool(0.5) { rng.gen_range(2.0..3.0) } else { rng.gen_range(0.1..0.4) };
+            let factor = if rng.gen_bool(0.5) {
+                rng.gen_range(2.0..3.0)
+            } else {
+                rng.gen_range(0.1..0.4)
+            };
             for v in values[start..start + len].iter_mut() {
                 *v = mean + factor * (*v - mean);
             }

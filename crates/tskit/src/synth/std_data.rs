@@ -41,8 +41,7 @@ pub fn syn1(seed: u64) -> StdDataset {
     );
     let seasonal = season.render(n, 1.0);
     let residual = gaussian_noise(n, 0.05, &mut rng);
-    let values: Vec<f64> =
-        (0..n).map(|i| trend[i] + seasonal[i] + residual[i]).collect();
+    let values: Vec<f64> = (0..n).map(|i| trend[i] + seasonal[i] + residual[i]).collect();
     StdDataset {
         name: "Syn1".into(),
         values,

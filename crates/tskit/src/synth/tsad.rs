@@ -40,23 +40,227 @@ struct FamilySpec {
 }
 
 const SPECS: &[FamilySpec] = &[
-    FamilySpec { name: "Daphnet", length: 5000, period: 64, seasonal_amp: 0.8, noise: 0.35, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::LevelShift, AnomalyKind::Flatten], anomalies: 3, subseq: (40, 120), chaotic: false },
-    FamilySpec { name: "Dodgers", length: 6000, period: 144, seasonal_amp: 1.0, noise: 0.30, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 4, subseq: (30, 100), chaotic: false },
-    FamilySpec { name: "ECG", length: 8000, period: 96, seasonal_amp: 1.2, noise: 0.10, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange], anomalies: 4, subseq: (60, 150), chaotic: false },
-    FamilySpec { name: "Genesis", length: 5000, period: 50, seasonal_amp: 0.9, noise: 0.15, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Spike], anomalies: 3, subseq: (1, 1), chaotic: false },
-    FamilySpec { name: "GHL", length: 6000, period: 200, seasonal_amp: 0.8, noise: 0.12, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::LevelShift], anomalies: 3, subseq: (80, 200), chaotic: false },
-    FamilySpec { name: "IOPS", length: 7000, period: 144, seasonal_amp: 1.0, noise: 0.20, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 5, subseq: (20, 80), chaotic: false },
-    FamilySpec { name: "MGAB", length: 6000, period: 0, seasonal_amp: 0.0, noise: 0.02, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Reverse], anomalies: 3, subseq: (50, 120), chaotic: true },
-    FamilySpec { name: "MITDB", length: 8000, period: 128, seasonal_amp: 1.1, noise: 0.25, heavy_tail: true, wandering_trend: false, kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange], anomalies: 4, subseq: (60, 160), chaotic: false },
-    FamilySpec { name: "NAB", length: 5000, period: 100, seasonal_amp: 0.5, noise: 0.40, heavy_tail: true, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 3, subseq: (30, 90), chaotic: false },
-    FamilySpec { name: "NASA-MSL", length: 4500, period: 80, seasonal_amp: 0.4, noise: 0.30, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::LevelShift, AnomalyKind::Flatten], anomalies: 2, subseq: (60, 150), chaotic: false },
-    FamilySpec { name: "NASA-SMAP", length: 5000, period: 100, seasonal_amp: 0.6, noise: 0.25, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Flatten, AnomalyKind::LevelShift], anomalies: 2, subseq: (60, 150), chaotic: false },
-    FamilySpec { name: "Occupancy", length: 5500, period: 144, seasonal_amp: 1.0, noise: 0.15, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::LevelShift], anomalies: 3, subseq: (40, 120), chaotic: false },
-    FamilySpec { name: "Opportunity", length: 5000, period: 60, seasonal_amp: 0.3, noise: 0.45, heavy_tail: true, wandering_trend: true, kinds: &[AnomalyKind::NoiseBurst], anomalies: 3, subseq: (40, 100), chaotic: false },
-    FamilySpec { name: "SensorScope", length: 5000, period: 120, seasonal_amp: 0.7, noise: 0.35, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::NoiseBurst], anomalies: 4, subseq: (20, 70), chaotic: false },
-    FamilySpec { name: "SMD", length: 7000, period: 144, seasonal_amp: 1.0, noise: 0.18, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift], anomalies: 4, subseq: (30, 100), chaotic: false },
-    FamilySpec { name: "SVDB", length: 8000, period: 128, seasonal_amp: 1.1, noise: 0.20, heavy_tail: false, wandering_trend: false, kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange], anomalies: 4, subseq: (60, 160), chaotic: false },
-    FamilySpec { name: "YAHOO", length: 4000, period: 24, seasonal_amp: 1.0, noise: 0.15, heavy_tail: false, wandering_trend: true, kinds: &[AnomalyKind::Spike], anomalies: 4, subseq: (1, 1), chaotic: false },
+    FamilySpec {
+        name: "Daphnet",
+        length: 5000,
+        period: 64,
+        seasonal_amp: 0.8,
+        noise: 0.35,
+        heavy_tail: false,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::LevelShift, AnomalyKind::Flatten],
+        anomalies: 3,
+        subseq: (40, 120),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "Dodgers",
+        length: 6000,
+        period: 144,
+        seasonal_amp: 1.0,
+        noise: 0.30,
+        heavy_tail: false,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift],
+        anomalies: 4,
+        subseq: (30, 100),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "ECG",
+        length: 8000,
+        period: 96,
+        seasonal_amp: 1.2,
+        noise: 0.10,
+        heavy_tail: false,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange],
+        anomalies: 4,
+        subseq: (60, 150),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "Genesis",
+        length: 5000,
+        period: 50,
+        seasonal_amp: 0.9,
+        noise: 0.15,
+        heavy_tail: false,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::Spike],
+        anomalies: 3,
+        subseq: (1, 1),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "GHL",
+        length: 6000,
+        period: 200,
+        seasonal_amp: 0.8,
+        noise: 0.12,
+        heavy_tail: false,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::LevelShift],
+        anomalies: 3,
+        subseq: (80, 200),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "IOPS",
+        length: 7000,
+        period: 144,
+        seasonal_amp: 1.0,
+        noise: 0.20,
+        heavy_tail: false,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift],
+        anomalies: 5,
+        subseq: (20, 80),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "MGAB",
+        length: 6000,
+        period: 0,
+        seasonal_amp: 0.0,
+        noise: 0.02,
+        heavy_tail: false,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::Reverse],
+        anomalies: 3,
+        subseq: (50, 120),
+        chaotic: true,
+    },
+    FamilySpec {
+        name: "MITDB",
+        length: 8000,
+        period: 128,
+        seasonal_amp: 1.1,
+        noise: 0.25,
+        heavy_tail: true,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange],
+        anomalies: 4,
+        subseq: (60, 160),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "NAB",
+        length: 5000,
+        period: 100,
+        seasonal_amp: 0.5,
+        noise: 0.40,
+        heavy_tail: true,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift],
+        anomalies: 3,
+        subseq: (30, 90),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "NASA-MSL",
+        length: 4500,
+        period: 80,
+        seasonal_amp: 0.4,
+        noise: 0.30,
+        heavy_tail: false,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::LevelShift, AnomalyKind::Flatten],
+        anomalies: 2,
+        subseq: (60, 150),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "NASA-SMAP",
+        length: 5000,
+        period: 100,
+        seasonal_amp: 0.6,
+        noise: 0.25,
+        heavy_tail: false,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::Flatten, AnomalyKind::LevelShift],
+        anomalies: 2,
+        subseq: (60, 150),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "Occupancy",
+        length: 5500,
+        period: 144,
+        seasonal_amp: 1.0,
+        noise: 0.15,
+        heavy_tail: false,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::LevelShift],
+        anomalies: 3,
+        subseq: (40, 120),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "Opportunity",
+        length: 5000,
+        period: 60,
+        seasonal_amp: 0.3,
+        noise: 0.45,
+        heavy_tail: true,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::NoiseBurst],
+        anomalies: 3,
+        subseq: (40, 100),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "SensorScope",
+        length: 5000,
+        period: 120,
+        seasonal_amp: 0.7,
+        noise: 0.35,
+        heavy_tail: false,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::Spike, AnomalyKind::NoiseBurst],
+        anomalies: 4,
+        subseq: (20, 70),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "SMD",
+        length: 7000,
+        period: 144,
+        seasonal_amp: 1.0,
+        noise: 0.18,
+        heavy_tail: false,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::Spike, AnomalyKind::LevelShift],
+        anomalies: 4,
+        subseq: (30, 100),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "SVDB",
+        length: 8000,
+        period: 128,
+        seasonal_amp: 1.1,
+        noise: 0.20,
+        heavy_tail: false,
+        wandering_trend: false,
+        kinds: &[AnomalyKind::Reverse, AnomalyKind::AmplitudeChange],
+        anomalies: 4,
+        subseq: (60, 160),
+        chaotic: false,
+    },
+    FamilySpec {
+        name: "YAHOO",
+        length: 4000,
+        period: 24,
+        seasonal_amp: 1.0,
+        noise: 0.15,
+        heavy_tail: false,
+        wandering_trend: true,
+        kinds: &[AnomalyKind::Spike],
+        anomalies: 4,
+        subseq: (1, 1),
+        chaotic: false,
+    },
 ];
 
 /// Names of all 17 families in Table 3 order.
@@ -104,9 +308,7 @@ fn generate_base(spec: &FamilySpec, rng: &mut StdRng) -> Vec<f64> {
     } else {
         gaussian_noise(spec.length, spec.noise, rng)
     };
-    (0..spec.length)
-        .map(|i| trend[i] + spec.seasonal_amp * season.at(i) + noise[i])
-        .collect()
+    (0..spec.length).map(|i| trend[i] + spec.seasonal_amp * season.at(i) + noise[i]).collect()
 }
 
 fn generate_series(spec: &FamilySpec, idx: usize, seed: u64) -> LabeledSeries {

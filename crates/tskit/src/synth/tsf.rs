@@ -74,10 +74,16 @@ pub fn tsf_dataset(name: &str, seed: u64) -> TsfDataset {
             let season = SeasonTemplate::random(t, 3, &mut rng);
             let trend = random_walk(n, 0.0, 0.02, &mut rng);
             let noise = gaussian_noise(n, 0.15, &mut rng);
-            let values =
-                (0..n).map(|i| trend[i] + 1.0 * season.at(i) + noise[i]).collect();
+            let values = (0..n).map(|i| trend[i] + 1.0 * season.at(i) + noise[i]).collect();
             let (a, b) = split(n);
-            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+            TsfDataset {
+                name: name.into(),
+                values,
+                period: t,
+                train_end: a,
+                val_end: b,
+                horizons: long_horizons,
+            }
         }
         // hourly consumption: daily (24) nested in weekly (168) pattern,
         // very strong seasonality, low noise.
@@ -92,14 +98,28 @@ pub fn tsf_dataset(name: &str, seed: u64) -> TsfDataset {
                 .map(|i| trend[i] + 0.9 * daily.at(i) + 0.5 * weekly.at(i) + noise[i])
                 .collect();
             let (a, b) = split(n);
-            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+            TsfDataset {
+                name: name.into(),
+                values,
+                period: t,
+                train_end: a,
+                val_end: b,
+                horizons: long_horizons,
+            }
         }
         // daily FX rates: pure random walk, no seasonality at all.
         "Exchange" => {
             let n = 7588;
             let values = random_walk(n, 0.8, 0.006, &mut rng);
             let (a, b) = split(n);
-            TsfDataset { name: name.into(), values, period: 30, train_end: a, val_end: b, horizons: long_horizons }
+            TsfDataset {
+                name: name.into(),
+                values,
+                period: 30,
+                train_end: a,
+                val_end: b,
+                horizons: long_horizons,
+            }
         }
         // hourly road occupancy: strong daily+weekly season, occasional
         // congestion spikes, non-negative.
@@ -120,7 +140,14 @@ pub fn tsf_dataset(name: &str, seed: u64) -> TsfDataset {
                 })
                 .collect();
             let (a, b) = split(n);
-            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+            TsfDataset {
+                name: name.into(),
+                values,
+                period: t,
+                train_end: a,
+                val_end: b,
+                horizons: long_horizons,
+            }
         }
         // 10-minute meteorological data: very smooth, strong daily season
         // (144 steps), tiny noise — the easiest family in Table 5.
@@ -138,7 +165,14 @@ pub fn tsf_dataset(name: &str, seed: u64) -> TsfDataset {
                 })
                 .collect();
             let (a, b) = split(n);
-            TsfDataset { name: name.into(), values, period: t, train_end: a, val_end: b, horizons: long_horizons }
+            TsfDataset {
+                name: name.into(),
+                values,
+                period: t,
+                train_end: a,
+                val_end: b,
+                horizons: long_horizons,
+            }
         }
         // weekly influenza counts: short series, weak yearly (52-week)
         // seasonality, level changes between flu seasons.
@@ -188,11 +222,7 @@ mod tests {
             assert!(d.train_end < d.val_end && d.val_end < d.values.len(), "{}", d.name);
             assert!(!d.horizons.is_empty());
             let max_h = *d.horizons.iter().max().unwrap();
-            assert!(
-                d.test().len() > max_h,
-                "{}: test region shorter than max horizon",
-                d.name
-            );
+            assert!(d.test().len() > max_h, "{}: test region shorter than max horizon", d.name);
             assert!(d.values.iter().all(|v| v.is_finite()));
         }
     }

@@ -45,8 +45,7 @@ fn main() {
     println!("VUS-ROC  = {vus:.3}");
 
     // show the top 5 alerts
-    let mut ranked: Vec<(usize, f64)> =
-        scores.iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop alerts (t, score, labelled?):");
     for (idx, score) in ranked.into_iter().take(5) {

@@ -21,9 +21,7 @@ fn main() {
     // One-time initialization on a short prefix (the paper's offline phase).
     let mut model = OneShotStl::new(OneShotStlConfig::default());
     let init_len = 4 * period;
-    model
-        .init(&y[..init_len], period)
-        .expect("initialization window is long enough");
+    model.init(&y[..init_len], period).expect("initialization window is long enough");
 
     // O(1) updates from then on: every point is decomposed the moment it
     // arrives.

@@ -53,5 +53,7 @@ fn main() {
     println!("mean |residual| after the shift (2 cycles of slack):");
     println!("  H=0  : {:.4}", window(&res_h0, 18 * period, 28 * period));
     println!("  H=20 : {:.4}", window(&res_h20, 18 * period, 28 * period));
-    println!("\nlearned cumulative shift: H=0 → {shift_h0}, H=20 → {shift_h20} (true = {delta})");
+    println!(
+        "\nlearned cumulative shift: H=0 → {shift_h0}, H=20 → {shift_h20} (true = {delta})"
+    );
 }

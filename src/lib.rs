@@ -19,27 +19,28 @@
 
 pub use anomaly;
 pub use decomp;
+pub use fleet;
 pub use forecast;
-pub use tsmetrics as metrics;
 pub use neural;
 pub use oneshotstl as core;
 pub use tskit;
+pub use tsmetrics as metrics;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use anomaly::{Damp, NormA, Sand, StdNSigma, Stompi, TsadMethod};
     pub use decomp::{
-        BatchDecomposer, OnlineDecomposer, OnlineRobustStl, OnlineStl, RobustStl, Stl,
-        Windowed,
+        BatchDecomposer, OnlineDecomposer, OnlineRobustStl, OnlineStl, RobustStl, Stl, Windowed,
     };
+    pub use fleet::{FleetConfig, FleetEngine, PeriodPolicy, Record, ScoredPoint, SeriesKey};
     pub use forecast::{Forecaster, OnlineForecaster, StdOnlineForecaster};
-    pub use tsmetrics::{kdd21_score, roc_auc, vus_roc, DecompErrors};
     pub use oneshotstl::oneshot::{OneShotStlConfig, ShiftPolicy};
     pub use oneshotstl::system::Lambdas;
     pub use oneshotstl::{
         JointStl, ModifiedJointStlRef, NSigma, OneShotStl, StdAnomalyDetector, StdForecaster,
     };
     pub use tskit::{DecompPoint, Decomposition, LabeledSeries};
+    pub use tsmetrics::{kdd21_score, roc_auc, vus_roc, DecompErrors};
 }
 
 #[cfg(test)]

@@ -1,0 +1,273 @@
+//! Fleet engine integration: multi-series ingest through warm-up admission,
+//! snapshot mid-stream, restore, and bit-identical continuation.
+
+use oneshotstl_suite::fleet::{FleetConfig, FleetEngine, PeriodPolicy, PointOutput, Record};
+use oneshotstl_suite::tskit::synth::{gaussian_noise, inject, AnomalyKind, SeasonTemplate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Length of every pre-generated per-series stream.
+const STREAM_LEN: usize = 420;
+
+/// Synthetic multi-series workload built from `tskit::synth` pieces:
+/// a random seasonal template (period 24) + Gaussian noise per series,
+/// with spikes injected into every 4th series' live region. Deterministic
+/// per series index.
+fn build_streams(n_series: usize) -> Vec<Vec<f64>> {
+    (0..n_series)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(1000 + s as u64);
+            let template = SeasonTemplate::random(24, 3, &mut rng);
+            let mut y = template.render(STREAM_LEN, 2.0 + (s % 3) as f64);
+            for (v, e) in y.iter_mut().zip(gaussian_noise(STREAM_LEN, 0.05, &mut rng)) {
+                *v += e;
+            }
+            if s % 4 == 0 {
+                let mut labels = vec![false; STREAM_LEN];
+                let at = 150 + 11 * (s % 7);
+                inject(&mut y, &mut labels, AnomalyKind::Spike, at, 1, 1.0, &mut rng);
+            }
+            y
+        })
+        .collect()
+}
+
+fn batch(streams: &[Vec<f64>], t: u64) -> Vec<Record> {
+    streams
+        .iter()
+        .enumerate()
+        .map(|(s, y)| Record::new(format!("series-{s}"), t, y[t as usize]))
+        .collect()
+}
+
+fn config() -> FleetConfig {
+    FleetConfig { shards: 3, period: PeriodPolicy::Fixed(24), ..Default::default() }
+}
+
+/// The headline guarantee: snapshot → restore → continue produces scores
+/// bit-identical to the uninterrupted engine, point for point.
+#[test]
+fn snapshot_restore_is_bit_identical() {
+    let n_series = 20;
+    let warm = 100u64; // past init_len(24) = 72: every series is live
+    let tail = 120u64;
+    let streams = build_streams(n_series);
+
+    // uninterrupted run
+    let mut full = FleetEngine::new(config()).unwrap();
+    for t in 0..warm {
+        full.ingest(batch(&streams, t)).unwrap();
+    }
+    let mut full_outputs = Vec::new();
+    for t in warm..warm + tail {
+        full_outputs.push(full.ingest(batch(&streams, t)).unwrap());
+    }
+
+    // interrupted run: same prefix, snapshot, restore, same tail
+    let mut first = FleetEngine::new(config()).unwrap();
+    for t in 0..warm {
+        first.ingest(batch(&streams, t)).unwrap();
+    }
+    let bytes = first.snapshot_bytes().unwrap();
+    drop(first); // "crash"
+    let mut restored = FleetEngine::restore_bytes(&bytes).unwrap();
+    for (i, t) in (warm..warm + tail).enumerate() {
+        let out = restored.ingest(batch(&streams, t)).unwrap();
+        let reference = &full_outputs[i];
+        assert_eq!(out.len(), reference.len());
+        for (a, b) in out.iter().zip(reference) {
+            assert_eq!(a.key, b.key);
+            match (&a.output, &b.output) {
+                (
+                    PointOutput::Scored { point: pa, score: sa, is_anomaly: fa },
+                    PointOutput::Scored { point: pb, score: sb, is_anomaly: fb },
+                ) => {
+                    // bit-identical, not approximately equal
+                    assert_eq!(pa.trend.to_bits(), pb.trend.to_bits(), "{} t={t}", a.key);
+                    assert_eq!(pa.seasonal.to_bits(), pb.seasonal.to_bits());
+                    assert_eq!(pa.residual.to_bits(), pb.residual.to_bits());
+                    assert_eq!(sa.to_bits(), sb.to_bits());
+                    assert_eq!(fa, fb);
+                }
+                (oa, ob) => assert_eq!(oa, ob, "{} t={t}", a.key),
+            }
+        }
+    }
+
+    // counters carried across the restore
+    let stats = restored.stats().unwrap();
+    assert_eq!(stats.live, n_series);
+    assert_eq!(stats.points, (warm + tail) * n_series as u64);
+    assert_eq!(stats.admitted, n_series as u64);
+}
+
+/// A snapshot can be restored onto a different shard count without
+/// changing a single output bit (per-series state is shard-agnostic).
+#[test]
+fn restore_reshards_without_changing_scores() {
+    let n_series = 12;
+    let streams = build_streams(n_series);
+    let mut a = FleetEngine::new(config()).unwrap();
+    for t in 0..90 {
+        a.ingest(batch(&streams, t)).unwrap();
+    }
+    let snap = a.snapshot().unwrap();
+    let mut one = FleetEngine::restore_with_shards(snap.clone(), 1).unwrap();
+    let mut eight = FleetEngine::restore_with_shards(snap, 8).unwrap();
+    assert_eq!(one.shard_count(), 1);
+    assert_eq!(eight.shard_count(), 8);
+    for t in 90..160 {
+        let oa = one.ingest(batch(&streams, t)).unwrap();
+        let ob = eight.ingest(batch(&streams, t)).unwrap();
+        for (x, y) in oa.iter().zip(&ob) {
+            assert_eq!(x, y, "t={t}");
+        }
+    }
+}
+
+/// TTL eviction drops idle series and the engine readmits them on return.
+#[test]
+fn ttl_evicts_idle_series() {
+    let mut engine = FleetEngine::new(FleetConfig {
+        shards: 2,
+        period: PeriodPolicy::Fixed(8),
+        ttl: Some(50),
+        ..Default::default()
+    })
+    .unwrap();
+    let streams = build_streams(2);
+    // two live series
+    for t in 0..40 {
+        engine.ingest(batch(&streams, t)).unwrap();
+    }
+    assert_eq!(engine.stats().unwrap().live, 2);
+    // only series-0 keeps reporting
+    for t in 40..400 {
+        engine.ingest(vec![Record::new("series-0", t, streams[0][t as usize])]).unwrap();
+    }
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.live, 1, "idle series should be TTL-evicted");
+    assert_eq!(stats.evicted, 1);
+    // the evicted series re-enters through warm-up
+    let p = engine.ingest_one("series-1", 400, streams[1][400]).unwrap();
+    assert!(matches!(p.output, PointOutput::Warming { buffered: 1, .. }));
+}
+
+/// A bounded clock step contains timestamp poisoning: one absurd `t` must
+/// not let the next TTL sweep evict the whole fleet.
+#[test]
+fn bounded_clock_step_contains_timestamp_poisoning() {
+    let streams = build_streams(3);
+    let mut engine = FleetEngine::new(FleetConfig {
+        shards: 2,
+        period: PeriodPolicy::Fixed(8),
+        ttl: Some(100),
+        max_clock_step: Some(10),
+        ..Default::default()
+    })
+    .unwrap();
+    for t in 0..64 {
+        engine.ingest(batch(&streams, t)).unwrap();
+    }
+    assert_eq!(engine.stats().unwrap().live, 3);
+    // a poisoned record claims t ~ milliseconds-epoch; the clock may only
+    // advance by 10 per record, so the healthy series stay inside the TTL
+    engine.ingest(vec![Record::new("poison", 1_700_000_000_000, 1.0)]).unwrap();
+    assert!(engine.clock() <= 64 + 10, "clock jump must be bounded, got {}", engine.clock());
+    for t in 64..200 {
+        engine.ingest(batch(&streams, t)).unwrap();
+    }
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.live, 3, "healthy series must survive the poisoned timestamp");
+    // the poisoned series itself ages out normally (its liveness clock is
+    // clamped too), so exactly one eviction: the poison, never the fleet
+    assert_eq!(stats.evicted, 1);
+}
+
+/// A future-dated record must not make its own series immune to TTL
+/// eviction: liveness tracking uses the clamped clock, not the raw `t`.
+#[test]
+fn poisoned_series_itself_is_still_evictable() {
+    let streams = build_streams(1);
+    let mut engine = FleetEngine::new(FleetConfig {
+        shards: 2,
+        period: PeriodPolicy::Fixed(8),
+        ttl: Some(100),
+        max_clock_step: Some(10),
+        ..Default::default()
+    })
+    .unwrap();
+    engine.ingest(vec![Record::new("poison", u64::MAX, 1.0)]).unwrap();
+    // keep the healthy series reporting long enough for sweeps to run
+    for t in 0..400 {
+        engine.ingest(vec![Record::new("series-0", t, streams[0][t as usize])]).unwrap();
+    }
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.live + stats.warming, 1, "poisoned series must be evicted");
+    assert_eq!(stats.evicted, 1);
+}
+
+/// A well-formed snapshot with a corrupted step counter must fail at
+/// restore, not panic a shard worker on the next update.
+#[test]
+fn corrupted_step_counter_fails_at_restore() {
+    let streams = build_streams(1);
+    let mut engine = FleetEngine::new(config()).unwrap();
+    for t in 0..100 {
+        engine.ingest(vec![Record::new("series-0", t, streams[0][t as usize])]).unwrap();
+    }
+    let mut snap = engine.snapshot().unwrap();
+    match &mut snap.series[0].phase {
+        oneshotstl_suite::fleet::series::PhaseSnapshot::Live { decomposer, .. } => {
+            decomposer.m += 1; // bit-flip-style corruption
+        }
+        other => panic!("expected a live series, got {other:?}"),
+    }
+    assert!(FleetEngine::restore(snap).is_err());
+}
+
+/// Period detection admits an undeclared-period series; white noise hits
+/// the warm-up cap and is rejected when no fallback is configured.
+#[test]
+fn detect_admission_and_noise_rejection() {
+    let mut engine = FleetEngine::new(FleetConfig {
+        shards: 2,
+        period: PeriodPolicy::Detect {
+            min_period: 4,
+            max_period: 64,
+            // a high bar: white noise ACF is ~N(0, n^{-1/2}), so 0.6 keeps
+            // spurious small-buffer detections out
+            min_acf: 0.6,
+            fallback: None,
+        },
+        max_warmup: Some(150),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut seasonal_live = false;
+    let mut noise_rejected = false;
+    for t in 0..300u64 {
+        let seasonal = (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin();
+        let noise: f64 = rng.gen_range(-1.0..1.0);
+        let out = engine
+            .ingest(vec![Record::new("seasonal", t, seasonal), Record::new("noise", t, noise)])
+            .unwrap();
+        if matches!(out[0].output, PointOutput::Scored { .. }) {
+            seasonal_live = true;
+        }
+        if matches!(out[1].output, PointOutput::Rejected) {
+            noise_rejected = true;
+        }
+    }
+    assert!(seasonal_live, "seasonal series should be detected and admitted");
+    assert!(noise_rejected, "noise series should overflow warm-up and be rejected");
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.live, 1);
+    assert_eq!(stats.rejected, 1);
+    // period detection found T=16: the forecast is periodic
+    let f = engine.forecast(&"seasonal".into(), 32).unwrap().expect("live series forecasts");
+    for i in 0..16 {
+        assert!((f[i] - f[i + 16]).abs() < 1e-9, "forecast repeats with T=16");
+    }
+}

@@ -1,0 +1,239 @@
+//! Vendored minimal stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! covering the subset this workspace's `benches/` use: benchmark groups,
+//! [`BenchmarkId`], `bench_with_input` / `bench_function`, per-group sample
+//! size and timing knobs, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a simple calibrated loop: each benchmark is warmed up for
+//! `warm_up_time`, then timed in batches until `measurement_time` elapses,
+//! and the mean/min per-iteration wall time is printed. No statistics,
+//! plots, or baselines — just enough to keep `cargo bench` meaningful
+//! without network access to the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let cfg = self.clone();
+        BenchmarkGroup { _parent: self, name: name.into(), cfg }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.clone(), &name.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    cfg: Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&self.cfg, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.cfg, &label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Labels a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    /// Mean per-iteration nanoseconds of the last `iter` call.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then sampling until the
+    /// measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up: also calibrates the per-iteration cost
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.cfg.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.cfg.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        // choose a batch size so each sample takes ~measurement_time/samples
+        let sample_budget =
+            self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let batch = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut means = Vec::with_capacity(self.cfg.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            means.push(t0.elapsed().as_secs_f64() / batch as f64);
+            if run_start.elapsed() > self.cfg.measurement_time.mul_f64(2.0) {
+                break; // budget blow-out guard for very slow routines
+            }
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        self.result = Some((mean * 1e9, min * 1e9));
+    }
+}
+
+fn run_one(cfg: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { cfg, result: None };
+    f(&mut b);
+    match b.result {
+        Some((mean_ns, min_ns)) => {
+            println!("{label:<50} mean {:>12}  min {:>12}", fmt_ns(mean_ns), fmt_ns(min_ns));
+        }
+        None => println!("{label:<50} (no measurement)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirrors `criterion::black_box` (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

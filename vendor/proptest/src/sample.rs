@@ -1,0 +1,23 @@
+//! Sampling strategies (subset of `proptest::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing uniformly from a fixed set of options.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Mirrors `proptest::sample::select(options)`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.usize_in(0, self.options.len())].clone()
+    }
+}

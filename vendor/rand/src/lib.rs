@@ -1,0 +1,253 @@
+//! Vendored minimal stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, covering exactly the API surface this workspace uses:
+//!
+//! - [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] (deterministic
+//!   xoshiro256++ seeded via SplitMix64 — *not* bit-compatible with the real
+//!   `rand::rngs::StdRng`, but every workspace caller seeds explicitly and
+//!   only relies on reproducibility within this implementation),
+//! - [`Rng::gen_range`] over float/integer `Range` / `RangeInclusive`,
+//! - [`Rng::gen`], [`Rng::gen_bool`],
+//! - [`seq::SliceRandom::shuffle`].
+//!
+//! The container building this repo has no network access, so the real
+//! crates.io dependency cannot be fetched; this keeps the workspace
+//! self-contained and dependency-free as required by the fleet design.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+pub mod seq;
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a deterministically-seeded generator from a `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Raw generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1)
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value of `T` from its full "standard" distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types with a uniform sampler over a bounded range (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_range<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Ranges that can be sampled from (subset of
+/// `rand::distributions::uniform::SampleRange`). The target type is tied
+/// to the range's element type, so `gen_range(0.0..1.0)` infers `f64`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(lo, hi, true, rng)
+    }
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(lo < hi, "empty float sample range");
+                lo + unit_f64(rng.next_u64()) as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f64, f32);
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let (lo, hi) = (lo as i128, hi as i128);
+                let hi = if inclusive { hi + 1 } else { hi };
+                assert!(lo < hi, "empty integer sample range");
+                let span = (hi - lo) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// The "standard" distribution of a type (subset of
+/// `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one sample of `Self`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n: usize = rng.gen_range(5..10);
+            assert!((5..10).contains(&n));
+            let m: usize = rng.gen_range(5..=10);
+            assert!((5..=10).contains(&m));
+            let s: i64 = rng.gen_range(-4i64..-1);
+            assert!((-4..-1).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "p=0.25 hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,18 @@
+//! Sequence utilities (subset of `rand::seq`).
+
+use crate::RngCore;
+
+/// In-place slice operations (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Shuffles the slice uniformly (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
