@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_init-068fec5cad4dcd32.d: crates/bench/src/bin/ablation_init.rs
+
+/root/repo/target/debug/deps/libablation_init-068fec5cad4dcd32.rmeta: crates/bench/src/bin/ablation_init.rs
+
+crates/bench/src/bin/ablation_init.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_init-07849835913f4f4a.d: crates/bench/src/bin/ablation_init.rs
+
+/root/repo/target/debug/deps/ablation_init-07849835913f4f4a: crates/bench/src/bin/ablation_init.rs
+
+crates/bench/src/bin/ablation_init.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_init-44de71d0fcff35f9.d: crates/bench/src/bin/ablation_init.rs
+
+/root/repo/target/debug/deps/libablation_init-44de71d0fcff35f9.rmeta: crates/bench/src/bin/ablation_init.rs
+
+crates/bench/src/bin/ablation_init.rs:

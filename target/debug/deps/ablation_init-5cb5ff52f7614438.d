@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_init-5cb5ff52f7614438.d: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_init-5cb5ff52f7614438.rmeta: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+crates/bench/src/bin/ablation_init.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

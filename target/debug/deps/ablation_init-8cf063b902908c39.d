@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_init-8cf063b902908c39.d: crates/bench/src/bin/ablation_init.rs
+
+/root/repo/target/debug/deps/ablation_init-8cf063b902908c39: crates/bench/src/bin/ablation_init.rs
+
+crates/bench/src/bin/ablation_init.rs:

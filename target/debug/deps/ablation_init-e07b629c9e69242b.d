@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_init-e07b629c9e69242b.d: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_init-e07b629c9e69242b.rmeta: crates/bench/src/bin/ablation_init.rs Cargo.toml
+
+crates/bench/src/bin/ablation_init.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

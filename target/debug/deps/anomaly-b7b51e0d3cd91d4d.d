@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/anomaly-b7b51e0d3cd91d4d.d: crates/anomaly/src/lib.rs crates/anomaly/src/cluster.rs crates/anomaly/src/damp.rs crates/anomaly/src/mass.rs crates/anomaly/src/norma.rs crates/anomaly/src/pipeline.rs crates/anomaly/src/sand.rs crates/anomaly/src/stomp.rs crates/anomaly/src/traits.rs crates/anomaly/src/znorm.rs
+
+/root/repo/target/debug/deps/libanomaly-b7b51e0d3cd91d4d.rmeta: crates/anomaly/src/lib.rs crates/anomaly/src/cluster.rs crates/anomaly/src/damp.rs crates/anomaly/src/mass.rs crates/anomaly/src/norma.rs crates/anomaly/src/pipeline.rs crates/anomaly/src/sand.rs crates/anomaly/src/stomp.rs crates/anomaly/src/traits.rs crates/anomaly/src/znorm.rs
+
+crates/anomaly/src/lib.rs:
+crates/anomaly/src/cluster.rs:
+crates/anomaly/src/damp.rs:
+crates/anomaly/src/mass.rs:
+crates/anomaly/src/norma.rs:
+crates/anomaly/src/pipeline.rs:
+crates/anomaly/src/sand.rs:
+crates/anomaly/src/stomp.rs:
+crates/anomaly/src/traits.rs:
+crates/anomaly/src/znorm.rs:

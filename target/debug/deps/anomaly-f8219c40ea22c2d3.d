@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/anomaly-f8219c40ea22c2d3.d: crates/anomaly/src/lib.rs crates/anomaly/src/cluster.rs crates/anomaly/src/damp.rs crates/anomaly/src/mass.rs crates/anomaly/src/norma.rs crates/anomaly/src/pipeline.rs crates/anomaly/src/sand.rs crates/anomaly/src/stomp.rs crates/anomaly/src/traits.rs crates/anomaly/src/znorm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanomaly-f8219c40ea22c2d3.rmeta: crates/anomaly/src/lib.rs crates/anomaly/src/cluster.rs crates/anomaly/src/damp.rs crates/anomaly/src/mass.rs crates/anomaly/src/norma.rs crates/anomaly/src/pipeline.rs crates/anomaly/src/sand.rs crates/anomaly/src/stomp.rs crates/anomaly/src/traits.rs crates/anomaly/src/znorm.rs Cargo.toml
+
+crates/anomaly/src/lib.rs:
+crates/anomaly/src/cluster.rs:
+crates/anomaly/src/damp.rs:
+crates/anomaly/src/mass.rs:
+crates/anomaly/src/norma.rs:
+crates/anomaly/src/pipeline.rs:
+crates/anomaly/src/sand.rs:
+crates/anomaly/src/stomp.rs:
+crates/anomaly/src/traits.rs:
+crates/anomaly/src/znorm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/benchkit-4e67ffe34f30d946.d: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbenchkit-4e67ffe34f30d946.rmeta: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/adapters.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

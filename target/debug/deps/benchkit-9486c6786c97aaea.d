@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/benchkit-9486c6786c97aaea.d: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbenchkit-9486c6786c97aaea.rlib: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbenchkit-9486c6786c97aaea.rmeta: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/adapters.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

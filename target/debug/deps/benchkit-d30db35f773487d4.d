@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/benchkit-d30db35f773487d4.d: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbenchkit-d30db35f773487d4.rmeta: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/adapters.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/benchkit-d3d17c0647c5f959.d: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbenchkit-d3d17c0647c5f959.rmeta: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/adapters.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/decomp-17ecc788605a9fe2.d: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecomp-17ecc788605a9fe2.rmeta: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs Cargo.toml
+
+crates/decomp/src/lib.rs:
+crates/decomp/src/l1trend.rs:
+crates/decomp/src/online_robust.rs:
+crates/decomp/src/onlinestl.rs:
+crates/decomp/src/robuststl.rs:
+crates/decomp/src/stl.rs:
+crates/decomp/src/traits.rs:
+crates/decomp/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

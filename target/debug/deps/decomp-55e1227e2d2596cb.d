@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/decomp-55e1227e2d2596cb.d: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+/root/repo/target/debug/deps/libdecomp-55e1227e2d2596cb.rmeta: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+crates/decomp/src/lib.rs:
+crates/decomp/src/l1trend.rs:
+crates/decomp/src/online_robust.rs:
+crates/decomp/src/onlinestl.rs:
+crates/decomp/src/robuststl.rs:
+crates/decomp/src/stl.rs:
+crates/decomp/src/traits.rs:
+crates/decomp/src/window.rs:

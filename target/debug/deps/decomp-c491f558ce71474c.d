@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/decomp-c491f558ce71474c.d: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+/root/repo/target/debug/deps/libdecomp-c491f558ce71474c.rmeta: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+crates/decomp/src/lib.rs:
+crates/decomp/src/l1trend.rs:
+crates/decomp/src/online_robust.rs:
+crates/decomp/src/onlinestl.rs:
+crates/decomp/src/robuststl.rs:
+crates/decomp/src/stl.rs:
+crates/decomp/src/traits.rs:
+crates/decomp/src/window.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/decomp-eb41ee57f7d9bbef.d: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+/root/repo/target/debug/deps/libdecomp-eb41ee57f7d9bbef.rlib: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+/root/repo/target/debug/deps/libdecomp-eb41ee57f7d9bbef.rmeta: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+crates/decomp/src/lib.rs:
+crates/decomp/src/l1trend.rs:
+crates/decomp/src/online_robust.rs:
+crates/decomp/src/onlinestl.rs:
+crates/decomp/src/robuststl.rs:
+crates/decomp/src/stl.rs:
+crates/decomp/src/traits.rs:
+crates/decomp/src/window.rs:

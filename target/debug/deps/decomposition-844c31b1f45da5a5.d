@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decomposition-844c31b1f45da5a5.d: crates/bench/benches/decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecomposition-844c31b1f45da5a5.rmeta: crates/bench/benches/decomposition.rs Cargo.toml
+
+crates/bench/benches/decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposition-8eacbbcb36e56de0.d: crates/bench/benches/decomposition.rs
+
+/root/repo/target/debug/deps/libdecomposition-8eacbbcb36e56de0.rmeta: crates/bench/benches/decomposition.rs
+
+crates/bench/benches/decomposition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_ablation-8455ee5755774a54.d: crates/bench/src/bin/fig10_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_ablation-8455ee5755774a54.rmeta: crates/bench/src/bin/fig10_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig10_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

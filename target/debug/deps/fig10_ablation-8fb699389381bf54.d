@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ablation-8fb699389381bf54.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/debug/deps/fig10_ablation-8fb699389381bf54: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

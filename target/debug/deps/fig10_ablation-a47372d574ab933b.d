@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ablation-a47372d574ab933b.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/debug/deps/libfig10_ablation-a47372d574ab933b.rmeta: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

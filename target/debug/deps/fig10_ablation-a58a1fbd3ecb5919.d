@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_ablation-a58a1fbd3ecb5919.d: crates/bench/src/bin/fig10_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_ablation-a58a1fbd3ecb5919.rmeta: crates/bench/src/bin/fig10_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig10_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

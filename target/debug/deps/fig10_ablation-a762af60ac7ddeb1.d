@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ablation-a762af60ac7ddeb1.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/debug/deps/libfig10_ablation-a762af60ac7ddeb1.rmeta: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_ablation-a8da4aaa44833255.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/debug/deps/fig10_ablation-a8da4aaa44833255: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6-080c30c75765a232.d: crates/bench/src/bin/fig5_6.rs
+
+/root/repo/target/debug/deps/fig5_6-080c30c75765a232: crates/bench/src/bin/fig5_6.rs
+
+crates/bench/src/bin/fig5_6.rs:

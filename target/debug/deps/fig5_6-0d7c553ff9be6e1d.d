@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6-0d7c553ff9be6e1d.d: crates/bench/src/bin/fig5_6.rs
+
+/root/repo/target/debug/deps/libfig5_6-0d7c553ff9be6e1d.rmeta: crates/bench/src/bin/fig5_6.rs
+
+crates/bench/src/bin/fig5_6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_6-2cc7aa7ba9defa68.d: crates/bench/src/bin/fig5_6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_6-2cc7aa7ba9defa68.rmeta: crates/bench/src/bin/fig5_6.rs Cargo.toml
+
+crates/bench/src/bin/fig5_6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_6-3e9f307e97fd1c4c.d: crates/bench/src/bin/fig5_6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_6-3e9f307e97fd1c4c.rmeta: crates/bench/src/bin/fig5_6.rs Cargo.toml
+
+crates/bench/src/bin/fig5_6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6-c99cf1c1f7d5fee3.d: crates/bench/src/bin/fig5_6.rs
+
+/root/repo/target/debug/deps/fig5_6-c99cf1c1f7d5fee3: crates/bench/src/bin/fig5_6.rs
+
+crates/bench/src/bin/fig5_6.rs:

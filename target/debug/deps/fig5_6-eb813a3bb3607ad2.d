@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6-eb813a3bb3607ad2.d: crates/bench/src/bin/fig5_6.rs
+
+/root/repo/target/debug/deps/libfig5_6-eb813a3bb3607ad2.rmeta: crates/bench/src/bin/fig5_6.rs
+
+crates/bench/src/bin/fig5_6.rs:

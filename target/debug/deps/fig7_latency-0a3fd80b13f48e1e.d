@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_latency-0a3fd80b13f48e1e.d: crates/bench/src/bin/fig7_latency.rs
+
+/root/repo/target/debug/deps/libfig7_latency-0a3fd80b13f48e1e.rmeta: crates/bench/src/bin/fig7_latency.rs
+
+crates/bench/src/bin/fig7_latency.rs:

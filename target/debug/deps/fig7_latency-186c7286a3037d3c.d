@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_latency-186c7286a3037d3c.d: crates/bench/src/bin/fig7_latency.rs
+
+/root/repo/target/debug/deps/fig7_latency-186c7286a3037d3c: crates/bench/src/bin/fig7_latency.rs
+
+crates/bench/src/bin/fig7_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_latency-5b8381cf851f1499.d: crates/bench/src/bin/fig7_latency.rs
+
+/root/repo/target/debug/deps/fig7_latency-5b8381cf851f1499: crates/bench/src/bin/fig7_latency.rs
+
+crates/bench/src/bin/fig7_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_latency-b7898fe105d8c254.d: crates/bench/src/bin/fig7_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_latency-b7898fe105d8c254.rmeta: crates/bench/src/bin/fig7_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig7_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_latency-cd1aad6bf625c5e8.d: crates/bench/src/bin/fig7_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_latency-cd1aad6bf625c5e8.rmeta: crates/bench/src/bin/fig7_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig7_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

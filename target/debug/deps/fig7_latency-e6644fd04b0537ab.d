@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_latency-e6644fd04b0537ab.d: crates/bench/src/bin/fig7_latency.rs
+
+/root/repo/target/debug/deps/libfig7_latency-e6644fd04b0537ab.rmeta: crates/bench/src/bin/fig7_latency.rs
+
+crates/bench/src/bin/fig7_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ablation-0d15c93e6d7bfeb9.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/debug/deps/libfig8_ablation-0d15c93e6d7bfeb9.rmeta: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_ablation-c4f507af92bfec82.d: crates/bench/src/bin/fig8_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_ablation-c4f507af92bfec82.rmeta: crates/bench/src/bin/fig8_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ablation-d099dbf2f68e8bcb.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/debug/deps/fig8_ablation-d099dbf2f68e8bcb: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ablation-d1d41236abb3816e.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/debug/deps/libfig8_ablation-d1d41236abb3816e.rmeta: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_ablation-d45a8c0dc148bc57.d: crates/bench/src/bin/fig8_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_ablation-d45a8c0dc148bc57.rmeta: crates/bench/src/bin/fig8_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

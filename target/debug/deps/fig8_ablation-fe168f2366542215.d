@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ablation-fe168f2366542215.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/debug/deps/fig8_ablation-fe168f2366542215: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-220bf442ec1cc14d.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/fig9_ablation-220bf442ec1cc14d: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

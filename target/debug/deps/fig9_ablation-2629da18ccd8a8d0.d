@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-2629da18ccd8a8d0.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/libfig9_ablation-2629da18ccd8a8d0.rmeta: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_ablation-81b9d006216b18c7.d: crates/bench/src/bin/fig9_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_ablation-81b9d006216b18c7.rmeta: crates/bench/src/bin/fig9_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig9_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

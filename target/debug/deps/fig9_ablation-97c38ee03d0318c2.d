@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-97c38ee03d0318c2.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/fig9_ablation-97c38ee03d0318c2: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-a393701a3f61f83e.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/libfig9_ablation-a393701a3f61f83e.rmeta: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

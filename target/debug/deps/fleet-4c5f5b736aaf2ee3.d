@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fleet-4c5f5b736aaf2ee3.d: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet-4c5f5b736aaf2ee3.rmeta: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/codec.rs:
+crates/fleet/src/config.rs:
+crates/fleet/src/engine.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/series.rs:
+crates/fleet/src/shard.rs:
+crates/fleet/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

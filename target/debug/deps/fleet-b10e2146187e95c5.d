@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fleet-b10e2146187e95c5.d: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+/root/repo/target/debug/deps/libfleet-b10e2146187e95c5.rmeta: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/codec.rs:
+crates/fleet/src/config.rs:
+crates/fleet/src/engine.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/series.rs:
+crates/fleet/src/shard.rs:
+crates/fleet/src/types.rs:

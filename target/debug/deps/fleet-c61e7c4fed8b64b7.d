@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fleet-c61e7c4fed8b64b7.d: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+/root/repo/target/debug/deps/fleet-c61e7c4fed8b64b7: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/codec.rs:
+crates/fleet/src/config.rs:
+crates/fleet/src/engine.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/series.rs:
+crates/fleet/src/shard.rs:
+crates/fleet/src/types.rs:

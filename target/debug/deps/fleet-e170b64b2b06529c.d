@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fleet-e170b64b2b06529c.d: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+/root/repo/target/debug/deps/libfleet-e170b64b2b06529c.rmeta: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/codec.rs:
+crates/fleet/src/config.rs:
+crates/fleet/src/engine.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/series.rs:
+crates/fleet/src/shard.rs:
+crates/fleet/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_snapshot-0b3a35e9c853a28b.d: tests/fleet_snapshot.rs
+
+/root/repo/target/debug/deps/libfleet_snapshot-0b3a35e9c853a28b.rmeta: tests/fleet_snapshot.rs
+
+tests/fleet_snapshot.rs:

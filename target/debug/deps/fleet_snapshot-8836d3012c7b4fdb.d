@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_snapshot-8836d3012c7b4fdb.d: tests/fleet_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_snapshot-8836d3012c7b4fdb.rmeta: tests/fleet_snapshot.rs Cargo.toml
+
+tests/fleet_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

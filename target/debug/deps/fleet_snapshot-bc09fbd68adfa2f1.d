@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_snapshot-bc09fbd68adfa2f1.d: tests/fleet_snapshot.rs
+
+/root/repo/target/debug/deps/fleet_snapshot-bc09fbd68adfa2f1: tests/fleet_snapshot.rs
+
+tests/fleet_snapshot.rs:

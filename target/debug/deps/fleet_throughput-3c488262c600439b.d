@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_throughput-3c488262c600439b.d: crates/bench/src/bin/fleet_throughput.rs
+
+/root/repo/target/debug/deps/libfleet_throughput-3c488262c600439b.rmeta: crates/bench/src/bin/fleet_throughput.rs
+
+crates/bench/src/bin/fleet_throughput.rs:

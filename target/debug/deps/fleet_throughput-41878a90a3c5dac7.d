@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_throughput-41878a90a3c5dac7.d: crates/bench/src/bin/fleet_throughput.rs
+
+/root/repo/target/debug/deps/libfleet_throughput-41878a90a3c5dac7.rmeta: crates/bench/src/bin/fleet_throughput.rs
+
+crates/bench/src/bin/fleet_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_throughput-66ce05977be591cb.d: crates/bench/src/bin/fleet_throughput.rs
+
+/root/repo/target/debug/deps/fleet_throughput-66ce05977be591cb: crates/bench/src/bin/fleet_throughput.rs
+
+crates/bench/src/bin/fleet_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_throughput-d3bd65be8315730f.d: crates/bench/src/bin/fleet_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_throughput-d3bd65be8315730f.rmeta: crates/bench/src/bin/fleet_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fleet_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/forecast-411a5ec0aaa6a7b0.d: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforecast-411a5ec0aaa6a7b0.rmeta: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs Cargo.toml
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/arima.rs:
+crates/forecast/src/ets.rs:
+crates/forecast/src/eval.rs:
+crates/forecast/src/naive.rs:
+crates/forecast/src/std_forecast.rs:
+crates/forecast/src/theta.rs:
+crates/forecast/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/forecast-7295ed83bbcc5fc1.d: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+/root/repo/target/debug/deps/forecast-7295ed83bbcc5fc1: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/arima.rs:
+crates/forecast/src/ets.rs:
+crates/forecast/src/eval.rs:
+crates/forecast/src/naive.rs:
+crates/forecast/src/std_forecast.rs:
+crates/forecast/src/theta.rs:
+crates/forecast/src/traits.rs:

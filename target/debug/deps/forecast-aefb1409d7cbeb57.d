@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/forecast-aefb1409d7cbeb57.d: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+/root/repo/target/debug/deps/libforecast-aefb1409d7cbeb57.rlib: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+/root/repo/target/debug/deps/libforecast-aefb1409d7cbeb57.rmeta: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/arima.rs:
+crates/forecast/src/ets.rs:
+crates/forecast/src/eval.rs:
+crates/forecast/src/naive.rs:
+crates/forecast/src/std_forecast.rs:
+crates/forecast/src/theta.rs:
+crates/forecast/src/traits.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/forecast-e7fe0326c21e304a.d: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+/root/repo/target/debug/deps/libforecast-e7fe0326c21e304a.rmeta: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/arima.rs:
+crates/forecast/src/ets.rs:
+crates/forecast/src/eval.rs:
+crates/forecast/src/naive.rs:
+crates/forecast/src/std_forecast.rs:
+crates/forecast/src/theta.rs:
+crates/forecast/src/traits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-1f84e73998729324.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-1f84e73998729324.rmeta: tests/integration.rs
+
+tests/integration.rs:

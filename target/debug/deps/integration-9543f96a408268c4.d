@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-9543f96a408268c4.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-9543f96a408268c4.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

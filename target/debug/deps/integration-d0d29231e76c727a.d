@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-d0d29231e76c727a.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-d0d29231e76c727a: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix_profile-1311caa5c1f808b9.d: crates/bench/benches/matrix_profile.rs
+
+/root/repo/target/debug/deps/libmatrix_profile-1311caa5c1f808b9.rmeta: crates/bench/benches/matrix_profile.rs
+
+crates/bench/benches/matrix_profile.rs:

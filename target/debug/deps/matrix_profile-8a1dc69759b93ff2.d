@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matrix_profile-8a1dc69759b93ff2.d: crates/bench/benches/matrix_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatrix_profile-8a1dc69759b93ff2.rmeta: crates/bench/benches/matrix_profile.rs Cargo.toml
+
+crates/bench/benches/matrix_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neural-6da90eb0519f161a.d: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneural-6da90eb0519f161a.rmeta: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs Cargo.toml
+
+crates/neural/src/lib.rs:
+crates/neural/src/deepar.rs:
+crates/neural/src/mlp_forecast.rs:
+crates/neural/src/nbeats.rs:
+crates/neural/src/nn.rs:
+crates/neural/src/tranad.rs:
+crates/neural/src/usad.rs:
+crates/neural/src/windows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

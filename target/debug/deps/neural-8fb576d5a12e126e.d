@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/neural-8fb576d5a12e126e.d: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+/root/repo/target/debug/deps/libneural-8fb576d5a12e126e.rlib: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+/root/repo/target/debug/deps/libneural-8fb576d5a12e126e.rmeta: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/deepar.rs:
+crates/neural/src/mlp_forecast.rs:
+crates/neural/src/nbeats.rs:
+crates/neural/src/nn.rs:
+crates/neural/src/tranad.rs:
+crates/neural/src/usad.rs:
+crates/neural/src/windows.rs:

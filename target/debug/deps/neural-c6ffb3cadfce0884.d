@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/neural-c6ffb3cadfce0884.d: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneural-c6ffb3cadfce0884.rmeta: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs Cargo.toml
+
+crates/neural/src/lib.rs:
+crates/neural/src/deepar.rs:
+crates/neural/src/mlp_forecast.rs:
+crates/neural/src/nbeats.rs:
+crates/neural/src/nn.rs:
+crates/neural/src/tranad.rs:
+crates/neural/src/usad.rs:
+crates/neural/src/windows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/neural-e62446cb4395b229.d: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+/root/repo/target/debug/deps/libneural-e62446cb4395b229.rmeta: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/deepar.rs:
+crates/neural/src/mlp_forecast.rs:
+crates/neural/src/nbeats.rs:
+crates/neural/src/nn.rs:
+crates/neural/src/tranad.rs:
+crates/neural/src/usad.rs:
+crates/neural/src/windows.rs:

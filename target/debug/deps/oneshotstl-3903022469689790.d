@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oneshotstl-3903022469689790.d: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs
+
+/root/repo/target/debug/deps/oneshotstl-3903022469689790: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs
+
+crates/core/src/lib.rs:
+crates/core/src/doolittle.rs:
+crates/core/src/jointstl.rs:
+crates/core/src/nsigma.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/online_doolittle.rs:
+crates/core/src/reference.rs:
+crates/core/src/system.rs:
+crates/core/src/tasks.rs:

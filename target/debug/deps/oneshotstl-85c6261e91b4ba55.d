@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/oneshotstl-85c6261e91b4ba55.d: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs
+
+/root/repo/target/debug/deps/liboneshotstl-85c6261e91b4ba55.rmeta: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs
+
+crates/core/src/lib.rs:
+crates/core/src/doolittle.rs:
+crates/core/src/jointstl.rs:
+crates/core/src/nsigma.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/online_doolittle.rs:
+crates/core/src/reference.rs:
+crates/core/src/system.rs:
+crates/core/src/tasks.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/oneshotstl-d61bee2fdb8a1b6a.d: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboneshotstl-d61bee2fdb8a1b6a.rmeta: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/doolittle.rs:
+crates/core/src/jointstl.rs:
+crates/core/src/nsigma.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/online_doolittle.rs:
+crates/core/src/reference.rs:
+crates/core/src/system.rs:
+crates/core/src/tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oneshotstl_suite-2b543533c35093d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboneshotstl_suite-2b543533c35093d4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oneshotstl_suite-922d3229ea8eaac9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboneshotstl_suite-922d3229ea8eaac9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/oneshotstl_suite-a4dded3667880d8b.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboneshotstl_suite-a4dded3667880d8b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboneshotstl_suite-a4dded3667880d8b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oneshotstl_suite-c5fadbae5703731b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboneshotstl_suite-c5fadbae5703731b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oneshotstl_suite-d5ebff1f6791b800.d: src/lib.rs
+
+/root/repo/target/debug/deps/oneshotstl_suite-d5ebff1f6791b800: src/lib.rs
+
+src/lib.rs:

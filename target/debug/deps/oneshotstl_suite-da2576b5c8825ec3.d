@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oneshotstl_suite-da2576b5c8825ec3.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboneshotstl_suite-da2576b5c8825ec3.rmeta: src/lib.rs
+
+src/lib.rs:

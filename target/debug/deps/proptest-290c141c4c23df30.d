@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-290c141c4c23df30.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-290c141c4c23df30.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-6df94fb4ceebfe44.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-6df94fb4ceebfe44.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-6df94fb4ceebfe44.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-dfdfa755711e6a96.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-dfdfa755711e6a96: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

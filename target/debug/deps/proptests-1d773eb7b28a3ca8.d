@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1d773eb7b28a3ca8.d: crates/tskit/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1d773eb7b28a3ca8.rmeta: crates/tskit/tests/proptests.rs Cargo.toml
+
+crates/tskit/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

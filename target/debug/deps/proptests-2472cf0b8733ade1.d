@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2472cf0b8733ade1.d: crates/tskit/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-2472cf0b8733ade1.rmeta: crates/tskit/tests/proptests.rs
+
+crates/tskit/tests/proptests.rs:

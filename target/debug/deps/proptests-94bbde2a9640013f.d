@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-94bbde2a9640013f.d: crates/tskit/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-94bbde2a9640013f: crates/tskit/tests/proptests.rs
+
+crates/tskit/tests/proptests.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-48cf86eedcb4e622.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-48cf86eedcb4e622.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

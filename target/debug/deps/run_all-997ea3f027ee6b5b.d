@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-997ea3f027ee6b5b.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-997ea3f027ee6b5b: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

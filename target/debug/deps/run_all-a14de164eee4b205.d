@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-a14de164eee4b205.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/librun_all-a14de164eee4b205.rmeta: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-f3014c14de1fae72.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-f3014c14de1fae72: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

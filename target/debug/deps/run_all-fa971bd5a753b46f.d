@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-fa971bd5a753b46f.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/librun_all-fa971bd5a753b46f.rmeta: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

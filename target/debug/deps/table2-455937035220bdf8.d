@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-455937035220bdf8.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-455937035220bdf8: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-70a488bc16ed7b6c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-70a488bc16ed7b6c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

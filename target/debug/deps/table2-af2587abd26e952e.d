@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-af2587abd26e952e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-af2587abd26e952e.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f3cc1e86b8a7a0da.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-f3cc1e86b8a7a0da.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9907f79b926cc605.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-9907f79b926cc605.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

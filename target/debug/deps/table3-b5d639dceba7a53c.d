@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b5d639dceba7a53c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-b5d639dceba7a53c.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-df419ecef279f220.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-df419ecef279f220: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

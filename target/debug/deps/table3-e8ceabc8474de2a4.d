@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e8ceabc8474de2a4.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-e8ceabc8474de2a4: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

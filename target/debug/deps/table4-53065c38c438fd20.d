@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-53065c38c438fd20.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-53065c38c438fd20.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-61366a0c514521cc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-61366a0c514521cc.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-c61a80d19f2b9764.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-c61a80d19f2b9764: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-e1174e5fe91bd2bf.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-e1174e5fe91bd2bf: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

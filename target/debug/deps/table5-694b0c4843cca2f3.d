@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-694b0c4843cca2f3.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-694b0c4843cca2f3: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

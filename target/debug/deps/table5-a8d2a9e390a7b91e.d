@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-a8d2a9e390a7b91e.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-a8d2a9e390a7b91e.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

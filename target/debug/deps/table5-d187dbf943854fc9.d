@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-d187dbf943854fc9.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-d187dbf943854fc9: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

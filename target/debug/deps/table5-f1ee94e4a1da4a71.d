@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-f1ee94e4a1da4a71.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-f1ee94e4a1da4a71.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

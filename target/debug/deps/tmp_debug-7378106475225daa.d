@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_debug-7378106475225daa.d: tests/tmp_debug.rs
+
+/root/repo/target/debug/deps/tmp_debug-7378106475225daa: tests/tmp_debug.rs
+
+tests/tmp_debug.rs:

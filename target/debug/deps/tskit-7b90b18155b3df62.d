@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/tskit-7b90b18155b3df62.d: crates/tskit/src/lib.rs crates/tskit/src/dense.rs crates/tskit/src/error.rs crates/tskit/src/fft.rs crates/tskit/src/io.rs crates/tskit/src/linalg.rs crates/tskit/src/loess.rs crates/tskit/src/period.rs crates/tskit/src/ring.rs crates/tskit/src/series.rs crates/tskit/src/smooth.rs crates/tskit/src/stats.rs crates/tskit/src/synth/mod.rs crates/tskit/src/synth/anomaly.rs crates/tskit/src/synth/components.rs crates/tskit/src/synth/std_data.rs crates/tskit/src/synth/tsad.rs crates/tskit/src/synth/tsf.rs
+
+/root/repo/target/debug/deps/tskit-7b90b18155b3df62: crates/tskit/src/lib.rs crates/tskit/src/dense.rs crates/tskit/src/error.rs crates/tskit/src/fft.rs crates/tskit/src/io.rs crates/tskit/src/linalg.rs crates/tskit/src/loess.rs crates/tskit/src/period.rs crates/tskit/src/ring.rs crates/tskit/src/series.rs crates/tskit/src/smooth.rs crates/tskit/src/stats.rs crates/tskit/src/synth/mod.rs crates/tskit/src/synth/anomaly.rs crates/tskit/src/synth/components.rs crates/tskit/src/synth/std_data.rs crates/tskit/src/synth/tsad.rs crates/tskit/src/synth/tsf.rs
+
+crates/tskit/src/lib.rs:
+crates/tskit/src/dense.rs:
+crates/tskit/src/error.rs:
+crates/tskit/src/fft.rs:
+crates/tskit/src/io.rs:
+crates/tskit/src/linalg.rs:
+crates/tskit/src/loess.rs:
+crates/tskit/src/period.rs:
+crates/tskit/src/ring.rs:
+crates/tskit/src/series.rs:
+crates/tskit/src/smooth.rs:
+crates/tskit/src/stats.rs:
+crates/tskit/src/synth/mod.rs:
+crates/tskit/src/synth/anomaly.rs:
+crates/tskit/src/synth/components.rs:
+crates/tskit/src/synth/std_data.rs:
+crates/tskit/src/synth/tsad.rs:
+crates/tskit/src/synth/tsf.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tsmetrics-48574463918f71fe.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtsmetrics-48574463918f71fe.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/decomp.rs:
+crates/metrics/src/kdd.rs:
+crates/metrics/src/rank.rs:
+crates/metrics/src/tsf.rs:
+crates/metrics/src/vus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tsmetrics-a802fbbae75a166c.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+/root/repo/target/debug/deps/libtsmetrics-a802fbbae75a166c.rlib: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+/root/repo/target/debug/deps/libtsmetrics-a802fbbae75a166c.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/decomp.rs:
+crates/metrics/src/kdd.rs:
+crates/metrics/src/rank.rs:
+crates/metrics/src/tsf.rs:
+crates/metrics/src/vus.rs:

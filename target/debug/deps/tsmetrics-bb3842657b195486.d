@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tsmetrics-bb3842657b195486.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+/root/repo/target/debug/deps/tsmetrics-bb3842657b195486: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/decomp.rs:
+crates/metrics/src/kdd.rs:
+crates/metrics/src/rank.rs:
+crates/metrics/src/tsf.rs:
+crates/metrics/src/vus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/update_latency-66fea5057ee5e3d6.d: crates/bench/benches/update_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libupdate_latency-66fea5057ee5e3d6.rmeta: crates/bench/benches/update_latency.rs Cargo.toml
+
+crates/bench/benches/update_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

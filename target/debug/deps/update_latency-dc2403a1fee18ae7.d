@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/update_latency-dc2403a1fee18ae7.d: crates/bench/benches/update_latency.rs
+
+/root/repo/target/debug/deps/libupdate_latency-dc2403a1fee18ae7.rmeta: crates/bench/benches/update_latency.rs
+
+crates/bench/benches/update_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_pipeline-069b1c3673ff4432.d: examples/anomaly_pipeline.rs
+
+/root/repo/target/debug/examples/libanomaly_pipeline-069b1c3673ff4432.rmeta: examples/anomaly_pipeline.rs
+
+examples/anomaly_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/anomaly_pipeline-a448b5142a89687f.d: examples/anomaly_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanomaly_pipeline-a448b5142a89687f.rmeta: examples/anomaly_pipeline.rs Cargo.toml
+
+examples/anomaly_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_pipeline-a4b7a131cdedaefa.d: examples/anomaly_pipeline.rs
+
+/root/repo/target/debug/examples/anomaly_pipeline-a4b7a131cdedaefa: examples/anomaly_pipeline.rs
+
+examples/anomaly_pipeline.rs:

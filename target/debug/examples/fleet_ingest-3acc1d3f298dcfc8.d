@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_ingest-3acc1d3f298dcfc8.d: examples/fleet_ingest.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_ingest-3acc1d3f298dcfc8.rmeta: examples/fleet_ingest.rs Cargo.toml
+
+examples/fleet_ingest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_ingest-ba023eb3c1c7ef17.d: examples/fleet_ingest.rs
+
+/root/repo/target/debug/examples/libfleet_ingest-ba023eb3c1c7ef17.rmeta: examples/fleet_ingest.rs
+
+examples/fleet_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_ingest-cbe6c355bad7a885.d: examples/fleet_ingest.rs
+
+/root/repo/target/debug/examples/fleet_ingest-cbe6c355bad7a885: examples/fleet_ingest.rs
+
+examples/fleet_ingest.rs:

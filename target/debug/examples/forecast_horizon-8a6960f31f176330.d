@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forecast_horizon-8a6960f31f176330.d: examples/forecast_horizon.rs
+
+/root/repo/target/debug/examples/forecast_horizon-8a6960f31f176330: examples/forecast_horizon.rs
+
+examples/forecast_horizon.rs:

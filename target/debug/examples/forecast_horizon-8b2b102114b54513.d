@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forecast_horizon-8b2b102114b54513.d: examples/forecast_horizon.rs
+
+/root/repo/target/debug/examples/libforecast_horizon-8b2b102114b54513.rmeta: examples/forecast_horizon.rs
+
+examples/forecast_horizon.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/forecast_horizon-bfb8bc5e9c45c8d0.d: examples/forecast_horizon.rs Cargo.toml
+
+/root/repo/target/debug/examples/libforecast_horizon-bfb8bc5e9c45c8d0.rmeta: examples/forecast_horizon.rs Cargo.toml
+
+examples/forecast_horizon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-37d3b270bbd9623c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-37d3b270bbd9623c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a3668693992d8f66.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-a3668693992d8f66.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-ceb2f1d311d5199b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-ceb2f1d311d5199b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shift_recovery-4e572c06ad91382f.d: examples/shift_recovery.rs
+
+/root/repo/target/debug/examples/libshift_recovery-4e572c06ad91382f.rmeta: examples/shift_recovery.rs
+
+examples/shift_recovery.rs:

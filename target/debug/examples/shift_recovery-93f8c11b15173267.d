@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shift_recovery-93f8c11b15173267.d: examples/shift_recovery.rs
+
+/root/repo/target/debug/examples/shift_recovery-93f8c11b15173267: examples/shift_recovery.rs
+
+examples/shift_recovery.rs:

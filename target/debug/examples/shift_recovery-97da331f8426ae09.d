@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shift_recovery-97da331f8426ae09.d: examples/shift_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshift_recovery-97da331f8426ae09.rmeta: examples/shift_recovery.rs Cargo.toml
+
+examples/shift_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_init-f080755526f00f6b.d: crates/bench/src/bin/ablation_init.rs
+
+/root/repo/target/release/deps/ablation_init-f080755526f00f6b: crates/bench/src/bin/ablation_init.rs
+
+crates/bench/src/bin/ablation_init.rs:

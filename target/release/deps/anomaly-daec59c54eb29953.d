@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/anomaly-daec59c54eb29953.d: crates/anomaly/src/lib.rs crates/anomaly/src/cluster.rs crates/anomaly/src/damp.rs crates/anomaly/src/mass.rs crates/anomaly/src/norma.rs crates/anomaly/src/pipeline.rs crates/anomaly/src/sand.rs crates/anomaly/src/stomp.rs crates/anomaly/src/traits.rs crates/anomaly/src/znorm.rs
+
+/root/repo/target/release/deps/libanomaly-daec59c54eb29953.rlib: crates/anomaly/src/lib.rs crates/anomaly/src/cluster.rs crates/anomaly/src/damp.rs crates/anomaly/src/mass.rs crates/anomaly/src/norma.rs crates/anomaly/src/pipeline.rs crates/anomaly/src/sand.rs crates/anomaly/src/stomp.rs crates/anomaly/src/traits.rs crates/anomaly/src/znorm.rs
+
+/root/repo/target/release/deps/libanomaly-daec59c54eb29953.rmeta: crates/anomaly/src/lib.rs crates/anomaly/src/cluster.rs crates/anomaly/src/damp.rs crates/anomaly/src/mass.rs crates/anomaly/src/norma.rs crates/anomaly/src/pipeline.rs crates/anomaly/src/sand.rs crates/anomaly/src/stomp.rs crates/anomaly/src/traits.rs crates/anomaly/src/znorm.rs
+
+crates/anomaly/src/lib.rs:
+crates/anomaly/src/cluster.rs:
+crates/anomaly/src/damp.rs:
+crates/anomaly/src/mass.rs:
+crates/anomaly/src/norma.rs:
+crates/anomaly/src/pipeline.rs:
+crates/anomaly/src/sand.rs:
+crates/anomaly/src/stomp.rs:
+crates/anomaly/src/traits.rs:
+crates/anomaly/src/znorm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/benchkit-7aed1801fe224833.d: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbenchkit-7aed1801fe224833.rlib: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbenchkit-7aed1801fe224833.rmeta: crates/bench/src/lib.rs crates/bench/src/adapters.rs crates/bench/src/methods.rs crates/bench/src/paper.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/adapters.rs:
+crates/bench/src/methods.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/report.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

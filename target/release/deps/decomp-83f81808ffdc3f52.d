@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/decomp-83f81808ffdc3f52.d: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+/root/repo/target/release/deps/libdecomp-83f81808ffdc3f52.rlib: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+/root/repo/target/release/deps/libdecomp-83f81808ffdc3f52.rmeta: crates/decomp/src/lib.rs crates/decomp/src/l1trend.rs crates/decomp/src/online_robust.rs crates/decomp/src/onlinestl.rs crates/decomp/src/robuststl.rs crates/decomp/src/stl.rs crates/decomp/src/traits.rs crates/decomp/src/window.rs
+
+crates/decomp/src/lib.rs:
+crates/decomp/src/l1trend.rs:
+crates/decomp/src/online_robust.rs:
+crates/decomp/src/onlinestl.rs:
+crates/decomp/src/robuststl.rs:
+crates/decomp/src/stl.rs:
+crates/decomp/src/traits.rs:
+crates/decomp/src/window.rs:

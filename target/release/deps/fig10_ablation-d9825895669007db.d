@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_ablation-d9825895669007db.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/release/deps/fig10_ablation-d9825895669007db: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_6-4f3c1d49bb573187.d: crates/bench/src/bin/fig5_6.rs
+
+/root/repo/target/release/deps/fig5_6-4f3c1d49bb573187: crates/bench/src/bin/fig5_6.rs
+
+crates/bench/src/bin/fig5_6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_latency-533a2dad4e89d955.d: crates/bench/src/bin/fig7_latency.rs
+
+/root/repo/target/release/deps/fig7_latency-533a2dad4e89d955: crates/bench/src/bin/fig7_latency.rs
+
+crates/bench/src/bin/fig7_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ablation-0b84ef81de2923f1.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/release/deps/fig8_ablation-0b84ef81de2923f1: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_ablation-168e5600638dcc75.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/release/deps/fig9_ablation-168e5600638dcc75: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

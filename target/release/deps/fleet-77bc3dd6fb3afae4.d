@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fleet-77bc3dd6fb3afae4.d: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+/root/repo/target/release/deps/libfleet-77bc3dd6fb3afae4.rlib: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+/root/repo/target/release/deps/libfleet-77bc3dd6fb3afae4.rmeta: crates/fleet/src/lib.rs crates/fleet/src/codec.rs crates/fleet/src/config.rs crates/fleet/src/engine.rs crates/fleet/src/error.rs crates/fleet/src/series.rs crates/fleet/src/shard.rs crates/fleet/src/types.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/codec.rs:
+crates/fleet/src/config.rs:
+crates/fleet/src/engine.rs:
+crates/fleet/src/error.rs:
+crates/fleet/src/series.rs:
+crates/fleet/src/shard.rs:
+crates/fleet/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_throughput-ddd260da15f42e56.d: crates/bench/src/bin/fleet_throughput.rs
+
+/root/repo/target/release/deps/fleet_throughput-ddd260da15f42e56: crates/bench/src/bin/fleet_throughput.rs
+
+crates/bench/src/bin/fleet_throughput.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/forecast-b335242317284608.d: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+/root/repo/target/release/deps/libforecast-b335242317284608.rlib: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+/root/repo/target/release/deps/libforecast-b335242317284608.rmeta: crates/forecast/src/lib.rs crates/forecast/src/arima.rs crates/forecast/src/ets.rs crates/forecast/src/eval.rs crates/forecast/src/naive.rs crates/forecast/src/std_forecast.rs crates/forecast/src/theta.rs crates/forecast/src/traits.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/arima.rs:
+crates/forecast/src/ets.rs:
+crates/forecast/src/eval.rs:
+crates/forecast/src/naive.rs:
+crates/forecast/src/std_forecast.rs:
+crates/forecast/src/theta.rs:
+crates/forecast/src/traits.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/neural-0b2d5b61e5bf35ca.d: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+/root/repo/target/release/deps/libneural-0b2d5b61e5bf35ca.rlib: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+/root/repo/target/release/deps/libneural-0b2d5b61e5bf35ca.rmeta: crates/neural/src/lib.rs crates/neural/src/deepar.rs crates/neural/src/mlp_forecast.rs crates/neural/src/nbeats.rs crates/neural/src/nn.rs crates/neural/src/tranad.rs crates/neural/src/usad.rs crates/neural/src/windows.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/deepar.rs:
+crates/neural/src/mlp_forecast.rs:
+crates/neural/src/nbeats.rs:
+crates/neural/src/nn.rs:
+crates/neural/src/tranad.rs:
+crates/neural/src/usad.rs:
+crates/neural/src/windows.rs:

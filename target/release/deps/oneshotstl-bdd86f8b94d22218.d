@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/oneshotstl-bdd86f8b94d22218.d: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs
+
+/root/repo/target/release/deps/liboneshotstl-bdd86f8b94d22218.rlib: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs
+
+/root/repo/target/release/deps/liboneshotstl-bdd86f8b94d22218.rmeta: crates/core/src/lib.rs crates/core/src/doolittle.rs crates/core/src/jointstl.rs crates/core/src/nsigma.rs crates/core/src/oneshot.rs crates/core/src/online_doolittle.rs crates/core/src/reference.rs crates/core/src/system.rs crates/core/src/tasks.rs
+
+crates/core/src/lib.rs:
+crates/core/src/doolittle.rs:
+crates/core/src/jointstl.rs:
+crates/core/src/nsigma.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/online_doolittle.rs:
+crates/core/src/reference.rs:
+crates/core/src/system.rs:
+crates/core/src/tasks.rs:

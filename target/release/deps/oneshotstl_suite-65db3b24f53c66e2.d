@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/oneshotstl_suite-65db3b24f53c66e2.d: src/lib.rs
+
+/root/repo/target/release/deps/liboneshotstl_suite-65db3b24f53c66e2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liboneshotstl_suite-65db3b24f53c66e2.rmeta: src/lib.rs
+
+src/lib.rs:

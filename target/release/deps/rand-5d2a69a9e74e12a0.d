@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-5d2a69a9e74e12a0.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-5d2a69a9e74e12a0.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-5d2a69a9e74e12a0.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

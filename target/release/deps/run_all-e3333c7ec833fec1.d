@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-e3333c7ec833fec1.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-e3333c7ec833fec1: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

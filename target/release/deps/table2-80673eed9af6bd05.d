@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-80673eed9af6bd05.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-80673eed9af6bd05: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-7a1c462c0711cf3e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-7a1c462c0711cf3e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-aeebebc12f413eba.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-aeebebc12f413eba: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-68fae9d6ce82a152.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-68fae9d6ce82a152: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tsmetrics-cf277c0375637d5b.d: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+/root/repo/target/release/deps/libtsmetrics-cf277c0375637d5b.rlib: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+/root/repo/target/release/deps/libtsmetrics-cf277c0375637d5b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/classify.rs crates/metrics/src/decomp.rs crates/metrics/src/kdd.rs crates/metrics/src/rank.rs crates/metrics/src/tsf.rs crates/metrics/src/vus.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/classify.rs:
+crates/metrics/src/decomp.rs:
+crates/metrics/src/kdd.rs:
+crates/metrics/src/rank.rs:
+crates/metrics/src/tsf.rs:
+crates/metrics/src/vus.rs:

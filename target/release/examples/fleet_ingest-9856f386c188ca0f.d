@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_ingest-9856f386c188ca0f.d: examples/fleet_ingest.rs
+
+/root/repo/target/release/examples/fleet_ingest-9856f386c188ca0f: examples/fleet_ingest.rs
+
+examples/fleet_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_probe-289e6c4b89755e30.d: examples/tmp_probe.rs
+
+/root/repo/target/release/examples/tmp_probe-289e6c4b89755e30: examples/tmp_probe.rs
+
+examples/tmp_probe.rs:
