@@ -7,6 +7,7 @@
 //! per-series detector configs are encoded with each series, so a snapshot
 //! survives engine-level config changes between writer and reader.
 
+use crate::config::QueuePolicy;
 use crate::engine::{CarriedTotals, FleetSnapshot};
 use crate::error::CodecError;
 use crate::series::PhaseSnapshot;
@@ -20,7 +21,8 @@ use oneshotstl::{
 };
 
 const MAGIC: &[u8; 8] = b"OSSTLFLT";
-const VERSION: u16 = 1;
+// v2: FleetConfig gained queue_capacity + queue_policy (backpressure)
+const VERSION: u16 = 2;
 
 /// Serializes a snapshot to the versioned binary format.
 pub fn encode(snapshot: &FleetSnapshot) -> Vec<u8> {
@@ -91,6 +93,11 @@ fn encode_config(w: &mut Writer, c: &FleetConfig) {
     w.f64(c.nsigma);
     w.opt_u64(c.ttl);
     w.opt_u64(c.max_clock_step);
+    w.opt_u64(c.queue_capacity.map(|v| v as u64));
+    w.u8(match c.queue_policy {
+        QueuePolicy::Block => 0,
+        QueuePolicy::Reject => 1,
+    });
     encode_detector_config(w, &c.detector);
 }
 
@@ -111,6 +118,12 @@ fn decode_config(r: &mut Reader<'_>) -> Result<FleetConfig, CodecError> {
     let nsigma = r.f64()?;
     let ttl = r.opt_u64()?;
     let max_clock_step = r.opt_u64()?;
+    let queue_capacity = r.opt_u64()?.map(|v| v as usize);
+    let queue_policy = match r.u8()? {
+        0 => QueuePolicy::Block,
+        1 => QueuePolicy::Reject,
+        _ => return Err(CodecError::Invalid("queue policy tag")),
+    };
     let detector = decode_detector_config(r)?;
     Ok(FleetConfig {
         shards,
@@ -120,6 +133,8 @@ fn decode_config(r: &mut Reader<'_>) -> Result<FleetConfig, CodecError> {
         nsigma,
         ttl,
         max_clock_step,
+        queue_capacity,
+        queue_policy,
         detector,
     })
 }
@@ -318,37 +333,43 @@ fn decode_nsigma(r: &mut Reader<'_>) -> Result<NSigmaState, CodecError> {
     Ok(NSigmaState { n: r.f64()?, count: r.u64()?, sum: r.f64()?, sum_sq: r.f64()? })
 }
 
-/// Little-endian byte sink.
+/// Little-endian byte sink. Shared with the WAL record format
+/// ([`crate::wal`]), so both on-disk layouts follow one set of
+/// conventions: LE integers, bit-pattern `f64`s, `u32`-length strings.
 #[derive(Default)]
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
     fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
     fn u16(&mut self, v: u16) {
         self.bytes(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.bytes(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.bytes(&v.to_le_bytes());
     }
     fn i64(&mut self, v: i64) {
         self.bytes(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
     fn f64_pair(&mut self, v: [f64; 2]) {
         self.f64(v[0]);
         self.f64(v[1]);
+    }
+    pub(crate) fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
     }
     fn opt_u32(&mut self, v: Option<u32>) {
         match v {
@@ -368,10 +389,6 @@ impl Writer {
             }
         }
     }
-    fn string(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.bytes(s.as_bytes());
-    }
     fn vec_f64(&mut self, v: &[f64]) {
         self.u64(v.len() as u64);
         for &x in v {
@@ -380,10 +397,11 @@ impl Writer {
     }
 }
 
-/// Little-endian byte source with bounds checking.
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
+/// Little-endian byte source with bounds checking (the [`Writer`]'s dual;
+/// also shared with [`crate::wal`]).
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -395,22 +413,22 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, CodecError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
     fn i64(&mut self) -> Result<i64, CodecError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn f64(&mut self) -> Result<f64, CodecError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.u64()?))
     }
     fn f64_pair(&mut self) -> Result<[f64; 2], CodecError> {
@@ -430,7 +448,7 @@ impl<'a> Reader<'a> {
             _ => Err(CodecError::Invalid("option tag")),
         }
     }
-    fn string(&mut self) -> Result<&'a str, CodecError> {
+    pub(crate) fn string(&mut self) -> Result<&'a str, CodecError> {
         let n = self.u32()? as usize;
         std::str::from_utf8(self.take(n)?).map_err(|_| CodecError::Invalid("utf-8 string"))
     }
@@ -452,7 +470,11 @@ mod tests {
         // a value with a messy bit pattern to catch any lossy encode
         let messy = std::f64::consts::PI * 1e-17;
         FleetSnapshot {
-            config: FleetConfig::fixed_period(24),
+            config: FleetConfig {
+                queue_capacity: Some(16),
+                queue_policy: QueuePolicy::Reject,
+                ..FleetConfig::fixed_period(24)
+            },
             clock: 99,
             batches: 7,
             totals: CarriedTotals { evicted: 1, admitted: 2, points: 300, anomalies: 4 },

@@ -35,6 +35,26 @@ impl PeriodPolicy {
     }
 }
 
+/// What a full bounded shard queue does to a new batch submission.
+///
+/// Only meaningful with [`FleetConfig::queue_capacity`] set; with
+/// unbounded queues the policy is never consulted. See the crate docs'
+/// backpressure section for how capacity is accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// The submitting thread blocks until the shard drains a slot. Ingest
+    /// never fails from load, but a slow shard stalls the caller — the
+    /// natural choice when the caller *is* the load source and slowing it
+    /// down is the point of backpressure.
+    #[default]
+    Block,
+    /// Submission fails fast with [`crate::FleetError::Backpressure`] and
+    /// the batch is not applied (not even partially) — the choice when the
+    /// caller would rather shed load (drop, spill, or retry elsewhere)
+    /// than stall.
+    Reject,
+}
+
 /// Configuration of a [`crate::FleetEngine`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -61,6 +81,17 @@ pub struct FleetConfig {
     /// would evict the entire fleet; a bound keeps the clock moving at
     /// most `max_clock_step` per record. `None` trusts timestamps fully.
     pub max_clock_step: Option<u64>,
+    /// Bound on each shard's request queue, in messages (one ingested
+    /// batch, stats poll, or eviction sweep = one message). `None` leaves
+    /// the queues unbounded — fine for the synchronous [`ingest`] loop,
+    /// which never keeps more than one batch in flight, but the pipelined
+    /// [`submit`] path can outrun a slow shard without a bound.
+    ///
+    /// [`ingest`]: crate::FleetEngine::ingest
+    /// [`submit`]: crate::FleetEngine::submit
+    pub queue_capacity: Option<usize>,
+    /// What happens when a bounded queue is full (see [`QueuePolicy`]).
+    pub queue_policy: QueuePolicy,
     /// Decomposer configuration for admitted series.
     pub detector: OneShotStlConfig,
 }
@@ -75,6 +106,8 @@ impl Default for FleetConfig {
             nsigma: 5.0,
             ttl: None,
             max_clock_step: None,
+            queue_capacity: None,
+            queue_policy: QueuePolicy::default(),
             detector: OneShotStlConfig::default(),
         }
     }
@@ -138,6 +171,9 @@ impl FleetConfig {
         if self.max_clock_step == Some(0) {
             return Err("max_clock_step must be >= 1 (or None)".into());
         }
+        if self.queue_capacity == Some(0) {
+            return Err("queue_capacity must be >= 1 (or None for unbounded)".into());
+        }
         Ok(())
     }
 }
@@ -177,5 +213,13 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_detect.validate().is_err());
+        let zero_queue = FleetConfig { queue_capacity: Some(0), ..Default::default() };
+        assert!(zero_queue.validate().is_err());
+        let bounded = FleetConfig {
+            queue_capacity: Some(8),
+            queue_policy: QueuePolicy::Reject,
+            ..Default::default()
+        };
+        assert_eq!(bounded.validate(), Ok(()));
     }
 }

@@ -1,13 +1,27 @@
 //! The multi-tenant engine: routes batches to shard workers, admits new
-//! series, snapshots and restores the whole fleet.
+//! series, applies backpressure, snapshots and restores the whole fleet.
+//!
+//! Two ingest styles share one submission path:
+//!
+//! - [`FleetEngine::ingest`] — synchronous: submit one batch, wait for its
+//!   outputs. At most one batch is ever in flight.
+//! - [`FleetEngine::submit`] + [`FleetEngine::next_batch`] — pipelined:
+//!   keep several batches in flight so shard workers never idle between
+//!   batches. This is where bounded queues matter: with
+//!   [`FleetConfig::queue_capacity`] set, a full shard either blocks the
+//!   submitter or rejects the batch ([`crate::QueuePolicy`]).
 
-use crate::config::FleetConfig;
+use crate::config::{FleetConfig, QueuePolicy};
 use crate::error::FleetError;
 use crate::series::SeriesState;
-use crate::shard::{run_worker, SeriesEntry, SeriesSnapshot, ShardMsg, ShardState};
+use crate::shard::{
+    run_worker, SeriesEntry, SeriesSnapshot, ShardMsg, ShardState, WalMeta, WalOp,
+};
 use crate::types::{FleetStats, Record, ScoredPoint, SeriesKey, ShardStats};
+use crate::wal::Wal;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -46,15 +60,61 @@ pub struct FleetSnapshot {
     pub series: Vec<SeriesSnapshot>,
 }
 
+/// A shard request channel: unbounded, or bounded when
+/// [`FleetConfig::queue_capacity`] is set (the blocking half of the
+/// backpressure story — the rejecting half is the engine-side depth check
+/// in [`FleetEngine::submit`]).
+enum ShardSender {
+    Unbounded(Sender<ShardMsg>),
+    Bounded(SyncSender<ShardMsg>),
+}
+
+impl ShardSender {
+    /// Sends, blocking on a full bounded queue. Errors only when the
+    /// worker is gone.
+    fn send(&self, msg: ShardMsg) -> Result<(), ()> {
+        match self {
+            ShardSender::Unbounded(tx) => tx.send(msg).map_err(|_| ()),
+            ShardSender::Bounded(tx) => tx.send(msg).map_err(|_| ()),
+        }
+    }
+}
+
+/// One submitted batch whose outputs have not been collected yet.
+struct PendingBatch {
+    /// Records in the batch (output slots to fill).
+    n: usize,
+    /// Shard replies outstanding.
+    in_flight: usize,
+    /// Where those replies arrive.
+    reply_rx: Receiver<Result<Vec<(usize, ScoredPoint)>, String>>,
+}
+
+/// Keeps a stalled shard worker parked until dropped. Test support — see
+/// [`FleetEngine::stall_shard`].
+#[doc(hidden)]
+pub struct StallGuard {
+    _release: Sender<()>,
+}
+
 /// Sharded multi-series streaming engine. See the crate docs for a tour.
 pub struct FleetEngine {
     config: Arc<FleetConfig>,
-    senders: Vec<Sender<ShardMsg>>,
+    senders: Vec<ShardSender>,
     depths: Vec<Arc<AtomicUsize>>,
     handles: Vec<JoinHandle<()>>,
     clock: u64,
     batches: u64,
     carried: CarriedTotals,
+    pending: VecDeque<PendingBatch>,
+    /// `Some(fsync interval)` once a WAL is attached; also the flag that
+    /// turns on frame emission in [`FleetEngine::submit`].
+    wal_fsync: Option<u64>,
+    /// Per-shard appends since that shard's last fsync. The interval is
+    /// counted per shard, not per engine-wide batch seq: a shard that only
+    /// sees every k-th batch must still fsync every `fsync_every` of *its*
+    /// appends, or its loss window would silently grow k-fold.
+    wal_unsynced: Vec<u64>,
 }
 
 impl FleetEngine {
@@ -107,7 +167,16 @@ impl FleetEngine {
         let mut depths = Vec::with_capacity(states.len());
         let mut handles = Vec::with_capacity(states.len());
         for state in states {
-            let (tx, rx) = channel::<ShardMsg>();
+            let (sender, rx) = match config.queue_capacity {
+                None => {
+                    let (tx, rx) = channel::<ShardMsg>();
+                    (ShardSender::Unbounded(tx), rx)
+                }
+                Some(cap) => {
+                    let (tx, rx) = sync_channel::<ShardMsg>(cap);
+                    (ShardSender::Bounded(tx), rx)
+                }
+            };
             let depth = Arc::new(AtomicUsize::new(0));
             let worker_depth = Arc::clone(&depth);
             handles.push(
@@ -116,10 +185,22 @@ impl FleetEngine {
                     .spawn(move || run_worker(state, rx, worker_depth))
                     .expect("spawning a shard worker thread"),
             );
-            senders.push(tx);
+            senders.push(sender);
             depths.push(depth);
         }
-        FleetEngine { config, senders, depths, handles, clock, batches, carried }
+        let shards = senders.len();
+        FleetEngine {
+            config,
+            senders,
+            depths,
+            handles,
+            clock,
+            batches,
+            carried,
+            pending: VecDeque::new(),
+            wal_fsync: None,
+            wal_unsynced: vec![0; shards],
+        }
     }
 
     /// The engine configuration.
@@ -137,18 +218,48 @@ impl FleetEngine {
         self.clock
     }
 
+    /// Ingest batches processed so far. This is the sequence number WAL
+    /// frames and snapshots are stamped with, so it is also the durable
+    /// recovery point ([`crate::DurableFleet`]).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Batches submitted via [`FleetEngine::submit`] whose outputs have
+    /// not been collected yet.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
     fn send(&self, shard: usize, msg: ShardMsg) -> Result<(), FleetError> {
         self.depths[shard].fetch_add(1, Ordering::Relaxed);
         self.senders[shard].send(msg).map_err(|_| FleetError::ShardDown)
     }
 
-    /// Ingests a batch of records and returns one [`ScoredPoint`] per
-    /// record, in batch order. Records are routed to shards by stable key
-    /// hash and processed in parallel across shards; per-series order
-    /// within the batch is preserved.
-    pub fn ingest(&mut self, batch: Vec<Record>) -> Result<Vec<ScoredPoint>, FleetError> {
+    /// Submits a batch without waiting for its outputs (pipelined ingest):
+    /// shard workers start on this batch while the caller prepares the
+    /// next one. Collect outputs in submission order with
+    /// [`FleetEngine::next_batch`].
+    ///
+    /// With a bounded queue ([`FleetConfig::queue_capacity`]) and
+    /// [`QueuePolicy::Reject`], a full target shard fails the whole
+    /// submission with [`FleetError::Backpressure`] *before* anything is
+    /// sent, logged, or clocked — the batch can be retried verbatim. With
+    /// [`QueuePolicy::Block`] the call blocks until every target shard has
+    /// queue room. One caveat under either policy: when a TTL is
+    /// configured, every 64th submission runs the eviction sweep
+    /// synchronously (its control messages use blocking sends and the
+    /// call waits for every shard's reply), so that submission can stall
+    /// briefly even under `Reject` — the sweep must stay at a
+    /// deterministic batch boundary for WAL replay to reproduce it.
+    ///
+    /// When a WAL is attached (see [`crate::DurableFleet`]), each shard
+    /// appends its slice of the batch to its log before applying it.
+    pub fn submit(&mut self, batch: Vec<Record>) -> Result<(), FleetError> {
         let n = batch.len();
         let shards = self.shard_count();
+        // route on a scratch clock: a rejected batch must leave no trace
+        let mut clock = self.clock;
         let mut routed: Vec<Vec<(usize, Record, u64)>> = vec![Vec::new(); shards];
         for (idx, rec) in batch.into_iter().enumerate() {
             // a bounded clock step contains timestamp poisoning (see
@@ -157,37 +268,103 @@ impl FleetEngine {
             // so a future-dated record is neither eviction-immune nor able
             // to age out the rest of the fleet
             let t = match self.config.max_clock_step {
-                Some(step) => rec.t.min(self.clock.saturating_add(step)),
+                Some(step) => rec.t.min(clock.saturating_add(step)),
                 None => rec.t,
             };
-            self.clock = self.clock.max(t);
+            clock = clock.max(t);
             routed[rec.key.shard_of(shards)].push((idx, rec, t));
         }
+        let wal_on = self.wal_fsync.is_some();
+        // shards that receive a message: those with items — plus shard 0
+        // for an empty batch under WAL, because even an empty batch
+        // advances the sweep cadence and replay must reproduce it
+        let is_target = |shard: usize, items: &Vec<(usize, Record, u64)>| {
+            !items.is_empty() || (wal_on && n == 0 && shard == 0)
+        };
+        if let (Some(cap), QueuePolicy::Reject) =
+            (self.config.queue_capacity, self.config.queue_policy)
+        {
+            // depth can only shrink concurrently (workers drain, and this
+            // `&mut self` method is the sole submitter), so a passing
+            // check here guarantees the sends below never overflow
+            for (shard, items) in routed.iter().enumerate() {
+                if is_target(shard, items) && self.depths[shard].load(Ordering::Relaxed) >= cap
+                {
+                    return Err(FleetError::Backpressure { shard });
+                }
+            }
+        }
+        let seq = self.batches + 1;
         let (reply_tx, reply_rx) = channel();
         let mut in_flight = 0usize;
         for (shard, items) in routed.into_iter().enumerate() {
-            if items.is_empty() {
+            if !is_target(shard, &items) {
                 continue;
             }
-            self.send(shard, ShardMsg::Ingest { items, reply: reply_tx.clone() })?;
+            // the fsync interval is per shard's own appends, so every
+            // shard honours the configured loss window no matter how the
+            // router distributes batches across shards
+            let wal = self.wal_fsync.map(|every| {
+                let sync = self.wal_unsynced[shard] + 1 >= every;
+                self.wal_unsynced[shard] = if sync { 0 } else { self.wal_unsynced[shard] + 1 };
+                WalMeta { seq, batch_n: n as u32, sync }
+            });
+            self.send(shard, ShardMsg::Ingest { items, wal, reply: reply_tx.clone() })?;
             in_flight += 1;
         }
-        drop(reply_tx);
-        let mut out: Vec<Option<ScoredPoint>> = (0..n).map(|_| None).collect();
-        for _ in 0..in_flight {
-            let part = reply_rx.recv().map_err(|_| FleetError::ShardDown)?;
-            for (idx, sp) in part {
-                out[idx] = Some(sp);
-            }
-        }
-        self.batches += 1;
+        self.clock = clock;
+        self.batches = seq;
+        self.pending.push_back(PendingBatch { n, in_flight, reply_rx });
         if self.config.ttl.is_some() && self.batches.is_multiple_of(TTL_SWEEP_EVERY) {
             self.evict_idle(self.clock)?;
         }
-        Ok(out
-            .into_iter()
-            .map(|o| o.expect("every batch index answered by exactly one shard"))
-            .collect())
+        Ok(())
+    }
+
+    /// Collects the outputs of the oldest in-flight batch (submission
+    /// order), blocking until its shards reply; `Ok(None)` when nothing is
+    /// in flight. Returns one [`ScoredPoint`] per record, in batch order.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<ScoredPoint>>, FleetError> {
+        let Some(p) = self.pending.pop_front() else {
+            return Ok(None);
+        };
+        let mut out: Vec<Option<ScoredPoint>> = (0..p.n).map(|_| None).collect();
+        let mut failed = None;
+        for _ in 0..p.in_flight {
+            match p.reply_rx.recv() {
+                Err(_) => return Err(FleetError::ShardDown),
+                // a WAL failure on one shard: drain the rest, then report
+                Ok(Err(msg)) => failed = Some(FleetError::Io(msg)),
+                Ok(Ok(part)) => {
+                    for (idx, sp) in part {
+                        out[idx] = Some(sp);
+                    }
+                }
+            }
+        }
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        Ok(Some(
+            out.into_iter()
+                .map(|o| o.expect("every batch index answered by exactly one shard"))
+                .collect(),
+        ))
+    }
+
+    /// Ingests a batch of records and returns one [`ScoredPoint`] per
+    /// record, in batch order. Records are routed to shards by stable key
+    /// hash and processed in parallel across shards; per-series order
+    /// within the batch is preserved.
+    ///
+    /// Synchronous: fails with [`FleetError::InFlight`] if pipelined
+    /// batches from [`FleetEngine::submit`] are still uncollected.
+    pub fn ingest(&mut self, batch: Vec<Record>) -> Result<Vec<ScoredPoint>, FleetError> {
+        if !self.pending.is_empty() {
+            return Err(FleetError::InFlight);
+        }
+        self.submit(batch)?;
+        Ok(self.next_batch()?.expect("the batch just submitted is in flight"))
     }
 
     /// Convenience single-record ingest.
@@ -309,6 +486,72 @@ impl FleetEngine {
     /// Restores an engine from [`FleetEngine::snapshot_bytes`] output.
     pub fn restore_bytes(bytes: &[u8]) -> Result<Self, FleetError> {
         Self::restore(crate::codec::decode(bytes)?)
+    }
+
+    /// Broadcasts one WAL control op per shard and waits for every ack.
+    fn wal_ctl(&self, ops: Vec<WalOp>) -> Result<(), FleetError> {
+        debug_assert_eq!(ops.len(), self.shard_count());
+        let (tx, rx) = channel();
+        for (shard, op) in ops.into_iter().enumerate() {
+            self.send(shard, ShardMsg::WalCtl { op, reply: tx.clone() })?;
+        }
+        drop(tx);
+        for _ in 0..self.shard_count() {
+            rx.recv().map_err(|_| FleetError::ShardDown)?.map_err(FleetError::Io)?;
+        }
+        Ok(())
+    }
+
+    /// Hands each shard worker its WAL segment and turns on write-ahead
+    /// logging for subsequent submissions, fsyncing every `fsync_every`
+    /// batches. Used by [`crate::DurableFleet`]; attach *after* any
+    /// recovery replay so replayed batches are not re-logged.
+    pub(crate) fn attach_wal(
+        &mut self,
+        wals: Vec<Wal>,
+        fsync_every: u64,
+    ) -> Result<(), FleetError> {
+        assert_eq!(wals.len(), self.shard_count(), "one WAL segment per shard");
+        self.wal_ctl(wals.into_iter().map(|w| WalOp::Attach(Box::new(w))).collect())?;
+        self.wal_fsync = Some(fsync_every.max(1));
+        self.wal_unsynced = vec![0; self.shard_count()];
+        Ok(())
+    }
+
+    /// Rotates every shard's WAL to a fresh segment starting after batch
+    /// `start_seq` (called at snapshot time, so the old segments become
+    /// garbage once the snapshot is durable).
+    pub(crate) fn rotate_wal(&mut self, start_seq: u64) -> Result<(), FleetError> {
+        self.wal_ctl((0..self.shard_count()).map(|_| WalOp::Rotate { start_seq }).collect())?;
+        // rotation fsyncs the outgoing segment on every shard
+        self.wal_unsynced = vec![0; self.shard_count()];
+        Ok(())
+    }
+
+    /// Forces an fsync of every shard's WAL segment.
+    pub(crate) fn sync_wal(&mut self) -> Result<(), FleetError> {
+        self.wal_ctl((0..self.shard_count()).map(|_| WalOp::Sync).collect())
+    }
+
+    /// Test support: parks shard `shard`'s worker until the returned guard
+    /// drops, so tests can fill a bounded queue deterministically. The
+    /// worker dequeues the stall message *before* parking (freeing its
+    /// queue slot), so the full configured capacity remains fillable; spin
+    /// on [`FleetEngine::queue_depth`] reaching 0 to know the worker is
+    /// parked.
+    #[doc(hidden)]
+    pub fn stall_shard(&self, shard: usize) -> Result<StallGuard, FleetError> {
+        let (tx, rx) = channel();
+        self.send(shard, ShardMsg::Stall { release: rx })?;
+        Ok(StallGuard { _release: tx })
+    }
+
+    /// Test support: current sampled queue depth of one shard (the same
+    /// gauge [`ShardStats::queue_depth`] reports, without a stats
+    /// round-trip — usable while the worker is stalled).
+    #[doc(hidden)]
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.depths[shard].load(Ordering::Relaxed)
     }
 }
 

@@ -3,7 +3,8 @@
 use std::fmt;
 use tskit::error::TsError;
 
-/// Errors produced by the engine and the snapshot codec.
+/// Errors produced by the engine, the snapshot codec, and the durability
+/// layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetError {
     /// Invalid [`crate::FleetConfig`].
@@ -14,6 +15,28 @@ pub enum FleetError {
     State(TsError),
     /// A shard worker is gone (channel closed) — the engine is poisoned.
     ShardDown,
+    /// A bounded shard queue was full and the configured policy is
+    /// [`crate::QueuePolicy::Reject`]. The batch was **not** applied (not
+    /// even partially) and not logged; retry after draining in-flight
+    /// batches with [`crate::FleetEngine::next_batch`].
+    Backpressure {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+    /// [`crate::FleetEngine::ingest`] was called while pipelined batches
+    /// from [`crate::FleetEngine::submit`] are still in flight; collect
+    /// them with [`crate::FleetEngine::next_batch`] first.
+    InFlight,
+    /// A durability I/O operation (WAL append/fsync, snapshot write)
+    /// failed. Durable state on disk is still a consistent prefix. A
+    /// failed WAL append additionally crash-stops that shard's worker
+    /// (nothing past the failure is applied, and subsequent calls return
+    /// [`FleetError::ShardDown`]) — treat the engine as poisoned and
+    /// recover from disk.
+    Io(String),
+    /// Crash recovery could not produce an engine (no valid snapshot, or
+    /// an unreadable durability directory).
+    Recovery(String),
 }
 
 impl fmt::Display for FleetError {
@@ -23,6 +46,14 @@ impl fmt::Display for FleetError {
             FleetError::Codec(e) => write!(f, "snapshot codec: {e}"),
             FleetError::State(e) => write!(f, "series state: {e}"),
             FleetError::ShardDown => write!(f, "a shard worker terminated unexpectedly"),
+            FleetError::Backpressure { shard } => {
+                write!(f, "shard {shard} queue is full (policy: reject)")
+            }
+            FleetError::InFlight => {
+                write!(f, "pipelined batches in flight; collect them with next_batch first")
+            }
+            FleetError::Io(msg) => write!(f, "durability i/o: {msg}"),
+            FleetError::Recovery(msg) => write!(f, "crash recovery: {msg}"),
         }
     }
 }

@@ -38,6 +38,15 @@
 //!   [`FleetEngine::evict_idle`]). [`FleetEngine::stats`] reports
 //!   live/warming/rejected counts, lifetime counters, and per-shard queue
 //!   depth.
+//! - **Backpressure.** [`FleetEngine::submit`]/[`FleetEngine::next_batch`]
+//!   pipeline batches; with [`FleetConfig::queue_capacity`] set, shard
+//!   queues are bounded and a full shard either blocks the submitter or
+//!   rejects the batch with a typed error ([`QueuePolicy`]).
+//! - **Durability.** [`DurableFleet`] adds a per-shard write-ahead log of
+//!   raw points ([`wal`]) and periodic background snapshots to disk
+//!   ([`persist`]); after a crash, [`DurableFleet::open`] restores the
+//!   latest valid snapshot and replays the WAL tail — including torn-tail
+//!   truncation — back to a bit-identical engine.
 //!
 //! ## Quick start
 //!
@@ -57,17 +66,44 @@
 //! let restored = FleetEngine::restore_bytes(&snapshot).unwrap();
 //! assert_eq!(restored.stats().unwrap().live, 1);
 //! ```
+//!
+//! ## Durability
+//!
+//! Wrap the same configuration in a [`DurableFleet`] and the engine
+//! survives crashes:
+//!
+//! ```
+//! use fleet::{DurabilityConfig, DurableFleet, FleetConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("fleet-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut durable =
+//!     DurableFleet::create(FleetConfig::fixed_period(24), DurabilityConfig::new(&dir))
+//!         .unwrap();
+//! for t in 0..80 {
+//!     durable.ingest_one("host-1/cpu", t, (t as f64 / 3.8).sin()).unwrap();
+//! }
+//! drop(durable); // crash: no clean shutdown, no explicit snapshot
+//! let recovered = DurableFleet::open(DurabilityConfig::new(&dir)).unwrap();
+//! assert_eq!(recovered.engine().batches(), 80); // WAL replay caught up
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod persist;
 pub mod series;
 pub mod shard;
 pub mod types;
+pub mod wal;
 
-pub use config::{FleetConfig, PeriodPolicy};
+pub use config::{FleetConfig, PeriodPolicy, QueuePolicy};
 pub use engine::{CarriedTotals, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};
+pub use persist::{DurabilityConfig, DurableFleet};
 pub use shard::SeriesSnapshot;
 pub use types::{FleetStats, PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};

@@ -1,0 +1,627 @@
+//! Durable persistence: snapshot-to-disk, WAL lifecycle, crash recovery.
+//!
+//! [`DurableFleet`] wraps a [`FleetEngine`] and a directory:
+//!
+//! ```text
+//! dir/
+//!   snap-00000000000000000000.fsnap   full engine image at batch seq 0
+//!   snap-00000000000000004096.fsnap   … at batch seq 4096 (newest wins)
+//!   wal-00000000000000004096-0000.flog   shard 0's log of batches 4097…
+//!   wal-00000000000000004096-0001.flog   shard 1's log of the same range
+//! ```
+//!
+//! Every ingested batch is appended to the WAL segments of the shards it
+//! routes to *before* it is applied ([`crate::wal`]). Every
+//! [`DurabilityConfig::snapshot_every`] batches the engine state is
+//! collected (fast, in-memory) and handed to a background writer thread
+//! that encodes it, writes a temp file, fsyncs, and atomically renames it
+//! into place — ingest never waits on snapshot I/O. When a snapshot is
+//! confirmed durable, the WAL segments it covers and any snapshots beyond
+//! [`DurabilityConfig::keep_snapshots`] are deleted.
+//!
+//! ## Recovery
+//!
+//! [`DurableFleet::open`] walks the directory newest-snapshot-first,
+//! skipping snapshots that fail CRC/decode (torn writes, version
+//! mismatches), restores the first valid one, then reassembles the
+//! original ingest batches from the per-shard WAL segments and replays
+//! them through the normal ingest path. Replay stops at the first batch
+//! that is incomplete on disk (a torn tail or a frame lost to a crash
+//! between per-shard appends); the on-disk logs are truncated to that
+//! point so the durable state is always a *prefix* of the ingest history.
+//! Because replay reuses the ingest path byte-for-byte, the recovered
+//! engine is **bit-identical** to an uninterrupted engine fed the same
+//! prefix — the disk-level extension of the in-memory guarantee pinned by
+//! `tests/fleet_snapshot.rs`.
+//!
+//! ## What survives a crash
+//!
+//! - Process crash (panic, `kill -9`): every batch whose `ingest`/
+//!   [`DurableFleet::next_batch`] call returned, minus nothing — appends
+//!   hit the file before the reply, and the page cache survives the
+//!   process.
+//! - OS/power crash: everything up to the last `fsync` boundary — at most
+//!   [`DurabilityConfig::fsync_every`] − 1 un-fsynced appends per shard
+//!   (plus a possibly torn final record), and from the first lost frame
+//!   onward the prefix rule discards the rest of the tail. The default
+//!   `fsync_every = 1` makes every acknowledged batch durable.
+//! - Explicit [`FleetEngine::evict_idle`] calls between snapshots are
+//!   *not* logged; use [`DurableFleet::evict_idle`], which checkpoints
+//!   after evicting, or rely on the TTL sweep, which replay reproduces
+//!   deterministically.
+//!
+//! ## One process at a time
+//!
+//! A durability directory must be owned by exactly one live
+//! [`DurableFleet`]: there is no lock file (a stale lock would block the
+//! crash recovery this module exists for), so a second concurrent
+//! `open`/`create` on the same directory would truncate the first one's
+//! live WAL segments. Orchestrate exclusivity externally.
+
+use crate::codec;
+use crate::config::FleetConfig;
+use crate::engine::{FleetEngine, FleetSnapshot};
+use crate::error::FleetError;
+use crate::types::{Record, ScoredPoint, SeriesKey};
+use crate::wal::{self, crc32, Wal, WalSegment};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Configuration of the durability layer (directory + cadences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory holding the snapshots and WAL segments of one fleet.
+    pub dir: PathBuf,
+    /// `fsync` each shard's WAL every this many of *that shard's* appends
+    /// (1 = every append, the safest and the default). Larger intervals
+    /// trade fewer disk flushes for an OS-crash window: up to
+    /// `fsync_every − 1` un-fsynced appends per shard, and — because
+    /// recovery keeps only the longest complete batch prefix — every
+    /// batch from the first lost frame onward.
+    pub fsync_every: u64,
+    /// Trigger a background snapshot every this many batches. Snapshots
+    /// bound WAL growth and recovery time; between them, recovery cost is
+    /// one WAL replay of at most this many batches.
+    pub snapshot_every: u64,
+    /// How many durable snapshots to retain (≥ 1). Older ones — and the
+    /// WAL segments only they need — are deleted once a newer snapshot is
+    /// confirmed on disk.
+    pub keep_snapshots: usize,
+}
+
+impl DurabilityConfig {
+    /// Defaults: fsync every batch, snapshot every 4096 batches, keep the
+    /// last 2 snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync_every: 1,
+            snapshot_every: 4096,
+            keep_snapshots: 2,
+        }
+    }
+
+    fn validate(&self) -> Result<(), FleetError> {
+        if self.fsync_every == 0 {
+            return Err(FleetError::Config("fsync_every must be >= 1".into()));
+        }
+        if self.snapshot_every == 0 {
+            return Err(FleetError::Config("snapshot_every must be >= 1".into()));
+        }
+        if self.keep_snapshots == 0 {
+            return Err(FleetError::Config("keep_snapshots must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot handed to the background writer thread. `id` is a
+/// monotonically increasing job counter — distinct from `seq`, because a
+/// forced checkpoint can legitimately re-write the snapshot of a seq that
+/// was already written (state mutated without a batch, e.g. an explicit
+/// eviction), and waiting on `seq` alone would not wait for the re-write.
+struct SnapshotJob {
+    id: u64,
+    seq: u64,
+    snapshot: FleetSnapshot,
+}
+
+/// A [`FleetEngine`] with durable persistence: WAL on ingest, periodic
+/// background snapshots, crash recovery via [`DurableFleet::open`]. See
+/// the module docs for the lifecycle.
+pub struct DurableFleet {
+    engine: FleetEngine,
+    dcfg: DurabilityConfig,
+    job_tx: Option<Sender<SnapshotJob>>,
+    done_rx: Receiver<(u64, u64, Result<(), String>)>,
+    writer: Option<JoinHandle<()>>,
+    /// Batch seq of the newest *triggered* snapshot (cadence anchor).
+    last_snapshot: u64,
+    /// Batch seq of the newest snapshot *confirmed* on disk.
+    durable_snapshot: u64,
+    /// Id handed to the next snapshot job.
+    next_job: u64,
+    /// Highest job id acknowledged by the writer.
+    acked_job: u64,
+}
+
+impl DurableFleet {
+    /// Starts a fresh durable fleet in `dcfg.dir` (created if missing,
+    /// must not already contain fleet files). Writes a base snapshot at
+    /// seq 0 synchronously, so the directory is recoverable from the very
+    /// first batch.
+    pub fn create(config: FleetConfig, dcfg: DurabilityConfig) -> Result<Self, FleetError> {
+        dcfg.validate()?;
+        fs::create_dir_all(&dcfg.dir).map_err(io_err)?;
+        remove_stale_tmp(&dcfg.dir)?;
+        let existing = scan_dir(&dcfg.dir)?;
+        if !existing.snapshots.is_empty() || !existing.segments.is_empty() {
+            return Err(FleetError::Recovery(format!(
+                "{} already contains fleet files; use DurableFleet::open",
+                dcfg.dir.display()
+            )));
+        }
+        let mut engine = FleetEngine::new(config)?;
+        let base = engine.snapshot()?;
+        write_snapshot_file(&dcfg.dir, 0, &base).map_err(io_err)?;
+        Self::attach(engine, dcfg, 0, 0)
+    }
+
+    /// Recovers a durable fleet from `dcfg.dir`: newest valid snapshot +
+    /// WAL tail replay + torn-tail truncation. The recovered engine's
+    /// [`FleetEngine::batches`] is the number of batches that survived.
+    pub fn open(dcfg: DurabilityConfig) -> Result<Self, FleetError> {
+        dcfg.validate()?;
+        // writes a previous life's crash interrupted before their rename
+        remove_stale_tmp(&dcfg.dir)?;
+        let listing = scan_dir(&dcfg.dir)?;
+        // newest snapshot that actually decodes wins; torn writes and
+        // version mismatches are skipped, falling back to an older image
+        let mut base: Option<FleetSnapshot> = None;
+        for (seq, path) in listing.snapshots.iter().rev() {
+            match load_snapshot_file(path) {
+                Ok(snap) if snap.batches == *seq => {
+                    base = Some(snap);
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        let Some(base) = base else {
+            return Err(FleetError::Recovery(format!(
+                "no valid snapshot in {}",
+                dcfg.dir.display()
+            )));
+        };
+        let base_seq = base.batches;
+        let mut engine = FleetEngine::restore(base)?;
+
+        // gather every frame from segments at or after the base snapshot;
+        // stale pre-snapshot segments are garbage a crash kept alive
+        let mut read_segments: Vec<(PathBuf, WalSegment)> = Vec::new();
+        for (start, files) in &listing.segments {
+            for (_, path) in files {
+                if *start < base_seq {
+                    let _ = fs::remove_file(path);
+                    continue;
+                }
+                // a segment with an unreadable header contributes nothing;
+                // completeness checks below stop replay at the first batch
+                // it should have covered
+                if let Ok(seg) = wal::read_segment(path) {
+                    read_segments.push((path.clone(), seg));
+                }
+            }
+        }
+        let mut batches: BTreeMap<u64, (u32, Vec<crate::wal::WalItem>)> = BTreeMap::new();
+        for (_, seg) in &mut read_segments {
+            for frame in &mut seg.frames {
+                if frame.seq <= base_seq {
+                    continue;
+                }
+                let entry = batches.entry(frame.seq).or_insert((frame.batch_n, Vec::new()));
+                if entry.0 != frame.batch_n {
+                    // conflicting sizes: treat the batch as incomplete by
+                    // poisoning the count so replay stops there
+                    entry.0 = u32::MAX;
+                    continue;
+                }
+                // move, don't clone: the truncation pass below only needs
+                // each frame's seq and end offset, and taking the items
+                // keeps recovery's peak memory at ~1x the WAL tail
+                entry.1.append(&mut frame.items);
+            }
+        }
+
+        // replay the longest complete prefix through the normal ingest
+        // path (WAL not attached yet, so nothing is re-logged)
+        let mut next = base_seq + 1;
+        while let Some((batch_n, items)) = batches.remove(&next) {
+            if items.len() as u32 != batch_n {
+                break; // a shard's frame is missing: torn tail
+            }
+            let mut items = items;
+            items.sort_by_key(|it| it.idx);
+            if items.iter().enumerate().any(|(i, it)| it.idx as usize != i) {
+                break; // duplicate or gapped indices: corrupt tail
+            }
+            let batch: Vec<Record> =
+                items.into_iter().map(|it| Record::new(it.key, it.t, it.value)).collect();
+            engine.ingest(batch)?;
+            next += 1;
+        }
+        let recovered = engine.batches();
+        debug_assert_eq!(recovered, next - 1);
+
+        // truncate every surviving segment to its last frame ≤ recovered
+        // and drop segments wholly beyond it, so a future recovery can
+        // never resurrect (or double-apply) the discarded tail
+        for (path, seg) in &read_segments {
+            if seg.start_seq > recovered {
+                let _ = fs::remove_file(path);
+                continue;
+            }
+            let keep = seg
+                .frames
+                .iter()
+                .zip(&seg.frame_ends)
+                .filter(|(f, _)| f.seq <= recovered)
+                .map(|(_, end)| *end)
+                .next_back()
+                .unwrap_or(wal::HEADER_LEN);
+            let file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+            let len = file.metadata().map_err(io_err)?.len();
+            if len > keep {
+                file.set_len(keep).map_err(io_err)?;
+                file.sync_data().map_err(io_err)?;
+            }
+        }
+
+        Self::attach(engine, dcfg, recovered, base_seq)
+    }
+
+    /// Shared tail of `create`/`open`: fresh WAL generation at `wal_start`,
+    /// background writer thread, bookkeeping.
+    fn attach(
+        mut engine: FleetEngine,
+        dcfg: DurabilityConfig,
+        wal_start: u64,
+        snapshot_seq: u64,
+    ) -> Result<Self, FleetError> {
+        let wals = (0..engine.shard_count())
+            .map(|shard| Wal::create(&dcfg.dir, shard, wal_start))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(io_err)?;
+        engine.attach_wal(wals, dcfg.fsync_every)?;
+        let (job_tx, job_rx) = channel::<SnapshotJob>();
+        let (done_tx, done_rx) = channel();
+        let dir = dcfg.dir.clone();
+        let writer = std::thread::Builder::new()
+            .name("fleet-snapshot-writer".into())
+            .spawn(move || run_writer(dir, job_rx, done_tx))
+            .expect("spawning the snapshot writer thread");
+        Ok(DurableFleet {
+            engine,
+            dcfg,
+            job_tx: Some(job_tx),
+            done_rx,
+            writer: Some(writer),
+            last_snapshot: snapshot_seq,
+            durable_snapshot: snapshot_seq,
+            next_job: 1,
+            acked_job: 0,
+        })
+    }
+
+    /// The wrapped engine, for reads: [`FleetEngine::stats`],
+    /// [`FleetEngine::forecast`], [`FleetEngine::clock`], …
+    pub fn engine(&self) -> &FleetEngine {
+        &self.engine
+    }
+
+    /// Synchronous durable ingest: the batch is WAL-appended on every
+    /// shard it touches before any output is produced. Also services the
+    /// snapshot cadence.
+    pub fn ingest(&mut self, batch: Vec<Record>) -> Result<Vec<ScoredPoint>, FleetError> {
+        self.poll_writer()?;
+        let out = self.engine.ingest(batch)?;
+        self.maybe_snapshot()?;
+        Ok(out)
+    }
+
+    /// Convenience single-record durable ingest.
+    pub fn ingest_one(
+        &mut self,
+        key: impl Into<SeriesKey>,
+        t: u64,
+        value: f64,
+    ) -> Result<ScoredPoint, FleetError> {
+        let mut out = self.ingest(vec![Record::new(key, t, value)])?;
+        Ok(out.pop().expect("one record in, one point out"))
+    }
+
+    /// Pipelined durable submission (see [`FleetEngine::submit`]).
+    pub fn submit(&mut self, batch: Vec<Record>) -> Result<(), FleetError> {
+        self.poll_writer()?;
+        self.engine.submit(batch)?;
+        self.maybe_snapshot()?;
+        Ok(())
+    }
+
+    /// Collects the oldest in-flight batch (see
+    /// [`FleetEngine::next_batch`]).
+    pub fn next_batch(&mut self) -> Result<Option<Vec<ScoredPoint>>, FleetError> {
+        self.engine.next_batch()
+    }
+
+    /// Evicts idle series like [`FleetEngine::evict_idle`], then
+    /// checkpoints: explicit evictions are not WAL-logged, so making them
+    /// durable immediately keeps recovery deterministic.
+    pub fn evict_idle(&mut self, now: u64) -> Result<usize, FleetError> {
+        let evicted = self.engine.evict_idle(now)?;
+        if evicted > 0 {
+            self.checkpoint()?;
+        }
+        Ok(evicted)
+    }
+
+    /// Takes a snapshot now and blocks until it is durable on disk, then
+    /// prunes superseded WAL segments and old snapshots. Forced: even a
+    /// state change without a new batch (an explicit eviction) is
+    /// re-snapshotted under the same seq.
+    pub fn checkpoint(&mut self) -> Result<(), FleetError> {
+        let job = self.trigger_snapshot(true)?;
+        while self.acked_job < job {
+            match self.done_rx.recv() {
+                Err(_) => {
+                    return Err(FleetError::Io("snapshot writer thread died".into()));
+                }
+                Ok(ack) => self.handle_ack(ack)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Clean shutdown: collect any in-flight batches (their outputs are
+    /// discarded — collect them with [`DurableFleet::next_batch`] first if
+    /// they matter), checkpoint, and stop the writer thread. After `close`
+    /// returns, recovery needs zero WAL replay.
+    pub fn close(mut self) -> Result<(), FleetError> {
+        while self.engine.next_batch()?.is_some() {}
+        self.checkpoint()?;
+        self.engine.sync_wal()?;
+        // dropping the job sender ends the writer loop
+        self.job_tx = None;
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Batch seq of the newest snapshot confirmed durable on disk.
+    pub fn durable_snapshot(&self) -> u64 {
+        self.durable_snapshot
+    }
+
+    fn maybe_snapshot(&mut self) -> Result<(), FleetError> {
+        if self.engine.batches() - self.last_snapshot >= self.dcfg.snapshot_every {
+            self.trigger_snapshot(false)?;
+        }
+        Ok(())
+    }
+
+    /// Collects the engine state (in-memory, fast), rotates the WAL, and
+    /// queues the disk write on the background thread. Returns the id of
+    /// the job that will write it (or of the last job, when not `force`
+    /// and no batch arrived since the previous trigger).
+    fn trigger_snapshot(&mut self, force: bool) -> Result<u64, FleetError> {
+        let snapshot = self.engine.snapshot()?;
+        let seq = snapshot.batches;
+        if seq == self.last_snapshot && !force {
+            return Ok(self.next_job - 1); // nothing new since the last trigger
+        }
+        // rotate first: batches ingested while the snapshot is being
+        // written land in segments the snapshot does not cover (a no-op
+        // re-rotation when forced at an unchanged seq)
+        self.engine.rotate_wal(seq)?;
+        self.last_snapshot = seq;
+        let id = self.next_job;
+        self.next_job += 1;
+        self.job_tx
+            .as_ref()
+            .expect("writer alive while the fleet is open")
+            .send(SnapshotJob { id, seq, snapshot })
+            .map_err(|_| FleetError::Io("snapshot writer thread died".into()))?;
+        Ok(id)
+    }
+
+    /// Drains writer acknowledgements without blocking.
+    fn poll_writer(&mut self) -> Result<(), FleetError> {
+        while let Ok(ack) = self.done_rx.try_recv() {
+            self.handle_ack(ack)?;
+        }
+        Ok(())
+    }
+
+    fn handle_ack(
+        &mut self,
+        (id, seq, result): (u64, u64, Result<(), String>),
+    ) -> Result<(), FleetError> {
+        self.acked_job = self.acked_job.max(id);
+        result.map_err(FleetError::Io)?;
+        self.durable_snapshot = self.durable_snapshot.max(seq);
+        self.prune()
+    }
+
+    /// Deletes snapshots beyond `keep_snapshots` and WAL segments older
+    /// than the oldest snapshot kept. Only runs after a durable ack, so
+    /// the newest snapshot always survives.
+    fn prune(&self) -> Result<(), FleetError> {
+        let listing = scan_dir(&self.dcfg.dir)?;
+        let keep_from = {
+            let seqs: Vec<u64> = listing.snapshots.iter().map(|(s, _)| *s).collect();
+            let kept = seqs.len().saturating_sub(self.dcfg.keep_snapshots);
+            seqs.get(kept).copied().unwrap_or(0)
+        };
+        for (seq, path) in &listing.snapshots {
+            if *seq < keep_from {
+                let _ = fs::remove_file(path);
+            }
+        }
+        for (start, files) in &listing.segments {
+            if *start < keep_from {
+                for (_, path) in files {
+                    let _ = fs::remove_file(path);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DurableFleet {
+    fn drop(&mut self) {
+        // no checkpoint and no fsync here on purpose: dropping without
+        // close() is the crash path (tests rely on it), and already-queued
+        // snapshot jobs still complete below
+        self.job_tx = None;
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The background writer loop: encode → temp file → fsync → rename →
+/// directory fsync → ack.
+fn run_writer(
+    dir: PathBuf,
+    jobs: Receiver<SnapshotJob>,
+    done: Sender<(u64, u64, Result<(), String>)>,
+) {
+    while let Ok(SnapshotJob { id, seq, snapshot }) = jobs.recv() {
+        let result = write_snapshot_file(&dir, seq, &snapshot).map_err(|e| e.to_string());
+        if done.send((id, seq, result)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Snapshot file name for batch seq — zero-padded so lexical order equals
+/// numeric order.
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("snap-{seq:020}.fsnap")
+}
+
+/// Parses a [`snapshot_file_name`] back into its seq; `None` for other
+/// files.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?.strip_suffix(".fsnap")?.parse().ok()
+}
+
+/// Writes `snapshot` durably: `[u64 len · u32 crc32 · codec bytes]` to a
+/// temp file, fsync, atomic rename, directory fsync.
+fn write_snapshot_file(dir: &Path, seq: u64, snapshot: &FleetSnapshot) -> std::io::Result<()> {
+    let bytes = codec::encode(snapshot);
+    let tmp = dir.join(format!(".snap-{seq:020}.tmp"));
+    let path = dir.join(snapshot_file_name(seq));
+    let mut f = File::create(&tmp)?;
+    f.write_all(&(bytes.len() as u64).to_le_bytes())?;
+    f.write_all(&crc32(&bytes).to_le_bytes())?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, &path)?;
+    // make the rename itself durable
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Reads and verifies a snapshot file written by [`write_snapshot_file`].
+fn load_snapshot_file(path: &Path) -> Result<FleetSnapshot, String> {
+    let mut raw = Vec::new();
+    File::open(path).and_then(|mut f| f.read_to_end(&mut raw)).map_err(|e| e.to_string())?;
+    if raw.len() < 12 {
+        return Err("snapshot file shorter than its header".into());
+    }
+    let len = u64::from_le_bytes(raw[..8].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(raw[8..12].try_into().unwrap());
+    let bytes = &raw[12..];
+    if bytes.len() != len {
+        return Err("snapshot file length mismatch (torn write)".into());
+    }
+    if crc32(bytes) != crc {
+        return Err("snapshot file CRC mismatch".into());
+    }
+    codec::decode(bytes).map_err(|e| e.to_string())
+}
+
+/// What a durability directory currently holds, numerically sorted.
+struct DirListing {
+    /// `(seq, path)` per snapshot file, ascending.
+    snapshots: Vec<(u64, PathBuf)>,
+    /// `start_seq → [(shard, path)]` per WAL segment, ascending.
+    segments: BTreeMap<u64, Vec<(usize, PathBuf)>>,
+}
+
+fn scan_dir(dir: &Path) -> Result<DirListing, FleetError> {
+    let mut snapshots = Vec::new();
+    let mut segments: BTreeMap<u64, Vec<(usize, PathBuf)>> = BTreeMap::new();
+    for entry in fs::read_dir(dir).map_err(io_err)? {
+        let entry = entry.map_err(io_err)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let path = entry.path();
+        if let Some(seq) = parse_snapshot_name(name) {
+            snapshots.push((seq, path));
+        } else if let Some((start, shard)) = wal::parse_segment_name(name) {
+            segments.entry(start).or_default().push((shard, path));
+        }
+    }
+    snapshots.sort();
+    Ok(DirListing { snapshots, segments })
+}
+
+/// Deletes snapshot temp files a crash left behind. Only safe while no
+/// writer thread is running — once one is, a `.tmp` may be mid-write, and
+/// unlinking it would fail the writer's rename (so [`scan_dir`], which
+/// also serves [`DurableFleet::prune`], must never do this).
+fn remove_stale_tmp(dir: &Path) -> Result<(), FleetError> {
+    for entry in fs::read_dir(dir).map_err(io_err)? {
+        let entry = entry.map_err(io_err)?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.starts_with(".snap-") && name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn io_err(e: std::io::Error) -> FleetError {
+    FleetError::Io(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_names_roundtrip_and_sort() {
+        assert_eq!(parse_snapshot_name(&snapshot_file_name(77)), Some(77));
+        assert_eq!(parse_snapshot_name("wal-00-0.flog"), None);
+        assert!(snapshot_file_name(9) < snapshot_file_name(10));
+    }
+
+    #[test]
+    fn durability_config_is_validated() {
+        let ok = DurabilityConfig::new("/tmp/x");
+        assert!(ok.validate().is_ok());
+        assert!(DurabilityConfig { fsync_every: 0, ..ok.clone() }.validate().is_err());
+        assert!(DurabilityConfig { snapshot_every: 0, ..ok.clone() }.validate().is_err());
+        assert!(DurabilityConfig { keep_snapshots: 0, ..ok }.validate().is_err());
+    }
+}

@@ -1,4 +1,12 @@
 //! Per-series state machine: warm-up buffering → admission → live scoring.
+//!
+//! Every transition here is a deterministic function of the value stream
+//! and the config — no clocks, no randomness. That property is what the
+//! durability layer leans on: [`crate::persist`] replays raw WAL points
+//! through this same state machine and reaches the identical phase
+//! (including detection back-off bookkeeping and admission points), and
+//! [`PhaseSnapshot`] captures any mid-phase state bit-exactly for the
+//! snapshot path.
 
 use crate::config::{FleetConfig, PeriodPolicy};
 use crate::types::PointOutput;

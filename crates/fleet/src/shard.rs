@@ -1,10 +1,14 @@
 //! Shard worker: owns a slice of the series registry and processes the
 //! messages the engine routes to it. One OS thread per shard, plain
-//! `std::sync::mpsc` channels — no external runtime.
+//! `std::sync::mpsc` channels — no external runtime. When durability is
+//! on, the worker also owns its shard's WAL segment and appends each
+//! sub-batch *before* applying it, so a reply implies the points are
+//! logged (write-ahead).
 
 use crate::config::FleetConfig;
 use crate::series::{PhaseSnapshot, SeriesState, StepOutcome};
 use crate::types::{PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};
+use crate::wal::{Wal, WalFrame, WalItem};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -30,9 +34,41 @@ pub struct SeriesSnapshot {
     pub phase: PhaseSnapshot,
 }
 
+/// WAL metadata for one ingest sub-batch; present only when durability is
+/// attached.
+#[derive(Debug, Clone, Copy)]
+pub struct WalMeta {
+    /// Engine-wide batch sequence number.
+    pub seq: u64,
+    /// Total records in the engine-level batch (across all shards).
+    pub batch_n: u32,
+    /// Force an `fsync` after this append (the engine raises this every
+    /// [`crate::DurabilityConfig::fsync_every`] appends, counted per
+    /// shard).
+    pub sync: bool,
+}
+
+/// WAL control operations carried by [`ShardMsg::WalCtl`].
+pub enum WalOp {
+    /// Adopt this WAL handle; subsequent ingests are logged to it.
+    Attach(Box<Wal>),
+    /// Rotate the current WAL to a fresh segment starting after
+    /// `start_seq` (a no-op error-free pass-through when no WAL is
+    /// attached).
+    Rotate {
+        /// Batch sequence the new segment starts after.
+        start_seq: u64,
+    },
+    /// Force an `fsync` of the current segment.
+    Sync,
+}
+
 /// Messages the engine sends to a shard worker.
 pub enum ShardMsg {
-    /// Process a sub-batch; reply with `(original_index, output)` pairs.
+    /// Process a sub-batch; reply with `(original_index, output)` pairs,
+    /// or an error if the WAL append failed — in which case the sub-batch
+    /// was **not** applied and the worker terminates (crash-stop), so no
+    /// later batch can be applied past the durability failure either.
     Ingest {
         /// `(position in the caller's batch, record, liveness clock)`
         /// triples, batch order. The liveness clock is the record's `t`
@@ -40,8 +76,25 @@ pub enum ShardMsg {
         /// `FleetConfig::max_clock_step`) — a future-dated record must not
         /// make its series immune to TTL eviction.
         items: Vec<(usize, Record, u64)>,
+        /// WAL frame metadata (`None` when durability is off).
+        wal: Option<WalMeta>,
         /// Reply channel.
-        reply: Sender<Vec<(usize, ScoredPoint)>>,
+        reply: Sender<Result<Vec<(usize, ScoredPoint)>, String>>,
+    },
+    /// Perform a WAL control operation; reply with the outcome.
+    WalCtl {
+        /// The operation.
+        op: WalOp,
+        /// Reply channel.
+        reply: Sender<Result<(), String>>,
+    },
+    /// Test support: hold the worker until the channel paired with
+    /// `release` is dropped or signalled. Used to fill bounded queues
+    /// deterministically in backpressure tests.
+    #[doc(hidden)]
+    Stall {
+        /// Blocks the worker until readable (or disconnected).
+        release: Receiver<()>,
     },
     /// Serialize every registry entry (sorted by key for stable output),
     /// together with the shard's counters — one round-trip serves both.
@@ -85,6 +138,8 @@ pub struct ShardState {
     pub registry: HashMap<SeriesKey, SeriesEntry>,
     /// Engine configuration (shared, immutable).
     pub config: Arc<FleetConfig>,
+    /// This shard's WAL segment (`None` when durability is off).
+    pub wal: Option<Wal>,
     /// Lifetime counters.
     pub evicted: u64,
     /// Series promoted to live.
@@ -102,6 +157,7 @@ impl ShardState {
             index,
             registry: HashMap::new(),
             config,
+            wal: None,
             evicted: 0,
             admitted: 0,
             points: 0,
@@ -179,31 +235,95 @@ impl ShardState {
 
 /// The worker loop: drains messages until `Shutdown` or channel close.
 ///
-/// `queue_depth` counts requests the engine has sent but the worker has not
-/// finished; the engine samples it for [`ShardStats::queue_depth`].
+/// `queue_depth` counts requests the engine has sent that this worker has
+/// not dequeued yet — i.e. channel occupancy, the same quantity a bounded
+/// queue caps. It is decremented on dequeue (not on completion) so that a
+/// synchronous caller who has already received a reply never observes a
+/// stale nonzero depth; the engine samples it for
+/// [`ShardStats::queue_depth`] and for the [`crate::QueuePolicy::Reject`]
+/// admission check.
 pub fn run_worker(
     mut state: ShardState,
     rx: Receiver<ShardMsg>,
     queue_depth: Arc<AtomicUsize>,
 ) {
     while let Ok(msg) = rx.recv() {
+        queue_depth.fetch_sub(1, Ordering::Relaxed);
         match msg {
-            ShardMsg::Ingest { items, reply } => {
+            ShardMsg::Ingest { items, wal, reply } => {
+                // write-ahead: the frame must be on the log before any
+                // series state changes, so a reply implies durability (up
+                // to the fsync interval) and recovery never replays a
+                // half-applied batch
+                let logged = match (&wal, state.wal.as_mut()) {
+                    (Some(meta), Some(w)) => {
+                        let frame = WalFrame {
+                            seq: meta.seq,
+                            batch_n: meta.batch_n,
+                            items: items
+                                .iter()
+                                .map(|(idx, rec, _)| WalItem {
+                                    idx: *idx as u32,
+                                    t: rec.t,
+                                    value: rec.value,
+                                    key: rec.key.clone(),
+                                })
+                                .collect(),
+                        };
+                        w.append(&frame, meta.sync)
+                            .map_err(|e| format!("wal append on shard {}: {e}", state.index))
+                    }
+                    _ => Ok(()),
+                };
+                if let Err(msg) = logged {
+                    // crash-stop: a shard that cannot log must not apply
+                    // this or any later batch — its state would diverge
+                    // from the durable prefix, and a background snapshot
+                    // could persist the divergence. Terminating makes
+                    // every subsequent engine call fail with ShardDown.
+                    let _ = reply.send(Err(msg));
+                    break;
+                }
                 let out: Vec<(usize, ScoredPoint)> = items
                     .into_iter()
                     .map(|(idx, rec, live_t)| (idx, state.ingest_one(rec, live_t)))
                     .collect();
                 // a dropped reply receiver is not an error: the engine may
                 // have abandoned the batch
-                let _ = reply.send(out);
+                let _ = reply.send(Ok(out));
+            }
+            ShardMsg::WalCtl { op, reply } => {
+                let res = match op {
+                    WalOp::Attach(w) => {
+                        state.wal = Some(*w);
+                        Ok(())
+                    }
+                    WalOp::Rotate { start_seq } => match state.wal.as_mut() {
+                        Some(w) => w
+                            .rotate(start_seq)
+                            .map_err(|e| format!("wal rotate on shard {}: {e}", state.index)),
+                        None => Ok(()),
+                    },
+                    WalOp::Sync => match state.wal.as_mut() {
+                        Some(w) => w
+                            .sync()
+                            .map_err(|e| format!("wal sync on shard {}: {e}", state.index)),
+                        None => Ok(()),
+                    },
+                };
+                let _ = reply.send(res);
+            }
+            ShardMsg::Stall { release } => {
+                let _ = release.recv();
             }
             ShardMsg::Snapshot { reply } => {
                 let _ = reply.send((state.snapshot(), state.stats()));
             }
             ShardMsg::Stats { reply } => {
                 let mut s = state.stats();
-                // depth including this request; report the backlog behind it
-                s.queue_depth = queue_depth.load(Ordering::Relaxed).saturating_sub(1);
+                // this request was dequeued already: the load is exactly
+                // the backlog queued behind it
+                s.queue_depth = queue_depth.load(Ordering::Relaxed);
                 let _ = reply.send(s);
             }
             ShardMsg::EvictIdle { now, ttl, reply } => {
@@ -224,6 +344,5 @@ pub fn run_worker(
             }
             ShardMsg::Shutdown => break,
         }
-        queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 }

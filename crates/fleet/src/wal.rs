@@ -1,0 +1,429 @@
+//! Per-shard append-only write-ahead log of raw ingested points.
+//!
+//! Durability in the fleet is two-tier: periodic snapshots capture the full
+//! engine state ([`crate::codec`]), and between snapshots every ingested
+//! batch is first appended to the WAL segment of each shard it routes to.
+//! Crash recovery ([`crate::persist`]) loads the newest valid snapshot and
+//! replays the WAL tail through the normal ingest path, which makes the
+//! recovered state **bit-identical** to an uninterrupted run over the same
+//! durable prefix.
+//!
+//! ## On-disk format
+//!
+//! One file per shard per generation, named `wal-<start_seq>-<shard>.flog`
+//! where `start_seq` is the engine batch sequence the segment starts
+//! *after* (segments rotate when a snapshot is triggered, so segment
+//! `start_seq = S` holds batches `S+1, S+2, …`). Layout follows the
+//! snapshot codec conventions — little-endian integers, bit-pattern
+//! `f64`s, `u32`-length-prefixed strings:
+//!
+//! ```text
+//! header   magic b"OSTLWLOG" · u16 version · u32 shard · u64 start_seq
+//! record*  u32 payload_len · u32 crc32(payload) · payload
+//! payload  u64 seq · u32 batch_n · u32 count ·
+//!          count × { u32 idx · u64 t · f64 value · string key }
+//! ```
+//!
+//! `seq` is the engine-wide batch sequence number, `batch_n` the total
+//! record count of that batch across *all* shards, and `idx` each record's
+//! position in the caller's batch — together they let recovery reassemble
+//! the exact original batches from the per-shard logs and detect batches
+//! that were only partially appended when the process died.
+//!
+//! ## Torn tails
+//!
+//! Appends are crash-atomic at record granularity: a record interrupted
+//! mid-write fails its length or CRC check, and [`read_segment`] stops at
+//! the first bad byte, reporting everything before it. `fsync` runs every
+//! [`crate::DurabilityConfig::fsync_every`] appends *per shard* (and on
+//! rotation), so an OS crash can leave at most that many un-fsynced
+//! recent appends on any shard — and since recovery keeps only the
+//! longest complete batch prefix, the batches from the first lost frame
+//! onward are discarded. A process crash loses nothing that `append`
+//! returned `Ok` for.
+
+use crate::codec::{Reader, Writer};
+use crate::types::SeriesKey;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+const WAL_MAGIC: &[u8; 8] = b"OSTLWLOG";
+const WAL_VERSION: u16 = 1;
+/// Header size in bytes: magic + version + shard + start_seq. Shared with
+/// [`crate::persist`]'s torn-tail truncation, which must never cut into a
+/// header.
+pub(crate) const HEADER_LEN: u64 = 8 + 2 + 4 + 8;
+/// Upper bound on a single record payload — anything larger is treated as
+/// corruption rather than an allocation request.
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// One raw ingested record inside a WAL frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalItem {
+    /// Position of the record in the caller's original batch.
+    pub idx: u32,
+    /// The record's raw event time (pre-clamping — replay re-derives the
+    /// engine clock exactly as the original run did).
+    pub t: u64,
+    /// The observed value.
+    pub value: f64,
+    /// The record's series.
+    pub key: SeriesKey,
+}
+
+/// One appended record: the slice of one engine batch that routed to this
+/// shard (possibly empty for the batch-marker frame on shard 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalFrame {
+    /// Engine-wide batch sequence number (1-based, monotonically
+    /// increasing across the engine's lifetime).
+    pub seq: u64,
+    /// Total records in the original batch across all shards — recovery
+    /// declares the batch complete when the frames it gathered sum to
+    /// this.
+    pub batch_n: u32,
+    /// The records of that batch routed to this shard, in batch order.
+    pub items: Vec<WalItem>,
+}
+
+impl WalFrame {
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.u64(self.seq);
+        w.u32(self.batch_n);
+        w.u32(self.items.len() as u32);
+        for it in &self.items {
+            w.u32(it.idx);
+            w.u64(it.t);
+            w.f64(it.value);
+            w.string(it.key.as_str());
+        }
+        w.buf
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Option<WalFrame> {
+        let mut r = Reader { data: bytes, pos: 0 };
+        let seq = r.u64().ok()?;
+        let batch_n = r.u32().ok()?;
+        let count = r.u32().ok()? as usize;
+        let mut items = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            items.push(WalItem {
+                idx: r.u32().ok()?,
+                t: r.u64().ok()?,
+                value: r.f64().ok()?,
+                key: SeriesKey::new(r.string().ok()?),
+            });
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        Some(WalFrame { seq, batch_n, items })
+    }
+}
+
+/// An open, append-only WAL segment owned by one shard worker.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    dir: PathBuf,
+    shard: usize,
+    start_seq: u64,
+}
+
+impl Wal {
+    /// Creates (or truncates) the segment file for `shard` starting after
+    /// batch `start_seq`, writing the header.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        shard: usize,
+        start_seq: u64,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        let path = dir.join(segment_file_name(start_seq, shard));
+        let mut file =
+            OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        let mut w = Writer::default();
+        w.buf.extend_from_slice(WAL_MAGIC);
+        w.buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        w.u32(shard as u32);
+        w.u64(start_seq);
+        file.write_all(&w.buf)?;
+        file.flush()?;
+        // make the new directory entry durable too: per-append fsyncs
+        // protect the file's *contents*, but an OS crash could still drop
+        // the whole segment if its name never reached the disk
+        File::open(&dir)?.sync_all()?;
+        Ok(Wal { file, dir, shard, start_seq })
+    }
+
+    /// Appends one frame; `sync` additionally forces the segment to stable
+    /// storage (`fsync`) after the write.
+    pub fn append(&mut self, frame: &WalFrame, sync: bool) -> std::io::Result<()> {
+        let payload = frame.encode_payload();
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.file.write_all(&rec)?;
+        if sync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Rotates to a fresh segment starting after batch `start_seq`. The
+    /// previous segment is synced and closed; deleting it once a covering
+    /// snapshot is durable is the caller's job ([`crate::persist`]).
+    pub fn rotate(&mut self, start_seq: u64) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        let next = Wal::create(self.dir.clone(), self.shard, start_seq)?;
+        *self = next;
+        Ok(())
+    }
+
+    /// The batch sequence this segment starts after.
+    pub fn start_seq(&self) -> u64 {
+        self.start_seq
+    }
+}
+
+/// Segment file name for (`start_seq`, `shard`) — zero-padded so lexical
+/// order equals numeric order.
+pub fn segment_file_name(start_seq: u64, shard: usize) -> String {
+    format!("wal-{start_seq:020}-{shard:04}.flog")
+}
+
+/// Parses a [`segment_file_name`] back into (`start_seq`, `shard`);
+/// `None` for non-WAL files.
+pub fn parse_segment_name(name: &str) -> Option<(u64, usize)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".flog")?;
+    let (seq, shard) = rest.split_once('-')?;
+    Some((seq.parse().ok()?, shard.parse().ok()?))
+}
+
+/// One shard's segment as read back from disk, torn-tail tolerant.
+#[derive(Debug)]
+pub struct WalSegment {
+    /// The shard the segment belongs to (from the header).
+    pub shard: usize,
+    /// The batch sequence the segment starts after (from the header).
+    pub start_seq: u64,
+    /// Every frame up to the first corruption, in append order.
+    pub frames: Vec<WalFrame>,
+    /// Byte offset just past each frame in `frames` — the truncation
+    /// points recovery uses to drop a torn or unreplayable tail.
+    pub frame_ends: Vec<u64>,
+    /// True when the file ends in a torn or corrupt record (which the
+    /// reader stopped at and excluded).
+    pub torn: bool,
+}
+
+/// Reads a segment file, stopping cleanly at the first torn or corrupt
+/// record. Errors only for I/O failures or an unreadable header — a valid
+/// header with garbage after it is a `torn` segment with zero frames.
+pub fn read_segment(path: &Path) -> std::io::Result<WalSegment> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let bad_header =
+        || std::io::Error::new(std::io::ErrorKind::InvalidData, "not a fleet WAL segment");
+    if bytes.len() < HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
+        return Err(bad_header());
+    }
+    if u16::from_le_bytes(bytes[8..10].try_into().unwrap()) != WAL_VERSION {
+        return Err(bad_header());
+    }
+    let shard = u32::from_le_bytes(bytes[10..14].try_into().unwrap()) as usize;
+    let start_seq = u64::from_le_bytes(bytes[14..22].try_into().unwrap());
+    let mut frames = Vec::new();
+    let mut frame_ends = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut torn = false;
+    while pos < bytes.len() {
+        if pos + 8 > bytes.len() {
+            torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let end = pos + 8 + len as usize;
+        if len > MAX_PAYLOAD || end > bytes.len() {
+            torn = true;
+            break;
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != crc {
+            torn = true;
+            break;
+        }
+        let Some(frame) = WalFrame::decode_payload(payload) else {
+            torn = true;
+            break;
+        };
+        frames.push(frame);
+        frame_ends.push(end as u64);
+        pos = end;
+    }
+    Ok(WalSegment { shard, start_seq, frames, frame_ends, torn })
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fleet-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn frame(seq: u64, n: u32) -> WalFrame {
+        WalFrame {
+            seq,
+            batch_n: n,
+            items: (0..n)
+                .map(|i| WalItem {
+                    idx: i,
+                    t: 100 + u64::from(i),
+                    value: std::f64::consts::PI * f64::from(i + 1) * 1e-9,
+                    key: SeriesKey::new(format!("host-{i}/cpu")),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard check value for "123456789" under CRC-32/IEEE
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn segment_names_roundtrip_and_sort() {
+        let name = segment_file_name(42, 3);
+        assert_eq!(parse_segment_name(&name), Some((42, 3)));
+        assert_eq!(parse_segment_name("snap-0000.fsnap"), None);
+        assert!(segment_file_name(9, 0) < segment_file_name(10, 0), "lexical == numeric");
+    }
+
+    #[test]
+    fn append_read_roundtrip_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let mut wal = Wal::create(&dir, 2, 7).unwrap();
+        let frames = vec![frame(8, 3), frame(9, 0), frame(10, 5)];
+        for (i, f) in frames.iter().enumerate() {
+            wal.append(f, i == 2).unwrap();
+        }
+        let seg = read_segment(&dir.join(segment_file_name(7, 2))).unwrap();
+        assert_eq!(seg.shard, 2);
+        assert_eq!(seg.start_seq, 7);
+        assert!(!seg.torn);
+        assert_eq!(seg.frames.len(), 3);
+        for (a, b) in seg.frames.iter().zip(&frames) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.batch_n, b.batch_n);
+            assert_eq!(a.items.len(), b.items.len());
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert_eq!(x.key, y.key);
+                assert_eq!((x.idx, x.t), (y.idx, y.t));
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "bit-identical floats");
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_at_every_cut() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(segment_file_name(0, 0));
+        let mut wal = Wal::create(&dir, 0, 0).unwrap();
+        wal.append(&frame(1, 2), false).unwrap();
+        wal.append(&frame(2, 2), true).unwrap();
+        drop(wal);
+        let full = fs::read(&path).unwrap();
+        let seg = read_segment(&path).unwrap();
+        assert_eq!((seg.frames.len(), seg.torn), (2, false));
+        let first_end = seg.frame_ends[0] as usize;
+        // cut anywhere inside the second record: exactly the first survives
+        for cut in (first_end + 1)..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let seg = read_segment(&path).unwrap();
+            assert!(seg.torn, "cut at {cut} must read as torn");
+            assert_eq!(seg.frames.len(), 1, "cut at {cut}");
+            assert_eq!(seg.frames[0].seq, 1);
+        }
+        // corrupt one payload byte of the final record: CRC catches it
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        let seg = read_segment(&path).unwrap();
+        assert!(seg.torn);
+        assert_eq!(seg.frames.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_and_invalid_segments() {
+        let dir = tmp_dir("empty");
+        let path = dir.join(segment_file_name(5, 1));
+        drop(Wal::create(&dir, 1, 5).unwrap());
+        let seg = read_segment(&path).unwrap();
+        assert!(seg.frames.is_empty() && !seg.torn, "header-only segment is valid and empty");
+        fs::write(&path, b"not a wal at all").unwrap();
+        assert!(read_segment(&path).is_err(), "bad magic is an error, not a torn tail");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_starts_a_fresh_segment() {
+        let dir = tmp_dir("rotate");
+        let mut wal = Wal::create(&dir, 0, 0).unwrap();
+        wal.append(&frame(1, 1), false).unwrap();
+        wal.rotate(1).unwrap();
+        assert_eq!(wal.start_seq(), 1);
+        wal.append(&frame(2, 1), true).unwrap();
+        let old = read_segment(&dir.join(segment_file_name(0, 0))).unwrap();
+        let new = read_segment(&dir.join(segment_file_name(1, 0))).unwrap();
+        assert_eq!(old.frames.len(), 1);
+        assert_eq!(old.frames[0].seq, 1);
+        assert_eq!(new.frames.len(), 1);
+        assert_eq!(new.frames[0].seq, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

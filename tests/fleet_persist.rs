@@ -1,0 +1,344 @@
+//! Durable fleet persistence: crash recovery from snapshot + WAL replay
+//! must reproduce an uninterrupted engine **bit-identically** — including
+//! a torn WAL tail, TTL evictions, corrupt snapshots, and version
+//! mismatches — and bounded shard queues must apply the configured
+//! backpressure policy.
+
+use oneshotstl_suite::fleet::{
+    DurabilityConfig, DurableFleet, FleetConfig, FleetEngine, FleetError, PeriodPolicy,
+    PointOutput, QueuePolicy, Record, ScoredPoint,
+};
+use oneshotstl_suite::tskit::synth::{gaussian_noise, SeasonTemplate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::PathBuf;
+
+const STREAM_LEN: usize = 420;
+
+/// Deterministic multi-series workload (same construction as
+/// `fleet_snapshot.rs`): seasonal template + noise per series.
+fn build_streams(n_series: usize) -> Vec<Vec<f64>> {
+    (0..n_series)
+        .map(|s| {
+            let mut rng = StdRng::seed_from_u64(2000 + s as u64);
+            let template = SeasonTemplate::random(24, 3, &mut rng);
+            let mut y = template.render(STREAM_LEN, 2.0 + (s % 3) as f64);
+            for (v, e) in y.iter_mut().zip(gaussian_noise(STREAM_LEN, 0.05, &mut rng)) {
+                *v += e;
+            }
+            y
+        })
+        .collect()
+}
+
+fn batch(streams: &[Vec<f64>], t: u64) -> Vec<Record> {
+    streams
+        .iter()
+        .enumerate()
+        .map(|(s, y)| Record::new(format!("series-{s}"), t, y[t as usize]))
+        .collect()
+}
+
+fn config() -> FleetConfig {
+    FleetConfig { shards: 3, period: PeriodPolicy::Fixed(24), ..Default::default() }
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fleet-persist-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_outputs_bit_identical(a: &[ScoredPoint], b: &[ScoredPoint], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: batch sizes");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.key, y.key, "{ctx}");
+        match (&x.output, &y.output) {
+            (
+                PointOutput::Scored { point: pa, score: sa, is_anomaly: fa },
+                PointOutput::Scored { point: pb, score: sb, is_anomaly: fb },
+            ) => {
+                assert_eq!(pa.trend.to_bits(), pb.trend.to_bits(), "{ctx}: {} trend", x.key);
+                assert_eq!(pa.seasonal.to_bits(), pb.seasonal.to_bits(), "{ctx}: seasonal");
+                assert_eq!(pa.residual.to_bits(), pb.residual.to_bits(), "{ctx}: residual");
+                assert_eq!(sa.to_bits(), sb.to_bits(), "{ctx}: score");
+                assert_eq!(fa, fb, "{ctx}: verdict");
+            }
+            (oa, ob) => assert_eq!(oa, ob, "{ctx}: {}", x.key),
+        }
+    }
+}
+
+/// The headline acceptance test: ingest N batches with durability on,
+/// "kill" the process (drop, no clean shutdown), tear the tail of one WAL
+/// segment, recover, and continue — outputs must be bit-identical to an
+/// uninterrupted engine fed the same stream.
+#[test]
+fn crash_recovery_with_torn_wal_tail_is_bit_identical() {
+    let n_series = 20;
+    let crash_at = 100u64; // batches ingested before the "crash"
+    let total = 220u64;
+    let streams = build_streams(n_series);
+    let dir = test_dir("torn-tail");
+
+    // reference: uninterrupted, no durability
+    let mut reference = FleetEngine::new(config()).unwrap();
+    let mut ref_outputs = Vec::new();
+    for t in 0..total {
+        ref_outputs.push(reference.ingest(batch(&streams, t)).unwrap());
+    }
+
+    // durable run: snapshots every 40 batches, WAL fsync every batch
+    let dcfg = DurabilityConfig { snapshot_every: 40, ..DurabilityConfig::new(&dir) };
+    let mut durable = DurableFleet::create(config(), dcfg.clone()).unwrap();
+    for t in 0..crash_at {
+        let out = durable.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "pre-crash");
+    }
+    drop(durable); // crash: no checkpoint, no clean shutdown
+
+    // tear the newest generation's largest WAL segment mid-record: its
+    // final frame belongs to the last batch, which recovery must discard
+    let torn = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "flog"))
+        // > 100 bytes: past the 22-byte header, i.e. the segment has
+        // frames — and since every batch carries the same key set, its
+        // final frame belongs to the final batch
+        .filter(|p| fs::metadata(p).unwrap().len() > 100)
+        .max()
+        .expect("a non-empty WAL segment exists");
+    let bytes = fs::read(&torn).unwrap();
+    assert!(bytes.len() > 30, "segment has frames to tear");
+    fs::write(&torn, &bytes[..bytes.len() - 3]).unwrap();
+
+    // recover: latest snapshot + WAL replay, minus the torn final batch
+    let mut recovered = DurableFleet::open(dcfg.clone()).unwrap();
+    let resume = recovered.engine().batches();
+    assert_eq!(resume, crash_at - 1, "exactly the torn final batch is lost");
+
+    // re-feed from the recovery point; every output matches the reference
+    for t in resume..total {
+        let out = recovered.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "post-recovery");
+    }
+    let stats = recovered.engine().stats().unwrap();
+    let ref_stats = reference.stats().unwrap();
+    assert_eq!(stats.live, n_series);
+    assert_eq!(stats.points, ref_stats.points);
+    assert_eq!(stats.anomalies, ref_stats.anomalies);
+
+    // clean shutdown → reopen needs zero WAL replay and keeps scoring
+    recovered.close().unwrap();
+    let mut reopened = DurableFleet::open(dcfg).unwrap();
+    assert_eq!(reopened.engine().batches(), total);
+    let out = reopened.ingest(batch(&streams, total)).unwrap();
+    let expected = reference.ingest(batch(&streams, total)).unwrap();
+    assert_outputs_bit_identical(&out, &expected, "after reopen");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// TTL evictions happen inside the deterministic per-batch sweep, so WAL
+/// replay must reproduce them: a recovered engine has the same evicted
+/// count and the same registry as the uninterrupted one.
+#[test]
+fn recovery_replays_ttl_evictions() {
+    let streams = build_streams(2);
+    let cfg = FleetConfig {
+        shards: 2,
+        period: PeriodPolicy::Fixed(8),
+        ttl: Some(50),
+        ..Default::default()
+    };
+    let dir = test_dir("ttl-replay");
+    // snapshot_every beyond the run: recovery is pure WAL replay
+    let dcfg = DurabilityConfig { snapshot_every: 10_000, ..DurabilityConfig::new(&dir) };
+
+    let mut reference = FleetEngine::new(cfg.clone()).unwrap();
+    let mut durable = DurableFleet::create(cfg, dcfg.clone()).unwrap();
+    // both series live, then series-1 goes silent long enough for the
+    // amortized sweep (every 64 batches) to evict it
+    for t in 0..40u64 {
+        let b = batch(&streams, t);
+        reference.ingest(b.clone()).unwrap();
+        durable.ingest(b).unwrap();
+    }
+    for t in 40..300u64 {
+        let b = vec![Record::new("series-0", t, streams[0][t as usize])];
+        reference.ingest(b.clone()).unwrap();
+        durable.ingest(b).unwrap();
+    }
+    assert_eq!(reference.stats().unwrap().evicted, 1, "sweep evicted the idle series");
+    drop(durable); // crash
+
+    let mut recovered = DurableFleet::open(dcfg).unwrap();
+    let stats = recovered.engine().stats().unwrap();
+    let ref_stats = reference.stats().unwrap();
+    assert_eq!(stats.evicted, ref_stats.evicted, "replay reproduces the eviction");
+    assert_eq!(stats.live, ref_stats.live);
+    assert_eq!(stats.warming, ref_stats.warming);
+    assert_eq!(stats.points, ref_stats.points);
+    // the evicted series re-enters through warm-up on both engines alike
+    for t in 300..310u64 {
+        let b = batch(&streams, t);
+        let a = reference.ingest(b.clone()).unwrap();
+        let r = recovered.ingest(b).unwrap();
+        assert_outputs_bit_identical(&r, &a, "post-eviction");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An empty WAL (create, crash before any ingest) recovers to the base
+/// snapshot and the engine works normally afterwards.
+#[test]
+fn empty_wal_recovers_to_base_snapshot() {
+    let dir = test_dir("empty-wal");
+    let dcfg = DurabilityConfig::new(&dir);
+    drop(DurableFleet::create(config(), dcfg.clone()).unwrap());
+    let mut recovered = DurableFleet::open(dcfg).unwrap();
+    assert_eq!(recovered.engine().batches(), 0);
+    assert_eq!(recovered.engine().stats().unwrap().live, 0);
+    let streams = build_streams(3);
+    for t in 0..80u64 {
+        recovered.ingest(batch(&streams, t)).unwrap();
+    }
+    assert_eq!(recovered.engine().stats().unwrap().live, 3);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A snapshot whose format version this build does not understand (or
+/// whose body is corrupt) is skipped: recovery falls back to the previous
+/// valid snapshot and replays the full WAL from there.
+#[test]
+fn snapshot_version_mismatch_falls_back_to_older_snapshot() {
+    let streams = build_streams(6);
+    let dir = test_dir("version-mismatch");
+    let dcfg = DurabilityConfig { snapshot_every: 10_000, ..DurabilityConfig::new(&dir) };
+    let mut durable = DurableFleet::create(config(), dcfg.clone()).unwrap();
+    for t in 0..90u64 {
+        durable.ingest(batch(&streams, t)).unwrap();
+    }
+    durable.checkpoint().unwrap(); // durable snapshot at seq 90
+    for t in 90..130u64 {
+        durable.ingest(batch(&streams, t)).unwrap();
+    }
+    drop(durable); // crash with WAL tail 91..130
+
+    // sabotage the newest snapshot: bump the codec version *and* fix up
+    // the file CRC, so the corruption is caught by the version check
+    let newest = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fsnap"))
+        .max()
+        .unwrap();
+    let mut bytes = fs::read(&newest).unwrap();
+    // layout: u64 len | u32 crc | codec bytes (magic[8] then u16 version)
+    bytes[12 + 8] = 0xEE;
+    let crc = oneshotstl_suite::fleet::wal::crc32(&bytes[12..]);
+    bytes[8..12].copy_from_slice(&crc.to_le_bytes());
+    fs::write(&newest, &bytes).unwrap();
+
+    let recovered = DurableFleet::open(dcfg).unwrap();
+    // fell back to the base snapshot (seq 0) and replayed the whole WAL
+    assert_eq!(recovered.engine().batches(), 130);
+    assert_eq!(recovered.engine().stats().unwrap().live, 6);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An explicit eviction right after the snapshot cadence fired mutates
+/// state without advancing the batch seq; the checkpoint inside
+/// `DurableFleet::evict_idle` must still force a re-snapshot, or the
+/// eviction would silently vanish on crash.
+#[test]
+fn explicit_eviction_at_snapshot_boundary_survives_crash() {
+    let streams = build_streams(2);
+    let cfg = FleetConfig {
+        shards: 2,
+        period: PeriodPolicy::Fixed(8),
+        ttl: Some(20),
+        ..Default::default()
+    };
+    let dir = test_dir("evict-boundary");
+    // snapshot_every = 30: the cadence triggers exactly on the last batch
+    let dcfg = DurabilityConfig { snapshot_every: 30, ..DurabilityConfig::new(&dir) };
+    let mut durable = DurableFleet::create(cfg, dcfg.clone()).unwrap();
+    for t in 0..30u64 {
+        durable.ingest(batch(&streams, t)).unwrap();
+    }
+    // both series idle at now = 1000 → evicted; seq is still 30
+    assert_eq!(durable.evict_idle(1000).unwrap(), 2);
+    drop(durable); // crash right after the eviction's checkpoint returned
+
+    let recovered = DurableFleet::open(dcfg).unwrap();
+    let stats = recovered.engine().stats().unwrap();
+    assert_eq!(stats.evicted, 2, "explicit eviction must survive the crash");
+    assert_eq!(stats.live + stats.warming, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Pipelined submission drains to the same outputs as synchronous ingest,
+/// and bounded queues under `Block` never reject.
+#[test]
+fn pipelined_submit_matches_synchronous_ingest() {
+    let streams = build_streams(10);
+    let bounded =
+        FleetConfig { queue_capacity: Some(4), queue_policy: QueuePolicy::Block, ..config() };
+    let mut sync_engine = FleetEngine::new(config()).unwrap();
+    let mut pipe_engine = FleetEngine::new(bounded).unwrap();
+    let mut sync_out = Vec::new();
+    for t in 0..120u64 {
+        sync_out.push(sync_engine.ingest(batch(&streams, t)).unwrap());
+        pipe_engine.submit(batch(&streams, t)).unwrap();
+    }
+    assert!(pipe_engine.in_flight() > 0);
+    let mut pipe_out = Vec::new();
+    while let Some(out) = pipe_engine.next_batch().unwrap() {
+        pipe_out.push(out);
+    }
+    assert_eq!(pipe_out.len(), sync_out.len());
+    for (t, (a, b)) in pipe_out.iter().zip(&sync_out).enumerate() {
+        assert_outputs_bit_identical(a, b, &format!("pipelined t={t}"));
+    }
+}
+
+/// `Reject` backpressure: a full bounded shard queue fails the submission
+/// with a typed error before anything is applied, and the engine resumes
+/// cleanly once the queue drains.
+#[test]
+fn reject_policy_sheds_load_with_typed_error() {
+    let streams = build_streams(4);
+    let cfg = FleetConfig {
+        shards: 1,
+        queue_capacity: Some(2),
+        queue_policy: QueuePolicy::Reject,
+        period: PeriodPolicy::Fixed(24),
+        ..Default::default()
+    };
+    let mut engine = FleetEngine::new(cfg).unwrap();
+    // park the single worker so nothing drains
+    let guard = engine.stall_shard(0).unwrap();
+    while engine.queue_depth(0) > 0 {
+        std::thread::yield_now(); // wait for the worker to dequeue the stall
+    }
+    engine.submit(batch(&streams, 0)).unwrap();
+    engine.submit(batch(&streams, 1)).unwrap();
+    let batches_before = engine.batches();
+    match engine.submit(batch(&streams, 2)) {
+        Err(FleetError::Backpressure { shard: 0 }) => {}
+        other => panic!("expected Backpressure, got {other:?}"),
+    }
+    assert_eq!(engine.batches(), batches_before, "rejected batch leaves no trace");
+    // mixing synchronous ingest with in-flight batches is a typed error too
+    assert!(matches!(engine.ingest(batch(&streams, 2)), Err(FleetError::InFlight)));
+    drop(guard); // release the worker
+    assert_eq!(engine.next_batch().unwrap().unwrap().len(), 4);
+    assert_eq!(engine.next_batch().unwrap().unwrap().len(), 4);
+    assert!(engine.next_batch().unwrap().is_none());
+    // the rejected batch is retryable verbatim
+    let out = engine.ingest(batch(&streams, 2)).unwrap();
+    assert_eq!(out.len(), 4);
+}
