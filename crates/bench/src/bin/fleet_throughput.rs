@@ -1,10 +1,23 @@
-//! Fleet engine throughput: points/sec vs. shard count at two fleet sizes.
+//! Fleet engine throughput: points/sec vs. shard count at two fleet sizes
+//! and two workload regimes.
 //!
 //! Protocol: for each fleet size, one engine is warmed to fully-live state
 //! (fixed period 24, `init_len` 72 points per series) and snapshotted; each
 //! shard-count configuration then restores that snapshot — exercising the
 //! codec at scale — and ingests full-fleet rounds in 8192-record batches.
 //! Only the live-scoring phase is timed.
+//!
+//! Two workloads, reported separately (the JSON records each run's
+//! anomaly rate so the numbers stay interpretable):
+//!
+//! - **steady** — seasonal + trend + small per-point noise, the
+//!   representative production regime: NSigma stays calibrated and
+//!   essentially no point triggers the §3.4 shift search.
+//! - **storm** — the same signal with *zero* noise (the original seed
+//!   workload). Noise-free residuals collapse the NSigma σ, so a double-
+//!   digit percentage of points false-alarm at 5σ and pay the full
+//!   `2H + 1`-trial shift search (~40× a plain update). This tier prices
+//!   the anomaly path under storm conditions, not steady-state ingest.
 //!
 //! Emits `BENCH_fleet.json` in the working directory (the repo's perf
 //! trajectory seed) and a markdown report under `target/experiments/`.
@@ -20,19 +33,33 @@ const PERIOD: usize = 24;
 const BATCH: usize = 8192;
 
 struct Run {
+    workload: &'static str,
     series: usize,
     shards: usize,
     points: u64,
     elapsed_s: f64,
     points_per_sec: f64,
+    anomaly_pct: f64,
     restore_s: f64,
     snapshot_mib: f64,
 }
 
-fn series_value(series: usize, t: u64) -> f64 {
+/// Deterministic per-(series, t) noise in [-1, 1): a splitmix-style hash,
+/// so every run and every restore sees the identical stream.
+fn noise_unit(series: usize, t: u64) -> f64 {
+    let mut s = (series as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ t.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    s ^= s >> 30;
+    s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    s ^= s >> 27;
+    (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+fn series_value(series: usize, t: u64, noise: f64) -> f64 {
     let phase = (series % 17) as f64 * 0.37;
     (2.0 * std::f64::consts::PI * (t as f64 / PERIOD as f64 + phase)).sin()
         + 0.001 * (series % 5) as f64 * t as f64
+        + noise * noise_unit(series, t)
 }
 
 fn keys(n: usize) -> Vec<SeriesKey> {
@@ -40,7 +67,7 @@ fn keys(n: usize) -> Vec<SeriesKey> {
 }
 
 /// Full-fleet rounds of ingest in `BATCH`-record chunks; returns points sent.
-fn pump(engine: &mut FleetEngine, keys: &[SeriesKey], t0: u64, rounds: u64) -> u64 {
+fn pump(engine: &mut FleetEngine, keys: &[SeriesKey], t0: u64, rounds: u64, noise: f64) -> u64 {
     let mut points = 0u64;
     for round in 0..rounds {
         let t = t0 + round;
@@ -48,7 +75,9 @@ fn pump(engine: &mut FleetEngine, keys: &[SeriesKey], t0: u64, rounds: u64) -> u
             let batch: Vec<Record> = chunk
                 .iter()
                 .enumerate()
-                .map(|(i, k)| Record::new(k.clone(), t, series_value(chunk_idx * BATCH + i, t)))
+                .map(|(i, k)| {
+                    Record::new(k.clone(), t, series_value(chunk_idx * BATCH + i, t, noise))
+                })
                 .collect();
             points += batch.len() as u64;
             engine.ingest(batch).expect("ingest");
@@ -66,63 +95,77 @@ fn main() {
     let mut runs: Vec<Run> = Vec::new();
     let mut report = Experiment::new("fleet_throughput", "Fleet engine throughput");
 
-    for &n_series in fleet_sizes {
-        let warm_rounds = (FleetConfig::default().init_len(PERIOD) + 8) as u64;
-        let score_rounds: u64 = if cli.quick {
-            4
-        } else if n_series >= 100_000 {
-            5
-        } else {
-            20
-        };
-        let keys = keys(n_series);
-
-        // warm one engine to fully-live, snapshot it once
-        eprintln!("[fleet_throughput] warming {n_series} series ({warm_rounds} rounds)…");
-        let t_warm = Instant::now();
-        let mut warm = FleetEngine::new(FleetConfig {
-            shards: 4,
-            period: PeriodPolicy::Fixed(PERIOD),
-            ..Default::default()
-        })
-        .expect("engine config");
-        pump(&mut warm, &keys, 0, warm_rounds);
-        let stats = warm.stats().expect("stats");
-        assert_eq!(stats.live, n_series, "all series live after warm-up");
-        let snapshot = warm.snapshot_bytes().expect("snapshot");
-        drop(warm);
-        eprintln!(
-            "[fleet_throughput]   warmed in {}, snapshot {:.1} MiB",
-            fmt_duration(t_warm.elapsed()),
-            snapshot.len() as f64 / (1 << 20) as f64
-        );
-
-        for &shards in &shard_counts {
-            let t_restore = Instant::now();
-            let mut engine = {
-                let snap = fleet::codec::decode(&snapshot).expect("decode");
-                FleetEngine::restore_with_shards(snap, shards).expect("restore")
+    // (workload, noise amplitude, fleet sizes, shard counts)
+    let storm_sizes: &[usize] = if cli.quick { &[1_000] } else { &[10_000] };
+    let regimes: &[(&'static str, f64, &[usize], &[usize])] =
+        &[("steady", 0.05, fleet_sizes, &shard_counts), ("storm", 0.0, storm_sizes, &[1, 4])];
+    for &(workload, noise, sizes, shard_set) in regimes {
+        for &n_series in sizes {
+            let warm_rounds = (FleetConfig::default().init_len(PERIOD) + 8) as u64;
+            let score_rounds: u64 = if cli.quick {
+                4
+            } else if n_series >= 100_000 {
+                5
+            } else {
+                20
             };
-            let restore_s = t_restore.elapsed().as_secs_f64();
-            let t_run = Instant::now();
-            let points = pump(&mut engine, &keys, warm_rounds, score_rounds);
-            let elapsed_s = t_run.elapsed().as_secs_f64();
-            let pps = points as f64 / elapsed_s;
+            let keys = keys(n_series);
+
+            // warm one engine to fully-live, snapshot it once
             eprintln!(
-                "[fleet_throughput]   {n_series} series × {shards} shards: \
-                 {points} pts in {} → {:.0} pts/s",
-                fmt_duration(t_run.elapsed()),
-                pps
+                "[fleet_throughput] {workload}: warming {n_series} series \
+                 ({warm_rounds} rounds)…"
             );
-            runs.push(Run {
-                series: n_series,
-                shards,
-                points,
-                elapsed_s,
-                points_per_sec: pps,
-                restore_s,
-                snapshot_mib: snapshot.len() as f64 / (1 << 20) as f64,
-            });
+            let t_warm = Instant::now();
+            let mut warm = FleetEngine::new(FleetConfig {
+                shards: 4,
+                period: PeriodPolicy::Fixed(PERIOD),
+                ..Default::default()
+            })
+            .expect("engine config");
+            pump(&mut warm, &keys, 0, warm_rounds, noise);
+            let stats = warm.stats().expect("stats");
+            assert_eq!(stats.live, n_series, "all series live after warm-up");
+            let snapshot = warm.snapshot_bytes().expect("snapshot");
+            drop(warm);
+            eprintln!(
+                "[fleet_throughput]   warmed in {}, snapshot {:.1} MiB",
+                fmt_duration(t_warm.elapsed()),
+                snapshot.len() as f64 / (1 << 20) as f64
+            );
+
+            for &shards in shard_set {
+                let t_restore = Instant::now();
+                let mut engine = {
+                    let snap = fleet::codec::decode(&snapshot).expect("decode");
+                    FleetEngine::restore_with_shards(snap, shards).expect("restore")
+                };
+                let restore_s = t_restore.elapsed().as_secs_f64();
+                let s0 = engine.stats().expect("stats");
+                let t_run = Instant::now();
+                let points = pump(&mut engine, &keys, warm_rounds, score_rounds, noise);
+                let elapsed_s = t_run.elapsed().as_secs_f64();
+                let s1 = engine.stats().expect("stats");
+                let pps = points as f64 / elapsed_s;
+                let anomaly_pct = 100.0 * (s1.anomalies - s0.anomalies) as f64 / points as f64;
+                eprintln!(
+                    "[fleet_throughput]   {workload} {n_series} series × {shards} shards: \
+                     {points} pts in {} → {:.0} pts/s ({anomaly_pct:.1}% anomalous)",
+                    fmt_duration(t_run.elapsed()),
+                    pps
+                );
+                runs.push(Run {
+                    workload,
+                    series: n_series,
+                    shards,
+                    points,
+                    elapsed_s,
+                    points_per_sec: pps,
+                    anomaly_pct,
+                    restore_s,
+                    snapshot_mib: snapshot.len() as f64 / (1 << 20) as f64,
+                });
+            }
         }
     }
 
@@ -137,14 +180,17 @@ fn main() {
         let comma = if i + 1 == runs.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"series\": {}, \"shards\": {}, \"points\": {}, \
-             \"elapsed_s\": {:.4}, \"points_per_sec\": {:.1}, \
-             \"restore_s\": {:.4}, \"snapshot_mib\": {:.2}}}{comma}",
+            "    {{\"workload\": \"{}\", \"series\": {}, \"shards\": {}, \
+             \"points\": {}, \"elapsed_s\": {:.4}, \"points_per_sec\": {:.1}, \
+             \"anomaly_pct\": {:.2}, \"restore_s\": {:.4}, \
+             \"snapshot_mib\": {:.2}}}{comma}",
+            r.workload,
             r.series,
             r.shards,
             r.points,
             r.elapsed_s,
             r.points_per_sec,
+            r.anomaly_pct,
             r.restore_s,
             r.snapshot_mib
         );
@@ -158,11 +204,13 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &runs {
         rows.push(vec![
+            r.workload.to_string(),
             r.series.to_string(),
             r.shards.to_string(),
             r.points.to_string(),
             format!("{:.2}", r.elapsed_s),
             format!("{:.0}", r.points_per_sec),
+            format!("{:.1}", r.anomaly_pct),
             format!("{:.2}", r.restore_s),
             format!("{:.1}", r.snapshot_mib),
         ]);
@@ -170,11 +218,13 @@ fn main() {
     report.table(
         "Throughput (points/sec)",
         &[
+            "workload",
             "series",
             "shards",
             "points",
             "elapsed (s)",
             "pts/sec",
+            "anomalous %",
             "restore (s)",
             "snapshot (MiB)",
         ],

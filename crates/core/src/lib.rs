@@ -52,7 +52,9 @@ pub mod tasks;
 
 pub use jointstl::{JointStl, JointStlConfig};
 pub use nsigma::{NSigma, NSigmaState};
-pub use oneshot::{IterSnapshot, OneShotStl, OneShotStlConfig, OneShotStlState, ShiftPolicy};
-pub use online_doolittle::SolverState;
+pub use oneshot::{
+    IterSnapshot, OneShotStl, OneShotStlConfig, OneShotStlState, ShiftPolicy, UpdateScratch,
+};
+pub use online_doolittle::{IncrementalSolver, SolverState};
 pub use reference::ModifiedJointStlRef;
 pub use tasks::{StdAnomalyDetector, StdForecaster};

@@ -45,6 +45,18 @@ pub trait TailSolver: Clone + Default {
 
     /// Processes the next point (`tail.m` must advance by one each call).
     fn step(&mut self, tail: &TailData) -> (f64, f64);
+
+    /// Runs one step *from* `self`'s state without mutating it, writing the
+    /// successor state into `dst` (whose prior contents are arbitrary stale
+    /// scratch). This is the hot-path variant of [`TailSolver::step`]: the
+    /// update loop keeps the committed state immutable while a trial runs,
+    /// so a rejected trial costs nothing to roll back. Implementations
+    /// whose steady state is plain-old-data should override this to avoid
+    /// heap allocation entirely.
+    fn step_from(&self, tail: &TailData, dst: &mut Self) -> (f64, f64) {
+        dst.clone_from(self);
+        dst.step(tail)
+    }
 }
 
 impl TailSolver for IncrementalSolver {
@@ -52,6 +64,10 @@ impl TailSolver for IncrementalSolver {
 
     fn step(&mut self, tail: &TailData) -> (f64, f64) {
         IncrementalSolver::step(self, tail)
+    }
+
+    fn step_from(&self, tail: &TailData, dst: &mut Self) -> (f64, f64) {
+        IncrementalSolver::step_from(self, tail, dst)
     }
 }
 
@@ -134,12 +150,37 @@ struct IterState<S> {
 }
 
 /// The outcome of running all IRLS iterations for one candidate shift.
-struct Trial<S> {
-    iters: Vec<IterState<S>>,
+/// The successor iteration states live in the scratch buffer the trial ran
+/// in, not here — committing a trial is a buffer swap, not a move.
+#[derive(Debug, Clone, Copy)]
+struct TrialOut {
     point: DecompPoint,
     /// The anchor used for the newest point (frozen into `u_hist`).
     u_new: f64,
 }
+
+/// Reusable trial buffers: `a` holds the best trial's successor iteration
+/// states, `b` is the scratch a candidate runs in before it is (maybe)
+/// swapped into `a`. Allocated once; the steady-state `update` path —
+/// including every §3.4 shift retry — performs **zero heap allocations**
+/// (pinned by `tests/zero_alloc.rs`).
+#[derive(Debug, Clone, Default)]
+struct TrialBufs<S> {
+    a: Vec<IterState<S>>,
+    b: Vec<IterState<S>>,
+}
+
+/// Shareable trial scratch for [`OnlineJointStl::update_with_scratch`].
+///
+/// A model's plain [`OnlineDecomposer::update`] uses an internal scratch,
+/// which is ideal for a single hot stream. A host multiplexing *many*
+/// models on one thread (the `fleet` shard worker) should instead own one
+/// `UpdateScratch` per thread and pass it to every model's
+/// `update_with_scratch`: the scratch stays hot in cache across series and
+/// per-model scratch memory drops to zero. Buffers are sized lazily on
+/// first use and resized automatically if models disagree on `iters`.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateScratch<S>(TrialBufs<S>);
 
 /// The shared online-JointSTL shell (see module docs). Use the
 /// [`OneShotStl`] alias for the paper's `O(1)` algorithm.
@@ -165,6 +206,8 @@ pub struct OnlineJointStl<S> {
     /// the previous cycle and letting the trend/seasonal split drift.
     u_hist: [f64; 2],
     iters: Vec<IterState<S>>,
+    /// Reusable trial buffers (never serialized; rebuilt lazily).
+    scratch: TrialBufs<S>,
     nsigma: NSigma,
     initialized: bool,
 }
@@ -259,6 +302,7 @@ impl OneShotStl {
             y_hist: state.y_hist,
             u_hist: state.u_hist,
             iters,
+            scratch: TrialBufs::default(),
             nsigma: NSigma::from_state(state.nsigma),
             initialized: state.initialized,
         })
@@ -325,6 +369,7 @@ impl<S: TailSolver> OnlineJointStl<S> {
             y_hist: [0.0; 2],
             u_hist: [0.0; 2],
             iters: Vec::new(),
+            scratch: TrialBufs::default(),
             nsigma: NSigma::new(5.0),
             initialized: false,
         }
@@ -378,8 +423,10 @@ impl<S: TailSolver> OnlineJointStl<S> {
     }
 
     /// Runs all IRLS iterations for the arriving value under a candidate
-    /// shift, without committing any state.
-    fn run_trial(&self, y_new: f64, shift: i64) -> Trial<S> {
+    /// shift, without committing any state. The committed `self.iters` are
+    /// only read; the successor iteration states are written into `out`
+    /// (resized on first use, then reused — no allocation in steady state).
+    fn run_trial_into(&self, y_new: f64, shift: i64, out: &mut Vec<IterState<S>>) -> TrialOut {
         let m_new = self.m + 1;
         let k = m_new.min(3);
         let mut y3 = [0.0; 3];
@@ -399,37 +446,50 @@ impl<S: TailSolver> OnlineJointStl<S> {
                 u3[s] = self.u_hist[2 - (m_new - 1 - j)];
             }
         }
-        let mut iters = self.iters.clone();
+        if out.len() != self.iters.len() {
+            // first trial after init/restore (or a poisoned buffer after a
+            // panic): (re)size the scratch; every later trial reuses it
+            out.clear();
+            out.extend(self.iters.iter().cloned());
+        }
         let eps = self.config.eps;
         let mut p_fresh = 1.0;
         let mut q_fresh = 1.0;
         let mut tau = 0.0;
         let mut s_out = 0.0;
-        for st in iters.iter_mut() {
-            let p3 = [st.pw_hist[0], st.pw_hist[1], p_fresh];
-            let q3 = [st.qw_hist[0], st.qw_hist[1], q_fresh];
+        for (src, dst) in self.iters.iter().zip(out.iter_mut()) {
+            let p3 = [src.pw_hist[0], src.pw_hist[1], p_fresh];
+            let q3 = [src.qw_hist[0], src.qw_hist[1], q_fresh];
             let tail = TailData { m: m_new, y3, u3, p3, q3, lambdas: self.config.lambdas };
-            let (t_i, s_i) = st.solver.step(&tail);
-            let next_p = 1.0 / (2.0 * (t_i - st.tau_hist[1]).abs().max(eps));
+            let (t_i, s_i) = src.solver.step_from(&tail, &mut dst.solver);
+            let next_p = 1.0 / (2.0 * (t_i - src.tau_hist[1]).abs().max(eps));
             let next_q =
-                1.0 / (2.0 * (t_i - 2.0 * st.tau_hist[1] + st.tau_hist[0]).abs().max(eps));
-            st.pw_hist = [st.pw_hist[1], p_fresh];
-            st.qw_hist = [st.qw_hist[1], q_fresh];
-            st.tau_hist = [st.tau_hist[1], t_i];
+                1.0 / (2.0 * (t_i - 2.0 * src.tau_hist[1] + src.tau_hist[0]).abs().max(eps));
+            dst.pw_hist = [src.pw_hist[1], p_fresh];
+            dst.qw_hist = [src.qw_hist[1], q_fresh];
+            dst.tau_hist = [src.tau_hist[1], t_i];
             p_fresh = next_p;
             q_fresh = next_q;
             tau = t_i;
             s_out = s_i;
         }
-        Trial {
-            iters,
+        TrialOut {
             point: DecompPoint { trend: tau, seasonal: s_out, residual: y_new - tau - s_out },
             u_new,
         }
     }
 
-    fn commit(&mut self, y_new: f64, shift_used: i64, trial: Trial<S>) -> DecompPoint {
-        self.iters = trial.iters;
+    /// Commits a trial whose successor iteration states live in `accepted`:
+    /// an `O(1)` buffer swap, after which `accepted` holds the stale
+    /// pre-update states (to be overwritten by the next trial).
+    fn commit(
+        &mut self,
+        y_new: f64,
+        shift_used: i64,
+        trial: TrialOut,
+        accepted: &mut Vec<IterState<S>>,
+    ) -> DecompPoint {
+        std::mem::swap(&mut self.iters, accepted);
         match self.config.shift_policy {
             ShiftPolicy::Cumulative => self.shift = shift_used,
             ShiftPolicy::Transient => {}
@@ -442,6 +502,68 @@ impl<S: TailSolver> OnlineJointStl<S> {
         self.m += 1;
         self.nsigma.absorb(trial.point.residual);
         trial.point
+    }
+
+    /// Missing/corrupt data policy: impute a non-finite value with the
+    /// model's one-step-ahead prediction (trend carry-forward + seasonal
+    /// buffer).
+    fn impute(&self, y: f64) -> f64 {
+        if y.is_finite() {
+            y
+        } else {
+            self.iters.last().map_or(0.0, |st| st.tau_hist[1])
+                + self.v[self.slot(self.t, self.shift)]
+        }
+    }
+
+    /// [`OnlineDecomposer::update`] with caller-provided trial scratch
+    /// (see [`UpdateScratch`] for when that wins). Output is bit-identical
+    /// to the plain `update`.
+    pub fn update_with_scratch(
+        &mut self,
+        y: f64,
+        scratch: &mut UpdateScratch<S>,
+    ) -> DecompPoint {
+        assert!(self.initialized, "OneShotSTL::update called before init");
+        let y = self.impute(y);
+        self.update_with(y, &mut scratch.0)
+    }
+
+    /// The body of [`OnlineDecomposer::update`], with the trial buffers
+    /// moved out of `self` so trials can borrow the committed state.
+    fn update_with(&mut self, y: f64, bufs: &mut TrialBufs<S>) -> DecompPoint {
+        let base = self.run_trial_into(y, self.shift, &mut bufs.a);
+        let verdict = self.nsigma.score_only(base.point.residual);
+        let h = self.config.shift_window as i64;
+        if !verdict.is_anomaly || h == 0 {
+            return self.commit(y, self.shift, base, &mut bufs.a);
+        }
+        // §3.4: retry with every Δt in the neighbourhood E = [−H, H],
+        // keep the smallest |r_t| — but only adopt a non-zero offset when
+        // it actually explains the anomaly (see `shift_accept_ratio`)
+        let base_resid = base.point.residual.abs();
+        let mut best_shift = self.shift;
+        let mut best = base;
+        for dt in -h..=h {
+            if dt == 0 {
+                continue;
+            }
+            let cand_shift = self.shift + dt;
+            let cand = self.run_trial_into(y, cand_shift, &mut bufs.b);
+            if cand.point.residual.abs() < best.point.residual.abs() {
+                best = cand;
+                best_shift = cand_shift;
+                std::mem::swap(&mut bufs.a, &mut bufs.b);
+            }
+        }
+        if best_shift != self.shift
+            && best.point.residual.abs() > self.config.shift_accept_ratio * base_resid
+        {
+            // not convincingly better than staying in phase: reject
+            best = self.run_trial_into(y, self.shift, &mut bufs.a);
+            best_shift = self.shift;
+        }
+        self.commit(y, best_shift, best, &mut bufs.a)
     }
 }
 
@@ -520,45 +642,13 @@ impl<S: TailSolver> OnlineDecomposer for OnlineJointStl<S> {
 
     fn update(&mut self, y: f64) -> DecompPoint {
         assert!(self.initialized, "OneShotSTL::update called before init");
-        let y = if y.is_finite() {
-            y
-        } else {
-            // missing/corrupt data: impute with the model's one-step-ahead
-            // prediction (trend carry-forward + seasonal buffer)
-            self.iters.last().map_or(0.0, |st| st.tau_hist[1])
-                + self.v[self.slot(self.t, self.shift)]
-        };
-        let base = self.run_trial(y, self.shift);
-        let verdict = self.nsigma.score_only(base.point.residual);
-        let h = self.config.shift_window as i64;
-        if !verdict.is_anomaly || h == 0 {
-            return self.commit(y, self.shift, base);
-        }
-        // §3.4: retry with every Δt in the neighbourhood E = [−H, H],
-        // keep the smallest |r_t| — but only adopt a non-zero offset when
-        // it actually explains the anomaly (see `shift_accept_ratio`)
-        let base_resid = base.point.residual.abs();
-        let mut best_shift = self.shift;
-        let mut best = base;
-        for dt in -h..=h {
-            if dt == 0 {
-                continue;
-            }
-            let cand_shift = self.shift + dt;
-            let cand = self.run_trial(y, cand_shift);
-            if cand.point.residual.abs() < best.point.residual.abs() {
-                best = cand;
-                best_shift = cand_shift;
-            }
-        }
-        if best_shift != self.shift
-            && best.point.residual.abs() > self.config.shift_accept_ratio * base_resid
-        {
-            // not convincingly better than staying in phase: reject
-            best = self.run_trial(y, self.shift);
-            best_shift = self.shift;
-        }
-        self.commit(y, best_shift, best)
+        let y = self.impute(y);
+        // move the trial buffers out so trials can borrow committed state;
+        // `mem::take` leaves empty Vecs behind (no allocation)
+        let mut bufs = std::mem::take(&mut self.scratch);
+        let point = self.update_with(y, &mut bufs);
+        self.scratch = bufs;
+        point
     }
 }
 

@@ -236,6 +236,34 @@ impl IncrementalSolver {
             }
         }
     }
+
+    /// [`IncrementalSolver::step`] without mutating `self`: the successor
+    /// state is written into `dst` (whose prior contents are arbitrary
+    /// scratch). In the steady state the window is plain-old-data, so this
+    /// is a stack copy + the `O(1)` factorization step — **no heap
+    /// allocation** — which is what makes a rejected trial in the
+    /// seasonality-shift search free to roll back.
+    pub fn step_from(&self, tail: &TailData, dst: &mut Self) -> (f64, f64) {
+        match self {
+            IncrementalSolver::Steady(w) => {
+                let mut next = *w;
+                let out = next.step(&assemble_block(tail));
+                // overwrite in place when `dst` is already Steady (the
+                // common case); a stale Warmup variant is dropped here once
+                match dst {
+                    IncrementalSolver::Steady(dw) => *dw = next,
+                    other => *other = IncrementalSolver::Steady(next),
+                }
+                out
+            }
+            warm => {
+                // warm-up lasts 4 points per iteration; cloning the tiny
+                // histories there is fine
+                dst.clone_from(warm);
+                dst.step(tail)
+            }
+        }
+    }
 }
 
 impl Window {

@@ -61,6 +61,23 @@ impl<D: OnlineDecomposer> StdAnomalyDetector<D> {
     }
 }
 
+impl<S: crate::oneshot::TailSolver> StdAnomalyDetector<crate::oneshot::OnlineJointStl<S>> {
+    /// [`Self::update_scored`] with caller-provided trial scratch: a host
+    /// multiplexing many detectors on one thread (the fleet shard worker)
+    /// shares one hot [`crate::UpdateScratch`] across all of them instead
+    /// of growing one per model. Output is bit-identical to
+    /// [`Self::update_scored`].
+    pub fn update_scored_with(
+        &mut self,
+        y: f64,
+        scratch: &mut crate::UpdateScratch<S>,
+    ) -> (DecompPoint, crate::nsigma::NSigmaVerdict) {
+        let p = self.decomposer.update_with_scratch(y, scratch);
+        let v = self.nsigma.update(p.residual);
+        (p, v)
+    }
+}
+
 /// §4 (2): STD → TSF. Buffers the latest trend and one period of seasonal
 /// values; the `i`-step-ahead prediction is
 /// `ŷ_{t+i} = τ_{t−1} + v[(t+i) mod T]`.

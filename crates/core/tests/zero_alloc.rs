@@ -1,0 +1,89 @@
+//! Pins the zero-allocation guarantee of the steady-state online update
+//! path: after initialization (and one scratch-buffer warm-up update), a
+//! [`OneShotStl::update`] performs **zero heap allocations** — including
+//! updates that trigger the §3.4 seasonality-shift search and run all
+//! `2H + 1` retry trials, and updates that impute non-finite input.
+//!
+//! The counting global allocator below makes the claim a hard test rather
+//! than a code-review property. CI runs this test file explicitly
+//! (`--test zero_alloc`), so deleting or renaming it fails the build — the
+//! regression guard cannot be skipped silently.
+
+use decomp::traits::OnlineDecomposer;
+use oneshotstl::OneShotStl;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation request routed to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One test covers every hot-path branch so no other test thread can
+/// pollute the counter mid-measurement.
+#[test]
+fn steady_state_update_performs_zero_heap_allocations() {
+    let t = 48usize;
+    let n = 4 * t + 2_000;
+    // everything the stream needs is allocated up front
+    let y: Vec<f64> = (0..n)
+        .map(|i| 2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+        .collect();
+    let mut m = OneShotStl::default_paper();
+    m.init(&y[..4 * t], t).unwrap();
+    // warm-up: the first updates size the scratch buffers and walk the
+    // solvers through their 4-step warm-up into the POD steady state
+    for &v in &y[4 * t..4 * t + 16] {
+        std::hint::black_box(m.update(v));
+    }
+
+    // 1) plain steady-state updates
+    let before = allocs();
+    for &v in &y[4 * t + 16..4 * t + 1_016] {
+        std::hint::black_box(m.update(v));
+    }
+    assert_eq!(allocs() - before, 0, "steady-state update allocated");
+
+    // 2) an anomalous spike: NSigma flags it and the §3.4 shift search
+    //    runs all 2H+1 retry trials (H = 20 with paper defaults)
+    let before = allocs();
+    std::hint::black_box(m.update(y[4 * t + 1_016] + 50.0));
+    assert_eq!(allocs() - before, 0, "shift-retry update allocated");
+
+    // 3) non-finite input: the imputation path
+    let before = allocs();
+    std::hint::black_box(m.update(f64::NAN));
+    assert_eq!(allocs() - before, 0, "imputing update allocated");
+
+    // 4) and the stream continues allocation-free after both excursions
+    let before = allocs();
+    for &v in &y[4 * t + 1_017..4 * t + 1_517] {
+        std::hint::black_box(m.update(v));
+    }
+    assert_eq!(allocs() - before, 0, "post-excursion update allocated");
+}

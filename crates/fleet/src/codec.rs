@@ -1,14 +1,20 @@
-//! Versioned binary codec for [`FleetSnapshot`].
+//! Versioned binary codec for [`FleetSnapshot`] and [`FleetDelta`].
 //!
-//! Layout: magic `b"OSSTLFLT"`, `u16` version, then the snapshot fields in
-//! a fixed order. All integers are little-endian; `f64` round-trips via
-//! [`f64::to_bits`], so restored values are **bit-identical** — the basis
-//! of the snapshot determinism guarantee. The format is self-contained:
-//! per-series detector configs are encoded with each series, so a snapshot
-//! survives engine-level config changes between writer and reader.
+//! Layout: magic `b"OSSTLFLT"`, `u16` version, `u8` kind (0 = full image,
+//! 1 = incremental delta), then the fields in a fixed order. All integers
+//! are little-endian; `f64` round-trips via [`f64::to_bits`], so restored
+//! values are **bit-identical** — the basis of the snapshot determinism
+//! guarantee. The format is self-contained: per-series detector configs
+//! are encoded with each series, so a snapshot survives engine-level
+//! config changes between writer and reader.
+//!
+//! A delta (v3) additionally carries the batch seq of the image it chains
+//! onto (`prev_batches`) and a tombstone list of keys removed since then;
+//! folding it onto that image ([`FleetDelta::fold_into`]) reproduces the
+//! full snapshot bit-exactly.
 
 use crate::config::QueuePolicy;
-use crate::engine::{CarriedTotals, FleetSnapshot};
+use crate::engine::{CarriedTotals, FleetDelta, FleetSnapshot};
 use crate::error::CodecError;
 use crate::series::PhaseSnapshot;
 use crate::shard::SeriesSnapshot;
@@ -22,20 +28,21 @@ use oneshotstl::{
 
 const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v2: FleetConfig gained queue_capacity + queue_policy (backpressure)
-const VERSION: u16 = 2;
+// v3: kind byte after the version; kind 1 = incremental delta snapshots
+const VERSION: u16 = 3;
+const KIND_FULL: u8 = 0;
+const KIND_DELTA: u8 = 1;
 
 /// Serializes a snapshot to the versioned binary format.
 pub fn encode(snapshot: &FleetSnapshot) -> Vec<u8> {
     let mut w = Writer::default();
     w.bytes(MAGIC);
     w.u16(VERSION);
+    w.u8(KIND_FULL);
     encode_config(&mut w, &snapshot.config);
     w.u64(snapshot.clock);
     w.u64(snapshot.batches);
-    w.u64(snapshot.totals.evicted);
-    w.u64(snapshot.totals.admitted);
-    w.u64(snapshot.totals.points);
-    w.u64(snapshot.totals.anomalies);
+    encode_totals(&mut w, &snapshot.totals);
     w.u64(snapshot.series.len() as u64);
     for s in &snapshot.series {
         encode_series(&mut w, s);
@@ -43,9 +50,30 @@ pub fn encode(snapshot: &FleetSnapshot) -> Vec<u8> {
     w.buf
 }
 
-/// Deserializes [`encode`] output.
-pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
-    let mut r = Reader { data: bytes, pos: 0 };
+/// Serializes an incremental delta to the versioned binary format.
+pub fn encode_delta(delta: &FleetDelta) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.bytes(MAGIC);
+    w.u16(VERSION);
+    w.u8(KIND_DELTA);
+    encode_config(&mut w, &delta.config);
+    w.u64(delta.prev_batches);
+    w.u64(delta.clock);
+    w.u64(delta.batches);
+    encode_totals(&mut w, &delta.totals);
+    w.u64(delta.series.len() as u64);
+    for s in &delta.series {
+        encode_series(&mut w, s);
+    }
+    w.u64(delta.tombstones.len() as u64);
+    for key in &delta.tombstones {
+        w.string(key.as_str());
+    }
+    w.buf
+}
+
+/// Checks magic, version, and kind; leaves the reader after the kind byte.
+fn decode_header(r: &mut Reader<'_>, want_kind: u8) -> Result<(), CodecError> {
     if r.take(8)? != MAGIC {
         return Err(CodecError::BadMagic);
     }
@@ -53,15 +81,21 @@ pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
     if version != VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
+    let kind = r.u8()?;
+    if kind != want_kind {
+        return Err(CodecError::Invalid("snapshot kind (full vs delta)"));
+    }
+    Ok(())
+}
+
+/// Deserializes [`encode`] output.
+pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
+    let mut r = Reader { data: bytes, pos: 0 };
+    decode_header(&mut r, KIND_FULL)?;
     let config = decode_config(&mut r)?;
     let clock = r.u64()?;
     let batches = r.u64()?;
-    let totals = CarriedTotals {
-        evicted: r.u64()?,
-        admitted: r.u64()?,
-        points: r.u64()?,
-        anomalies: r.u64()?,
-    };
+    let totals = decode_totals(&mut r)?;
     let n = r.u64()? as usize;
     let mut series = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -71,6 +105,47 @@ pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
         return Err(CodecError::Invalid("trailing bytes after snapshot"));
     }
     Ok(FleetSnapshot { config, clock, batches, totals, series })
+}
+
+/// Deserializes [`encode_delta`] output.
+pub fn decode_delta(bytes: &[u8]) -> Result<FleetDelta, CodecError> {
+    let mut r = Reader { data: bytes, pos: 0 };
+    decode_header(&mut r, KIND_DELTA)?;
+    let config = decode_config(&mut r)?;
+    let prev_batches = r.u64()?;
+    let clock = r.u64()?;
+    let batches = r.u64()?;
+    let totals = decode_totals(&mut r)?;
+    let n = r.u64()? as usize;
+    let mut series = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        series.push(decode_series(&mut r)?);
+    }
+    let n_dead = r.u64()? as usize;
+    let mut tombstones = Vec::with_capacity(n_dead.min(1 << 20));
+    for _ in 0..n_dead {
+        tombstones.push(SeriesKey::new(r.string()?));
+    }
+    if r.pos != r.data.len() {
+        return Err(CodecError::Invalid("trailing bytes after delta"));
+    }
+    Ok(FleetDelta { config, prev_batches, clock, batches, totals, series, tombstones })
+}
+
+fn encode_totals(w: &mut Writer, t: &CarriedTotals) {
+    w.u64(t.evicted);
+    w.u64(t.admitted);
+    w.u64(t.points);
+    w.u64(t.anomalies);
+}
+
+fn decode_totals(r: &mut Reader<'_>) -> Result<CarriedTotals, CodecError> {
+    Ok(CarriedTotals {
+        evicted: r.u64()?,
+        admitted: r.u64()?,
+        points: r.u64()?,
+        anomalies: r.u64()?,
+    })
 }
 
 fn encode_config(w: &mut Writer, c: &FleetConfig) {
@@ -495,6 +570,54 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn delta_roundtrip_and_fold_reproduce_the_full_image() {
+        let base = sample_snapshot();
+        // the delta updates "warm", removes "dead", and adds "new"
+        let updated = SeriesSnapshot {
+            key: SeriesKey::new("warm"),
+            last_seen: 90,
+            phase: PhaseSnapshot::Warming {
+                values: vec![4.0, 5.0],
+                period: Some(24),
+                last_attempt: 5,
+            },
+        };
+        let added = SeriesSnapshot {
+            key: SeriesKey::new("new"),
+            last_seen: 91,
+            phase: PhaseSnapshot::Rejected,
+        };
+        let delta = FleetDelta {
+            config: base.config.clone(),
+            prev_batches: base.batches,
+            clock: 120,
+            batches: 9,
+            totals: CarriedTotals { evicted: 2, admitted: 3, points: 400, anomalies: 5 },
+            series: vec![added.clone(), updated.clone()],
+            tombstones: vec![SeriesKey::new("dead")],
+        };
+        let bytes = encode_delta(&delta);
+        let back = decode_delta(&bytes).unwrap();
+        assert_eq!(back, delta);
+        // a delta must never decode as a full snapshot (and vice versa)
+        assert!(decode(&bytes).is_err());
+        assert!(decode_delta(&encode(&base)).is_err());
+        // folding reproduces the expected full image
+        let mut folded = base.clone();
+        back.fold_into(&mut folded).unwrap();
+        assert_eq!(folded.batches, 9);
+        assert_eq!(folded.clock, 120);
+        assert_eq!(folded.totals.points, 400);
+        let keys: Vec<&str> = folded.series.iter().map(|s| s.key.as_str()).collect();
+        assert_eq!(keys, ["new", "warm"], "tombstone removed, upserts sorted by key");
+        assert_eq!(folded.series[1], updated);
+        // a delta that does not chain onto the base is rejected
+        let mut wrong = sample_snapshot();
+        wrong.batches = 42;
+        assert!(decode_delta(&bytes).unwrap().fold_into(&mut wrong).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::shard::{
     run_worker, SeriesEntry, SeriesSnapshot, ShardMsg, ShardState, WalMeta, WalOp,
 };
 use crate::types::{FleetStats, Record, ScoredPoint, SeriesKey, ShardStats};
-use crate::wal::Wal;
+use crate::wal::GroupWal;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -58,6 +58,59 @@ pub struct FleetSnapshot {
     pub totals: CarriedTotals,
     /// Every series, sorted by key.
     pub series: Vec<SeriesSnapshot>,
+}
+
+/// An incremental engine image: only the series whose state changed since
+/// the previous snapshot collection, plus the keys removed since then.
+/// Folding it onto that previous image ([`FleetDelta::fold_into`]) yields
+/// exactly the [`FleetSnapshot`] a full collection at `batches` would have
+/// produced. Produced by [`FleetEngine::snapshot_delta`]; persisted and
+/// chained by [`crate::DurableFleet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDelta {
+    /// Engine configuration at collection time.
+    pub config: FleetConfig,
+    /// Batch seq of the image this delta chains onto.
+    pub prev_batches: u64,
+    /// Engine clock at collection time.
+    pub clock: u64,
+    /// Batch seq of this delta (the image it reconstructs).
+    pub batches: u64,
+    /// Lifetime counters at collection time.
+    pub totals: CarriedTotals,
+    /// Series dirty since `prev_batches`, sorted by key.
+    pub series: Vec<SeriesSnapshot>,
+    /// Keys removed (TTL-evicted) since `prev_batches`, sorted, deduped.
+    pub tombstones: Vec<SeriesKey>,
+}
+
+impl FleetDelta {
+    /// Folds this delta onto `base` (the image at `prev_batches`):
+    /// tombstones are removed, dirty series upserted, clocks and counters
+    /// replaced. The result is bit-identical to a full snapshot taken at
+    /// `self.batches`.
+    pub fn fold_into(self, base: &mut FleetSnapshot) -> Result<(), FleetError> {
+        if base.batches != self.prev_batches {
+            return Err(FleetError::Recovery(format!(
+                "delta at seq {} chains onto seq {}, but the base is at seq {}",
+                self.batches, self.prev_batches, base.batches
+            )));
+        }
+        let mut merged: std::collections::BTreeMap<SeriesKey, SeriesSnapshot> =
+            std::mem::take(&mut base.series).into_iter().map(|s| (s.key.clone(), s)).collect();
+        for key in &self.tombstones {
+            merged.remove(key);
+        }
+        for s in self.series {
+            merged.insert(s.key.clone(), s);
+        }
+        base.series = merged.into_values().collect();
+        base.config = self.config;
+        base.clock = self.clock;
+        base.batches = self.batches;
+        base.totals = self.totals;
+        Ok(())
+    }
 }
 
 /// A shard request channel: unbounded, or bounded when
@@ -107,14 +160,24 @@ pub struct FleetEngine {
     batches: u64,
     carried: CarriedTotals,
     pending: VecDeque<PendingBatch>,
-    /// `Some(fsync interval)` once a WAL is attached; also the flag that
-    /// turns on frame emission in [`FleetEngine::submit`].
-    wal_fsync: Option<u64>,
-    /// Per-shard appends since that shard's last fsync. The interval is
-    /// counted per shard, not per engine-wide batch seq: a shard that only
-    /// sees every k-th batch must still fsync every `fsync_every` of *its*
-    /// appends, or its loss window would silently grow k-fold.
-    wal_unsynced: Vec<u64>,
+    /// Batch seq of the last snapshot collection (full or delta) — the
+    /// image the next [`FleetEngine::snapshot_delta`] chains onto.
+    last_collect: u64,
+    /// The shared WAL and the engine-wide fsync interval, once attached;
+    /// also the flag that turns on frame emission in
+    /// [`FleetEngine::submit`].
+    wal: Option<(Arc<GroupWal>, u64)>,
+    /// Batches since the last group fsync (engine-wide: group commit
+    /// flushes whole batches, so the loss window is `fsync_every − 1`
+    /// batches total, not per shard).
+    wal_unsynced: u64,
+    /// Returned routing buffers, reused across [`FleetEngine::submit`]
+    /// calls instead of reallocating per batch.
+    spare_bufs: Vec<Vec<(usize, Record, u64)>>,
+    /// Workers hand their drained routing buffers back through this.
+    buf_rx: Receiver<Vec<(usize, Record, u64)>>,
+    /// Reassembly buffer reused across [`FleetEngine::next_batch`] calls.
+    assembly: Vec<Option<ScoredPoint>>,
 }
 
 impl FleetEngine {
@@ -151,7 +214,19 @@ impl FleetEngine {
         for s in snapshot.series {
             let shard = s.key.shard_of(shards);
             let state = SeriesState::from_snapshot(s.phase, &config)?;
-            states[shard].registry.insert(s.key, SeriesEntry { state, last_seen: s.last_seen });
+            // series arrive sorted by key, so each shard's arena is
+            // admitted — and its buffers allocated — in key order
+            states[shard].registry.insert(SeriesEntry {
+                key: s.key,
+                state,
+                last_seen: s.last_seen,
+                dirty_seq: 0,
+            });
+        }
+        for state in &mut states {
+            // the restored image is the dirty baseline: the first delta
+            // after a restore covers exactly what changed since it
+            state.set_snapshot_baseline(snapshot.batches);
         }
         Ok(Self::spawn(config, states, snapshot.clock, snapshot.batches, snapshot.totals))
     }
@@ -166,6 +241,7 @@ impl FleetEngine {
         let mut senders = Vec::with_capacity(states.len());
         let mut depths = Vec::with_capacity(states.len());
         let mut handles = Vec::with_capacity(states.len());
+        let (buf_tx, buf_rx) = channel::<Vec<(usize, Record, u64)>>();
         for state in states {
             let (sender, rx) = match config.queue_capacity {
                 None => {
@@ -179,16 +255,16 @@ impl FleetEngine {
             };
             let depth = Arc::new(AtomicUsize::new(0));
             let worker_depth = Arc::clone(&depth);
+            let worker_buf_tx = buf_tx.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("fleet-shard-{}", state.index))
-                    .spawn(move || run_worker(state, rx, worker_depth))
+                    .spawn(move || run_worker(state, rx, worker_depth, worker_buf_tx))
                     .expect("spawning a shard worker thread"),
             );
             senders.push(sender);
             depths.push(depth);
         }
-        let shards = senders.len();
         FleetEngine {
             config,
             senders,
@@ -198,8 +274,12 @@ impl FleetEngine {
             batches,
             carried,
             pending: VecDeque::new(),
-            wal_fsync: None,
-            wal_unsynced: vec![0; shards],
+            last_collect: batches,
+            wal: None,
+            wal_unsynced: 0,
+            spare_bufs: Vec::new(),
+            buf_rx,
+            assembly: Vec::new(),
         }
     }
 
@@ -236,6 +316,15 @@ impl FleetEngine {
         self.senders[shard].send(msg).map_err(|_| FleetError::ShardDown)
     }
 
+    /// Hands out a routing buffer, reusing one a worker returned if any
+    /// (allocation-free once the pipeline is primed).
+    fn route_buf(&mut self) -> Vec<(usize, Record, u64)> {
+        while let Ok(buf) = self.buf_rx.try_recv() {
+            self.spare_bufs.push(buf);
+        }
+        self.spare_bufs.pop().unwrap_or_default()
+    }
+
     /// Submits a batch without waiting for its outputs (pipelined ingest):
     /// shard workers start on this batch while the caller prepares the
     /// next one. Collect outputs in submission order with
@@ -254,13 +343,15 @@ impl FleetEngine {
     /// deterministic batch boundary for WAL replay to reproduce it.
     ///
     /// When a WAL is attached (see [`crate::DurableFleet`]), each shard
-    /// appends its slice of the batch to its log before applying it.
+    /// appends its slice of the batch to the shared group-commit log
+    /// before applying it.
     pub fn submit(&mut self, batch: Vec<Record>) -> Result<(), FleetError> {
         let n = batch.len();
         let shards = self.shard_count();
         // route on a scratch clock: a rejected batch must leave no trace
         let mut clock = self.clock;
-        let mut routed: Vec<Vec<(usize, Record, u64)>> = vec![Vec::new(); shards];
+        let mut routed: Vec<Vec<(usize, Record, u64)>> =
+            (0..shards).map(|_| self.route_buf()).collect();
         for (idx, rec) in batch.into_iter().enumerate() {
             // a bounded clock step contains timestamp poisoning (see
             // `FleetConfig::max_clock_step`); the record keeps its raw `t`
@@ -274,7 +365,7 @@ impl FleetEngine {
             clock = clock.max(t);
             routed[rec.key.shard_of(shards)].push((idx, rec, t));
         }
-        let wal_on = self.wal_fsync.is_some();
+        let wal_on = self.wal.is_some();
         // shards that receive a message: those with items — plus shard 0
         // for an empty batch under WAL, because even an empty batch
         // advances the sweep cadence and replay must reproduce it
@@ -290,26 +381,36 @@ impl FleetEngine {
             for (shard, items) in routed.iter().enumerate() {
                 if is_target(shard, items) && self.depths[shard].load(Ordering::Relaxed) >= cap
                 {
+                    // reclaim the buffers; the batch can be retried verbatim
+                    for mut buf in routed {
+                        buf.clear();
+                        self.spare_bufs.push(buf);
+                    }
                     return Err(FleetError::Backpressure { shard });
                 }
             }
         }
         let seq = self.batches + 1;
+        // group commit: the fsync cadence is engine-wide — one batch, one
+        // flush (issued by the last shard whose frame lands; see
+        // `wal::GroupWal`) — so the fanout rides along in the metadata
+        let fanout = routed.iter().enumerate().filter(|(s, it)| is_target(*s, it)).count();
+        let wal_meta = self.wal.as_ref().map(|(_, every)| {
+            let sync = self.wal_unsynced + 1 >= *every;
+            self.wal_unsynced = if sync { 0 } else { self.wal_unsynced + 1 };
+            WalMeta { seq, batch_n: n as u32, fanout: fanout as u32, sync }
+        });
         let (reply_tx, reply_rx) = channel();
         let mut in_flight = 0usize;
         for (shard, items) in routed.into_iter().enumerate() {
             if !is_target(shard, &items) {
+                self.spare_bufs.push(items); // stays empty, reuse next batch
                 continue;
             }
-            // the fsync interval is per shard's own appends, so every
-            // shard honours the configured loss window no matter how the
-            // router distributes batches across shards
-            let wal = self.wal_fsync.map(|every| {
-                let sync = self.wal_unsynced[shard] + 1 >= every;
-                self.wal_unsynced[shard] = if sync { 0 } else { self.wal_unsynced[shard] + 1 };
-                WalMeta { seq, batch_n: n as u32, sync }
-            });
-            self.send(shard, ShardMsg::Ingest { items, wal, reply: reply_tx.clone() })?;
+            self.send(
+                shard,
+                ShardMsg::Ingest { items, seq, wal: wal_meta, reply: reply_tx.clone() },
+            )?;
             in_flight += 1;
         }
         self.clock = clock;
@@ -328,7 +429,10 @@ impl FleetEngine {
         let Some(p) = self.pending.pop_front() else {
             return Ok(None);
         };
-        let mut out: Vec<Option<ScoredPoint>> = (0..p.n).map(|_| None).collect();
+        // the reassembly buffer is reused across batches (an error path may
+        // leave stale entries behind; the clear handles that too)
+        self.assembly.clear();
+        self.assembly.resize_with(p.n, || None);
         let mut failed = None;
         for _ in 0..p.in_flight {
             match p.reply_rx.recv() {
@@ -337,7 +441,7 @@ impl FleetEngine {
                 Ok(Err(msg)) => failed = Some(FleetError::Io(msg)),
                 Ok(Ok(part)) => {
                     for (idx, sp) in part {
-                        out[idx] = Some(sp);
+                        self.assembly[idx] = Some(sp);
                     }
                 }
             }
@@ -346,7 +450,8 @@ impl FleetEngine {
             return Err(e);
         }
         Ok(Some(
-            out.into_iter()
+            self.assembly
+                .drain(..)
                 .map(|o| o.expect("every batch index answered by exactly one shard"))
                 .collect(),
         ))
@@ -449,32 +554,72 @@ impl FleetEngine {
         Ok(stats)
     }
 
-    /// Serializes the complete engine state. The engine stays usable; the
-    /// snapshot is a consistent point-in-time image because the engine's
-    /// `&mut` API means no ingest can be interleaved with the collection.
-    pub fn snapshot(&mut self) -> Result<FleetSnapshot, FleetError> {
+    /// Collects series + counters from every shard (`delta`: only series
+    /// dirty since the last collection, plus tombstones). Any collection
+    /// advances the shards' dirty baseline to the current batch seq.
+    fn collect(
+        &mut self,
+        delta: bool,
+    ) -> Result<(Vec<SeriesSnapshot>, Vec<SeriesKey>, CarriedTotals), FleetError> {
         let (tx, rx) = channel();
         for shard in 0..self.shard_count() {
-            self.send(shard, ShardMsg::Snapshot { reply: tx.clone() })?;
+            self.send(
+                shard,
+                ShardMsg::Snapshot { delta, upto: self.batches, reply: tx.clone() },
+            )?;
         }
         drop(tx);
         let mut series: Vec<SeriesSnapshot> = Vec::new();
+        let mut tombstones: Vec<SeriesKey> = Vec::new();
         let mut totals = self.carried;
         for _ in 0..self.shard_count() {
-            let (part, stats) = rx.recv().map_err(|_| FleetError::ShardDown)?;
+            let (part, dead, stats) = rx.recv().map_err(|_| FleetError::ShardDown)?;
             series.extend(part);
+            tombstones.extend(dead);
             totals.evicted += stats.evicted;
             totals.admitted += stats.admitted;
             totals.points += stats.points;
             totals.anomalies += stats.anomalies;
         }
         series.sort_by(|a, b| a.key.cmp(&b.key));
+        tombstones.sort();
+        Ok((series, tombstones, totals))
+    }
+
+    /// Serializes the complete engine state. The engine stays usable; the
+    /// snapshot is a consistent point-in-time image because the engine's
+    /// `&mut` API means no ingest can be interleaved with the collection.
+    ///
+    /// Also resets the incremental-snapshot baseline: the next
+    /// [`FleetEngine::snapshot_delta`] will chain onto this image.
+    pub fn snapshot(&mut self) -> Result<FleetSnapshot, FleetError> {
+        let (series, _, totals) = self.collect(false)?;
+        self.last_collect = self.batches;
         Ok(FleetSnapshot {
             config: (*self.config).clone(),
             clock: self.clock,
             batches: self.batches,
             totals,
             series,
+        })
+    }
+
+    /// Serializes only what changed since the previous collection (full or
+    /// delta): dirty series plus tombstones of evicted ones. With a mostly
+    /// idle fleet this is a small fraction of a full snapshot — the basis
+    /// of [`crate::DurableFleet`]'s incremental snapshot files.
+    pub fn snapshot_delta(&mut self) -> Result<FleetDelta, FleetError> {
+        let prev = self.last_collect;
+        let (series, tombstones, totals) = self.collect(true)?;
+        self.last_collect = self.batches;
+        Ok(FleetDelta {
+            config: (*self.config).clone(),
+            prev_batches: prev,
+            clock: self.clock,
+            batches: self.batches,
+            totals,
+            series,
+            tombstones,
         })
     }
 
@@ -488,49 +633,58 @@ impl FleetEngine {
         Self::restore(crate::codec::decode(bytes)?)
     }
 
-    /// Broadcasts one WAL control op per shard and waits for every ack.
-    fn wal_ctl(&self, ops: Vec<WalOp>) -> Result<(), FleetError> {
-        debug_assert_eq!(ops.len(), self.shard_count());
+    /// Hands every shard worker the shared WAL handle and turns on
+    /// write-ahead logging for subsequent submissions, group-flushing
+    /// every `fsync_every` batches. Used by [`crate::DurableFleet`];
+    /// attach *after* any recovery replay so replayed batches are not
+    /// re-logged.
+    pub(crate) fn attach_wal(
+        &mut self,
+        wal: Arc<GroupWal>,
+        fsync_every: u64,
+    ) -> Result<(), FleetError> {
         let (tx, rx) = channel();
-        for (shard, op) in ops.into_iter().enumerate() {
-            self.send(shard, ShardMsg::WalCtl { op, reply: tx.clone() })?;
+        for shard in 0..self.shard_count() {
+            self.send(
+                shard,
+                ShardMsg::WalCtl { op: WalOp::Attach(Arc::clone(&wal)), reply: tx.clone() },
+            )?;
         }
         drop(tx);
         for _ in 0..self.shard_count() {
             rx.recv().map_err(|_| FleetError::ShardDown)?.map_err(FleetError::Io)?;
         }
+        self.wal = Some((wal, fsync_every.max(1)));
+        self.wal_unsynced = 0;
         Ok(())
     }
 
-    /// Hands each shard worker its WAL segment and turns on write-ahead
-    /// logging for subsequent submissions, fsyncing every `fsync_every`
-    /// batches. Used by [`crate::DurableFleet`]; attach *after* any
-    /// recovery replay so replayed batches are not re-logged.
-    pub(crate) fn attach_wal(
-        &mut self,
-        wals: Vec<Wal>,
-        fsync_every: u64,
-    ) -> Result<(), FleetError> {
-        assert_eq!(wals.len(), self.shard_count(), "one WAL segment per shard");
-        self.wal_ctl(wals.into_iter().map(|w| WalOp::Attach(Box::new(w))).collect())?;
-        self.wal_fsync = Some(fsync_every.max(1));
-        self.wal_unsynced = vec![0; self.shard_count()];
-        Ok(())
-    }
-
-    /// Rotates every shard's WAL to a fresh segment starting after batch
-    /// `start_seq` (called at snapshot time, so the old segments become
-    /// garbage once the snapshot is durable).
+    /// Rotates the shared WAL to a fresh segment starting after batch
+    /// `start_seq` (called at snapshot time, so the old segment becomes
+    /// garbage once the snapshot is durable). No shard can be mid-append:
+    /// the preceding snapshot collection drained every shard queue.
     pub(crate) fn rotate_wal(&mut self, start_seq: u64) -> Result<(), FleetError> {
-        self.wal_ctl((0..self.shard_count()).map(|_| WalOp::Rotate { start_seq }).collect())?;
-        // rotation fsyncs the outgoing segment on every shard
-        self.wal_unsynced = vec![0; self.shard_count()];
+        if let Some((wal, _)) = &self.wal {
+            wal.rotate(start_seq).map_err(|e| FleetError::Io(e.to_string()))?;
+            self.wal_unsynced = 0;
+        }
         Ok(())
     }
 
-    /// Forces an fsync of every shard's WAL segment.
+    /// Forces an fsync of the shared WAL segment.
     pub(crate) fn sync_wal(&mut self) -> Result<(), FleetError> {
-        self.wal_ctl((0..self.shard_count()).map(|_| WalOp::Sync).collect())
+        if let Some((wal, _)) = &self.wal {
+            wal.sync().map_err(|e| FleetError::Io(e.to_string()))?;
+            self.wal_unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Lifetime count of `fsync`s issued on the WAL (0 without
+    /// durability). One acked batch costs at most one — the group-commit
+    /// guarantee.
+    pub fn wal_fsync_count(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |(w, _)| w.fsync_count())
     }
 
     /// Test support: parks shard `shard`'s worker until the returned guard

@@ -102,7 +102,7 @@ pub mod types;
 pub mod wal;
 
 pub use config::{FleetConfig, PeriodPolicy, QueuePolicy};
-pub use engine::{CarriedTotals, FleetEngine, FleetSnapshot};
+pub use engine::{CarriedTotals, FleetDelta, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};
 pub use persist::{DurabilityConfig, DurableFleet};
 pub use shard::SeriesSnapshot;

@@ -1,37 +1,48 @@
-//! Durable persistence: snapshot-to-disk, WAL lifecycle, crash recovery.
+//! Durable persistence: snapshot-to-disk (full bases + incremental
+//! deltas), WAL lifecycle, crash recovery.
 //!
 //! [`DurableFleet`] wraps a [`FleetEngine`] and a directory:
 //!
 //! ```text
 //! dir/
-//!   snap-00000000000000000000.fsnap   full engine image at batch seq 0
-//!   snap-00000000000000004096.fsnap   … at batch seq 4096 (newest wins)
-//!   wal-00000000000000004096-0000.flog   shard 0's log of batches 4097…
-//!   wal-00000000000000004096-0001.flog   shard 1's log of the same range
+//!   snap-00000000000000000000.fsnap    full engine image at batch seq 0
+//!   delta-00000000000000004096.fdelta  dirty series since seq 0
+//!   delta-00000000000000008192.fdelta  dirty series since seq 4096
+//!   snap-00000000000000065536.fsnap    periodic full-base rewrite
+//!   wal-00000000000000065536-0000.flog shared log of batches 65537…
 //! ```
 //!
-//! Every ingested batch is appended to the WAL segments of the shards it
-//! routes to *before* it is applied ([`crate::wal`]). Every
+//! Every ingested batch is appended to the shared WAL *before* it is
+//! applied ([`crate::wal`], group-commit flushed). Every
 //! [`DurabilityConfig::snapshot_every`] batches the engine state is
 //! collected (fast, in-memory) and handed to a background writer thread
 //! that encodes it, writes a temp file, fsyncs, and atomically renames it
-//! into place — ingest never waits on snapshot I/O. When a snapshot is
-//! confirmed durable, the WAL segments it covers and any snapshots beyond
+//! into place — ingest never waits on snapshot I/O. The cadence normally
+//! collects an **incremental delta** — only the series dirty since the
+//! previous image, plus tombstones of evicted ones — so a mostly idle
+//! fleet writes a small fraction of its state per interval; every
+//! [`DurabilityConfig::max_delta_chain`] deltas (and on every forced
+//! [`DurableFleet::checkpoint`]) a full base is rewritten, bounding both
+//! chain length and recovery fan-in. When an image is confirmed durable,
+//! WAL segments it covers and bases/deltas beyond
 //! [`DurabilityConfig::keep_snapshots`] are deleted.
 //!
 //! ## Recovery
 //!
-//! [`DurableFleet::open`] walks the directory newest-snapshot-first,
-//! skipping snapshots that fail CRC/decode (torn writes, version
-//! mismatches), restores the first valid one, then reassembles the
-//! original ingest batches from the per-shard WAL segments and replays
-//! them through the normal ingest path. Replay stops at the first batch
-//! that is incomplete on disk (a torn tail or a frame lost to a crash
-//! between per-shard appends); the on-disk logs are truncated to that
-//! point so the durable state is always a *prefix* of the ingest history.
-//! Because replay reuses the ingest path byte-for-byte, the recovered
-//! engine is **bit-identical** to an uninterrupted engine fed the same
-//! prefix — the disk-level extension of the in-memory guarantee pinned by
+//! [`DurableFleet::open`] walks the directory newest-base-first, skipping
+//! bases that fail CRC/decode (torn writes, version mismatches), then
+//! folds the chain of deltas anchored at the chosen base (each delta
+//! names the image it chains onto; the walk stops at the first gap or
+//! corrupt link — the WAL covers whatever the chain cannot). The folded
+//! image restores an engine, then the original ingest batches are
+//! reassembled from the WAL segments and replayed through the normal
+//! ingest path. Replay stops at the first batch that is incomplete on
+//! disk (a torn tail or a frame lost to a crash); the on-disk logs are
+//! truncated to that point so the durable state is always a *prefix* of
+//! the ingest history. Because folding is exact and replay reuses the
+//! ingest path byte-for-byte, the recovered engine is **bit-identical**
+//! to an uninterrupted engine fed the same prefix — the disk-level
+//! extension of the in-memory guarantee pinned by
 //! `tests/fleet_snapshot.rs`.
 //!
 //! ## What survives a crash
@@ -60,15 +71,16 @@
 
 use crate::codec;
 use crate::config::FleetConfig;
-use crate::engine::{FleetEngine, FleetSnapshot};
+use crate::engine::{FleetDelta, FleetEngine, FleetSnapshot};
 use crate::error::FleetError;
 use crate::types::{Record, ScoredPoint, SeriesKey};
-use crate::wal::{self, crc32, Wal, WalSegment};
+use crate::wal::{self, crc32, GroupWal, WalSegment};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Configuration of the durability layer (directory + cadences).
@@ -76,32 +88,39 @@ use std::thread::JoinHandle;
 pub struct DurabilityConfig {
     /// Directory holding the snapshots and WAL segments of one fleet.
     pub dir: PathBuf,
-    /// `fsync` each shard's WAL every this many of *that shard's* appends
-    /// (1 = every append, the safest and the default). Larger intervals
+    /// Group-flush the shared WAL every this many batches (1 = every
+    /// batch, the safest and the default; one flush covers the whole
+    /// batch no matter how many shards it touched). Larger intervals
     /// trade fewer disk flushes for an OS-crash window: up to
-    /// `fsync_every − 1` un-fsynced appends per shard, and — because
-    /// recovery keeps only the longest complete batch prefix — every
-    /// batch from the first lost frame onward.
+    /// `fsync_every − 1` un-fsynced batches, and — because recovery keeps
+    /// only the longest complete batch prefix — every batch from the
+    /// first lost frame onward.
     pub fsync_every: u64,
     /// Trigger a background snapshot every this many batches. Snapshots
     /// bound WAL growth and recovery time; between them, recovery cost is
     /// one WAL replay of at most this many batches.
     pub snapshot_every: u64,
-    /// How many durable snapshots to retain (≥ 1). Older ones — and the
-    /// WAL segments only they need — are deleted once a newer snapshot is
-    /// confirmed on disk.
+    /// How many durable **full** snapshots to retain (≥ 1). Older bases —
+    /// the deltas chained below them, and the WAL segments only they
+    /// need — are deleted once a newer image is confirmed on disk.
     pub keep_snapshots: usize,
+    /// How many consecutive incremental deltas may chain onto a base
+    /// before the cadence rewrites a full base (0 disables deltas: every
+    /// cadence snapshot is full). Bounds both recovery fan-in and the
+    /// disk an unprunable chain pins.
+    pub max_delta_chain: usize,
 }
 
 impl DurabilityConfig {
     /// Defaults: fsync every batch, snapshot every 4096 batches, keep the
-    /// last 2 snapshots.
+    /// last 2 full snapshots, rewrite a full base every 16 deltas.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             fsync_every: 1,
             snapshot_every: 4096,
             keep_snapshots: 2,
+            max_delta_chain: 16,
         }
     }
 
@@ -119,6 +138,12 @@ impl DurabilityConfig {
     }
 }
 
+/// What a snapshot job writes: a full base or an incremental delta.
+enum SnapshotPayload {
+    Full(FleetSnapshot),
+    Delta(FleetDelta),
+}
+
 /// A snapshot handed to the background writer thread. `id` is a
 /// monotonically increasing job counter — distinct from `seq`, because a
 /// forced checkpoint can legitimately re-write the snapshot of a seq that
@@ -127,7 +152,7 @@ impl DurabilityConfig {
 struct SnapshotJob {
     id: u64,
     seq: u64,
-    snapshot: FleetSnapshot,
+    payload: SnapshotPayload,
 }
 
 /// A [`FleetEngine`] with durable persistence: WAL on ingest, periodic
@@ -139,10 +164,13 @@ pub struct DurableFleet {
     job_tx: Option<Sender<SnapshotJob>>,
     done_rx: Receiver<(u64, u64, Result<(), String>)>,
     writer: Option<JoinHandle<()>>,
-    /// Batch seq of the newest *triggered* snapshot (cadence anchor).
+    /// Batch seq of the newest *triggered* snapshot (cadence anchor; also
+    /// the image the next delta chains onto).
     last_snapshot: u64,
     /// Batch seq of the newest snapshot *confirmed* on disk.
     durable_snapshot: u64,
+    /// Consecutive deltas since the last full base was triggered.
+    chain_len: usize,
     /// Id handed to the next snapshot job.
     next_job: u64,
     /// Highest job id acknowledged by the writer.
@@ -159,7 +187,13 @@ impl DurableFleet {
         fs::create_dir_all(&dcfg.dir).map_err(io_err)?;
         remove_stale_tmp(&dcfg.dir)?;
         let existing = scan_dir(&dcfg.dir)?;
-        if !existing.snapshots.is_empty() || !existing.segments.is_empty() {
+        if !existing.snapshots.is_empty()
+            || !existing.deltas.is_empty()
+            || !existing.segments.is_empty()
+        {
+            // deltas count too: a stale delta from a previous fleet life
+            // could chain onto the new fleet's base (prev_batches can
+            // collide across lives) and corrupt a later recovery silently
             return Err(FleetError::Recovery(format!(
                 "{} already contains fleet files; use DurableFleet::open",
                 dcfg.dir.display()
@@ -168,19 +202,20 @@ impl DurableFleet {
         let mut engine = FleetEngine::new(config)?;
         let base = engine.snapshot()?;
         write_snapshot_file(&dcfg.dir, 0, &base).map_err(io_err)?;
-        Self::attach(engine, dcfg, 0, 0)
+        Self::attach(engine, dcfg, 0, 0, 0)
     }
 
-    /// Recovers a durable fleet from `dcfg.dir`: newest valid snapshot +
-    /// WAL tail replay + torn-tail truncation. The recovered engine's
-    /// [`FleetEngine::batches`] is the number of batches that survived.
+    /// Recovers a durable fleet from `dcfg.dir`: newest valid base
+    /// snapshot + delta-chain folding + WAL tail replay + torn-tail
+    /// truncation. The recovered engine's [`FleetEngine::batches`] is the
+    /// number of batches that survived.
     pub fn open(dcfg: DurabilityConfig) -> Result<Self, FleetError> {
         dcfg.validate()?;
         // writes a previous life's crash interrupted before their rename
         remove_stale_tmp(&dcfg.dir)?;
         let listing = scan_dir(&dcfg.dir)?;
-        // newest snapshot that actually decodes wins; torn writes and
-        // version mismatches are skipped, falling back to an older image
+        // newest base that actually decodes wins; torn writes and version
+        // mismatches are skipped, falling back to an older image
         let mut base: Option<FleetSnapshot> = None;
         for (seq, path) in listing.snapshots.iter().rev() {
             match load_snapshot_file(path) {
@@ -191,21 +226,50 @@ impl DurableFleet {
                 _ => continue,
             }
         }
-        let Some(base) = base else {
+        let Some(mut base) = base else {
             return Err(FleetError::Recovery(format!(
                 "no valid snapshot in {}",
                 dcfg.dir.display()
             )));
         };
+        // the chosen base anchors garbage collection: segments before it
+        // serve no possible recovery, but segments *between* it and the
+        // folded chain tip stay — they are the fallback if a delta file
+        // ever goes bad
+        let anchor_seq = base.batches;
+        // fold the delta chain anchored at the chosen base: each delta
+        // names its predecessor image; walk forward until the chain gaps
+        // (a missing/corrupt/unchained delta — the WAL replay below covers
+        // whatever the chain cannot)
+        let mut by_prev: BTreeMap<u64, FleetDelta> = BTreeMap::new();
+        for (seq, path) in &listing.deltas {
+            if *seq <= base.batches {
+                continue; // superseded by the base itself
+            }
+            if let Ok(delta) = load_delta_file(path) {
+                if delta.batches == *seq && delta.prev_batches < delta.batches {
+                    // on a (corruption-induced) prev collision the higher
+                    // seq wins: ascending iteration makes that the last
+                    // insert, and a wrong pick only shortens the chain —
+                    // WAL replay restores the difference
+                    by_prev.insert(delta.prev_batches, delta);
+                }
+            }
+        }
+        let mut chain_len = 0usize;
+        while let Some(delta) = by_prev.remove(&base.batches) {
+            delta.fold_into(&mut base)?;
+            chain_len += 1;
+        }
         let base_seq = base.batches;
         let mut engine = FleetEngine::restore(base)?;
 
-        // gather every frame from segments at or after the base snapshot;
-        // stale pre-snapshot segments are garbage a crash kept alive
+        // gather every frame from segments at or after the anchor base;
+        // stale pre-base segments are garbage a crash kept alive
         let mut read_segments: Vec<(PathBuf, WalSegment)> = Vec::new();
         for (start, files) in &listing.segments {
             for (_, path) in files {
-                if *start < base_seq {
+                if *start < anchor_seq {
                     let _ = fs::remove_file(path);
                     continue;
                 }
@@ -281,7 +345,7 @@ impl DurableFleet {
             }
         }
 
-        Self::attach(engine, dcfg, recovered, base_seq)
+        Self::attach(engine, dcfg, recovered, base_seq, chain_len)
     }
 
     /// Shared tail of `create`/`open`: fresh WAL generation at `wal_start`,
@@ -291,12 +355,10 @@ impl DurableFleet {
         dcfg: DurabilityConfig,
         wal_start: u64,
         snapshot_seq: u64,
+        chain_len: usize,
     ) -> Result<Self, FleetError> {
-        let wals = (0..engine.shard_count())
-            .map(|shard| Wal::create(&dcfg.dir, shard, wal_start))
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(io_err)?;
-        engine.attach_wal(wals, dcfg.fsync_every)?;
+        let wal = Arc::new(GroupWal::create(&dcfg.dir, wal_start).map_err(io_err)?);
+        engine.attach_wal(wal, dcfg.fsync_every)?;
         let (job_tx, job_rx) = channel::<SnapshotJob>();
         let (done_tx, done_rx) = channel();
         let dir = dcfg.dir.clone();
@@ -312,6 +374,7 @@ impl DurableFleet {
             writer: Some(writer),
             last_snapshot: snapshot_seq,
             durable_snapshot: snapshot_seq,
+            chain_len,
             next_job: 1,
             acked_job: 0,
         })
@@ -418,14 +481,31 @@ impl DurableFleet {
     /// queues the disk write on the background thread. Returns the id of
     /// the job that will write it (or of the last job, when not `force`
     /// and no batch arrived since the previous trigger).
+    ///
+    /// The cadence normally collects an incremental delta (dirty series
+    /// only, chained onto the previous image); a forced checkpoint, or a
+    /// chain reaching [`DurabilityConfig::max_delta_chain`], collects a
+    /// full base instead.
     fn trigger_snapshot(&mut self, force: bool) -> Result<u64, FleetError> {
-        let snapshot = self.engine.snapshot()?;
-        let seq = snapshot.batches;
+        let seq = self.engine.batches();
         if seq == self.last_snapshot && !force {
             return Ok(self.next_job - 1); // nothing new since the last trigger
         }
-        // rotate first: batches ingested while the snapshot is being
-        // written land in segments the snapshot does not cover (a no-op
+        let full = force
+            || self.dcfg.max_delta_chain == 0
+            || self.chain_len >= self.dcfg.max_delta_chain;
+        let payload = if full {
+            let snapshot = self.engine.snapshot()?;
+            self.chain_len = 0;
+            SnapshotPayload::Full(snapshot)
+        } else {
+            let delta = self.engine.snapshot_delta()?;
+            debug_assert_eq!(delta.prev_batches, self.last_snapshot, "delta chain anchor");
+            self.chain_len += 1;
+            SnapshotPayload::Delta(delta)
+        };
+        // rotate after collecting: batches ingested while the image is
+        // being written land in segments the image does not cover (a no-op
         // re-rotation when forced at an unchanged seq)
         self.engine.rotate_wal(seq)?;
         self.last_snapshot = seq;
@@ -434,7 +514,7 @@ impl DurableFleet {
         self.job_tx
             .as_ref()
             .expect("writer alive while the fleet is open")
-            .send(SnapshotJob { id, seq, snapshot })
+            .send(SnapshotJob { id, seq, payload })
             .map_err(|_| FleetError::Io("snapshot writer thread died".into()))?;
         Ok(id)
     }
@@ -457,9 +537,9 @@ impl DurableFleet {
         self.prune()
     }
 
-    /// Deletes snapshots beyond `keep_snapshots` and WAL segments older
-    /// than the oldest snapshot kept. Only runs after a durable ack, so
-    /// the newest snapshot always survives.
+    /// Deletes full bases beyond `keep_snapshots`, the deltas chained at
+    /// or below the oldest base kept, and WAL segments older than it.
+    /// Only runs after a durable ack, so the newest image always survives.
     fn prune(&self) -> Result<(), FleetError> {
         let listing = scan_dir(&self.dcfg.dir)?;
         let keep_from = {
@@ -472,6 +552,13 @@ impl DurableFleet {
                 let _ = fs::remove_file(path);
             }
         }
+        for (seq, path) in &listing.deltas {
+            // a delta at the kept base's seq (or below) is superseded by
+            // that base; newer ones may chain from any kept base
+            if *seq <= keep_from {
+                let _ = fs::remove_file(path);
+            }
+        }
         for (start, files) in &listing.segments {
             if *start < keep_from {
                 for (_, path) in files {
@@ -480,6 +567,12 @@ impl DurableFleet {
             }
         }
         Ok(())
+    }
+
+    /// Lifetime count of `fsync`s issued on the shared WAL — the
+    /// group-commit gauge: at most one per acked batch.
+    pub fn wal_fsync_count(&self) -> u64 {
+        self.engine.wal_fsync_count()
     }
 }
 
@@ -502,8 +595,12 @@ fn run_writer(
     jobs: Receiver<SnapshotJob>,
     done: Sender<(u64, u64, Result<(), String>)>,
 ) {
-    while let Ok(SnapshotJob { id, seq, snapshot }) = jobs.recv() {
-        let result = write_snapshot_file(&dir, seq, &snapshot).map_err(|e| e.to_string());
+    while let Ok(SnapshotJob { id, seq, payload }) = jobs.recv() {
+        let result = match &payload {
+            SnapshotPayload::Full(snapshot) => write_snapshot_file(&dir, seq, snapshot),
+            SnapshotPayload::Delta(delta) => write_delta_file(&dir, seq, delta),
+        }
+        .map_err(|e| e.to_string());
         if done.send((id, seq, result)).is_err() {
             break;
         }
@@ -522,16 +619,30 @@ pub fn parse_snapshot_name(name: &str) -> Option<u64> {
     name.strip_prefix("snap-")?.strip_suffix(".fsnap")?.parse().ok()
 }
 
-/// Writes `snapshot` durably: `[u64 len · u32 crc32 · codec bytes]` to a
-/// temp file, fsync, atomic rename, directory fsync.
-fn write_snapshot_file(dir: &Path, seq: u64, snapshot: &FleetSnapshot) -> std::io::Result<()> {
-    let bytes = codec::encode(snapshot);
-    let tmp = dir.join(format!(".snap-{seq:020}.tmp"));
-    let path = dir.join(snapshot_file_name(seq));
+/// Delta file name for batch seq — zero-padded like snapshots.
+pub fn delta_file_name(seq: u64) -> String {
+    format!("delta-{seq:020}.fdelta")
+}
+
+/// Parses a [`delta_file_name`] back into its seq; `None` for other files.
+pub fn parse_delta_name(name: &str) -> Option<u64> {
+    name.strip_prefix("delta-")?.strip_suffix(".fdelta")?.parse().ok()
+}
+
+/// Writes `bytes` durably under `name`: `[u64 len · u32 crc32 · bytes]`
+/// to a temp file, fsync, atomic rename, directory fsync.
+fn write_blob_file(
+    dir: &Path,
+    tmp_name: &str,
+    name: &str,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    let tmp = dir.join(tmp_name);
+    let path = dir.join(name);
     let mut f = File::create(&tmp)?;
     f.write_all(&(bytes.len() as u64).to_le_bytes())?;
-    f.write_all(&crc32(&bytes).to_le_bytes())?;
-    f.write_all(&bytes)?;
+    f.write_all(&crc32(bytes).to_le_bytes())?;
+    f.write_all(bytes)?;
     f.sync_all()?;
     drop(f);
     fs::rename(&tmp, &path)?;
@@ -540,8 +651,21 @@ fn write_snapshot_file(dir: &Path, seq: u64, snapshot: &FleetSnapshot) -> std::i
     Ok(())
 }
 
-/// Reads and verifies a snapshot file written by [`write_snapshot_file`].
-fn load_snapshot_file(path: &Path) -> Result<FleetSnapshot, String> {
+/// Writes a full base snapshot durably (see [`write_blob_file`]).
+fn write_snapshot_file(dir: &Path, seq: u64, snapshot: &FleetSnapshot) -> std::io::Result<()> {
+    let name = snapshot_file_name(seq);
+    write_blob_file(dir, &format!(".snap-{seq:020}.tmp"), &name, &codec::encode(snapshot))
+}
+
+/// Writes an incremental delta durably (see [`write_blob_file`]).
+fn write_delta_file(dir: &Path, seq: u64, delta: &FleetDelta) -> std::io::Result<()> {
+    let name = delta_file_name(seq);
+    write_blob_file(dir, &format!(".snap-{seq:020}d.tmp"), &name, &codec::encode_delta(delta))
+}
+
+/// Reads and CRC-verifies a `[u64 len · u32 crc32 · bytes]` blob file,
+/// returning the whole buffer (payload starts at offset 12 — no copy).
+fn load_blob_file(path: &Path) -> Result<Vec<u8>, String> {
     let mut raw = Vec::new();
     File::open(path).and_then(|mut f| f.read_to_end(&mut raw)).map_err(|e| e.to_string())?;
     if raw.len() < 12 {
@@ -556,19 +680,32 @@ fn load_snapshot_file(path: &Path) -> Result<FleetSnapshot, String> {
     if crc32(bytes) != crc {
         return Err("snapshot file CRC mismatch".into());
     }
-    codec::decode(bytes).map_err(|e| e.to_string())
+    Ok(raw)
+}
+
+/// Reads and verifies a snapshot file written by [`write_snapshot_file`].
+fn load_snapshot_file(path: &Path) -> Result<FleetSnapshot, String> {
+    codec::decode(&load_blob_file(path)?[12..]).map_err(|e| e.to_string())
+}
+
+/// Reads and verifies a delta file written by [`write_delta_file`].
+fn load_delta_file(path: &Path) -> Result<FleetDelta, String> {
+    codec::decode_delta(&load_blob_file(path)?[12..]).map_err(|e| e.to_string())
 }
 
 /// What a durability directory currently holds, numerically sorted.
 struct DirListing {
-    /// `(seq, path)` per snapshot file, ascending.
+    /// `(seq, path)` per full snapshot file, ascending.
     snapshots: Vec<(u64, PathBuf)>,
+    /// `(seq, path)` per delta file, ascending.
+    deltas: Vec<(u64, PathBuf)>,
     /// `start_seq → [(shard, path)]` per WAL segment, ascending.
     segments: BTreeMap<u64, Vec<(usize, PathBuf)>>,
 }
 
 fn scan_dir(dir: &Path) -> Result<DirListing, FleetError> {
     let mut snapshots = Vec::new();
+    let mut deltas = Vec::new();
     let mut segments: BTreeMap<u64, Vec<(usize, PathBuf)>> = BTreeMap::new();
     for entry in fs::read_dir(dir).map_err(io_err)? {
         let entry = entry.map_err(io_err)?;
@@ -577,12 +714,15 @@ fn scan_dir(dir: &Path) -> Result<DirListing, FleetError> {
         let path = entry.path();
         if let Some(seq) = parse_snapshot_name(name) {
             snapshots.push((seq, path));
+        } else if let Some(seq) = parse_delta_name(name) {
+            deltas.push((seq, path));
         } else if let Some((start, shard)) = wal::parse_segment_name(name) {
             segments.entry(start).or_default().push((shard, path));
         }
     }
     snapshots.sort();
-    Ok(DirListing { snapshots, segments })
+    deltas.sort();
+    Ok(DirListing { snapshots, deltas, segments })
 }
 
 /// Deletes snapshot temp files a crash left behind. Only safe while no

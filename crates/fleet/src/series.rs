@@ -10,8 +10,16 @@
 
 use crate::config::{FleetConfig, PeriodPolicy};
 use crate::types::PointOutput;
-use oneshotstl::{NSigma, NSigmaState, OneShotStl, OneShotStlState, StdAnomalyDetector};
+use oneshotstl::{
+    IncrementalSolver, NSigma, NSigmaState, OneShotStl, OneShotStlState, StdAnomalyDetector,
+    UpdateScratch,
+};
 use tskit::period::detect_period;
+
+/// The trial scratch every live series on a shard shares (see
+/// [`oneshotstl::UpdateScratch`]): one hot buffer per worker thread
+/// instead of ~3 KiB of cold scratch per series.
+pub type SharedScratch = UpdateScratch<IncrementalSolver>;
 
 /// One registered series: either buffering toward admission or live.
 // the Live variant dominates the size on purpose: almost every registry
@@ -128,13 +136,19 @@ impl SeriesState {
         SeriesState::Warming(Warmup::new(config))
     }
 
-    /// Processes one arriving value.
-    pub fn step(&mut self, value: f64, config: &FleetConfig) -> StepOutcome {
+    /// Processes one arriving value. `scratch` is the caller's (typically
+    /// per-shard) trial scratch for live-series updates.
+    pub fn step(
+        &mut self,
+        value: f64,
+        config: &FleetConfig,
+        scratch: &mut SharedScratch,
+    ) -> StepOutcome {
         match self {
             SeriesState::Rejected => StepOutcome::Output(PointOutput::Rejected),
             SeriesState::Live(live) => {
                 // the detector's own NSigma owns the threshold rule
-                let (point, verdict) = live.detector.update_scored(value);
+                let (point, verdict) = live.detector.update_scored_with(value, scratch);
                 StepOutcome::Output(PointOutput::Scored {
                     point,
                     score: verdict.score,
@@ -314,9 +328,10 @@ mod tests {
         let cfg = FleetConfig::fixed_period(24);
         let need = cfg.init_len(24);
         let y = seasonal(need + 10, 24);
+        let mut scr = SharedScratch::default();
         let mut s = SeriesState::new(&cfg);
         // a leading NaN (nothing to impute from) is dropped, not buffered
-        match s.step(f64::NAN, &cfg) {
+        match s.step(f64::NAN, &cfg, &mut scr) {
             StepOutcome::Output(PointOutput::Warming { buffered, .. }) => {
                 assert_eq!(buffered, 0)
             }
@@ -324,7 +339,7 @@ mod tests {
         }
         for (i, &v) in y.iter().enumerate() {
             let v = if i == 30 { f64::INFINITY } else { v };
-            s.step(v, &cfg);
+            s.step(v, &cfg, &mut scr);
         }
         assert!(matches!(s, SeriesState::Live(_)), "NaN must not tombstone the series");
     }
@@ -344,10 +359,11 @@ mod tests {
             ..Default::default()
         };
         let y = seasonal(400, 48);
+        let mut scr = SharedScratch::default();
         let mut s = SeriesState::new(&cfg);
         let mut promoted = None;
         for (i, &v) in y.iter().enumerate() {
-            match s.step(v, &cfg) {
+            match s.step(v, &cfg, &mut scr) {
                 StepOutcome::Promoted(_) => {
                     promoted = Some(i + 1);
                     break;
@@ -376,10 +392,11 @@ mod tests {
     fn fixed_period_series_admits_at_init_len() {
         let cfg = FleetConfig::fixed_period(24);
         let need = cfg.init_len(24);
+        let mut scr = SharedScratch::default();
         let mut s = SeriesState::new(&cfg);
         let y = seasonal(need + 10, 24);
         for (i, &v) in y.iter().enumerate() {
-            match s.step(v, &cfg) {
+            match s.step(v, &cfg, &mut scr) {
                 StepOutcome::Output(PointOutput::Warming { buffered, needed }) => {
                     assert_eq!(buffered, i + 1);
                     assert_eq!(needed, Some(need));
@@ -404,11 +421,12 @@ mod tests {
             },
             ..Default::default()
         };
+        let mut scr = SharedScratch::default();
         let mut s = SeriesState::new(&cfg);
         let y = seasonal(400, 24);
         let mut promoted_at = None;
         for (i, &v) in y.iter().enumerate() {
-            if let StepOutcome::Promoted(_) = s.step(v, &cfg) {
+            if let StepOutcome::Promoted(_) = s.step(v, &cfg, &mut scr) {
                 promoted_at = Some(i + 1);
                 break;
             }
@@ -434,11 +452,12 @@ mod tests {
             ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(9);
+        let mut scr = SharedScratch::default();
         let mut s = SeriesState::new(&cfg);
         let mut rejected = false;
         for _ in 0..200 {
             let v: f64 = rng.gen_range(-1.0..1.0);
-            if let StepOutcome::Output(PointOutput::Rejected) = s.step(v, &cfg) {
+            if let StepOutcome::Output(PointOutput::Rejected) = s.step(v, &cfg, &mut scr) {
                 rejected = true;
                 break;
             }
@@ -451,14 +470,15 @@ mod tests {
     fn snapshot_roundtrip_continues_bit_identically() {
         let cfg = FleetConfig::fixed_period(16);
         let y = seasonal(400, 16);
+        let mut scr = SharedScratch::default();
         let mut a = SeriesState::new(&cfg);
         for &v in &y[..200] {
-            a.step(v, &cfg);
+            a.step(v, &cfg, &mut scr);
         }
         let snap = a.to_snapshot();
         let mut b = SeriesState::from_snapshot(snap, &cfg).unwrap();
         for &v in &y[200..] {
-            let (ra, rb) = (a.step(v, &cfg), b.step(v, &cfg));
+            let (ra, rb) = (a.step(v, &cfg, &mut scr), b.step(v, &cfg, &mut scr));
             match (ra, rb) {
                 (StepOutcome::Output(oa), StepOutcome::Output(ob)) => assert_eq!(oa, ob),
                 _ => panic!("phases diverged"),
@@ -481,17 +501,18 @@ mod tests {
             ..Default::default()
         };
         let y = seasonal(400, 24);
+        let mut scr = SharedScratch::default();
         let mut a = SeriesState::new(&cfg);
         for &v in &y[..40] {
-            a.step(v, &cfg);
+            a.step(v, &cfg, &mut scr);
         }
         let mut b = SeriesState::from_snapshot(a.to_snapshot(), &cfg).unwrap();
         let mut admitted = (None, None);
         for (i, &v) in y[40..].iter().enumerate() {
-            if let StepOutcome::Promoted(_) = a.step(v, &cfg) {
+            if let StepOutcome::Promoted(_) = a.step(v, &cfg, &mut scr) {
                 admitted.0 = Some(i);
             }
-            if let StepOutcome::Promoted(_) = b.step(v, &cfg) {
+            if let StepOutcome::Promoted(_) = b.step(v, &cfg, &mut scr) {
                 admitted.1 = Some(i);
             }
         }

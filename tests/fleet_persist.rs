@@ -6,7 +6,7 @@
 
 use oneshotstl_suite::fleet::{
     DurabilityConfig, DurableFleet, FleetConfig, FleetEngine, FleetError, PeriodPolicy,
-    PointOutput, QueuePolicy, Record, ScoredPoint,
+    PointOutput, QueuePolicy, Record, ScoredPoint, SeriesKey,
 };
 use oneshotstl_suite::tskit::synth::{gaussian_noise, SeasonTemplate};
 use rand::rngs::StdRng;
@@ -341,4 +341,188 @@ fn reject_policy_sheds_load_with_typed_error() {
     // the rejected batch is retryable verbatim
     let out = engine.ingest(batch(&streams, 2)).unwrap();
     assert_eq!(out.len(), 4);
+}
+
+/// Incremental snapshots: with ~1% of the fleet dirty per interval, the
+/// bytes written per snapshot interval must shrink by at least 10× vs. a
+/// full snapshot — the headline claim of the delta-chain design.
+#[test]
+fn incremental_snapshots_shrink_writes_10x_with_1pct_dirty() {
+    let n_series = 200;
+    let streams = build_streams(n_series);
+    let dir = test_dir("delta-shrink");
+    let dcfg = DurabilityConfig {
+        snapshot_every: 10,
+        max_delta_chain: 1_000, // keep the cadence on deltas for this test
+        ..DurabilityConfig::new(&dir)
+    };
+    let cfg = FleetConfig { shards: 3, period: PeriodPolicy::Fixed(24), ..Default::default() };
+    let mut fleet = DurableFleet::create(cfg, dcfg).unwrap();
+    // warm the whole fleet live
+    for t in 0..80u64 {
+        fleet.ingest(batch(&streams, t)).unwrap();
+    }
+    assert_eq!(fleet.engine().stats().unwrap().live, n_series);
+    // full base at the current seq (forced checkpoint → full snapshot)
+    fleet.checkpoint().unwrap();
+    let base_seq = fleet.durable_snapshot();
+    // one snapshot interval touching only 1% of the series
+    let dirty: Vec<usize> = vec![7, 113];
+    for t in 80..90u64 {
+        let small: Vec<Record> = dirty
+            .iter()
+            .map(|&s| Record::new(format!("series-{s}"), t, streams[s][t as usize]))
+            .collect();
+        fleet.ingest(small).unwrap();
+    }
+    drop(fleet); // queued snapshot jobs complete before the writer joins
+
+    let mut base_size = None;
+    let mut delta_size = None;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let len = fs::metadata(&path).unwrap().len();
+        if let Some(seq) = oneshotstl_suite::fleet::persist::parse_snapshot_name(&name) {
+            if seq == base_seq {
+                base_size = Some(len);
+            }
+        } else if let Some(seq) = oneshotstl_suite::fleet::persist::parse_delta_name(&name) {
+            if seq > base_seq {
+                delta_size = Some(delta_size.unwrap_or(0).max(len));
+            }
+        }
+    }
+    let base_size = base_size.expect("forced full base on disk");
+    let delta_size = delta_size.expect("cadence delta on disk");
+    assert!(
+        delta_size * 10 <= base_size,
+        "1%-dirty delta must be ≥10× smaller: delta {delta_size} B vs base {base_size} B"
+    );
+
+    // and recovery through base + delta is intact
+    let recovered = DurableFleet::open(DurabilityConfig {
+        snapshot_every: 10,
+        max_delta_chain: 1_000,
+        ..DurabilityConfig::new(&dir)
+    })
+    .unwrap();
+    assert_eq!(recovered.engine().batches(), 90);
+    assert_eq!(recovered.engine().stats().unwrap().live, n_series);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Crash recovery through a chain of base + incremental deltas + WAL tail
+/// must stay bit-identical to an uninterrupted engine — including when the
+/// newest delta is corrupt (the chain walk stops and WAL replay covers the
+/// difference).
+#[test]
+fn delta_chain_crash_recovery_is_bit_identical() {
+    let n_series = 12;
+    let total = 150u64;
+    let crash_at = 130u64;
+    let streams = build_streams(n_series);
+    let dir = test_dir("delta-chain");
+    let dcfg = DurabilityConfig {
+        snapshot_every: 20,
+        max_delta_chain: 3, // base(0) d20 d40 d60 base(80) d100 d120 …
+        ..DurabilityConfig::new(&dir)
+    };
+
+    let mut reference = FleetEngine::new(config()).unwrap();
+    let mut ref_outputs = Vec::new();
+    for t in 0..total {
+        ref_outputs.push(reference.ingest(batch(&streams, t)).unwrap());
+    }
+
+    let mut durable = DurableFleet::create(config(), dcfg.clone()).unwrap();
+    for t in 0..crash_at {
+        let out = durable.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "pre-crash");
+    }
+    drop(durable); // crash: no checkpoint, no clean shutdown
+
+    // deltas must actually exist on disk (the cadence used them)
+    let n_deltas = fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "fdelta"))
+        .count();
+    assert!(n_deltas >= 2, "expected a delta chain on disk, found {n_deltas}");
+
+    let mut recovered = DurableFleet::open(dcfg.clone()).unwrap();
+    assert_eq!(recovered.engine().batches(), crash_at, "nothing acked may be lost");
+    for t in crash_at..total {
+        let out = recovered.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "post-recovery");
+    }
+    drop(recovered);
+
+    // corrupt the newest delta: recovery must fall back to the shorter
+    // chain + WAL replay and still reach the same state
+    let newest_delta = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fdelta"))
+        .max();
+    if let Some(path) = newest_delta {
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let mut recovered2 = DurableFleet::open(dcfg).unwrap();
+        assert_eq!(recovered2.engine().batches(), total);
+        let out = recovered2.ingest(batch(&streams, total)).unwrap();
+        let expected = reference.ingest(batch(&streams, total)).unwrap();
+        assert_outputs_bit_identical(&out, &expected, "after corrupt-delta fallback");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Group commit: a durably acked batch costs exactly **one** WAL fsync no
+/// matter how many shards it touches (previously `shards` fsyncs), and
+/// `fsync_every = k` costs one fsync per k batches.
+#[test]
+fn group_commit_fsyncs_once_per_acked_batch() {
+    let n_series = 16; // spread over all 4 shards
+    let streams = build_streams(n_series);
+    let cfg = FleetConfig { shards: 4, period: PeriodPolicy::Fixed(24), ..Default::default() };
+    let dir = test_dir("group-commit");
+    let dcfg = DurabilityConfig {
+        snapshot_every: 10_000, // no cadence rotation during the measurement
+        ..DurabilityConfig::new(&dir)
+    };
+    let mut fleet = DurableFleet::create(cfg.clone(), dcfg).unwrap();
+    // sanity: with 16 keys, every batch routes to all 4 shards
+    let shards_hit: std::collections::HashSet<usize> =
+        (0..n_series).map(|s| SeriesKey::new(format!("series-{s}")).shard_of(4)).collect();
+    assert_eq!(shards_hit.len(), 4, "workload must fan out to every shard");
+    let before = fleet.wal_fsync_count();
+    let batches = 20u64;
+    for t in 0..batches {
+        fleet.ingest(batch(&streams, t)).unwrap();
+    }
+    let per_batch = fleet.wal_fsync_count() - before;
+    assert_eq!(
+        per_batch, batches,
+        "fsync_every=1 must cost exactly 1 fsync per batch (not per shard)"
+    );
+    drop(fleet);
+    let _ = fs::remove_dir_all(&dir);
+
+    // fsync_every = 4: one flush per 4 batches
+    let dir = test_dir("group-commit-k");
+    let dcfg = DurabilityConfig {
+        snapshot_every: 10_000,
+        fsync_every: 4,
+        ..DurabilityConfig::new(&dir)
+    };
+    let mut fleet = DurableFleet::create(cfg, dcfg).unwrap();
+    let before = fleet.wal_fsync_count();
+    for t in 0..batches {
+        fleet.ingest(batch(&streams, t)).unwrap();
+    }
+    let flushes = fleet.wal_fsync_count() - before;
+    assert_eq!(flushes, batches / 4, "fsync_every=4 must flush once per 4 batches");
+    drop(fleet);
+    let _ = fs::remove_dir_all(&dir);
 }
