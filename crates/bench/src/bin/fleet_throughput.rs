@@ -15,9 +15,12 @@
 //!   essentially no point triggers the §3.4 shift search.
 //! - **storm** — the same signal with *zero* noise (the original seed
 //!   workload). Noise-free residuals collapse the NSigma σ, so a double-
-//!   digit percentage of points false-alarm at 5σ and pay the full
-//!   `2H + 1`-trial shift search (~40× a plain update). This tier prices
-//!   the anomaly path under storm conditions, not steady-state ingest.
+//!   digit percentage of points false-alarm at 5σ and pay the §3.4 shift
+//!   search. This tier prices the anomaly path under storm conditions,
+//!   not steady-state ingest — and it runs **twice**: once with the
+//!   default pruned search (`storm`, top-k proxy candidates only) and
+//!   once exhaustive (`storm-full`, all `2H + 1` trials, ~40× a plain
+//!   update), so the pruning win is measured where it matters.
 //!
 //! Emits `BENCH_fleet.json` in the working directory (the repo's perf
 //! trajectory seed) and a markdown report under `target/experiments/`.
@@ -26,6 +29,7 @@
 
 use benchkit::{fmt_duration, Cli, Experiment};
 use fleet::{FleetConfig, FleetEngine, PeriodPolicy, Record, SeriesKey};
+use oneshotstl::{OneShotStlConfig, ShiftSearchConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -95,11 +99,16 @@ fn main() {
     let mut runs: Vec<Run> = Vec::new();
     let mut report = Experiment::new("fleet_throughput", "Fleet engine throughput");
 
-    // (workload, noise amplitude, fleet sizes, shard counts)
+    // (workload, noise amplitude, fleet sizes, shard counts, shift search)
+    type Regime<'a> = (&'static str, f64, &'a [usize], &'a [usize], ShiftSearchConfig);
     let storm_sizes: &[usize] = if cli.quick { &[1_000] } else { &[10_000] };
-    let regimes: &[(&'static str, f64, &[usize], &[usize])] =
-        &[("steady", 0.05, fleet_sizes, &shard_counts), ("storm", 0.0, storm_sizes, &[1, 4])];
-    for &(workload, noise, sizes, shard_set) in regimes {
+    let regimes: &[Regime<'_>] = &[
+        ("steady", 0.05, fleet_sizes, &shard_counts, ShiftSearchConfig::default()),
+        // the anomaly-path tier, priced under both search policies
+        ("storm", 0.0, storm_sizes, &[1, 4], ShiftSearchConfig::default()),
+        ("storm-full", 0.0, storm_sizes, &[1, 4], ShiftSearchConfig::exhaustive()),
+    ];
+    for &(workload, noise, sizes, shard_set, shift_search) in regimes {
         for &n_series in sizes {
             let warm_rounds = (FleetConfig::default().init_len(PERIOD) + 8) as u64;
             let score_rounds: u64 = if cli.quick {
@@ -120,6 +129,7 @@ fn main() {
             let mut warm = FleetEngine::new(FleetConfig {
                 shards: 4,
                 period: PeriodPolicy::Fixed(PERIOD),
+                detector: OneShotStlConfig { shift_search, ..Default::default() },
                 ..Default::default()
             })
             .expect("engine config");

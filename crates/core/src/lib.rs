@@ -53,7 +53,8 @@ pub mod tasks;
 pub use jointstl::{JointStl, JointStlConfig};
 pub use nsigma::{NSigma, NSigmaState};
 pub use oneshot::{
-    IterSnapshot, OneShotStl, OneShotStlConfig, OneShotStlState, ShiftPolicy, UpdateScratch,
+    IterSnapshot, OneShotStl, OneShotStlConfig, OneShotStlState, ShiftPolicy, ShiftPrune,
+    ShiftSearchConfig, UpdateScratch, DEFAULT_SHIFT_TOP_K,
 };
 pub use online_doolittle::{IncrementalSolver, SolverState};
 pub use reference::ModifiedJointStlRef;

@@ -23,10 +23,20 @@
 //!    `u_j = v[(t_j + Δ) mod T]`, and iteration-`i` weights; solve for
 //!    `(τ_t, s_t)`; derive the iteration-`i+1` weights from Eq. 4–5
 //!    (append-only, as in Algorithm 2).
-//! 2. Feed `r_t = y_t − τ_t − s_t` to NSigma. On an anomaly verdict,
-//!    re-run step 1 for every phase offset `Δt ∈ [−H, H]` and keep the
-//!    result with the smallest `|r_t|` (§3.4). How an accepted offset
-//!    persists is governed by [`ShiftPolicy`].
+//! 2. Feed `r_t = y_t − τ_t − s_t` to NSigma. On an anomaly verdict, run
+//!    the §3.4 shift search as a **two-stage candidate pipeline**:
+//!    - *stage 1* scores every phase offset `Δt ∈ [−H, H] \ {0}` with the
+//!      zero-cost seasonal-buffer proxy residual
+//!      `r̂(Δt) = y − τ_{t−1} − v[(t + Δ + Δt) mod T]` (two reads and a
+//!      subtraction per offset — no linear algebra), and
+//!    - *stage 2* re-runs step 1 (a full IRLS trial, ~40× a plain update)
+//!      only for the offsets [`ShiftSearchConfig`] lets through: all of
+//!      them under [`ShiftPrune::Off`], the `k` best proxy scores under
+//!      [`ShiftPrune::TopK`]. `Δt = 0` is the mandatory baseline either
+//!      way, and the result with the smallest `|r_t|` wins (subject to
+//!      [`OneShotStlConfig::shift_accept_ratio`]).
+//!
+//!    How an accepted offset persists is governed by [`ShiftPolicy`].
 //! 3. Write the seasonal buffer: `v[(t + Δ) mod T] = s_t`.
 
 use crate::nsigma::NSigma;
@@ -83,6 +93,57 @@ pub enum ShiftPolicy {
     Transient,
 }
 
+/// Stage-1 candidate pruning of the §3.4 shift search (see the module
+/// docs for the two-stage pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftPrune {
+    /// Exhaustive search: every offset in `[−H, H]` runs a full IRLS
+    /// trial. Bit-identical to the pre-pruning implementation (pinned by
+    /// the golden fixture in `tests/golden_update.rs`).
+    Off,
+    /// Run full IRLS trials only on the `k` offsets with the smallest
+    /// proxy residual `|r̂(Δt)|` (plus the mandatory `Δt = 0` baseline):
+    /// at most `k + 1` trials per flagged point instead of `2H + 1`.
+    /// Proxy ties break toward the smaller `|Δt|` (then the negative one)
+    /// so the selection is deterministic. `TopK(0)` degenerates to
+    /// baseline-only — the search runs but can never adopt an offset;
+    /// prefer `shift_window: 0`, which skips it wholesale (the fleet
+    /// config layer rejects `TopK(0)` for exactly this reason).
+    TopK(usize),
+}
+
+/// The `k` of the default [`ShiftPrune::TopK`] policy. Chosen by the
+/// `shift_ablation` benchmark on the shifted-seasonality workloads:
+/// `k = 4` keeps decomposition MAE within 1% of the exhaustive search
+/// while cutting full IRLS trials per flagged point from `2H + 1 = 41`
+/// to at most 5 (see `docs/ARCHITECTURE.md`, "Shift search").
+pub const DEFAULT_SHIFT_TOP_K: usize = 4;
+
+/// Configuration of the §3.4 seasonality-shift search pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftSearchConfig {
+    /// Stage-1 pruning policy.
+    pub prune: ShiftPrune,
+}
+
+impl Default for ShiftSearchConfig {
+    fn default() -> Self {
+        ShiftSearchConfig { prune: ShiftPrune::TopK(DEFAULT_SHIFT_TOP_K) }
+    }
+}
+
+impl ShiftSearchConfig {
+    /// The exhaustive (pre-pruning, bit-identical) search.
+    pub fn exhaustive() -> Self {
+        ShiftSearchConfig { prune: ShiftPrune::Off }
+    }
+
+    /// Prune to the `k` best proxy candidates.
+    pub fn top_k(k: usize) -> Self {
+        ShiftSearchConfig { prune: ShiftPrune::TopK(k) }
+    }
+}
+
 /// Initialization method for the offline phase (Algorithm 5, line 1:
 /// "obtain τ, s, r by STL or JointSTL").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,6 +170,8 @@ pub struct OneShotStlConfig {
     pub nsigma: f64,
     /// Shift persistence policy.
     pub shift_policy: ShiftPolicy,
+    /// §3.4 shift-search pipeline configuration (candidate pruning).
+    pub shift_search: ShiftSearchConfig,
     /// A non-zero Δt is accepted only when its |r_t| is below this fraction
     /// of the Δt = 0 residual. A genuine phase shift shrinks the residual
     /// by an order of magnitude, easily clearing the bar; a trend jump
@@ -129,6 +192,7 @@ impl Default for OneShotStlConfig {
             shift_window: 20,
             nsigma: 5.0,
             shift_policy: ShiftPolicy::Cumulative,
+            shift_search: ShiftSearchConfig::default(),
             shift_accept_ratio: 0.5,
             init: InitMethod::Stl,
             eps: 1e-10,
@@ -159,15 +223,24 @@ struct TrialOut {
     u_new: f64,
 }
 
-/// Reusable trial buffers: `a` holds the best trial's successor iteration
-/// states, `b` is the scratch a candidate runs in before it is (maybe)
-/// swapped into `a`. Allocated once; the steady-state `update` path —
-/// including every §3.4 shift retry — performs **zero heap allocations**
-/// (pinned by `tests/zero_alloc.rs`).
+/// Reusable trial buffers: `base` holds the Δt = 0 baseline trial's
+/// successor iteration states (kept intact through the whole search, so a
+/// rejected shift needs no recompute), `best` the winning candidate's,
+/// and `trial` is the scratch a candidate runs in before it is (maybe)
+/// swapped into `best`. `proxy` and `cand` are the stage-1 scoring and
+/// candidate-offset scratch of the pruned search. Allocated once; the
+/// steady-state `update` path — including every §3.4 shift search, pruned
+/// or exhaustive — performs **zero heap allocations** (pinned by
+/// `tests/zero_alloc.rs`).
 #[derive(Debug, Clone, Default)]
 struct TrialBufs<S> {
-    a: Vec<IterState<S>>,
-    b: Vec<IterState<S>>,
+    base: Vec<IterState<S>>,
+    best: Vec<IterState<S>>,
+    trial: Vec<IterState<S>>,
+    /// `(|r̂(Δt)|, Δt)` proxy scores, one per non-zero offset.
+    proxy: Vec<(f64, i64)>,
+    /// Offsets surviving stage 1, in evaluation order.
+    cand: Vec<i64>,
 }
 
 /// Shareable trial scratch for [`OnlineJointStl::update_with_scratch`].
@@ -210,6 +283,13 @@ pub struct OnlineJointStl<S> {
     scratch: TrialBufs<S>,
     nsigma: NSigma,
     initialized: bool,
+    /// Lifetime count of §3.4 shift searches run (flagged points).
+    searches: u64,
+    /// Lifetime count of full IRLS trials run *by those searches*,
+    /// including each search's Δt = 0 baseline. Diagnostics only (never
+    /// serialized): `trials / searches` is the per-flagged-point cost the
+    /// pruning policy bounds.
+    search_trials: u64,
 }
 
 /// The paper's OneShotSTL: `O(1)` per-point online decomposition.
@@ -305,6 +385,8 @@ impl OneShotStl {
             scratch: TrialBufs::default(),
             nsigma: NSigma::from_state(state.nsigma),
             initialized: state.initialized,
+            searches: 0,
+            search_trials: 0,
         })
     }
 }
@@ -372,6 +454,8 @@ impl<S: TailSolver> OnlineJointStl<S> {
             scratch: TrialBufs::default(),
             nsigma: NSigma::new(5.0),
             initialized: false,
+            searches: 0,
+            search_trials: 0,
         }
     }
 
@@ -383,6 +467,16 @@ impl<S: TailSolver> OnlineJointStl<S> {
     /// Current cumulative phase offset Δ.
     pub fn shift(&self) -> i64 {
         self.shift
+    }
+
+    /// Lifetime `(searches, full IRLS trials)` of the §3.4 shift search:
+    /// how many updates were flagged and how many full trials (including
+    /// each search's Δt = 0 baseline) those searches ran. With
+    /// [`ShiftPrune::TopK`]`(k)`, `trials ≤ searches · (k + 1)` — the
+    /// bound the pruning exists to enforce. Diagnostics only; resets on
+    /// snapshot restore.
+    pub fn shift_search_stats(&self) -> (u64, u64) {
+        (self.searches, self.search_trials)
     }
 
     /// Whether [`OnlineDecomposer::init`] has run.
@@ -529,41 +623,111 @@ impl<S: TailSolver> OnlineJointStl<S> {
         self.update_with(y, &mut scratch.0)
     }
 
+    /// Stage 1 of the §3.4 search: fills `cand` with the offsets that get
+    /// a full IRLS trial, in evaluation order. Under [`ShiftPrune::Off`]
+    /// that is every non-zero `Δt ∈ [−H, H]` in ascending order — the
+    /// exact iteration order of the pre-pruning implementation, so stage 2
+    /// stays bit-identical to it. Under [`ShiftPrune::TopK`]`(k)` each
+    /// offset is scored with the seasonal-buffer proxy residual
+    /// `r̂(Δt) = y − τ_{t−1} − v[(t + Δ + Δt) mod T]` — the residual a
+    /// trial *would* see if the trend carried forward unchanged — and only
+    /// the `k` smallest `|r̂|` survive (ties: smaller `|Δt|`, then the
+    /// negative one; a deterministic selection).
+    fn select_candidates(
+        &self,
+        y: f64,
+        h: i64,
+        proxy: &mut Vec<(f64, i64)>,
+        cand: &mut Vec<i64>,
+    ) {
+        cand.clear();
+        match self.config.shift_search.prune {
+            ShiftPrune::Off => cand.extend((-h..=h).filter(|&dt| dt != 0)),
+            ShiftPrune::TopK(k) => {
+                proxy.clear();
+                let tau = self.last_trend();
+                for dt in -h..=h {
+                    if dt == 0 {
+                        continue;
+                    }
+                    let r_hat = y - tau - self.v[self.slot(self.t, self.shift + dt)];
+                    proxy.push((r_hat.abs(), dt));
+                }
+                // in-place sort: no allocation (zero-alloc invariant)
+                proxy.sort_unstable_by(|a, b| {
+                    a.0.total_cmp(&b.0)
+                        .then_with(|| a.1.abs().cmp(&b.1.abs()))
+                        .then_with(|| a.1.cmp(&b.1))
+                });
+                cand.extend(proxy.iter().take(k).map(|&(_, dt)| dt));
+            }
+        }
+    }
+
     /// The body of [`OnlineDecomposer::update`], with the trial buffers
     /// moved out of `self` so trials can borrow the committed state.
     fn update_with(&mut self, y: f64, bufs: &mut TrialBufs<S>) -> DecompPoint {
-        let base = self.run_trial_into(y, self.shift, &mut bufs.a);
-        let verdict = self.nsigma.score_only(base.point.residual);
         let h = self.config.shift_window as i64;
-        if !verdict.is_anomaly || h == 0 {
-            return self.commit(y, self.shift, base, &mut bufs.a);
+        if h > 0 {
+            // pre-size every search buffer during plain updates, so a
+            // flagged point allocates nothing no matter how late it comes:
+            // the stage-1 scratch by capacity, and the candidate trial
+            // buffers by cloning the iteration states once up front (the
+            // best/trial swap below leaves the loser empty otherwise, and
+            // `run_trial_into`'s lazy sizing would then allocate *inside*
+            // the search)
+            let want = 2 * h as usize;
+            if bufs.proxy.capacity() < want {
+                bufs.proxy.reserve(want);
+            }
+            if bufs.cand.capacity() < want {
+                bufs.cand.reserve(want);
+            }
+            for buf in [&mut bufs.best, &mut bufs.trial] {
+                if buf.len() != self.iters.len() {
+                    buf.clear();
+                    buf.extend(self.iters.iter().cloned());
+                }
+            }
         }
-        // §3.4: retry with every Δt in the neighbourhood E = [−H, H],
-        // keep the smallest |r_t| — but only adopt a non-zero offset when
-        // it actually explains the anomaly (see `shift_accept_ratio`)
+        let base = self.run_trial_into(y, self.shift, &mut bufs.base);
+        let verdict = self.nsigma.score_only(base.point.residual);
+        if !verdict.is_anomaly || h == 0 {
+            return self.commit(y, self.shift, base, &mut bufs.base);
+        }
+        // §3.4, two stages: pick candidate offsets Δt from E = [−H, H]
+        // (all of them, or the top-k by proxy residual), run a full trial
+        // per candidate, keep the smallest |r_t| — but only adopt a
+        // non-zero offset when it actually explains the anomaly (see
+        // `shift_accept_ratio`)
+        self.select_candidates(y, h, &mut bufs.proxy, &mut bufs.cand);
+        self.searches += 1;
+        self.search_trials += 1 + bufs.cand.len() as u64;
         let base_resid = base.point.residual.abs();
         let mut best_shift = self.shift;
         let mut best = base;
-        for dt in -h..=h {
-            if dt == 0 {
-                continue;
-            }
-            let cand_shift = self.shift + dt;
-            let cand = self.run_trial_into(y, cand_shift, &mut bufs.b);
+        let mut best_is_base = true;
+        for i in 0..bufs.cand.len() {
+            let cand_shift = self.shift + bufs.cand[i];
+            let cand = self.run_trial_into(y, cand_shift, &mut bufs.trial);
             if cand.point.residual.abs() < best.point.residual.abs() {
                 best = cand;
                 best_shift = cand_shift;
-                std::mem::swap(&mut bufs.a, &mut bufs.b);
+                std::mem::swap(&mut bufs.best, &mut bufs.trial);
+                best_is_base = false;
             }
         }
         if best_shift != self.shift
             && best.point.residual.abs() > self.config.shift_accept_ratio * base_resid
         {
-            // not convincingly better than staying in phase: reject
-            best = self.run_trial_into(y, self.shift, &mut bufs.a);
+            // not convincingly better than staying in phase: reject (the
+            // baseline's successor states are still intact in `base`)
+            best = base;
             best_shift = self.shift;
+            best_is_base = true;
         }
-        self.commit(y, best_shift, best, &mut bufs.a)
+        let accepted = if best_is_base { &mut bufs.base } else { &mut bufs.best };
+        self.commit(y, best_shift, best, accepted)
     }
 }
 

@@ -1,8 +1,10 @@
 //! Pins the zero-allocation guarantee of the steady-state online update
 //! path: after initialization (and one scratch-buffer warm-up update), a
 //! [`OneShotStl::update`] performs **zero heap allocations** — including
-//! updates that trigger the §3.4 seasonality-shift search and run all
-//! `2H + 1` retry trials, and updates that impute non-finite input.
+//! updates that trigger the §3.4 seasonality-shift search (under both the
+//! default pruned `TopK` policy, whose stage-1 proxy scoring uses a
+//! fixed-size scratch, and the exhaustive `Off` policy that runs all
+//! `2H + 1` retry trials), and updates that impute non-finite input.
 //!
 //! The counting global allocator below makes the claim a hard test rather
 //! than a code-review property. CI runs this test file explicitly
@@ -10,26 +12,34 @@
 //! regression guard cannot be skipped silently.
 
 use decomp::traits::OnlineDecomposer;
-use oneshotstl::OneShotStl;
+use oneshotstl::{OneShotStl, OneShotStlConfig, ShiftSearchConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counts every allocation request routed to the system allocator.
+/// Counts every allocation request routed to the system allocator,
+/// **per thread**: the libtest harness keeps background threads alive
+/// (hang-detection / reporting) that may allocate at any moment, and a
+/// process-wide counter picks those up as rare spurious failures. The
+/// update path under test runs entirely on the test thread, so its
+/// thread-local count is the exact quantity the invariant covers.
+/// `Cell<u64>` is const-initialized and has no destructor, so touching it
+/// from inside the allocator can never recurse or hit TLS teardown.
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         System.alloc_zeroed(layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
@@ -41,49 +51,97 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
+    ALLOCS.with(|c| c.get())
 }
 
-/// One test covers every hot-path branch so no other test thread can
-/// pollute the counter mid-measurement.
-#[test]
-fn steady_state_update_performs_zero_heap_allocations() {
+fn assert_zero_alloc_stream(search: ShiftSearchConfig, label: &str) {
     let t = 48usize;
     let n = 4 * t + 2_000;
     // everything the stream needs is allocated up front
     let y: Vec<f64> = (0..n)
         .map(|i| 2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
         .collect();
-    let mut m = OneShotStl::default_paper();
+    let mut m =
+        OneShotStl::new(OneShotStlConfig { shift_search: search, ..Default::default() });
     m.init(&y[..4 * t], t).unwrap();
-    // warm-up: the first updates size the scratch buffers and walk the
-    // solvers through their 4-step warm-up into the POD steady state
+    // warm-up: the first updates size the scratch buffers (the noise-free
+    // stream false-alarms early, sizing the trial *and* stage-1 proxy
+    // buffers) and walk the solvers through their 4-step warm-up into the
+    // POD steady state
     for &v in &y[4 * t..4 * t + 16] {
         std::hint::black_box(m.update(v));
     }
+    let (searches, _) = m.shift_search_stats();
+    assert!(searches > 0, "[{label}] warm-up must exercise the shift search");
 
     // 1) plain steady-state updates
     let before = allocs();
     for &v in &y[4 * t + 16..4 * t + 1_016] {
         std::hint::black_box(m.update(v));
     }
-    assert_eq!(allocs() - before, 0, "steady-state update allocated");
+    assert_eq!(allocs() - before, 0, "[{label}] steady-state update allocated");
 
     // 2) an anomalous spike: NSigma flags it and the §3.4 shift search
-    //    runs all 2H+1 retry trials (H = 20 with paper defaults)
+    //    runs its trials (all 2H+1 under Off, proxy-pruned under TopK;
+    //    H = 20 with paper defaults)
     let before = allocs();
     std::hint::black_box(m.update(y[4 * t + 1_016] + 50.0));
-    assert_eq!(allocs() - before, 0, "shift-retry update allocated");
+    assert_eq!(allocs() - before, 0, "[{label}] shift-retry update allocated");
 
     // 3) non-finite input: the imputation path
     let before = allocs();
     std::hint::black_box(m.update(f64::NAN));
-    assert_eq!(allocs() - before, 0, "imputing update allocated");
+    assert_eq!(allocs() - before, 0, "[{label}] imputing update allocated");
 
     // 4) and the stream continues allocation-free after both excursions
     let before = allocs();
     for &v in &y[4 * t + 1_017..4 * t + 1_517] {
         std::hint::black_box(m.update(v));
     }
-    assert_eq!(allocs() - before, 0, "post-excursion update allocated");
+    assert_eq!(allocs() - before, 0, "[{label}] post-excursion update allocated");
+}
+
+/// The hard case: a *noisy* stream keeps NSigma calibrated, so the very
+/// first shift search happens long after warm-up — and the next one right
+/// after it (a winning candidate's buffer swap must not leave an
+/// unsized buffer behind). Both flagged updates must allocate nothing:
+/// every search buffer is pre-sized on plain updates.
+fn assert_zero_alloc_late_flags(search: ShiftSearchConfig, label: &str) {
+    let t = 48usize;
+    let mut state = 0x5eed_u64;
+    let mut noise = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    let y: Vec<f64> = (0..4 * t + 600)
+        .map(|i| 2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin() + 0.1 * noise())
+        .collect();
+    let mut m =
+        OneShotStl::new(OneShotStlConfig { shift_search: search, ..Default::default() });
+    m.init(&y[..4 * t], t).unwrap();
+    for &v in &y[4 * t..4 * t + 500] {
+        std::hint::black_box(m.update(v));
+    }
+    let (searches, _) = m.shift_search_stats();
+    assert_eq!(searches, 0, "[{label}] the noisy warm-up must stay calm — no search yet");
+    // two consecutive flagged updates: the first exercises a fresh search,
+    // the second the post-swap buffer state
+    for (i, spike) in [50.0, 500.0].into_iter().enumerate() {
+        let before = allocs();
+        std::hint::black_box(m.update(y[4 * t + 500 + i] + spike));
+        assert_eq!(allocs() - before, 0, "[{label}] late flagged update {i} allocated");
+    }
+    let (searches, _) = m.shift_search_stats();
+    assert_eq!(searches, 2, "[{label}] both spikes must have run the search");
+}
+
+/// One test covers every hot-path branch — under both shift-search
+/// policies — on one thread, whose thread-local counter is immune to
+/// harness background threads.
+#[test]
+fn steady_state_update_performs_zero_heap_allocations() {
+    assert_zero_alloc_stream(ShiftSearchConfig::default(), "pruned TopK (default)");
+    assert_zero_alloc_stream(ShiftSearchConfig::exhaustive(), "exhaustive Off");
+    assert_zero_alloc_late_flags(ShiftSearchConfig::default(), "late flags, pruned");
+    assert_zero_alloc_late_flags(ShiftSearchConfig::exhaustive(), "late flags, exhaustive");
 }

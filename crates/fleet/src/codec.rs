@@ -12,8 +12,15 @@
 //! onto (`prev_batches`) and a tombstone list of keys removed since then;
 //! folding it onto that image ([`FleetDelta::fold_into`]) reproduces the
 //! full snapshot bit-exactly.
+//!
+//! v4 adds the §3.4 shift-search pipeline configuration to every encoded
+//! detector config, and pending per-series [`AdmitOptions`] to every
+//! warming-phase series. v3 images still decode (read-compat): their
+//! detector configs get [`oneshotstl::ShiftPrune::Off`] — the exhaustive
+//! search every v3 writer actually ran, so a restored v3 stream continues
+//! bit-identically — and their warming series carry no overrides.
 
-use crate::config::QueuePolicy;
+use crate::config::{AdmitOptions, QueuePolicy};
 use crate::engine::{CarriedTotals, FleetDelta, FleetSnapshot};
 use crate::error::CodecError;
 use crate::series::PhaseSnapshot;
@@ -23,13 +30,18 @@ use crate::{FleetConfig, PeriodPolicy};
 use oneshotstl::oneshot::InitMethod;
 use oneshotstl::system::Lambdas;
 use oneshotstl::{
-    IterSnapshot, NSigmaState, OneShotStlConfig, OneShotStlState, ShiftPolicy, SolverState,
+    IterSnapshot, NSigmaState, OneShotStlConfig, OneShotStlState, ShiftPolicy, ShiftPrune,
+    ShiftSearchConfig, SolverState,
 };
 
 const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v2: FleetConfig gained queue_capacity + queue_policy (backpressure)
 // v3: kind byte after the version; kind 1 = incremental delta snapshots
-const VERSION: u16 = 3;
+// v4: detector configs gained the shift-search pipeline config; warming
+//     series gained pending per-series AdmitOptions
+const VERSION: u16 = 4;
+/// Oldest version this build still decodes.
+const MIN_VERSION: u16 = 3;
 const KIND_FULL: u8 = 0;
 const KIND_DELTA: u8 = 1;
 
@@ -72,34 +84,35 @@ pub fn encode_delta(delta: &FleetDelta) -> Vec<u8> {
     w.buf
 }
 
-/// Checks magic, version, and kind; leaves the reader after the kind byte.
-fn decode_header(r: &mut Reader<'_>, want_kind: u8) -> Result<(), CodecError> {
+/// Checks magic, version, and kind; leaves the reader after the kind byte
+/// and returns the (read-compatible) version found.
+fn decode_header(r: &mut Reader<'_>, want_kind: u8) -> Result<u16, CodecError> {
     if r.take(8)? != MAGIC {
         return Err(CodecError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let kind = r.u8()?;
     if kind != want_kind {
         return Err(CodecError::Invalid("snapshot kind (full vs delta)"));
     }
-    Ok(())
+    Ok(version)
 }
 
-/// Deserializes [`encode`] output.
+/// Deserializes [`encode`] output (v4, or v3 for read-compat).
 pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
     let mut r = Reader { data: bytes, pos: 0 };
-    decode_header(&mut r, KIND_FULL)?;
-    let config = decode_config(&mut r)?;
+    let v = decode_header(&mut r, KIND_FULL)?;
+    let config = decode_config(&mut r, v)?;
     let clock = r.u64()?;
     let batches = r.u64()?;
     let totals = decode_totals(&mut r)?;
     let n = r.u64()? as usize;
     let mut series = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        series.push(decode_series(&mut r)?);
+        series.push(decode_series(&mut r, v)?);
     }
     if r.pos != r.data.len() {
         return Err(CodecError::Invalid("trailing bytes after snapshot"));
@@ -107,11 +120,11 @@ pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
     Ok(FleetSnapshot { config, clock, batches, totals, series })
 }
 
-/// Deserializes [`encode_delta`] output.
+/// Deserializes [`encode_delta`] output (v4, or v3 for read-compat).
 pub fn decode_delta(bytes: &[u8]) -> Result<FleetDelta, CodecError> {
     let mut r = Reader { data: bytes, pos: 0 };
-    decode_header(&mut r, KIND_DELTA)?;
-    let config = decode_config(&mut r)?;
+    let v = decode_header(&mut r, KIND_DELTA)?;
+    let config = decode_config(&mut r, v)?;
     let prev_batches = r.u64()?;
     let clock = r.u64()?;
     let batches = r.u64()?;
@@ -119,7 +132,7 @@ pub fn decode_delta(bytes: &[u8]) -> Result<FleetDelta, CodecError> {
     let n = r.u64()? as usize;
     let mut series = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
-        series.push(decode_series(&mut r)?);
+        series.push(decode_series(&mut r, v)?);
     }
     let n_dead = r.u64()? as usize;
     let mut tombstones = Vec::with_capacity(n_dead.min(1 << 20));
@@ -176,7 +189,7 @@ fn encode_config(w: &mut Writer, c: &FleetConfig) {
     encode_detector_config(w, &c.detector);
 }
 
-fn decode_config(r: &mut Reader<'_>) -> Result<FleetConfig, CodecError> {
+fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecError> {
     let shards = r.u32()? as usize;
     let init_cycles = r.u32()? as usize;
     let period = match r.u8()? {
@@ -199,7 +212,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<FleetConfig, CodecError> {
         1 => QueuePolicy::Reject,
         _ => return Err(CodecError::Invalid("queue policy tag")),
     };
-    let detector = decode_detector_config(r)?;
+    let detector = decode_detector_config(r, version)?;
     Ok(FleetConfig {
         shards,
         init_cycles,
@@ -231,9 +244,43 @@ fn encode_detector_config(w: &mut Writer, c: &OneShotStlConfig) {
         InitMethod::JointStl => 1,
     });
     w.f64(c.eps);
+    encode_shift_search(w, &c.shift_search);
 }
 
-fn decode_detector_config(r: &mut Reader<'_>) -> Result<OneShotStlConfig, CodecError> {
+/// v4: `u8` tag (0 = Off, 1 = TopK) then the `u32` k for TopK.
+fn encode_shift_search(w: &mut Writer, s: &ShiftSearchConfig) {
+    match s.prune {
+        ShiftPrune::Off => w.u8(0),
+        ShiftPrune::TopK(k) => {
+            w.u8(1);
+            w.u32(k as u32);
+        }
+    }
+}
+
+fn decode_shift_search(r: &mut Reader<'_>) -> Result<ShiftSearchConfig, CodecError> {
+    Ok(match r.u8()? {
+        0 => ShiftSearchConfig::exhaustive(),
+        1 => {
+            let k = r.u32()? as usize;
+            // no fleet writer can produce TopK(0) (both the engine config
+            // and per-series overrides reject it), so a decoded one is a
+            // crafted/corrupted image smuggling in the degenerate
+            // baseline-only search — refuse it on every path, including
+            // live series' embedded detector configs
+            if k == 0 {
+                return Err(CodecError::Invalid("shift search TopK(0)"));
+            }
+            ShiftSearchConfig::top_k(k)
+        }
+        _ => return Err(CodecError::Invalid("shift search prune tag")),
+    })
+}
+
+fn decode_detector_config(
+    r: &mut Reader<'_>,
+    version: u16,
+) -> Result<OneShotStlConfig, CodecError> {
     let lambdas = Lambdas { lambda1: r.f64()?, lambda2: r.f64()?, anchor: r.f64()? };
     let iters = r.u32()? as usize;
     let shift_window = r.u32()? as usize;
@@ -250,27 +297,66 @@ fn decode_detector_config(r: &mut Reader<'_>) -> Result<OneShotStlConfig, CodecE
         _ => return Err(CodecError::Invalid("init method tag")),
     };
     let eps = r.f64()?;
+    // a v3 writer ran the exhaustive search; restoring it as such keeps
+    // the restored stream bit-identical to the writer's continuation
+    let shift_search =
+        if version >= 4 { decode_shift_search(r)? } else { ShiftSearchConfig::exhaustive() };
     Ok(OneShotStlConfig {
         lambdas,
         iters,
         shift_window,
         nsigma,
         shift_policy,
+        shift_search,
         shift_accept_ratio,
         init,
         eps,
     })
 }
 
+/// v4: pending per-series admission overrides of a warming series.
+fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
+    w.opt_f64(o.lambda);
+    w.opt_f64(o.nsigma);
+    w.opt_u32(o.period.map(|v| v as u32));
+    match &o.shift_search {
+        None => w.u8(0),
+        Some(ss) => {
+            w.u8(1);
+            encode_shift_search(w, ss);
+        }
+    }
+}
+
+fn decode_admit_options(r: &mut Reader<'_>) -> Result<AdmitOptions, CodecError> {
+    let lambda = r.opt_f64()?;
+    let nsigma = r.opt_f64()?;
+    let period = r.opt_u32()?.map(|v| v as usize);
+    let shift_search = match r.u8()? {
+        0 => None,
+        1 => Some(decode_shift_search(r)?),
+        _ => return Err(CodecError::Invalid("option tag")),
+    };
+    let opts = AdmitOptions { lambda, nsigma, period, shift_search };
+    // a corrupted or externally-produced image must not smuggle in the
+    // degenerate values the API boundary rejects (TopK(0), non-finite or
+    // non-positive λ/nsigma, period < 2)
+    if opts.validate().is_err() {
+        return Err(CodecError::Invalid("admit options"));
+    }
+    Ok(opts)
+}
+
 fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
     w.string(s.key.as_str());
     w.u64(s.last_seen);
     match &s.phase {
-        PhaseSnapshot::Warming { values, period, last_attempt } => {
+        PhaseSnapshot::Warming { values, period, last_attempt, overrides } => {
             w.u8(0);
             w.vec_f64(values);
             w.opt_u32(period.map(|v| v as u32));
             w.u64(*last_attempt as u64);
+            encode_admit_options(w, overrides);
         }
         PhaseSnapshot::Live { decomposer, nsigma } => {
             w.u8(1);
@@ -281,7 +367,7 @@ fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
     }
 }
 
-fn decode_series(r: &mut Reader<'_>) -> Result<SeriesSnapshot, CodecError> {
+fn decode_series(r: &mut Reader<'_>, version: u16) -> Result<SeriesSnapshot, CodecError> {
     let key = SeriesKey::new(r.string()?);
     let last_seen = r.u64()?;
     let phase = match r.u8()? {
@@ -289,10 +375,16 @@ fn decode_series(r: &mut Reader<'_>) -> Result<SeriesSnapshot, CodecError> {
             values: r.vec_f64()?,
             period: r.opt_u32()?.map(|v| v as usize),
             last_attempt: r.u64()? as usize,
+            overrides: if version >= 4 {
+                decode_admit_options(r)?
+            } else {
+                AdmitOptions::default()
+            },
         },
-        1 => {
-            PhaseSnapshot::Live { decomposer: decode_decomposer(r)?, nsigma: decode_nsigma(r)? }
-        }
+        1 => PhaseSnapshot::Live {
+            decomposer: decode_decomposer(r, version)?,
+            nsigma: decode_nsigma(r)?,
+        },
         2 => PhaseSnapshot::Rejected,
         _ => return Err(CodecError::Invalid("series phase tag")),
     };
@@ -319,8 +411,8 @@ fn encode_decomposer(w: &mut Writer, s: &OneShotStlState) {
     w.u8(s.initialized as u8);
 }
 
-fn decode_decomposer(r: &mut Reader<'_>) -> Result<OneShotStlState, CodecError> {
-    let config = decode_detector_config(r)?;
+fn decode_decomposer(r: &mut Reader<'_>, version: u16) -> Result<OneShotStlState, CodecError> {
+    let config = decode_detector_config(r, version)?;
     let period = r.u64()?;
     let t = r.u64()?;
     let m = r.u64()?;
@@ -464,6 +556,15 @@ impl Writer {
             }
         }
     }
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+        }
+    }
     fn vec_f64(&mut self, v: &[f64]) {
         self.u64(v.len() as u64);
         for &x in v {
@@ -523,6 +624,13 @@ impl<'a> Reader<'a> {
             _ => Err(CodecError::Invalid("option tag")),
         }
     }
+    fn opt_f64(&mut self) -> Result<Option<f64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            _ => Err(CodecError::Invalid("option tag")),
+        }
+    }
     pub(crate) fn string(&mut self) -> Result<&'a str, CodecError> {
         let n = self.u32()? as usize;
         std::str::from_utf8(self.take(n)?).map_err(|_| CodecError::Invalid("utf-8 string"))
@@ -561,6 +669,12 @@ mod tests {
                         values: vec![1.0, -2.5, messy],
                         period: Some(24),
                         last_attempt: 3,
+                        overrides: AdmitOptions {
+                            lambda: Some(0.25),
+                            nsigma: Some(4.0),
+                            period: Some(24),
+                            shift_search: Some(ShiftSearchConfig::top_k(7)),
+                        },
                     },
                 },
                 SeriesSnapshot {
@@ -583,6 +697,7 @@ mod tests {
                 values: vec![4.0, 5.0],
                 period: Some(24),
                 last_attempt: 5,
+                overrides: AdmitOptions::default(),
             },
         };
         let added = SeriesSnapshot {
@@ -633,10 +748,21 @@ mod tests {
         assert_eq!(back.series[0].key, snap.series[0].key);
         match (&back.series[0].phase, &snap.series[0].phase) {
             (
-                PhaseSnapshot::Warming { values: a, period: pa, last_attempt: la },
-                PhaseSnapshot::Warming { values: b, period: pb, last_attempt: lb },
+                PhaseSnapshot::Warming {
+                    values: a,
+                    period: pa,
+                    last_attempt: la,
+                    overrides: oa,
+                },
+                PhaseSnapshot::Warming {
+                    values: b,
+                    period: pb,
+                    last_attempt: lb,
+                    overrides: ob,
+                },
             ) => {
                 assert_eq!((pa, la), (pb, lb));
+                assert_eq!(oa, ob, "per-series overrides must round-trip");
                 assert_eq!(a.len(), b.len());
                 for (x, y) in a.iter().zip(b) {
                     assert_eq!(x.to_bits(), y.to_bits(), "bit-identical floats");
@@ -644,6 +770,104 @@ mod tests {
             }
             _ => panic!("phase mismatch"),
         }
+    }
+
+    /// A crafted image carrying override values the API boundary rejects
+    /// (here: `TopK(0)`) must fail to decode, not restore a degenerate
+    /// series.
+    #[test]
+    fn degenerate_decoded_admit_options_are_rejected() {
+        let mut snap = sample_snapshot();
+        let PhaseSnapshot::Warming { overrides, .. } = &mut snap.series[0].phase else {
+            unreachable!("sample series 0 is warming");
+        };
+        overrides.shift_search = Some(ShiftSearchConfig::top_k(0));
+        assert_eq!(decode(&encode(&snap)), Err(CodecError::Invalid("shift search TopK(0)")));
+        // a non-finite λ is caught by the options-level validation
+        let mut snap = sample_snapshot();
+        let PhaseSnapshot::Warming { overrides, .. } = &mut snap.series[0].phase else {
+            unreachable!("sample series 0 is warming");
+        };
+        overrides.lambda = Some(f64::NAN);
+        assert_eq!(decode(&encode(&snap)), Err(CodecError::Invalid("admit options")));
+    }
+
+    /// Hand-encodes the v3 layout of [`sample_snapshot`] (no shift-search
+    /// field in detector configs, no per-series overrides) and checks the
+    /// v4 reader still restores it — with the exhaustive search the v3
+    /// writer actually ran, and no overrides.
+    #[test]
+    fn v3_snapshots_still_decode() {
+        let snap = sample_snapshot();
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(3);
+        w.u8(KIND_FULL);
+        // config, v3 layout: everything but the detector's shift_search
+        let c = &snap.config;
+        w.u32(c.shards as u32);
+        w.u32(c.init_cycles as u32);
+        match &c.period {
+            PeriodPolicy::Fixed(t) => {
+                w.u8(0);
+                w.u32(*t as u32);
+            }
+            PeriodPolicy::Detect { .. } => unreachable!("sample uses a fixed period"),
+        }
+        w.opt_u32(c.max_warmup.map(|v| v as u32));
+        w.f64(c.nsigma);
+        w.opt_u64(c.ttl);
+        w.opt_u64(c.max_clock_step);
+        w.opt_u64(c.queue_capacity.map(|v| v as u64));
+        w.u8(1); // QueuePolicy::Reject
+        let d = &c.detector;
+        w.f64(d.lambdas.lambda1);
+        w.f64(d.lambdas.lambda2);
+        w.f64(d.lambdas.anchor);
+        w.u32(d.iters as u32);
+        w.u32(d.shift_window as u32);
+        w.f64(d.nsigma);
+        w.u8(0); // ShiftPolicy::Cumulative
+        w.f64(d.shift_accept_ratio);
+        w.u8(0); // InitMethod::Stl
+        w.f64(d.eps);
+        w.u64(snap.clock);
+        w.u64(snap.batches);
+        w.u64(snap.totals.evicted);
+        w.u64(snap.totals.admitted);
+        w.u64(snap.totals.points);
+        w.u64(snap.totals.anomalies);
+        // series, v3 layout: warming has no overrides
+        w.u64(2);
+        let PhaseSnapshot::Warming { values, period, last_attempt, .. } = &snap.series[0].phase
+        else {
+            unreachable!("sample series 0 is warming");
+        };
+        w.string("warm");
+        w.u64(snap.series[0].last_seen);
+        w.u8(0);
+        w.vec_f64(values);
+        w.opt_u32(period.map(|v| v as u32));
+        w.u64(*last_attempt as u64);
+        w.string("dead");
+        w.u64(snap.series[1].last_seen);
+        w.u8(2);
+        let back = decode(&w.buf).expect("v3 must stay readable");
+        assert_eq!(back.config.detector.shift_search, ShiftSearchConfig::exhaustive());
+        match &back.series[0].phase {
+            PhaseSnapshot::Warming { overrides, values: v, period: p, .. } => {
+                assert!(overrides.is_default(), "v3 series carry no overrides");
+                assert_eq!(v.len(), values.len());
+                assert_eq!(p, period);
+            }
+            _ => panic!("phase mismatch"),
+        }
+        assert_eq!(back.clock, snap.clock);
+        assert_eq!(back.batches, snap.batches);
+        // ...and a v3 image re-encodes as v4 (upgrade-on-rewrite)
+        let re = encode(&back);
+        assert_eq!(re[8], 4, "re-encoded version");
+        decode(&re).expect("upgraded image decodes");
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Engine configuration.
+//! Engine configuration, including per-series admission-time overrides.
 
-use oneshotstl::OneShotStlConfig;
+use oneshotstl::{OneShotStlConfig, ShiftPrune, ShiftSearchConfig};
 
 /// How the seasonal period of an incoming series is determined.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +33,101 @@ impl PeriodPolicy {
             fallback: Some(125),
         }
     }
+}
+
+/// Per-series overrides of the engine-wide [`FleetConfig`], applied on
+/// the warm-up/admission path (see
+/// [`crate::FleetEngine::set_admit_options`]).
+///
+/// Every field is optional; `None` inherits the engine config. Overrides
+/// are registered while a series is unknown or still warming and are
+/// **baked into the detector at promotion** — a live series' tuning
+/// travels inside its detector state from then on (and through snapshots,
+/// which encode per-series detector configs). Overrides registered on a
+/// still-warming series are themselves persisted by snapshot codec v4, so
+/// a restore mid-warm-up admits with the same tuning. TTL eviction
+/// removes the series entirely, overrides included.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdmitOptions {
+    /// Trend penalty λ: overrides *both* λ1 and λ2 (the paper ties and
+    /// tunes them together); the anchor weight is untouched.
+    pub lambda: Option<f64>,
+    /// NSigma threshold `n`, applied to both the detector's §3.4
+    /// shift-search trigger and the task-level anomaly verdict.
+    pub nsigma: Option<f64>,
+    /// Declared seasonal period for this series, overriding the engine's
+    /// [`PeriodPolicy`] (skips ACF detection entirely).
+    pub period: Option<usize>,
+    /// §3.4 shift-search pipeline override (pruning policy).
+    pub shift_search: Option<ShiftSearchConfig>,
+}
+
+impl AdmitOptions {
+    /// True when every field inherits the engine config.
+    pub fn is_default(&self) -> bool {
+        *self == AdmitOptions::default()
+    }
+
+    /// The detector configuration a series admitted under these options
+    /// uses.
+    pub fn detector_config(&self, base: &FleetConfig) -> OneShotStlConfig {
+        let mut cfg = base.detector.clone();
+        if let Some(l) = self.lambda {
+            cfg.lambdas.lambda1 = l;
+            cfg.lambdas.lambda2 = l;
+        }
+        if let Some(n) = self.nsigma {
+            cfg.nsigma = n;
+        }
+        if let Some(ss) = self.shift_search {
+            cfg.shift_search = ss;
+        }
+        cfg
+    }
+
+    /// The task-level NSigma threshold for the anomaly verdict.
+    pub fn task_nsigma(&self, base: &FleetConfig) -> f64 {
+        self.nsigma.unwrap_or(base.nsigma)
+    }
+
+    /// Validates the overrides (mirrors [`FleetConfig::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(t) = self.period {
+            if t < 2 {
+                return Err(format!("override period must be >= 2, got {t}"));
+            }
+        }
+        if let Some(l) = self.lambda {
+            if !(l.is_finite() && l > 0.0) {
+                return Err(format!("override lambda must be finite and > 0, got {l}"));
+            }
+        }
+        if let Some(n) = self.nsigma {
+            if !(n.is_finite() && n > 0.0) {
+                return Err(format!("override nsigma must be finite and > 0, got {n}"));
+            }
+        }
+        if let Some(ss) = self.shift_search {
+            validate_shift_search(&ss)?;
+        }
+        Ok(())
+    }
+}
+
+/// `TopK(0)` would run the shift search with zero candidates — every
+/// flagged point silently keeps Δt = 0, which reads like a tuned search
+/// but never adopts a genuine shift. Reject it at the fleet boundary; a
+/// caller who wants the search off should set the detector's
+/// `shift_window` to 0 and skip it wholesale.
+fn validate_shift_search(ss: &ShiftSearchConfig) -> Result<(), String> {
+    if ss.prune == ShiftPrune::TopK(0) {
+        return Err(
+            "shift_search TopK(0) never adopts a shift; use shift_window: 0 to disable \
+             the search instead"
+                .into(),
+        );
+    }
+    Ok(())
 }
 
 /// What a full bounded shard queue does to a new batch submission.
@@ -174,6 +269,7 @@ impl FleetConfig {
         if self.queue_capacity == Some(0) {
             return Err("queue_capacity must be >= 1 (or None for unbounded)".into());
         }
+        validate_shift_search(&self.detector.shift_search)?;
         Ok(())
     }
 }
@@ -221,5 +317,24 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(bounded.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_top_k_zero_is_rejected() {
+        // engine-wide detector config…
+        let mut cfg = FleetConfig::default();
+        cfg.detector.shift_search = ShiftSearchConfig::top_k(0);
+        assert!(cfg.validate().is_err());
+        // …and per-series overrides
+        let opts = AdmitOptions {
+            shift_search: Some(ShiftSearchConfig::top_k(0)),
+            ..Default::default()
+        };
+        assert!(opts.validate().is_err());
+        let ok = AdmitOptions {
+            shift_search: Some(ShiftSearchConfig::top_k(1)),
+            ..Default::default()
+        };
+        assert_eq!(ok.validate(), Ok(()));
     }
 }

@@ -11,7 +11,7 @@
 //!   [`FleetConfig::queue_capacity`] set, a full shard either blocks the
 //!   submitter or rejects the batch ([`crate::QueuePolicy`]).
 
-use crate::config::{FleetConfig, QueuePolicy};
+use crate::config::{AdmitOptions, FleetConfig, QueuePolicy};
 use crate::error::FleetError;
 use crate::series::SeriesState;
 use crate::shard::{
@@ -481,6 +481,40 @@ impl FleetEngine {
     ) -> Result<ScoredPoint, FleetError> {
         let mut out = self.ingest(vec![Record::new(key, t, value)])?;
         Ok(out.pop().expect("one record in, one point out"))
+    }
+
+    /// Registers (or replaces) per-series admission overrides for `key`:
+    /// λ, NSigma threshold, declared period, and/or shift-search policy
+    /// (see [`AdmitOptions`]). An unknown key is created in the warming
+    /// phase so the tuning is in place before its first point; a
+    /// still-warming series has its pending overrides replaced; a series
+    /// already past admission fails with
+    /// [`FleetError::AlreadyAdmitted`] — overrides are an admission-time
+    /// contract, not a live-reconfiguration path.
+    ///
+    /// The overrides are baked into the series' detector at promotion and
+    /// persist through snapshot/restore (codec v4 stores pending overrides
+    /// with the warm-up state; a live detector's config already embeds
+    /// them). **Durability note:** override registration is not
+    /// WAL-logged — on a [`crate::DurableFleet`], use
+    /// [`crate::DurableFleet::set_admit_options`], which checkpoints so
+    /// recovery replays admissions bit-identically.
+    pub fn set_admit_options(
+        &mut self,
+        key: impl Into<SeriesKey>,
+        opts: AdmitOptions,
+    ) -> Result<(), FleetError> {
+        opts.validate().map_err(FleetError::Config)?;
+        let key = key.into();
+        let shard = key.shard_of(self.shard_count());
+        let (tx, rx) = channel();
+        // `batches + 1` marks the entry dirty for the *next* delta even if
+        // a snapshot collection already ran at the current seq
+        self.send(
+            shard,
+            ShardMsg::Admit { key, opts, now: self.clock, seq: self.batches + 1, reply: tx },
+        )?;
+        rx.recv().map_err(|_| FleetError::ShardDown)?
     }
 
     /// Evicts series whose `last_seen` is more than the configured TTL

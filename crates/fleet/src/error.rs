@@ -27,6 +27,14 @@ pub enum FleetError {
     /// from [`crate::FleetEngine::submit`] are still in flight; collect
     /// them with [`crate::FleetEngine::next_batch`] first.
     InFlight,
+    /// [`crate::FleetEngine::set_admit_options`] targeted a series that
+    /// is already past admission (live or rejected): per-series overrides
+    /// only apply on the warm-up/admission path, and silently ignoring
+    /// them would leave the caller believing the series is re-tuned.
+    AlreadyAdmitted {
+        /// The targeted series.
+        key: crate::types::SeriesKey,
+    },
     /// A durability I/O operation (WAL append/fsync, snapshot write)
     /// failed. Durable state on disk is still a consistent prefix. A
     /// failed WAL append additionally crash-stops that shard's worker
@@ -51,6 +59,13 @@ impl fmt::Display for FleetError {
             }
             FleetError::InFlight => {
                 write!(f, "pipelined batches in flight; collect them with next_batch first")
+            }
+            FleetError::AlreadyAdmitted { key } => {
+                write!(
+                    f,
+                    "series {key} is already past admission; overrides only apply \
+                           to unknown or still-warming series"
+                )
             }
             FleetError::Io(msg) => write!(f, "durability i/o: {msg}"),
             FleetError::Recovery(msg) => write!(f, "crash recovery: {msg}"),

@@ -28,6 +28,11 @@
 //!   declared ([`PeriodPolicy::Fixed`]) or ACF-detected from the buffer
 //!   ([`PeriodPolicy::Detect`]). The series is then promoted to a live
 //!   `StdAnomalyDetector<OneShotStl>`.
+//! - **Per-series tuning.** [`FleetEngine::set_admit_options`] overrides
+//!   λ, the NSigma threshold, the declared period, and the §3.4
+//!   shift-search policy for one series before it admits
+//!   ([`AdmitOptions`]); the overrides bake into the detector at
+//!   promotion and survive snapshot/restore and crash recovery.
 //! - **Snapshot/restore.** [`FleetEngine::snapshot_bytes`] serializes every
 //!   series (via `to_state`/`from_state` hooks on `OneShotStl`, `NSigma`)
 //!   with a versioned codec ([`codec`]) that round-trips `f64`s by bit
@@ -101,7 +106,7 @@ pub mod shard;
 pub mod types;
 pub mod wal;
 
-pub use config::{FleetConfig, PeriodPolicy, QueuePolicy};
+pub use config::{AdmitOptions, FleetConfig, PeriodPolicy, QueuePolicy};
 pub use engine::{CarriedTotals, FleetDelta, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};
 pub use persist::{DurabilityConfig, DurableFleet};

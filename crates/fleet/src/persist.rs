@@ -421,6 +421,34 @@ impl DurableFleet {
         self.engine.next_batch()
     }
 
+    /// Registers per-series admission overrides like
+    /// [`FleetEngine::set_admit_options`], then checkpoints: override
+    /// registration is not WAL-logged (the WAL carries raw points only),
+    /// so making it durable immediately keeps recovery deterministic —
+    /// the checkpointed image carries the pending overrides (codec v4)
+    /// and the replayed WAL tail admits the series with the same tuning
+    /// the uninterrupted engine used.
+    ///
+    /// Cost note: a forced checkpoint writes a **full** base snapshot
+    /// synchronously, so registering many series one call at a time on a
+    /// large live fleet is `O(calls × fleet size)` I/O. Register overrides
+    /// up front (fleet still small) when possible.
+    ///
+    /// Error note: on `Err` the registration may have been applied
+    /// in-memory without becoming durable. As with any
+    /// [`FleetError::Io`], treat the fleet as poisoned and recover from
+    /// disk — continuing to ingest would let pre-crash outputs diverge
+    /// from what recovery (which discards the non-durable registration)
+    /// reproduces. The same contract covers [`DurableFleet::evict_idle`].
+    pub fn set_admit_options(
+        &mut self,
+        key: impl Into<SeriesKey>,
+        opts: crate::config::AdmitOptions,
+    ) -> Result<(), FleetError> {
+        self.engine.set_admit_options(key, opts)?;
+        self.checkpoint()
+    }
+
     /// Evicts idle series like [`FleetEngine::evict_idle`], then
     /// checkpoints: explicit evictions are not WAL-logged, so making them
     /// durable immediately keeps recovery deterministic.

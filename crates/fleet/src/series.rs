@@ -8,7 +8,7 @@
 //! [`PhaseSnapshot`] captures any mid-phase state bit-exactly for the
 //! snapshot path.
 
-use crate::config::{FleetConfig, PeriodPolicy};
+use crate::config::{AdmitOptions, FleetConfig, PeriodPolicy};
 use crate::types::PointOutput;
 use oneshotstl::{
     IncrementalSolver, NSigma, NSigmaState, OneShotStl, OneShotStlState, StdAnomalyDetector,
@@ -46,6 +46,9 @@ pub struct Warmup {
     pub period: Option<usize>,
     /// Buffer length at the last detection attempt.
     last_attempt: usize,
+    /// Pending per-series overrides, baked into the detector at
+    /// promotion.
+    pub overrides: AdmitOptions,
 }
 
 /// A live (admitted) series.
@@ -67,11 +70,33 @@ pub enum StepOutcome {
 impl Warmup {
     /// An empty warm-up buffer under `config`'s period policy.
     pub fn new(config: &FleetConfig) -> Self {
-        let period = match &config.period {
+        Warmup::with_overrides(config, AdmitOptions::default())
+    }
+
+    /// An empty warm-up buffer with per-series overrides attached. An
+    /// override period takes precedence over the engine period policy
+    /// (declared or detecting).
+    pub fn with_overrides(config: &FleetConfig, overrides: AdmitOptions) -> Self {
+        let period = overrides.period.or(match &config.period {
             PeriodPolicy::Fixed(t) => Some(*t),
             PeriodPolicy::Detect { .. } => None,
-        };
-        Warmup { values: Vec::new(), period, last_attempt: 0 }
+        });
+        Warmup { values: Vec::new(), period, last_attempt: 0, overrides }
+    }
+
+    /// Replaces the pending override set, recomputing the period
+    /// preference: the new override period, else the engine's declared
+    /// period; under [`PeriodPolicy::Detect`] a previously known
+    /// (detected or overridden) period is kept. This is the **single**
+    /// home of the rule — [`Warmup::from_snapshot`] derives the same
+    /// order, so a live warm-up and its restored twin can never admit
+    /// under different periods.
+    pub fn replace_overrides(&mut self, config: &FleetConfig, opts: AdmitOptions) {
+        self.overrides = opts;
+        self.period = opts.period.or(match &config.period {
+            PeriodPolicy::Fixed(t) => Some(*t),
+            PeriodPolicy::Detect { .. } => self.period,
+        });
     }
 
     /// Rebuilds a warm-up buffer from snapshot data. Detection bookkeeping
@@ -82,10 +107,12 @@ impl Warmup {
         values: Vec<f64>,
         period: Option<usize>,
         last_attempt: usize,
+        overrides: AdmitOptions,
     ) -> Self {
-        let mut w = Warmup::new(config);
+        let mut w = Warmup::with_overrides(config, overrides);
         w.values = values;
-        // a declared (Fixed) period always wins over a snapshotted one
+        // an override period, then a declared (Fixed) one, wins over a
+        // snapshotted detection result
         if w.period.is_none() {
             w.period = period;
         }
@@ -134,6 +161,11 @@ impl SeriesState {
     /// A fresh series in the warming phase.
     pub fn new(config: &FleetConfig) -> Self {
         SeriesState::Warming(Warmup::new(config))
+    }
+
+    /// A fresh series in the warming phase with per-series overrides.
+    pub fn with_overrides(config: &FleetConfig, overrides: AdmitOptions) -> Self {
+        SeriesState::Warming(Warmup::with_overrides(config, overrides))
     }
 
     /// Processes one arriving value. `scratch` is the caller's (typically
@@ -226,8 +258,13 @@ impl SeriesState {
             unreachable!("promote called on a non-warming series");
         };
         let buffered = w.values.len();
-        let mut detector =
-            StdAnomalyDetector::new(OneShotStl::new(config.detector.clone()), config.nsigma);
+        // per-series overrides are baked into the detector here: from this
+        // point on the tuning lives inside the live state (and its
+        // snapshots), not in the fleet config
+        let mut detector = StdAnomalyDetector::new(
+            OneShotStl::new(w.overrides.detector_config(config)),
+            w.overrides.task_nsigma(config),
+        );
         match detector.init(&w.values, period) {
             Ok(()) => {
                 *self = SeriesState::Live(LiveSeries { detector });
@@ -254,6 +291,9 @@ pub enum PhaseSnapshot {
         period: Option<usize>,
         /// Buffer length at the last detection attempt.
         last_attempt: usize,
+        /// Pending per-series overrides (codec v4; v3 snapshots decode
+        /// with no overrides).
+        overrides: AdmitOptions,
     },
     /// Live detector state.
     Live {
@@ -274,6 +314,7 @@ impl SeriesState {
                 values: w.values.clone(),
                 period: w.period,
                 last_attempt: w.last_attempt,
+                overrides: w.overrides,
             },
             SeriesState::Live(live) => PhaseSnapshot::Live {
                 decomposer: live.detector.decomposer.to_state(),
@@ -289,9 +330,15 @@ impl SeriesState {
         config: &FleetConfig,
     ) -> Result<Self, tskit::error::TsError> {
         Ok(match snapshot {
-            PhaseSnapshot::Warming { values, period, last_attempt } => SeriesState::Warming(
-                Warmup::from_snapshot(config, values, period, last_attempt),
-            ),
+            PhaseSnapshot::Warming { values, period, last_attempt, overrides } => {
+                SeriesState::Warming(Warmup::from_snapshot(
+                    config,
+                    values,
+                    period,
+                    last_attempt,
+                    overrides,
+                ))
+            }
             PhaseSnapshot::Live { decomposer, nsigma } => {
                 // live implies initialized: an uninitialized decomposer
                 // would panic the shard worker on the first update

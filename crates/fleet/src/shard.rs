@@ -5,7 +5,8 @@
 //! sub-batch *before* applying it, so a reply implies the points are
 //! logged (write-ahead).
 
-use crate::config::FleetConfig;
+use crate::config::{AdmitOptions, FleetConfig};
+use crate::error::FleetError;
 use crate::series::{PhaseSnapshot, SeriesState, StepOutcome};
 use crate::types::{PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};
 use crate::wal::{GroupWal, WalFrame, WalItem};
@@ -179,6 +180,22 @@ pub enum ShardMsg {
         wal: Option<WalMeta>,
         /// Reply channel.
         reply: Sender<Result<Vec<(usize, ScoredPoint)>, String>>,
+    },
+    /// Register or replace per-series admission overrides (see
+    /// [`crate::FleetEngine::set_admit_options`]). Creates the series
+    /// (warming, empty buffer) when the key is unknown; fails on a series
+    /// already past admission.
+    Admit {
+        /// The targeted series.
+        key: SeriesKey,
+        /// The overrides to attach.
+        opts: AdmitOptions,
+        /// Liveness clock for a newly created entry (engine clock).
+        now: u64,
+        /// Dirty-marker batch seq for incremental snapshots.
+        seq: u64,
+        /// Reply channel.
+        reply: Sender<Result<(), FleetError>>,
     },
     /// Perform a WAL control operation; reply with the outcome.
     WalCtl {
@@ -377,6 +394,49 @@ impl ShardState {
         out
     }
 
+    /// Registers or replaces per-series admission overrides. An unknown
+    /// key is created (warming, empty buffer) so the overrides are in
+    /// place before its first point; a warming series has its pending
+    /// override set **replaced** — a new set without a period reverts to
+    /// the engine's declared period (under
+    /// [`crate::PeriodPolicy::Detect`] a previously known period is
+    /// kept; see [`crate::series::Warmup::replace_overrides`]); a live or
+    /// rejected series fails — the tuning window has passed.
+    pub fn set_admit_options(
+        &mut self,
+        key: &SeriesKey,
+        opts: AdmitOptions,
+        now: u64,
+        seq: u64,
+    ) -> Result<(), FleetError> {
+        match self.registry.slot_of(key) {
+            Some(slot) => {
+                let entry = self.registry.entry_mut(slot);
+                match &mut entry.state {
+                    SeriesState::Warming(w) => {
+                        w.replace_overrides(&self.config, opts);
+                        // registration is a liveness signal, same as on
+                        // the create branch: a just-re-tuned series must
+                        // not be swept by the next TTL pass
+                        entry.last_seen = entry.last_seen.max(now);
+                        entry.dirty_seq = seq;
+                        Ok(())
+                    }
+                    _ => Err(FleetError::AlreadyAdmitted { key: key.clone() }),
+                }
+            }
+            None => {
+                self.registry.insert(SeriesEntry {
+                    key: key.clone(),
+                    state: SeriesState::with_overrides(&self.config, opts),
+                    last_seen: now,
+                    dirty_seq: seq,
+                });
+                Ok(())
+            }
+        }
+    }
+
     /// Evicts entries idle beyond `ttl`, returning how many were removed.
     /// Removed keys become tombstones of the next delta snapshot.
     pub fn evict_idle(&mut self, now: u64, ttl: u64) -> usize {
@@ -531,6 +591,9 @@ pub fn run_worker(
                 // a dropped reply receiver is not an error: the engine may
                 // have abandoned the batch
                 let _ = reply.send(Ok(out));
+            }
+            ShardMsg::Admit { key, opts, now, seq, reply } => {
+                let _ = reply.send(state.set_admit_options(&key, opts, now, seq));
             }
             ShardMsg::WalCtl { op, reply } => {
                 let WalOp::Attach(w) = op;

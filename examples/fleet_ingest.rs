@@ -1,16 +1,22 @@
 //! Fleet engine walkthrough: a small fleet of metrics streams through
-//! warm-up admission into live scoring, gets snapshotted, and a restored
-//! engine picks up the stream where the original left off.
+//! warm-up admission into live scoring — one series with per-series
+//! tuning via `AdmitOptions` — gets snapshotted, and a restored engine
+//! picks up the stream where the original left off.
 //!
 //! Run with: `cargo run --release --example fleet_ingest`
 
-use oneshotstl_suite::fleet::{FleetConfig, FleetEngine, PeriodPolicy, PointOutput, Record};
+use oneshotstl_suite::fleet::{
+    AdmitOptions, FleetConfig, FleetEngine, PeriodPolicy, PointOutput, Record,
+};
 
-fn value(series: usize, t: u64) -> f64 {
-    let period = 24.0;
+fn value_period(series: usize, t: u64, period: f64) -> f64 {
     let amp = 1.0 + (series % 3) as f64;
     amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin()
         + 0.01 * (series as f64) * (t as f64 / 100.0)
+}
+
+fn value(series: usize, t: u64) -> f64 {
+    value_period(series, t, 24.0)
 }
 
 fn main() {
@@ -23,20 +29,48 @@ fn main() {
     })
     .expect("valid config");
 
+    // Per-series tuning: admission is config-global by default, but any
+    // series can override λ, the NSigma threshold, its declared period,
+    // or the shift-search policy *before* it admits. This high-priority
+    // metric beats at period 12 (the fleet default is 24) and gets a
+    // tighter anomaly threshold — registered up front, so the overrides
+    // are in place when its first point arrives.
+    let vip = "tenant-0/metric-0";
+    engine
+        .set_admit_options(
+            vip,
+            AdmitOptions { period: Some(12), nsigma: Some(3.5), ..Default::default() },
+        )
+        .expect("series not admitted yet");
+
     // Stream batches: one point per series per tick. Unknown keys buffer
-    // through warm-up (init_len = 3·24 = 72 points) and are then admitted.
+    // through warm-up (init_len = 3·24 = 72 points; the overridden series
+    // needs only 3·12 = 36) and are then admitted.
     let mut admitted_at = None;
+    let mut vip_admitted_at = None;
     for t in 0..200u64 {
         let batch: Vec<Record> = (0..n_series)
-            .map(|s| Record::new(format!("tenant-{}/metric-{}", s % 5, s), t, value(s, t)))
+            .map(|s| {
+                let v = if s == 0 { value_period(s, t, 12.0) } else { value(s, t) };
+                Record::new(format!("tenant-{}/metric-{}", s % 5, s), t, v)
+            })
             .collect();
         let out = engine.ingest(batch).expect("ingest");
-        if admitted_at.is_none()
-            && out.iter().any(|p| matches!(p.output, PointOutput::Scored { .. }))
-        {
-            admitted_at = Some(t);
+        for p in &out {
+            if matches!(p.output, PointOutput::Scored { .. }) {
+                if p.key.as_str() == vip {
+                    vip_admitted_at.get_or_insert(t);
+                } else {
+                    admitted_at.get_or_insert(t);
+                }
+            }
         }
     }
+    println!(
+        "per-series tuning: {vip} (declared period 12) admitted at tick {:?}, \
+         the config-global fleet at {:?}",
+        vip_admitted_at, admitted_at
+    );
     let stats = engine.stats().expect("stats");
     println!(
         "after 200 ticks: {} live series (admitted at tick {:?}), {} points, {} anomalies",

@@ -6,12 +6,14 @@
 //! Run with: `cargo run --release --example fleet_recover`
 
 use oneshotstl_suite::fleet::{
-    DurabilityConfig, DurableFleet, FleetConfig, PeriodPolicy, Record,
+    AdmitOptions, DurabilityConfig, DurableFleet, FleetConfig, PeriodPolicy, Record,
 };
 
 fn value(series: usize, t: u64) -> f64 {
     let amp = 1.0 + (series % 3) as f64;
-    amp * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+    // series 0 beats at period 12; its AdmitOptions below declare that
+    let period = if series == 0 { 12.0 } else { 24.0 };
+    amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin()
 }
 
 fn batch(n_series: usize, t: u64) -> Vec<Record> {
@@ -30,6 +32,15 @@ fn main() {
 
     // ── first life: ingest 130 batches, then "crash" ────────────────────
     let mut fleet = DurableFleet::create(config, dcfg.clone()).expect("create");
+    // per-series tuning survives recovery: the durable registration path
+    // checkpoints (overrides are not WAL-logged), so the declared period
+    // and tighter threshold are back in force after a crash
+    fleet
+        .set_admit_options(
+            "host-0/cpu",
+            AdmitOptions { period: Some(12), nsigma: Some(4.0), ..Default::default() },
+        )
+        .expect("series not admitted yet");
     for t in 0..130u64 {
         fleet.ingest(batch(n_series, t)).expect("ingest");
     }

@@ -526,3 +526,62 @@ fn group_commit_fsyncs_once_per_acked_batch() {
     drop(fleet);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Per-series `AdmitOptions` are not WAL-logged; `DurableFleet`'s
+/// registration path checkpoints instead, so a crash after registration —
+/// before *or* after the series admits — recovers bit-identically: the
+/// snapshot carries the pending overrides (codec v4) and WAL replay
+/// re-runs the admission with the same tuning.
+#[test]
+fn admit_options_survive_crash_recovery_bit_identically() {
+    use oneshotstl_suite::core::ShiftSearchConfig;
+    use oneshotstl_suite::fleet::AdmitOptions;
+
+    let total = 140u64;
+    let crash_at = 50u64; // past the overridden series' admission at 36
+    let dir = test_dir("admit-options");
+    let value = |key: &str, t: u64| -> f64 {
+        let period = if key == "vip" { 12.0 } else { 24.0 };
+        (2.0 * std::f64::consts::PI * t as f64 / period).sin() + 0.001 * t as f64
+    };
+    let tick = |t: u64| -> Vec<Record> {
+        vec![Record::new("std", t, value("std", t)), Record::new("vip", t, value("vip", t))]
+    };
+    let opts = AdmitOptions {
+        lambda: Some(0.5),
+        nsigma: Some(3.5),
+        period: Some(12),
+        shift_search: Some(ShiftSearchConfig::exhaustive()),
+    };
+
+    // reference: uninterrupted, no durability
+    let mut reference = FleetEngine::new(config()).unwrap();
+    reference.set_admit_options("vip", opts).unwrap();
+    let mut ref_outputs = Vec::new();
+    for t in 0..total {
+        ref_outputs.push(reference.ingest(tick(t)).unwrap());
+    }
+
+    // durable run: register the overrides (checkpoints), ingest past the
+    // overridden admission, crash without a clean shutdown
+    let dcfg = DurabilityConfig { snapshot_every: 1_000, ..DurabilityConfig::new(&dir) };
+    let mut durable = DurableFleet::create(config(), dcfg.clone()).unwrap();
+    durable.set_admit_options("vip", opts).unwrap();
+    for t in 0..crash_at {
+        let out = durable.ingest(tick(t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "pre-crash");
+    }
+    drop(durable); // crash
+
+    // recovery folds the post-registration checkpoint and replays the WAL
+    // through the same admission path — the overridden period, λ, NSigma
+    // threshold and shift-search policy are all back in force
+    let mut recovered = DurableFleet::open(dcfg).unwrap();
+    assert_eq!(recovered.engine().batches(), crash_at, "nothing durable was lost");
+    for t in crash_at..total {
+        let out = recovered.ingest(tick(t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "post-recovery");
+    }
+    assert_eq!(recovered.engine().stats().unwrap().live, 2);
+    let _ = fs::remove_dir_all(&dir);
+}

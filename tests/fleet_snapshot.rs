@@ -271,3 +271,119 @@ fn detect_admission_and_noise_rejection() {
         assert!((f[i] - f[i + 16]).abs() < 1e-9, "forecast repeats with T=16");
     }
 }
+
+/// Per-series `AdmitOptions` shape admission (declared period, tighter
+/// NSigma, exhaustive shift search) and survive snapshot v4 → restore
+/// bit-identically — including overrides still pending on a warming
+/// series at snapshot time.
+#[test]
+fn admit_options_survive_snapshot_and_shape_admission() {
+    use oneshotstl_suite::core::ShiftSearchConfig;
+    use oneshotstl_suite::fleet::AdmitOptions;
+
+    let n_ticks = 160u64;
+    // two streams: "std" follows the engine's fixed period 24, "vip" is a
+    // period-12 signal the engine would mis-model without the override
+    let value = |key: &str, t: u64| -> f64 {
+        let period = if key == "vip" { 12.0 } else { 24.0 };
+        (2.0 * std::f64::consts::PI * t as f64 / period).sin() + 0.001 * t as f64
+    };
+    let tick = |t: u64| -> Vec<Record> {
+        vec![Record::new("std", t, value("std", t)), Record::new("vip", t, value("vip", t))]
+    };
+    let opts = AdmitOptions {
+        lambda: Some(0.5),
+        nsigma: Some(3.5),
+        period: Some(12),
+        shift_search: Some(ShiftSearchConfig::exhaustive()),
+    };
+
+    // uninterrupted reference
+    let mut reference = FleetEngine::new(config()).unwrap();
+    reference.set_admit_options("vip", opts).unwrap();
+    let mut ref_outputs = Vec::new();
+    let mut vip_admitted_at = None;
+    for t in 0..n_ticks {
+        let out = reference.ingest(tick(t)).unwrap();
+        if vip_admitted_at.is_none() && matches!(out[1].output, PointOutput::Scored { .. }) {
+            vip_admitted_at = Some(t);
+        }
+        ref_outputs.push(out);
+    }
+    // the declared period 12 admits at init_len(12) = 36 — half the
+    // engine-default warm-up (init_len(24) = 72), proving the override
+    // reached the admission path (scoring starts one tick after promote)
+    assert_eq!(vip_admitted_at, Some(36), "override period must set the warm-up length");
+
+    // interrupted run: snapshot while "vip"'s overrides are still pending
+    // (t = 20 < 36), restore, continue — bit-identical to the reference
+    let mut first = FleetEngine::new(config()).unwrap();
+    first.set_admit_options("vip", opts).unwrap();
+    for t in 0..20 {
+        first.ingest(tick(t)).unwrap();
+    }
+    let bytes = first.snapshot_bytes().unwrap();
+    drop(first);
+    let mut restored = FleetEngine::restore_bytes(&bytes).unwrap();
+    for t in 20..n_ticks {
+        let out = restored.ingest(tick(t)).unwrap();
+        assert_eq!(out, ref_outputs[t as usize], "restored stream diverged at t={t}");
+    }
+
+    // the tuning window closes at admission: both the live "vip" and the
+    // live "std" series reject further overrides with a typed error
+    for key in ["vip", "std"] {
+        match restored.set_admit_options(key, AdmitOptions::default()) {
+            Err(oneshotstl_suite::fleet::FleetError::AlreadyAdmitted { key: k }) => {
+                assert_eq!(k.as_str(), key)
+            }
+            other => panic!("expected AlreadyAdmitted for {key}, got {other:?}"),
+        }
+    }
+
+    // registering options for an unseen key pre-creates the series, and
+    // invalid overrides are rejected up front
+    restored
+        .set_admit_options("future", AdmitOptions { period: Some(12), ..Default::default() })
+        .unwrap();
+    assert_eq!(restored.stats().unwrap().warming, 1);
+    assert!(restored
+        .set_admit_options("bad", AdmitOptions { period: Some(1), ..Default::default() })
+        .is_err());
+    assert!(restored
+        .set_admit_options("bad", AdmitOptions { nsigma: Some(-1.0), ..Default::default() })
+        .is_err());
+}
+
+/// Replacing a pending override set mid-warm-up must leave the live
+/// warm-up and its restored twin in the same state: a period override
+/// replaced by a nsigma-only set reverts to the engine's declared period
+/// on *both* sides (any other rule lets them admit under different
+/// periods and diverge).
+#[test]
+fn replacing_overrides_keeps_live_and_restored_warmups_in_lockstep() {
+    use oneshotstl_suite::fleet::AdmitOptions;
+
+    let mut live = FleetEngine::new(config()).unwrap(); // Fixed(24)
+    live.set_admit_options("vip", AdmitOptions { period: Some(12), ..Default::default() })
+        .unwrap();
+    // replace with a nsigma-only set: the period override is withdrawn
+    live.set_admit_options("vip", AdmitOptions { nsigma: Some(3.5), ..Default::default() })
+        .unwrap();
+    let mut restored = FleetEngine::restore_bytes(&live.snapshot_bytes().unwrap()).unwrap();
+    let mut admitted_at = None;
+    for t in 0..120u64 {
+        let v = (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin();
+        let a = live.ingest_one("vip", t, v).unwrap();
+        let b = restored.ingest_one("vip", t, v).unwrap();
+        assert_eq!(a, b, "live and restored warm-ups diverged at t={t}");
+        if admitted_at.is_none() && matches!(a.output, PointOutput::Scored { .. }) {
+            admitted_at = Some(t);
+        }
+    }
+    assert_eq!(
+        admitted_at,
+        Some(72),
+        "withdrawing the override reverts to the declared period"
+    );
+}
