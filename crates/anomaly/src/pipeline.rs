@@ -3,38 +3,59 @@
 use crate::damp::Damp;
 use crate::traits::TsadMethod;
 use decomp::traits::OnlineDecomposer;
-use oneshotstl::NSigma;
+use oneshotstl::{ResidualScorer, ScoreConfig};
 
 /// Plain streaming NSigma on the raw values — the paper's simplest (and
-/// surprisingly competitive) baseline.
+/// surprisingly competitive) baseline. With a fused [`ScoreConfig`] it
+/// emits the persistence-aware CUSUM-fused score over the raw values
+/// instead; the default stays the paper's instantaneous z-score.
 #[derive(Debug, Clone)]
 pub struct NSigmaDetector {
     /// Threshold `n` (only relevant for binary verdicts; scores are
     /// threshold-free).
     pub n: f64,
+    /// Scoring configuration ([`ScoreConfig::off`] = the paper's plain
+    /// z-score baseline).
+    pub score: ScoreConfig,
 }
 
 impl Default for NSigmaDetector {
     fn default() -> Self {
-        NSigmaDetector { n: 5.0 }
+        NSigmaDetector { n: 5.0, score: ScoreConfig::off() }
+    }
+}
+
+impl NSigmaDetector {
+    /// The fused persistence-aware variant (CUSUM + peak-hold on raw
+    /// values).
+    pub fn fused(n: f64, score: ScoreConfig) -> Self {
+        NSigmaDetector { n, score }
     }
 }
 
 impl TsadMethod for NSigmaDetector {
     fn name(&self) -> String {
-        "NSigma".into()
+        // with Fusion::Off the scorer behaves as plain NSigma regardless
+        // of the (unused) CUSUM parameters
+        if self.score.fusion == oneshotstl::Fusion::Off {
+            "NSigma".into()
+        } else {
+            "NSigma+CUSUM".into()
+        }
     }
 
     fn score(&mut self, train: &[f64], test: &[f64], _period: usize) -> Vec<f64> {
-        let mut d = NSigma::new(self.n);
+        let mut d = ResidualScorer::new(self.n, self.score);
         d.seed(train);
         test.iter().map(|&y| d.update(y).score).collect()
     }
 }
 
-/// §4 (1): any online STD method + NSigma on its residuals. The paper's
+/// §4 (1): any online STD method + residual scoring. The paper's
 /// `OnlineSTL` and `OneShotSTL` rows of Tables 3–4 are this wrapper around
-/// the respective decomposers.
+/// the respective decomposers (with [`ScoreConfig::off`], the paper's
+/// plain NSigma residual score); a fused config adds the
+/// persistence-aware CUSUM + peak-hold layer from [`oneshotstl::score`].
 pub struct StdNSigma<D, F>
 where
     F: Fn() -> D,
@@ -45,6 +66,8 @@ where
     pub label: String,
     /// NSigma threshold.
     pub n: f64,
+    /// Residual scoring configuration.
+    pub score: ScoreConfig,
 }
 
 impl<D, F> StdNSigma<D, F>
@@ -52,9 +75,16 @@ where
     D: OnlineDecomposer,
     F: Fn() -> D,
 {
-    /// Creates the wrapper with a decomposer factory.
+    /// Creates the wrapper with a decomposer factory and the paper's
+    /// plain instantaneous residual z-score.
     pub fn new(label: impl Into<String>, n: f64, make: F) -> Self {
-        StdNSigma { make, label: label.into(), n }
+        Self::with_score(label, n, ScoreConfig::off(), make)
+    }
+
+    /// Creates the wrapper with an explicit residual scoring
+    /// configuration.
+    pub fn with_score(label: impl Into<String>, n: f64, score: ScoreConfig, make: F) -> Self {
+        StdNSigma { make, label: label.into(), n, score }
     }
 }
 
@@ -69,20 +99,20 @@ where
 
     fn score(&mut self, train: &[f64], test: &[f64], period: usize) -> Vec<f64> {
         let mut dec = (self.make)();
-        let mut nsig = NSigma::new(self.n);
+        let mut scorer = ResidualScorer::new(self.n, self.score);
         match dec.init(train, period) {
-            Ok(d) => nsig.seed(&d.residual),
+            Ok(d) => scorer.seed(&d.residual),
             Err(_) => {
                 // initialization impossible (series too short / flat):
-                // degrade to plain NSigma on raw values
-                nsig.seed(train);
-                return test.iter().map(|&y| nsig.update(y).score).collect();
+                // degrade to scoring the raw values
+                scorer.seed(train);
+                return test.iter().map(|&y| scorer.update(y).score).collect();
             }
         }
         test.iter()
             .map(|&y| {
                 let p = dec.update(y);
-                nsig.update(p.residual).score
+                scorer.update(p.residual).score
             })
             .collect()
     }
@@ -257,5 +287,19 @@ mod tests {
         let pre = NSigmaDetector::default();
         let hybrid = PrefilterDamp::new(pre);
         assert_eq!(hybrid.name(), "NSigma+DAMP");
+    }
+
+    #[test]
+    fn nsigma_detector_name_tracks_fusion_mode() {
+        use oneshotstl::Fusion;
+        assert_eq!(NSigmaDetector::default().name(), "NSigma");
+        // an Off config with non-default CUSUM params still behaves (and
+        // must be labelled) as the plain baseline
+        let off_tuned = NSigmaDetector {
+            n: 5.0,
+            score: ScoreConfig { cusum_h: 4.0, fusion: Fusion::Off, ..Default::default() },
+        };
+        assert_eq!(off_tuned.name(), "NSigma");
+        assert_eq!(NSigmaDetector::fused(5.0, ScoreConfig::default()).name(), "NSigma+CUSUM");
     }
 }

@@ -12,6 +12,7 @@
 //! | OnlineDoolittle `O(1)` incremental solve (Algorithm 4) | [`online_doolittle`] |
 //! | OneShotSTL (Algorithm 5) + seasonality-shift handling (§3.4) | [`oneshot`] |
 //! | Streaming NSigma (Algorithm 6) | [`nsigma`] |
+//! | Persistence-aware residual scoring (CUSUM fusion) | [`score`] |
 //! | TSAD / TSF task adapters (§4) | [`tasks`] |
 //!
 //! ## Quick start
@@ -47,6 +48,7 @@ pub mod nsigma;
 pub mod oneshot;
 pub mod online_doolittle;
 pub mod reference;
+pub mod score;
 pub mod system;
 pub mod tasks;
 
@@ -58,4 +60,5 @@ pub use oneshot::{
 };
 pub use online_doolittle::{IncrementalSolver, SolverState};
 pub use reference::ModifiedJointStlRef;
+pub use score::{Fusion, ResidualScorer, ResidualScorerState, ScoreConfig, ScoreVerdict};
 pub use tasks::{StdAnomalyDetector, StdForecaster};

@@ -55,22 +55,32 @@ impl NSigma {
         (self.sum_sq / self.count as f64 - mean * mean).max(0.0).sqrt()
     }
 
-    /// Scores `x` against the history *without* absorbing it.
-    pub fn score_only(&self, x: f64) -> NSigmaVerdict {
+    /// Signed standardized deviation `(x − mean) / std` against the
+    /// history (0 while the history is empty; `±sqrt(f64::MAX)` for a
+    /// deviating value over a zero-variance history). The CUSUM layer
+    /// ([`crate::score`]) accumulates this signed form; [`Self::score_only`]
+    /// is exactly its absolute value (bit-identical: an IEEE quotient's
+    /// magnitude does not depend on the operands' signs).
+    pub fn zscore(&self, x: f64) -> f64 {
         if self.count == 0 {
-            return NSigmaVerdict { score: 0.0, is_anomaly: false };
+            return 0.0;
         }
         let std = self.std();
-        let dev = (x - self.mean()).abs();
-        let score = if std > 1e-12 {
+        let dev = x - self.mean();
+        if std > 1e-12 {
             dev / std
-        } else if dev > 1e-12 {
+        } else if dev.abs() > 1e-12 {
             // zero-variance history and a deviating value: infinitely
             // surprising; report a large finite score
-            f64::MAX.sqrt()
+            f64::MAX.sqrt().copysign(dev)
         } else {
             0.0
-        };
+        }
+    }
+
+    /// Scores `x` against the history *without* absorbing it.
+    pub fn score_only(&self, x: f64) -> NSigmaVerdict {
+        let score = self.zscore(x).abs();
         NSigmaVerdict { score, is_anomaly: score > self.n }
     }
 

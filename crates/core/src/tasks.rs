@@ -2,42 +2,58 @@
 //! a univariate anomaly detector or forecaster.
 
 use crate::nsigma::NSigma;
+use crate::score::{ResidualScorer, ScoreConfig, ScoreVerdict};
 use decomp::traits::OnlineDecomposer;
 use tskit::error::Result;
 use tskit::ring::RingBuffer;
 use tskit::series::DecompPoint;
 
-/// §4 (1): STD → TSAD. Wraps an online decomposer and scores each point by
-/// streaming NSigma on the decomposed residual.
+/// §4 (1): STD → TSAD. Wraps an online decomposer and scores each point
+/// with the persistence-aware [`ResidualScorer`] (instantaneous NSigma
+/// z-score fused with a two-sided CUSUM; see [`crate::score`]) on the
+/// decomposed residual.
 #[derive(Debug, Clone)]
 pub struct StdAnomalyDetector<D> {
     /// The wrapped online decomposer.
     pub decomposer: D,
-    nsigma: NSigma,
+    scorer: ResidualScorer,
 }
 
 impl<D: OnlineDecomposer> StdAnomalyDetector<D> {
-    /// Wraps `decomposer`, flagging residuals beyond `n` sigma.
+    /// Wraps `decomposer`, flagging residuals beyond `n` sigma or past
+    /// the CUSUM bar, with the default fused [`ScoreConfig`].
     pub fn new(decomposer: D, n: f64) -> Self {
-        StdAnomalyDetector { decomposer, nsigma: NSigma::new(n) }
+        Self::with_score(decomposer, n, ScoreConfig::default())
+    }
+
+    /// Wraps `decomposer` with an explicit scoring configuration
+    /// ([`ScoreConfig::off`] reproduces the paper's plain-NSigma path
+    /// bit-identically).
+    pub fn with_score(decomposer: D, n: f64, score: ScoreConfig) -> Self {
+        StdAnomalyDetector { decomposer, scorer: ResidualScorer::new(n, score) }
+    }
+
+    /// Read-only view of the residual scorer.
+    pub fn scorer(&self) -> &ResidualScorer {
+        &self.scorer
     }
 
     /// Read-only view of the residual scoring statistics.
     pub fn nsigma(&self) -> &NSigma {
-        &self.nsigma
+        self.scorer.nsigma()
     }
 
-    /// Reassembles a detector from a decomposer and scoring statistics
-    /// (snapshot restore; see `fleet::codec`).
-    pub fn from_parts(decomposer: D, nsigma: NSigma) -> Self {
-        StdAnomalyDetector { decomposer, nsigma }
+    /// Reassembles a detector from a decomposer and a scorer (snapshot
+    /// restore; see `fleet::codec`).
+    pub fn from_parts(decomposer: D, scorer: ResidualScorer) -> Self {
+        StdAnomalyDetector { decomposer, scorer }
     }
 
     /// Initializes the decomposer on a prefix; residuals of the prefix seed
-    /// the NSigma statistics.
+    /// the scorer's statistics.
     pub fn init(&mut self, y: &[f64], period: usize) -> Result<()> {
         let d = self.decomposer.init(y, period)?;
-        self.nsigma.seed(&d.residual);
+        self.scorer.seed(&d.residual);
         Ok(())
     }
 
@@ -47,11 +63,12 @@ impl<D: OnlineDecomposer> StdAnomalyDetector<D> {
         (p, v.score)
     }
 
-    /// [`Self::update`] with the full NSigma verdict (score + threshold
-    /// decision), so callers don't re-implement the `score > n` rule.
-    pub fn update_scored(&mut self, y: f64) -> (DecompPoint, crate::nsigma::NSigmaVerdict) {
+    /// [`Self::update`] with the full fused verdict (score, components,
+    /// threshold decision), so callers don't re-implement the fusion
+    /// rule.
+    pub fn update_scored(&mut self, y: f64) -> (DecompPoint, ScoreVerdict) {
         let p = self.decomposer.update(y);
-        let v = self.nsigma.update(p.residual);
+        let v = self.scorer.update(p.residual);
         (p, v)
     }
 
@@ -71,9 +88,9 @@ impl<S: crate::oneshot::TailSolver> StdAnomalyDetector<crate::oneshot::OnlineJoi
         &mut self,
         y: f64,
         scratch: &mut crate::UpdateScratch<S>,
-    ) -> (DecompPoint, crate::nsigma::NSigmaVerdict) {
+    ) -> (DecompPoint, ScoreVerdict) {
         let p = self.decomposer.update_with_scratch(y, scratch);
-        let v = self.nsigma.update(p.residual);
+        let v = self.scorer.update(p.residual);
         (p, v)
     }
 }
@@ -188,6 +205,35 @@ mod tests {
         y[600] += 5.0;
         let mut det =
             StdAnomalyDetector::new(OneShotStl::new(OneShotStlConfig::default()), 5.0);
+        det.init(&y[..4 * t], t).unwrap();
+        let scores = det.score_stream(&y[4 * t..]);
+        let spike_idx = 600 - 4 * t;
+        let spike_score = scores[spike_idx];
+        // the fused score is peak-held, so the points *after* the spike
+        // carry a decaying tail by design — the pre-spike region is the
+        // clean comparison, and the spike itself must rank top overall
+        let pre_spike_max = scores[..spike_idx - 2].iter().fold(0.0f64, |a, &s| a.max(s));
+        assert!(
+            spike_score > pre_spike_max,
+            "spike score {spike_score} should dominate pre-spike max {pre_spike_max}"
+        );
+        assert_eq!(tskit::stats::argmax(&scores), Some(spike_idx));
+        // and the hold tail decays geometrically rather than sticking
+        assert!(scores[spike_idx + 30] < spike_score);
+    }
+
+    /// The legacy configuration is still reachable: `ScoreConfig::off()`
+    /// reproduces the paper's plain-NSigma scoring (no hold tail).
+    #[test]
+    fn score_off_has_no_hold_tail() {
+        let t = 24;
+        let mut y = seasonal(800, t, 1);
+        y[600] += 5.0;
+        let mut det = StdAnomalyDetector::with_score(
+            OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+            crate::score::ScoreConfig::off(),
+        );
         det.init(&y[..4 * t], t).unwrap();
         let scores = det.score_stream(&y[4 * t..]);
         let spike_idx = 600 - 4 * t;

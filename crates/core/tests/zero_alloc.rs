@@ -5,6 +5,8 @@
 //! default pruned `TopK` policy, whose stage-1 proxy scoring uses a
 //! fixed-size scratch, and the exhaustive `Off` policy that runs all
 //! `2H + 1` retry trials), and updates that impute non-finite input.
+//! A second test extends the guarantee to the fused residual-scoring
+//! path (CUSUM + peak-hold on top of the decomposition).
 //!
 //! The counting global allocator below makes the claim a hard test rather
 //! than a code-review property. CI runs this test file explicitly
@@ -144,4 +146,64 @@ fn steady_state_update_performs_zero_heap_allocations() {
     assert_zero_alloc_stream(ShiftSearchConfig::exhaustive(), "exhaustive Off");
     assert_zero_alloc_late_flags(ShiftSearchConfig::default(), "late flags, pruned");
     assert_zero_alloc_late_flags(ShiftSearchConfig::exhaustive(), "late flags, exhaustive");
+}
+
+/// The fused residual-scoring path (`StdAnomalyDetector` →
+/// `ResidualScorer`: NSigma z + two-sided CUSUM + peak-hold) inherits the
+/// hot-path guarantee: its state is three `f64` accumulators on top of
+/// NSigma's running sums, so a full scored update — decompose + fuse +
+/// verdict — performs zero heap allocations in steady state, across
+/// every fusion mode, CUSUM alarms (reset-on-alarm), the flagged
+/// shift-search path, and non-finite input.
+#[test]
+fn fused_scoring_update_performs_zero_heap_allocations() {
+    use oneshotstl::{Fusion, ScoreConfig, StdAnomalyDetector};
+    for (fusion, label) in
+        [(Fusion::Off, "Off"), (Fusion::Cusum, "Cusum"), (Fusion::Max, "Max (default)")]
+    {
+        let t = 48usize;
+        let n = 4 * t + 2_000;
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let score = ScoreConfig { fusion, ..Default::default() };
+        let mut det = StdAnomalyDetector::with_score(
+            OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+            score,
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        // warm-up: size the decomposer's scratch buffers
+        for &v in &y[4 * t..4 * t + 16] {
+            std::hint::black_box(det.update_scored(v));
+        }
+
+        // 1) plain steady-state scored updates
+        let before = allocs();
+        for &v in &y[4 * t + 16..4 * t + 1_016] {
+            std::hint::black_box(det.update_scored(v));
+        }
+        assert_eq!(allocs() - before, 0, "[{label}] steady-state scored update allocated");
+
+        // 2) a spike: z alarm + CUSUM jump + shift-search trials, and a
+        //    drift long enough to trip the CUSUM bar and reset-on-alarm
+        let before = allocs();
+        std::hint::black_box(det.update_scored(y[4 * t + 1_016] + 50.0));
+        for i in 0..40 {
+            std::hint::black_box(det.update_scored(y[4 * t + 1_017 + i] + 0.4));
+        }
+        assert_eq!(allocs() - before, 0, "[{label}] alarming scored update allocated");
+
+        // 3) non-finite input: the guarded path
+        let before = allocs();
+        std::hint::black_box(det.update_scored(f64::NAN));
+        assert_eq!(allocs() - before, 0, "[{label}] non-finite scored update allocated");
+
+        // 4) and the stream continues allocation-free
+        let before = allocs();
+        for &v in &y[4 * t + 1_057..4 * t + 1_557] {
+            std::hint::black_box(det.update_scored(v));
+        }
+        assert_eq!(allocs() - before, 0, "[{label}] post-excursion scored update allocated");
+    }
 }

@@ -19,6 +19,17 @@
 //! detector configs get [`oneshotstl::ShiftPrune::Off`] — the exhaustive
 //! search every v3 writer actually ran, so a restored v3 stream continues
 //! bit-identically — and their warming series carry no overrides.
+//!
+//! v5 adds the persistence-aware residual scoring layer
+//! ([`oneshotstl::score`]): the engine-wide [`ScoreConfig`], a full
+//! [`ResidualScorerState`] (config + CUSUM accumulators + peak-hold) per
+//! live series where v4 stored only the plain NSigma statistics, and an
+//! optional per-series `score` override in [`AdmitOptions`]. v3/v4 images
+//! still decode: their live series get a scorer with
+//! [`oneshotstl::Fusion::Off`] wrapped around the decoded NSigma
+//! statistics — bit-identical to the plain-NSigma scoring every v3/v4
+//! writer ran — and their configs/overrides carry
+//! [`ScoreConfig::off`]/no override.
 
 use crate::config::{AdmitOptions, QueuePolicy};
 use crate::engine::{CarriedTotals, FleetDelta, FleetSnapshot};
@@ -30,8 +41,8 @@ use crate::{FleetConfig, PeriodPolicy};
 use oneshotstl::oneshot::InitMethod;
 use oneshotstl::system::Lambdas;
 use oneshotstl::{
-    IterSnapshot, NSigmaState, OneShotStlConfig, OneShotStlState, ShiftPolicy, ShiftPrune,
-    ShiftSearchConfig, SolverState,
+    Fusion, IterSnapshot, NSigmaState, OneShotStlConfig, OneShotStlState, ResidualScorerState,
+    ScoreConfig, ShiftPolicy, ShiftPrune, ShiftSearchConfig, SolverState,
 };
 
 const MAGIC: &[u8; 8] = b"OSSTLFLT";
@@ -39,7 +50,10 @@ const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v3: kind byte after the version; kind 1 = incremental delta snapshots
 // v4: detector configs gained the shift-search pipeline config; warming
 //     series gained pending per-series AdmitOptions
-const VERSION: u16 = 4;
+// v5: FleetConfig gained the residual ScoreConfig; live series store a
+//     full ResidualScorerState (was: plain NSigma stats); AdmitOptions
+//     gained an optional score override
+const VERSION: u16 = 5;
 /// Oldest version this build still decodes.
 const MIN_VERSION: u16 = 3;
 const KIND_FULL: u8 = 0;
@@ -187,6 +201,7 @@ fn encode_config(w: &mut Writer, c: &FleetConfig) {
         QueuePolicy::Reject => 1,
     });
     encode_detector_config(w, &c.detector);
+    encode_score_config(w, &c.score);
 }
 
 fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecError> {
@@ -213,6 +228,8 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
         _ => return Err(CodecError::Invalid("queue policy tag")),
     };
     let detector = decode_detector_config(r, version)?;
+    // a v3/v4 writer scored with the plain instantaneous z-score
+    let score = if version >= 5 { decode_score_config(r)? } else { ScoreConfig::off() };
     Ok(FleetConfig {
         shards,
         init_cycles,
@@ -224,7 +241,38 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
         queue_capacity,
         queue_policy,
         detector,
+        score,
     })
+}
+
+/// v5: `u8` fusion tag, then `f64` k / h / hold-decay.
+fn encode_score_config(w: &mut Writer, s: &ScoreConfig) {
+    w.u8(match s.fusion {
+        Fusion::Off => 0,
+        Fusion::Cusum => 1,
+        Fusion::Max => 2,
+    });
+    w.f64(s.cusum_k);
+    w.f64(s.cusum_h);
+    w.f64(s.hold_decay);
+}
+
+fn decode_score_config(r: &mut Reader<'_>) -> Result<ScoreConfig, CodecError> {
+    let fusion = match r.u8()? {
+        0 => Fusion::Off,
+        1 => Fusion::Cusum,
+        2 => Fusion::Max,
+        _ => return Err(CodecError::Invalid("fusion tag")),
+    };
+    let config =
+        ScoreConfig { cusum_k: r.f64()?, cusum_h: r.f64()?, hold_decay: r.f64()?, fusion };
+    // a corrupted or externally-produced image must not smuggle in
+    // degenerate values the API boundary rejects (non-finite k/h,
+    // hold_decay >= 1, ...)
+    if config.validate().is_err() {
+        return Err(CodecError::Invalid("score config"));
+    }
+    Ok(config)
 }
 
 fn encode_detector_config(w: &mut Writer, c: &OneShotStlConfig) {
@@ -315,6 +363,7 @@ fn decode_detector_config(
 }
 
 /// v4: pending per-series admission overrides of a warming series.
+/// v5 appends the optional residual-score override.
 fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
     w.opt_f64(o.lambda);
     w.opt_f64(o.nsigma);
@@ -326,9 +375,16 @@ fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
             encode_shift_search(w, ss);
         }
     }
+    match &o.score {
+        None => w.u8(0),
+        Some(sc) => {
+            w.u8(1);
+            encode_score_config(w, sc);
+        }
+    }
 }
 
-fn decode_admit_options(r: &mut Reader<'_>) -> Result<AdmitOptions, CodecError> {
+fn decode_admit_options(r: &mut Reader<'_>, version: u16) -> Result<AdmitOptions, CodecError> {
     let lambda = r.opt_f64()?;
     let nsigma = r.opt_f64()?;
     let period = r.opt_u32()?.map(|v| v as usize);
@@ -337,7 +393,16 @@ fn decode_admit_options(r: &mut Reader<'_>) -> Result<AdmitOptions, CodecError> 
         1 => Some(decode_shift_search(r)?),
         _ => return Err(CodecError::Invalid("option tag")),
     };
-    let opts = AdmitOptions { lambda, nsigma, period, shift_search };
+    let score = if version >= 5 {
+        match r.u8()? {
+            0 => None,
+            1 => Some(decode_score_config(r)?),
+            _ => return Err(CodecError::Invalid("option tag")),
+        }
+    } else {
+        None
+    };
+    let opts = AdmitOptions { lambda, nsigma, period, shift_search, score };
     // a corrupted or externally-produced image must not smuggle in the
     // degenerate values the API boundary rejects (TopK(0), non-finite or
     // non-positive λ/nsigma, period < 2)
@@ -358,10 +423,10 @@ fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
             w.u64(*last_attempt as u64);
             encode_admit_options(w, overrides);
         }
-        PhaseSnapshot::Live { decomposer, nsigma } => {
+        PhaseSnapshot::Live { decomposer, scorer } => {
             w.u8(1);
             encode_decomposer(w, decomposer);
-            encode_nsigma(w, nsigma);
+            encode_scorer(w, scorer);
         }
         PhaseSnapshot::Rejected => w.u8(2),
     }
@@ -376,14 +441,14 @@ fn decode_series(r: &mut Reader<'_>, version: u16) -> Result<SeriesSnapshot, Cod
             period: r.opt_u32()?.map(|v| v as usize),
             last_attempt: r.u64()? as usize,
             overrides: if version >= 4 {
-                decode_admit_options(r)?
+                decode_admit_options(r, version)?
             } else {
                 AdmitOptions::default()
             },
         },
         1 => PhaseSnapshot::Live {
             decomposer: decode_decomposer(r, version)?,
-            nsigma: decode_nsigma(r)?,
+            scorer: decode_scorer(r, version)?,
         },
         2 => PhaseSnapshot::Rejected,
         _ => return Err(CodecError::Invalid("series phase tag")),
@@ -498,6 +563,50 @@ fn encode_nsigma(w: &mut Writer, s: &NSigmaState) {
 
 fn decode_nsigma(r: &mut Reader<'_>) -> Result<NSigmaState, CodecError> {
     Ok(NSigmaState { n: r.f64()?, count: r.u64()?, sum: r.f64()?, sum_sq: r.f64()? })
+}
+
+/// v5: the full task-level residual scorer of a live series.
+fn encode_scorer(w: &mut Writer, s: &ResidualScorerState) {
+    encode_score_config(w, &s.config);
+    encode_nsigma(w, &s.nsigma);
+    w.f64(s.s_pos);
+    w.f64(s.s_neg);
+    w.f64(s.hold);
+}
+
+/// v3/v4 live series stored only the NSigma statistics; wrapping them in
+/// a `Fusion::Off` scorer reproduces the plain-NSigma scoring those
+/// writers ran, bit-identically.
+fn decode_scorer(r: &mut Reader<'_>, version: u16) -> Result<ResidualScorerState, CodecError> {
+    if version >= 5 {
+        let config = decode_score_config(r)?;
+        let nsigma = decode_nsigma(r)?;
+        let s_pos = r.f64()?;
+        let s_neg = r.f64()?;
+        let hold = r.f64()?;
+        // mirror the config-level smuggling checks for the dynamic state:
+        // a NaN accumulator would silently disable one CUSUM side forever
+        // (f64::max(NaN, x) returns x), and no writer can produce values
+        // outside the update loop's clamp ranges
+        let bar = 2.0 * config.cusum_h;
+        for s in [s_pos, s_neg] {
+            if !(s.is_finite() && (0.0..=bar).contains(&s)) {
+                return Err(CodecError::Invalid("scorer accumulator"));
+            }
+        }
+        if !(hold.is_finite() && hold >= 0.0) {
+            return Err(CodecError::Invalid("scorer hold"));
+        }
+        Ok(ResidualScorerState { config, nsigma, s_pos, s_neg, hold })
+    } else {
+        Ok(ResidualScorerState {
+            config: ScoreConfig::off(),
+            nsigma: decode_nsigma(r)?,
+            s_pos: 0.0,
+            s_neg: 0.0,
+            hold: 0.0,
+        })
+    }
 }
 
 /// Little-endian byte sink. Shared with the WAL record format
@@ -674,6 +783,12 @@ mod tests {
                             nsigma: Some(4.0),
                             period: Some(24),
                             shift_search: Some(ShiftSearchConfig::top_k(7)),
+                            score: Some(ScoreConfig {
+                                cusum_k: 0.75,
+                                cusum_h: 9.0,
+                                hold_decay: 0.5,
+                                fusion: Fusion::Cusum,
+                            }),
                         },
                     },
                 },
@@ -772,6 +887,51 @@ mod tests {
         }
     }
 
+    /// A crafted v5 image smuggling degenerate scorer *dynamic state*
+    /// (NaN accumulators would silently disable one CUSUM side forever:
+    /// `f64::max(NaN, x)` returns `x`) must fail to decode.
+    #[test]
+    fn degenerate_decoded_scorer_state_is_rejected() {
+        let t = 12usize;
+        let y: Vec<f64> = (0..6 * t)
+            .map(|i| 1.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut det = oneshotstl::StdAnomalyDetector::new(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        let make = |s_pos: f64, s_neg: f64, hold: f64| {
+            let mut snap = sample_snapshot();
+            let mut scorer = det.scorer().to_state();
+            scorer.s_pos = s_pos;
+            scorer.s_neg = s_neg;
+            scorer.hold = hold;
+            snap.series.push(SeriesSnapshot {
+                key: SeriesKey::new("live"),
+                last_seen: 50,
+                phase: PhaseSnapshot::Live { decomposer: det.decomposer.to_state(), scorer },
+            });
+            encode(&snap)
+        };
+        // in-range state decodes…
+        decode(&make(1.0, 0.0, 3.0)).expect("valid scorer state decodes");
+        // …NaN, negative, or beyond-clamp accumulators and NaN hold do not
+        for (sp, sn, hold) in [
+            (f64::NAN, 0.0, 0.0),
+            (0.0, f64::NAN, 0.0),
+            (-1.0, 0.0, 0.0),
+            (1e9, 0.0, 0.0), // > 2h for the default h
+            (0.0, 0.0, f64::NAN),
+            (0.0, 0.0, -2.0),
+        ] {
+            assert!(
+                decode(&make(sp, sn, hold)).is_err(),
+                "scorer state ({sp}, {sn}, {hold}) must be rejected"
+            );
+        }
+    }
+
     /// A crafted image carrying override values the API boundary rejects
     /// (here: `TopK(0)`) must fail to decode, not restore a degenerate
     /// series.
@@ -854,6 +1014,7 @@ mod tests {
         w.u8(2);
         let back = decode(&w.buf).expect("v3 must stay readable");
         assert_eq!(back.config.detector.shift_search, ShiftSearchConfig::exhaustive());
+        assert_eq!(back.config.score, ScoreConfig::off(), "v3 writers scored z-only");
         match &back.series[0].phase {
             PhaseSnapshot::Warming { overrides, values: v, period: p, .. } => {
                 assert!(overrides.is_default(), "v3 series carry no overrides");
@@ -864,10 +1025,147 @@ mod tests {
         }
         assert_eq!(back.clock, snap.clock);
         assert_eq!(back.batches, snap.batches);
-        // ...and a v3 image re-encodes as v4 (upgrade-on-rewrite)
+        // ...and a v3 image re-encodes as v5 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 4, "re-encoded version");
+        assert_eq!(re[8], 5, "re-encoded version");
         decode(&re).expect("upgraded image decodes");
+    }
+
+    /// Hand-encodes the v4 layout (shift-search in detector configs and
+    /// per-series overrides, but **no** score configs and plain NSigma
+    /// stats for live series) and checks the v5 reader restores it: the
+    /// engine config and every live series get `Fusion::Off` — the plain
+    /// z-scoring every v4 writer actually ran — so a restored v4 stream
+    /// continues bit-identically.
+    #[test]
+    fn v4_snapshots_still_decode() {
+        // a live series with real (initialized) decomposer + NSigma state
+        let t = 12usize;
+        let y: Vec<f64> = (0..8 * t)
+            .map(|i| 1.5 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut det = oneshotstl::StdAnomalyDetector::with_score(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+            ScoreConfig::off(),
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..] {
+            det.update(v);
+        }
+        let live_dec = det.decomposer.to_state();
+        let live_ns = det.scorer().to_state().nsigma;
+
+        let config = FleetConfig {
+            score: ScoreConfig::off(), // what a v4 writer effectively ran
+            ..FleetConfig::fixed_period(t)
+        };
+        let warm_overrides = AdmitOptions {
+            lambda: Some(2.0),
+            nsigma: None,
+            period: Some(t),
+            shift_search: Some(ShiftSearchConfig::top_k(3)),
+            score: None, // v4 has no score override
+        };
+
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(4);
+        w.u8(KIND_FULL);
+        // config, v4 layout: detector config ends after shift_search (no
+        // engine score config)
+        let c = &config;
+        w.u32(c.shards as u32);
+        w.u32(c.init_cycles as u32);
+        match &c.period {
+            PeriodPolicy::Fixed(p) => {
+                w.u8(0);
+                w.u32(*p as u32);
+            }
+            PeriodPolicy::Detect { .. } => unreachable!("fixture uses a fixed period"),
+        }
+        w.opt_u32(c.max_warmup.map(|v| v as u32));
+        w.f64(c.nsigma);
+        w.opt_u64(c.ttl);
+        w.opt_u64(c.max_clock_step);
+        w.opt_u64(c.queue_capacity.map(|v| v as u64));
+        w.u8(0); // QueuePolicy::Block
+        encode_detector_config(&mut w, &c.detector);
+        w.u64(7); // clock
+        w.u64(3); // batches
+        w.u64(0); // totals
+        w.u64(1);
+        w.u64(200);
+        w.u64(2);
+        w.u64(2); // series count
+                  // series 0: warming with v4 overrides (no score field)
+        w.string("warm");
+        w.u64(5);
+        w.u8(0);
+        w.vec_f64(&[1.0, 2.0, 3.0]);
+        w.opt_u32(Some(t as u32));
+        w.u64(3);
+        w.opt_f64(warm_overrides.lambda);
+        w.opt_f64(warm_overrides.nsigma);
+        w.opt_u32(warm_overrides.period.map(|v| v as u32));
+        w.u8(1);
+        encode_shift_search(&mut w, &warm_overrides.shift_search.unwrap());
+        // series 1: live with v4 layout (decomposer + plain NSigma stats)
+        w.string("live");
+        w.u64(7);
+        w.u8(1);
+        encode_decomposer(&mut w, &live_dec);
+        encode_nsigma(&mut w, &live_ns);
+
+        let back = decode(&w.buf).expect("v4 must stay readable");
+        assert_eq!(back.config, config);
+        assert_eq!(back.clock, 7);
+        match &back.series[0].phase {
+            PhaseSnapshot::Warming { overrides, .. } => {
+                assert_eq!(overrides, &warm_overrides, "v4 overrides decode, score None");
+            }
+            _ => panic!("series 0 must be warming"),
+        }
+        match &back.series[1].phase {
+            PhaseSnapshot::Live { decomposer, scorer } => {
+                assert_eq!(decomposer, &live_dec, "decomposer state bit-identical");
+                assert_eq!(
+                    scorer,
+                    &ResidualScorerState {
+                        config: ScoreConfig::off(),
+                        nsigma: live_ns.clone(),
+                        s_pos: 0.0,
+                        s_neg: 0.0,
+                        hold: 0.0,
+                    },
+                    "v4 NSigma stats decode as a Fusion::Off scorer"
+                );
+            }
+            _ => panic!("series 1 must be live"),
+        }
+        // the restored detector continues bit-identically to the v4
+        // writer's uninterrupted continuation (plain NSigma scoring)
+        let PhaseSnapshot::Live { decomposer, scorer } = back.series[1].phase.clone() else {
+            unreachable!();
+        };
+        let mut restored = oneshotstl::StdAnomalyDetector::from_parts(
+            oneshotstl::OneShotStl::from_state(decomposer).unwrap(),
+            oneshotstl::ResidualScorer::from_state(scorer),
+        );
+        for i in 0..3 * t {
+            let x = 1.5
+                + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                + if i == t { 4.0 } else { 0.0 };
+            let (pa, va) = det.update_scored(x);
+            let (pb, vb) = restored.update_scored(x);
+            assert_eq!(pa.residual.to_bits(), pb.residual.to_bits());
+            assert_eq!(va.score.to_bits(), vb.score.to_bits());
+            assert_eq!(va.is_anomaly, vb.is_anomaly);
+        }
+        // ...and a v4 image re-encodes as v5 (upgrade-on-rewrite)
+        let re = encode(&back);
+        assert_eq!(re[8], 5, "re-encoded version");
+        assert_eq!(decode(&re).unwrap(), back);
     }
 
     #[test]

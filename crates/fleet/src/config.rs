@@ -1,6 +1,6 @@
 //! Engine configuration, including per-series admission-time overrides.
 
-use oneshotstl::{OneShotStlConfig, ShiftPrune, ShiftSearchConfig};
+use oneshotstl::{OneShotStlConfig, ScoreConfig, ShiftPrune, ShiftSearchConfig};
 
 /// How the seasonal period of an incoming series is determined.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +60,9 @@ pub struct AdmitOptions {
     pub period: Option<usize>,
     /// §3.4 shift-search pipeline override (pruning policy).
     pub shift_search: Option<ShiftSearchConfig>,
+    /// Residual scoring override (CUSUM fusion; see
+    /// [`oneshotstl::score`]) for the task-level verdict.
+    pub score: Option<ScoreConfig>,
 }
 
 impl AdmitOptions {
@@ -90,6 +93,11 @@ impl AdmitOptions {
         self.nsigma.unwrap_or(base.nsigma)
     }
 
+    /// The residual scoring configuration for the task-level verdict.
+    pub fn task_score(&self, base: &FleetConfig) -> ScoreConfig {
+        self.score.unwrap_or(base.score)
+    }
+
     /// Validates the overrides (mirrors [`FleetConfig::validate`]).
     pub fn validate(&self) -> Result<(), String> {
         if let Some(t) = self.period {
@@ -109,6 +117,9 @@ impl AdmitOptions {
         }
         if let Some(ss) = self.shift_search {
             validate_shift_search(&ss)?;
+        }
+        if let Some(sc) = self.score {
+            sc.validate()?;
         }
         Ok(())
     }
@@ -189,6 +200,10 @@ pub struct FleetConfig {
     pub queue_policy: QueuePolicy,
     /// Decomposer configuration for admitted series.
     pub detector: OneShotStlConfig,
+    /// Residual scoring configuration for the task-level verdict
+    /// (persistence-aware CUSUM fusion; [`ScoreConfig::off`] reproduces
+    /// the pre-v5 instantaneous z-score pipeline bit-identically).
+    pub score: ScoreConfig,
 }
 
 impl Default for FleetConfig {
@@ -204,6 +219,7 @@ impl Default for FleetConfig {
             queue_capacity: None,
             queue_policy: QueuePolicy::default(),
             detector: OneShotStlConfig::default(),
+            score: ScoreConfig::default(),
         }
     }
 }
@@ -270,6 +286,7 @@ impl FleetConfig {
             return Err("queue_capacity must be >= 1 (or None for unbounded)".into());
         }
         validate_shift_search(&self.detector.shift_search)?;
+        self.score.validate()?;
         Ok(())
     }
 }
@@ -317,6 +334,22 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(bounded.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_score_config_is_rejected() {
+        // engine-wide scoring config…
+        let mut cfg = FleetConfig::default();
+        cfg.score.cusum_h = 0.0;
+        assert!(cfg.validate().is_err());
+        // …and per-series overrides
+        let opts = AdmitOptions {
+            score: Some(ScoreConfig { hold_decay: 1.5, ..Default::default() }),
+            ..Default::default()
+        };
+        assert!(opts.validate().is_err());
+        let ok = AdmitOptions { score: Some(ScoreConfig::off()), ..Default::default() };
+        assert_eq!(ok.validate(), Ok(()));
     }
 
     #[test]

@@ -27,17 +27,22 @@
 //!   `init_len = init_cycles·T` arrive, where the period `T` is either
 //!   declared ([`PeriodPolicy::Fixed`]) or ACF-detected from the buffer
 //!   ([`PeriodPolicy::Detect`]). The series is then promoted to a live
-//!   `StdAnomalyDetector<OneShotStl>`.
+//!   `StdAnomalyDetector<OneShotStl>` scoring residuals with the
+//!   persistence-aware fused scorer (`oneshotstl::score`: NSigma z-score
+//!   fused with a two-sided CUSUM and a peak-hold; [`FleetConfig::score`]
+//!   configures it engine-wide, `ScoreConfig::off()` restores the plain
+//!   z-score).
 //! - **Per-series tuning.** [`FleetEngine::set_admit_options`] overrides
-//!   λ, the NSigma threshold, the declared period, and the §3.4
-//!   shift-search policy for one series before it admits
-//!   ([`AdmitOptions`]); the overrides bake into the detector at
-//!   promotion and survive snapshot/restore and crash recovery.
+//!   λ, the NSigma threshold, the declared period, the §3.4
+//!   shift-search policy, and the residual scoring config for one series
+//!   before it admits ([`AdmitOptions`]); the overrides bake into the
+//!   detector at promotion and survive snapshot/restore and crash
+//!   recovery.
 //! - **Snapshot/restore.** [`FleetEngine::snapshot_bytes`] serializes every
-//!   series (via `to_state`/`from_state` hooks on `OneShotStl`, `NSigma`)
-//!   with a versioned codec ([`codec`]) that round-trips `f64`s by bit
-//!   pattern: a restored engine continues the scoring stream
-//!   **bit-identically**.
+//!   series (via `to_state`/`from_state` hooks on `OneShotStl`,
+//!   `ResidualScorer`) with a versioned codec ([`codec`]) that
+//!   round-trips `f64`s by bit pattern: a restored engine continues the
+//!   scoring stream **bit-identically**.
 //! - **Lifecycle.** Per-series last-seen clocks; series idle beyond
 //!   `config.ttl` are evicted (amortized sweep during ingest, or explicit
 //!   [`FleetEngine::evict_idle`]). [`FleetEngine::stats`] reports

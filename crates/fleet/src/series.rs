@@ -11,8 +11,8 @@
 use crate::config::{AdmitOptions, FleetConfig, PeriodPolicy};
 use crate::types::PointOutput;
 use oneshotstl::{
-    IncrementalSolver, NSigma, NSigmaState, OneShotStl, OneShotStlState, StdAnomalyDetector,
-    UpdateScratch,
+    IncrementalSolver, OneShotStl, OneShotStlState, ResidualScorer, ResidualScorerState,
+    StdAnomalyDetector, UpdateScratch,
 };
 use tskit::period::detect_period;
 
@@ -54,7 +54,8 @@ pub struct Warmup {
 /// A live (admitted) series.
 #[derive(Debug)]
 pub struct LiveSeries {
-    /// The scoring pipeline: OneShotSTL + residual NSigma.
+    /// The scoring pipeline: OneShotSTL + persistence-aware residual
+    /// scorer (NSigma z-score fused with CUSUM; see `oneshotstl::score`).
     pub detector: StdAnomalyDetector<OneShotStl>,
 }
 
@@ -261,9 +262,10 @@ impl SeriesState {
         // per-series overrides are baked into the detector here: from this
         // point on the tuning lives inside the live state (and its
         // snapshots), not in the fleet config
-        let mut detector = StdAnomalyDetector::new(
+        let mut detector = StdAnomalyDetector::with_score(
             OneShotStl::new(w.overrides.detector_config(config)),
             w.overrides.task_nsigma(config),
+            w.overrides.task_score(config),
         );
         match detector.init(&w.values, period) {
             Ok(()) => {
@@ -299,8 +301,10 @@ pub enum PhaseSnapshot {
     Live {
         /// The OneShotSTL decomposer state.
         decomposer: OneShotStlState,
-        /// The task-level residual scoring statistics.
-        nsigma: NSigmaState,
+        /// The task-level residual scorer state (codec v5; v3/v4
+        /// snapshots decode their plain NSigma statistics as a scorer
+        /// with `Fusion::Off` — exactly what those writers ran).
+        scorer: ResidualScorerState,
     },
     /// Tombstone.
     Rejected,
@@ -318,7 +322,7 @@ impl SeriesState {
             },
             SeriesState::Live(live) => PhaseSnapshot::Live {
                 decomposer: live.detector.decomposer.to_state(),
-                nsigma: live.detector.nsigma().to_state(),
+                scorer: live.detector.scorer().to_state(),
             },
             SeriesState::Rejected => PhaseSnapshot::Rejected,
         }
@@ -339,7 +343,7 @@ impl SeriesState {
                     overrides,
                 ))
             }
-            PhaseSnapshot::Live { decomposer, nsigma } => {
+            PhaseSnapshot::Live { decomposer, scorer } => {
                 // live implies initialized: an uninitialized decomposer
                 // would panic the shard worker on the first update
                 if !decomposer.initialized {
@@ -351,7 +355,7 @@ impl SeriesState {
                 SeriesState::Live(LiveSeries {
                     detector: StdAnomalyDetector::from_parts(
                         OneShotStl::from_state(decomposer)?,
-                        NSigma::from_state(nsigma),
+                        ResidualScorer::from_state(scorer),
                     ),
                 })
             }
@@ -430,8 +434,8 @@ mod tests {
         // shard worker on the first update
         let cfg = FleetConfig::fixed_period(8);
         let never_inited = OneShotStl::new(cfg.detector.clone()).to_state();
-        let nsigma = NSigma::new(cfg.nsigma).to_state();
-        let snap = PhaseSnapshot::Live { decomposer: never_inited, nsigma };
+        let scorer = ResidualScorer::new(cfg.nsigma, cfg.score).to_state();
+        let snap = PhaseSnapshot::Live { decomposer: never_inited, scorer };
         assert!(SeriesState::from_snapshot(snap, &cfg).is_err());
     }
 

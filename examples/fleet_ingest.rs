@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example fleet_ingest`
 
+use oneshotstl_suite::core::{Fusion, ScoreConfig};
 use oneshotstl_suite::fleet::{
     AdmitOptions, FleetConfig, FleetEngine, PeriodPolicy, PointOutput, Record,
 };
@@ -31,15 +32,25 @@ fn main() {
 
     // Per-series tuning: admission is config-global by default, but any
     // series can override λ, the NSigma threshold, its declared period,
-    // or the shift-search policy *before* it admits. This high-priority
-    // metric beats at period 12 (the fleet default is 24) and gets a
-    // tighter anomaly threshold — registered up front, so the overrides
+    // the shift-search policy, or the residual scoring (CUSUM fusion)
+    // *before* it admits. This high-priority metric beats at period 12
+    // (the fleet default is 24), gets a tighter anomaly threshold, and a
+    // more sensitive CUSUM bar — registered up front, so the overrides
     // are in place when its first point arrives.
     let vip = "tenant-0/metric-0";
     engine
         .set_admit_options(
             vip,
-            AdmitOptions { period: Some(12), nsigma: Some(3.5), ..Default::default() },
+            AdmitOptions {
+                period: Some(12),
+                nsigma: Some(3.5),
+                score: Some(ScoreConfig {
+                    cusum_h: 4.0,
+                    fusion: Fusion::Max,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
         )
         .expect("series not admitted yet");
 

@@ -37,7 +37,8 @@ pub mod prelude {
     pub use oneshotstl::oneshot::{OneShotStlConfig, ShiftPolicy};
     pub use oneshotstl::system::Lambdas;
     pub use oneshotstl::{
-        JointStl, ModifiedJointStlRef, NSigma, OneShotStl, StdAnomalyDetector, StdForecaster,
+        Fusion, JointStl, ModifiedJointStlRef, NSigma, OneShotStl, ResidualScorer, ScoreConfig,
+        StdAnomalyDetector, StdForecaster,
     };
     pub use tskit::{DecompPoint, Decomposition, LabeledSeries};
     pub use tsmetrics::{kdd21_score, roc_auc, vus_roc, DecompErrors};

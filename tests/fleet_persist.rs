@@ -534,7 +534,7 @@ fn group_commit_fsyncs_once_per_acked_batch() {
 /// re-runs the admission with the same tuning.
 #[test]
 fn admit_options_survive_crash_recovery_bit_identically() {
-    use oneshotstl_suite::core::ShiftSearchConfig;
+    use oneshotstl_suite::core::{Fusion, ScoreConfig, ShiftSearchConfig};
     use oneshotstl_suite::fleet::AdmitOptions;
 
     let total = 140u64;
@@ -552,6 +552,14 @@ fn admit_options_survive_crash_recovery_bit_identically() {
         nsigma: Some(3.5),
         period: Some(12),
         shift_search: Some(ShiftSearchConfig::exhaustive()),
+        // a per-series scoring override rides the same checkpoint path:
+        // recovery must bring the CUSUM config back in force too
+        score: Some(ScoreConfig {
+            cusum_k: 0.4,
+            cusum_h: 5.0,
+            hold_decay: 0.95,
+            fusion: Fusion::Cusum,
+        }),
     };
 
     // reference: uninterrupted, no durability

@@ -101,6 +101,55 @@ fn snapshot_restore_is_bit_identical() {
     assert_eq!(stats.admitted, n_series as u64);
 }
 
+/// Codec v5 carries the fused residual scorer's dynamic state (CUSUM
+/// accumulators + peak-hold), not just the NSigma sums: a snapshot taken
+/// *mid-excursion* — right after a level shift started, while the CUSUM
+/// is charged and the peak-hold is decaying — must continue
+/// bit-identically. (If restore zeroed any scorer field, the held score
+/// of every following point would differ.)
+#[test]
+fn mid_excursion_scorer_state_survives_snapshot() {
+    let period = 24usize;
+    let warm = 100u64; // past init_len(24) = 72: the series is live
+    let shift_at = 110u64; // the excursion is in flight at the snapshot…
+    let snap_at = 115u64; // …and the accumulators are mid-charge here
+    let tail = 150u64;
+    let y: Vec<f64> = (0..(warm + tail) as usize)
+        .map(|i| {
+            let base = (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin();
+            // a sustained level shift: the adaptive trend absorbs it, so
+            // only the CUSUM/hold state distinguishes the points after it
+            base + if i as u64 >= shift_at { 2.5 } else { 0.0 }
+        })
+        .collect();
+    let one = |t: u64| vec![Record::new("s", t, y[t as usize])];
+
+    let mut full = FleetEngine::new(config()).unwrap();
+    for t in 0..snap_at {
+        full.ingest(one(t)).unwrap();
+    }
+    let bytes = full.snapshot_bytes().unwrap();
+    let mut restored = FleetEngine::restore_bytes(&bytes).unwrap();
+    let mut held_score_seen = false;
+    for t in snap_at..warm + tail {
+        let (a, b) = (full.ingest(one(t)).unwrap(), restored.ingest(one(t)).unwrap());
+        match (&a[0].output, &b[0].output) {
+            (
+                PointOutput::Scored { score: sa, is_anomaly: fa, .. },
+                PointOutput::Scored { score: sb, is_anomaly: fb, .. },
+            ) => {
+                assert_eq!(sa.to_bits(), sb.to_bits(), "held score diverged at t={t}");
+                assert_eq!(fa, fb);
+                if *sa > 1.0 {
+                    held_score_seen = true;
+                }
+            }
+            (oa, ob) => assert_eq!(oa, ob, "t={t}"),
+        }
+    }
+    assert!(held_score_seen, "the excursion must actually exercise the fused path");
+}
+
 /// A snapshot can be restored onto a different shard count without
 /// changing a single output bit (per-series state is shard-agnostic).
 #[test]
@@ -278,7 +327,7 @@ fn detect_admission_and_noise_rejection() {
 /// series at snapshot time.
 #[test]
 fn admit_options_survive_snapshot_and_shape_admission() {
-    use oneshotstl_suite::core::ShiftSearchConfig;
+    use oneshotstl_suite::core::{Fusion, ScoreConfig, ShiftSearchConfig};
     use oneshotstl_suite::fleet::AdmitOptions;
 
     let n_ticks = 160u64;
@@ -296,6 +345,12 @@ fn admit_options_survive_snapshot_and_shape_admission() {
         nsigma: Some(3.5),
         period: Some(12),
         shift_search: Some(ShiftSearchConfig::exhaustive()),
+        score: Some(ScoreConfig {
+            cusum_k: 0.4,
+            cusum_h: 5.0,
+            hold_decay: 0.95,
+            fusion: Fusion::Cusum,
+        }),
     };
 
     // uninterrupted reference

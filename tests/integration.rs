@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full pipelines the paper's
 //! evaluation depends on, exercised end to end on the synthetic workloads.
 
+use oneshotstl_suite::core::ScoreConfig;
 use oneshotstl_suite::metrics::kdd21_score;
 use oneshotstl_suite::prelude::*;
 use oneshotstl_suite::tskit::period::find_length;
@@ -54,47 +55,53 @@ fn oneshotstl_handles_seasonality_shift() {
     );
 }
 
-fn tsad_family_vus(name: &str, n_series: usize, seed: u64) -> f64 {
+/// The TSAD evaluation protocol (kept in lockstep with the
+/// `tsad_ablation` bench): tied λ = 10 (the paper's per-dataset tuning
+/// for these families) and the §3.4 shift search disabled — on anomaly
+/// workloads the search absorbs anomalous excursions into seasonal-phase
+/// shifts, destroying the residual evidence (measured in
+/// `BENCH_tsad.json`'s protocol table).
+fn tsad_family_vus(name: &str, n_series: usize, seed: u64, score: ScoreConfig) -> f64 {
     let fam = tsad_family(name, n_series, seed);
     let mut total = 0.0;
     for s in &fam.series {
         let period = find_length(s.train());
-        // flexible trend (small λ), matching the paper's per-dataset λ
-        // tuning
         let cfg = OneShotStlConfig {
             lambdas: Lambdas { lambda1: 10.0, lambda2: 10.0, anchor: 1.0 },
+            shift_window: 0,
             ..Default::default()
         };
-        let mut m = StdNSigma::new("OneShotSTL", 5.0, || OneShotStl::new(cfg.clone()));
+        let mut m =
+            StdNSigma::with_score("OneShotSTL", 5.0, score, || OneShotStl::new(cfg.clone()));
         let scores = m.score(s.train(), s.test(), period);
         total += vus_roc(&scores, s.test_labels(), period.max(10), 8);
     }
     total / fam.series.len() as f64
 }
 
-/// §4 TSAD: the STD residual detector finds injected anomalies on a
-/// strongly seasonal family better than chance by a wide margin.
-///
-/// Originally written against IOPS; under the vendored RNG stream that
-/// family's wandering-trend workload lands near chance (~0.54 — see the
-/// companion floor test below), so the strong-margin assertion moved to
-/// ECG, which matches this test's "strongly seasonal" premise.
+/// §4 TSAD: the fused residual scorer finds injected anomalies on a
+/// strongly seasonal family by a wide margin (measured 0.8754 with the
+/// default fused config; the pre-CUSUM z-only pipeline scored 0.7091).
 #[test]
 fn tsad_pipeline_scores_well_on_seasonal_family() {
-    let avg = tsad_family_vus("ECG", 2, 7);
-    assert!(avg > 0.6, "ECG-family VUS-ROC {avg}");
+    let avg = tsad_family_vus("ECG", 2, 7, ScoreConfig::default());
+    assert!(avg > 0.8, "ECG-family VUS-ROC {avg}");
 }
 
-/// The hard regime: IOPS (wandering trend + level shifts) is genuinely
-/// difficult for an adaptive online detector — the model absorbs level
-/// shifts quickly, so only the shift edges score high. Pin a
-/// better-than-chance floor (measured ~0.54 avg over these 4 series) so a
-/// real regression in the wandering-trend path still fails CI; raising
-/// this floor is a tracked quality target (ROADMAP).
+/// The hard regime: IOPS (wandering trend + level shifts) — the adaptive
+/// trend absorbs level shifts within a few points, so the instantaneous
+/// z-score sees only the shift edges and scored near chance (~0.54).
+/// The persistence-aware CUSUM + peak-hold scorer bridges the paired
+/// edge spikes and lifts the family to ≥ 0.75 VUS-ROC (measured 0.7776
+/// with the default fused config — the ROADMAP "TSAD quality target").
+/// The same workload is gated can't-skip in CI by `tsad_ablation
+/// --smoke`.
 #[test]
 fn tsad_pipeline_beats_chance_on_wandering_trend_family() {
-    let avg = (tsad_family_vus("IOPS", 2, 7) + tsad_family_vus("IOPS", 2, 11)) / 2.0;
-    assert!(avg > 0.52, "IOPS-family VUS-ROC {avg}");
+    let fused = (tsad_family_vus("IOPS", 2, 7, ScoreConfig::default())
+        + tsad_family_vus("IOPS", 2, 11, ScoreConfig::default()))
+        / 2.0;
+    assert!(fused >= 0.75, "IOPS-family fused VUS-ROC {fused}");
 }
 
 /// Table 4's protocol end to end: KDD21-style scoring with the detector's
