@@ -13,6 +13,7 @@
 //! | OneShotSTL (Algorithm 5) + seasonality-shift handling (§3.4) | [`oneshot`] |
 //! | Streaming NSigma (Algorithm 6) | [`nsigma`] |
 //! | Persistence-aware residual scoring (CUSUM fusion) | [`score`] |
+//! | Multi-horizon STD→TSF forecast rule (§5) + forecast heads | [`forecast`](mod@forecast) |
 //! | TSAD / TSF task adapters (§4) | [`tasks`] |
 //!
 //! ## Quick start
@@ -43,6 +44,7 @@
 //! is an incremental solver, not an approximation of it.
 
 pub mod doolittle;
+pub mod forecast;
 pub mod jointstl;
 pub mod nsigma;
 pub mod oneshot;
@@ -52,6 +54,7 @@ pub mod score;
 pub mod system;
 pub mod tasks;
 
+pub use forecast::{damp_sum, ForecastHead, TrendHead};
 pub use jointstl::{JointStl, JointStlConfig};
 pub use nsigma::{NSigma, NSigmaState};
 pub use oneshot::{

@@ -498,6 +498,46 @@ impl<S: TailSolver> OnlineJointStl<S> {
         self.last_trend() + self.v[self.slot(self.t + i as u64 - 1, self.shift)]
     }
 
+    /// Latest one-step trend slope `τ_{t−1} − τ_{t−2}` (0 before any
+    /// update). The IRLS iteration states already carry the trend at the
+    /// last two time steps, so the slope costs no extra state.
+    pub fn trend_slope(&self) -> f64 {
+        self.iters.last().map_or(0.0, |st| st.tau_hist[1] - st.tau_hist[0])
+    }
+
+    /// The paper's multi-horizon forecast (`h ≥ 1`):
+    /// `ŷ(t+h) = τ(t) + slope·h + v[(t+Δ+h) mod T]` — [`Self::predict`]'s
+    /// seasonal carry-forward plus a linear extrapolation of the trend.
+    pub fn forecast(&self, h: usize) -> f64 {
+        self.forecast_damped(h, 1.0)
+    }
+
+    /// [`Self::forecast`] with a damped trend: the slope term becomes
+    /// `slope · Σ_{j=1..h} φ^j`. `φ = 1` is the paper's linear rule,
+    /// `φ = 0` reduces to the carry-forward [`Self::predict`], values in
+    /// between bound how far a noisy local slope may extrapolate.
+    pub fn forecast_damped(&self, h: usize, phi: f64) -> f64 {
+        self.predict(h) + self.trend_slope() * crate::forecast::damp_sum(phi, h)
+    }
+
+    /// Fills `out[i]` with the damped forecast at horizon `i + 1` —
+    /// the whole multi-horizon forecast in one pass with **no heap
+    /// allocation** (the fleet's steady-state forecast path).
+    pub fn forecast_into(&self, phi: f64, out: &mut [f64]) {
+        assert!(self.initialized, "OneShotSTL::forecast_into called before init");
+        let tau = self.last_trend();
+        let slope = self.trend_slope();
+        let mut weight = 0.0;
+        let mut pow = 1.0;
+        // same association as `predict(h) + slope * damp_sum(phi, h)`, so
+        // the fill is bit-identical to the single-horizon calls
+        for (i, o) in out.iter_mut().enumerate() {
+            pow *= phi;
+            weight += pow;
+            *o = (tau + self.v[self.slot(self.t + i as u64, self.shift)]) + slope * weight;
+        }
+    }
+
     /// Read-only view of the seasonal buffer `v` (indexed by
     /// `(t + Δ) mod T`).
     pub fn seasonal_buffer(&self) -> &[f64] {

@@ -160,12 +160,36 @@ pub struct ResidualScorer {
     s_neg: f64,
     /// Peak-hold `P` of the fused statistic.
     hold: f64,
+    /// Lifetime count of points whose `z` exceeded the bar (diagnostics,
+    /// not serialized).
+    z_alarms: u64,
+    /// Lifetime count of CUSUM bar crossings (diagnostics, not
+    /// serialized).
+    cusum_alarms: u64,
 }
 
 impl ResidualScorer {
     /// Creates a scorer with NSigma threshold `n` and CUSUM config.
     pub fn new(n: f64, config: ScoreConfig) -> Self {
-        ResidualScorer { config, nsigma: NSigma::new(n), s_pos: 0.0, s_neg: 0.0, hold: 0.0 }
+        ResidualScorer {
+            config,
+            nsigma: NSigma::new(n),
+            s_pos: 0.0,
+            s_neg: 0.0,
+            hold: 0.0,
+            z_alarms: 0,
+            cusum_alarms: 0,
+        }
+    }
+
+    /// Lifetime `(z alarms, CUSUM alarms)`: how many updates crossed the
+    /// instantaneous z bar and how many crossed the CUSUM decision bar
+    /// (one point can count in both; under [`Fusion::Off`] only the z
+    /// count moves). Diagnostics only — like
+    /// [`crate::OneShotStl::shift_search_stats`], the counters reset on
+    /// snapshot restore.
+    pub fn alarm_counts(&self) -> (u64, u64) {
+        (self.z_alarms, self.cusum_alarms)
     }
 
     /// The scoring configuration.
@@ -200,6 +224,7 @@ impl ResidualScorer {
     pub fn update(&mut self, r: f64) -> ScoreVerdict {
         if self.config.fusion == Fusion::Off {
             let v = self.nsigma.update(r);
+            self.z_alarms += v.is_anomaly as u64;
             return ScoreVerdict {
                 score: v.score,
                 z: v.score,
@@ -233,6 +258,8 @@ impl ResidualScorer {
         self.nsigma.absorb(r);
         let n = self.nsigma.n;
         let z_alarm = z > n;
+        self.z_alarms += z_alarm as u64;
+        self.cusum_alarms += cusum_alarm as u64;
         // rescale the CUSUM statistic into z units (its bar h maps onto
         // the z bar n) so one fused stream ranks both detectors fairly
         let c_scaled = cusum * (n / h);
@@ -273,6 +300,8 @@ impl ResidualScorer {
             s_pos: state.s_pos,
             s_neg: state.s_neg,
             hold: state.hold,
+            z_alarms: 0,
+            cusum_alarms: 0,
         }
     }
 }
@@ -507,6 +536,34 @@ mod tests {
         assert!(v.is_anomaly);
         assert!(v.score >= v.z, "fused score can only exceed the z-score");
         assert!(v.z > 5.0, "the alarm must be attributable to the spike z");
+    }
+
+    /// The lifetime alarm counters attribute alarms to the detector that
+    /// raised them — and reset on state restore (diagnostics contract).
+    #[test]
+    fn alarm_counts_attribute_and_reset_on_restore() {
+        let mut s = fused(0.25, 6.0);
+        let noise: Vec<f64> = (0..200).map(|i| ((i * 37 % 100) as f64 / 50.0) - 1.0).collect();
+        s.seed(&noise);
+        let sigma = s.nsigma().std();
+        assert_eq!(s.alarm_counts(), (0, 0));
+        s.update(20.0 * sigma); // spike: z alarm (and the CUSUM may charge)
+        let (z, _) = s.alarm_counts();
+        assert_eq!(z, 1, "the spike must count as a z alarm");
+        for _ in 0..60 {
+            s.update(1.5 * sigma); // drift: CUSUM alarms, z never crosses
+        }
+        let (_, c) = s.alarm_counts();
+        assert!(c >= 1, "the drift must count CUSUM alarms");
+        let restored = ResidualScorer::from_state(s.to_state());
+        assert_eq!(restored.alarm_counts(), (0, 0), "counters reset on restore");
+
+        // Fusion::Off moves only the z counter
+        let mut off = ResidualScorer::new(5.0, ScoreConfig::off());
+        off.seed(&noise);
+        let sigma = off.nsigma().std();
+        off.update(20.0 * sigma);
+        assert_eq!(off.alarm_counts(), (1, 0));
     }
 
     #[test]

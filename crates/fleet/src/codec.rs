@@ -30,11 +30,19 @@
 //! statistics — bit-identical to the plain-NSigma scoring every v3/v4
 //! writer ran — and their configs/overrides carry
 //! [`ScoreConfig::off`]/no override.
+//!
+//! v6 adds the forecasting layer: the engine-wide
+//! [`crate::ForecastOptions`], an optional per-series `forecast` override
+//! in [`AdmitOptions`], and an optional forecast-head state (pending
+//! one-step prediction + rolling error tracker rings) per live series.
+//! v3–v5 images still decode: they get forecasting disabled — what every
+//! pre-v6 writer actually ran — and their live series carry no head, so a
+//! restored stream continues bit-identically.
 
-use crate::config::{AdmitOptions, QueuePolicy};
+use crate::config::{AdmitOptions, ForecastOptions, QueuePolicy};
 use crate::engine::{CarriedTotals, FleetDelta, FleetSnapshot};
 use crate::error::CodecError;
-use crate::series::PhaseSnapshot;
+use crate::series::{ForecastSnapshot, PhaseSnapshot};
 use crate::shard::SeriesSnapshot;
 use crate::types::SeriesKey;
 use crate::{FleetConfig, PeriodPolicy};
@@ -53,7 +61,10 @@ const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v5: FleetConfig gained the residual ScoreConfig; live series store a
 //     full ResidualScorerState (was: plain NSigma stats); AdmitOptions
 //     gained an optional score override
-const VERSION: u16 = 5;
+// v6: FleetConfig gained ForecastOptions; AdmitOptions gained an optional
+//     forecast override; live series gained an optional forecast-head
+//     state (pending prediction + rolling error tracker)
+const VERSION: u16 = 6;
 /// Oldest version this build still decodes.
 const MIN_VERSION: u16 = 3;
 const KIND_FULL: u8 = 0;
@@ -202,6 +213,7 @@ fn encode_config(w: &mut Writer, c: &FleetConfig) {
     });
     encode_detector_config(w, &c.detector);
     encode_score_config(w, &c.score);
+    encode_forecast_options(w, &c.forecast);
 }
 
 fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecError> {
@@ -230,6 +242,9 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
     let detector = decode_detector_config(r, version)?;
     // a v3/v4 writer scored with the plain instantaneous z-score
     let score = if version >= 5 { decode_score_config(r)? } else { ScoreConfig::off() };
+    // and no pre-v6 writer forecasted
+    let forecast =
+        if version >= 6 { decode_forecast_options(r)? } else { ForecastOptions::default() };
     Ok(FleetConfig {
         shards,
         init_cycles,
@@ -242,6 +257,7 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
         queue_policy,
         detector,
         score,
+        forecast,
     })
 }
 
@@ -273,6 +289,84 @@ fn decode_score_config(r: &mut Reader<'_>) -> Result<ScoreConfig, CodecError> {
         return Err(CodecError::Invalid("score config"));
     }
     Ok(config)
+}
+
+/// v6: `u8` enabled, `f64` damping, `u32` error window, `u8` fusion flag,
+/// `f64` sMAPE alarm bar.
+fn encode_forecast_options(w: &mut Writer, f: &ForecastOptions) {
+    w.u8(f.enabled as u8);
+    w.f64(f.damping);
+    w.u32(f.error_window);
+    w.u8(f.error_fusion as u8);
+    w.f64(f.smape_alarm);
+}
+
+fn decode_forecast_options(r: &mut Reader<'_>) -> Result<ForecastOptions, CodecError> {
+    let enabled = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::Invalid("forecast enabled flag")),
+    };
+    let damping = r.f64()?;
+    let error_window = r.u32()?;
+    let error_fusion = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::Invalid("forecast fusion flag")),
+    };
+    let options =
+        ForecastOptions { enabled, damping, error_window, error_fusion, smape_alarm: r.f64()? };
+    // same smuggling stance as the score config: a crafted image must not
+    // restore values the API boundary rejects (φ outside [0, 1], a
+    // zero-capacity error window, a non-positive alarm bar)
+    if options.validate().is_err() {
+        return Err(CodecError::Invalid("forecast options"));
+    }
+    Ok(options)
+}
+
+/// v6: the forecast-head state of a live series — its options, the
+/// pending one-step prediction awaiting its truth, and the rolling error
+/// tracker rings.
+fn encode_forecast_state(w: &mut Writer, f: &ForecastSnapshot) {
+    encode_forecast_options(w, &f.options);
+    w.f64(f.pending);
+    w.u8(f.has_pending as u8);
+    w.vec_f64(&f.tracker.abs);
+    w.vec_f64(&f.tracker.sm);
+    w.u32(f.tracker.head);
+    w.u32(f.tracker.len);
+    w.f64(f.tracker.sum_abs);
+    w.f64(f.tracker.sum_sm);
+}
+
+fn decode_forecast_state(r: &mut Reader<'_>) -> Result<ForecastSnapshot, CodecError> {
+    let options = decode_forecast_options(r)?;
+    let pending = r.f64()?;
+    let has_pending = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::Invalid("forecast pending flag")),
+    };
+    // a NaN pending prediction would poison the tracker at the next point
+    if has_pending && !pending.is_finite() {
+        return Err(CodecError::Invalid("forecast pending prediction"));
+    }
+    let tracker = forecast::RollingErrorState {
+        abs: r.vec_f64()?,
+        sm: r.vec_f64()?,
+        head: r.u32()?,
+        len: r.u32()?,
+        sum_abs: r.f64()?,
+        sum_sm: r.f64()?,
+    };
+    // the tracker's own validation rejects ragged rings, out-of-range
+    // cursors, negative error terms, and non-finite sums — a NaN sum
+    // would poison every sMAPE read after restore
+    if forecast::RollingError::from_state(tracker.clone()).is_err() {
+        return Err(CodecError::Invalid("forecast tracker state"));
+    }
+    Ok(ForecastSnapshot { options, pending, has_pending, tracker })
 }
 
 fn encode_detector_config(w: &mut Writer, c: &OneShotStlConfig) {
@@ -363,7 +457,8 @@ fn decode_detector_config(
 }
 
 /// v4: pending per-series admission overrides of a warming series.
-/// v5 appends the optional residual-score override.
+/// v5 appends the optional residual-score override; v6 the optional
+/// forecast override.
 fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
     w.opt_f64(o.lambda);
     w.opt_f64(o.nsigma);
@@ -380,6 +475,13 @@ fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
         Some(sc) => {
             w.u8(1);
             encode_score_config(w, sc);
+        }
+    }
+    match &o.forecast {
+        None => w.u8(0),
+        Some(f) => {
+            w.u8(1);
+            encode_forecast_options(w, f);
         }
     }
 }
@@ -402,7 +504,16 @@ fn decode_admit_options(r: &mut Reader<'_>, version: u16) -> Result<AdmitOptions
     } else {
         None
     };
-    let opts = AdmitOptions { lambda, nsigma, period, shift_search, score };
+    let forecast = if version >= 6 {
+        match r.u8()? {
+            0 => None,
+            1 => Some(decode_forecast_options(r)?),
+            _ => return Err(CodecError::Invalid("option tag")),
+        }
+    } else {
+        None
+    };
+    let opts = AdmitOptions { lambda, nsigma, period, shift_search, score, forecast };
     // a corrupted or externally-produced image must not smuggle in the
     // degenerate values the API boundary rejects (TopK(0), non-finite or
     // non-positive λ/nsigma, period < 2)
@@ -423,10 +534,17 @@ fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
             w.u64(*last_attempt as u64);
             encode_admit_options(w, overrides);
         }
-        PhaseSnapshot::Live { decomposer, scorer } => {
+        PhaseSnapshot::Live { decomposer, scorer, forecast } => {
             w.u8(1);
             encode_decomposer(w, decomposer);
             encode_scorer(w, scorer);
+            match forecast {
+                None => w.u8(0),
+                Some(f) => {
+                    w.u8(1);
+                    encode_forecast_state(w, f);
+                }
+            }
         }
         PhaseSnapshot::Rejected => w.u8(2),
     }
@@ -449,6 +567,17 @@ fn decode_series(r: &mut Reader<'_>, version: u16) -> Result<SeriesSnapshot, Cod
         1 => PhaseSnapshot::Live {
             decomposer: decode_decomposer(r, version)?,
             scorer: decode_scorer(r, version)?,
+            // no pre-v6 writer forecasted, so pre-v6 live series carry no
+            // head — scoring continues bit-identically with forecasts off
+            forecast: if version >= 6 {
+                match r.u8()? {
+                    0 => None,
+                    1 => Some(decode_forecast_state(r)?),
+                    _ => return Err(CodecError::Invalid("forecast state tag")),
+                }
+            } else {
+                None
+            },
         },
         2 => PhaseSnapshot::Rejected,
         _ => return Err(CodecError::Invalid("series phase tag")),
@@ -765,6 +894,13 @@ mod tests {
             config: FleetConfig {
                 queue_capacity: Some(16),
                 queue_policy: QueuePolicy::Reject,
+                forecast: ForecastOptions {
+                    enabled: true,
+                    damping: 0.9,
+                    error_window: 32,
+                    error_fusion: true,
+                    smape_alarm: 1.25,
+                },
                 ..FleetConfig::fixed_period(24)
             },
             clock: 99,
@@ -788,6 +924,13 @@ mod tests {
                                 cusum_h: 9.0,
                                 hold_decay: 0.5,
                                 fusion: Fusion::Cusum,
+                            }),
+                            forecast: Some(ForecastOptions {
+                                enabled: true,
+                                damping: 0.5,
+                                error_window: 16,
+                                error_fusion: false,
+                                smape_alarm: 0.8,
                             }),
                         },
                     },
@@ -910,7 +1053,11 @@ mod tests {
             snap.series.push(SeriesSnapshot {
                 key: SeriesKey::new("live"),
                 last_seen: 50,
-                phase: PhaseSnapshot::Live { decomposer: det.decomposer.to_state(), scorer },
+                phase: PhaseSnapshot::Live {
+                    decomposer: det.decomposer.to_state(),
+                    scorer,
+                    forecast: None,
+                },
             });
             encode(&snap)
         };
@@ -1025,9 +1172,9 @@ mod tests {
         }
         assert_eq!(back.clock, snap.clock);
         assert_eq!(back.batches, snap.batches);
-        // ...and a v3 image re-encodes as v5 (upgrade-on-rewrite)
+        // ...and a v3 image re-encodes as v6 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 5, "re-encoded version");
+        assert_eq!(re[8], 6, "re-encoded version");
         decode(&re).expect("upgraded image decodes");
     }
 
@@ -1065,7 +1212,8 @@ mod tests {
             nsigma: None,
             period: Some(t),
             shift_search: Some(ShiftSearchConfig::top_k(3)),
-            score: None, // v4 has no score override
+            score: None,    // v4 has no score override
+            forecast: None, // nor a forecast one
         };
 
         let mut w = Writer::default();
@@ -1127,7 +1275,8 @@ mod tests {
             _ => panic!("series 0 must be warming"),
         }
         match &back.series[1].phase {
-            PhaseSnapshot::Live { decomposer, scorer } => {
+            PhaseSnapshot::Live { decomposer, scorer, forecast } => {
+                assert!(forecast.is_none(), "v4 live series carry no forecast head");
                 assert_eq!(decomposer, &live_dec, "decomposer state bit-identical");
                 assert_eq!(
                     scorer,
@@ -1145,7 +1294,8 @@ mod tests {
         }
         // the restored detector continues bit-identically to the v4
         // writer's uninterrupted continuation (plain NSigma scoring)
-        let PhaseSnapshot::Live { decomposer, scorer } = back.series[1].phase.clone() else {
+        let PhaseSnapshot::Live { decomposer, scorer, .. } = back.series[1].phase.clone()
+        else {
             unreachable!();
         };
         let mut restored = oneshotstl::StdAnomalyDetector::from_parts(
@@ -1162,10 +1312,197 @@ mod tests {
             assert_eq!(va.score.to_bits(), vb.score.to_bits());
             assert_eq!(va.is_anomaly, vb.is_anomaly);
         }
-        // ...and a v4 image re-encodes as v5 (upgrade-on-rewrite)
+        // ...and a v4 image re-encodes as v6 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 5, "re-encoded version");
+        assert_eq!(re[8], 6, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
+    }
+
+    /// Hand-encodes the v5 layout (score configs and full scorer states,
+    /// but **no** forecast fields anywhere) and checks the v6 reader
+    /// restores it: forecasting comes back disabled — what every v5
+    /// writer actually ran — no live series carries a head, and the
+    /// restored detector stream continues bit-identically.
+    #[test]
+    fn v5_snapshots_still_decode() {
+        let t = 12usize;
+        let y: Vec<f64> = (0..8 * t)
+            .map(|i| 1.5 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let score = ScoreConfig {
+            cusum_k: 0.5,
+            cusum_h: 6.0,
+            hold_decay: 0.8,
+            ..ScoreConfig::default()
+        };
+        let mut det = oneshotstl::StdAnomalyDetector::with_score(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+            score,
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..] {
+            det.update_scored(v);
+        }
+        let live_dec = det.decomposer.to_state();
+        let live_scorer = det.scorer().to_state();
+
+        let config = FleetConfig { score, ..FleetConfig::fixed_period(t) };
+        let warm_overrides = AdmitOptions {
+            lambda: Some(2.0),
+            nsigma: Some(4.0),
+            period: Some(t),
+            shift_search: Some(ShiftSearchConfig::top_k(3)),
+            score: Some(score),
+            forecast: None, // v5 has no forecast override
+        };
+
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(5);
+        w.u8(KIND_FULL);
+        // config, v5 layout: ends after the score config (no forecast)
+        let c = &config;
+        w.u32(c.shards as u32);
+        w.u32(c.init_cycles as u32);
+        match &c.period {
+            PeriodPolicy::Fixed(p) => {
+                w.u8(0);
+                w.u32(*p as u32);
+            }
+            PeriodPolicy::Detect { .. } => unreachable!("fixture uses a fixed period"),
+        }
+        w.opt_u32(c.max_warmup.map(|v| v as u32));
+        w.f64(c.nsigma);
+        w.opt_u64(c.ttl);
+        w.opt_u64(c.max_clock_step);
+        w.opt_u64(c.queue_capacity.map(|v| v as u64));
+        w.u8(0); // QueuePolicy::Block
+        encode_detector_config(&mut w, &c.detector);
+        encode_score_config(&mut w, &c.score);
+        w.u64(7); // clock
+        w.u64(3); // batches
+        w.u64(0); // totals
+        w.u64(1);
+        w.u64(200);
+        w.u64(2);
+        w.u64(2); // series count
+                  // series 0: warming with v5 overrides (no forecast tag)
+        w.string("warm");
+        w.u64(5);
+        w.u8(0);
+        w.vec_f64(&[1.0, 2.0, 3.0]);
+        w.opt_u32(Some(t as u32));
+        w.u64(3);
+        w.opt_f64(warm_overrides.lambda);
+        w.opt_f64(warm_overrides.nsigma);
+        w.opt_u32(warm_overrides.period.map(|v| v as u32));
+        w.u8(1);
+        encode_shift_search(&mut w, warm_overrides.shift_search.as_ref().unwrap());
+        w.u8(1);
+        encode_score_config(&mut w, warm_overrides.score.as_ref().unwrap());
+        // series 1: live with v5 layout (decomposer + scorer, no forecast)
+        w.string("live");
+        w.u64(7);
+        w.u8(1);
+        encode_decomposer(&mut w, &live_dec);
+        encode_scorer(&mut w, &live_scorer);
+
+        let back = decode(&w.buf).expect("v5 must stay readable");
+        assert_eq!(back.config, config, "forecast comes back disabled");
+        assert_eq!(back.config.forecast, ForecastOptions::default());
+        match &back.series[0].phase {
+            PhaseSnapshot::Warming { overrides, .. } => {
+                assert_eq!(overrides, &warm_overrides, "v5 overrides decode, forecast None");
+            }
+            _ => panic!("series 0 must be warming"),
+        }
+        match &back.series[1].phase {
+            PhaseSnapshot::Live { decomposer, scorer, forecast } => {
+                assert_eq!(decomposer, &live_dec, "decomposer state bit-identical");
+                assert_eq!(scorer, &live_scorer, "full v5 scorer state bit-identical");
+                assert!(forecast.is_none(), "v5 live series carry no forecast head");
+            }
+            _ => panic!("series 1 must be live"),
+        }
+        // the restored detector continues bit-identically to the v5
+        // writer's uninterrupted continuation
+        let PhaseSnapshot::Live { decomposer, scorer, .. } = back.series[1].phase.clone()
+        else {
+            unreachable!();
+        };
+        let mut restored = oneshotstl::StdAnomalyDetector::from_parts(
+            oneshotstl::OneShotStl::from_state(decomposer).unwrap(),
+            oneshotstl::ResidualScorer::from_state(scorer),
+        );
+        for i in 0..3 * t {
+            let x = 1.5
+                + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                + if i == t { 4.0 } else { 0.0 };
+            let (pa, va) = det.update_scored(x);
+            let (pb, vb) = restored.update_scored(x);
+            assert_eq!(pa.residual.to_bits(), pb.residual.to_bits());
+            assert_eq!(va.score.to_bits(), vb.score.to_bits());
+            assert_eq!(va.is_anomaly, vb.is_anomaly);
+        }
+        // ...and a v5 image re-encodes as v6 (upgrade-on-rewrite)
+        let re = encode(&back);
+        assert_eq!(re[8], 6, "re-encoded version");
+        assert_eq!(decode(&re).unwrap(), back);
+    }
+
+    /// A crafted v6 image smuggling degenerate forecast state — a NaN
+    /// pending prediction, NaN tracker sums, ragged rings — must fail to
+    /// decode, not poison every sMAPE read after restore.
+    #[test]
+    fn degenerate_decoded_forecast_state_is_rejected() {
+        let t = 12usize;
+        let y: Vec<f64> = (0..6 * t)
+            .map(|i| 1.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut det = oneshotstl::StdAnomalyDetector::new(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        let make = |mutate: &dyn Fn(&mut ForecastSnapshot)| {
+            let mut tracker = forecast::RollingError::new(8);
+            tracker.record(1.0, 1.1);
+            tracker.record(2.0, 1.9);
+            let mut fc = ForecastSnapshot {
+                options: ForecastOptions::on(),
+                pending: 1.5,
+                has_pending: true,
+                tracker: tracker.to_state(),
+            };
+            mutate(&mut fc);
+            let mut snap = sample_snapshot();
+            snap.series.push(SeriesSnapshot {
+                key: SeriesKey::new("live"),
+                last_seen: 50,
+                phase: PhaseSnapshot::Live {
+                    decomposer: det.decomposer.to_state(),
+                    scorer: det.scorer().to_state(),
+                    forecast: Some(fc),
+                },
+            });
+            encode(&snap)
+        };
+        // intact state decodes…
+        decode(&make(&|_| {})).expect("valid forecast state decodes");
+        // …corrupted state does not
+        assert!(decode(&make(&|f| f.pending = f64::NAN)).is_err(), "NaN pending");
+        assert!(decode(&make(&|f| f.tracker.sum_abs = f64::NAN)).is_err(), "NaN sum");
+        assert!(decode(&make(&|f| f.tracker.abs[0] = -1.0)).is_err(), "negative term");
+        assert!(
+            decode(&make(&|f| {
+                f.tracker.sm.pop();
+            }))
+            .is_err(),
+            "ragged rings"
+        );
+        assert!(decode(&make(&|f| f.tracker.head = 99)).is_err(), "cursor out of range");
+        assert!(decode(&make(&|f| f.options.damping = 1.5)).is_err(), "bad damping");
     }
 
     #[test]

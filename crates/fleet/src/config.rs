@@ -35,6 +35,75 @@ impl PeriodPolicy {
     }
 }
 
+/// Per-series multi-horizon forecasting (paper §5): the damped-trend
+/// STD→TSF rule `ŷ(t+h) = τ(t) + slope·Σφ^j + v[(t+Δ+h) mod T]` evaluated
+/// on each live detector's decomposition, plus an O(1) rolling
+/// forecast-error tracker feeding quality stats and (optionally) the
+/// anomaly verdict.
+///
+/// Disabled by default: a fleet that never forecasts carries no per-series
+/// forecast state and its scoring stream is untouched. With `enabled`,
+/// every series admitted from then on maintains a pending one-step
+/// forecast and a windowed MAE/sMAPE tracker
+/// (`forecast::RollingError`) — both persisted by snapshot codec v6 and
+/// restored bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastOptions {
+    /// Attach a forecast head (and error tracker) to series at admission.
+    pub enabled: bool,
+    /// Damping factor `φ ∈ [0, 1]` of the trend extrapolation: `1.0` is
+    /// the paper's linear `slope·h`, `0.0` pure carry-forward.
+    pub damping: f64,
+    /// Window `W ≥ 1` of the rolling forecast-error tracker (pairs of
+    /// one-step forecast vs realized value).
+    pub error_window: u32,
+    /// Fuse the tracker into the anomaly verdict: a full window whose
+    /// rolling sMAPE exceeds [`ForecastOptions::smape_alarm`] flags the
+    /// point anomalous (model-drift signal), on top of the residual
+    /// scorer's verdict.
+    pub error_fusion: bool,
+    /// Rolling-sMAPE alarm bar for `error_fusion`, in `(0, 2]` (sMAPE is
+    /// bounded by 2).
+    pub smape_alarm: f64,
+}
+
+impl Default for ForecastOptions {
+    fn default() -> Self {
+        ForecastOptions {
+            enabled: false,
+            damping: 1.0,
+            error_window: 64,
+            error_fusion: false,
+            smape_alarm: 1.5,
+        }
+    }
+}
+
+impl ForecastOptions {
+    /// Forecasting on with the default damping/tracker parameters.
+    pub fn on() -> Self {
+        ForecastOptions { enabled: true, ..Default::default() }
+    }
+
+    /// Validates the options, returning a message for the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !((0.0..=1.0).contains(&self.damping) && self.damping.is_finite()) {
+            return Err(format!("forecast damping must be in [0, 1], got {}", self.damping));
+        }
+        if self.error_window == 0 {
+            return Err("forecast error_window must be >= 1".into());
+        }
+        if !(self.smape_alarm.is_finite() && self.smape_alarm > 0.0 && self.smape_alarm <= 2.0)
+        {
+            return Err(format!(
+                "forecast smape_alarm must be in (0, 2], got {}",
+                self.smape_alarm
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Per-series overrides of the engine-wide [`FleetConfig`], applied on
 /// the warm-up/admission path (see
 /// [`crate::FleetEngine::set_admit_options`]).
@@ -63,6 +132,9 @@ pub struct AdmitOptions {
     /// Residual scoring override (CUSUM fusion; see
     /// [`oneshotstl::score`]) for the task-level verdict.
     pub score: Option<ScoreConfig>,
+    /// Forecasting override: enable/disable or re-tune the forecast head
+    /// and error tracker for this series (see [`ForecastOptions`]).
+    pub forecast: Option<ForecastOptions>,
 }
 
 impl AdmitOptions {
@@ -98,6 +170,12 @@ impl AdmitOptions {
         self.score.unwrap_or(base.score)
     }
 
+    /// The forecasting configuration for a series admitted under these
+    /// options.
+    pub fn task_forecast(&self, base: &FleetConfig) -> ForecastOptions {
+        self.forecast.unwrap_or(base.forecast)
+    }
+
     /// Validates the overrides (mirrors [`FleetConfig::validate`]).
     pub fn validate(&self) -> Result<(), String> {
         if let Some(t) = self.period {
@@ -120,6 +198,9 @@ impl AdmitOptions {
         }
         if let Some(sc) = self.score {
             sc.validate()?;
+        }
+        if let Some(f) = self.forecast {
+            f.validate()?;
         }
         Ok(())
     }
@@ -204,6 +285,10 @@ pub struct FleetConfig {
     /// (persistence-aware CUSUM fusion; [`ScoreConfig::off`] reproduces
     /// the pre-v5 instantaneous z-score pipeline bit-identically).
     pub score: ScoreConfig,
+    /// Per-series forecasting (§5 damped-trend rule + rolling error
+    /// tracker). Disabled by default; series admitted while enabled carry
+    /// forecast state through snapshots and crash recovery.
+    pub forecast: ForecastOptions,
 }
 
 impl Default for FleetConfig {
@@ -220,6 +305,7 @@ impl Default for FleetConfig {
             queue_policy: QueuePolicy::default(),
             detector: OneShotStlConfig::default(),
             score: ScoreConfig::default(),
+            forecast: ForecastOptions::default(),
         }
     }
 }
@@ -287,6 +373,7 @@ impl FleetConfig {
         }
         validate_shift_search(&self.detector.shift_search)?;
         self.score.validate()?;
+        self.forecast.validate()?;
         Ok(())
     }
 }
@@ -349,6 +436,27 @@ mod tests {
         };
         assert!(opts.validate().is_err());
         let ok = AdmitOptions { score: Some(ScoreConfig::off()), ..Default::default() };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_forecast_options_are_rejected() {
+        // engine-wide forecast config…
+        let mut cfg = FleetConfig::default();
+        cfg.forecast.damping = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.forecast.damping = f64::NAN;
+        assert!(cfg.validate().is_err());
+        // …and per-series overrides
+        for bad in [
+            ForecastOptions { error_window: 0, ..ForecastOptions::on() },
+            ForecastOptions { smape_alarm: 0.0, ..ForecastOptions::on() },
+            ForecastOptions { smape_alarm: 2.5, ..ForecastOptions::on() },
+        ] {
+            let opts = AdmitOptions { forecast: Some(bad), ..Default::default() };
+            assert!(opts.validate().is_err(), "{bad:?} must be rejected");
+        }
+        let ok = AdmitOptions { forecast: Some(ForecastOptions::on()), ..Default::default() };
         assert_eq!(ok.validate(), Ok(()));
     }
 

@@ -543,17 +543,53 @@ impl FleetEngine {
         Ok(total)
     }
 
-    /// Forecasts `1..=horizon` steps ahead for one series (`None` when the
-    /// series is unknown or still warming).
+    /// Forecasts `1..=horizon` steps ahead for a batch of series, fanning
+    /// the keys out to their shards in parallel. Returns one slot per
+    /// requested key, in request order: `Some(forecasts)` for a live
+    /// series (`forecasts[h-1]` is the `h`-step-ahead prediction), `None`
+    /// for an unknown, warming, or rejected one.
+    ///
+    /// A series whose [`crate::ForecastOptions`] enabled a forecast head
+    /// answers with the damped-trend recurrence (§5); any other live
+    /// series answers with the plain carry-forward `predict`, so the call
+    /// works fleet-wide regardless of per-series configuration.
     pub fn forecast(
+        &self,
+        keys: &[SeriesKey],
+        horizon: usize,
+    ) -> Result<Vec<Option<Vec<f64>>>, FleetError> {
+        let shards = self.shard_count();
+        let mut routed: Vec<Vec<(usize, SeriesKey)>> = vec![Vec::new(); shards];
+        for (idx, key) in keys.iter().enumerate() {
+            routed[key.shard_of(shards)].push((idx, key.clone()));
+        }
+        let (tx, rx) = channel();
+        let mut in_flight = 0usize;
+        for (shard, items) in routed.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            self.send(shard, ShardMsg::Forecast { items, horizon, reply: tx.clone() })?;
+            in_flight += 1;
+        }
+        drop(tx);
+        let mut out: Vec<Option<Vec<f64>>> = vec![None; keys.len()];
+        for _ in 0..in_flight {
+            for (idx, fc) in rx.recv().map_err(|_| FleetError::ShardDown)? {
+                out[idx] = fc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Single-series [`FleetEngine::forecast`].
+    pub fn forecast_one(
         &self,
         key: &SeriesKey,
         horizon: usize,
     ) -> Result<Option<Vec<f64>>, FleetError> {
-        let shard = key.shard_of(self.shard_count());
-        let (tx, rx) = channel();
-        self.send(shard, ShardMsg::Forecast { key: key.clone(), horizon, reply: tx })?;
-        rx.recv().map_err(|_| FleetError::ShardDown)
+        let mut out = self.forecast(std::slice::from_ref(key), horizon)?;
+        Ok(out.pop().expect("one key in, one slot out"))
     }
 
     /// Aggregate + per-shard statistics.
@@ -583,6 +619,11 @@ impl FleetEngine {
             stats.admitted += s.admitted;
             stats.points += s.points;
             stats.anomalies += s.anomalies;
+            stats.shift_searches += s.shift_searches;
+            stats.shift_trials += s.shift_trials;
+            stats.z_alarms += s.z_alarms;
+            stats.cusum_alarms += s.cusum_alarms;
+            stats.forecast_alarms += s.forecast_alarms;
         }
         stats.shards = per_shard;
         Ok(stats)

@@ -34,10 +34,19 @@
 //!   z-score).
 //! - **Per-series tuning.** [`FleetEngine::set_admit_options`] overrides
 //!   λ, the NSigma threshold, the declared period, the §3.4
-//!   shift-search policy, and the residual scoring config for one series
-//!   before it admits ([`AdmitOptions`]); the overrides bake into the
-//!   detector at promotion and survive snapshot/restore and crash
-//!   recovery.
+//!   shift-search policy, the residual scoring config, and the forecast
+//!   head for one series before it admits ([`AdmitOptions`]); the
+//!   overrides bake into the detector at promotion and survive
+//!   snapshot/restore and crash recovery.
+//! - **Forecasting.** With [`ForecastOptions`] enabled (engine-wide via
+//!   [`FleetConfig::forecast`] or per series), a live series answers
+//!   [`FleetEngine::forecast`] with the paper's §5 damped-trend
+//!   recurrence `ŷ(t+h) = τ(t) + slope·Σφⁱ + v[(t+Δ+h) mod T]` and keeps
+//!   an `O(1)` rolling one-step forecast-error tracker (windowed
+//!   MAE/sMAPE) — a per-series quality gauge that can also fuse into the
+//!   anomaly verdict as a model-drift alarm
+//!   ([`ForecastOptions::error_fusion`]). Series without a head still
+//!   answer forecasts via the carry-forward `predict`.
 //! - **Snapshot/restore.** [`FleetEngine::snapshot_bytes`] serializes every
 //!   series (via `to_state`/`from_state` hooks on `OneShotStl`,
 //!   `ResidualScorer`) with a versioned codec ([`codec`]) that
@@ -111,9 +120,10 @@ pub mod shard;
 pub mod types;
 pub mod wal;
 
-pub use config::{AdmitOptions, FleetConfig, PeriodPolicy, QueuePolicy};
+pub use config::{AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy, QueuePolicy};
 pub use engine::{CarriedTotals, FleetDelta, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};
 pub use persist::{DurabilityConfig, DurableFleet};
+pub use series::ForecastSnapshot;
 pub use shard::SeriesSnapshot;
 pub use types::{FleetStats, PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};

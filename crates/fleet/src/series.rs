@@ -8,8 +8,9 @@
 //! [`PhaseSnapshot`] captures any mid-phase state bit-exactly for the
 //! snapshot path.
 
-use crate::config::{AdmitOptions, FleetConfig, PeriodPolicy};
+use crate::config::{AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy};
 use crate::types::PointOutput;
+use forecast::{RollingError, RollingErrorState};
 use oneshotstl::{
     IncrementalSolver, OneShotStl, OneShotStlState, ResidualScorer, ResidualScorerState,
     StdAnomalyDetector, UpdateScratch,
@@ -57,6 +58,123 @@ pub struct LiveSeries {
     /// The scoring pipeline: OneShotSTL + persistence-aware residual
     /// scorer (NSigma z-score fused with CUSUM; see `oneshotstl::score`).
     pub detector: StdAnomalyDetector<OneShotStl>,
+    /// The forecast head + rolling error tracker (`None` when the series
+    /// admitted with forecasting disabled — the common case, costing
+    /// nothing on the scoring path).
+    pub forecast: Option<ForecastState>,
+}
+
+/// Per-series forecast state: the §5 damped-trend head's bookkeeping plus
+/// the rolling forecast-error tracker.
+///
+/// The head itself is stateless beyond the decomposer — `τ`, the seasonal
+/// buffer, and the trend slope all live in (and snapshot with) the
+/// `OneShotStl` state — so the only dynamic state here is the pending
+/// one-step forecast awaiting its realized value, and the error ring.
+/// Everything is `O(1)` per point and allocation-free after admission.
+#[derive(Debug)]
+pub struct ForecastState {
+    options: ForecastOptions,
+    /// The one-step-ahead forecast issued at the previous point, scored
+    /// against the next arriving value.
+    pending: f64,
+    /// Whether `pending` holds a forecast (false only before the first
+    /// post-admission point).
+    has_pending: bool,
+    /// Rolling MAE/sMAPE over the last `error_window` one-step forecasts.
+    tracker: RollingError,
+    /// Lifetime count of error-fusion alarms. Diagnostics only — not
+    /// serialized; resets to 0 on snapshot restore (like the decomposer's
+    /// shift-search counters).
+    alarms: u64,
+}
+
+impl ForecastState {
+    /// Fresh forecast state under validated options.
+    pub fn new(options: ForecastOptions) -> Self {
+        ForecastState {
+            options,
+            pending: 0.0,
+            has_pending: false,
+            tracker: RollingError::new(options.error_window.max(1) as usize),
+            alarms: 0,
+        }
+    }
+
+    /// The options the series admitted under.
+    pub fn options(&self) -> &ForecastOptions {
+        &self.options
+    }
+
+    /// Rolling `(MAE, sMAPE)` over the error window.
+    pub fn rolling_error(&self) -> (f64, f64) {
+        (self.tracker.mae(), self.tracker.smape())
+    }
+
+    /// Pairs currently in the error window.
+    pub fn tracked(&self) -> usize {
+        self.tracker.len()
+    }
+
+    /// Lifetime error-fusion alarms (diagnostics; reset on restore).
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Scores the realized `value` against the pending one-step forecast,
+    /// then issues the next one from the just-updated decomposer. Returns
+    /// whether the error tracker flags the point (model drift): only with
+    /// `error_fusion` on, a full window, and rolling sMAPE above the bar.
+    pub fn observe(&mut self, value: f64, decomposer: &OneShotStl) -> bool {
+        let mut flagged = false;
+        if self.has_pending && value.is_finite() {
+            self.tracker.record(value, self.pending);
+            flagged = self.options.error_fusion
+                && self.tracker.is_full()
+                && self.tracker.smape() > self.options.smape_alarm;
+            self.alarms += flagged as u64;
+        }
+        self.pending = decomposer.forecast_damped(1, self.options.damping);
+        self.has_pending = true;
+        flagged
+    }
+
+    /// Extracts the plain-data snapshot.
+    pub fn to_snapshot(&self) -> ForecastSnapshot {
+        ForecastSnapshot {
+            options: self.options,
+            pending: self.pending,
+            has_pending: self.has_pending,
+            tracker: self.tracker.to_state(),
+        }
+    }
+
+    /// Rebuilds forecast state from its snapshot (alarm counter resets).
+    pub fn from_snapshot(snap: ForecastSnapshot) -> Result<Self, tskit::error::TsError> {
+        let tracker = RollingError::from_state(snap.tracker).map_err(|msg| {
+            tskit::error::TsError::InvalidParam { name: "ForecastSnapshot", msg }
+        })?;
+        Ok(ForecastState {
+            options: snap.options,
+            pending: snap.pending,
+            has_pending: snap.has_pending,
+            tracker,
+            alarms: 0,
+        })
+    }
+}
+
+/// Plain-data snapshot of one series' forecast state (codec v6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastSnapshot {
+    /// The options the series admitted under.
+    pub options: ForecastOptions,
+    /// The pending one-step forecast.
+    pub pending: f64,
+    /// Whether `pending` holds a forecast.
+    pub has_pending: bool,
+    /// The rolling error tracker's ring + running sums.
+    pub tracker: RollingErrorState,
 }
 
 /// What processing one point did to a series.
@@ -182,10 +300,17 @@ impl SeriesState {
             SeriesState::Live(live) => {
                 // the detector's own NSigma owns the threshold rule
                 let (point, verdict) = live.detector.update_scored_with(value, scratch);
+                let mut is_anomaly = verdict.is_anomaly;
+                // forecast head: score the realized value against the
+                // pending one-step forecast, issue the next one, and
+                // (optionally) fuse a model-drift alarm into the verdict
+                if let Some(f) = &mut live.forecast {
+                    is_anomaly |= f.observe(value, &live.detector.decomposer);
+                }
                 StepOutcome::Output(PointOutput::Scored {
                     point,
                     score: verdict.score,
-                    is_anomaly: verdict.is_anomaly,
+                    is_anomaly,
                 })
             }
             SeriesState::Warming(w) => {
@@ -269,7 +394,9 @@ impl SeriesState {
         );
         match detector.init(&w.values, period) {
             Ok(()) => {
-                *self = SeriesState::Live(LiveSeries { detector });
+                let fopts = w.overrides.task_forecast(config);
+                let forecast = fopts.enabled.then(|| ForecastState::new(fopts));
+                *self = SeriesState::Live(LiveSeries { detector, forecast });
                 StepOutcome::Promoted(PointOutput::Warming { buffered, needed: Some(buffered) })
             }
             Err(_) => {
@@ -305,6 +432,9 @@ pub enum PhaseSnapshot {
         /// snapshots decode their plain NSigma statistics as a scorer
         /// with `Fusion::Off` — exactly what those writers ran).
         scorer: ResidualScorerState,
+        /// Forecast head + error tracker state (codec v6; older snapshots
+        /// decode with `None` — those writers never forecast).
+        forecast: Option<ForecastSnapshot>,
     },
     /// Tombstone.
     Rejected,
@@ -323,6 +453,7 @@ impl SeriesState {
             SeriesState::Live(live) => PhaseSnapshot::Live {
                 decomposer: live.detector.decomposer.to_state(),
                 scorer: live.detector.scorer().to_state(),
+                forecast: live.forecast.as_ref().map(ForecastState::to_snapshot),
             },
             SeriesState::Rejected => PhaseSnapshot::Rejected,
         }
@@ -343,7 +474,7 @@ impl SeriesState {
                     overrides,
                 ))
             }
-            PhaseSnapshot::Live { decomposer, scorer } => {
+            PhaseSnapshot::Live { decomposer, scorer, forecast } => {
                 // live implies initialized: an uninitialized decomposer
                 // would panic the shard worker on the first update
                 if !decomposer.initialized {
@@ -357,6 +488,7 @@ impl SeriesState {
                         OneShotStl::from_state(decomposer)?,
                         ResidualScorer::from_state(scorer),
                     ),
+                    forecast: forecast.map(ForecastState::from_snapshot).transpose()?,
                 })
             }
             PhaseSnapshot::Rejected => SeriesState::Rejected,
@@ -435,7 +567,7 @@ mod tests {
         let cfg = FleetConfig::fixed_period(8);
         let never_inited = OneShotStl::new(cfg.detector.clone()).to_state();
         let scorer = ResidualScorer::new(cfg.nsigma, cfg.score).to_state();
-        let snap = PhaseSnapshot::Live { decomposer: never_inited, scorer };
+        let snap = PhaseSnapshot::Live { decomposer: never_inited, scorer, forecast: None };
         assert!(SeriesState::from_snapshot(snap, &cfg).is_err());
     }
 
@@ -515,6 +647,121 @@ mod tests {
         }
         assert!(rejected, "noise should overflow warm-up and be rejected");
         assert!(matches!(s, SeriesState::Rejected));
+    }
+
+    #[test]
+    fn forecast_enabled_series_tracks_one_step_error() {
+        let mut cfg = FleetConfig::fixed_period(24);
+        cfg.forecast = ForecastOptions { error_window: 16, ..ForecastOptions::on() };
+        let y = seasonal(400, 24);
+        let mut scr = SharedScratch::default();
+        let mut s = SeriesState::new(&cfg);
+        for &v in &y {
+            s.step(v, &cfg, &mut scr);
+        }
+        let SeriesState::Live(live) = &s else { panic!("series must be live") };
+        let f = live.forecast.as_ref().expect("forecast state attached at promotion");
+        assert!(f.tracked() > 0, "tracker records one-step errors");
+        let (mae, smape) = f.rolling_error();
+        // a clean seasonal stream forecasts well: tiny one-step error
+        assert!(mae < 0.05, "one-step MAE {mae}");
+        assert!(smape < 0.1, "one-step sMAPE {smape}");
+        assert_eq!(f.alarms(), 0, "no fusion alarms without error_fusion");
+    }
+
+    #[test]
+    fn error_fusion_flags_a_persistently_mispredicted_series() {
+        let mut cfg = FleetConfig::fixed_period(24);
+        cfg.forecast = ForecastOptions {
+            error_window: 12,
+            error_fusion: true,
+            smape_alarm: 0.5,
+            ..ForecastOptions::on()
+        };
+        // raise the z-bar so only the forecast-error path can flag: CUSUM
+        // fusion is off by default in ScoreConfig::off
+        cfg.nsigma = 1e6;
+        cfg.score = oneshotstl::ScoreConfig::off();
+        // deterministic noise keeps σ away from machine epsilon, so even
+        // the +500 jump stays far below the 1e6 z-bar
+        let y: Vec<f64> = seasonal(400, 24)
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.1 * ((i * 7919 % 13) as f64 / 13.0 - 0.5))
+            .collect();
+        let mut scr = SharedScratch::default();
+        let mut s = SeriesState::new(&cfg);
+        for &v in &y[..300] {
+            s.step(v, &cfg, &mut scr);
+        }
+        // regime break: the value flips ±500 every step — a one-time
+        // level shift would be re-anchored away within a point, but an
+        // alternation is persistently unpredictable, so rolling sMAPE
+        // climbs over the bar and stays there
+        let mut flagged = 0;
+        for i in 0..60 {
+            let v = y[300 + i] + if i % 2 == 0 { 500.0 } else { -500.0 };
+            if let StepOutcome::Output(PointOutput::Scored { is_anomaly: true, .. }) =
+                s.step(v, &cfg, &mut scr)
+            {
+                flagged += 1;
+            }
+        }
+        assert!(flagged > 0, "persistent misprediction must raise drift alarms");
+        let SeriesState::Live(live) = &s else { panic!("series must be live") };
+        assert_eq!(live.forecast.as_ref().unwrap().alarms(), flagged as u64);
+    }
+
+    #[test]
+    fn forecast_state_snapshot_roundtrip_continues_bit_identically() {
+        let mut cfg = FleetConfig::fixed_period(16);
+        cfg.forecast = ForecastOptions {
+            damping: 0.9,
+            error_window: 8,
+            error_fusion: true,
+            smape_alarm: 1.9,
+            ..ForecastOptions::on()
+        };
+        let y = seasonal(400, 16);
+        let mut scr = SharedScratch::default();
+        let mut a = SeriesState::new(&cfg);
+        for &v in &y[..200] {
+            a.step(v, &cfg, &mut scr);
+        }
+        let mut b = SeriesState::from_snapshot(a.to_snapshot(), &cfg).unwrap();
+        for &v in &y[200..] {
+            let (ra, rb) = (a.step(v, &cfg, &mut scr), b.step(v, &cfg, &mut scr));
+            match (ra, rb) {
+                (StepOutcome::Output(oa), StepOutcome::Output(ob)) => assert_eq!(oa, ob),
+                _ => panic!("phases diverged"),
+            }
+            let (SeriesState::Live(la), SeriesState::Live(lb)) = (&a, &b) else {
+                panic!("both series must be live")
+            };
+            let (fa, fb) = (la.forecast.as_ref().unwrap(), lb.forecast.as_ref().unwrap());
+            let ((ma, sa), (mb, sb)) = (fa.rolling_error(), fb.rolling_error());
+            assert_eq!(ma.to_bits(), mb.to_bits(), "rolling MAE bit-identical");
+            assert_eq!(sa.to_bits(), sb.to_bits(), "rolling sMAPE bit-identical");
+        }
+    }
+
+    #[test]
+    fn corrupt_forecast_snapshot_is_rejected() {
+        let mut cfg = FleetConfig::fixed_period(16);
+        cfg.forecast = ForecastOptions::on();
+        let y = seasonal(200, 16);
+        let mut scr = SharedScratch::default();
+        let mut s = SeriesState::new(&cfg);
+        for &v in &y {
+            s.step(v, &cfg, &mut scr);
+        }
+        let PhaseSnapshot::Live { decomposer, scorer, forecast } = s.to_snapshot() else {
+            panic!("series must be live")
+        };
+        let mut bad = forecast.expect("forecast state present");
+        bad.tracker.sum_abs = f64::NAN;
+        let snap = PhaseSnapshot::Live { decomposer, scorer, forecast: Some(bad) };
+        assert!(SeriesState::from_snapshot(snap, &cfg).is_err());
     }
 
     #[test]

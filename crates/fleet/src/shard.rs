@@ -241,14 +241,16 @@ pub enum ShardMsg {
         /// Reply channel.
         reply: Sender<usize>,
     },
-    /// Forecast `horizon` steps ahead for one live series.
+    /// Forecast `1..=horizon` steps ahead for a batch of series on this
+    /// shard (see [`crate::FleetEngine::forecast`]).
     Forecast {
-        /// The series to forecast.
-        key: SeriesKey,
+        /// `(position in the caller's key list, series)` pairs.
+        items: Vec<(usize, SeriesKey)>,
         /// Steps ahead (`1..=horizon`).
         horizon: usize,
-        /// Reply channel (`None` when the series is not live).
-        reply: Sender<Option<Vec<f64>>>,
+        /// Reply channel: one entry per item (`None` for a series that is
+        /// unknown or not live).
+        reply: Sender<Vec<(usize, Option<Vec<f64>>)>>,
     },
     /// Terminate the worker.
     Shutdown,
@@ -487,7 +489,37 @@ impl ShardState {
         (out, tombstones)
     }
 
+    /// Multi-horizon forecast for one series: `ŷ(t+1) .. ŷ(t+horizon)`.
+    /// `None` when the series is unknown, warming, or rejected. A series
+    /// with a forecast head uses its damped-trend rule
+    /// (`forecast_into` — the zero-allocation fill); one without (head
+    /// disabled, or restored from a pre-v6 snapshot) keeps the plain
+    /// seasonal carry-forward those engines always served.
+    pub fn forecast_series(&self, key: &SeriesKey, horizon: usize) -> Option<Vec<f64>> {
+        let entry = self.registry.get(key)?;
+        match &entry.state {
+            SeriesState::Live(live) if live.detector.decomposer.is_initialized() => {
+                let mut out = vec![0.0; horizon];
+                match &live.forecast {
+                    Some(f) => {
+                        live.detector.decomposer.forecast_into(f.options().damping, &mut out)
+                    }
+                    None => {
+                        for (i, o) in out.iter_mut().enumerate() {
+                            *o = live.detector.decomposer.predict(i + 1);
+                        }
+                    }
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
     /// Registry/queue statistics (queue depth filled in by the worker).
+    /// The diagnostic counters (shift searches, scorer alarms, forecast
+    /// alarms) are summed over live series on demand — they live inside
+    /// the per-series state and reset on snapshot restore.
     pub fn stats(&self) -> ShardStats {
         let mut s = ShardStats {
             shard: self.index,
@@ -498,8 +530,19 @@ impl ShardState {
             ..Default::default()
         };
         for e in self.registry.iter() {
-            match e.state {
-                SeriesState::Live(_) => s.live += 1,
+            match &e.state {
+                SeriesState::Live(live) => {
+                    s.live += 1;
+                    let (searches, trials) = live.detector.decomposer.shift_search_stats();
+                    s.shift_searches += searches;
+                    s.shift_trials += trials;
+                    let (z, cusum) = live.detector.scorer().alarm_counts();
+                    s.z_alarms += z;
+                    s.cusum_alarms += cusum;
+                    if let Some(f) = &live.forecast {
+                        s.forecast_alarms += f.alarms();
+                    }
+                }
                 SeriesState::Warming(_) => s.warming += 1,
                 SeriesState::Rejected => s.rejected += 1,
             }
@@ -618,17 +661,11 @@ pub fn run_worker(
             ShardMsg::EvictIdle { now, ttl, reply } => {
                 let _ = reply.send(state.evict_idle(now, ttl));
             }
-            ShardMsg::Forecast { key, horizon, reply } => {
-                let out = state.registry.get(&key).and_then(|e| match &e.state {
-                    SeriesState::Live(live) if live.detector.decomposer.is_initialized() => {
-                        Some(
-                            (1..=horizon)
-                                .map(|i| live.detector.decomposer.predict(i))
-                                .collect(),
-                        )
-                    }
-                    _ => None,
-                });
+            ShardMsg::Forecast { items, horizon, reply } => {
+                let out = items
+                    .into_iter()
+                    .map(|(idx, key)| (idx, state.forecast_series(&key, horizon)))
+                    .collect();
                 let _ = reply.send(out);
             }
             ShardMsg::Shutdown => break,

@@ -146,6 +146,21 @@ pub struct FleetStats {
     pub points: u64,
     /// Scored points flagged anomalous so far (lifetime count).
     pub anomalies: u64,
+    /// §3.4 shift searches run by live detectors. Diagnostic: summed over
+    /// the *current* live series, whose counters reset on snapshot
+    /// restore — unlike the lifetime counters above, which carry across.
+    pub shift_searches: u64,
+    /// Candidate shifts tried across those searches (same caveat).
+    pub shift_trials: u64,
+    /// Points over the live scorers' z bar (same caveat). With fusion off
+    /// this equals the anomaly verdicts those series raised.
+    pub z_alarms: u64,
+    /// CUSUM-side alarms across live scorers (same caveat; 0 with fusion
+    /// off).
+    pub cusum_alarms: u64,
+    /// Forecast error-fusion (model-drift) alarms across live series
+    /// (same caveat; 0 without forecasting).
+    pub forecast_alarms: u64,
     /// Per-shard breakdown.
     pub shards: Vec<ShardStats>,
 }
@@ -171,6 +186,17 @@ pub struct ShardStats {
     pub points: u64,
     /// Anomalies flagged (lifetime).
     pub anomalies: u64,
+    /// Shift searches across this shard's live detectors (resets on
+    /// restore; see [`FleetStats::shift_searches`]).
+    pub shift_searches: u64,
+    /// Candidate shifts tried across those searches.
+    pub shift_trials: u64,
+    /// z-bar alarms across this shard's live scorers.
+    pub z_alarms: u64,
+    /// CUSUM alarms across this shard's live scorers.
+    pub cusum_alarms: u64,
+    /// Forecast error-fusion alarms across this shard's live series.
+    pub forecast_alarms: u64,
 }
 
 #[cfg(test)]

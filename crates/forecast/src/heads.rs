@@ -1,0 +1,300 @@
+//! Forecast heads: this crate's models plugged into the core
+//! decomposition through [`oneshotstl::ForecastHead`].
+//!
+//! The head protocol splits a forecast into the decomposer's base
+//! carry-forward `τ(t) + v[(t+Δ+h) mod T]` plus a refinement computed
+//! from the decomposed stream. Three adapters live here:
+//!
+//! - [`StlForecaster`] — `OneShotStl` under the §5 damped-trend rule as a
+//!   plain [`OnlineForecaster`] (the `OneShotSTL+trend` row of the
+//!   forecast bench).
+//! - [`ResidualHead`] — any batch [`Forecaster`] (SES, Holt-Winters,
+//!   Theta, AutoARIMA, …) fitted on a rolling window of decomposition
+//!   residuals; its residual forecast is added to the base.
+//! - [`HeadedStl`] — `OneShotStl` composed with an arbitrary
+//!   [`ForecastHead`], exposed as an [`OnlineForecaster`] so headed
+//!   variants drop straight into [`crate::eval`]'s harnesses.
+
+use crate::traits::{Forecaster, OnlineForecaster};
+use decomp::traits::OnlineDecomposer;
+use oneshotstl::{ForecastHead, OneShotStl};
+use tskit::error::Result;
+use tskit::series::DecompPoint;
+
+/// `OneShotStl` as an [`OnlineForecaster`] under the §5 forecast rule
+/// `ŷ(t+h) = τ(t) + slope·Σφ^j + v[(t+Δ+h) mod T]`.
+///
+/// `φ = 1` is the paper's linear slope extrapolation, `φ = 0` plain
+/// carry-forward. Multi-horizon calls go through the zero-allocation
+/// `forecast_into` fill, so the values are bit-identical to the fleet's.
+pub struct StlForecaster {
+    stl: OneShotStl,
+    phi: f64,
+}
+
+impl StlForecaster {
+    /// Wraps a (not yet initialized) model with damping `φ ∈ [0, 1]`.
+    pub fn new(stl: OneShotStl, phi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&phi) && phi.is_finite(), "damping must be in [0, 1]");
+        StlForecaster { stl, phi }
+    }
+
+    /// The wrapped decomposer.
+    pub fn stl(&self) -> &OneShotStl {
+        &self.stl
+    }
+}
+
+impl OnlineForecaster for StlForecaster {
+    fn name(&self) -> String {
+        format!("OneShotSTL+trend(phi={})", self.phi)
+    }
+
+    fn init(&mut self, history: &[f64], period: usize) -> Result<()> {
+        self.stl.init(history, period).map(|_| ())
+    }
+
+    fn observe(&mut self, y: f64) {
+        self.stl.update(y);
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let mut out = vec![0.0; horizon];
+        self.stl.forecast_into(self.phi, &mut out);
+        out
+    }
+}
+
+/// A residual head: fits a batch [`Forecaster`] on a rolling window of
+/// decomposition residuals and adds its horizon-`h` residual forecast to
+/// the base carry-forward.
+///
+/// The head warms up until `fit_window` residuals have streamed by, fits
+/// the inner model on them, then feeds each further residual through
+/// [`Forecaster::observe`] (refit-free models track online; others keep
+/// their fit) and refits every `refit_every` points (`0` = fit once).
+/// Until the first successful fit — and if every fit attempt errors —
+/// [`ForecastHead::predict`] returns the base unchanged, so a failing
+/// inner model degrades to carry-forward instead of poisoning forecasts.
+pub struct ResidualHead<F: Forecaster> {
+    inner: F,
+    period: usize,
+    window: Vec<f64>,
+    head: usize,
+    filled: bool,
+    refit_every: usize,
+    since_fit: usize,
+    ready: bool,
+}
+
+impl<F: Forecaster> ResidualHead<F> {
+    /// A head refitting `inner` on the last `fit_window ≥ 3` residuals of
+    /// a period-`period` stream every `refit_every` points.
+    pub fn new(inner: F, period: usize, fit_window: usize, refit_every: usize) -> Self {
+        assert!(fit_window >= 3, "fit window must be >= 3");
+        ResidualHead {
+            inner,
+            period,
+            window: Vec::with_capacity(fit_window),
+            head: 0,
+            filled: false,
+            refit_every,
+            since_fit: 0,
+            ready: false,
+        }
+    }
+
+    /// Whether the inner model has been fitted (forecasts are refined).
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// The inner model, for inspecting fitted parameters.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// The rolling residual window in chronological order.
+    fn chronological(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.window.len());
+        out.extend_from_slice(&self.window[self.head..]);
+        out.extend_from_slice(&self.window[..self.head]);
+        out
+    }
+
+    fn try_fit(&mut self) {
+        if self.inner.fit(&self.chronological(), self.period).is_ok() {
+            self.ready = true;
+        }
+        self.since_fit = 0;
+    }
+}
+
+impl<F: Forecaster> ForecastHead for ResidualHead<F> {
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+
+    fn observe(&mut self, point: &DecompPoint) {
+        let r = point.residual;
+        if self.window.len() < self.window.capacity() {
+            self.window.push(r);
+            self.filled = self.window.len() == self.window.capacity();
+            if self.filled {
+                self.try_fit();
+            }
+            return;
+        }
+        self.window[self.head] = r;
+        self.head = (self.head + 1) % self.window.len();
+        if self.ready {
+            self.inner.observe(r);
+        }
+        self.since_fit += 1;
+        let due = self.refit_every > 0 && self.since_fit >= self.refit_every;
+        if due || !self.ready {
+            self.try_fit();
+        }
+    }
+
+    fn predict(&self, base: f64, h: usize) -> f64 {
+        if !self.ready {
+            return base;
+        }
+        base + self.inner.forecast(h).get(h - 1).copied().unwrap_or(0.0)
+    }
+}
+
+/// `OneShotStl` composed with a [`ForecastHead`], as an
+/// [`OnlineForecaster`]: the decomposer supplies the base carry-forward
+/// per horizon and streams every decomposed point into the head.
+pub struct HeadedStl<H: ForecastHead> {
+    stl: OneShotStl,
+    head: H,
+}
+
+impl<H: ForecastHead> HeadedStl<H> {
+    /// Composes a (not yet initialized) decomposer with a head.
+    pub fn new(stl: OneShotStl, head: H) -> Self {
+        HeadedStl { stl, head }
+    }
+
+    /// The head, for inspecting its state.
+    pub fn head(&self) -> &H {
+        &self.head
+    }
+}
+
+impl<H: ForecastHead> OnlineForecaster for HeadedStl<H> {
+    fn name(&self) -> String {
+        format!("OneShotSTL+{}", self.head.name())
+    }
+
+    fn init(&mut self, history: &[f64], period: usize) -> Result<()> {
+        self.stl.init(history, period).map(|_| ())
+    }
+
+    fn observe(&mut self, y: f64) {
+        let p = self.stl.update(y);
+        self.head.observe(&p);
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (1..=horizon).map(|h| self.head.predict(self.stl.predict(h), h)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ets::Ses;
+    use oneshotstl::{OneShotStlConfig, TrendHead};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trended_seasonal(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                0.05 * i as f64 + (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stl_forecaster_matches_damped_recurrence_bitwise() {
+        let period = 24;
+        let y = trended_seasonal(500, period);
+        let mut f = StlForecaster::new(OneShotStl::new(OneShotStlConfig::default()), 0.9);
+        let mut m = OneShotStl::new(OneShotStlConfig::default());
+        f.init(&y[..4 * period], period).unwrap();
+        m.init(&y[..4 * period], period).unwrap();
+        for &v in &y[4 * period..] {
+            f.observe(v);
+            m.update(v);
+        }
+        let pred = f.forecast(period);
+        for (i, p) in pred.iter().enumerate() {
+            assert_eq!(p.to_bits(), m.forecast_damped(i + 1, 0.9).to_bits(), "h={}", i + 1);
+        }
+    }
+
+    #[test]
+    fn headed_trend_equals_stl_forecaster_bitwise() {
+        let period = 12;
+        let y = trended_seasonal(400, period);
+        let mut a = StlForecaster::new(OneShotStl::new(OneShotStlConfig::default()), 1.0);
+        let mut b =
+            HeadedStl::new(OneShotStl::new(OneShotStlConfig::default()), TrendHead::new(1.0));
+        a.init(&y[..4 * period], period).unwrap();
+        b.init(&y[..4 * period], period).unwrap();
+        for &v in &y[4 * period..] {
+            a.observe(v);
+            b.observe(v);
+        }
+        let (pa, pb) = (a.forecast(period), b.forecast(period));
+        for h in 0..period {
+            assert_eq!(pa[h].to_bits(), pb[h].to_bits(), "h={}", h + 1);
+        }
+    }
+
+    #[test]
+    fn residual_head_refines_autocorrelated_residuals() {
+        let period = 24;
+        let mut rng = StdRng::seed_from_u64(7);
+        // seasonal signal + strongly autocorrelated AR(1) residual: the
+        // decomposition leaves the AR structure in the residual channel,
+        // where SES can forecast it and carry-forward cannot
+        let mut ar = 0.0;
+        let y: Vec<f64> = (0..900)
+            .map(|i| {
+                ar = 0.97 * ar + 0.3 * rng.gen_range(-1.0..1.0);
+                3.0 * (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin() + ar
+            })
+            .collect();
+        let mut plain = StlForecaster::new(OneShotStl::new(OneShotStlConfig::default()), 0.0);
+        let mut headed = HeadedStl::new(
+            OneShotStl::new(OneShotStlConfig::default()),
+            ResidualHead::new(Ses::default(), period, 3 * period, period),
+        );
+        plain.init(&y[..4 * period], period).unwrap();
+        headed.init(&y[..4 * period], period).unwrap();
+        let (mut err_plain, mut err_headed) = (0.0, 0.0);
+        for (t, &v) in y.iter().enumerate().skip(4 * period) {
+            if t > 8 * period {
+                err_plain += (plain.forecast(1)[0] - v).abs();
+                err_headed += (headed.forecast(1)[0] - v).abs();
+            }
+            plain.observe(v);
+            headed.observe(v);
+        }
+        assert!(headed.head().is_ready());
+        assert!(err_headed < err_plain, "headed {err_headed} vs carry-forward {err_plain}");
+    }
+
+    #[test]
+    fn unfitted_residual_head_is_carry_forward() {
+        let head: ResidualHead<Ses> = ResidualHead::new(Ses::default(), 12, 16, 0);
+        assert!(!head.is_ready());
+        assert_eq!(head.predict(4.25, 3).to_bits(), 4.25f64.to_bits());
+    }
+}

@@ -12,11 +12,17 @@
 //!   differencing, Hannan–Rissanen ARMA fitting, AICc order search.
 //! - [`std_forecast`]: the paper's §4 STD forecasters (OneShotSTL /
 //!   OnlineSTL + seasonal buffer extrapolation).
-//! - [`eval`]: rolling-origin evaluation over the Informer-style splits.
+//! - [`heads`]: the §5 damped-trend STD→TSF rule and residual heads —
+//!   batch models fitted on decomposition residuals, plugged into
+//!   `oneshotstl::ForecastHead`.
+//! - [`eval`]: rolling-origin evaluation over the Informer-style splits,
+//!   plus the streaming [`ErrorAcc`] / [`RollingError`] accumulators the
+//!   fleet reuses for per-series forecast-error tracking.
 
 pub mod arima;
 pub mod ets;
 pub mod eval;
+pub mod heads;
 pub mod naive;
 pub mod std_forecast;
 pub mod theta;
@@ -24,7 +30,10 @@ pub mod traits;
 
 pub use arima::AutoArima;
 pub use ets::{HoltWinters, Ses};
-pub use eval::{evaluate_forecaster, evaluate_online, EvalReport};
+pub use eval::{
+    evaluate_forecaster, evaluate_online, ErrorAcc, EvalReport, RollingError, RollingErrorState,
+};
+pub use heads::{HeadedStl, ResidualHead, StlForecaster};
 pub use naive::{Drift, Naive, SeasonalNaive};
 pub use std_forecast::StdOnlineForecaster;
 pub use theta::Theta;

@@ -1,13 +1,15 @@
 //! Fleet engine walkthrough: a small fleet of metrics streams through
 //! warm-up admission into live scoring — one series with per-series
-//! tuning via `AdmitOptions` — gets snapshotted, and a restored engine
-//! picks up the stream where the original left off.
+//! tuning via `AdmitOptions` — serves multi-horizon forecasts, gets
+//! snapshotted, and a restored engine picks up the stream where the
+//! original left off.
 //!
 //! Run with: `cargo run --release --example fleet_ingest`
 
 use oneshotstl_suite::core::{Fusion, ScoreConfig};
 use oneshotstl_suite::fleet::{
-    AdmitOptions, FleetConfig, FleetEngine, PeriodPolicy, PointOutput, Record,
+    AdmitOptions, FleetConfig, FleetEngine, ForecastOptions, PeriodPolicy, PointOutput, Record,
+    SeriesKey,
 };
 
 fn value_period(series: usize, t: u64, period: f64) -> f64 {
@@ -26,6 +28,9 @@ fn main() {
         shards: 4,
         period: PeriodPolicy::Fixed(24),
         ttl: Some(10_000),
+        // every series gets a slightly damped forecast head and an O(1)
+        // rolling one-step forecast-error tracker
+        forecast: ForecastOptions { damping: 0.95, ..ForecastOptions::on() },
         ..Default::default()
     })
     .expect("valid config");
@@ -93,6 +98,11 @@ fn main() {
             s.shard, s.live, s.points, s.queue_depth
         );
     }
+    println!(
+        "diagnostics: {} shift searches ({} candidates tried), {} z alarms, \
+         {} forecast drift alarms",
+        stats.shift_searches, stats.shift_trials, stats.z_alarms, stats.forecast_alarms
+    );
 
     // Inject an anomaly into one series and watch its score spike.
     let spiky = "tenant-1/metric-11";
@@ -105,10 +115,18 @@ fn main() {
         spiked.is_anomaly()
     );
 
-    // Forecast the next day for one series straight from the engine.
+    // Forecast the next day for one series straight from the engine…
     let forecast =
-        engine.forecast(&spiky.into(), 24).expect("shard up").expect("series is live");
+        engine.forecast_one(&spiky.into(), 24).expect("shard up").expect("series is live");
     println!("24-step forecast head: {:?}", &forecast[..4]);
+    // …or for many at once: the batch call fans out to the shards in
+    // parallel and answers in request order (None = not live).
+    let keys: Vec<SeriesKey> = (0..n_series)
+        .map(|s| SeriesKey::new(format!("tenant-{}/metric-{}", s % 5, s)))
+        .collect();
+    let horizons = engine.forecast(&keys, 24).expect("shard up");
+    let served = horizons.iter().filter(|f| f.is_some()).count();
+    println!("batch forecast: {served}/{} series answered 24 horizons", keys.len());
 
     // Snapshot the whole fleet, "crash", restore, and keep scoring.
     let bytes = engine.snapshot_bytes().expect("snapshot");

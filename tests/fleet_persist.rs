@@ -535,7 +535,7 @@ fn group_commit_fsyncs_once_per_acked_batch() {
 #[test]
 fn admit_options_survive_crash_recovery_bit_identically() {
     use oneshotstl_suite::core::{Fusion, ScoreConfig, ShiftSearchConfig};
-    use oneshotstl_suite::fleet::AdmitOptions;
+    use oneshotstl_suite::fleet::{AdmitOptions, ForecastOptions};
 
     let total = 140u64;
     let crash_at = 50u64; // past the overridden series' admission at 36
@@ -559,6 +559,12 @@ fn admit_options_survive_crash_recovery_bit_identically() {
             cusum_h: 5.0,
             hold_decay: 0.95,
             fusion: Fusion::Cusum,
+        }),
+        // and so does a forecast-head override (codec v6)
+        forecast: Some(ForecastOptions {
+            damping: 0.9,
+            error_window: 16,
+            ..ForecastOptions::on()
         }),
     };
 
@@ -591,5 +597,76 @@ fn admit_options_survive_crash_recovery_bit_identically() {
         assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "post-recovery");
     }
     assert_eq!(recovered.engine().stats().unwrap().live, 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Forecast heads ride through crash recovery: a fleet with forecasting
+/// (and error fusion) enabled crashes mid-stream; recovery folds the last
+/// snapshot and replays the WAL tail through the same observe path, so
+/// the recovered engine's verdicts *and* forecasts continue bit-identical
+/// to an uninterrupted reference — the pending prediction and tracker
+/// rings are rebuilt exactly, not reset.
+#[test]
+fn forecast_state_survives_crash_recovery_bit_identically() {
+    use oneshotstl_suite::fleet::ForecastOptions;
+
+    let n_series = 8;
+    let total = 160u64;
+    let crash_at = 110u64; // past init_len(24) = 72: trackers are charged
+    let dir = test_dir("forecast");
+    let streams = build_streams(n_series);
+    let cfg = || FleetConfig {
+        forecast: ForecastOptions {
+            enabled: true,
+            damping: 0.9,
+            error_window: 16,
+            error_fusion: true,
+            smape_alarm: 1.5,
+        },
+        ..config()
+    };
+    let keys: Vec<SeriesKey> =
+        (0..n_series).map(|s| SeriesKey::new(format!("series-{s}"))).collect();
+
+    // reference: uninterrupted, no durability — advanced in lockstep with
+    // the durable run so forecasts can be compared at matching clocks
+    let mut reference = FleetEngine::new(cfg()).unwrap();
+
+    // durable run: ingest past admission, crash without a clean shutdown
+    // (snapshot_every far out, so recovery must replay a long WAL tail)
+    let dcfg = DurabilityConfig { snapshot_every: 1_000, ..DurabilityConfig::new(&dir) };
+    let mut durable = DurableFleet::create(cfg(), dcfg.clone()).unwrap();
+    for t in 0..crash_at {
+        let expected = reference.ingest(batch(&streams, t)).unwrap();
+        let out = durable.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &expected, "pre-crash");
+    }
+    drop(durable); // crash
+
+    let mut recovered = DurableFleet::open(dcfg).unwrap();
+    assert_eq!(recovered.engine().batches(), crash_at, "nothing durable was lost");
+    // the pending one-step prediction was rebuilt by replay: forecasts
+    // agree bit-for-bit before any post-recovery point
+    let fa = reference.forecast(&keys, 48).unwrap();
+    let fb = recovered.engine().forecast(&keys, 48).unwrap();
+    for (s, (a, b)) in fa.iter().zip(&fb).enumerate() {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "series-{s}: recovered forecast differs");
+        }
+    }
+    // …and the continuation stays bit-identical on both channels
+    for t in crash_at..total {
+        let expected = reference.ingest(batch(&streams, t)).unwrap();
+        let out = recovered.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &expected, "post-recovery");
+        if t % 16 == 0 {
+            assert_eq!(
+                reference.forecast(&keys, 24).unwrap(),
+                recovered.engine().forecast(&keys, 24).unwrap(),
+                "forecast streams diverged at t={t}"
+            );
+        }
+    }
     let _ = fs::remove_dir_all(&dir);
 }

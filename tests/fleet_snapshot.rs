@@ -1,7 +1,9 @@
 //! Fleet engine integration: multi-series ingest through warm-up admission,
 //! snapshot mid-stream, restore, and bit-identical continuation.
 
-use oneshotstl_suite::fleet::{FleetConfig, FleetEngine, PeriodPolicy, PointOutput, Record};
+use oneshotstl_suite::fleet::{
+    FleetConfig, FleetEngine, PeriodPolicy, PointOutput, Record, SeriesKey,
+};
 use oneshotstl_suite::tskit::synth::{gaussian_noise, inject, AnomalyKind, SeasonTemplate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -315,10 +317,19 @@ fn detect_admission_and_noise_rejection() {
     assert_eq!(stats.live, 1);
     assert_eq!(stats.rejected, 1);
     // period detection found T=16: the forecast is periodic
-    let f = engine.forecast(&"seasonal".into(), 32).unwrap().expect("live series forecasts");
+    let f =
+        engine.forecast_one(&"seasonal".into(), 32).unwrap().expect("live series forecasts");
     for i in 0..16 {
         assert!((f[i] - f[i + 16]).abs() < 1e-9, "forecast repeats with T=16");
     }
+    // the batch API returns one slot per key, in request order: the
+    // rejected series and an unknown key answer None
+    let keys = [SeriesKey::new("noise"), SeriesKey::new("seasonal"), SeriesKey::new("ghost")];
+    let batch = engine.forecast(&keys, 4).unwrap();
+    assert_eq!(batch.len(), 3);
+    assert!(batch[0].is_none(), "rejected series does not forecast");
+    assert_eq!(batch[1].as_deref(), Some(&f[..4]), "batch agrees with forecast_one");
+    assert!(batch[2].is_none(), "unknown key does not forecast");
 }
 
 /// Per-series `AdmitOptions` shape admission (declared period, tighter
@@ -328,7 +339,7 @@ fn detect_admission_and_noise_rejection() {
 #[test]
 fn admit_options_survive_snapshot_and_shape_admission() {
     use oneshotstl_suite::core::{Fusion, ScoreConfig, ShiftSearchConfig};
-    use oneshotstl_suite::fleet::AdmitOptions;
+    use oneshotstl_suite::fleet::{AdmitOptions, ForecastOptions};
 
     let n_ticks = 160u64;
     // two streams: "std" follows the engine's fixed period 24, "vip" is a
@@ -351,6 +362,8 @@ fn admit_options_survive_snapshot_and_shape_admission() {
             hold_decay: 0.95,
             fusion: Fusion::Cusum,
         }),
+        // a forecast-head override rides the same snapshot path (codec v6)
+        forecast: Some(ForecastOptions { error_window: 32, ..ForecastOptions::on() }),
     };
 
     // uninterrupted reference
@@ -441,4 +454,75 @@ fn replacing_overrides_keeps_live_and_restored_warmups_in_lockstep() {
         Some(72),
         "withdrawing the override reverts to the declared period"
     );
+}
+
+/// Codec v6 carries each live series' forecast head: the pending one-step
+/// prediction awaiting its truth and the rolling error tracker rings. A
+/// snapshot taken while trackers are charged must continue bit-identically
+/// on both channels — the scoring stream (error fusion folds tracker state
+/// into verdicts) and the forecasts themselves — and a later snapshot of
+/// the restored engine must be byte-identical to the uninterrupted one's.
+#[test]
+fn forecast_state_survives_snapshot_bit_identically() {
+    use oneshotstl_suite::fleet::ForecastOptions;
+
+    let n_series = 12;
+    let warm = 100u64; // past init_len(24) = 72: every series is live
+    let tail = 80u64;
+    let streams = build_streams(n_series);
+    let cfg = || FleetConfig {
+        forecast: ForecastOptions {
+            enabled: true,
+            damping: 0.9,
+            error_window: 24,
+            error_fusion: true,
+            smape_alarm: 1.5,
+        },
+        ..config()
+    };
+    let keys: Vec<SeriesKey> =
+        (0..n_series).map(|s| SeriesKey::new(format!("series-{s}"))).collect();
+
+    // uninterrupted run
+    let mut full = FleetEngine::new(cfg()).unwrap();
+    for t in 0..warm {
+        full.ingest(batch(&streams, t)).unwrap();
+    }
+    // interrupted run: same prefix, snapshot, restore
+    let mut first = FleetEngine::new(cfg()).unwrap();
+    for t in 0..warm {
+        first.ingest(batch(&streams, t)).unwrap();
+    }
+    let bytes = first.snapshot_bytes().unwrap();
+    drop(first); // "crash"
+    let mut restored = FleetEngine::restore_bytes(&bytes).unwrap();
+
+    // the pending prediction survived: forecasts agree before any new point
+    let fa = full.forecast(&keys, 48).unwrap();
+    let fb = restored.forecast(&keys, 48).unwrap();
+    for (s, (a, b)) in fa.iter().zip(&fb).enumerate() {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "series-{s}: restored forecast differs");
+        }
+    }
+
+    // …and the continuation agrees point for point, forecast for forecast
+    for t in warm..warm + tail {
+        let oa = full.ingest(batch(&streams, t)).unwrap();
+        let ob = restored.ingest(batch(&streams, t)).unwrap();
+        for (a, b) in oa.iter().zip(&ob) {
+            assert_eq!(a.output, b.output, "{} t={t}", a.key);
+        }
+        if t % 16 == 0 {
+            let fa = full.forecast(&keys, 24).unwrap();
+            let fb = restored.forecast(&keys, 24).unwrap();
+            assert_eq!(fa, fb, "forecast streams diverged at t={t}");
+        }
+    }
+
+    // the strongest form: a later snapshot of the restored engine is
+    // byte-identical to the uninterrupted engine's (tracker rings, ring
+    // cursors, alarm-independent state — everything)
+    assert_eq!(full.snapshot_bytes().unwrap(), restored.snapshot_bytes().unwrap());
 }
