@@ -1,0 +1,365 @@
+//! Streaming DAMP adapter: windowed left-discord scoring, one point at
+//! a time, with zero steady-state allocations.
+//!
+//! The batch [`crate::Damp`] scores a whole test stream against its full
+//! past through MASS. A fleet of thousands of live series cannot afford
+//! either the unbounded history or MASS's per-call FFT buffers, so this
+//! adapter restricts DAMP (Lu et al., KDD 2022) to a **bounded sliding
+//! window** and computes z-normalized distances directly:
+//!
+//! - the last `window` values are retained in a "sliding vec" — a buffer
+//!   of capacity `2·window` that is compacted with one `copy_within`
+//!   when full, so pushes are amortized `O(1)` and never reallocate;
+//! - each arriving point closes a query subsequence (the last `m`
+//!   values), which is scored by its z-normalized distance to the
+//!   nearest *earlier* subsequence start in the window, **nearest
+//!   first** with per-candidate early abandoning, and the whole search
+//!   abandons as soon as a distance below the best-so-far discord
+//!   (`bsf`) is found — DAMP's pruning rule: such a point cannot be a
+//!   new discord, and the partial minimum is still a valid sub-`bsf`
+//!   score for it.
+//!
+//! Scores are raw z-normalized Euclidean distances (higher = more
+//! discordant), the same scale as the batch DAMP. Snapshots store only
+//! the retained window plus `bsf`; because scoring never reads more
+//! than the last `window` values, a restored stream continues
+//! **bit-identically** regardless of where the compaction cycle stood.
+
+/// Streaming windowed DAMP over a single value stream. See the [module
+/// docs](self).
+#[derive(Debug, Clone)]
+pub struct StreamingDamp {
+    /// Subsequence length `m`.
+    m: usize,
+    /// History bound: scoring reads at most the last `window` values.
+    window: usize,
+    /// Sliding buffer (capacity `2·window`, compacted when full).
+    buf: Vec<f64>,
+    /// Best-so-far discord distance (monotone, drives pruning).
+    bsf: f64,
+}
+
+impl StreamingDamp {
+    /// Creates an adapter with subsequence length `m` and history bound
+    /// `window`. `m` must be at least 4 (z-normalization of shorter
+    /// windows is mostly noise) and `window` at least `2m + 1` so a
+    /// query always has non-overlapping history to match against.
+    pub fn new(window: usize, m: usize) -> Result<Self, String> {
+        Self::check_params(window, m)?;
+        Ok(StreamingDamp { m, window, buf: Vec::with_capacity(2 * window), bsf: 0.0 })
+    }
+
+    fn check_params(window: usize, m: usize) -> Result<(), String> {
+        if m < 4 {
+            return Err(format!("DAMP subsequence length must be >= 4, got {m}"));
+        }
+        if window < 2 * m + 1 {
+            return Err(format!(
+                "DAMP window must be >= 2m + 1 = {} to hold history, got {window}",
+                2 * m + 1
+            ));
+        }
+        if window > 1 << 20 {
+            return Err(format!("DAMP window unreasonably large: {window}"));
+        }
+        Ok(())
+    }
+
+    /// Subsequence length `m`.
+    pub fn subseq_len(&self) -> usize {
+        self.m
+    }
+
+    /// History bound.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Current best-so-far discord distance.
+    pub fn bsf(&self) -> f64 {
+        self.bsf
+    }
+
+    /// The retained history: the last `min(pushed, window)` values.
+    fn active(&self) -> &[f64] {
+        &self.buf[self.buf.len().saturating_sub(self.window)..]
+    }
+
+    /// Pushes one value and scores the subsequence it closes. Returns
+    /// `0.0` while fewer than `2m` values are retained — the same init
+    /// region as batch DAMP: with fewer than `m` candidate starts, one
+    /// near-empty comparison set would inflate `bsf` and blunt every
+    /// later score. Non-finite input is ignored: state unchanged, zero
+    /// score (the decomposer already imputes non-finite *raw* values,
+    /// so this only guards direct misuse). Allocation-free after
+    /// construction.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return 0.0;
+        }
+        if self.buf.len() == 2 * self.window {
+            // compact: keep the newest `window` values, amortized O(1)
+            self.buf.copy_within(self.window.., 0);
+            self.buf.truncate(self.window);
+        }
+        self.buf.push(x);
+        let h = self.active();
+        if h.len() < 2 * self.m {
+            return 0.0;
+        }
+        let (best, completed) = Self::nearest_earlier(h, self.m, self.bsf);
+        if completed && best > self.bsf {
+            self.bsf = best;
+        }
+        best
+    }
+
+    /// Distance from the query (last `m` values of `h`) to its nearest
+    /// earlier subsequence start, nearest candidate first. Returns the
+    /// (possibly pruned, lower-bounded) minimum and whether the search
+    /// ran to completion (only completed searches may raise `bsf`).
+    fn nearest_earlier(h: &[f64], m: usize, bsf: f64) -> (f64, bool) {
+        let qs = h.len() - m; // query start; candidates start at 0..qs
+        let query = &h[qs..];
+        let (qm, qstd) = mean_std(query);
+        let mut best = f64::INFINITY;
+        for j in (0..qs).rev() {
+            let cand = &h[j..j + m];
+            let (cm, cstd) = mean_std(cand);
+            // early-abandoned z-normalized distance against `best`
+            let cap = best * best;
+            let mut d2 = 0.0;
+            for i in 0..m {
+                let zq = (query[i] - qm) / qstd;
+                let zc = (cand[i] - cm) / cstd;
+                let diff = zq - zc;
+                d2 += diff * diff;
+                if d2 > cap {
+                    break;
+                }
+            }
+            if d2 < cap {
+                best = d2.sqrt();
+            }
+            if best < bsf {
+                // DAMP prune: a sub-bsf match exists, so this point
+                // cannot be the new discord — `best` is already a valid
+                // (upper-bounding its true distance, below bsf) score
+                return (best, false);
+            }
+        }
+        (best, true)
+    }
+
+    /// Extracts a plain-data snapshot: the retained window and `bsf`.
+    pub fn to_state(&self) -> StreamingDampState {
+        StreamingDampState {
+            window: self.window,
+            m: self.m,
+            buf: self.active().to_vec(),
+            bsf: self.bsf,
+        }
+    }
+
+    /// Rebuilds from [`StreamingDamp::to_state`] output, validating
+    /// every field (snapshots cross a serialization boundary). The
+    /// restored stream continues bit-identically.
+    pub fn from_state(state: StreamingDampState) -> Result<Self, String> {
+        Self::check_params(state.window, state.m)?;
+        if state.buf.len() > state.window {
+            return Err(format!(
+                "DAMP state holds {} values, more than its window {}",
+                state.buf.len(),
+                state.window
+            ));
+        }
+        if state.buf.iter().any(|v| !v.is_finite()) {
+            return Err("DAMP state buffer holds a non-finite value".into());
+        }
+        if !(state.bsf.is_finite() && state.bsf >= 0.0) {
+            return Err(format!("DAMP bsf must be finite and >= 0, got {}", state.bsf));
+        }
+        let mut buf = Vec::with_capacity(2 * state.window);
+        buf.extend_from_slice(&state.buf);
+        Ok(StreamingDamp { m: state.m, window: state.window, buf, bsf: state.bsf })
+    }
+}
+
+/// Mean and (clamped) standard deviation of one subsequence, computed
+/// directly — no rolling buffers, no allocation.
+fn mean_std(w: &[f64]) -> (f64, f64) {
+    let n = w.len() as f64;
+    let mut s = 0.0;
+    let mut s2 = 0.0;
+    for &v in w {
+        s += v;
+        s2 += v * v;
+    }
+    let mean = s / n;
+    let var = (s2 / n - mean * mean).max(0.0);
+    (mean, var.sqrt().max(1e-12))
+}
+
+/// Plain-data snapshot of a [`StreamingDamp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingDampState {
+    /// History bound.
+    pub window: usize,
+    /// Subsequence length.
+    pub m: usize,
+    /// Retained values (the last `min(pushed, window)`).
+    pub buf: Vec<f64>,
+    /// Best-so-far discord distance.
+    pub bsf: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(n: usize, t: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()).collect()
+    }
+
+    /// The discord region out-scores everything the stream saw before.
+    #[test]
+    fn discord_scores_highest() {
+        let t = 16;
+        let mut x = periodic(600, t);
+        for v in x[400..400 + t].iter_mut() {
+            *v = 2.0; // flat anomaly, unlike any earlier window
+        }
+        let mut d = StreamingDamp::new(128, t).unwrap();
+        let scores: Vec<f64> = x.iter().map(|&v| d.observe(v)).collect();
+        let peak = tskit::stats::argmax(&scores).unwrap();
+        assert!(
+            (400..400 + 2 * t).contains(&peak),
+            "anomaly at 400..416, peak at {peak} (score {})",
+            scores[peak]
+        );
+    }
+
+    /// Clean periodic data scores low once the window is warm — the
+    /// DAMP prune keeps almost every point below the first bsf.
+    #[test]
+    fn clean_periodic_data_scores_low_after_warmup() {
+        let t = 16;
+        let x = periodic(500, t);
+        let mut d = StreamingDamp::new(128, t).unwrap();
+        let scores: Vec<f64> = x.iter().map(|&v| d.observe(v)).collect();
+        let tail_max = scores[3 * t..].iter().cloned().fold(0.0f64, f64::max);
+        assert!(tail_max < 1.0, "pure period should score low, got {tail_max}");
+    }
+
+    /// `bsf` is monotone and completed searches drive it.
+    #[test]
+    fn bsf_is_monotone() {
+        let t = 12;
+        let mut x = periodic(400, t);
+        x[300] += 3.0;
+        let mut d = StreamingDamp::new(100, t).unwrap();
+        let mut prev = 0.0;
+        for &v in &x {
+            d.observe(v);
+            assert!(d.bsf() >= prev, "bsf must never decrease");
+            prev = d.bsf();
+        }
+        assert!(d.bsf() > 0.0);
+    }
+
+    /// Warm-up (fewer than 2m points) and non-finite input both score
+    /// zero; non-finite input leaves the state untouched.
+    #[test]
+    fn warmup_and_non_finite_are_guarded() {
+        let mut d = StreamingDamp::new(32, 8).unwrap();
+        for i in 0..15 {
+            assert_eq!(d.observe(i as f64 * 0.1), 0.0, "warm-up point {i} must score 0");
+        }
+        let before = d.to_state();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(d.observe(bad), 0.0);
+        }
+        assert_eq!(d.to_state(), before, "non-finite input must not change state");
+    }
+
+    /// Snapshot/restore continues bit-identically — from every phase of
+    /// the compaction cycle (the buffer may hold anywhere between
+    /// `window` and `2·window` values when the snapshot is taken).
+    #[test]
+    fn state_roundtrip_continues_bit_identically() {
+        let t = 16;
+        let window = 64;
+        let x = periodic(700, t);
+        for snap_at in [40usize, window + 3, 2 * window + 5, 350] {
+            let mut a = StreamingDamp::new(window, t).unwrap();
+            for &v in &x[..snap_at] {
+                a.observe(v);
+            }
+            let mut b = StreamingDamp::from_state(a.to_state()).unwrap();
+            assert_eq!(a.to_state(), b.to_state());
+            for (i, &v) in x[snap_at..].iter().enumerate() {
+                let (sa, sb) = (a.observe(v), b.observe(v));
+                assert_eq!(
+                    sa.to_bits(),
+                    sb.to_bits(),
+                    "diverged at {} (snap at {snap_at})",
+                    snap_at + i
+                );
+            }
+        }
+    }
+
+    /// Construction and state validation reject degenerate parameters.
+    #[test]
+    fn degenerate_params_and_states_are_rejected() {
+        assert!(StreamingDamp::new(32, 2).is_err(), "m too small");
+        assert!(StreamingDamp::new(15, 8).is_err(), "window < 2m+1");
+        assert!(StreamingDamp::new(1 << 21, 8).is_err(), "window too large");
+        let good = StreamingDamp::new(32, 8).unwrap();
+        let mut s = good.to_state();
+        s.bsf = f64::NAN;
+        assert!(StreamingDamp::from_state(s).is_err(), "NaN bsf");
+        let mut s = good.to_state();
+        s.buf = vec![1.0; 40];
+        assert!(StreamingDamp::from_state(s).is_err(), "buffer larger than window");
+        let mut s = good.to_state();
+        s.buf = vec![f64::INFINITY];
+        assert!(StreamingDamp::from_state(s).is_err(), "non-finite buffer value");
+    }
+
+    /// The adapter agrees with first principles: a completed search
+    /// returns exactly the nearest-earlier z-norm distance, and a
+    /// pruned one returns an over-estimate that stays below the `bsf`
+    /// that pruned it (checked by brute force on a short stream).
+    #[test]
+    fn matches_brute_force_nearest_neighbor() {
+        let m = 8;
+        let x: Vec<f64> = (0..80).map(|i| ((i * 29) % 13) as f64 * 0.3 - 1.5).collect();
+        let mut d = StreamingDamp::new(64, m).unwrap();
+        let mut checked_complete = 0;
+        let mut checked_pruned = 0;
+        for (end, &v) in x.iter().enumerate() {
+            let bsf_before = d.bsf();
+            let got = d.observe(v);
+            if end + 1 < 2 * m {
+                continue;
+            }
+            let h = &x[..=end];
+            let qs = h.len() - m;
+            let mut best = f64::INFINITY;
+            for j in 0..qs {
+                best = best.min(crate::znorm::znorm_distance(&h[qs..], &h[j..j + m]));
+            }
+            // the min over the examined (sub)set can only over-estimate
+            assert!(got >= best - 1e-9, "score {got} below true NN distance {best} at {end}");
+            if got < bsf_before {
+                checked_pruned += 1; // pruned: valid sub-bsf score
+            } else {
+                assert!((got - best).abs() < 1e-9, "completed search mismatch at {end}");
+                checked_complete += 1;
+            }
+        }
+        assert!(checked_complete > 0, "the stream must complete some searches");
+        assert!(checked_pruned > 0, "the stream must prune some searches");
+    }
+}

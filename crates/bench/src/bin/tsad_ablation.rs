@@ -39,10 +39,12 @@
 
 use benchkit::{Cli, Experiment};
 use decomp::traits::OnlineDecomposer;
+use fleet::{BackendSelect, DampOptions, EnsembleOptions, SeriesBackend};
 use oneshotstl::system::Lambdas;
 use oneshotstl::{Fusion, OneShotStl, OneShotStlConfig, ResidualScorer, ScoreConfig};
 use std::fmt::Write as _;
 use tskit::period::find_length;
+use tskit::series::DecompPoint;
 use tskit::synth::tsad_family;
 use tsmetrics::vus::vus_roc;
 
@@ -52,6 +54,9 @@ struct PreparedSeries {
     init_residuals: Vec<f64>,
     /// Residuals of the test stream, in order.
     test_residuals: Vec<f64>,
+    /// Trends of the test stream (the trend-CUSUM / ensemble backends
+    /// score trend innovations; 0.0 on the init-failure fallback).
+    test_trends: Vec<f64>,
     /// Test labels.
     labels: Vec<bool>,
     /// Detected period (VUS buffer length).
@@ -85,20 +90,29 @@ fn prepare_family(
                 ..Default::default()
             };
             let mut dec = OneShotStl::new(cfg);
-            let (init_residuals, test_residuals) = match dec.init(s.train(), period) {
+            let (init_residuals, test_residuals, test_trends) = match dec
+                .init(s.train(), period)
+            {
                 Ok(d) => {
-                    let test: Vec<f64> =
-                        s.test().iter().map(|&y| dec.update(y).residual).collect();
-                    (d.residual, test)
+                    let mut residuals = Vec::with_capacity(s.test().len());
+                    let mut trends = Vec::with_capacity(s.test().len());
+                    for &y in s.test() {
+                        let p = dec.update(y);
+                        residuals.push(p.residual);
+                        trends.push(p.trend);
+                    }
+                    (d.residual, residuals, trends)
                 }
                 // init failure (flat/short train): score the raw values
                 // and never touch the uninitialized decomposer — the
-                // same degradation StdNSigma applies
-                Err(_) => (s.train().to_vec(), s.test().to_vec()),
+                // same degradation StdNSigma applies (trend 0.0 keeps
+                // the trend-innovation backends quiet)
+                Err(_) => (s.train().to_vec(), s.test().to_vec(), vec![0.0; s.test().len()]),
             };
             series.push(PreparedSeries {
                 init_residuals,
                 test_residuals,
+                test_trends,
                 labels: s.test_labels().to_vec(),
                 period,
             });
@@ -115,6 +129,34 @@ fn family_vus(fam: &PreparedFamily, config: ScoreConfig) -> f64 {
         scorer.seed(&s.init_residuals);
         let scores: Vec<f64> =
             s.test_residuals.iter().map(|&r| scorer.update(r).score).collect();
+        total += vus_roc(&scores, &s.labels, s.period.max(10), 8);
+    }
+    total / fam.series.len() as f64
+}
+
+/// Family-average VUS-ROC of one detection-backend selection, mirroring
+/// the fleet's dispatch: the fused scorer (shipped default, seeded on the
+/// init residuals) produces its verdict, the backend observes the
+/// decomposed point plus that verdict, and the backend's score replaces
+/// the fused one. Backends start cold — exactly the state a fleet series
+/// is in at promotion.
+fn backend_family_vus(fam: &PreparedFamily, select: BackendSelect) -> f64 {
+    let mut total = 0.0;
+    for s in &fam.series {
+        let mut scorer = ResidualScorer::new(5.0, ScoreConfig::default());
+        scorer.seed(&s.init_residuals);
+        let mut backend =
+            SeriesBackend::build(select, 5.0, s.period).expect("non-fused backend arm");
+        let scores: Vec<f64> = s
+            .test_residuals
+            .iter()
+            .zip(&s.test_trends)
+            .map(|(&r, &trend)| {
+                let fused = scorer.update(r);
+                let point = DecompPoint { trend, seasonal: 0.0, residual: r };
+                backend.observe(&point, &fused).score
+            })
+            .collect();
         total += vus_roc(&scores, &s.labels, s.period.max(10), 8);
     }
     total / fam.series.len() as f64
@@ -186,6 +228,26 @@ fn main() {
         rows.push(Row { config, vus });
     }
 
+    // ── detection-backend arms (fleet dispatch semantics) ───────────────
+    // evaluated on every run (the smoke gate pins the ensemble arm); the
+    // fused default above is the "Fused" backend, so the arms are the
+    // three non-trivial selections
+    let backend_arms: Vec<(&str, BackendSelect)> = vec![
+        ("damp", BackendSelect::Damp(DampOptions::default())),
+        ("trend_cusum", BackendSelect::TrendCusum(ScoreConfig::default())),
+        ("ensemble", BackendSelect::Ensemble(EnsembleOptions::default())),
+    ];
+    let mut backend_rows: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, select) in &backend_arms {
+        let vus: Vec<f64> = families.iter().map(|f| backend_family_vus(f, *select)).collect();
+        let mut line = format!("[tsad_ablation] backend {name:<15}");
+        for (f, v) in families.iter().zip(&vus) {
+            let _ = write!(line, "  {} {v:.4}", f.name);
+        }
+        eprintln!("{line}");
+        backend_rows.push((name, vus));
+    }
+
     // full mode: document the shift-search protocol choice with data
     let mut protocol_rows: Vec<(String, f64, f64)> = Vec::new();
     if !quick {
@@ -234,6 +296,26 @@ fn main() {
         ));
     }
 
+    // ── the ensemble gate: the shipped EnsembleOptions::default() must
+    //    not trade away the fused scorer's quality ───────────────────────
+    let ens = &backend_rows.iter().find(|(n, _)| *n == "ensemble").unwrap().1;
+    let (ens_iops, ens_ecg) = (ens[iops], ens[ecg]);
+    if ens_iops.is_nan() || ens_iops < 0.75 {
+        failures.push(format!(
+            "ensemble backend scores {ens_iops:.4} VUS-ROC on the wandering-trend \
+             family (bar: >= 0.75; fused default {def_iops:.4})"
+        ));
+    }
+    for (fam_name, ens_v, def_v) in [("IOPS", ens_iops, def_iops), ("ECG", ens_ecg, def_ecg)] {
+        let loss_pct = 100.0 * (def_v - ens_v) / def_v;
+        if loss_pct.is_nan() || loss_pct > 1.0 {
+            failures.push(format!(
+                "ensemble backend loses {loss_pct:.2}% VUS-ROC to the fused scorer \
+                 on {fam_name} ({def_v:.4} -> {ens_v:.4}; bar: <= 1%)"
+            ));
+        }
+    }
+
     // ── reports ─────────────────────────────────────────────────────────
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -260,6 +342,18 @@ fn main() {
     );
     let _ =
         writeln!(json, "  \"ecg_vus\": {{\"off\": {off_ecg:.4}, \"default\": {def_ecg:.4}}},");
+    let _ = writeln!(json, "  \"backends\": {{");
+    for (i, (name, vus)) in backend_rows.iter().enumerate() {
+        let comma = if i + 1 == backend_rows.len() { "" } else { "," };
+        let per_family = families
+            .iter()
+            .zip(vus)
+            .map(|(f, v)| format!("\"{}\": {v:.4}", f.name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(json, "    \"{name}\": {{{per_family}}}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -301,6 +395,18 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
+    report.table(
+        "Detection backend vs family VUS-ROC (fleet dispatch semantics)",
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &backend_rows
+            .iter()
+            .map(|(name, vus)| {
+                std::iter::once(name.to_string())
+                    .chain(vus.iter().map(|v| format!("{v:.4}")))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>(),
+    );
     if !protocol_rows.is_empty() {
         report.table(
             "Decomposer protocol: §3.4 shift search on vs off",
@@ -325,7 +431,9 @@ fn main() {
         eprintln!(
             "[tsad_ablation] OK: default fused scoring holds the quality bar \
              (wandering-trend {def_iops:.4} >= 0.70, was {off_iops:.4}; \
-             ECG {def_ecg:.4} vs {off_ecg:.4}, regression {ecg_regress_pct:.2}% <= 1%)"
+             ECG {def_ecg:.4} vs {off_ecg:.4}, regression {ecg_regress_pct:.2}% <= 1%; \
+             ensemble {ens_iops:.4} >= 0.75 on IOPS, {ens_ecg:.4} on ECG, \
+             within 1% of fused)"
         );
     } else {
         for f in &failures {

@@ -63,5 +63,8 @@ pub use oneshot::{
 };
 pub use online_doolittle::{IncrementalSolver, SolverState};
 pub use reference::ModifiedJointStlRef;
-pub use score::{Fusion, ResidualScorer, ResidualScorerState, ScoreConfig, ScoreVerdict};
+pub use score::{
+    Fusion, ResidualScorer, ResidualScorerState, ScoreConfig, ScoreVerdict, TrendCusum,
+    TrendCusumState,
+};
 pub use tasks::{StdAnomalyDetector, StdForecaster};

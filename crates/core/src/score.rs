@@ -279,6 +279,17 @@ impl ResidualScorer {
         ScoreVerdict { score: self.hold.max(instant), z, cusum, is_anomaly }
     }
 
+    /// Absorbs one value into the running statistics **without scoring
+    /// it** (and without touching the CUSUM accumulators or the hold).
+    /// Warm-up absorption for wrappers like [`TrendCusum`], whose first
+    /// observations calibrate the statistics but must not alarm.
+    /// Non-finite input is ignored.
+    pub fn absorb(&mut self, r: f64) {
+        if r.is_finite() {
+            self.nsigma.absorb(r);
+        }
+    }
+
     /// Extracts a plain-data snapshot for serialization (see
     /// `fleet::codec`).
     pub fn to_state(&self) -> ResidualScorerState {
@@ -319,6 +330,144 @@ pub struct ResidualScorerState {
     pub s_neg: f64,
     /// Peak-hold of the fused statistic.
     pub hold: f64,
+}
+
+/// How many first innovations a [`TrendCusum`] absorbs silently before
+/// emitting verdicts: enough observations that the running σ is
+/// calibrated (an unseeded NSigma standardizes early points against a
+/// near-zero variance and would emit sentinel alarms on perfectly normal
+/// trend motion).
+const TREND_WARMUP: u32 = 16;
+
+/// Streaming CUSUM over the **trend component's own innovations**
+/// `d_t = τ_t − τ_{t−1}`.
+///
+/// The residual scorer is blind to whatever the adaptive trend absorbs:
+/// a level shift moves the trend itself within a few points and leaves
+/// only two narrow residual edge spikes. This detector watches the other
+/// channel — the trend's first differences. In steady state those
+/// innovations are small and zero-mean; a level shift (or a trend-slope
+/// break) produces a *run* of same-signed innovations that a two-sided
+/// CUSUM accumulates past its bar even when no single step is extreme.
+///
+/// Internally this wraps a [`ResidualScorer`] applied to the innovation
+/// stream, inheriting its CUSUM + peak-hold mechanics, its non-finite
+/// guard, and its `O(1)`/zero-allocation steady state. The first
+/// `TREND_WARMUP` (16) innovations are absorbed without scoring (see
+/// [`ResidualScorer::absorb`]) unless the statistics were seeded from an
+/// initialization window via [`TrendCusum::seed`].
+#[derive(Debug, Clone)]
+pub struct TrendCusum {
+    scorer: ResidualScorer,
+    /// Previous trend value (innovation = current − previous).
+    prev: f64,
+    /// Whether `prev` holds a real observation yet.
+    has_prev: bool,
+    /// Silent-absorption budget remaining (see [`TREND_WARMUP`]).
+    warmup_left: u32,
+}
+
+impl TrendCusum {
+    /// Creates a trend-innovation CUSUM with z bar `n` and CUSUM config
+    /// (the same [`ScoreConfig`] vocabulary as the residual scorer).
+    pub fn new(n: f64, config: ScoreConfig) -> Self {
+        TrendCusum {
+            scorer: ResidualScorer::new(n, config),
+            prev: 0.0,
+            has_prev: false,
+            warmup_left: TREND_WARMUP,
+        }
+    }
+
+    /// Read-only view of the wrapped innovation scorer (statistics,
+    /// config, alarm counters).
+    pub fn scorer(&self) -> &ResidualScorer {
+        &self.scorer
+    }
+
+    /// Lifetime `(z alarms, CUSUM alarms)` over the innovation stream.
+    /// Diagnostics only — resets on snapshot restore, like
+    /// [`ResidualScorer::alarm_counts`].
+    pub fn alarm_counts(&self) -> (u64, u64) {
+        self.scorer.alarm_counts()
+    }
+
+    /// Seeds the innovation statistics from an initialization window of
+    /// *trend values* (consecutive; their first differences are
+    /// absorbed). Skips the warm-up: the next [`TrendCusum::update`]
+    /// scores for real. Allocation-free.
+    pub fn seed(&mut self, trends: &[f64]) {
+        for w in trends.windows(2) {
+            self.scorer.absorb(w[1] - w[0]);
+        }
+        if let Some(&last) = trends.last() {
+            if last.is_finite() {
+                self.prev = last;
+                self.has_prev = true;
+            }
+        }
+        self.warmup_left = 0;
+    }
+
+    /// Scores one trend observation. The first point (nothing to
+    /// difference against) and warm-up innovations return a zero,
+    /// non-anomalous verdict; non-finite input leaves all state
+    /// untouched (including `prev` — the next finite point differences
+    /// against the last *trusted* trend value).
+    pub fn update(&mut self, trend: f64) -> ScoreVerdict {
+        if !trend.is_finite() {
+            // delegate to the inner guard: state unchanged, held score
+            return self.scorer.update(f64::NAN);
+        }
+        if !self.has_prev {
+            self.prev = trend;
+            self.has_prev = true;
+            return ScoreVerdict { score: 0.0, z: 0.0, cusum: 0.0, is_anomaly: false };
+        }
+        let d = trend - self.prev;
+        self.prev = trend;
+        if self.warmup_left > 0 {
+            self.warmup_left -= 1;
+            self.scorer.absorb(d);
+            return ScoreVerdict { score: 0.0, z: 0.0, cusum: 0.0, is_anomaly: false };
+        }
+        self.scorer.update(d)
+    }
+
+    /// Extracts a plain-data snapshot for serialization (see
+    /// `fleet::codec`).
+    pub fn to_state(&self) -> TrendCusumState {
+        TrendCusumState {
+            scorer: self.scorer.to_state(),
+            prev: self.prev,
+            has_prev: self.has_prev,
+            warmup_left: self.warmup_left,
+        }
+    }
+
+    /// Rebuilds from [`TrendCusum::to_state`] output; the stream
+    /// continues bit-identically (alarm counters reset, as always).
+    pub fn from_state(state: TrendCusumState) -> Self {
+        TrendCusum {
+            scorer: ResidualScorer::from_state(state.scorer),
+            prev: state.prev,
+            has_prev: state.has_prev,
+            warmup_left: state.warmup_left,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`TrendCusum`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendCusumState {
+    /// Wrapped innovation scorer state.
+    pub scorer: ResidualScorerState,
+    /// Previous trend value.
+    pub prev: f64,
+    /// Whether `prev` holds a real observation.
+    pub has_prev: bool,
+    /// Remaining silent-absorption budget.
+    pub warmup_left: u32,
 }
 
 #[cfg(test)]
@@ -564,6 +713,97 @@ mod tests {
         let sigma = off.nsigma().std();
         off.update(20.0 * sigma);
         assert_eq!(off.alarm_counts(), (1, 0));
+    }
+
+    /// A level shift the residual scorer never sees: the trend absorbs
+    /// the step, and the trend-innovation CUSUM catches the run of
+    /// same-signed innovations.
+    #[test]
+    fn trend_cusum_catches_a_level_shift_in_the_trend() {
+        let mut t = TrendCusum::new(5.0, ScoreConfig::default());
+        // steady trend drifting by small noisy innovations
+        let drift = |i: usize| 10.0 + 0.01 * (((i * 37) % 100) as f64 / 50.0 - 1.0);
+        let trends: Vec<f64> = (0..120).map(drift).collect();
+        t.seed(&trends[..60]);
+        let mut alarmed = false;
+        for (i, &v) in trends[60..].iter().enumerate() {
+            // after 20 normal points, the trend walks up a level shift
+            // of +0.05/point for the rest of the stream (an adaptive
+            // trend chasing a +step in the raw series)
+            let shifted = if i >= 20 { v + 0.05 * (i - 19) as f64 } else { v };
+            if t.update(shifted).is_anomaly {
+                alarmed = true;
+                assert!(i >= 20, "must not alarm before the shift (alarmed at {i})");
+                break;
+            }
+        }
+        assert!(alarmed, "a sustained trend walk must trip the innovation CUSUM");
+    }
+
+    /// Unseeded warm-up: the first innovations calibrate silently — zero
+    /// scores, no alarms, no sentinel z values.
+    #[test]
+    fn trend_cusum_warmup_is_silent() {
+        let mut t = TrendCusum::new(5.0, ScoreConfig::default());
+        for i in 0..=16 {
+            let v = t.update(5.0 + 0.3 * ((i % 5) as f64 - 2.0));
+            assert_eq!(v.score, 0.0, "warm-up point {i} must score zero");
+            assert!(!v.is_anomaly);
+        }
+        assert_eq!(t.alarm_counts(), (0, 0));
+        // post-warm-up, a normal innovation scores finitely and calmly
+        let v = t.update(5.0);
+        assert!(v.score.is_finite());
+    }
+
+    /// Non-finite trend input: state untouched, and the next finite
+    /// point differences against the last trusted value.
+    #[test]
+    fn trend_cusum_guards_non_finite_input() {
+        let mut t = TrendCusum::new(5.0, ScoreConfig::default());
+        let trends: Vec<f64> = (0..40).map(|i| 2.0 + 0.1 * ((i % 7) as f64 - 3.0)).collect();
+        t.seed(&trends);
+        for _ in 0..10 {
+            t.update(2.0);
+        }
+        let before = t.to_state();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let v = t.update(bad);
+            assert!(!v.is_anomaly);
+            assert!(v.score.is_finite());
+        }
+        assert_eq!(t.to_state(), before, "non-finite input must not change state");
+        let v = t.update(2.05);
+        assert!(v.score.is_finite());
+    }
+
+    /// State round-trip: the restored trend CUSUM continues
+    /// bit-identically, mid-warm-up and post-warm-up alike.
+    #[test]
+    fn trend_cusum_state_roundtrip_continues_bit_identically() {
+        for snap_at in [5usize, 40] {
+            let mut a = TrendCusum::new(4.0, ScoreConfig::default());
+            let stream = |i: usize| {
+                let base = 1.0 + 0.2 * ((i * 13 % 11) as f64 - 5.0) / 5.0;
+                if (30..45).contains(&i) {
+                    base + 0.8 * (i - 29) as f64
+                } else {
+                    base
+                }
+            };
+            for i in 0..snap_at {
+                a.update(stream(i));
+            }
+            let mut b = TrendCusum::from_state(a.to_state());
+            assert_eq!(a.to_state(), b.to_state());
+            for i in snap_at..80 {
+                let (va, vb) = (a.update(stream(i)), b.update(stream(i)));
+                assert_eq!(va, vb, "diverged at {i} (snap at {snap_at})");
+                assert_eq!(va.score.to_bits(), vb.score.to_bits());
+            }
+            let restored = TrendCusum::from_state(a.to_state());
+            assert_eq!(restored.alarm_counts(), (0, 0), "counters reset on restore");
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! fixed-size scratch, and the exhaustive `Off` policy that runs all
 //! `2H + 1` retry trials), and updates that impute non-finite input.
 //! A second test extends the guarantee to the fused residual-scoring
-//! path (CUSUM + peak-hold on top of the decomposition).
+//! path (CUSUM + peak-hold on top of the decomposition), and a third to
+//! the trend-innovation CUSUM backend (`TrendCusum`).
 //!
 //! The counting global allocator below makes the claim a hard test rather
 //! than a code-review property. CI runs this test file explicitly
@@ -206,4 +207,48 @@ fn fused_scoring_update_performs_zero_heap_allocations() {
         }
         assert_eq!(allocs() - before, 0, "[{label}] post-excursion scored update allocated");
     }
+}
+
+/// The trend-innovation CUSUM (`TrendCusum`) is a `ResidualScorer` over
+/// trend first-differences plus two scalars — its steady-state `update`
+/// (including warm-up absorption, alarms with reset, and the non-finite
+/// guard) performs zero heap allocations. This is the backend contract
+/// the fleet's `DetectorBackend` dispatch relies on.
+#[test]
+fn trend_cusum_update_performs_zero_heap_allocations() {
+    use oneshotstl::{ScoreConfig, TrendCusum};
+    let mut t = TrendCusum::new(5.0, ScoreConfig::default());
+    // trend stream allocated up front: gentle wander, then a walk
+    let trends: Vec<f64> = (0..2_000)
+        .map(|i| 10.0 + 0.05 * (2.0 * std::f64::consts::PI * i as f64 / 200.0).sin())
+        .collect();
+    t.seed(&trends[..64]);
+
+    // 1) plain steady-state updates
+    let before = allocs();
+    for &v in &trends[64..1_064] {
+        std::hint::black_box(t.update(v));
+    }
+    assert_eq!(allocs() - before, 0, "steady-state trend update allocated");
+
+    // 2) a sustained walk: the CUSUM charges, alarms, and resets
+    let before = allocs();
+    for i in 0..200 {
+        std::hint::black_box(t.update(trends[1_064] + 0.2 * i as f64));
+    }
+    assert_eq!(allocs() - before, 0, "alarming trend update allocated");
+    let (_, cusum_alarms) = t.alarm_counts();
+    assert!(cusum_alarms > 0, "the walk must have tripped the CUSUM");
+
+    // 3) non-finite input: the guarded path
+    let before = allocs();
+    std::hint::black_box(t.update(f64::NAN));
+    assert_eq!(allocs() - before, 0, "non-finite trend update allocated");
+
+    // 4) and the stream continues allocation-free
+    let before = allocs();
+    for &v in &trends[1_064..1_564] {
+        std::hint::black_box(t.update(v));
+    }
+    assert_eq!(allocs() - before, 0, "post-excursion trend update allocated");
 }

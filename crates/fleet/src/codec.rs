@@ -38,7 +38,20 @@
 //! v3–v5 images still decode: they get forecasting disabled — what every
 //! pre-v6 writer actually ran — and their live series carry no head, so a
 //! restored stream continues bit-identically.
+//!
+//! v7 adds the detection-backend layer ([`crate::backend`]): the
+//! engine-wide [`BackendSelect`], an optional per-series `backend`
+//! override in [`AdmitOptions`], and an optional backend state (streaming
+//! DAMP window + distance normalizer, trend-innovation CUSUM, or the
+//! ensemble of both) per live series. v3–v6 images still decode: they get
+//! [`BackendSelect::Fused`] — the plain fused-scorer pipeline every
+//! pre-v7 writer ran — and their live series carry no backend state, so a
+//! restored stream continues bit-identically.
 
+use crate::backend::{
+    BackendSelect, BackendSnapshot, DampBackendState, DampOptions, EnsembleFusion,
+    EnsembleOptions, SeriesBackend,
+};
 use crate::config::{AdmitOptions, ForecastOptions, QueuePolicy};
 use crate::engine::{CarriedTotals, FleetDelta, FleetSnapshot};
 use crate::error::CodecError;
@@ -64,7 +77,10 @@ const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v6: FleetConfig gained ForecastOptions; AdmitOptions gained an optional
 //     forecast override; live series gained an optional forecast-head
 //     state (pending prediction + rolling error tracker)
-const VERSION: u16 = 6;
+// v7: FleetConfig gained the detection-backend selection; AdmitOptions
+//     gained an optional backend override; live series gained an optional
+//     backend state (streaming DAMP + normalizer, trend CUSUM, ensemble)
+const VERSION: u16 = 7;
 /// Oldest version this build still decodes.
 const MIN_VERSION: u16 = 3;
 const KIND_FULL: u8 = 0;
@@ -214,6 +230,7 @@ fn encode_config(w: &mut Writer, c: &FleetConfig) {
     encode_detector_config(w, &c.detector);
     encode_score_config(w, &c.score);
     encode_forecast_options(w, &c.forecast);
+    encode_backend_select(w, &c.backend);
 }
 
 fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecError> {
@@ -245,6 +262,8 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
     // and no pre-v6 writer forecasted
     let forecast =
         if version >= 6 { decode_forecast_options(r)? } else { ForecastOptions::default() };
+    // nor did any pre-v7 writer run a backend beyond the fused scorer
+    let backend = if version >= 7 { decode_backend_select(r)? } else { BackendSelect::Fused };
     Ok(FleetConfig {
         shards,
         init_cycles,
@@ -258,6 +277,78 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
         detector,
         score,
         forecast,
+        backend,
+    })
+}
+
+/// v7: `u8` variant tag, then the variant's options.
+fn encode_backend_select(w: &mut Writer, b: &BackendSelect) {
+    match b {
+        BackendSelect::Fused => w.u8(0),
+        BackendSelect::Damp(d) => {
+            w.u8(1);
+            encode_damp_options(w, d);
+        }
+        BackendSelect::TrendCusum(s) => {
+            w.u8(2);
+            encode_score_config(w, s);
+        }
+        BackendSelect::Ensemble(e) => {
+            w.u8(3);
+            encode_damp_options(w, &e.damp);
+            encode_score_config(w, &e.trend);
+            encode_ensemble_fusion(w, e.fusion);
+            for &wt in &e.weights {
+                w.f64(wt);
+            }
+        }
+    }
+}
+
+fn decode_backend_select(r: &mut Reader<'_>) -> Result<BackendSelect, CodecError> {
+    let select = match r.u8()? {
+        0 => BackendSelect::Fused,
+        1 => BackendSelect::Damp(decode_damp_options(r)?),
+        2 => BackendSelect::TrendCusum(decode_score_config(r)?),
+        3 => {
+            let damp = decode_damp_options(r)?;
+            let trend = decode_score_config(r)?;
+            let fusion = decode_ensemble_fusion(r)?;
+            let weights = [r.f64()?, r.f64()?, r.f64()?];
+            BackendSelect::Ensemble(EnsembleOptions { damp, trend, fusion, weights })
+        }
+        _ => return Err(CodecError::Invalid("backend select tag")),
+    };
+    // same smuggling stance as every other config: a crafted image must
+    // not restore a selection the API boundary rejects (a DAMP window too
+    // small for its subsequence, all-zero ensemble weights, ...)
+    if select.validate().is_err() {
+        return Err(CodecError::Invalid("backend selection"));
+    }
+    Ok(select)
+}
+
+fn encode_damp_options(w: &mut Writer, d: &DampOptions) {
+    w.u32(d.window);
+    w.u32(d.subseq);
+}
+
+fn decode_damp_options(r: &mut Reader<'_>) -> Result<DampOptions, CodecError> {
+    Ok(DampOptions { window: r.u32()?, subseq: r.u32()? })
+}
+
+fn encode_ensemble_fusion(w: &mut Writer, f: EnsembleFusion) {
+    w.u8(match f {
+        EnsembleFusion::Max => 0,
+        EnsembleFusion::WeightedRank => 1,
+    });
+}
+
+fn decode_ensemble_fusion(r: &mut Reader<'_>) -> Result<EnsembleFusion, CodecError> {
+    Ok(match r.u8()? {
+        0 => EnsembleFusion::Max,
+        1 => EnsembleFusion::WeightedRank,
+        _ => return Err(CodecError::Invalid("ensemble fusion tag")),
     })
 }
 
@@ -369,6 +460,96 @@ fn decode_forecast_state(r: &mut Reader<'_>) -> Result<ForecastSnapshot, CodecEr
     Ok(ForecastSnapshot { options, pending, has_pending, tracker })
 }
 
+/// v7: the backend state of a live series — `u8` variant tag, then the
+/// variant's members.
+fn encode_backend_state(w: &mut Writer, s: &BackendSnapshot) {
+    match s {
+        BackendSnapshot::Damp(d) => {
+            w.u8(0);
+            encode_damp_backend_state(w, d);
+        }
+        BackendSnapshot::TrendCusum(t) => {
+            w.u8(1);
+            encode_trend_cusum_state(w, t);
+        }
+        BackendSnapshot::Ensemble { damp, trend, fusion, weights } => {
+            w.u8(2);
+            encode_damp_backend_state(w, damp);
+            encode_trend_cusum_state(w, trend);
+            encode_ensemble_fusion(w, *fusion);
+            for &wt in weights {
+                w.f64(wt);
+            }
+        }
+    }
+}
+
+fn decode_backend_state(
+    r: &mut Reader<'_>,
+    version: u16,
+) -> Result<BackendSnapshot, CodecError> {
+    let snap = match r.u8()? {
+        0 => BackendSnapshot::Damp(decode_damp_backend_state(r)?),
+        1 => BackendSnapshot::TrendCusum(decode_trend_cusum_state(r, version)?),
+        2 => {
+            let damp = decode_damp_backend_state(r)?;
+            let trend = decode_trend_cusum_state(r, version)?;
+            let fusion = decode_ensemble_fusion(r)?;
+            let weights = [r.f64()?, r.f64()?, r.f64()?];
+            BackendSnapshot::Ensemble { damp, trend, fusion, weights }
+        }
+        _ => return Err(CodecError::Invalid("backend state tag")),
+    };
+    // the restore path's own validation is the single home of the range
+    // checks (finite retained values, bsf >= 0, weights, ...) — running
+    // it here keeps a crafted image from smuggling state the API
+    // boundary rejects, without duplicating the rules
+    if SeriesBackend::from_snapshot(snap.clone()).is_err() {
+        return Err(CodecError::Invalid("backend state"));
+    }
+    Ok(snap)
+}
+
+fn encode_damp_backend_state(w: &mut Writer, s: &DampBackendState) {
+    w.u64(s.damp.window as u64);
+    w.u64(s.damp.m as u64);
+    w.vec_f64(&s.damp.buf);
+    w.f64(s.damp.bsf);
+    encode_nsigma(w, &s.norm);
+    w.u32(s.warmup_left);
+}
+
+fn decode_damp_backend_state(r: &mut Reader<'_>) -> Result<DampBackendState, CodecError> {
+    let damp = anomaly::StreamingDampState {
+        window: r.u64()? as usize,
+        m: r.u64()? as usize,
+        buf: r.vec_f64()?,
+        bsf: r.f64()?,
+    };
+    Ok(DampBackendState { damp, norm: decode_nsigma(r)?, warmup_left: r.u32()? })
+}
+
+fn encode_trend_cusum_state(w: &mut Writer, s: &oneshotstl::TrendCusumState) {
+    encode_scorer(w, &s.scorer);
+    w.f64(s.prev);
+    w.u8(s.has_prev as u8);
+    w.u32(s.warmup_left);
+}
+
+fn decode_trend_cusum_state(
+    r: &mut Reader<'_>,
+    version: u16,
+) -> Result<oneshotstl::TrendCusumState, CodecError> {
+    let scorer = decode_scorer(r, version)?;
+    let prev = r.f64()?;
+    let has_prev = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::Invalid("trend CUSUM prev flag")),
+    };
+    Ok(oneshotstl::TrendCusumState { scorer, prev, has_prev, warmup_left: r.u32()? })
+}
+
 fn encode_detector_config(w: &mut Writer, c: &OneShotStlConfig) {
     w.f64(c.lambdas.lambda1);
     w.f64(c.lambdas.lambda2);
@@ -458,7 +639,7 @@ fn decode_detector_config(
 
 /// v4: pending per-series admission overrides of a warming series.
 /// v5 appends the optional residual-score override; v6 the optional
-/// forecast override.
+/// forecast override; v7 the optional backend override.
 fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
     w.opt_f64(o.lambda);
     w.opt_f64(o.nsigma);
@@ -482,6 +663,13 @@ fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
         Some(f) => {
             w.u8(1);
             encode_forecast_options(w, f);
+        }
+    }
+    match &o.backend {
+        None => w.u8(0),
+        Some(b) => {
+            w.u8(1);
+            encode_backend_select(w, b);
         }
     }
 }
@@ -513,7 +701,16 @@ fn decode_admit_options(r: &mut Reader<'_>, version: u16) -> Result<AdmitOptions
     } else {
         None
     };
-    let opts = AdmitOptions { lambda, nsigma, period, shift_search, score, forecast };
+    let backend = if version >= 7 {
+        match r.u8()? {
+            0 => None,
+            1 => Some(decode_backend_select(r)?),
+            _ => return Err(CodecError::Invalid("option tag")),
+        }
+    } else {
+        None
+    };
+    let opts = AdmitOptions { lambda, nsigma, period, shift_search, score, forecast, backend };
     // a corrupted or externally-produced image must not smuggle in the
     // degenerate values the API boundary rejects (TopK(0), non-finite or
     // non-positive λ/nsigma, period < 2)
@@ -534,7 +731,7 @@ fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
             w.u64(*last_attempt as u64);
             encode_admit_options(w, overrides);
         }
-        PhaseSnapshot::Live { decomposer, scorer, forecast } => {
+        PhaseSnapshot::Live { decomposer, scorer, forecast, backend } => {
             w.u8(1);
             encode_decomposer(w, decomposer);
             encode_scorer(w, scorer);
@@ -543,6 +740,13 @@ fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
                 Some(f) => {
                     w.u8(1);
                     encode_forecast_state(w, f);
+                }
+            }
+            match backend {
+                None => w.u8(0),
+                Some(b) => {
+                    w.u8(1);
+                    encode_backend_state(w, b);
                 }
             }
         }
@@ -574,6 +778,17 @@ fn decode_series(r: &mut Reader<'_>, version: u16) -> Result<SeriesSnapshot, Cod
                     0 => None,
                     1 => Some(decode_forecast_state(r)?),
                     _ => return Err(CodecError::Invalid("forecast state tag")),
+                }
+            } else {
+                None
+            },
+            // no pre-v7 writer ran a backend, so pre-v7 live series carry
+            // none — scoring continues bit-identically on the fused path
+            backend: if version >= 7 {
+                match r.u8()? {
+                    0 => None,
+                    1 => Some(decode_backend_state(r, version)?),
+                    _ => return Err(CodecError::Invalid("backend presence tag")),
                 }
             } else {
                 None
@@ -901,6 +1116,12 @@ mod tests {
                     error_fusion: true,
                     smape_alarm: 1.25,
                 },
+                backend: BackendSelect::Ensemble(EnsembleOptions {
+                    damp: DampOptions { window: 64, subseq: 8 },
+                    fusion: EnsembleFusion::WeightedRank,
+                    weights: [2.0, 1.0, 0.5],
+                    ..Default::default()
+                }),
                 ..FleetConfig::fixed_period(24)
             },
             clock: 99,
@@ -932,6 +1153,10 @@ mod tests {
                                 error_fusion: false,
                                 smape_alarm: 0.8,
                             }),
+                            backend: Some(BackendSelect::Damp(DampOptions {
+                                window: 128,
+                                subseq: 0,
+                            })),
                         },
                     },
                 },
@@ -1057,6 +1282,7 @@ mod tests {
                     decomposer: det.decomposer.to_state(),
                     scorer,
                     forecast: None,
+                    backend: None,
                 },
             });
             encode(&snap)
@@ -1172,9 +1398,9 @@ mod tests {
         }
         assert_eq!(back.clock, snap.clock);
         assert_eq!(back.batches, snap.batches);
-        // ...and a v3 image re-encodes as v6 (upgrade-on-rewrite)
+        // ...and a v3 image re-encodes as v7 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 6, "re-encoded version");
+        assert_eq!(re[8], 7, "re-encoded version");
         decode(&re).expect("upgraded image decodes");
     }
 
@@ -1214,6 +1440,7 @@ mod tests {
             shift_search: Some(ShiftSearchConfig::top_k(3)),
             score: None,    // v4 has no score override
             forecast: None, // nor a forecast one
+            backend: None,  // nor a backend one
         };
 
         let mut w = Writer::default();
@@ -1275,8 +1502,9 @@ mod tests {
             _ => panic!("series 0 must be warming"),
         }
         match &back.series[1].phase {
-            PhaseSnapshot::Live { decomposer, scorer, forecast } => {
+            PhaseSnapshot::Live { decomposer, scorer, forecast, backend } => {
                 assert!(forecast.is_none(), "v4 live series carry no forecast head");
+                assert!(backend.is_none(), "v4 live series carry no backend state");
                 assert_eq!(decomposer, &live_dec, "decomposer state bit-identical");
                 assert_eq!(
                     scorer,
@@ -1312,9 +1540,9 @@ mod tests {
             assert_eq!(va.score.to_bits(), vb.score.to_bits());
             assert_eq!(va.is_anomaly, vb.is_anomaly);
         }
-        // ...and a v4 image re-encodes as v6 (upgrade-on-rewrite)
+        // ...and a v4 image re-encodes as v7 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 6, "re-encoded version");
+        assert_eq!(re[8], 7, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
     }
 
@@ -1355,6 +1583,7 @@ mod tests {
             shift_search: Some(ShiftSearchConfig::top_k(3)),
             score: Some(score),
             forecast: None, // v5 has no forecast override
+            backend: None,  // nor a backend one
         };
 
         let mut w = Writer::default();
@@ -1418,10 +1647,11 @@ mod tests {
             _ => panic!("series 0 must be warming"),
         }
         match &back.series[1].phase {
-            PhaseSnapshot::Live { decomposer, scorer, forecast } => {
+            PhaseSnapshot::Live { decomposer, scorer, forecast, backend } => {
                 assert_eq!(decomposer, &live_dec, "decomposer state bit-identical");
                 assert_eq!(scorer, &live_scorer, "full v5 scorer state bit-identical");
                 assert!(forecast.is_none(), "v5 live series carry no forecast head");
+                assert!(backend.is_none(), "v5 live series carry no backend state");
             }
             _ => panic!("series 1 must be live"),
         }
@@ -1445,10 +1675,270 @@ mod tests {
             assert_eq!(va.score.to_bits(), vb.score.to_bits());
             assert_eq!(va.is_anomaly, vb.is_anomaly);
         }
-        // ...and a v5 image re-encodes as v6 (upgrade-on-rewrite)
+        // ...and a v5 image re-encodes as v7 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 6, "re-encoded version");
+        assert_eq!(re[8], 7, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
+    }
+
+    /// Hand-encodes the v6 layout (forecast options/overrides/state, but
+    /// **no** backend fields anywhere) and checks the v7 reader restores
+    /// it: the backend selection comes back [`BackendSelect::Fused`] —
+    /// the plain fused-scorer pipeline every v6 writer actually ran — no
+    /// live series carries backend state, and the restored detector
+    /// stream continues bit-identically.
+    #[test]
+    fn v6_snapshots_still_decode() {
+        let t = 12usize;
+        let y: Vec<f64> = (0..8 * t)
+            .map(|i| 1.5 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let score = ScoreConfig {
+            cusum_k: 0.5,
+            cusum_h: 6.0,
+            hold_decay: 0.8,
+            ..ScoreConfig::default()
+        };
+        let mut det = oneshotstl::StdAnomalyDetector::with_score(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+            score,
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..] {
+            det.update_scored(v);
+        }
+        let live_dec = det.decomposer.to_state();
+        let live_scorer = det.scorer().to_state();
+        let mut tracker = forecast::RollingError::new(8);
+        tracker.record(1.5, 1.4);
+        tracker.record(1.6, 1.7);
+        let live_forecast = ForecastSnapshot {
+            options: ForecastOptions { damping: 0.9, ..ForecastOptions::on() },
+            pending: 1.55,
+            has_pending: true,
+            tracker: tracker.to_state(),
+        };
+
+        let config = FleetConfig {
+            score,
+            forecast: ForecastOptions { error_window: 32, ..ForecastOptions::on() },
+            ..FleetConfig::fixed_period(t)
+        };
+        let warm_overrides = AdmitOptions {
+            lambda: Some(2.0),
+            nsigma: Some(4.0),
+            period: Some(t),
+            shift_search: Some(ShiftSearchConfig::top_k(3)),
+            score: Some(score),
+            forecast: Some(ForecastOptions::on()),
+            backend: None, // v6 has no backend override
+        };
+
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(6);
+        w.u8(KIND_FULL);
+        // config, v6 layout: ends after the forecast options (no backend)
+        let c = &config;
+        w.u32(c.shards as u32);
+        w.u32(c.init_cycles as u32);
+        match &c.period {
+            PeriodPolicy::Fixed(p) => {
+                w.u8(0);
+                w.u32(*p as u32);
+            }
+            PeriodPolicy::Detect { .. } => unreachable!("fixture uses a fixed period"),
+        }
+        w.opt_u32(c.max_warmup.map(|v| v as u32));
+        w.f64(c.nsigma);
+        w.opt_u64(c.ttl);
+        w.opt_u64(c.max_clock_step);
+        w.opt_u64(c.queue_capacity.map(|v| v as u64));
+        w.u8(0); // QueuePolicy::Block
+        encode_detector_config(&mut w, &c.detector);
+        encode_score_config(&mut w, &c.score);
+        encode_forecast_options(&mut w, &c.forecast);
+        w.u64(7); // clock
+        w.u64(3); // batches
+        w.u64(0); // totals
+        w.u64(1);
+        w.u64(200);
+        w.u64(2);
+        w.u64(2); // series count
+                  // series 0: warming with v6 overrides (no backend tag)
+        w.string("warm");
+        w.u64(5);
+        w.u8(0);
+        w.vec_f64(&[1.0, 2.0, 3.0]);
+        w.opt_u32(Some(t as u32));
+        w.u64(3);
+        w.opt_f64(warm_overrides.lambda);
+        w.opt_f64(warm_overrides.nsigma);
+        w.opt_u32(warm_overrides.period.map(|v| v as u32));
+        w.u8(1);
+        encode_shift_search(&mut w, warm_overrides.shift_search.as_ref().unwrap());
+        w.u8(1);
+        encode_score_config(&mut w, warm_overrides.score.as_ref().unwrap());
+        w.u8(1);
+        encode_forecast_options(&mut w, warm_overrides.forecast.as_ref().unwrap());
+        // series 1: live with v6 layout (decomposer + scorer + forecast,
+        // no backend presence tag)
+        w.string("live");
+        w.u64(7);
+        w.u8(1);
+        encode_decomposer(&mut w, &live_dec);
+        encode_scorer(&mut w, &live_scorer);
+        w.u8(1);
+        encode_forecast_state(&mut w, &live_forecast);
+
+        let back = decode(&w.buf).expect("v6 must stay readable");
+        assert_eq!(back.config, config, "backend comes back Fused");
+        assert_eq!(back.config.backend, BackendSelect::Fused);
+        match &back.series[0].phase {
+            PhaseSnapshot::Warming { overrides, .. } => {
+                assert_eq!(overrides, &warm_overrides, "v6 overrides decode, backend None");
+            }
+            _ => panic!("series 0 must be warming"),
+        }
+        match &back.series[1].phase {
+            PhaseSnapshot::Live { decomposer, scorer, forecast, backend } => {
+                assert_eq!(decomposer, &live_dec, "decomposer state bit-identical");
+                assert_eq!(scorer, &live_scorer, "scorer state bit-identical");
+                assert_eq!(forecast.as_ref(), Some(&live_forecast), "forecast decodes");
+                assert!(backend.is_none(), "v6 live series carry no backend state");
+            }
+            _ => panic!("series 1 must be live"),
+        }
+        // the restored detector continues bit-identically to the v6
+        // writer's uninterrupted continuation
+        let PhaseSnapshot::Live { decomposer, scorer, .. } = back.series[1].phase.clone()
+        else {
+            unreachable!();
+        };
+        let mut restored = oneshotstl::StdAnomalyDetector::from_parts(
+            oneshotstl::OneShotStl::from_state(decomposer).unwrap(),
+            oneshotstl::ResidualScorer::from_state(scorer),
+        );
+        for i in 0..3 * t {
+            let x = 1.5
+                + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                + if i == t { 4.0 } else { 0.0 };
+            let (pa, va) = det.update_scored(x);
+            let (pb, vb) = restored.update_scored(x);
+            assert_eq!(pa.residual.to_bits(), pb.residual.to_bits());
+            assert_eq!(va.score.to_bits(), vb.score.to_bits());
+            assert_eq!(va.is_anomaly, vb.is_anomaly);
+        }
+        // ...and a v6 image re-encodes as v7 (upgrade-on-rewrite)
+        let re = encode(&back);
+        assert_eq!(re[8], 7, "re-encoded version");
+        assert_eq!(decode(&re).unwrap(), back);
+    }
+
+    /// Live backend state — every variant — round-trips through the v7
+    /// codec bit-identically, and a crafted image smuggling degenerate
+    /// backend state (NaN bsf, non-finite retained values, all-NaN
+    /// ensemble weights) fails to decode with a typed error.
+    #[test]
+    fn backend_state_roundtrips_and_degenerate_state_is_rejected() {
+        use crate::backend::BackendScore;
+        let t = 12usize;
+        let y: Vec<f64> = (0..8 * t)
+            .map(|i| 1.0 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut det = oneshotstl::StdAnomalyDetector::new(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        // run real state into each backend variant
+        let selects = [
+            BackendSelect::Damp(DampOptions { window: 64, subseq: 8 }),
+            BackendSelect::TrendCusum(ScoreConfig::default()),
+            BackendSelect::Ensemble(EnsembleOptions::default()),
+        ];
+        let fused =
+            oneshotstl::ScoreVerdict { score: 0.1, z: 0.1, cusum: 0.0, is_anomaly: false };
+        for select in selects {
+            let mut b = SeriesBackend::build(select, 5.0, t).unwrap();
+            for i in 0..150 {
+                let p = tskit::series::DecompPoint {
+                    trend: 1.0 + 0.01 * i as f64,
+                    seasonal: 0.0,
+                    residual: 0.2 * (i as f64 / 3.0).sin(),
+                };
+                let _: BackendScore = b.observe(&p, &fused);
+            }
+            let mut snap = sample_snapshot();
+            snap.series.push(SeriesSnapshot {
+                key: SeriesKey::new("live"),
+                last_seen: 60,
+                phase: PhaseSnapshot::Live {
+                    decomposer: det.decomposer.to_state(),
+                    scorer: det.scorer().to_state(),
+                    forecast: None,
+                    backend: Some(b.to_snapshot()),
+                },
+            });
+            let back = decode(&encode(&snap)).expect("backend-bearing image decodes");
+            assert_eq!(back, snap, "{select:?} round-trips bit-identically");
+        }
+        // degenerate state must be rejected, never restored
+        let mut b =
+            SeriesBackend::build(BackendSelect::Ensemble(EnsembleOptions::default()), 5.0, t)
+                .unwrap();
+        for i in 0..120 {
+            let p = tskit::series::DecompPoint {
+                trend: 1.0,
+                seasonal: 0.0,
+                residual: 0.2 * (i as f64 / 3.0).sin(),
+            };
+            b.observe(&p, &fused);
+        }
+        let BackendSnapshot::Ensemble { damp, trend, fusion, weights } = b.to_snapshot() else {
+            unreachable!()
+        };
+        let make = |bs: BackendSnapshot| {
+            let mut snap = sample_snapshot();
+            snap.series.push(SeriesSnapshot {
+                key: SeriesKey::new("live"),
+                last_seen: 60,
+                phase: PhaseSnapshot::Live {
+                    decomposer: det.decomposer.to_state(),
+                    scorer: det.scorer().to_state(),
+                    forecast: None,
+                    backend: Some(bs),
+                },
+            });
+            encode(&snap)
+        };
+        let mut bad_damp = damp.clone();
+        bad_damp.damp.bsf = f64::NAN;
+        assert_eq!(
+            decode(&make(BackendSnapshot::Damp(bad_damp))),
+            Err(CodecError::Invalid("backend state")),
+            "NaN bsf"
+        );
+        let mut bad_buf = damp.clone();
+        if let Some(v) = bad_buf.damp.buf.first_mut() {
+            *v = f64::INFINITY;
+        }
+        assert!(decode(&make(BackendSnapshot::Damp(bad_buf))).is_err(), "non-finite value");
+        let mut bad_trend = trend.clone();
+        bad_trend.prev = f64::NAN;
+        assert!(
+            decode(&make(BackendSnapshot::TrendCusum(bad_trend))).is_err(),
+            "NaN trend prev"
+        );
+        let bad_weights = BackendSnapshot::Ensemble {
+            damp: damp.clone(),
+            trend: trend.clone(),
+            fusion,
+            weights: [f64::NAN; 3],
+        };
+        assert!(decode(&make(bad_weights)).is_err(), "NaN ensemble weights");
+        let _ = weights;
     }
 
     /// A crafted v6 image smuggling degenerate forecast state — a NaN
@@ -1484,6 +1974,7 @@ mod tests {
                     decomposer: det.decomposer.to_state(),
                     scorer: det.scorer().to_state(),
                     forecast: Some(fc),
+                    backend: None,
                 },
             });
             encode(&snap)

@@ -1,5 +1,6 @@
 //! Engine configuration, including per-series admission-time overrides.
 
+use crate::backend::BackendSelect;
 use oneshotstl::{OneShotStlConfig, ScoreConfig, ShiftPrune, ShiftSearchConfig};
 
 /// How the seasonal period of an incoming series is determined.
@@ -135,6 +136,10 @@ pub struct AdmitOptions {
     /// Forecasting override: enable/disable or re-tune the forecast head
     /// and error tracker for this series (see [`ForecastOptions`]).
     pub forecast: Option<ForecastOptions>,
+    /// Detection-backend override: run DAMP, the trend-innovation CUSUM,
+    /// or an ensemble instead of (or on top of) the fused residual
+    /// scorer for this series (see [`BackendSelect`]).
+    pub backend: Option<BackendSelect>,
 }
 
 impl AdmitOptions {
@@ -176,6 +181,11 @@ impl AdmitOptions {
         self.forecast.unwrap_or(base.forecast)
     }
 
+    /// The detection backend a series admitted under these options runs.
+    pub fn task_backend(&self, base: &FleetConfig) -> BackendSelect {
+        self.backend.unwrap_or(base.backend)
+    }
+
     /// Validates the overrides (mirrors [`FleetConfig::validate`]).
     pub fn validate(&self) -> Result<(), String> {
         if let Some(t) = self.period {
@@ -201,6 +211,9 @@ impl AdmitOptions {
         }
         if let Some(f) = self.forecast {
             f.validate()?;
+        }
+        if let Some(b) = self.backend {
+            b.validate()?;
         }
         Ok(())
     }
@@ -289,6 +302,11 @@ pub struct FleetConfig {
     /// tracker). Disabled by default; series admitted while enabled carry
     /// forecast state through snapshots and crash recovery.
     pub forecast: ForecastOptions,
+    /// Detection backend for admitted series ([`BackendSelect::Fused`]
+    /// by default — the plain fused-scorer pipeline with no extra
+    /// state). Series admitted under another selection carry their
+    /// backend state through snapshots (codec v7) and crash recovery.
+    pub backend: BackendSelect,
 }
 
 impl Default for FleetConfig {
@@ -306,6 +324,7 @@ impl Default for FleetConfig {
             detector: OneShotStlConfig::default(),
             score: ScoreConfig::default(),
             forecast: ForecastOptions::default(),
+            backend: BackendSelect::default(),
         }
     }
 }
@@ -374,6 +393,7 @@ impl FleetConfig {
         validate_shift_search(&self.detector.shift_search)?;
         self.score.validate()?;
         self.forecast.validate()?;
+        self.backend.validate()?;
         Ok(())
     }
 }
@@ -457,6 +477,35 @@ mod tests {
             assert!(opts.validate().is_err(), "{bad:?} must be rejected");
         }
         let ok = AdmitOptions { forecast: Some(ForecastOptions::on()), ..Default::default() };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_backend_selections_are_rejected() {
+        use crate::backend::{DampOptions, EnsembleOptions};
+        // engine-wide backend config…
+        let mut cfg = FleetConfig {
+            backend: BackendSelect::Damp(DampOptions { window: 8, subseq: 0 }),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.backend = BackendSelect::Ensemble(EnsembleOptions {
+            weights: [0.0; 3],
+            ..Default::default()
+        });
+        assert!(cfg.validate().is_err());
+        cfg.backend = BackendSelect::Ensemble(EnsembleOptions::default());
+        assert_eq!(cfg.validate(), Ok(()));
+        // …and per-series overrides
+        let opts = AdmitOptions {
+            backend: Some(BackendSelect::Damp(DampOptions { window: 16, subseq: 12 })),
+            ..Default::default()
+        };
+        assert!(opts.validate().is_err());
+        let ok = AdmitOptions {
+            backend: Some(BackendSelect::Damp(DampOptions::default())),
+            ..Default::default()
+        };
         assert_eq!(ok.validate(), Ok(()));
     }
 

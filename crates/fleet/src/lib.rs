@@ -38,6 +38,15 @@
 //!   head for one series before it admits ([`AdmitOptions`]); the
 //!   overrides bake into the detector at promotion and survive
 //!   snapshot/restore and crash recovery.
+//! - **Detection backends.** Beyond the default fused scorer, a series
+//!   can run a windowed streaming DAMP discord detector over its
+//!   decomposed residual, a trend-innovation CUSUM over its trend
+//!   component, or an ensemble fusing all three verdicts
+//!   ([`BackendSelect`]; engine-wide via [`FleetConfig::backend`] or per
+//!   series via [`AdmitOptions::backend`]). Backends implement the
+//!   [`DetectorBackend`] trait (streaming, allocation-free observe over
+//!   the decomposed point) and their state snapshots with the series
+//!   (codec v7), restoring bit-identically.
 //! - **Forecasting.** With [`ForecastOptions`] enabled (engine-wide via
 //!   [`FleetConfig::forecast`] or per series), a live series answers
 //!   [`FleetEngine::forecast`] with the paper's §5 damped-trend
@@ -110,6 +119,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod codec;
 pub mod config;
 pub mod engine;
@@ -120,6 +130,10 @@ pub mod shard;
 pub mod types;
 pub mod wal;
 
+pub use backend::{
+    BackendScore, BackendSelect, BackendSnapshot, DampBackend, DampBackendState, DampOptions,
+    DetectorBackend, EnsembleFusion, EnsembleOptions, SeriesBackend,
+};
 pub use config::{AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy, QueuePolicy};
 pub use engine::{CarriedTotals, FleetDelta, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};

@@ -8,6 +8,7 @@
 //! [`PhaseSnapshot`] captures any mid-phase state bit-exactly for the
 //! snapshot path.
 
+use crate::backend::{BackendSnapshot, SeriesBackend};
 use crate::config::{AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy};
 use crate::types::PointOutput;
 use forecast::{RollingError, RollingErrorState};
@@ -62,6 +63,10 @@ pub struct LiveSeries {
     /// admitted with forecasting disabled — the common case, costing
     /// nothing on the scoring path).
     pub forecast: Option<ForecastState>,
+    /// The detection backend running on top of (or instead of) the fused
+    /// scorer's verdict (`None` under [`crate::BackendSelect::Fused`] —
+    /// the common case, costing nothing on the scoring path).
+    pub backend: Option<SeriesBackend>,
 }
 
 /// Per-series forecast state: the §5 damped-trend head's bookkeeping plus
@@ -300,18 +305,22 @@ impl SeriesState {
             SeriesState::Live(live) => {
                 // the detector's own NSigma owns the threshold rule
                 let (point, verdict) = live.detector.update_scored_with(value, scratch);
-                let mut is_anomaly = verdict.is_anomaly;
+                let (mut score, mut is_anomaly) = (verdict.score, verdict.is_anomaly);
+                // backend dispatch: the selected backend's verdict
+                // *replaces* the fused scorer's (an Ensemble backend
+                // folds the fused verdict back in as one of its members)
+                if let Some(b) = &mut live.backend {
+                    let bv = b.observe(&point, &verdict);
+                    score = bv.score;
+                    is_anomaly = bv.is_anomaly;
+                }
                 // forecast head: score the realized value against the
                 // pending one-step forecast, issue the next one, and
                 // (optionally) fuse a model-drift alarm into the verdict
                 if let Some(f) = &mut live.forecast {
                     is_anomaly |= f.observe(value, &live.detector.decomposer);
                 }
-                StepOutcome::Output(PointOutput::Scored {
-                    point,
-                    score: verdict.score,
-                    is_anomaly,
-                })
+                StepOutcome::Output(PointOutput::Scored { point, score, is_anomaly })
             }
             SeriesState::Warming(w) => {
                 // impute non-finite values with the last buffered one (or
@@ -396,7 +405,12 @@ impl SeriesState {
             Ok(()) => {
                 let fopts = w.overrides.task_forecast(config);
                 let forecast = fopts.enabled.then(|| ForecastState::new(fopts));
-                *self = SeriesState::Live(LiveSeries { detector, forecast });
+                let backend = SeriesBackend::build(
+                    w.overrides.task_backend(config),
+                    w.overrides.task_nsigma(config),
+                    period,
+                );
+                *self = SeriesState::Live(LiveSeries { detector, forecast, backend });
                 StepOutcome::Promoted(PointOutput::Warming { buffered, needed: Some(buffered) })
             }
             Err(_) => {
@@ -435,6 +449,9 @@ pub enum PhaseSnapshot {
         /// Forecast head + error tracker state (codec v6; older snapshots
         /// decode with `None` — those writers never forecast).
         forecast: Option<ForecastSnapshot>,
+        /// Detection-backend state (codec v7; older snapshots decode
+        /// with `None` — those writers only ran the fused scorer).
+        backend: Option<BackendSnapshot>,
     },
     /// Tombstone.
     Rejected,
@@ -454,6 +471,7 @@ impl SeriesState {
                 decomposer: live.detector.decomposer.to_state(),
                 scorer: live.detector.scorer().to_state(),
                 forecast: live.forecast.as_ref().map(ForecastState::to_snapshot),
+                backend: live.backend.as_ref().map(SeriesBackend::to_snapshot),
             },
             SeriesState::Rejected => PhaseSnapshot::Rejected,
         }
@@ -474,7 +492,7 @@ impl SeriesState {
                     overrides,
                 ))
             }
-            PhaseSnapshot::Live { decomposer, scorer, forecast } => {
+            PhaseSnapshot::Live { decomposer, scorer, forecast, backend } => {
                 // live implies initialized: an uninitialized decomposer
                 // would panic the shard worker on the first update
                 if !decomposer.initialized {
@@ -489,6 +507,12 @@ impl SeriesState {
                         ResidualScorer::from_state(scorer),
                     ),
                     forecast: forecast.map(ForecastState::from_snapshot).transpose()?,
+                    backend: backend.map(SeriesBackend::from_snapshot).transpose().map_err(
+                        |msg| tskit::error::TsError::InvalidParam {
+                            name: "BackendSnapshot",
+                            msg,
+                        },
+                    )?,
                 })
             }
             PhaseSnapshot::Rejected => SeriesState::Rejected,
@@ -567,7 +591,12 @@ mod tests {
         let cfg = FleetConfig::fixed_period(8);
         let never_inited = OneShotStl::new(cfg.detector.clone()).to_state();
         let scorer = ResidualScorer::new(cfg.nsigma, cfg.score).to_state();
-        let snap = PhaseSnapshot::Live { decomposer: never_inited, scorer, forecast: None };
+        let snap = PhaseSnapshot::Live {
+            decomposer: never_inited,
+            scorer,
+            forecast: None,
+            backend: None,
+        };
         assert!(SeriesState::from_snapshot(snap, &cfg).is_err());
     }
 
@@ -755,12 +784,13 @@ mod tests {
         for &v in &y {
             s.step(v, &cfg, &mut scr);
         }
-        let PhaseSnapshot::Live { decomposer, scorer, forecast } = s.to_snapshot() else {
+        let PhaseSnapshot::Live { decomposer, scorer, forecast, backend } = s.to_snapshot()
+        else {
             panic!("series must be live")
         };
         let mut bad = forecast.expect("forecast state present");
         bad.tracker.sum_abs = f64::NAN;
-        let snap = PhaseSnapshot::Live { decomposer, scorer, forecast: Some(bad) };
+        let snap = PhaseSnapshot::Live { decomposer, scorer, forecast: Some(bad), backend };
         assert!(SeriesState::from_snapshot(snap, &cfg).is_err());
     }
 

@@ -542,6 +542,11 @@ impl ShardState {
                     if let Some(f) = &live.forecast {
                         s.forecast_alarms += f.alarms();
                     }
+                    if let Some(b) = &live.backend {
+                        let (damp, trend) = b.alarm_counts();
+                        s.damp_alarms += damp;
+                        s.trend_alarms += trend;
+                    }
                 }
                 SeriesState::Warming(_) => s.warming += 1,
                 SeriesState::Rejected => s.rejected += 1,

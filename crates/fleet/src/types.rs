@@ -161,6 +161,12 @@ pub struct FleetStats {
     /// Forecast error-fusion (model-drift) alarms across live series
     /// (same caveat; 0 without forecasting).
     pub forecast_alarms: u64,
+    /// DAMP-backend alarms across live series (same caveat; 0 without a
+    /// DAMP or ensemble backend).
+    pub damp_alarms: u64,
+    /// Trend-innovation-CUSUM-backend alarms (z + CUSUM channels) across
+    /// live series (same caveat; 0 without a trend or ensemble backend).
+    pub trend_alarms: u64,
     /// Per-shard breakdown.
     pub shards: Vec<ShardStats>,
 }
@@ -197,6 +203,10 @@ pub struct ShardStats {
     pub cusum_alarms: u64,
     /// Forecast error-fusion alarms across this shard's live series.
     pub forecast_alarms: u64,
+    /// DAMP-backend alarms across this shard's live series.
+    pub damp_alarms: u64,
+    /// Trend-CUSUM-backend alarms across this shard's live series.
+    pub trend_alarms: u64,
 }
 
 #[cfg(test)]

@@ -535,7 +535,9 @@ fn group_commit_fsyncs_once_per_acked_batch() {
 #[test]
 fn admit_options_survive_crash_recovery_bit_identically() {
     use oneshotstl_suite::core::{Fusion, ScoreConfig, ShiftSearchConfig};
-    use oneshotstl_suite::fleet::{AdmitOptions, ForecastOptions};
+    use oneshotstl_suite::fleet::{
+        AdmitOptions, BackendSelect, EnsembleOptions, ForecastOptions,
+    };
 
     let total = 140u64;
     let crash_at = 50u64; // past the overridden series' admission at 36
@@ -566,6 +568,10 @@ fn admit_options_survive_crash_recovery_bit_identically() {
             error_window: 16,
             ..ForecastOptions::on()
         }),
+        // and a detection-backend override (codec v7): the ensemble's
+        // DAMP window, distance normalizer and trend CUSUM must all come
+        // back bit-identically through checkpoint + WAL replay
+        backend: Some(BackendSelect::Ensemble(EnsembleOptions::default())),
     };
 
     // reference: uninterrupted, no durability
@@ -669,4 +675,119 @@ fn forecast_state_survives_crash_recovery_bit_identically() {
         }
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The stats-counter crash-recovery contract, mirroring
+/// `fleet_snapshot::stats_counters_obey_the_snapshot_contract`. Lifetime
+/// counters carry across recovery; the diagnostic counters (shift search,
+/// z/CUSUM, forecast, and the per-backend DAMP/trend alarm counts) are
+/// not serialized — recovery restores the checkpoint (counters reset),
+/// then WAL replay re-runs every batch after it, so the recovered
+/// engine's diagnostics count exactly the alarms fired *since the last
+/// checkpoint*, bit-identical to the reference's increments over the
+/// same span.
+#[test]
+fn stats_counters_obey_the_crash_recovery_contract() {
+    use oneshotstl_suite::fleet::{AdmitOptions, BackendSelect, DampOptions, EnsembleOptions};
+
+    let n_series = 6;
+    let mid = 120u64; // explicit checkpoint: the deterministic replay anchor
+    let crash_at = 150u64;
+    let total = 260u64;
+    let mut streams = build_streams(n_series);
+    // irregular spikes on both sides of the checkpoint (spacing/sign/size
+    // varied so DAMP sees discords, not a repeating motif)
+    for y in streams.iter_mut() {
+        for (at, delta) in
+            [(100usize, 3.5), (135, -4.5), (180, 5.0), (205, -6.0), (230, 4.0), (245, 7.0)]
+        {
+            y[at] += delta;
+        }
+    }
+    // same backend mix as the snapshot-side test: DAMP / ensemble /
+    // trend-CUSUM, with the DAMP z bar under its compressed (~1.2σ max)
+    // discord-distance range so the channel actually fires
+    let opts: [AdmitOptions; 3] = [
+        AdmitOptions {
+            nsigma: Some(0.9),
+            backend: Some(BackendSelect::Damp(DampOptions { window: 128, subseq: 8 })),
+            ..Default::default()
+        },
+        AdmitOptions {
+            nsigma: Some(0.9),
+            backend: Some(BackendSelect::Ensemble(EnsembleOptions {
+                damp: DampOptions { window: 128, subseq: 8 },
+                ..Default::default()
+            })),
+            ..Default::default()
+        },
+        AdmitOptions {
+            backend: Some(BackendSelect::TrendCusum(Default::default())),
+            ..Default::default()
+        },
+    ];
+
+    // uninterrupted reference, counters read at the checkpoint seq
+    let mut reference = FleetEngine::new(config()).unwrap();
+    for (s, o) in opts.iter().enumerate() {
+        reference.set_admit_options(format!("series-{s}"), *o).unwrap();
+    }
+    let mut ref_outputs = Vec::new();
+    let mut ref_mid = None;
+    for t in 0..total {
+        ref_outputs.push(reference.ingest(batch(&streams, t)).unwrap());
+        if t + 1 == mid {
+            ref_mid = Some(reference.stats().unwrap());
+        }
+    }
+    let ref_mid = ref_mid.unwrap();
+    let ref_end = reference.stats().unwrap();
+    assert!(ref_mid.z_alarms > 0, "pre-checkpoint z alarms: {ref_mid:?}");
+    assert!(ref_mid.damp_alarms > 0, "pre-checkpoint DAMP alarms: {ref_mid:?}");
+
+    // durable run: cadence off (snapshot_every huge) so the explicit
+    // checkpoint at `mid` is the only replay anchor; then crash
+    let dir = test_dir("stats-counters");
+    let dcfg = DurabilityConfig { snapshot_every: 1_000_000, ..DurabilityConfig::new(&dir) };
+    let mut durable = DurableFleet::create(config(), dcfg.clone()).unwrap();
+    for (s, o) in opts.iter().enumerate() {
+        durable.set_admit_options(format!("series-{s}"), *o).unwrap();
+    }
+    for t in 0..crash_at {
+        let out = durable.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "pre-crash");
+        if t + 1 == mid {
+            durable.checkpoint().unwrap();
+        }
+    }
+    drop(durable); // crash: no clean shutdown
+
+    // recovery replays the WAL from the checkpoint, re-firing the alarms
+    // between `mid` and the crash point; continue to the end
+    let mut recovered = DurableFleet::open(dcfg).unwrap();
+    let resume = recovered.engine().batches();
+    assert_eq!(resume, crash_at, "synchronous WAL ingest loses no batch");
+    for t in resume..total {
+        let out = recovered.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "post-recovery");
+    }
+    let got = recovered.engine().stats().unwrap();
+
+    // lifetime counters carried across the crash
+    assert_eq!(got.points, ref_end.points);
+    assert_eq!(got.anomalies, ref_end.anomalies);
+    assert_eq!(got.admitted, ref_end.admitted);
+    assert_eq!(got.evicted, ref_end.evicted);
+
+    // diagnostics count from the checkpoint, in lockstep with the
+    // reference's post-checkpoint increments
+    assert_eq!(got.shift_searches, ref_end.shift_searches - ref_mid.shift_searches);
+    assert_eq!(got.shift_trials, ref_end.shift_trials - ref_mid.shift_trials);
+    assert_eq!(got.z_alarms, ref_end.z_alarms - ref_mid.z_alarms);
+    assert_eq!(got.cusum_alarms, ref_end.cusum_alarms - ref_mid.cusum_alarms);
+    assert_eq!(got.forecast_alarms, ref_end.forecast_alarms - ref_mid.forecast_alarms);
+    assert_eq!(got.damp_alarms, ref_end.damp_alarms - ref_mid.damp_alarms);
+    assert_eq!(got.trend_alarms, ref_end.trend_alarms - ref_mid.trend_alarms);
+    assert!(got.damp_alarms > 0, "no post-checkpoint DAMP alarms to track: {got:?}");
+    assert!(got.trend_alarms > 0, "no post-checkpoint trend alarms to track: {got:?}");
 }

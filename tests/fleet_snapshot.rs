@@ -339,7 +339,7 @@ fn detect_admission_and_noise_rejection() {
 #[test]
 fn admit_options_survive_snapshot_and_shape_admission() {
     use oneshotstl_suite::core::{Fusion, ScoreConfig, ShiftSearchConfig};
-    use oneshotstl_suite::fleet::{AdmitOptions, ForecastOptions};
+    use oneshotstl_suite::fleet::{AdmitOptions, BackendSelect, DampOptions, ForecastOptions};
 
     let n_ticks = 160u64;
     // two streams: "std" follows the engine's fixed period 24, "vip" is a
@@ -364,6 +364,8 @@ fn admit_options_survive_snapshot_and_shape_admission() {
         }),
         // a forecast-head override rides the same snapshot path (codec v6)
         forecast: Some(ForecastOptions { error_window: 32, ..ForecastOptions::on() }),
+        // and so does a detection-backend override (codec v7)
+        backend: Some(BackendSelect::Damp(DampOptions { window: 64, subseq: 0 })),
     };
 
     // uninterrupted reference
@@ -525,4 +527,126 @@ fn forecast_state_survives_snapshot_bit_identically() {
     // byte-identical to the uninterrupted engine's (tracker rings, ring
     // cursors, alarm-independent state — everything)
     assert_eq!(full.snapshot_bytes().unwrap(), restored.snapshot_bytes().unwrap());
+}
+
+/// The stats-counter snapshot contract. Lifetime counters (`points`,
+/// `anomalies`, `admitted`, `evicted`) carry across a snapshot/restore;
+/// the diagnostic counters (`shift_searches`, `shift_trials`, `z_alarms`,
+/// `cusum_alarms`, `forecast_alarms`, and the per-backend `damp_alarms` /
+/// `trend_alarms`) are documented as *not serialized* — they reset on
+/// restore and then accumulate in lockstep with the reference: because
+/// the continuation is bit-identical, the restored engine's diagnostic
+/// counts at the end must equal exactly the alarms the reference fired
+/// *after* the snapshot point.
+#[test]
+fn stats_counters_obey_the_snapshot_contract() {
+    use oneshotstl_suite::fleet::{
+        AdmitOptions, BackendSelect, DampOptions, EnsembleOptions, ForecastOptions,
+    };
+
+    let n_series = 6;
+    let mid = 170u64;
+    let total = 340u64;
+    let mut streams = build_streams(n_series);
+    // spikes on both sides of the snapshot so every alarm channel has
+    // counts to lose at restore and counts to re-accumulate afterwards;
+    // irregular spacing/sign/size so DAMP sees genuine discords rather
+    // than a repeating (self-matching) spike motif
+    for y in streams.iter_mut() {
+        for (at, delta) in
+            [(141usize, 3.5), (157, -4.5), (216, 5.0), (233, -6.0), (262, 4.0), (301, 7.0)]
+        {
+            y[at] += delta;
+        }
+    }
+
+    let opts: [AdmitOptions; 4] = [
+        // series-0: DAMP backend (damp_alarms). The z bar sits *below*
+        // DAMP's steady discord-distance range (~0.9-1.2σ here): the
+        // bsf prune caps how far distances stray from their mean, so a
+        // conventional 3σ bar would never trip on this workload — the
+        // test needs alarms on both sides of the snapshot, not a tuned
+        // detector
+        AdmitOptions {
+            nsigma: Some(0.9),
+            backend: Some(BackendSelect::Damp(DampOptions { window: 128, subseq: 8 })),
+            ..Default::default()
+        },
+        // series-1: ensemble — moves damp_alarms *and* trend_alarms
+        AdmitOptions {
+            nsigma: Some(0.9),
+            backend: Some(BackendSelect::Ensemble(EnsembleOptions {
+                damp: DampOptions { window: 128, subseq: 8 },
+                ..Default::default()
+            })),
+            ..Default::default()
+        },
+        // series-2: trend-innovation CUSUM (trend_alarms)
+        AdmitOptions {
+            backend: Some(BackendSelect::TrendCusum(Default::default())),
+            ..Default::default()
+        },
+        // series-3: forecast head (forecast_alarms)
+        AdmitOptions { forecast: Some(ForecastOptions::on()), ..Default::default() },
+    ];
+
+    // uninterrupted reference, with its counters read at the snapshot point
+    let mut reference = FleetEngine::new(config()).unwrap();
+    for (s, o) in opts.iter().enumerate() {
+        reference.set_admit_options(format!("series-{s}"), *o).unwrap();
+    }
+    let mut ref_outputs = Vec::new();
+    let mut ref_mid = None;
+    for t in 0..total {
+        ref_outputs.push(reference.ingest(batch(&streams, t)).unwrap());
+        if t + 1 == mid {
+            ref_mid = Some(reference.stats().unwrap());
+        }
+    }
+    let ref_mid = ref_mid.unwrap();
+    let ref_end = reference.stats().unwrap();
+
+    // the channels under test actually fired on both sides of `mid`
+    assert!(ref_mid.z_alarms > 0, "pre-snapshot z alarms: {ref_mid:?}");
+    assert!(ref_end.damp_alarms > 0, "DAMP backend never alarmed: {ref_end:?}");
+    assert!(ref_end.trend_alarms > 0, "trend backend never alarmed: {ref_end:?}");
+
+    // interrupted run: snapshot at `mid`, restore, continue bit-identically
+    let mut first = FleetEngine::new(config()).unwrap();
+    for (s, o) in opts.iter().enumerate() {
+        first.set_admit_options(format!("series-{s}"), *o).unwrap();
+    }
+    for t in 0..mid {
+        first.ingest(batch(&streams, t)).unwrap();
+    }
+    let bytes = first.snapshot_bytes().unwrap();
+    drop(first);
+    let mut restored = FleetEngine::restore_bytes(&bytes).unwrap();
+    for t in mid..total {
+        let out = restored.ingest(batch(&streams, t)).unwrap();
+        assert_eq!(out, ref_outputs[t as usize], "restored stream diverged at t={t}");
+    }
+    let got = restored.stats().unwrap();
+
+    // lifetime counters carried across the snapshot
+    assert_eq!(got.points, ref_end.points);
+    assert_eq!(got.anomalies, ref_end.anomalies);
+    assert_eq!(got.admitted, ref_end.admitted);
+    assert_eq!(got.evicted, ref_end.evicted);
+
+    // diagnostic counters reset at restore, then tracked the reference's
+    // post-snapshot increments exactly
+    assert_eq!(got.shift_searches, ref_end.shift_searches - ref_mid.shift_searches);
+    assert_eq!(got.shift_trials, ref_end.shift_trials - ref_mid.shift_trials);
+    assert_eq!(got.z_alarms, ref_end.z_alarms - ref_mid.z_alarms);
+    assert_eq!(got.cusum_alarms, ref_end.cusum_alarms - ref_mid.cusum_alarms);
+    assert_eq!(got.forecast_alarms, ref_end.forecast_alarms - ref_mid.forecast_alarms);
+    assert_eq!(got.damp_alarms, ref_end.damp_alarms - ref_mid.damp_alarms);
+    assert_eq!(got.trend_alarms, ref_end.trend_alarms - ref_mid.trend_alarms);
+    assert!(got.damp_alarms > 0, "no post-snapshot DAMP alarms to track: {got:?}");
+    assert!(got.trend_alarms > 0, "no post-snapshot trend alarms to track: {got:?}");
+
+    // and the backend-bearing fleet's later snapshot is byte-identical to
+    // the uninterrupted engine's — counters aside, no state was dropped
+    assert_eq!(reference.snapshot_bytes().unwrap(), restored.snapshot_bytes().unwrap());
 }
