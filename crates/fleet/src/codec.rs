@@ -47,6 +47,12 @@
 //! [`BackendSelect::Fused`] — the plain fused-scorer pipeline every
 //! pre-v7 writer ran — and their live series carry no backend state, so a
 //! restored stream continues bit-identically.
+//!
+//! v8 adds the robustness layer: three health counters in
+//! [`CarriedTotals`] (WAL re-arm attempts, shard restarts, un-durable
+//! batches) and the `Quarantined` series phase (cause + dropped count).
+//! v3–v7 images still decode: their counters start at 0 and no pre-v8
+//! writer ever quarantined a series.
 
 use crate::backend::{
     BackendSelect, BackendSnapshot, DampBackendState, DampOptions, EnsembleFusion,
@@ -55,7 +61,7 @@ use crate::backend::{
 use crate::config::{AdmitOptions, ForecastOptions, QueuePolicy};
 use crate::engine::{CarriedTotals, FleetDelta, FleetSnapshot};
 use crate::error::CodecError;
-use crate::series::{ForecastSnapshot, PhaseSnapshot};
+use crate::series::{ForecastSnapshot, PhaseSnapshot, QuarantineCause};
 use crate::shard::SeriesSnapshot;
 use crate::types::SeriesKey;
 use crate::{FleetConfig, PeriodPolicy};
@@ -80,7 +86,10 @@ const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v7: FleetConfig gained the detection-backend selection; AdmitOptions
 //     gained an optional backend override; live series gained an optional
 //     backend state (streaming DAMP + normalizer, trend CUSUM, ensemble)
-const VERSION: u16 = 7;
+// v8: CarriedTotals gained the health counters (wal_retries,
+//     shard_restarts, undurable_batches); series gained the Quarantined
+//     phase (tag 3: cause + dropped count)
+const VERSION: u16 = 8;
 /// Oldest version this build still decodes.
 const MIN_VERSION: u16 = 3;
 const KIND_FULL: u8 = 0;
@@ -149,7 +158,7 @@ pub fn decode(bytes: &[u8]) -> Result<FleetSnapshot, CodecError> {
     let config = decode_config(&mut r, v)?;
     let clock = r.u64()?;
     let batches = r.u64()?;
-    let totals = decode_totals(&mut r)?;
+    let totals = decode_totals(&mut r, v)?;
     let n = r.u64()? as usize;
     let mut series = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -169,7 +178,7 @@ pub fn decode_delta(bytes: &[u8]) -> Result<FleetDelta, CodecError> {
     let prev_batches = r.u64()?;
     let clock = r.u64()?;
     let batches = r.u64()?;
-    let totals = decode_totals(&mut r)?;
+    let totals = decode_totals(&mut r, v)?;
     let n = r.u64()? as usize;
     let mut series = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -191,14 +200,21 @@ fn encode_totals(w: &mut Writer, t: &CarriedTotals) {
     w.u64(t.admitted);
     w.u64(t.points);
     w.u64(t.anomalies);
+    w.u64(t.wal_retries);
+    w.u64(t.shard_restarts);
+    w.u64(t.undurable_batches);
 }
 
-fn decode_totals(r: &mut Reader<'_>) -> Result<CarriedTotals, CodecError> {
+fn decode_totals(r: &mut Reader<'_>, version: u16) -> Result<CarriedTotals, CodecError> {
     Ok(CarriedTotals {
         evicted: r.u64()?,
         admitted: r.u64()?,
         points: r.u64()?,
         anomalies: r.u64()?,
+        // pre-v8 writers had no health counters: they start at 0
+        wal_retries: if version >= 8 { r.u64()? } else { 0 },
+        shard_restarts: if version >= 8 { r.u64()? } else { 0 },
+        undurable_batches: if version >= 8 { r.u64()? } else { 0 },
     })
 }
 
@@ -751,6 +767,14 @@ fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
             }
         }
         PhaseSnapshot::Rejected => w.u8(2),
+        PhaseSnapshot::Quarantined { cause, dropped } => {
+            w.u8(3);
+            w.u8(match cause {
+                QuarantineCause::NonFinite => 0,
+                QuarantineCause::Panic => 1,
+            });
+            w.u64(*dropped);
+        }
     }
 }
 
@@ -795,6 +819,15 @@ fn decode_series(r: &mut Reader<'_>, version: u16) -> Result<SeriesSnapshot, Cod
             },
         },
         2 => PhaseSnapshot::Rejected,
+        // no pre-v8 writer quarantined, so the tag is invalid there
+        3 if version >= 8 => PhaseSnapshot::Quarantined {
+            cause: match r.u8()? {
+                0 => QuarantineCause::NonFinite,
+                1 => QuarantineCause::Panic,
+                _ => return Err(CodecError::Invalid("quarantine cause")),
+            },
+            dropped: r.u64()?,
+        },
         _ => return Err(CodecError::Invalid("series phase tag")),
     };
     Ok(SeriesSnapshot { key, last_seen, phase })
@@ -1126,7 +1159,15 @@ mod tests {
             },
             clock: 99,
             batches: 7,
-            totals: CarriedTotals { evicted: 1, admitted: 2, points: 300, anomalies: 4 },
+            totals: CarriedTotals {
+                evicted: 1,
+                admitted: 2,
+                points: 300,
+                anomalies: 4,
+                wal_retries: 6,
+                shard_restarts: 1,
+                undurable_batches: 2,
+            },
             series: vec![
                 SeriesSnapshot {
                     key: SeriesKey::new("warm"),
@@ -1193,7 +1234,13 @@ mod tests {
             prev_batches: base.batches,
             clock: 120,
             batches: 9,
-            totals: CarriedTotals { evicted: 2, admitted: 3, points: 400, anomalies: 5 },
+            totals: CarriedTotals {
+                evicted: 2,
+                admitted: 3,
+                points: 400,
+                anomalies: 5,
+                ..CarriedTotals::default()
+            },
             series: vec![added.clone(), updated.clone()],
             tombstones: vec![SeriesKey::new("dead")],
         };
@@ -1400,7 +1447,7 @@ mod tests {
         assert_eq!(back.batches, snap.batches);
         // ...and a v3 image re-encodes as v7 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 7, "re-encoded version");
+        assert_eq!(re[8], 8, "re-encoded version");
         decode(&re).expect("upgraded image decodes");
     }
 
@@ -1542,7 +1589,7 @@ mod tests {
         }
         // ...and a v4 image re-encodes as v7 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 7, "re-encoded version");
+        assert_eq!(re[8], 8, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
     }
 
@@ -1677,7 +1724,7 @@ mod tests {
         }
         // ...and a v5 image re-encodes as v7 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 7, "re-encoded version");
+        assert_eq!(re[8], 8, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
     }
 
@@ -1832,7 +1879,92 @@ mod tests {
         }
         // ...and a v6 image re-encodes as v7 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 7, "re-encoded version");
+        assert_eq!(re[8], 8, "re-encoded version");
+        assert_eq!(decode(&re).unwrap(), back);
+    }
+
+    /// A v8 reader must keep decoding hand-encoded v7 images: the health
+    /// counters come back zero (no pre-v8 writer tracked them), the
+    /// `Quarantined` phase tag is rejected as invalid in a v7 image (no
+    /// pre-v8 writer emitted it), and re-encoding upgrades to v8.
+    #[test]
+    fn v7_snapshots_still_decode() {
+        let t = 12usize;
+        let config = FleetConfig {
+            backend: BackendSelect::Damp(DampOptions { window: 64, subseq: 8 }),
+            ..FleetConfig::fixed_period(t)
+        };
+        let warm_overrides = AdmitOptions {
+            backend: Some(BackendSelect::TrendCusum(ScoreConfig::default())),
+            ..AdmitOptions::default()
+        };
+
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(7);
+        w.u8(KIND_FULL);
+        encode_config(&mut w, &config); // v7 config layout == v8 (backend incl.)
+        w.u64(7); // clock
+        w.u64(3); // batches
+        w.u64(0); // totals, v7 layout: four counters, no health counters
+        w.u64(1);
+        w.u64(200);
+        w.u64(2);
+        w.u64(1); // series count
+        w.string("warm");
+        w.u64(5);
+        w.u8(0);
+        w.vec_f64(&[1.0, 2.0, 3.0]);
+        w.opt_u32(Some(t as u32));
+        w.u64(3);
+        encode_admit_options(&mut w, &warm_overrides); // v7 overrides incl. backend
+
+        let back = decode(&w.buf).expect("v7 must stay readable");
+        assert_eq!(back.config, config, "v7 config decodes with its backend");
+        assert_eq!(
+            back.totals,
+            CarriedTotals {
+                evicted: 0,
+                admitted: 1,
+                points: 200,
+                anomalies: 2,
+                ..Default::default()
+            },
+            "pre-v8 health counters start at 0"
+        );
+        match &back.series[0].phase {
+            PhaseSnapshot::Warming { overrides, .. } => {
+                assert_eq!(overrides, &warm_overrides, "v7 backend override decodes");
+            }
+            _ => panic!("series 0 must be warming"),
+        }
+
+        // a v7 image smuggling the v8-only Quarantined tag is rejected
+        let mut bad = Writer::default();
+        bad.bytes(MAGIC);
+        bad.u16(7);
+        bad.u8(KIND_FULL);
+        encode_config(&mut bad, &config);
+        bad.u64(7);
+        bad.u64(3);
+        bad.u64(0);
+        bad.u64(1);
+        bad.u64(200);
+        bad.u64(2);
+        bad.u64(1);
+        bad.string("q");
+        bad.u64(5);
+        bad.u8(3); // Quarantined phase tag: v8-only
+        bad.u8(0);
+        bad.u64(4);
+        assert!(
+            matches!(decode(&bad.buf), Err(CodecError::Invalid("series phase tag"))),
+            "quarantine tag must not decode from a pre-v8 image"
+        );
+
+        // ...and a v7 image re-encodes as v8 (upgrade-on-rewrite)
+        let re = encode(&back);
+        assert_eq!(re[8], 8, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
     }
 

@@ -15,11 +15,11 @@ use crate::config::{AdmitOptions, FleetConfig, QueuePolicy};
 use crate::error::FleetError;
 use crate::series::SeriesState;
 use crate::shard::{
-    run_worker, SeriesEntry, SeriesSnapshot, ShardMsg, ShardState, WalMeta, WalOp,
+    run_worker, BatchReply, SeriesEntry, SeriesSnapshot, ShardMsg, ShardState, WalMeta, WalOp,
 };
 use crate::types::{FleetStats, Record, ScoredPoint, SeriesKey, ShardStats};
 use crate::wal::GroupWal;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -41,6 +41,13 @@ pub struct CarriedTotals {
     pub points: u64,
     /// Anomalies flagged before the snapshot.
     pub anomalies: u64,
+    /// WAL re-arm attempts before the snapshot (codec v8; decoded as 0
+    /// from older snapshots).
+    pub wal_retries: u64,
+    /// Shard workers respawned before the snapshot (codec v8).
+    pub shard_restarts: u64,
+    /// Batches accepted un-durably before the snapshot (codec v8).
+    pub undurable_batches: u64,
 }
 
 /// A complete, self-contained image of an engine: configuration, clocks,
@@ -124,11 +131,14 @@ enum ShardSender {
 
 impl ShardSender {
     /// Sends, blocking on a full bounded queue. Errors only when the
-    /// worker is gone.
-    fn send(&self, msg: ShardMsg) -> Result<(), ()> {
+    /// worker is gone — the message is handed back (by value, hence the
+    /// large `Err`) so a supervisor can retry it against a respawned
+    /// worker without re-building the sub-batch.
+    #[allow(clippy::result_large_err)]
+    fn send(&self, msg: ShardMsg) -> Result<(), ShardMsg> {
         match self {
-            ShardSender::Unbounded(tx) => tx.send(msg).map_err(|_| ()),
-            ShardSender::Bounded(tx) => tx.send(msg).map_err(|_| ()),
+            ShardSender::Unbounded(tx) => tx.send(msg).map_err(|e| e.0),
+            ShardSender::Bounded(tx) => tx.send(msg).map_err(|e| e.0),
         }
     }
 }
@@ -137,10 +147,11 @@ impl ShardSender {
 struct PendingBatch {
     /// Records in the batch (output slots to fill).
     n: usize,
-    /// Shard replies outstanding.
-    in_flight: usize,
+    /// Shards this batch was sent to; replies are matched off this list
+    /// so a worker that died mid-batch can be identified and respawned.
+    targets: Vec<usize>,
     /// Where those replies arrive.
-    reply_rx: Receiver<Result<Vec<(usize, ScoredPoint)>, String>>,
+    reply_rx: Receiver<BatchReply>,
 }
 
 /// Keeps a stalled shard worker parked until dropped. Test support — see
@@ -176,8 +187,27 @@ pub struct FleetEngine {
     spare_bufs: Vec<Vec<(usize, Record, u64)>>,
     /// Workers hand their drained routing buffers back through this.
     buf_rx: Receiver<Vec<(usize, Record, u64)>>,
+    /// The sending half handed to each worker (kept so a respawned worker
+    /// can return buffers too).
+    buf_tx: Sender<Vec<(usize, Record, u64)>>,
     /// Reassembly buffer reused across [`FleetEngine::next_batch`] calls.
     assembly: Vec<Option<ScoredPoint>>,
+    /// Shard supervision: respawn a dead worker and rehydrate it from the
+    /// shadow image instead of returning [`FleetError::ShardDown`]
+    /// forever. On by default; turned off when a WAL attaches under
+    /// [`crate::DurabilityPolicy::CrashStop`], whose contract is that a
+    /// durability failure poisons the engine.
+    supervise: bool,
+    /// Degrade-mode durability flag, forwarded to respawned workers.
+    degrade: bool,
+    /// The supervision rehydration source: every series' state as of the
+    /// last snapshot collection (full or delta), keyed. Refreshed during
+    /// [`FleetEngine::collect`] while supervision is on; empty until a
+    /// first collection (or restore), so a never-snapshotted engine
+    /// respawns workers with an empty registry and series re-warm on next
+    /// contact. The memory cost is one plain-data copy of the fleet —
+    /// the price of being able to rebuild a shard without disk.
+    shadow: BTreeMap<SeriesKey, SeriesSnapshot>,
 }
 
 impl FleetEngine {
@@ -211,24 +241,29 @@ impl FleetEngine {
         let config = Arc::new(snapshot.config);
         let mut states: Vec<ShardState> =
             (0..shards).map(|i| ShardState::new(i, Arc::clone(&config))).collect();
+        let mut shadow = BTreeMap::new();
         for s in snapshot.series {
             let shard = s.key.shard_of(shards);
-            let state = SeriesState::from_snapshot(s.phase, &config)?;
+            let state = SeriesState::from_snapshot(s.phase.clone(), &config)?;
             // series arrive sorted by key, so each shard's arena is
             // admitted — and its buffers allocated — in key order
             states[shard].registry.insert(SeriesEntry {
-                key: s.key,
+                key: s.key.clone(),
                 state,
                 last_seen: s.last_seen,
                 dirty_seq: 0,
             });
+            shadow.insert(s.key.clone(), s);
         }
         for state in &mut states {
             // the restored image is the dirty baseline: the first delta
             // after a restore covers exactly what changed since it
             state.set_snapshot_baseline(snapshot.batches);
         }
-        Ok(Self::spawn(config, states, snapshot.clock, snapshot.batches, snapshot.totals))
+        let mut engine =
+            Self::spawn(config, states, snapshot.clock, snapshot.batches, snapshot.totals);
+        engine.shadow = shadow;
+        Ok(engine)
     }
 
     fn spawn(
@@ -243,16 +278,7 @@ impl FleetEngine {
         let mut handles = Vec::with_capacity(states.len());
         let (buf_tx, buf_rx) = channel::<Vec<(usize, Record, u64)>>();
         for state in states {
-            let (sender, rx) = match config.queue_capacity {
-                None => {
-                    let (tx, rx) = channel::<ShardMsg>();
-                    (ShardSender::Unbounded(tx), rx)
-                }
-                Some(cap) => {
-                    let (tx, rx) = sync_channel::<ShardMsg>(cap);
-                    (ShardSender::Bounded(tx), rx)
-                }
-            };
+            let (sender, rx) = Self::shard_channel(&config);
             let depth = Arc::new(AtomicUsize::new(0));
             let worker_depth = Arc::clone(&depth);
             let worker_buf_tx = buf_tx.clone();
@@ -279,7 +305,25 @@ impl FleetEngine {
             wal_unsynced: 0,
             spare_bufs: Vec::new(),
             buf_rx,
+            buf_tx,
             assembly: Vec::new(),
+            supervise: true,
+            degrade: false,
+            shadow: BTreeMap::new(),
+        }
+    }
+
+    /// Builds one shard request channel of the configured flavor.
+    fn shard_channel(config: &FleetConfig) -> (ShardSender, Receiver<ShardMsg>) {
+        match config.queue_capacity {
+            None => {
+                let (tx, rx) = channel::<ShardMsg>();
+                (ShardSender::Unbounded(tx), rx)
+            }
+            Some(cap) => {
+                let (tx, rx) = sync_channel::<ShardMsg>(cap);
+                (ShardSender::Bounded(tx), rx)
+            }
         }
     }
 
@@ -314,6 +358,83 @@ impl FleetEngine {
     fn send(&self, shard: usize, msg: ShardMsg) -> Result<(), FleetError> {
         self.depths[shard].fetch_add(1, Ordering::Relaxed);
         self.senders[shard].send(msg).map_err(|_| FleetError::ShardDown)
+    }
+
+    /// [`FleetEngine::send`] with supervision: a dead worker is respawned
+    /// (rehydrated from the shadow image) and the message retried once.
+    /// `&self` paths ([`FleetEngine::stats`], [`FleetEngine::forecast`])
+    /// still return [`FleetError::ShardDown`] until the next `&mut` call
+    /// heals the shard.
+    fn send_or_respawn(&mut self, shard: usize, msg: ShardMsg) -> Result<(), FleetError> {
+        self.depths[shard].fetch_add(1, Ordering::Relaxed);
+        let msg = match self.senders[shard].send(msg) {
+            Ok(()) => return Ok(()),
+            Err(msg) => msg,
+        };
+        if !self.supervise {
+            return Err(FleetError::ShardDown);
+        }
+        self.respawn_shard(shard)?;
+        self.depths[shard].fetch_add(1, Ordering::Relaxed);
+        self.senders[shard].send(msg).map_err(|_| FleetError::ShardDown)
+    }
+
+    /// Replaces a dead shard worker: joins the old thread, spawns a fresh
+    /// one, and rehydrates its slice of the fleet from the shadow image
+    /// (the state as of the last snapshot collection — anything the dead
+    /// worker ingested after that is lost in memory; on a
+    /// [`crate::DurableFleet`] it is still in the WAL and survives a
+    /// process-level recovery).
+    fn respawn_shard(&mut self, shard: usize) -> Result<(), FleetError> {
+        let shards = self.shard_count();
+        let mut state = ShardState::new(shard, Arc::clone(&self.config));
+        for snap in self.shadow.values() {
+            if snap.key.shard_of(shards) != shard {
+                continue;
+            }
+            // a snapshot entry that fails validation is dropped (its
+            // series re-warms on next contact) — one bad series must not
+            // block the shard's resurrection
+            let Ok(s) = SeriesState::from_snapshot(snap.phase.clone(), &self.config) else {
+                continue;
+            };
+            state.registry.insert(SeriesEntry {
+                key: snap.key.clone(),
+                state: s,
+                last_seen: snap.last_seen,
+                dirty_seq: 0,
+            });
+        }
+        // the rehydrated registry equals the last collected image, so the
+        // next delta collection owes nothing for these entries
+        state.set_snapshot_baseline(self.last_collect);
+        state.wal = self.wal.as_ref().map(|(w, _)| Arc::clone(w));
+        state.degrade = self.degrade;
+        let (sender, rx) = Self::shard_channel(&self.config);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let worker_depth = Arc::clone(&depth);
+        let worker_buf_tx = self.buf_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("fleet-shard-{shard}"))
+            .spawn(move || run_worker(state, rx, worker_depth, worker_buf_tx))
+            .map_err(|_| FleetError::Internal("spawning a shard worker thread"))?;
+        // replace the sender before joining: if the old worker is somehow
+        // still alive (a spurious respawn), dropping its sender lets it
+        // drain and exit instead of deadlocking the join
+        self.senders[shard] = sender;
+        self.depths[shard] = depth;
+        let old = std::mem::replace(&mut self.handles[shard], handle);
+        let _ = old.join();
+        self.carried.shard_restarts += 1;
+        Ok(())
+    }
+
+    /// Test support: makes shard `shard`'s worker panic on its next
+    /// dequeue — the deterministic "worker died" injection the
+    /// supervision tests use.
+    #[doc(hidden)]
+    pub fn crash_shard(&mut self, shard: usize) -> Result<(), FleetError> {
+        self.send(shard, ShardMsg::Crash)
     }
 
     /// Hands out a routing buffer, reusing one a worker returned if any
@@ -401,21 +522,21 @@ impl FleetEngine {
             WalMeta { seq, batch_n: n as u32, fanout: fanout as u32, sync }
         });
         let (reply_tx, reply_rx) = channel();
-        let mut in_flight = 0usize;
+        let mut targets = Vec::new();
         for (shard, items) in routed.into_iter().enumerate() {
             if !is_target(shard, &items) {
                 self.spare_bufs.push(items); // stays empty, reuse next batch
                 continue;
             }
-            self.send(
+            self.send_or_respawn(
                 shard,
                 ShardMsg::Ingest { items, seq, wal: wal_meta, reply: reply_tx.clone() },
             )?;
-            in_flight += 1;
+            targets.push(shard);
         }
         self.clock = clock;
         self.batches = seq;
-        self.pending.push_back(PendingBatch { n, in_flight, reply_rx });
+        self.pending.push_back(PendingBatch { n, targets, reply_rx });
         if self.config.ttl.is_some() && self.batches.is_multiple_of(TTL_SWEEP_EVERY) {
             self.evict_idle(self.clock)?;
         }
@@ -433,28 +554,47 @@ impl FleetEngine {
         // leave stale entries behind; the clear handles that too)
         self.assembly.clear();
         self.assembly.resize_with(p.n, || None);
+        let mut waiting = p.targets;
         let mut failed = None;
-        for _ in 0..p.in_flight {
+        while !waiting.is_empty() {
             match p.reply_rx.recv() {
-                Err(_) => return Err(FleetError::ShardDown),
+                // every sender gone with replies still owed: the shards
+                // left in `waiting` died mid-batch
+                Err(_) => break,
                 // a WAL failure on one shard: drain the rest, then report
-                Ok(Err(msg)) => failed = Some(FleetError::Io(msg)),
-                Ok(Ok(part)) => {
+                Ok((shard, Err(msg))) => {
+                    waiting.retain(|&s| s != shard);
+                    failed = Some(FleetError::Io(msg));
+                }
+                Ok((shard, Ok(part))) => {
+                    waiting.retain(|&s| s != shard);
                     for (idx, sp) in part {
                         self.assembly[idx] = Some(sp);
                     }
                 }
             }
         }
+        if !waiting.is_empty() {
+            // this batch's outputs are gone with the dead worker(s); heal
+            // the engine for the batches that follow, but report honestly
+            if self.supervise {
+                for shard in waiting {
+                    self.respawn_shard(shard)?;
+                }
+            }
+            return Err(FleetError::ShardDown);
+        }
         if let Some(e) = failed {
             return Err(e);
         }
-        Ok(Some(
-            self.assembly
-                .drain(..)
-                .map(|o| o.expect("every batch index answered by exactly one shard"))
-                .collect(),
-        ))
+        let mut out = Vec::with_capacity(p.n);
+        for slot in self.assembly.drain(..) {
+            // a hole here means a shard answered with the wrong index set
+            out.push(slot.ok_or(FleetError::Internal(
+                "every batch index answered by exactly one shard",
+            ))?);
+        }
+        Ok(Some(out))
     }
 
     /// Ingests a batch of records and returns one [`ScoredPoint`] per
@@ -469,7 +609,7 @@ impl FleetEngine {
             return Err(FleetError::InFlight);
         }
         self.submit(batch)?;
-        Ok(self.next_batch()?.expect("the batch just submitted is in flight"))
+        self.next_batch()?.ok_or(FleetError::Internal("the batch just submitted is in flight"))
     }
 
     /// Convenience single-record ingest.
@@ -480,7 +620,7 @@ impl FleetEngine {
         value: f64,
     ) -> Result<ScoredPoint, FleetError> {
         let mut out = self.ingest(vec![Record::new(key, t, value)])?;
-        Ok(out.pop().expect("one record in, one point out"))
+        out.pop().ok_or(FleetError::Internal("one record in, one point out"))
     }
 
     /// Registers (or replaces) per-series admission overrides for `key`:
@@ -510,7 +650,7 @@ impl FleetEngine {
         let (tx, rx) = channel();
         // `batches + 1` marks the entry dirty for the *next* delta even if
         // a snapshot collection already ran at the current seq
-        self.send(
+        self.send_or_respawn(
             shard,
             ShardMsg::Admit { key, opts, now: self.clock, seq: self.batches + 1, reply: tx },
         )?;
@@ -533,7 +673,7 @@ impl FleetEngine {
         };
         let (tx, rx) = channel();
         for shard in 0..self.shard_count() {
-            self.send(shard, ShardMsg::EvictIdle { now, ttl, reply: tx.clone() })?;
+            self.send_or_respawn(shard, ShardMsg::EvictIdle { now, ttl, reply: tx.clone() })?;
         }
         drop(tx);
         let mut total = 0;
@@ -589,7 +729,7 @@ impl FleetEngine {
         horizon: usize,
     ) -> Result<Option<Vec<f64>>, FleetError> {
         let mut out = self.forecast(std::slice::from_ref(key), horizon)?;
-        Ok(out.pop().expect("one key in, one slot out"))
+        out.pop().ok_or(FleetError::Internal("one key in, one slot out"))
     }
 
     /// Aggregate + per-shard statistics.
@@ -609,12 +749,16 @@ impl FleetEngine {
             admitted: self.carried.admitted,
             points: self.carried.points,
             anomalies: self.carried.anomalies,
+            wal_retries: self.carried.wal_retries,
+            shard_restarts: self.carried.shard_restarts,
+            undurable_batches: self.carried.undurable_batches,
             ..Default::default()
         };
         for s in &per_shard {
             stats.live += s.live;
             stats.warming += s.warming;
             stats.rejected += s.rejected;
+            stats.quarantined += s.quarantined;
             stats.evicted += s.evicted;
             stats.admitted += s.admitted;
             stats.points += s.points;
@@ -640,7 +784,7 @@ impl FleetEngine {
     ) -> Result<(Vec<SeriesSnapshot>, Vec<SeriesKey>, CarriedTotals), FleetError> {
         let (tx, rx) = channel();
         for shard in 0..self.shard_count() {
-            self.send(
+            self.send_or_respawn(
                 shard,
                 ShardMsg::Snapshot { delta, upto: self.batches, reply: tx.clone() },
             )?;
@@ -660,6 +804,20 @@ impl FleetEngine {
         }
         series.sort_by(|a, b| a.key.cmp(&b.key));
         tombstones.sort();
+        // refresh the supervision shadow: a full collection replaces the
+        // image, a delta folds into it (the same rule FleetDelta::fold_into
+        // applies to persisted images)
+        if self.supervise {
+            if !delta {
+                self.shadow.clear();
+            }
+            for key in &tombstones {
+                self.shadow.remove(key);
+            }
+            for s in &series {
+                self.shadow.insert(s.key.clone(), s.clone());
+            }
+        }
         Ok((series, tombstones, totals))
     }
 
@@ -719,12 +877,16 @@ impl FleetEngine {
         &mut self,
         wal: Arc<GroupWal>,
         fsync_every: u64,
+        degrade: bool,
     ) -> Result<(), FleetError> {
         let (tx, rx) = channel();
         for shard in 0..self.shard_count() {
-            self.send(
+            self.send_or_respawn(
                 shard,
-                ShardMsg::WalCtl { op: WalOp::Attach(Arc::clone(&wal)), reply: tx.clone() },
+                ShardMsg::WalCtl {
+                    op: WalOp::Attach { wal: Arc::clone(&wal), degrade },
+                    reply: tx.clone(),
+                },
             )?;
         }
         drop(tx);
@@ -733,7 +895,28 @@ impl FleetEngine {
         }
         self.wal = Some((wal, fsync_every.max(1)));
         self.wal_unsynced = 0;
+        self.degrade = degrade;
+        // crash-stop's contract is that a durability failure poisons the
+        // engine — supervision must not resurrect what that policy killed
+        self.supervise = degrade;
         Ok(())
+    }
+
+    /// Why the shared WAL is poisoned, if it is (`None` without a WAL or
+    /// while it is healthy). Degrade-mode bookkeeping for
+    /// [`crate::DurableFleet`].
+    pub(crate) fn wal_poisoned(&self) -> Option<String> {
+        self.wal.as_ref().and_then(|(w, _)| w.poison_reason())
+    }
+
+    /// Bumps the lifetime WAL re-arm-attempt counter.
+    pub(crate) fn note_wal_retry(&mut self) {
+        self.carried.wal_retries += 1;
+    }
+
+    /// Bumps the lifetime un-durable-batch counter.
+    pub(crate) fn note_undurable_batch(&mut self) {
+        self.carried.undurable_batches += 1;
     }
 
     /// Rotates the shared WAL to a fresh segment starting after batch

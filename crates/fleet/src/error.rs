@@ -36,15 +36,24 @@ pub enum FleetError {
         key: crate::types::SeriesKey,
     },
     /// A durability I/O operation (WAL append/fsync, snapshot write)
-    /// failed. Durable state on disk is still a consistent prefix. A
-    /// failed WAL append additionally crash-stops that shard's worker
-    /// (nothing past the failure is applied, and subsequent calls return
+    /// failed. Durable state on disk is still a consistent prefix. Under
+    /// [`crate::DurabilityPolicy::CrashStop`] (the default) a failed WAL
+    /// append additionally crash-stops that shard's worker (nothing past
+    /// the failure is applied, and subsequent calls return
     /// [`FleetError::ShardDown`]) — treat the engine as poisoned and
-    /// recover from disk.
+    /// recover from disk. Under [`crate::DurabilityPolicy::Degrade`] the
+    /// engine keeps serving instead: batches are applied un-durably, the
+    /// WAL is retried with capped backoff, and
+    /// [`crate::FleetStats::undurable_batches`] surfaces the window.
     Io(String),
     /// Crash recovery could not produce an engine (no valid snapshot, or
     /// an unreadable durability directory).
     Recovery(String),
+    /// An internal invariant was violated (a registry slot vanished, a
+    /// shard returned the wrong number of outputs). The engine state
+    /// should be treated as suspect: snapshot what can be snapshotted and
+    /// recover from disk.
+    Internal(&'static str),
 }
 
 impl fmt::Display for FleetError {
@@ -69,6 +78,9 @@ impl fmt::Display for FleetError {
             }
             FleetError::Io(msg) => write!(f, "durability i/o: {msg}"),
             FleetError::Recovery(msg) => write!(f, "crash recovery: {msg}"),
+            FleetError::Internal(what) => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }

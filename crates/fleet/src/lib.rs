@@ -124,6 +124,7 @@ pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod persist;
 pub mod series;
 pub mod shard;
@@ -137,7 +138,7 @@ pub use backend::{
 pub use config::{AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy, QueuePolicy};
 pub use engine::{CarriedTotals, FleetDelta, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};
-pub use persist::{DurabilityConfig, DurableFleet};
-pub use series::ForecastSnapshot;
+pub use persist::{DurabilityConfig, DurabilityPolicy, DurableFleet};
+pub use series::{ForecastSnapshot, QuarantineCause};
 pub use shard::SeriesSnapshot;
 pub use types::{FleetStats, PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};

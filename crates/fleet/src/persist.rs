@@ -61,6 +61,22 @@
 //!   after evicting, or rely on the TTL sweep, which replay reproduces
 //!   deterministically.
 //!
+//! ## Degraded mode
+//!
+//! Under the default [`DurabilityPolicy::CrashStop`], the first WAL or
+//! snapshot I/O error poisons the fleet: the failing call returns
+//! [`FleetError::Io`] and the contract is "recover from disk". Under
+//! [`DurabilityPolicy::Degrade`] the fleet keeps **serving** instead:
+//! batches are applied un-durably (counted in
+//! [`crate::FleetStats::undurable_batches`]), snapshot cadence pauses,
+//! and every ingest first checks whether the capped-exponential retry
+//! clock ([`DurabilityConfig::wal_retry_backoff`] doubling up to
+//! [`DurabilityConfig::wal_retry_cap`]) has expired — if so it re-arms:
+//! a fresh WAL generation at the current batch seq, then an immediate
+//! full base snapshot that makes the un-durable window recoverable
+//! again. Until the re-arm succeeds, a crash loses the window — that is
+//! the availability-over-durability trade the policy opts into.
+//!
 //! ## One process at a time
 //!
 //! A durability directory must be owned by exactly one live
@@ -73,15 +89,33 @@ use crate::codec;
 use crate::config::FleetConfig;
 use crate::engine::{FleetDelta, FleetEngine, FleetSnapshot};
 use crate::error::FleetError;
+use crate::fault;
 use crate::types::{Record, ScoredPoint, SeriesKey};
 use crate::wal::{self, crc32, GroupWal, WalSegment};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a WAL or snapshot I/O failure does to a [`DurableFleet`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// Fail fast (the default): the first I/O error poisons the fleet,
+    /// the failing call returns [`FleetError::Io`], and the operator
+    /// recovers from disk. Every acknowledged batch is durable.
+    #[default]
+    CrashStop,
+    /// Keep serving: batches apply un-durably while the WAL is retried
+    /// with capped exponential backoff; on success durability re-arms
+    /// (fresh WAL generation + immediate full snapshot). The un-durable
+    /// window is surfaced via [`crate::FleetStats::undurable_batches`]
+    /// and [`DurableFleet::degraded`].
+    Degrade,
+}
 
 /// Configuration of the durability layer (directory + cadences).
 #[derive(Debug, Clone, PartialEq)]
@@ -109,11 +143,23 @@ pub struct DurabilityConfig {
     /// cadence snapshot is full). Bounds both recovery fan-in and the
     /// disk an unprunable chain pins.
     pub max_delta_chain: usize,
+    /// What a WAL or snapshot I/O failure does: fail fast
+    /// ([`DurabilityPolicy::CrashStop`], the default) or keep serving
+    /// un-durably while retrying ([`DurabilityPolicy::Degrade`]).
+    pub policy: DurabilityPolicy,
+    /// First retry delay after durability degrades; doubles per failed
+    /// re-arm attempt (capped at [`DurabilityConfig::wal_retry_cap`]).
+    /// Only meaningful under [`DurabilityPolicy::Degrade`].
+    pub wal_retry_backoff: Duration,
+    /// Ceiling on the exponential re-arm backoff.
+    pub wal_retry_cap: Duration,
 }
 
 impl DurabilityConfig {
     /// Defaults: fsync every batch, snapshot every 4096 batches, keep the
-    /// last 2 full snapshots, rewrite a full base every 16 deltas.
+    /// last 2 full snapshots, rewrite a full base every 16 deltas,
+    /// crash-stop on I/O errors (retry backoff 50 ms doubling to 5 s when
+    /// switched to [`DurabilityPolicy::Degrade`]).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
@@ -121,6 +167,9 @@ impl DurabilityConfig {
             snapshot_every: 4096,
             keep_snapshots: 2,
             max_delta_chain: 16,
+            policy: DurabilityPolicy::CrashStop,
+            wal_retry_backoff: Duration::from_millis(50),
+            wal_retry_cap: Duration::from_secs(5),
         }
     }
 
@@ -133,6 +182,11 @@ impl DurabilityConfig {
         }
         if self.keep_snapshots == 0 {
             return Err(FleetError::Config("keep_snapshots must be >= 1".into()));
+        }
+        if self.wal_retry_cap < self.wal_retry_backoff {
+            return Err(FleetError::Config(
+                "wal_retry_cap must be >= wal_retry_backoff".into(),
+            ));
         }
         Ok(())
     }
@@ -175,6 +229,17 @@ pub struct DurableFleet {
     next_job: u64,
     /// Highest job id acknowledged by the writer.
     acked_job: u64,
+    /// `Some` while durability is degraded ([`DurabilityPolicy::Degrade`]
+    /// only): the fleet serves un-durably and re-arms on the retry clock.
+    degraded: Option<Degraded>,
+}
+
+/// Retry bookkeeping while durability is degraded.
+struct Degraded {
+    /// Failed re-arm attempts so far (drives the exponential backoff).
+    attempts: u32,
+    /// Earliest instant the next re-arm may run.
+    next_retry: Instant,
 }
 
 impl DurableFleet {
@@ -358,7 +423,8 @@ impl DurableFleet {
         chain_len: usize,
     ) -> Result<Self, FleetError> {
         let wal = Arc::new(GroupWal::create(&dcfg.dir, wal_start).map_err(io_err)?);
-        engine.attach_wal(wal, dcfg.fsync_every)?;
+        let degrade = dcfg.policy == DurabilityPolicy::Degrade;
+        engine.attach_wal(wal, dcfg.fsync_every, degrade)?;
         let (job_tx, job_rx) = channel::<SnapshotJob>();
         let (done_tx, done_rx) = channel();
         let dir = dcfg.dir.clone();
@@ -377,6 +443,7 @@ impl DurableFleet {
             chain_len,
             next_job: 1,
             acked_job: 0,
+            degraded: None,
         })
     }
 
@@ -386,13 +453,34 @@ impl DurableFleet {
         &self.engine
     }
 
+    /// The wrapped engine, mutably — test/chaos-drill support (e.g.
+    /// [`FleetEngine::crash_shard`]). Mutating engine state behind the
+    /// durability layer's back voids the recovery guarantees.
+    #[doc(hidden)]
+    pub fn engine_mut(&mut self) -> &mut FleetEngine {
+        &mut self.engine
+    }
+
+    /// `true` while durability is degraded: batches apply un-durably and
+    /// the fleet is waiting out the re-arm backoff. Always `false` under
+    /// [`DurabilityPolicy::CrashStop`].
+    pub fn degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
     /// Synchronous durable ingest: the batch is WAL-appended on every
     /// shard it touches before any output is produced. Also services the
     /// snapshot cadence.
     pub fn ingest(&mut self, batch: Vec<Record>) -> Result<Vec<ScoredPoint>, FleetError> {
         self.poll_writer()?;
+        self.heal()?;
         let out = self.engine.ingest(batch)?;
-        self.maybe_snapshot()?;
+        self.detect_degraded();
+        if self.degraded.is_some() {
+            self.engine.note_undurable_batch();
+        } else {
+            self.maybe_snapshot()?;
+        }
         Ok(out)
     }
 
@@ -404,21 +492,96 @@ impl DurableFleet {
         value: f64,
     ) -> Result<ScoredPoint, FleetError> {
         let mut out = self.ingest(vec![Record::new(key, t, value)])?;
-        Ok(out.pop().expect("one record in, one point out"))
+        out.pop().ok_or(FleetError::Internal("one record in, one point out"))
     }
 
     /// Pipelined durable submission (see [`FleetEngine::submit`]).
     pub fn submit(&mut self, batch: Vec<Record>) -> Result<(), FleetError> {
         self.poll_writer()?;
+        self.heal()?;
         self.engine.submit(batch)?;
-        self.maybe_snapshot()?;
+        self.detect_degraded();
+        if self.degraded.is_none() {
+            self.maybe_snapshot()?;
+        }
         Ok(())
     }
 
     /// Collects the oldest in-flight batch (see
-    /// [`FleetEngine::next_batch`]).
+    /// [`FleetEngine::next_batch`]). Batches collected while durability
+    /// is degraded count as un-durable (conservatively: a batch applied
+    /// just before the WAL poisoned may land in the unsynced tail).
     pub fn next_batch(&mut self) -> Result<Option<Vec<ScoredPoint>>, FleetError> {
-        self.engine.next_batch()
+        let out = self.engine.next_batch()?;
+        self.detect_degraded();
+        if out.is_some() && self.degraded.is_some() {
+            self.engine.note_undurable_batch();
+        }
+        Ok(out)
+    }
+
+    /// Under [`DurabilityPolicy::Degrade`], flips into degraded mode when
+    /// the shared WAL has poisoned — appends fail, so shard workers apply
+    /// batches un-durably instead of crash-stopping.
+    fn detect_degraded(&mut self) {
+        if self.dcfg.policy == DurabilityPolicy::Degrade
+            && self.degraded.is_none()
+            && self.engine.wal_poisoned().is_some()
+        {
+            self.enter_degraded();
+        }
+    }
+
+    fn enter_degraded(&mut self) {
+        if self.degraded.is_none() {
+            // next_retry = now: the very next ingest attempts a re-arm
+            self.degraded = Some(Degraded { attempts: 0, next_retry: Instant::now() });
+        }
+    }
+
+    /// Attempts a re-arm when degraded and the backoff clock has expired.
+    fn heal(&mut self) -> Result<(), FleetError> {
+        let Some(d) = &self.degraded else { return Ok(()) };
+        if Instant::now() < d.next_retry {
+            return Ok(());
+        }
+        let attempts = d.attempts;
+        self.engine.note_wal_retry();
+        match self.rearm_once() {
+            Ok(()) if self.degraded.is_none() => Ok(()),
+            // the attempt failed (or the checkpoint inside it re-degraded):
+            // stay degraded and back off exponentially, capped
+            _ => {
+                self.schedule_retry(attempts);
+                Ok(())
+            }
+        }
+    }
+
+    /// One re-arm attempt: a fresh WAL generation at the current batch
+    /// seq, then an immediate full base snapshot so the un-durable window
+    /// becomes recoverable again.
+    fn rearm_once(&mut self) -> Result<(), FleetError> {
+        let wal =
+            Arc::new(GroupWal::create(&self.dcfg.dir, self.engine.batches()).map_err(io_err)?);
+        self.engine.attach_wal(wal, self.dcfg.fsync_every, true)?;
+        // appends work again; clear the flag before checkpointing (the
+        // checkpoint guard refuses while degraded) — a failed write below
+        // re-enters via handle_ack
+        self.degraded = None;
+        self.checkpoint()
+    }
+
+    fn schedule_retry(&mut self, prior_attempts: u32) {
+        let delay = self
+            .dcfg
+            .wal_retry_backoff
+            .saturating_mul(1u32 << prior_attempts.min(16))
+            .min(self.dcfg.wal_retry_cap);
+        self.degraded = Some(Degraded {
+            attempts: prior_attempts.saturating_add(1),
+            next_retry: Instant::now() + delay,
+        });
     }
 
     /// Registers per-series admission overrides like
@@ -465,6 +628,11 @@ impl DurableFleet {
     /// state change without a new batch (an explicit eviction) is
     /// re-snapshotted under the same seq.
     pub fn checkpoint(&mut self) -> Result<(), FleetError> {
+        if self.degraded.is_some() {
+            return Err(FleetError::Io(
+                "durability degraded: WAL re-arm pending, checkpoint unavailable".into(),
+            ));
+        }
         let job = self.trigger_snapshot(true)?;
         while self.acked_job < job {
             match self.done_rx.recv() {
@@ -482,9 +650,13 @@ impl DurableFleet {
     /// they matter), checkpoint, and stop the writer thread. After `close`
     /// returns, recovery needs zero WAL replay.
     pub fn close(mut self) -> Result<(), FleetError> {
-        while self.engine.next_batch()?.is_some() {}
-        self.checkpoint()?;
-        self.engine.sync_wal()?;
+        while self.next_batch()?.is_some() {}
+        if self.degraded.is_none() {
+            self.checkpoint()?;
+            self.engine.sync_wal()?;
+        }
+        // degraded: the checkpoint and sync would only fail again — close
+        // what we can; the un-durable window is lost, as documented
         // dropping the job sender ends the writer loop
         self.job_tx = None;
         if let Some(h) = self.writer.take() {
@@ -560,7 +732,15 @@ impl DurableFleet {
         (id, seq, result): (u64, u64, Result<(), String>),
     ) -> Result<(), FleetError> {
         self.acked_job = self.acked_job.max(id);
-        result.map_err(FleetError::Io)?;
+        if let Err(e) = result {
+            if self.dcfg.policy == DurabilityPolicy::Degrade {
+                // a failed snapshot write degrades durability instead of
+                // poisoning the fleet; the re-arm path re-snapshots
+                self.enter_degraded();
+                return Ok(());
+            }
+            return Err(FleetError::Io(e));
+        }
         self.durable_snapshot = self.durable_snapshot.max(seq);
         self.prune()
     }
@@ -667,15 +847,15 @@ fn write_blob_file(
 ) -> std::io::Result<()> {
     let tmp = dir.join(tmp_name);
     let path = dir.join(name);
-    let mut f = File::create(&tmp)?;
-    f.write_all(&(bytes.len() as u64).to_le_bytes())?;
-    f.write_all(&crc32(bytes).to_le_bytes())?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
+    let mut f = fault::create_file(&tmp)?;
+    fault::write_all(&mut f, &tmp, &(bytes.len() as u64).to_le_bytes())?;
+    fault::write_all(&mut f, &tmp, &crc32(bytes).to_le_bytes())?;
+    fault::write_all(&mut f, &tmp, bytes)?;
+    fault::sync_all(&f, &tmp)?;
     drop(f);
-    fs::rename(&tmp, &path)?;
+    fault::rename(&tmp, &path)?;
     // make the rename itself durable
-    File::open(dir)?.sync_all()?;
+    fault::sync_dir(dir)?;
     Ok(())
 }
 
@@ -790,6 +970,10 @@ mod tests {
         assert!(ok.validate().is_ok());
         assert!(DurabilityConfig { fsync_every: 0, ..ok.clone() }.validate().is_err());
         assert!(DurabilityConfig { snapshot_every: 0, ..ok.clone() }.validate().is_err());
-        assert!(DurabilityConfig { keep_snapshots: 0, ..ok }.validate().is_err());
+        assert!(DurabilityConfig { keep_snapshots: 0, ..ok.clone() }.validate().is_err());
+        assert!(
+            DurabilityConfig { wal_retry_cap: Duration::ZERO, ..ok }.validate().is_err(),
+            "cap below the base backoff is rejected"
+        );
     }
 }

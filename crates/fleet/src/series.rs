@@ -37,6 +37,28 @@ pub enum SeriesState {
     /// Warm-up overflowed without a usable period; points are dropped
     /// until TTL eviction clears the tombstone.
     Rejected,
+    /// The series' update panicked or produced non-finite state: its
+    /// detector state is gone (it was unrecoverable garbage) and points
+    /// are dropped and counted until the key is re-admitted (via
+    /// [`crate::FleetEngine::set_admit_options`]) or TTL-evicted.
+    Quarantined {
+        /// What put the series here.
+        cause: QuarantineCause,
+        /// Points dropped since quarantine.
+        dropped: u64,
+    },
+}
+
+/// Why a series was quarantined (see [`SeriesState::Quarantined`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineCause {
+    /// The update produced a non-finite trend/seasonal/residual split —
+    /// the decomposer state is numerically wrecked and every further
+    /// update would compound it.
+    NonFinite,
+    /// The update panicked (caught at the per-series `catch_unwind`
+    /// boundary in the shard worker); the state may be torn mid-update.
+    Panic,
 }
 
 /// Warm-up buffer of a not-yet-admitted series.
@@ -302,9 +324,27 @@ impl SeriesState {
     ) -> StepOutcome {
         match self {
             SeriesState::Rejected => StepOutcome::Output(PointOutput::Rejected),
+            SeriesState::Quarantined { dropped, .. } => {
+                *dropped += 1;
+                StepOutcome::Output(PointOutput::Quarantined)
+            }
             SeriesState::Live(live) => {
                 // the detector's own NSigma owns the threshold rule
                 let (point, verdict) = live.detector.update_scored_with(value, scratch);
+                // a non-finite decomposition means the detector state is
+                // numerically wrecked (warm-up imputes non-finite inputs,
+                // so this is state corruption, not a bad input): quarantine
+                // the series instead of letting every later score be NaN
+                if !point.trend.is_finite()
+                    || !point.seasonal.is_finite()
+                    || !point.residual.is_finite()
+                {
+                    *self = SeriesState::Quarantined {
+                        cause: QuarantineCause::NonFinite,
+                        dropped: 1,
+                    };
+                    return StepOutcome::Output(PointOutput::Quarantined);
+                }
                 let (mut score, mut is_anomaly) = (verdict.score, verdict.is_anomaly);
                 // backend dispatch: the selected backend's verdict
                 // *replaces* the fused scorer's (an Ensemble backend
@@ -455,6 +495,14 @@ pub enum PhaseSnapshot {
     },
     /// Tombstone.
     Rejected,
+    /// Quarantine marker (codec v8; the detector state is gone by
+    /// definition, so only the cause and drop count persist).
+    Quarantined {
+        /// What put the series in quarantine.
+        cause: QuarantineCause,
+        /// Points dropped since quarantine.
+        dropped: u64,
+    },
 }
 
 impl SeriesState {
@@ -474,6 +522,9 @@ impl SeriesState {
                 backend: live.backend.as_ref().map(SeriesBackend::to_snapshot),
             },
             SeriesState::Rejected => PhaseSnapshot::Rejected,
+            SeriesState::Quarantined { cause, dropped } => {
+                PhaseSnapshot::Quarantined { cause: *cause, dropped: *dropped }
+            }
         }
     }
 
@@ -516,6 +567,9 @@ impl SeriesState {
                 })
             }
             PhaseSnapshot::Rejected => SeriesState::Rejected,
+            PhaseSnapshot::Quarantined { cause, dropped } => {
+                SeriesState::Quarantined { cause, dropped }
+            }
         })
     }
 }
@@ -848,11 +902,61 @@ mod tests {
         assert_eq!(admitted.0, admitted.1, "restored warm-up must admit in lockstep");
     }
 
+    #[test]
+    fn quarantined_series_drops_counts_and_roundtrips() {
+        let cfg = FleetConfig::fixed_period(8);
+        let mut scr = SharedScratch::default();
+        let mut s = SeriesState::Quarantined { cause: QuarantineCause::Panic, dropped: 0 };
+        for i in 1..=5u64 {
+            match s.step(1.0, &cfg, &mut scr) {
+                StepOutcome::Output(PointOutput::Quarantined) => {}
+                other => panic!("unexpected outcome: {}", discr(&other)),
+            }
+            assert!(matches!(s, SeriesState::Quarantined { dropped, .. } if dropped == i));
+        }
+        let mut r = SeriesState::from_snapshot(s.to_snapshot(), &cfg).unwrap();
+        assert!(matches!(
+            r,
+            SeriesState::Quarantined { cause: QuarantineCause::Panic, dropped: 5 }
+        ));
+        r.step(2.0, &cfg, &mut scr);
+        assert!(matches!(r, SeriesState::Quarantined { dropped: 6, .. }));
+    }
+
+    #[test]
+    fn non_finite_live_state_quarantines_the_series() {
+        // wreck a live detector's internal state directly (warm-up imputes
+        // non-finite *inputs*, so corruption is the only way here), then
+        // step: the series must move to Quarantined, not emit NaN forever
+        let cfg = FleetConfig::fixed_period(16);
+        let y = seasonal(200, 16);
+        let mut scr = SharedScratch::default();
+        let mut s = SeriesState::new(&cfg);
+        for &v in &y {
+            s.step(v, &cfg, &mut scr);
+        }
+        let SeriesState::Live(live) = &mut s else { panic!("series must be live") };
+        let mut st = live.detector.decomposer.to_state();
+        for v in &mut st.v {
+            *v = f64::NAN;
+        }
+        live.detector.decomposer = OneShotStl::from_state(st).unwrap();
+        match s.step(1.0, &cfg, &mut scr) {
+            StepOutcome::Output(PointOutput::Quarantined) => {}
+            other => panic!("unexpected outcome: {}", discr(&other)),
+        }
+        assert!(matches!(
+            s,
+            SeriesState::Quarantined { cause: QuarantineCause::NonFinite, dropped: 1 }
+        ));
+    }
+
     fn discr(o: &StepOutcome) -> &'static str {
         match o {
             StepOutcome::Output(PointOutput::Warming { .. }) => "warming",
             StepOutcome::Output(PointOutput::Scored { .. }) => "scored",
             StepOutcome::Output(PointOutput::Rejected) => "rejected",
+            StepOutcome::Output(PointOutput::Quarantined) => "quarantined",
             StepOutcome::Promoted(_) => "promoted",
         }
     }

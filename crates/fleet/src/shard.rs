@@ -7,11 +7,14 @@
 
 use crate::config::{AdmitOptions, FleetConfig};
 use crate::error::FleetError;
-use crate::series::{PhaseSnapshot, SeriesState, StepOutcome};
+use crate::fault::{self, FaultOp};
+use crate::series::{PhaseSnapshot, QuarantineCause, SeriesState, StepOutcome};
 use crate::types::{PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};
 use crate::wal::{GroupWal, WalFrame, WalItem};
 use oneshotstl::{IncrementalSolver, UpdateScratch};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -71,23 +74,26 @@ impl Registry {
 
     /// Shared access by key (cold paths: forecast).
     pub fn get(&self, key: &SeriesKey) -> Option<&SeriesEntry> {
-        self.slot_of(key).map(|s| self.entry(s))
+        self.slot_of(key).and_then(|s| self.entry(s))
     }
 
-    /// The entry at an occupied slot.
-    pub fn entry(&self, slot: u32) -> &SeriesEntry {
-        self.slots[slot as usize].as_ref().expect("occupied registry slot")
+    /// The entry at `slot` (`None` when the slot is out of range or
+    /// vacant — callers treat that as a recoverable inconsistency, not a
+    /// panic; the slot arena is reachable from decoded snapshots).
+    pub fn entry(&self, slot: u32) -> Option<&SeriesEntry> {
+        self.slots.get(slot as usize).and_then(|e| e.as_ref())
     }
 
-    /// Mutable access to an occupied slot.
-    pub fn entry_mut(&mut self, slot: u32) -> &mut SeriesEntry {
-        self.slots[slot as usize].as_mut().expect("occupied registry slot")
+    /// Mutable access to the entry at `slot`, if occupied.
+    pub fn entry_mut(&mut self, slot: u32) -> Option<&mut SeriesEntry> {
+        self.slots.get_mut(slot as usize).and_then(|e| e.as_mut())
     }
 
     /// Registers a new entry (the key must not be present), reusing an
     /// evicted slot if one is free. This is the only place a key is
     /// cloned on the ingest path.
     pub fn insert(&mut self, entry: SeriesEntry) -> u32 {
+        let key = entry.key.clone();
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slots[slot as usize] = Some(entry);
@@ -98,17 +104,17 @@ impl Registry {
                 (self.slots.len() - 1) as u32
             }
         };
-        let key = self.entry(slot).key.clone();
         self.by_key.insert(key, slot);
         slot
     }
 
-    /// Removes the entry at `slot`, returning it.
-    pub fn remove_slot(&mut self, slot: u32) -> SeriesEntry {
-        let entry = self.slots[slot as usize].take().expect("occupied registry slot");
+    /// Removes the entry at `slot`, returning it (`None` when the slot
+    /// was already vacant).
+    pub fn remove_slot(&mut self, slot: u32) -> Option<SeriesEntry> {
+        let entry = self.slots.get_mut(slot as usize).and_then(Option::take)?;
         self.by_key.remove(&entry.key);
         self.free.push(slot);
-        entry
+        Some(entry)
     }
 
     /// Occupied slot indices, ascending.
@@ -157,15 +163,28 @@ pub struct WalMeta {
 /// thread; the only per-worker operation left is adopting the handle.
 pub enum WalOp {
     /// Adopt this shared WAL handle; subsequent ingests are logged to it.
-    Attach(Arc<GroupWal>),
+    Attach {
+        /// The shared WAL handle.
+        wal: Arc<GroupWal>,
+        /// [`crate::DurabilityPolicy::Degrade`]: a failed append no longer
+        /// crash-stops the worker — the batch is applied un-durably and
+        /// the engine re-arms durability out of band.
+        degrade: bool,
+    },
 }
+
+/// One shard's answer to a [`ShardMsg::Ingest`]: its shard index plus the
+/// `(original_index, output)` pairs, or the worker-side error string.
+pub type BatchReply = (usize, Result<Vec<(usize, ScoredPoint)>, String>);
 
 /// Messages the engine sends to a shard worker.
 pub enum ShardMsg {
-    /// Process a sub-batch; reply with `(original_index, output)` pairs,
-    /// or an error if the WAL append failed — in which case the sub-batch
-    /// was **not** applied and the worker terminates (crash-stop), so no
-    /// later batch can be applied past the durability failure either.
+    /// Process a sub-batch; reply with this shard's index plus
+    /// `(original_index, output)` pairs, or an error if the WAL append
+    /// failed under crash-stop — in which case the sub-batch was **not**
+    /// applied and the worker terminates, so no later batch can be
+    /// applied past the durability failure either. (Under degrade mode a
+    /// failed append applies the batch un-durably and replies `Ok`.)
     Ingest {
         /// `(position in the caller's batch, record, liveness clock)`
         /// triples, batch order. The liveness clock is the record's `t`
@@ -178,8 +197,9 @@ pub enum ShardMsg {
         seq: u64,
         /// WAL frame metadata (`None` when durability is off).
         wal: Option<WalMeta>,
-        /// Reply channel.
-        reply: Sender<Result<Vec<(usize, ScoredPoint)>, String>>,
+        /// Reply channel (`shard index`, outcome) — the index lets the
+        /// engine tell which shards answered when another one dies.
+        reply: Sender<BatchReply>,
     },
     /// Register or replace per-series admission overrides (see
     /// [`crate::FleetEngine::set_admit_options`]). Creates the series
@@ -252,6 +272,11 @@ pub enum ShardMsg {
         /// unknown or not live).
         reply: Sender<Vec<(usize, Option<Vec<f64>>)>>,
     },
+    /// Test support: panic the worker on dequeue — the deterministic
+    /// stand-in for "a shard worker died" that the supervision tests (and
+    /// chaos drills) use to exercise respawn.
+    #[doc(hidden)]
+    Crash,
     /// Terminate the worker.
     Shutdown,
 }
@@ -267,6 +292,9 @@ pub struct ShardState {
     pub config: Arc<FleetConfig>,
     /// The fleet's shared WAL (`None` when durability is off).
     pub wal: Option<Arc<GroupWal>>,
+    /// Degrade-mode durability: a failed WAL append applies the batch
+    /// un-durably instead of crash-stopping the worker.
+    pub degrade: bool,
     /// One trial scratch shared by every series on this shard: the hot
     /// buffers stay in cache across series and per-series scratch memory
     /// is zero (see `oneshotstl::UpdateScratch`).
@@ -300,6 +328,7 @@ impl ShardState {
             registry: Registry::default(),
             config,
             wal: None,
+            degrade: false,
             scratch: UpdateScratch::default(),
             order: Vec::new(),
             snapshot_seq: 0,
@@ -337,10 +366,39 @@ impl ShardState {
     /// Processes one record against an already-resolved slot.
     fn step_slot(&mut self, slot: u32, value: f64, liveness_t: u64, seq: u64) -> PointOutput {
         self.points += 1;
-        let entry = self.registry.entry_mut(slot);
+        let Some(entry) = self.registry.entry_mut(slot) else {
+            // a vanished slot is an internal inconsistency; dropping the
+            // point (counted as quarantined) beats panicking the worker
+            return PointOutput::Quarantined;
+        };
         entry.last_seen = entry.last_seen.max(liveness_t);
         entry.dirty_seq = seq;
-        let outcome = entry.state.step(value, &self.config, &mut self.scratch);
+        // per-series blast radius: a panicking update quarantines this
+        // series instead of unwinding the worker and sinking the shard
+        let SeriesEntry { key, state, .. } = entry;
+        let config = &self.config;
+        let scratch = &mut self.scratch;
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            // the injectable stand-in for "this series' update went bad"
+            // (its sibling failure mode — a panic — is injected by a hook
+            // that panics instead of returning an error)
+            fault::check(FaultOp::SeriesStep, Path::new(key.as_str()))
+                .map_err(|_| QuarantineCause::NonFinite)?;
+            Ok(state.step(value, config, scratch))
+        }));
+        let outcome = match stepped {
+            Ok(Ok(outcome)) => outcome,
+            Ok(Err(cause)) => {
+                *state = SeriesState::Quarantined { cause, dropped: 1 };
+                return PointOutput::Quarantined;
+            }
+            Err(_) => {
+                *state = SeriesState::Quarantined { cause: QuarantineCause::Panic, dropped: 1 };
+                // the shared trial scratch may be torn mid-update
+                self.scratch = UpdateScratch::default();
+                return PointOutput::Quarantined;
+            }
+        };
         let output = match outcome {
             StepOutcome::Promoted(out) => {
                 self.admitted += 1;
@@ -413,13 +471,24 @@ impl ShardState {
     ) -> Result<(), FleetError> {
         match self.registry.slot_of(key) {
             Some(slot) => {
-                let entry = self.registry.entry_mut(slot);
+                let config = Arc::clone(&self.config);
+                let Some(entry) = self.registry.entry_mut(slot) else {
+                    return Err(FleetError::Internal("registry slot vanished"));
+                };
                 match &mut entry.state {
                     SeriesState::Warming(w) => {
-                        w.replace_overrides(&self.config, opts);
+                        w.replace_overrides(&config, opts);
                         // registration is a liveness signal, same as on
                         // the create branch: a just-re-tuned series must
                         // not be swept by the next TTL pass
+                        entry.last_seen = entry.last_seen.max(now);
+                        entry.dirty_seq = seq;
+                        Ok(())
+                    }
+                    SeriesState::Quarantined { .. } => {
+                        // quarantine is re-admittable by design: register
+                        // the series again from an empty warm-up buffer
+                        entry.state = SeriesState::with_overrides(&config, opts);
                         entry.last_seen = entry.last_seen.max(now);
                         entry.dirty_seq = seq;
                         Ok(())
@@ -446,7 +515,7 @@ impl ShardState {
         for slot in 0..self.registry.slots.len() as u32 {
             let Some(e) = &self.registry.slots[slot as usize] else { continue };
             if now.saturating_sub(e.last_seen) > ttl {
-                let entry = self.registry.remove_slot(slot);
+                let Some(entry) = self.registry.remove_slot(slot) else { continue };
                 if self.track_deltas {
                     self.removed.push(entry.key);
                 }
@@ -550,6 +619,7 @@ impl ShardState {
                 }
                 SeriesState::Warming(_) => s.warming += 1,
                 SeriesState::Rejected => s.rejected += 1,
+                SeriesState::Quarantined { .. } => s.quarantined += 1,
             }
         }
         s
@@ -590,7 +660,9 @@ pub fn run_worker(
     queue_depth: Arc<AtomicUsize>,
     buf_return: Sender<Vec<(usize, Record, u64)>>,
 ) {
-    let mut poison_guard = PanicPoison { wal: None };
+    // a respawned worker arrives with the WAL already in its state, not
+    // via a WalCtl message — arm the unwind guard from either source
+    let mut poison_guard = PanicPoison { wal: state.wal.clone() };
     while let Ok(msg) = rx.recv() {
         queue_depth.fetch_sub(1, Ordering::Relaxed);
         match msg {
@@ -622,13 +694,20 @@ pub fn run_worker(
                     _ => Ok(()),
                 };
                 if let Err(msg) = logged {
-                    // crash-stop: a shard that cannot log must not apply
-                    // this or any later batch — its state would diverge
-                    // from the durable prefix, and a background snapshot
-                    // could persist the divergence. Terminating makes
-                    // every subsequent engine call fail with ShardDown.
-                    let _ = reply.send(Err(msg));
-                    break;
+                    if !state.degrade {
+                        // crash-stop: a shard that cannot log must not
+                        // apply this or any later batch — its state would
+                        // diverge from the durable prefix, and a
+                        // background snapshot could persist the
+                        // divergence. Terminating makes every subsequent
+                        // engine call fail with ShardDown.
+                        let _ = reply.send((state.index, Err(msg)));
+                        break;
+                    }
+                    // degrade: apply the batch un-durably and keep
+                    // serving; the engine sees the poisoned WAL, counts
+                    // the un-durable window, and re-arms durability with
+                    // a fresh segment + full snapshot out of band
                 }
                 let mut items = items;
                 let out = state.ingest_batch(&items, seq);
@@ -638,15 +717,16 @@ pub fn run_worker(
                 let _ = buf_return.send(items);
                 // a dropped reply receiver is not an error: the engine may
                 // have abandoned the batch
-                let _ = reply.send(Ok(out));
+                let _ = reply.send((state.index, Ok(out)));
             }
             ShardMsg::Admit { key, opts, now, seq, reply } => {
                 let _ = reply.send(state.set_admit_options(&key, opts, now, seq));
             }
             ShardMsg::WalCtl { op, reply } => {
-                let WalOp::Attach(w) = op;
-                poison_guard.wal = Some(Arc::clone(&w));
-                state.wal = Some(w);
+                let WalOp::Attach { wal, degrade } = op;
+                poison_guard.wal = Some(Arc::clone(&wal));
+                state.wal = Some(wal);
+                state.degrade = degrade;
                 let _ = reply.send(Ok(()));
             }
             ShardMsg::Stall { release } => {
@@ -673,6 +753,7 @@ pub fn run_worker(
                     .collect();
                 let _ = reply.send(out);
             }
+            ShardMsg::Crash => panic!("injected worker crash (test)"),
             ShardMsg::Shutdown => break,
         }
     }
@@ -698,8 +779,11 @@ mod registry_tests {
         let b = r.insert(entry("b"));
         assert_eq!((a, b), (0, 1));
         assert_eq!(r.slot_of(&SeriesKey::new("a")), Some(0));
-        let removed = r.remove_slot(a);
+        let removed = r.remove_slot(a).expect("slot a is occupied");
         assert_eq!(removed.key.as_str(), "a");
+        assert!(r.remove_slot(a).is_none(), "double-remove is a no-op, not a panic");
+        assert!(r.entry(a).is_none());
+        assert!(r.entry(99).is_none(), "out-of-range slot is not a panic");
         assert_eq!(r.len(), 1);
         assert_eq!(r.slot_of(&SeriesKey::new("a")), None);
         // the freed slot is recycled for the next admission

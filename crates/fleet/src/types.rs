@@ -127,6 +127,11 @@ pub enum PointOutput {
     /// The series was rejected (warm-up overflowed with no detectable
     /// period and no fallback); the value was dropped.
     Rejected,
+    /// The series is quarantined (its update panicked or produced
+    /// non-finite state); the value was dropped and counted. The key can
+    /// be re-admitted via
+    /// [`crate::FleetEngine::set_admit_options`] or after TTL eviction.
+    Quarantined,
 }
 
 /// Aggregate engine statistics (see [`ShardStats`] for the per-shard view).
@@ -138,6 +143,9 @@ pub struct FleetStats {
     pub warming: usize,
     /// Series currently tomb-stoned as rejected.
     pub rejected: usize,
+    /// Series currently quarantined (update panicked or produced
+    /// non-finite state; points dropped until re-admission).
+    pub quarantined: usize,
     /// Series evicted by TTL so far (lifetime count).
     pub evicted: u64,
     /// Series promoted from warm-up to live so far (lifetime count).
@@ -167,6 +175,16 @@ pub struct FleetStats {
     /// Trend-innovation-CUSUM-backend alarms (z + CUSUM channels) across
     /// live series (same caveat; 0 without a trend or ensemble backend).
     pub trend_alarms: u64,
+    /// WAL re-arm attempts made while durability was degraded (lifetime
+    /// count; 0 under [`crate::DurabilityPolicy::CrashStop`]).
+    pub wal_retries: u64,
+    /// Panicked shard workers respawned by supervision (lifetime count).
+    pub shard_restarts: u64,
+    /// Batches accepted while the WAL was down under
+    /// [`crate::DurabilityPolicy::Degrade`] — the un-durable window
+    /// (lifetime count). These batches are served but will not survive a
+    /// crash until durability re-arms with a fresh full snapshot.
+    pub undurable_batches: u64,
     /// Per-shard breakdown.
     pub shards: Vec<ShardStats>,
 }
@@ -182,6 +200,8 @@ pub struct ShardStats {
     pub warming: usize,
     /// Rejected tombstones on this shard.
     pub rejected: usize,
+    /// Quarantined series on this shard.
+    pub quarantined: usize,
     /// Requests currently queued on the shard channel (sampled).
     pub queue_depth: usize,
     /// Series evicted by TTL (lifetime).

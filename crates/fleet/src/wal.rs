@@ -20,7 +20,10 @@
 //! of `shards`** (pinned by a flush-counter test in `tests/fleet_persist`)
 //! while keeping the guarantee that a shard's reply implies its frame is
 //! on stable storage. A failed write or flush poisons the log: every
-//! subsequent append errors, and the shard workers crash-stop.
+//! subsequent append errors, and the shard workers crash-stop (under
+//! [`crate::DurabilityPolicy::CrashStop`]) or keep serving un-durably
+//! while the durability layer re-arms a fresh log (under
+//! [`crate::DurabilityPolicy::Degrade`]).
 //!
 //! ## On-disk format
 //!
@@ -61,10 +64,11 @@
 //! for.
 
 use crate::codec::{Reader, Writer};
+use crate::fault;
 use crate::types::SeriesKey;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::fs::File;
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -149,13 +153,15 @@ impl WalFrame {
 pub struct Wal {
     file: File,
     dir: PathBuf,
+    path: PathBuf,
     shard: usize,
     start_seq: u64,
 }
 
 impl Wal {
     /// Creates (or truncates) the segment file for `shard` starting after
-    /// batch `start_seq`, writing the header.
+    /// batch `start_seq`, writing the header. All file operations go
+    /// through the [`crate::fault`] seam (passthrough in production).
     pub fn create(
         dir: impl Into<PathBuf>,
         shard: usize,
@@ -163,20 +169,18 @@ impl Wal {
     ) -> std::io::Result<Self> {
         let dir = dir.into();
         let path = dir.join(segment_file_name(start_seq, shard));
-        let mut file =
-            OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        let mut file = fault::create_file(&path)?;
         let mut w = Writer::default();
         w.buf.extend_from_slice(WAL_MAGIC);
         w.buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
         w.u32(shard as u32);
         w.u64(start_seq);
-        file.write_all(&w.buf)?;
-        file.flush()?;
+        fault::write_all(&mut file, &path, &w.buf)?;
         // make the new directory entry durable too: per-append fsyncs
         // protect the file's *contents*, but an OS crash could still drop
         // the whole segment if its name never reached the disk
-        File::open(&dir)?.sync_all()?;
-        Ok(Wal { file, dir, shard, start_seq })
+        fault::sync_dir(&dir)?;
+        Ok(Wal { file, dir, path, shard, start_seq })
     }
 
     /// Appends one frame; `sync` additionally forces the segment to stable
@@ -187,16 +191,16 @@ impl Wal {
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(&crc32(&payload).to_le_bytes());
         rec.extend_from_slice(&payload);
-        self.file.write_all(&rec)?;
+        fault::write_all(&mut self.file, &self.path, &rec)?;
         if sync {
-            self.file.sync_data()?;
+            fault::sync_data(&self.file, &self.path)?;
         }
         Ok(())
     }
 
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()
+        fault::sync_data(&self.file, &self.path)
     }
 
     /// Rotates to a fresh segment starting after batch `start_seq`. The
@@ -384,6 +388,17 @@ impl GroupWal {
     /// regression test: an acked batch costs at most one.
     pub fn fsync_count(&self) -> u64 {
         self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// The first I/O error that poisoned this log, if any. A poisoned log
+    /// rejects every further operation; the durability layer uses this
+    /// probe to notice the outage and (under
+    /// [`crate::DurabilityPolicy::Degrade`]) re-arm a fresh generation.
+    pub fn poison_reason(&self) -> Option<String> {
+        match self.inner.lock() {
+            Ok(g) => g.poisoned.clone(),
+            Err(p) => p.into_inner().poisoned.clone(),
+        }
     }
 }
 

@@ -790,4 +790,12 @@ fn stats_counters_obey_the_crash_recovery_contract() {
     assert_eq!(got.trend_alarms, ref_end.trend_alarms - ref_mid.trend_alarms);
     assert!(got.damp_alarms > 0, "no post-checkpoint DAMP alarms to track: {got:?}");
     assert!(got.trend_alarms > 0, "no post-checkpoint trend alarms to track: {got:?}");
+
+    // v8 health counters are lifetime counters: carried across recovery
+    // (a healthy run leaves them all zero; the nonzero-carry case is
+    // pinned by tests/fleet_faults.rs)
+    assert_eq!(got.wal_retries, ref_end.wal_retries);
+    assert_eq!(got.shard_restarts, ref_end.shard_restarts);
+    assert_eq!(got.undurable_batches, ref_end.undurable_batches);
+    assert_eq!(got.quarantined, 0, "healthy recovery quarantines nothing");
 }

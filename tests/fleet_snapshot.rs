@@ -646,6 +646,14 @@ fn stats_counters_obey_the_snapshot_contract() {
     assert!(got.damp_alarms > 0, "no post-snapshot DAMP alarms to track: {got:?}");
     assert!(got.trend_alarms > 0, "no post-snapshot trend alarms to track: {got:?}");
 
+    // v8 health counters are lifetime counters: carried across the
+    // snapshot (zero on a healthy run; nonzero carry is pinned by
+    // tests/fleet_faults.rs)
+    assert_eq!(got.wal_retries, ref_end.wal_retries);
+    assert_eq!(got.shard_restarts, ref_end.shard_restarts);
+    assert_eq!(got.undurable_batches, ref_end.undurable_batches);
+    assert_eq!(got.quarantined, 0, "healthy restore quarantines nothing");
+
     // and the backend-bearing fleet's later snapshot is byte-identical to
     // the uninterrupted engine's — counters aside, no state was dropped
     assert_eq!(reference.snapshot_bytes().unwrap(), restored.snapshot_bytes().unwrap());
