@@ -37,6 +37,11 @@ pub struct StreamingDamp {
     buf: Vec<f64>,
     /// Best-so-far discord distance (monotone, drives pruning).
     bsf: f64,
+    /// Z-normalized query scratch (capacity `m`, never serialized): the
+    /// query's z-values are shared by every candidate in a scan, so they
+    /// are computed once per arriving point — a stride-1 fill — instead
+    /// of `m` divisions per candidate inside the distance loop.
+    zq: Vec<f64>,
 }
 
 impl StreamingDamp {
@@ -46,7 +51,13 @@ impl StreamingDamp {
     /// query always has non-overlapping history to match against.
     pub fn new(window: usize, m: usize) -> Result<Self, String> {
         Self::check_params(window, m)?;
-        Ok(StreamingDamp { m, window, buf: Vec::with_capacity(2 * window), bsf: 0.0 })
+        Ok(StreamingDamp {
+            m,
+            window,
+            buf: Vec::with_capacity(2 * window),
+            bsf: 0.0,
+            zq: Vec::with_capacity(m),
+        })
     }
 
     fn check_params(window: usize, m: usize) -> Result<(), String> {
@@ -103,11 +114,14 @@ impl StreamingDamp {
             self.buf.truncate(self.window);
         }
         self.buf.push(x);
-        let h = self.active();
+        // split borrows: the history view reads `buf`, the z-norm scratch
+        // is a disjoint field
+        let start = self.buf.len().saturating_sub(self.window);
+        let h = &self.buf[start..];
         if h.len() < 2 * self.m {
             return 0.0;
         }
-        let (best, completed) = Self::nearest_earlier(h, self.m, self.bsf);
+        let (best, completed) = Self::nearest_earlier(h, self.m, self.bsf, &mut self.zq);
         if completed && best > self.bsf {
             self.bsf = best;
         }
@@ -118,10 +132,15 @@ impl StreamingDamp {
     /// earlier subsequence start, nearest candidate first. Returns the
     /// (possibly pruned, lower-bounded) minimum and whether the search
     /// ran to completion (only completed searches may raise `bsf`).
-    fn nearest_earlier(h: &[f64], m: usize, bsf: f64) -> (f64, bool) {
+    fn nearest_earlier(h: &[f64], m: usize, bsf: f64, zq: &mut Vec<f64>) -> (f64, bool) {
         let qs = h.len() - m; // query start; candidates start at 0..qs
         let query = &h[qs..];
         let (qm, qstd) = mean_std(query);
+        // hoisted query z-normalization: one stride-1 fill per scan (the
+        // scratch is pre-sized — no allocation), bit-identical values to
+        // the per-candidate recomputation it replaces
+        zq.clear();
+        zq.extend(query.iter().map(|&q| (q - qm) / qstd));
         let mut best = f64::INFINITY;
         for j in (0..qs).rev() {
             let cand = &h[j..j + m];
@@ -130,9 +149,8 @@ impl StreamingDamp {
             let cap = best * best;
             let mut d2 = 0.0;
             for i in 0..m {
-                let zq = (query[i] - qm) / qstd;
                 let zc = (cand[i] - cm) / cstd;
-                let diff = zq - zc;
+                let diff = zq[i] - zc;
                 d2 += diff * diff;
                 if d2 > cap {
                     break;
@@ -181,7 +199,13 @@ impl StreamingDamp {
         }
         let mut buf = Vec::with_capacity(2 * state.window);
         buf.extend_from_slice(&state.buf);
-        Ok(StreamingDamp { m: state.m, window: state.window, buf, bsf: state.bsf })
+        Ok(StreamingDamp {
+            m: state.m,
+            window: state.window,
+            buf,
+            bsf: state.bsf,
+            zq: Vec::with_capacity(state.m),
+        })
     }
 }
 

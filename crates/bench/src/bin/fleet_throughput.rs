@@ -28,7 +28,7 @@
 //! core count so flat curves on small machines read as what they are.
 
 use benchkit::{fmt_duration, Cli, Experiment};
-use fleet::{FleetConfig, FleetEngine, PeriodPolicy, Record, SeriesKey};
+use fleet::{FleetConfig, FleetEngine, NetClient, NetServer, PeriodPolicy, Record, SeriesKey};
 use oneshotstl::{OneShotStlConfig, ShiftSearchConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -87,6 +87,34 @@ fn pump(engine: &mut FleetEngine, keys: &[SeriesKey], t0: u64, rounds: u64, nois
             engine.ingest(batch).expect("ingest");
         }
     }
+    points
+}
+
+/// [`pump`] through the binary TCP frontend: the same batches, pipelined
+/// through the client window so the socket round trip overlaps scoring.
+fn net_pump(
+    client: &mut NetClient,
+    keys: &[SeriesKey],
+    t0: u64,
+    rounds: u64,
+    noise: f64,
+) -> u64 {
+    let mut points = 0u64;
+    for round in 0..rounds {
+        let t = t0 + round;
+        for (chunk_idx, chunk) in keys.chunks(BATCH).enumerate() {
+            let batch: Vec<Record> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    Record::new(k.clone(), t, series_value(chunk_idx * BATCH + i, t, noise))
+                })
+                .collect();
+            points += batch.len() as u64;
+            client.submit(batch).expect("net submit");
+        }
+    }
+    while client.drain().expect("net drain").is_some() {}
     points
 }
 
@@ -176,6 +204,65 @@ fn main() {
                     snapshot_mib: snapshot.len() as f64 / (1 << 20) as f64,
                 });
             }
+        }
+    }
+
+    // network loopback tier: the steady workload pushed through the
+    // binary TCP frontend (`fleet::net`) with a pipelined client window —
+    // prices the frame codec + socket hop on top of in-process ingest
+    let net_sizes: &[usize] = if cli.quick { &[1_000] } else { &[10_000] };
+    for &n_series in net_sizes {
+        let warm_rounds = (FleetConfig::default().init_len(PERIOD) + 8) as u64;
+        let score_rounds: u64 = if cli.quick { 4 } else { 20 };
+        let noise = 0.05;
+        let keys = keys(n_series);
+        eprintln!(
+            "[fleet_throughput] net-steady: warming {n_series} series ({warm_rounds} rounds)…"
+        );
+        let mut warm = FleetEngine::new(FleetConfig {
+            shards: 4,
+            period: PeriodPolicy::Fixed(PERIOD),
+            ..Default::default()
+        })
+        .expect("engine config");
+        pump(&mut warm, &keys, 0, warm_rounds, noise);
+        let snapshot = warm.snapshot_bytes().expect("snapshot");
+        drop(warm);
+
+        for shards in [1usize, 4] {
+            let t_restore = Instant::now();
+            let engine = {
+                let snap = fleet::codec::decode(&snapshot).expect("decode");
+                FleetEngine::restore_with_shards(snap, shards).expect("restore")
+            };
+            let restore_s = t_restore.elapsed().as_secs_f64();
+            let server = NetServer::serve("127.0.0.1:0", engine).expect("serve loopback");
+            let mut client = NetClient::connect(server.local_addr()).expect("connect");
+            let s0 = client.stats().expect("stats");
+            let t_run = Instant::now();
+            let points = net_pump(&mut client, &keys, warm_rounds, score_rounds, noise);
+            let elapsed_s = t_run.elapsed().as_secs_f64();
+            let s1 = client.stats().expect("stats");
+            server.shutdown();
+            let pps = points as f64 / elapsed_s;
+            let anomaly_pct = 100.0 * (s1.anomalies - s0.anomalies) as f64 / points as f64;
+            eprintln!(
+                "[fleet_throughput]   net-steady {n_series} series × {shards} shards: \
+                 {points} pts in {} → {:.0} pts/s ({anomaly_pct:.1}% anomalous)",
+                fmt_duration(t_run.elapsed()),
+                pps
+            );
+            runs.push(Run {
+                workload: "net-steady",
+                series: n_series,
+                shards,
+                points,
+                elapsed_s,
+                points_per_sec: pps,
+                anomaly_pct,
+                restore_s,
+                snapshot_mib: snapshot.len() as f64 / (1 << 20) as f64,
+            });
         }
     }
 

@@ -1,0 +1,226 @@
+//! Network ingest microbenchmark: frame codec throughput in isolation,
+//! then end-to-end loopback TCP ingest frames/s against a live fleet.
+//!
+//! Two tiers, reported separately so regressions localize:
+//!
+//! - **codec** — encode + decode of ingest-batch frames in memory, no
+//!   socket and no engine: the ceiling the wire format itself imposes.
+//! - **loopback** — a [`NetServer`] on 127.0.0.1 with a warmed fleet, a
+//!   [`NetClient`] pipelining ingest batches through its window: the
+//!   number a remote producer actually sees (frames/s and points/s,
+//!   scoring included).
+//!
+//! Emits `BENCH_ingest.json` in the working directory and a markdown
+//! report under `target/experiments/`.
+//!
+//! `--smoke` (also implied by `--quick`) runs a seconds-scale pass and
+//! asserts the loopback path returns a scored reply for a pushed frame —
+//! the CI gate that the server, client, and codec agree end to end. It
+//! prints `ingest_bench OK` on success; CI greps for that line.
+
+use benchkit::{fmt_duration, Cli, Experiment};
+use fleet::net::{decode_frame_exact, encode_frame_into, NetMessage};
+use fleet::{FleetConfig, FleetEngine, NetClient, NetServer, PeriodPolicy, Record, SeriesKey};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PERIOD: usize = 24;
+
+struct Run {
+    tier: &'static str,
+    series: usize,
+    batch: usize,
+    frames: u64,
+    points: u64,
+    elapsed_s: f64,
+    frames_per_sec: f64,
+    points_per_sec: f64,
+}
+
+fn series_value(series: usize, t: u64) -> f64 {
+    let phase = (series % 17) as f64 * 0.37;
+    (2.0 * std::f64::consts::PI * (t as f64 / PERIOD as f64 + phase)).sin()
+        + 0.05 * ((t as f64 * 13.7 + series as f64).sin())
+}
+
+fn batch_at(keys: &[SeriesKey], lo: usize, hi: usize, t: u64) -> Vec<Record> {
+    keys[lo..hi]
+        .iter()
+        .enumerate()
+        .map(|(i, k)| Record::new(k.clone(), t, series_value(lo + i, t)))
+        .collect()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let smoke = cli.quick || std::env::args().any(|a| a == "--smoke");
+    let (n_series, batch_size, rounds) =
+        if smoke { (512usize, 256usize, 8u64) } else { (10_000, 1_024, 40) };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let keys: Vec<SeriesKey> =
+        (0..n_series).map(|s| SeriesKey::new(format!("net/metric-{s}"))).collect();
+    let mut runs: Vec<Run> = Vec::new();
+    let mut report = Experiment::new("ingest_bench", "Network ingest throughput");
+
+    // --- tier 1: frame codec in isolation -------------------------------
+    {
+        let mut frame = Vec::new();
+        let mut frames = 0u64;
+        let mut points = 0u64;
+        let mut sink = 0u64; // fold decoded values in so nothing is optimized away
+        let t_run = Instant::now();
+        for round in 0..rounds {
+            for lo in (0..n_series).step_by(batch_size) {
+                let hi = (lo + batch_size).min(n_series);
+                let msg = NetMessage::IngestBatch(batch_at(&keys, lo, hi, round));
+                encode_frame_into(&mut frame, &msg);
+                match decode_frame_exact(&frame).expect("own frame decodes") {
+                    NetMessage::IngestBatch(recs) => {
+                        points += recs.len() as u64;
+                        sink ^= recs.last().map_or(0, |r| r.value.to_bits());
+                    }
+                    _ => unreachable!("ingest frames decode to ingest batches"),
+                }
+                frames += 1;
+            }
+        }
+        let elapsed_s = t_run.elapsed().as_secs_f64();
+        assert_ne!(sink, 1); // keep the decode loop observable
+        eprintln!(
+            "[ingest_bench] codec: {frames} frames / {points} pts in {} → \
+             {:.0} frames/s, {:.0} pts/s",
+            fmt_duration(t_run.elapsed()),
+            frames as f64 / elapsed_s,
+            points as f64 / elapsed_s
+        );
+        runs.push(Run {
+            tier: "codec",
+            series: n_series,
+            batch: batch_size,
+            frames,
+            points,
+            elapsed_s,
+            frames_per_sec: frames as f64 / elapsed_s,
+            points_per_sec: points as f64 / elapsed_s,
+        });
+    }
+
+    // --- tier 2: loopback TCP against a warmed fleet ---------------------
+    {
+        let mut engine = FleetEngine::new(FleetConfig {
+            shards: 2,
+            period: PeriodPolicy::Fixed(PERIOD),
+            ..Default::default()
+        })
+        .expect("engine config");
+        let warm_rounds = (FleetConfig::default().init_len(PERIOD) + 4) as u64;
+        eprintln!("[ingest_bench] loopback: warming {n_series} series…");
+        for t in 0..warm_rounds {
+            for lo in (0..n_series).step_by(batch_size) {
+                let hi = (lo + batch_size).min(n_series);
+                engine.ingest(batch_at(&keys, lo, hi, t)).expect("warm-up ingest");
+            }
+        }
+        let live = engine.stats().expect("stats").live;
+        assert_eq!(live, n_series, "fleet fully live before the timed pass");
+
+        let server = NetServer::serve("127.0.0.1:0", engine).expect("serve loopback");
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+        // the CI smoke contract: one pushed frame batch comes back scored
+        let probe = client
+            .ingest(batch_at(&keys, 0, batch_size.min(n_series), warm_rounds))
+            .expect("probe batch over loopback");
+        assert_eq!(probe.len(), batch_size.min(n_series));
+        assert!(
+            probe.iter().all(|p| p.score().is_some()),
+            "a live fleet must return scored replies over the wire"
+        );
+
+        let mut frames = 0u64;
+        let mut points = 0u64;
+        let t_run = Instant::now();
+        for round in 0..rounds {
+            let t = warm_rounds + 1 + round;
+            for lo in (0..n_series).step_by(batch_size) {
+                let hi = (lo + batch_size).min(n_series);
+                points += (hi - lo) as u64;
+                client.submit(batch_at(&keys, lo, hi, t)).expect("net submit");
+                frames += 1;
+            }
+        }
+        while client.drain().expect("net drain").is_some() {}
+        let elapsed_s = t_run.elapsed().as_secs_f64();
+        server.shutdown();
+        eprintln!(
+            "[ingest_bench] loopback: {frames} frames / {points} pts in {} → \
+             {:.0} frames/s, {:.0} pts/s",
+            fmt_duration(t_run.elapsed()),
+            frames as f64 / elapsed_s,
+            points as f64 / elapsed_s
+        );
+        runs.push(Run {
+            tier: "loopback",
+            series: n_series,
+            batch: batch_size,
+            frames,
+            points,
+            elapsed_s,
+            frames_per_sec: frames as f64 / elapsed_s,
+            points_per_sec: points as f64 / elapsed_s,
+        });
+    }
+
+    // BENCH_ingest.json — hand-rolled (the workspace is dependency-free)
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"ingest_bench\",");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"tier\": \"{}\", \"series\": {}, \"batch\": {}, \"frames\": {}, \
+             \"points\": {}, \"elapsed_s\": {:.4}, \"frames_per_sec\": {:.1}, \
+             \"points_per_sec\": {:.1}}}{comma}",
+            r.tier,
+            r.series,
+            r.batch,
+            r.frames,
+            r.points,
+            r.elapsed_s,
+            r.frames_per_sec,
+            r.points_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_ingest.json", &json).expect("writing BENCH_ingest.json");
+    eprintln!("[ingest_bench] wrote BENCH_ingest.json");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for r in &runs {
+        rows.push(vec![
+            r.tier.to_string(),
+            r.series.to_string(),
+            r.batch.to_string(),
+            r.frames.to_string(),
+            r.points.to_string(),
+            format!("{:.2}", r.elapsed_s),
+            format!("{:.0}", r.frames_per_sec),
+            format!("{:.0}", r.points_per_sec),
+        ]);
+    }
+    report.table(
+        "Ingest throughput",
+        &["tier", "series", "batch", "frames", "points", "elapsed (s)", "frames/s", "pts/s"],
+        &rows,
+    );
+    report.para(&format!("host cores: {cores}"));
+    report.finish();
+
+    // the greppable CI gate: reached only if every assert above held
+    println!("ingest_bench OK");
+}

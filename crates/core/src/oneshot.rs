@@ -53,6 +53,14 @@ pub trait TailSolver: Clone + Default {
     /// Short name for diagnostics.
     const NAME: &'static str;
 
+    /// Reusable per-step factorization scratch, owned by the update shell
+    /// and passed back into every [`TailSolver::step_from`] call. Solvers
+    /// whose step works over a flat working buffer expose it here so the
+    /// buffer is zeroed once at construction and stays hot across updates
+    /// (and across every model sharing an [`UpdateScratch`]); solvers
+    /// without reusable state use `()`.
+    type Scratch: Clone + Default + std::fmt::Debug;
+
     /// Processes the next point (`tail.m` must advance by one each call).
     fn step(&mut self, tail: &TailData) -> (f64, f64);
 
@@ -63,7 +71,13 @@ pub trait TailSolver: Clone + Default {
     /// so a rejected trial costs nothing to roll back. Implementations
     /// whose steady state is plain-old-data should override this to avoid
     /// heap allocation entirely.
-    fn step_from(&self, tail: &TailData, dst: &mut Self) -> (f64, f64) {
+    fn step_from(
+        &self,
+        tail: &TailData,
+        dst: &mut Self,
+        scratch: &mut Self::Scratch,
+    ) -> (f64, f64) {
+        let _ = scratch;
         dst.clone_from(self);
         dst.step(tail)
     }
@@ -72,12 +86,19 @@ pub trait TailSolver: Clone + Default {
 impl TailSolver for IncrementalSolver {
     const NAME: &'static str = "OneShotSTL";
 
+    type Scratch = crate::online_doolittle::SolverScratch;
+
     fn step(&mut self, tail: &TailData) -> (f64, f64) {
         IncrementalSolver::step(self, tail)
     }
 
-    fn step_from(&self, tail: &TailData, dst: &mut Self) -> (f64, f64) {
-        IncrementalSolver::step_from(self, tail, dst)
+    fn step_from(
+        &self,
+        tail: &TailData,
+        dst: &mut Self,
+        scratch: &mut Self::Scratch,
+    ) -> (f64, f64) {
+        IncrementalSolver::step_from(self, tail, dst, scratch)
     }
 }
 
@@ -233,14 +254,23 @@ struct TrialOut {
 /// or exhaustive — performs **zero heap allocations** (pinned by
 /// `tests/zero_alloc.rs`).
 #[derive(Debug, Clone, Default)]
-struct TrialBufs<S> {
+struct TrialBufs<S: TailSolver> {
     base: Vec<IterState<S>>,
     best: Vec<IterState<S>>,
     trial: Vec<IterState<S>>,
     /// `(|r̂(Δt)|, Δt)` proxy scores, one per non-zero offset.
     proxy: Vec<(f64, i64)>,
+    /// Flat `|r̂|` scores in ascending-offset order (`Δt = 0` included):
+    /// the stage-1 proxy loop fills this with stride-1 sweeps over the
+    /// seasonal buffer so the autovectorizer can fire, then zips it with
+    /// the offsets into `proxy`.
+    proxy_r: Vec<f64>,
     /// Offsets surviving stage 1, in evaluation order.
     cand: Vec<i64>,
+    /// Per-step solver factorization scratch (flat working triangle for
+    /// the `O(1)` solver), reused across IRLS iterations, trials, and
+    /// every model sharing this scratch.
+    solver: S::Scratch,
 }
 
 /// Shareable trial scratch for [`OnlineJointStl::update_with_scratch`].
@@ -253,12 +283,12 @@ struct TrialBufs<S> {
 /// per-model scratch memory drops to zero. Buffers are sized lazily on
 /// first use and resized automatically if models disagree on `iters`.
 #[derive(Debug, Clone, Default)]
-pub struct UpdateScratch<S>(TrialBufs<S>);
+pub struct UpdateScratch<S: TailSolver>(TrialBufs<S>);
 
 /// The shared online-JointSTL shell (see module docs). Use the
 /// [`OneShotStl`] alias for the paper's `O(1)` algorithm.
 #[derive(Debug, Clone)]
-pub struct OnlineJointStl<S> {
+pub struct OnlineJointStl<S: TailSolver> {
     /// Configuration (λ, I, H, n, policies).
     pub config: OneShotStlConfig,
     period: usize,
@@ -560,7 +590,14 @@ impl<S: TailSolver> OnlineJointStl<S> {
     /// shift, without committing any state. The committed `self.iters` are
     /// only read; the successor iteration states are written into `out`
     /// (resized on first use, then reused — no allocation in steady state).
-    fn run_trial_into(&self, y_new: f64, shift: i64, out: &mut Vec<IterState<S>>) -> TrialOut {
+    /// `scratch` is the reusable solver factorization scratch.
+    fn run_trial_into(
+        &self,
+        y_new: f64,
+        shift: i64,
+        out: &mut Vec<IterState<S>>,
+        scratch: &mut S::Scratch,
+    ) -> TrialOut {
         let m_new = self.m + 1;
         let k = m_new.min(3);
         let mut y3 = [0.0; 3];
@@ -595,7 +632,7 @@ impl<S: TailSolver> OnlineJointStl<S> {
             let p3 = [src.pw_hist[0], src.pw_hist[1], p_fresh];
             let q3 = [src.qw_hist[0], src.qw_hist[1], q_fresh];
             let tail = TailData { m: m_new, y3, u3, p3, q3, lambdas: self.config.lambdas };
-            let (t_i, s_i) = src.solver.step_from(&tail, &mut dst.solver);
+            let (t_i, s_i) = src.solver.step_from(&tail, &mut dst.solver, scratch);
             let next_p = 1.0 / (2.0 * (t_i - src.tau_hist[1]).abs().max(eps));
             let next_q =
                 1.0 / (2.0 * (t_i - 2.0 * src.tau_hist[1] + src.tau_hist[0]).abs().max(eps));
@@ -678,6 +715,7 @@ impl<S: TailSolver> OnlineJointStl<S> {
         y: f64,
         h: i64,
         proxy: &mut Vec<(f64, i64)>,
+        proxy_r: &mut Vec<f64>,
         cand: &mut Vec<i64>,
     ) {
         cand.clear();
@@ -685,14 +723,32 @@ impl<S: TailSolver> OnlineJointStl<S> {
             ShiftPrune::Off => cand.extend((-h..=h).filter(|&dt| dt != 0)),
             ShiftPrune::TopK(k) => {
                 proxy.clear();
+                proxy_r.clear();
                 let tau = self.last_trend();
-                for dt in -h..=h {
-                    if dt == 0 {
-                        continue;
-                    }
-                    let r_hat = y - tau - self.v[self.slot(self.t, self.shift + dt)];
-                    proxy.push((r_hat.abs(), dt));
+                let base = y - tau;
+                // the offsets Δt ∈ [−H, H] index the seasonal buffer
+                // cyclically from `(t + Δ − H) mod T`, so the scoring walk
+                // decomposes into contiguous runs (several full laps when
+                // 2H + 1 > T): flat stride-1 fills the autovectorizer can
+                // chew through, one subtraction and |·| per offset, with
+                // the per-offset `rem_euclid` gone. Values and order are
+                // identical to the scalar `slot()` loop.
+                let total = (2 * h + 1) as usize;
+                let mut idx = self.slot(self.t, self.shift - h);
+                let mut filled = 0usize;
+                while filled < total {
+                    let run = (self.period - idx).min(total - filled);
+                    proxy_r.extend(self.v[idx..idx + run].iter().map(|&v| (base - v).abs()));
+                    filled += run;
+                    idx = 0;
                 }
+                proxy.extend(
+                    proxy_r
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &r)| (r, j as i64 - h))
+                        .filter(|&(_, dt)| dt != 0),
+                );
                 // in-place sort: no allocation (zero-alloc invariant)
                 proxy.sort_unstable_by(|a, b| {
                     a.0.total_cmp(&b.0)
@@ -720,6 +776,9 @@ impl<S: TailSolver> OnlineJointStl<S> {
             if bufs.proxy.capacity() < want {
                 bufs.proxy.reserve(want);
             }
+            if bufs.proxy_r.capacity() < want + 1 {
+                bufs.proxy_r.reserve(want + 1);
+            }
             if bufs.cand.capacity() < want {
                 bufs.cand.reserve(want);
             }
@@ -730,7 +789,7 @@ impl<S: TailSolver> OnlineJointStl<S> {
                 }
             }
         }
-        let base = self.run_trial_into(y, self.shift, &mut bufs.base);
+        let base = self.run_trial_into(y, self.shift, &mut bufs.base, &mut bufs.solver);
         let verdict = self.nsigma.score_only(base.point.residual);
         if !verdict.is_anomaly || h == 0 {
             return self.commit(y, self.shift, base, &mut bufs.base);
@@ -740,7 +799,7 @@ impl<S: TailSolver> OnlineJointStl<S> {
         // per candidate, keep the smallest |r_t| — but only adopt a
         // non-zero offset when it actually explains the anomaly (see
         // `shift_accept_ratio`)
-        self.select_candidates(y, h, &mut bufs.proxy, &mut bufs.cand);
+        self.select_candidates(y, h, &mut bufs.proxy, &mut bufs.proxy_r, &mut bufs.cand);
         self.searches += 1;
         self.search_trials += 1 + bufs.cand.len() as u64;
         let base_resid = base.point.residual.abs();
@@ -749,7 +808,7 @@ impl<S: TailSolver> OnlineJointStl<S> {
         let mut best_is_base = true;
         for i in 0..bufs.cand.len() {
             let cand_shift = self.shift + bufs.cand[i];
-            let cand = self.run_trial_into(y, cand_shift, &mut bufs.trial);
+            let cand = self.run_trial_into(y, cand_shift, &mut bufs.trial, &mut bufs.solver);
             if cand.point.residual.abs() < best.point.residual.abs() {
                 best = cand;
                 best_shift = cand_shift;

@@ -97,6 +97,27 @@ pub struct Window {
     zo: [f64; 4],
 }
 
+/// Reusable factorization scratch for `Window::step`: the flat 10×10 `L`
+/// working triangle of one step, kept hot across updates instead of being
+/// stack-zeroed per IRLS iteration.
+///
+/// Sharing one scratch across solver instances (the 8 IRLS iterations, and
+/// every series on a fleet shard) is bit-exact because each step only reads
+/// entries it (a) copied in from the window, (b) explicitly zeroed, or
+/// (c) never writes at all — the structurally-zero sub-band cells below,
+/// which retain their `Default` zeros forever.
+#[derive(Debug, Clone)]
+pub struct SolverScratch {
+    /// Row-major flat `10×10` `L` working triangle (`l[10 * row + col]`).
+    l: [f64; 100],
+}
+
+impl Default for SolverScratch {
+    fn default() -> Self {
+        SolverScratch { l: [0.0; 100] }
+    }
+}
+
 impl Default for IncrementalSolver {
     fn default() -> Self {
         Self::new()
@@ -232,7 +253,10 @@ impl IncrementalSolver {
             }
             IncrementalSolver::Steady(w) => {
                 let block = assemble_block(tail);
-                w.step(&block)
+                // cold path (warm-up refreshes and direct/test callers): a
+                // fresh zeroed scratch satisfies every invariant
+                let mut scratch = SolverScratch::default();
+                w.step(&block, &mut scratch)
             }
         }
     }
@@ -240,21 +264,34 @@ impl IncrementalSolver {
     /// [`IncrementalSolver::step`] without mutating `self`: the successor
     /// state is written into `dst` (whose prior contents are arbitrary
     /// scratch). In the steady state the window is plain-old-data, so this
-    /// is a stack copy + the `O(1)` factorization step — **no heap
-    /// allocation** — which is what makes a rejected trial in the
-    /// seasonality-shift search free to roll back.
-    pub fn step_from(&self, tail: &TailData, dst: &mut Self) -> (f64, f64) {
+    /// is a stack copy + the `O(1)` factorization step over the caller's
+    /// reusable [`SolverScratch`] — **no heap allocation** — which is what
+    /// makes a rejected trial in the seasonality-shift search free to roll
+    /// back.
+    pub fn step_from(
+        &self,
+        tail: &TailData,
+        dst: &mut Self,
+        scratch: &mut SolverScratch,
+    ) -> (f64, f64) {
         match self {
             IncrementalSolver::Steady(w) => {
-                let mut next = *w;
-                let out = next.step(&assemble_block(tail));
-                // overwrite in place when `dst` is already Steady (the
-                // common case); a stale Warmup variant is dropped here once
+                let block = assemble_block(tail);
+                // step the destination window in place when `dst` is
+                // already Steady (the common case); a stale Warmup variant
+                // is dropped here once
                 match dst {
-                    IncrementalSolver::Steady(dw) => *dw = next,
-                    other => *other = IncrementalSolver::Steady(next),
+                    IncrementalSolver::Steady(dw) => {
+                        *dw = *w;
+                        dw.step(&block, scratch)
+                    }
+                    other => {
+                        let mut next = *w;
+                        let out = next.step(&block, scratch);
+                        *other = IncrementalSolver::Steady(next);
+                        out
+                    }
                 }
-                out
             }
             warm => {
                 // warm-up lasts 4 points per iteration; cloning the tiny
@@ -268,32 +305,45 @@ impl IncrementalSolver {
 
 impl Window {
     /// One `O(1)` factorization + solve step (Algorithm 4). `block` is the
-    /// trailing 6×6 system block for the new step.
-    fn step(&mut self, block: &TailBlock) -> (f64, f64) {
+    /// trailing 6×6 system block for the new step; `scratch` is the flat
+    /// reusable `L` working triangle.
+    fn step(&mut self, block: &TailBlock, scratch: &mut SolverScratch) -> (f64, f64) {
         debug_assert_eq!(block.dim, 6, "steady state requires full 6x6 blocks");
         // local window covers global unknowns 2M-10 .. 2M-1 (M = new count);
         // previous state occupies locals 0..8 (rows) x 0..4 (cols).
-        let mut l = [[0.0f64; 10]; 10];
+        let l = &mut scratch.l;
+        for (r, row) in self.lo.iter().enumerate() {
+            l[10 * r..10 * r + 4].copy_from_slice(row);
+        }
+        // stale-entry hygiene instead of a full 100-slot memset: every cell
+        // this step reads is either copied in above, written by the k-loop
+        // below before being read, or one of the six above-band cells the
+        // window slide reads — zeroed here. Rows 8..10 of cols 0..4 are
+        // structurally zero (no write ever targets them), so the `Default`
+        // zeros persist across reuses.
+        l[2 * 10 + 4] = 0.0;
+        l[3 * 10 + 4] = 0.0;
+        l[9 * 10 + 4] = 0.0;
+        l[2 * 10 + 5] = 0.0;
+        l[3 * 10 + 5] = 0.0;
+        l[4 * 10 + 5] = 0.0;
         let mut d = [0.0f64; 10];
         let mut z = [0.0f64; 10];
-        for (r, row) in self.lo.iter().enumerate() {
-            l[r][..4].copy_from_slice(row);
-        }
         d[..4].copy_from_slice(&self.dd);
         z[..4].copy_from_slice(&self.zo);
         // recompute columns local 4..10 = global 2M-6 .. 2M-1
         for k in 4..10 {
-            l[k][k] = 1.0;
+            l[10 * k + k] = 1.0;
             // D_kk = A*[k-4][k-4] - Σ_{i=k-4}^{k-1} D_i L_ki²
             let mut dk = block.a[k - 4][k - 4];
             for i in k - 4..k {
-                dk -= d[i] * l[k][i] * l[k][i];
+                dk -= d[i] * l[10 * k + i] * l[10 * k + i];
             }
             d[k] = dk;
             // forward substitution for the recomputed index
             let mut zk = block.b[k - 4];
             for i in k - 4..k {
-                zk -= l[k][i] * z[i];
+                zk -= l[10 * k + i] * z[i];
             }
             z[k] = zk;
             // column k of L below the diagonal (band: j ≤ k+4)
@@ -302,23 +352,21 @@ impl Window {
                 let mut s = if j >= 4 { block.a[j - 4][k - 4] } else { 0.0 };
                 let lo_i = j.saturating_sub(4).max(k.saturating_sub(4));
                 for i in lo_i..k {
-                    s -= l[j][i] * d[i] * l[k][i];
+                    s -= l[10 * j + i] * d[i] * l[10 * k + i];
                 }
-                l[j][k] = s / dk;
+                l[10 * j + k] = s / dk;
             }
         }
         // exact first two backward-substitution steps: the newest τ, s
         let x9 = z[9] / d[9];
-        let x8 = z[8] / d[8] - l[9][8] * x9;
+        let x8 = z[8] / d[8] - l[9 * 10 + 8] * x9;
         // slide the window by one time point (two unknowns)
         self.m += 1;
-        let mut lo = [[0.0; 4]; 8];
-        for (r, row) in lo.iter_mut().enumerate() {
+        for (r, row) in self.lo.iter_mut().enumerate() {
             for (c, v) in row.iter_mut().enumerate() {
-                *v = l[r + 2][c + 2];
+                *v = l[10 * (r + 2) + c + 2];
             }
         }
-        self.lo = lo;
         self.dd.copy_from_slice(&d[2..6]);
         self.zo.copy_from_slice(&z[2..6]);
         (x8, x9)

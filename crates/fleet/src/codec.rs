@@ -89,7 +89,7 @@ const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v8: CarriedTotals gained the health counters (wal_retries,
 //     shard_restarts, undurable_batches); series gained the Quarantined
 //     phase (tag 3: cause + dropped count)
-const VERSION: u16 = 8;
+pub(crate) const VERSION: u16 = 8;
 /// Oldest version this build still decodes.
 const MIN_VERSION: u16 = 3;
 const KIND_FULL: u8 = 0;
@@ -656,7 +656,7 @@ fn decode_detector_config(
 /// v4: pending per-series admission overrides of a warming series.
 /// v5 appends the optional residual-score override; v6 the optional
 /// forecast override; v7 the optional backend override.
-fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
+pub(crate) fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
     w.opt_f64(o.lambda);
     w.opt_f64(o.nsigma);
     w.opt_u32(o.period.map(|v| v as u32));
@@ -690,7 +690,10 @@ fn encode_admit_options(w: &mut Writer, o: &AdmitOptions) {
     }
 }
 
-fn decode_admit_options(r: &mut Reader<'_>, version: u16) -> Result<AdmitOptions, CodecError> {
+pub(crate) fn decode_admit_options(
+    r: &mut Reader<'_>,
+    version: u16,
+) -> Result<AdmitOptions, CodecError> {
     let lambda = r.opt_f64()?;
     let nsigma = r.opt_f64()?;
     let period = r.opt_u32()?.map(|v| v as usize);
@@ -1001,7 +1004,7 @@ impl Writer {
     pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.bytes(&v.to_le_bytes());
     }
     pub(crate) fn u32(&mut self, v: u32) {
@@ -1067,6 +1070,11 @@ pub(crate) struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// Bytes left to read — lets a decoder sanity-check a declared element
+    /// count against the space it would need before allocating for it.
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.pos + n > self.data.len() {
             return Err(CodecError::Truncated);
@@ -1078,7 +1086,7 @@ impl<'a> Reader<'a> {
     pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
-    fn u16(&mut self) -> Result<u16, CodecError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, CodecError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
     pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {

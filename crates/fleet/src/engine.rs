@@ -11,6 +11,7 @@
 //!   [`FleetConfig::queue_capacity`] set, a full shard either blocks the
 //!   submitter or rejects the batch ([`crate::QueuePolicy`]).
 
+use crate::batch::ShardBatch;
 use crate::config::{AdmitOptions, FleetConfig, QueuePolicy};
 use crate::error::FleetError;
 use crate::series::SeriesState;
@@ -182,14 +183,17 @@ pub struct FleetEngine {
     /// flushes whole batches, so the loss window is `fsync_every − 1`
     /// batches total, not per shard).
     wal_unsynced: u64,
-    /// Returned routing buffers, reused across [`FleetEngine::submit`]
-    /// calls instead of reallocating per batch.
-    spare_bufs: Vec<Vec<(usize, Record, u64)>>,
-    /// Workers hand their drained routing buffers back through this.
-    buf_rx: Receiver<Vec<(usize, Record, u64)>>,
+    /// Recycled columnar routing batches, reused across
+    /// [`FleetEngine::submit`] calls instead of reallocating per batch.
+    /// Batches normally come back on the ingest reply itself
+    /// ([`FleetEngine::next_batch`] empties them into here); the return
+    /// channel below covers abandoned batches.
+    spare_bufs: Vec<ShardBatch>,
+    /// Workers hand back batches whose reply receiver was dropped.
+    buf_rx: Receiver<ShardBatch>,
     /// The sending half handed to each worker (kept so a respawned worker
-    /// can return buffers too).
-    buf_tx: Sender<Vec<(usize, Record, u64)>>,
+    /// can return batches too).
+    buf_tx: Sender<ShardBatch>,
     /// Reassembly buffer reused across [`FleetEngine::next_batch`] calls.
     assembly: Vec<Option<ScoredPoint>>,
     /// Shard supervision: respawn a dead worker and rehydrate it from the
@@ -217,7 +221,7 @@ impl FleetEngine {
         let config = Arc::new(config);
         let states =
             (0..config.shards).map(|i| ShardState::new(i, Arc::clone(&config))).collect();
-        Ok(Self::spawn(config, states, 0, 0, CarriedTotals::default()))
+        Self::spawn(config, states, 0, 0, CarriedTotals::default())
     }
 
     /// Rebuilds an engine from a snapshot. The restored engine's scoring
@@ -261,22 +265,26 @@ impl FleetEngine {
             state.set_snapshot_baseline(snapshot.batches);
         }
         let mut engine =
-            Self::spawn(config, states, snapshot.clock, snapshot.batches, snapshot.totals);
+            Self::spawn(config, states, snapshot.clock, snapshot.batches, snapshot.totals)?;
         engine.shadow = shadow;
         Ok(engine)
     }
 
+    /// Spawns the worker threads. A thread the OS refuses to create is a
+    /// typed [`FleetError::Internal`], not a panic — the partially built
+    /// engine drops cleanly (workers already spawned see their senders
+    /// close and exit).
     fn spawn(
         config: Arc<FleetConfig>,
         states: Vec<ShardState>,
         clock: u64,
         batches: u64,
         carried: CarriedTotals,
-    ) -> Self {
+    ) -> Result<Self, FleetError> {
         let mut senders = Vec::with_capacity(states.len());
         let mut depths = Vec::with_capacity(states.len());
         let mut handles = Vec::with_capacity(states.len());
-        let (buf_tx, buf_rx) = channel::<Vec<(usize, Record, u64)>>();
+        let (buf_tx, buf_rx) = channel::<ShardBatch>();
         for state in states {
             let (sender, rx) = Self::shard_channel(&config);
             let depth = Arc::new(AtomicUsize::new(0));
@@ -286,12 +294,12 @@ impl FleetEngine {
                 std::thread::Builder::new()
                     .name(format!("fleet-shard-{}", state.index))
                     .spawn(move || run_worker(state, rx, worker_depth, worker_buf_tx))
-                    .expect("spawning a shard worker thread"),
+                    .map_err(|_| FleetError::Internal("spawning a shard worker thread"))?,
             );
             senders.push(sender);
             depths.push(depth);
         }
-        FleetEngine {
+        Ok(FleetEngine {
             config,
             senders,
             depths,
@@ -310,7 +318,7 @@ impl FleetEngine {
             supervise: true,
             degrade: false,
             shadow: BTreeMap::new(),
-        }
+        })
     }
 
     /// Builds one shard request channel of the configured flavor.
@@ -437,9 +445,10 @@ impl FleetEngine {
         self.send(shard, ShardMsg::Crash)
     }
 
-    /// Hands out a routing buffer, reusing one a worker returned if any
-    /// (allocation-free once the pipeline is primed).
-    fn route_buf(&mut self) -> Vec<(usize, Record, u64)> {
+    /// Hands out a routing batch from the spare pool, first sweeping in
+    /// any batches workers returned out of band (allocation-free once the
+    /// pipeline is primed).
+    fn route_buf(&mut self) -> ShardBatch {
         while let Ok(buf) = self.buf_rx.try_recv() {
             self.spare_bufs.push(buf);
         }
@@ -471,8 +480,7 @@ impl FleetEngine {
         let shards = self.shard_count();
         // route on a scratch clock: a rejected batch must leave no trace
         let mut clock = self.clock;
-        let mut routed: Vec<Vec<(usize, Record, u64)>> =
-            (0..shards).map(|_| self.route_buf()).collect();
+        let mut routed: Vec<ShardBatch> = (0..shards).map(|_| self.route_buf()).collect();
         for (idx, rec) in batch.into_iter().enumerate() {
             // a bounded clock step contains timestamp poisoning (see
             // `FleetConfig::max_clock_step`); the record keeps its raw `t`
@@ -484,25 +492,29 @@ impl FleetEngine {
                 None => rec.t,
             };
             clock = clock.max(t);
-            routed[rec.key.shard_of(shards)].push((idx, rec, t));
+            // one hash per record, total: it picks the shard here and the
+            // registry bucket on the worker (`SeriesKey::shard_of` is
+            // exactly this reduction of `stable_hash`)
+            let hash = rec.key.stable_hash();
+            let shard = (hash % shards.max(1) as u64) as usize;
+            routed[shard].push(idx as u32, rec, hash, t);
         }
         let wal_on = self.wal.is_some();
-        // shards that receive a message: those with items — plus shard 0
+        // shards that receive a message: those with rows — plus shard 0
         // for an empty batch under WAL, because even an empty batch
         // advances the sweep cadence and replay must reproduce it
-        let is_target = |shard: usize, items: &Vec<(usize, Record, u64)>| {
-            !items.is_empty() || (wal_on && n == 0 && shard == 0)
-        };
+        let is_target =
+            |shard: usize, b: &ShardBatch| !b.is_empty() || (wal_on && n == 0 && shard == 0);
         if let (Some(cap), QueuePolicy::Reject) =
             (self.config.queue_capacity, self.config.queue_policy)
         {
             // depth can only shrink concurrently (workers drain, and this
             // `&mut self` method is the sole submitter), so a passing
             // check here guarantees the sends below never overflow
-            for (shard, items) in routed.iter().enumerate() {
-                if is_target(shard, items) && self.depths[shard].load(Ordering::Relaxed) >= cap
-                {
-                    // reclaim the buffers; the batch can be retried verbatim
+            for (shard, b) in routed.iter().enumerate() {
+                if is_target(shard, b) && self.depths[shard].load(Ordering::Relaxed) >= cap {
+                    // reclaim every routed batch into the spare pool; the
+                    // submission can be retried verbatim
                     for mut buf in routed {
                         buf.clear();
                         self.spare_bufs.push(buf);
@@ -515,7 +527,7 @@ impl FleetEngine {
         // group commit: the fsync cadence is engine-wide — one batch, one
         // flush (issued by the last shard whose frame lands; see
         // `wal::GroupWal`) — so the fanout rides along in the metadata
-        let fanout = routed.iter().enumerate().filter(|(s, it)| is_target(*s, it)).count();
+        let fanout = routed.iter().enumerate().filter(|(s, b)| is_target(*s, b)).count();
         let wal_meta = self.wal.as_ref().map(|(_, every)| {
             let sync = self.wal_unsynced + 1 >= *every;
             self.wal_unsynced = if sync { 0 } else { self.wal_unsynced + 1 };
@@ -523,14 +535,14 @@ impl FleetEngine {
         });
         let (reply_tx, reply_rx) = channel();
         let mut targets = Vec::new();
-        for (shard, items) in routed.into_iter().enumerate() {
-            if !is_target(shard, &items) {
-                self.spare_bufs.push(items); // stays empty, reuse next batch
+        for (shard, b) in routed.into_iter().enumerate() {
+            if !is_target(shard, &b) {
+                self.spare_bufs.push(b); // stays empty, reuse next batch
                 continue;
             }
             self.send_or_respawn(
                 shard,
-                ShardMsg::Ingest { items, seq, wal: wal_meta, reply: reply_tx.clone() },
+                ShardMsg::Ingest { batch: b, seq, wal: wal_meta, reply: reply_tx.clone() },
             )?;
             targets.push(shard);
         }
@@ -566,11 +578,19 @@ impl FleetEngine {
                     waiting.retain(|&s| s != shard);
                     failed = Some(FleetError::Io(msg));
                 }
-                Ok((shard, Ok(part))) => {
+                Ok((shard, Ok(mut b))) => {
                     waiting.retain(|&s| s != shard);
-                    for (idx, sp) in part {
-                        self.assembly[idx] = Some(sp);
+                    // keys and outputs move straight from the columns into
+                    // the assembled points (no clones); the emptied batch
+                    // then rejoins the spare pool
+                    for (j, (key, output)) in
+                        b.keys.drain(..).zip(b.outputs.drain(..)).enumerate()
+                    {
+                        self.assembly[b.idx[j] as usize] =
+                            Some(ScoredPoint { key, t: b.ts[j], value: b.values[j], output });
                     }
+                    b.clear();
+                    self.spare_bufs.push(b);
                 }
             }
         }

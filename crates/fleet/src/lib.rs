@@ -120,11 +120,13 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod batch;
 pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod net;
 pub mod persist;
 pub mod series;
 pub mod shard;
@@ -135,9 +137,11 @@ pub use backend::{
     BackendScore, BackendSelect, BackendSnapshot, DampBackend, DampBackendState, DampOptions,
     DetectorBackend, EnsembleFusion, EnsembleOptions, SeriesBackend,
 };
+pub use batch::ShardBatch;
 pub use config::{AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy, QueuePolicy};
 pub use engine::{CarriedTotals, FleetDelta, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};
+pub use net::{NetClient, NetError, NetMessage, NetServer};
 pub use persist::{DurabilityConfig, DurabilityPolicy, DurableFleet};
 pub use series::{ForecastSnapshot, QuarantineCause};
 pub use shard::SeriesSnapshot;

@@ -5,14 +5,14 @@
 //! sub-batch *before* applying it, so a reply implies the points are
 //! logged (write-ahead).
 
+use crate::batch::ShardBatch;
 use crate::config::{AdmitOptions, FleetConfig};
 use crate::error::FleetError;
 use crate::fault::{self, FaultOp};
 use crate::series::{PhaseSnapshot, QuarantineCause, SeriesState, StepOutcome};
 use crate::types::{PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};
-use crate::wal::{GroupWal, WalFrame, WalItem};
+use crate::wal::{encode_record_into, GroupWal};
 use oneshotstl::{IncrementalSolver, UpdateScratch};
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,8 +33,131 @@ pub struct SeriesEntry {
     pub dirty_seq: u64,
 }
 
+/// Vacant-bucket marker in [`KeyIndex`] (a real arena can never reach
+/// 2³² − 1 slots before exhausting memory).
+const EMPTY_BUCKET: u32 = u32::MAX;
+
+/// Open-addressed index from a series' stable hash to its arena slot:
+/// linear probing over a power-of-two table at ≤ 75% load, with
+/// backward-shift deletion (no tombstones, so probe chains never rot).
+///
+/// The point is **hash reuse** on the hot path: the engine's router
+/// already computes each record's FNV-1a [`SeriesKey::stable_hash`] once
+/// per batch to pick its shard, and that value rides along in the
+/// [`ShardBatch`] columns — so the worker's resolution pass indexes
+/// straight off it instead of re-hashing the key bytes through the std
+/// `HashMap`'s SipHash. Equality is confirmed against the arena entry,
+/// which is an `Arc` pointer check when the caller's key aliases the
+/// admitted one (the common case for a stable producer set).
+#[derive(Default)]
+struct KeyIndex {
+    /// `(stable_hash, slot)` buckets; a slot of [`EMPTY_BUCKET`] marks a
+    /// vacant bucket. Length is always zero or a power of two.
+    buckets: Vec<(u64, u32)>,
+    /// Occupied bucket count.
+    len: usize,
+}
+
+impl KeyIndex {
+    /// The slot registered under `hash`, confirmed by key equality against
+    /// the arena (distinct keys can share a 64-bit hash).
+    fn find(&self, hash: u64, key: &SeriesKey, slots: &[Option<SeriesEntry>]) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let (h, s) = self.buckets[i];
+            if s == EMPTY_BUCKET {
+                return None;
+            }
+            if h == hash {
+                if let Some(e) = slots.get(s as usize).and_then(|e| e.as_ref()) {
+                    if e.key == *key {
+                        return Some(s);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Registers `hash → slot` (the caller guarantees the key is absent).
+    fn insert(&mut self, hash: u64, slot: u32) {
+        debug_assert_ne!(slot, EMPTY_BUCKET);
+        if (self.len + 1) * 4 > self.buckets.len() * 3 {
+            self.grow();
+        }
+        self.insert_raw(hash, slot);
+        self.len += 1;
+    }
+
+    /// Places an entry in the first vacant bucket of its probe chain
+    /// (capacity is guaranteed by the caller).
+    fn insert_raw(&mut self, hash: u64, slot: u32) {
+        let mask = self.buckets.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.buckets[i].1 != EMPTY_BUCKET {
+            i = (i + 1) & mask;
+        }
+        self.buckets[i] = (hash, slot);
+    }
+
+    /// Doubles the table and re-seats every entry (hashes are stored, so
+    /// no key access is needed).
+    fn grow(&mut self) {
+        let new_cap = (self.buckets.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.buckets, vec![(0, EMPTY_BUCKET); new_cap]);
+        for (h, s) in old {
+            if s != EMPTY_BUCKET {
+                self.insert_raw(h, s);
+            }
+        }
+    }
+
+    /// Unregisters the bucket holding `slot` (probed from `hash`), then
+    /// backward-shifts the rest of the cluster so every survivor stays
+    /// reachable from its home bucket without tombstones.
+    fn remove(&mut self, hash: u64, slot: u32) {
+        if self.len == 0 {
+            return;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut hole = (hash as usize) & mask;
+        loop {
+            let (_, s) = self.buckets[hole];
+            if s == EMPTY_BUCKET {
+                return; // not present: tolerated inconsistency, not a panic
+            }
+            if s == slot {
+                break;
+            }
+            hole = (hole + 1) & mask;
+        }
+        self.len -= 1;
+        let mut j = hole;
+        loop {
+            j = (j + 1) & mask;
+            let (h, s) = self.buckets[j];
+            if s == EMPTY_BUCKET {
+                break;
+            }
+            // an entry may fill the hole iff the hole lies on its probe
+            // path: dist(home → hole) < dist(home → j), cyclically
+            let home = (h as usize) & mask;
+            if (hole.wrapping_sub(home) & mask) < (j.wrapping_sub(home) & mask) {
+                self.buckets[hole] = self.buckets[j];
+                hole = j;
+            }
+        }
+        self.buckets[hole] = (0, EMPTY_BUCKET);
+    }
+}
+
 /// Slot-arena series registry: entries live in a contiguous `slots` arena
-/// in admission order, with a small side index from key to slot.
+/// in admission order, with a compact `KeyIndex` from stable hash to
+/// slot.
 ///
 /// The layout is the fleet's main cache lever. At 100k+ series the
 /// per-series state (a few KiB each) dwarfs every cache level, so what
@@ -43,12 +166,13 @@ pub struct SeriesEntry {
 /// (slots are admission-ordered, and each entry's buffers were allocated
 /// at admission), which turns TLB-miss-bound random access into
 /// prefetch-friendly streaming — measured ~20× cheaper per point at the
-/// 100k tier. The index itself stays a few MiB (key + `u32`), i.e.
-/// cache-resident, and looking up a known series clones no key.
+/// 100k tier. The index itself stays a few MiB (12 bytes per bucket),
+/// i.e. cache-resident, and looking up a known series hashes nothing and
+/// clones no key when the caller supplies the precomputed hash.
 #[derive(Default)]
 pub struct Registry {
-    /// Key → slot in `slots`.
-    by_key: HashMap<SeriesKey, u32>,
+    /// Stable hash → slot in `slots`.
+    index: KeyIndex,
     /// Admission-ordered entry arena; `None` marks an evicted slot
     /// awaiting reuse.
     slots: Vec<Option<SeriesEntry>>,
@@ -59,17 +183,24 @@ pub struct Registry {
 impl Registry {
     /// Number of registered series.
     pub fn len(&self) -> usize {
-        self.by_key.len()
+        self.index.len
     }
 
     /// True when no series is registered.
     pub fn is_empty(&self) -> bool {
-        self.by_key.is_empty()
+        self.index.len == 0
     }
 
-    /// The slot of `key`, if registered.
+    /// The slot of `key`, if registered (cold paths; hashes the key).
     pub fn slot_of(&self, key: &SeriesKey) -> Option<u32> {
-        self.by_key.get(key).copied()
+        self.slot_of_hashed(key.stable_hash(), key)
+    }
+
+    /// [`Registry::slot_of`] with the key's [`SeriesKey::stable_hash`]
+    /// already computed — the ingest path, where the router's hash rides
+    /// along in the batch columns.
+    pub fn slot_of_hashed(&self, hash: u64, key: &SeriesKey) -> Option<u32> {
+        self.index.find(hash, key, &self.slots)
     }
 
     /// Shared access by key (cold paths: forecast).
@@ -90,10 +221,15 @@ impl Registry {
     }
 
     /// Registers a new entry (the key must not be present), reusing an
-    /// evicted slot if one is free. This is the only place a key is
-    /// cloned on the ingest path.
+    /// evicted slot if one is free.
     pub fn insert(&mut self, entry: SeriesEntry) -> u32 {
-        let key = entry.key.clone();
+        let hash = entry.key.stable_hash();
+        self.insert_hashed(hash, entry)
+    }
+
+    /// [`Registry::insert`] with the entry key's stable hash already
+    /// computed (the ingest path's admission branch).
+    pub fn insert_hashed(&mut self, hash: u64, entry: SeriesEntry) -> u32 {
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slots[slot as usize] = Some(entry);
@@ -104,7 +240,7 @@ impl Registry {
                 (self.slots.len() - 1) as u32
             }
         };
-        self.by_key.insert(key, slot);
+        self.index.insert(hash, slot);
         slot
     }
 
@@ -112,7 +248,7 @@ impl Registry {
     /// was already vacant).
     pub fn remove_slot(&mut self, slot: u32) -> Option<SeriesEntry> {
         let entry = self.slots.get_mut(slot as usize).and_then(Option::take)?;
-        self.by_key.remove(&entry.key);
+        self.index.remove(entry.key.stable_hash(), slot);
         self.free.push(slot);
         Some(entry)
     }
@@ -174,24 +310,26 @@ pub enum WalOp {
 }
 
 /// One shard's answer to a [`ShardMsg::Ingest`]: its shard index plus the
-/// `(original_index, output)` pairs, or the worker-side error string.
-pub type BatchReply = (usize, Result<Vec<(usize, ScoredPoint)>, String>);
+/// same columnar batch with its `outputs` column filled, or the
+/// worker-side error string. Returning the batch itself is what closes
+/// the buffer-recycling loop: the engine moves keys and outputs out and
+/// pushes the emptied buffers back into its spare pool.
+pub type BatchReply = (usize, Result<ShardBatch, String>);
 
 /// Messages the engine sends to a shard worker.
 pub enum ShardMsg {
-    /// Process a sub-batch; reply with this shard's index plus
-    /// `(original_index, output)` pairs, or an error if the WAL append
-    /// failed under crash-stop — in which case the sub-batch was **not**
-    /// applied and the worker terminates, so no later batch can be
-    /// applied past the durability failure either. (Under degrade mode a
-    /// failed append applies the batch un-durably and replies `Ok`.)
+    /// Process a columnar sub-batch; reply with this shard's index plus
+    /// the batch (outputs filled), or an error if the WAL append failed
+    /// under crash-stop — in which case the sub-batch was **not** applied
+    /// and the worker terminates, so no later batch can be applied past
+    /// the durability failure either. (Under degrade mode a failed append
+    /// applies the batch un-durably and replies `Ok`.)
     Ingest {
-        /// `(position in the caller's batch, record, liveness clock)`
-        /// triples, batch order. The liveness clock is the record's `t`
-        /// clamped by the engine's bounded clock (see
+        /// The routed columns, batch order. The `live` column is each
+        /// record's `t` clamped by the engine's bounded clock (see
         /// `FleetConfig::max_clock_step`) — a future-dated record must not
         /// make its series immune to TTL eviction.
-        items: Vec<(usize, Record, u64)>,
+        batch: ShardBatch,
         /// Engine batch sequence number (dirty-marker for incremental
         /// snapshots; also the WAL frame seq when durability is on).
         seq: u64,
@@ -352,14 +490,29 @@ impl ShardState {
     /// Resolves a record's registry slot, admitting an unknown key (the
     /// only point where a key is cloned on the ingest path).
     fn resolve_slot(&mut self, key: &SeriesKey, liveness_t: u64, seq: u64) -> u32 {
-        match self.registry.slot_of(key) {
+        self.resolve_slot_hashed(key.stable_hash(), key, liveness_t, seq)
+    }
+
+    /// [`ShardState::resolve_slot`] with the key's stable hash already
+    /// computed — the batch path, which reuses the router's hash column.
+    fn resolve_slot_hashed(
+        &mut self,
+        hash: u64,
+        key: &SeriesKey,
+        liveness_t: u64,
+        seq: u64,
+    ) -> u32 {
+        match self.registry.slot_of_hashed(hash, key) {
             Some(slot) => slot,
-            None => self.registry.insert(SeriesEntry {
-                key: key.clone(),
-                state: SeriesState::new(&self.config),
-                last_seen: liveness_t,
-                dirty_seq: seq,
-            }),
+            None => self.registry.insert_hashed(
+                hash,
+                SeriesEntry {
+                    key: key.clone(),
+                    state: SeriesState::new(&self.config),
+                    last_seen: liveness_t,
+                    dirty_seq: seq,
+                },
+            ),
         }
     }
 
@@ -422,36 +575,50 @@ impl ShardState {
         ScoredPoint { key, t, value, output }
     }
 
-    /// Processes a sub-batch **in ascending slot order** (per-series order
-    /// within the batch is preserved; the engine reassembles outputs by
-    /// index, so reply order is free). Slot order is admission order, so
-    /// the per-series state is walked monotonically through the heap —
-    /// the cache/TLB win described on [`Registry`].
-    pub fn ingest_batch(
-        &mut self,
-        items: &[(usize, Record, u64)],
-        seq: u64,
-    ) -> Vec<(usize, ScoredPoint)> {
+    /// Processes one routed sub-batch in place: a single registry
+    /// resolution pass over the key/hash columns (consecutive rows of the
+    /// same series reuse the previous resolution — a run of points for one
+    /// series costs one lookup), then an update sweep **in ascending slot
+    /// order** writing each verdict into `batch.outputs` at its row.
+    /// Per-series order within the batch is preserved (the `(slot, row)`
+    /// sort breaks ties by row); the engine reassembles outputs by the
+    /// `idx` column, so reply order is free. Slot order is admission
+    /// order, so the per-series state is walked monotonically through the
+    /// heap — the cache/TLB win described on [`Registry`].
+    pub fn ingest_batch(&mut self, batch: &mut ShardBatch, seq: u64) {
+        let n = batch.len();
         let mut order = std::mem::take(&mut self.order);
         order.clear();
-        for (i, (_, rec, live_t)) in items.iter().enumerate() {
-            order.push((self.resolve_slot(&rec.key, *live_t, seq), i as u32));
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let slot = match prev {
+                Some(s)
+                    if batch.hash[i] == batch.hash[i - 1]
+                        && batch.keys[i] == batch.keys[i - 1] =>
+                {
+                    s
+                }
+                _ => {
+                    self.resolve_slot_hashed(batch.hash[i], &batch.keys[i], batch.live[i], seq)
+                }
+            };
+            prev = Some(slot);
+            order.push((slot, i as u32));
         }
-        // (slot, position): stable per-series order at equal slots
-        order.sort_unstable();
-        let mut out = Vec::with_capacity(items.len());
+        // (slot, row): stable per-series order at equal slots. A batch
+        // whose rows already arrive in admission order (a producer cycling
+        // a fixed key set) skips the sort entirely.
+        if !order.is_sorted() {
+            order.sort_unstable();
+        }
+        batch.outputs.clear();
+        // placeholder verdict; the sweep below writes every row exactly once
+        batch.outputs.resize(n, PointOutput::Rejected);
         for &(slot, i) in &order {
-            let (idx, rec, live_t) = &items[i as usize];
-            let output = self.step_slot(slot, rec.value, *live_t, seq);
-            // the key clone is an Arc refcount bump (the buffer entry is
-            // recycled, so the record cannot be moved out of it)
-            out.push((
-                *idx,
-                ScoredPoint { key: rec.key.clone(), t: rec.t, value: rec.value, output },
-            ));
+            let i = i as usize;
+            batch.outputs[i] = self.step_slot(slot, batch.values[i], batch.live[i], seq);
         }
         self.order = order;
-        out
     }
 
     /// Registers or replaces per-series admission overrides. An unknown
@@ -658,15 +825,19 @@ pub fn run_worker(
     mut state: ShardState,
     rx: Receiver<ShardMsg>,
     queue_depth: Arc<AtomicUsize>,
-    buf_return: Sender<Vec<(usize, Record, u64)>>,
+    buf_return: Sender<ShardBatch>,
 ) {
     // a respawned worker arrives with the WAL already in its state, not
     // via a WalCtl message — arm the unwind guard from either source
     let mut poison_guard = PanicPoison { wal: state.wal.clone() };
+    // reusable WAL record scratch: frames encode straight off the batch
+    // columns into this buffer, so logging allocates nothing per batch
+    // once primed
+    let mut wal_buf: Vec<u8> = Vec::new();
     while let Ok(msg) = rx.recv() {
         queue_depth.fetch_sub(1, Ordering::Relaxed);
         match msg {
-            ShardMsg::Ingest { items, seq, wal, reply } => {
+            ShardMsg::Ingest { mut batch, seq, wal, reply } => {
                 // write-ahead: the frame must be on the log before any
                 // series state changes, so a reply implies durability (up
                 // to the fsync interval) and recovery never replays a
@@ -675,20 +846,8 @@ pub fn run_worker(
                 // by whichever shard's append lands last — has completed.
                 let logged = match (&wal, state.wal.as_ref()) {
                     (Some(meta), Some(w)) => {
-                        let frame = WalFrame {
-                            seq: meta.seq,
-                            batch_n: meta.batch_n,
-                            items: items
-                                .iter()
-                                .map(|(idx, rec, _)| WalItem {
-                                    idx: *idx as u32,
-                                    t: rec.t,
-                                    value: rec.value,
-                                    key: rec.key.clone(),
-                                })
-                                .collect(),
-                        };
-                        w.append(&frame, meta.fanout, meta.sync)
+                        encode_record_into(&mut wal_buf, meta.seq, meta.batch_n, &batch);
+                        w.append_record(meta.seq, &wal_buf, meta.fanout, meta.sync)
                             .map_err(|e| format!("wal append on shard {}: {e}", state.index))
                     }
                     _ => Ok(()),
@@ -709,15 +868,18 @@ pub fn run_worker(
                     // the un-durable window, and re-arms durability with
                     // a fresh segment + full snapshot out of band
                 }
-                let mut items = items;
-                let out = state.ingest_batch(&items, seq);
-                // hand the routing buffer back to the engine for reuse
-                // (a closed return channel just drops it)
-                items.clear();
-                let _ = buf_return.send(items);
-                // a dropped reply receiver is not an error: the engine may
-                // have abandoned the batch
-                let _ = reply.send((state.index, Ok(out)));
+                state.ingest_batch(&mut batch, seq);
+                // the filled batch rides back on the reply; the engine
+                // moves keys and outputs out and recycles the buffers. An
+                // abandoned batch (dropped receiver) is handed back
+                // through the return channel instead, so its buffers
+                // rejoin the pool rather than being dropped.
+                if let Err(std::sync::mpsc::SendError((_, Ok(mut b)))) =
+                    reply.send((state.index, Ok(batch)))
+                {
+                    b.clear();
+                    let _ = buf_return.send(b);
+                }
             }
             ShardMsg::Admit { key, opts, now, seq, reply } => {
                 let _ = reply.send(state.set_admit_options(&key, opts, now, seq));
@@ -792,5 +954,43 @@ mod registry_tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r.occupied().collect::<Vec<_>>(), vec![0, 1]);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn index_survives_churn() {
+        // enough keys to force several table growths plus long probe
+        // chains, then heavy deletion: backward-shift removal must keep
+        // every survivor reachable from its home bucket
+        let mut r = Registry::default();
+        let keys: Vec<SeriesKey> =
+            (0..500).map(|i| SeriesKey::new(format!("churn/{i}"))).collect();
+        let slots: Vec<u32> = keys.iter().map(|k| r.insert(entry(k.as_str()))).collect();
+        for (k, &s) in keys.iter().zip(&slots) {
+            assert_eq!(r.slot_of(k), Some(s));
+            assert_eq!(r.slot_of_hashed(k.stable_hash(), k), Some(s));
+            assert_eq!(
+                r.slot_of_hashed(k.stable_hash() ^ 1, k),
+                None,
+                "a wrong hash must not resolve"
+            );
+        }
+        for (i, &s) in slots.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(r.remove_slot(s).is_some());
+            }
+        }
+        for (i, (k, &s)) in keys.iter().zip(&slots).enumerate() {
+            let expect = if i % 3 == 0 { None } else { Some(s) };
+            assert_eq!(r.slot_of(k), expect, "key {i} after churn");
+        }
+        assert_eq!(r.len(), 500 - 167);
+        // re-admission reuses freed slots and the index stays consistent
+        for i in (0..500).step_by(3) {
+            r.insert(entry(keys[i].as_str()));
+        }
+        assert_eq!(r.len(), 500);
+        for k in &keys {
+            assert!(r.slot_of(k).is_some());
+        }
     }
 }

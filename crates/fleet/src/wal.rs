@@ -148,6 +148,46 @@ impl WalFrame {
     }
 }
 
+/// Encodes one frame as a complete record (`u32 len · u32 crc · payload`).
+fn encode_record(frame: &WalFrame) -> Vec<u8> {
+    let payload = frame.encode_payload();
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+/// Encodes one shard's columnar sub-batch as a complete WAL record
+/// (`u32 len · u32 crc32 · payload`) into `buf`, reusing its capacity.
+/// The payload bytes are identical to [`WalFrame::encode_payload`] over
+/// the equivalent items, so recovery decodes both the same way — pinned by
+/// a round-trip test below.
+pub(crate) fn encode_record_into(
+    buf: &mut Vec<u8>,
+    seq: u64,
+    batch_n: u32,
+    batch: &crate::batch::ShardBatch,
+) {
+    let mut w = Writer { buf: std::mem::take(buf) };
+    w.buf.clear();
+    w.buf.extend_from_slice(&[0u8; 8]); // len + crc, backfilled below
+    w.u64(seq);
+    w.u32(batch_n);
+    w.u32(batch.len() as u32);
+    for i in 0..batch.len() {
+        w.u32(batch.idx[i]);
+        w.u64(batch.ts[i]);
+        w.f64(batch.values[i]);
+        w.string(batch.keys[i].as_str());
+    }
+    let payload_len = (w.buf.len() - 8) as u32;
+    let crc = crc32(&w.buf[8..]);
+    w.buf[..4].copy_from_slice(&payload_len.to_le_bytes());
+    w.buf[4..8].copy_from_slice(&crc.to_le_bytes());
+    *buf = w.buf;
+}
+
 /// An open, append-only WAL segment owned by one shard worker.
 #[derive(Debug)]
 pub struct Wal {
@@ -186,12 +226,13 @@ impl Wal {
     /// Appends one frame; `sync` additionally forces the segment to stable
     /// storage (`fsync`) after the write.
     pub fn append(&mut self, frame: &WalFrame, sync: bool) -> std::io::Result<()> {
-        let payload = frame.encode_payload();
-        let mut rec = Vec::with_capacity(8 + payload.len());
-        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
-        rec.extend_from_slice(&payload);
-        fault::write_all(&mut self.file, &self.path, &rec)?;
+        self.append_record(&encode_record(frame), sync)
+    }
+
+    /// Appends one pre-encoded record (`u32 len · u32 crc · payload`,
+    /// already laid out — see [`encode_record_into`]).
+    fn append_record(&mut self, rec: &[u8], sync: bool) -> std::io::Result<()> {
+        fault::write_all(&mut self.file, &self.path, rec)?;
         if sync {
             fault::sync_data(&self.file, &self.path)?;
         }
@@ -303,9 +344,23 @@ impl GroupWal {
     /// Coverage is monotone, so a later batch's flush releases earlier
     /// waiters too.
     pub fn append(&self, frame: &WalFrame, fanout: u32, sync: bool) -> std::io::Result<()> {
+        self.append_record(frame.seq, &encode_record(frame), fanout, sync)
+    }
+
+    /// [`GroupWal::append`] over a pre-encoded record of batch `seq` — the
+    /// allocation-free path the shard workers use, encoding straight off
+    /// their batch columns into a reusable buffer
+    /// ([`encode_record_into`]).
+    pub(crate) fn append_record(
+        &self,
+        seq: u64,
+        rec: &[u8],
+        fanout: u32,
+        sync: bool,
+    ) -> std::io::Result<()> {
         let mut g = self.inner.lock().expect("group WAL mutex");
         g.check()?;
-        if let Err(e) = g.wal.append(frame, false) {
+        if let Err(e) = g.wal.append_record(rec, false) {
             g.poison(&e);
             self.flushed_cv.notify_all();
             return Err(e);
@@ -315,10 +370,10 @@ impl GroupWal {
             return Ok(());
         }
         let my_mark = g.appended;
-        let remaining = g.pending.entry(frame.seq).or_insert(fanout.max(1));
+        let remaining = g.pending.entry(seq).or_insert(fanout.max(1));
         *remaining -= 1;
         if *remaining == 0 {
-            g.pending.remove(&frame.seq);
+            g.pending.remove(&seq);
             // group flush: covers every append made so far, including any
             // frames of neighbouring batches that landed in between
             let covered = g.appended;
@@ -532,6 +587,30 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn columnar_record_is_byte_identical_to_frame_encoding() {
+        // the workers log straight off their batch columns; the bytes must
+        // match the WalFrame encoding bit-for-bit or recovery would see a
+        // different durable history than the item-based writer produced
+        let f = frame(42, 4);
+        let mut batch = crate::batch::ShardBatch::default();
+        for it in &f.items {
+            batch.push(
+                it.idx,
+                crate::types::Record { key: it.key.clone(), t: it.t, value: it.value },
+                it.key.stable_hash(),
+                it.t,
+            );
+        }
+        let mut buf = vec![0xAA; 3]; // stale contents must not leak in
+        encode_record_into(&mut buf, f.seq, f.batch_n, &batch);
+        assert_eq!(buf, encode_record(&f));
+        // an empty sub-batch (the shard-0 marker frame) matches too
+        let empty = frame(43, 0);
+        encode_record_into(&mut buf, empty.seq, empty.batch_n, &Default::default());
+        assert_eq!(buf, encode_record(&empty));
     }
 
     #[test]
