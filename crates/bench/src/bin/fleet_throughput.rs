@@ -130,8 +130,14 @@ fn main() {
     // (workload, noise amplitude, fleet sizes, shard counts, shift search)
     type Regime<'a> = (&'static str, f64, &'a [usize], &'a [usize], ShiftSearchConfig);
     let storm_sizes: &[usize] = if cli.quick { &[1_000] } else { &[10_000] };
+    // quick mode still measures the two committed regression-gate
+    // configurations (steady 10k/100k at one shard), so CI's `bench_check`
+    // can compare a freshly generated BENCH_fleet.json against the
+    // baselines; the full run already covers them via `fleet_sizes`
+    let gate_sizes: &[usize] = if cli.quick { &[10_000, 100_000] } else { &[] };
     let regimes: &[Regime<'_>] = &[
         ("steady", 0.05, fleet_sizes, &shard_counts, ShiftSearchConfig::default()),
+        ("steady", 0.05, gate_sizes, &[1], ShiftSearchConfig::default()),
         // the anomaly-path tier, priced under both search policies
         ("storm", 0.0, storm_sizes, &[1, 4], ShiftSearchConfig::default()),
         ("storm-full", 0.0, storm_sizes, &[1, 4], ShiftSearchConfig::exhaustive()),

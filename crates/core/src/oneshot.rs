@@ -419,6 +419,39 @@ impl OneShotStl {
             search_trials: 0,
         })
     }
+
+    /// Estimated serialized footprint of [`OneShotStl::to_state`] in bytes
+    /// under the exact-precision (plain `f64`) snapshot layout. Computed
+    /// from the seasonal-buffer length and solver phase without
+    /// materialising the state, so the cost is constant per call (the
+    /// IRLS iteration count is a small config constant). Capacity planning
+    /// for per-node fleets keys off this number; compressed codecs shrink
+    /// the vector payloads but keep the same structure.
+    pub fn state_bytes(&self) -> usize {
+        // config block: 6 × f64 + 2 × u32 + policy/init tags + shift search
+        let config = 6 * 8 + 2 * 4 + 2 + 5;
+        // period, t, m, shift
+        let scalars = 4 * 8;
+        // length-prefixed (tag + u32) f64 vector
+        let vec_f64 = |n: usize| 5 + 8 * n;
+        let seasonal = vec_f64(self.v.len());
+        let hists = 2 * 16;
+        let iters: usize = self
+            .iters
+            .iter()
+            .map(|st| {
+                let solver = match &st.solver {
+                    // steady: tag + step count + 8×4 L window + D + z
+                    IncrementalSolver::Steady(_) => 9 + vec_f64(32) + 2 * vec_f64(4),
+                    // warmup: tag + four vectors of one value per step
+                    IncrementalSolver::Warmup { .. } => 1 + 4 * vec_f64(st.solver.len()),
+                };
+                solver + 3 * 16
+            })
+            .sum();
+        let nsigma = 4 * 8;
+        config + scalars + seasonal + hists + 4 + iters + nsigma + 1
+    }
 }
 
 /// Plain-data snapshot of a [`OneShotStl`] (see [`OneShotStl::to_state`]).
@@ -942,6 +975,33 @@ mod tests {
             assert!((p.value() - v).abs() < 1e-9);
             assert!(p.trend.is_finite() && p.seasonal.is_finite());
         }
+    }
+
+    #[test]
+    fn state_bytes_is_stable_in_steady_state_and_scales_with_period() {
+        let build = |t: usize| {
+            let y = seasonal(600, t, 0.05, 7);
+            let mut m = OneShotStl::default_paper();
+            m.init(&y[..4 * t], t).unwrap();
+            for &v in &y[4 * t..] {
+                m.update(v);
+            }
+            m
+        };
+        let m24 = build(24);
+        let b24 = m24.state_bytes();
+        // steady-phase footprint is flat: more points never grow the state
+        let mut later = m24.clone();
+        for &v in &seasonal(200, 24, 0.05, 8) {
+            later.update(v);
+        }
+        assert_eq!(later.state_bytes(), b24);
+        // only the seasonal buffer scales with the period: 8 bytes per slot
+        let b48 = build(48).state_bytes();
+        assert_eq!(b48 - b24, 8 * 24);
+        // warmup states (tiny per-iteration histories) are strictly smaller
+        let fresh = OneShotStl::default_paper();
+        assert!(fresh.state_bytes() < b24);
     }
 
     #[test]

@@ -53,12 +53,23 @@
 //! batches) and the `Quarantined` series phase (cause + dropped count).
 //! v3–v7 images still decode: their counters start at 0 and no pre-v8
 //! writer ever quarantined a series.
+//!
+//! v9 adds the tiered-state layer: the engine-wide
+//! [`StateCompression`] selection and `spill_after` cold-tier threshold
+//! in the config, and a tag byte in front of every decomposer/solver
+//! state vector — tag 0 is the exact `f64` layout, tag 1 the compact
+//! delta-encoded form (first element as `f64` bits, every later element
+//! as the `f32` delta from its reconstructed predecessor). Compact is
+//! lossy at `f32`-delta precision but stable under re-encode, so
+//! repeated snapshot cycles do not drift. v3–v8 images still decode:
+//! their vectors are untagged plain `f64`s, compression comes back
+//! [`StateCompression::Exact`], and no pre-v9 writer spilled.
 
 use crate::backend::{
     BackendSelect, BackendSnapshot, DampBackendState, DampOptions, EnsembleFusion,
     EnsembleOptions, SeriesBackend,
 };
-use crate::config::{AdmitOptions, ForecastOptions, QueuePolicy};
+use crate::config::{AdmitOptions, ForecastOptions, QueuePolicy, StateCompression};
 use crate::engine::{CarriedTotals, FleetDelta, FleetSnapshot};
 use crate::error::CodecError;
 use crate::series::{ForecastSnapshot, PhaseSnapshot, QuarantineCause};
@@ -89,7 +100,10 @@ const MAGIC: &[u8; 8] = b"OSSTLFLT";
 // v8: CarriedTotals gained the health counters (wal_retries,
 //     shard_restarts, undurable_batches); series gained the Quarantined
 //     phase (tag 3: cause + dropped count)
-pub(crate) const VERSION: u16 = 8;
+// v9: FleetConfig gained the StateCompression selection and the
+//     spill_after cold-tier threshold; decomposer/solver state vectors
+//     gained a layout tag (0 = exact f64, 1 = delta-encoded f32)
+pub(crate) const VERSION: u16 = 9;
 /// Oldest version this build still decodes.
 const MIN_VERSION: u16 = 3;
 const KIND_FULL: u8 = 0;
@@ -107,7 +121,7 @@ pub fn encode(snapshot: &FleetSnapshot) -> Vec<u8> {
     encode_totals(&mut w, &snapshot.totals);
     w.u64(snapshot.series.len() as u64);
     for s in &snapshot.series {
-        encode_series(&mut w, s);
+        encode_series(&mut w, s, snapshot.config.compression);
     }
     w.buf
 }
@@ -125,7 +139,7 @@ pub fn encode_delta(delta: &FleetDelta) -> Vec<u8> {
     encode_totals(&mut w, &delta.totals);
     w.u64(delta.series.len() as u64);
     for s in &delta.series {
-        encode_series(&mut w, s);
+        encode_series(&mut w, s, delta.config.compression);
     }
     w.u64(delta.tombstones.len() as u64);
     for key in &delta.tombstones {
@@ -195,6 +209,46 @@ pub fn decode_delta(bytes: &[u8]) -> Result<FleetDelta, CodecError> {
     Ok(FleetDelta { config, prev_batches, clock, batches, totals, series, tombstones })
 }
 
+/// Serializes one series for the cold tier: `u16` codec version, then the
+/// standard series encoding — always in the exact `f64` layout, because a
+/// rehydrated series must continue **bit-identically** regardless of the
+/// engine's [`StateCompression`] selection.
+pub(crate) fn encode_series_blob(s: &SeriesSnapshot) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u16(VERSION);
+    encode_series(&mut w, s, StateCompression::Exact);
+    w.buf
+}
+
+/// Deserializes [`encode_series_blob`] output (any read-compatible
+/// version, so a cold store written by an older build stays readable).
+pub(crate) fn decode_series_blob(bytes: &[u8]) -> Result<SeriesSnapshot, CodecError> {
+    let mut r = Reader { data: bytes, pos: 0 };
+    let version = r.u16()?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let s = decode_series(&mut r, version)?;
+    if r.pos != r.data.len() {
+        return Err(CodecError::Invalid("trailing bytes after series blob"));
+    }
+    Ok(s)
+}
+
+/// Reads just the chain header of a delta image — `(prev_batches,
+/// batches)` — without decoding the series body. WAL-segment compaction
+/// uses this to decide which on-disk deltas keep a recovery path alive
+/// for each retained base snapshot.
+pub(crate) fn decode_delta_chain(bytes: &[u8]) -> Result<(u64, u64), CodecError> {
+    let mut r = Reader { data: bytes, pos: 0 };
+    let v = decode_header(&mut r, KIND_DELTA)?;
+    let _config = decode_config(&mut r, v)?;
+    let prev_batches = r.u64()?;
+    let _clock = r.u64()?;
+    let batches = r.u64()?;
+    Ok((prev_batches, batches))
+}
+
 fn encode_totals(w: &mut Writer, t: &CarriedTotals) {
     w.u64(t.evicted);
     w.u64(t.admitted);
@@ -247,6 +301,11 @@ fn encode_config(w: &mut Writer, c: &FleetConfig) {
     encode_score_config(w, &c.score);
     encode_forecast_options(w, &c.forecast);
     encode_backend_select(w, &c.backend);
+    w.u8(match c.compression {
+        StateCompression::Exact => 0,
+        StateCompression::Compact => 1,
+    });
+    w.opt_u64(c.spill_after);
 }
 
 fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecError> {
@@ -280,6 +339,27 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
         if version >= 6 { decode_forecast_options(r)? } else { ForecastOptions::default() };
     // nor did any pre-v7 writer run a backend beyond the fused scorer
     let backend = if version >= 7 { decode_backend_select(r)? } else { BackendSelect::Fused };
+    // and no pre-v9 writer compressed state or spilled to a cold tier
+    let compression = if version >= 9 {
+        match r.u8()? {
+            0 => StateCompression::Exact,
+            1 => StateCompression::Compact,
+            _ => return Err(CodecError::Invalid("state compression tag")),
+        }
+    } else {
+        StateCompression::Exact
+    };
+    let spill_after = if version >= 9 { r.opt_u64()? } else { None };
+    // same smuggling stance as every other config field: no writer can
+    // produce the degenerate thresholds the API boundary rejects
+    if spill_after == Some(0) {
+        return Err(CodecError::Invalid("spill_after"));
+    }
+    if let (Some(spill), Some(t)) = (spill_after, ttl) {
+        if spill >= t {
+            return Err(CodecError::Invalid("spill_after >= ttl"));
+        }
+    }
     Ok(FleetConfig {
         shards,
         init_cycles,
@@ -294,6 +374,8 @@ fn decode_config(r: &mut Reader<'_>, version: u16) -> Result<FleetConfig, CodecE
         score,
         forecast,
         backend,
+        compression,
+        spill_after,
     })
 }
 
@@ -739,7 +821,7 @@ pub(crate) fn decode_admit_options(
     Ok(opts)
 }
 
-fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
+fn encode_series(w: &mut Writer, s: &SeriesSnapshot, mode: StateCompression) {
     w.string(s.key.as_str());
     w.u64(s.last_seen);
     match &s.phase {
@@ -752,7 +834,7 @@ fn encode_series(w: &mut Writer, s: &SeriesSnapshot) {
         }
         PhaseSnapshot::Live { decomposer, scorer, forecast, backend } => {
             w.u8(1);
-            encode_decomposer(w, decomposer);
+            encode_decomposer(w, decomposer, mode);
             encode_scorer(w, scorer);
             match forecast {
                 None => w.u8(0),
@@ -836,18 +918,18 @@ fn decode_series(r: &mut Reader<'_>, version: u16) -> Result<SeriesSnapshot, Cod
     Ok(SeriesSnapshot { key, last_seen, phase })
 }
 
-fn encode_decomposer(w: &mut Writer, s: &OneShotStlState) {
+fn encode_decomposer(w: &mut Writer, s: &OneShotStlState, mode: StateCompression) {
     encode_detector_config(w, &s.config);
     w.u64(s.period);
     w.u64(s.t);
     w.u64(s.m);
     w.i64(s.shift);
-    w.vec_f64(&s.v);
+    packed_vec_f64(w, &s.v, mode);
     w.f64_pair(s.y_hist);
     w.f64_pair(s.u_hist);
     w.u32(s.iters.len() as u32);
     for it in &s.iters {
-        encode_solver(w, &it.solver);
+        encode_solver(w, &it.solver, mode);
         w.f64_pair(it.pw_hist);
         w.f64_pair(it.qw_hist);
         w.f64_pair(it.tau_hist);
@@ -862,13 +944,13 @@ fn decode_decomposer(r: &mut Reader<'_>, version: u16) -> Result<OneShotStlState
     let t = r.u64()?;
     let m = r.u64()?;
     let shift = r.i64()?;
-    let v = r.vec_f64()?;
+    let v = decode_packed_vec(r, version)?;
     let y_hist = r.f64_pair()?;
     let u_hist = r.f64_pair()?;
     let n_iters = r.u32()? as usize;
     let mut iters = Vec::with_capacity(n_iters.min(1 << 10));
     for _ in 0..n_iters {
-        let solver = decode_solver(r)?;
+        let solver = decode_solver(r, version)?;
         iters.push(IterSnapshot {
             solver,
             pw_hist: r.f64_pair()?,
@@ -897,40 +979,108 @@ fn decode_decomposer(r: &mut Reader<'_>, version: u16) -> Result<OneShotStlState
     })
 }
 
-fn encode_solver(w: &mut Writer, s: &SolverState) {
+fn encode_solver(w: &mut Writer, s: &SolverState, mode: StateCompression) {
     match s {
         SolverState::Warmup { y, u, pw, qw } => {
             w.u8(0);
-            w.vec_f64(y);
-            w.vec_f64(u);
-            w.vec_f64(pw);
-            w.vec_f64(qw);
+            packed_vec_f64(w, y, mode);
+            packed_vec_f64(w, u, mode);
+            packed_vec_f64(w, pw, mode);
+            packed_vec_f64(w, qw, mode);
         }
         SolverState::Steady { m, lo, dd, zo } => {
             w.u8(1);
             w.u64(*m);
-            w.vec_f64(lo);
-            w.vec_f64(dd);
-            w.vec_f64(zo);
+            packed_vec_f64(w, lo, mode);
+            packed_vec_f64(w, dd, mode);
+            packed_vec_f64(w, zo, mode);
         }
     }
 }
 
-fn decode_solver(r: &mut Reader<'_>) -> Result<SolverState, CodecError> {
+fn decode_solver(r: &mut Reader<'_>, version: u16) -> Result<SolverState, CodecError> {
     match r.u8()? {
         0 => Ok(SolverState::Warmup {
-            y: r.vec_f64()?,
-            u: r.vec_f64()?,
-            pw: r.vec_f64()?,
-            qw: r.vec_f64()?,
+            y: decode_packed_vec(r, version)?,
+            u: decode_packed_vec(r, version)?,
+            pw: decode_packed_vec(r, version)?,
+            qw: decode_packed_vec(r, version)?,
         }),
         1 => Ok(SolverState::Steady {
             m: r.u64()?,
-            lo: r.vec_f64()?,
-            dd: r.vec_f64()?,
-            zo: r.vec_f64()?,
+            lo: decode_packed_vec(r, version)?,
+            dd: decode_packed_vec(r, version)?,
+            zo: decode_packed_vec(r, version)?,
         }),
         _ => Err(CodecError::Invalid("solver state tag")),
+    }
+}
+
+/// v9: `u8` layout tag, then the vector. Tag 0 is the exact `f64` layout
+/// (`u64` length + bit-pattern elements); tag 1 is the compact form —
+/// `u64` length, the first element as `f64` bits, then each later
+/// element as the `f32` delta from its *reconstructed* predecessor.
+/// Encoding against the reconstruction (not the original neighbor) keeps
+/// the drift bounded at one `f32` rounding per element and makes the
+/// encoding idempotent: re-encoding a decoded compact image reproduces
+/// the exact same bytes, so repeated snapshot cycles are stable.
+fn packed_vec_f64(w: &mut Writer, v: &[f64], mode: StateCompression) {
+    match mode {
+        StateCompression::Exact => {
+            w.u8(0);
+            w.vec_f64(v);
+        }
+        StateCompression::Compact => {
+            w.u8(1);
+            w.u64(v.len() as u64);
+            if let Some((&first, rest)) = v.split_first() {
+                w.f64(first);
+                let mut prev = first;
+                for &x in rest {
+                    let d = (x - prev) as f32;
+                    w.u32(d.to_bits());
+                    prev += d as f64;
+                }
+            }
+        }
+    }
+}
+
+fn unpacked_vec_f64(r: &mut Reader<'_>) -> Result<Vec<f64>, CodecError> {
+    match r.u8()? {
+        0 => r.vec_f64(),
+        1 => {
+            let n = r.u64()? as usize;
+            if n == 0 {
+                return Ok(Vec::new());
+            }
+            // sanity-check the declared count against the bytes present
+            // before allocating for it: 8 for the first, 4 per delta
+            let need = 8usize
+                .checked_add((n - 1).checked_mul(4).ok_or(CodecError::Truncated)?)
+                .ok_or(CodecError::Truncated)?;
+            if r.remaining() < need {
+                return Err(CodecError::Truncated);
+            }
+            let mut out = Vec::with_capacity(n);
+            let mut prev = r.f64()?;
+            out.push(prev);
+            for _ in 1..n {
+                prev += f32::from_bits(r.u32()?) as f64;
+                out.push(prev);
+            }
+            Ok(out)
+        }
+        _ => Err(CodecError::Invalid("packed vector tag")),
+    }
+}
+
+/// Pre-v9 images carry untagged plain-`f64` vectors.
+fn decode_packed_vec(r: &mut Reader<'_>, version: u16) -> Result<Vec<f64>, CodecError> {
+    if version >= 9 {
+        unpacked_vec_f64(r)
+    } else {
+        r.vec_f64()
     }
 }
 
@@ -1218,6 +1368,80 @@ mod tests {
         }
     }
 
+    /// The pre-v9 byte layouts, kept verbatim for the hand-encoded
+    /// version fixtures below: the v8 config ends after the backend
+    /// selection (no compression/spill fields) and v8 state vectors are
+    /// untagged plain `f64`s.
+    fn encode_config_v8(w: &mut Writer, c: &FleetConfig) {
+        w.u32(c.shards as u32);
+        w.u32(c.init_cycles as u32);
+        match &c.period {
+            PeriodPolicy::Fixed(t) => {
+                w.u8(0);
+                w.u32(*t as u32);
+            }
+            PeriodPolicy::Detect { min_period, max_period, min_acf, fallback } => {
+                w.u8(1);
+                w.u32(*min_period as u32);
+                w.u32(*max_period as u32);
+                w.f64(*min_acf);
+                w.opt_u32(fallback.map(|v| v as u32));
+            }
+        }
+        w.opt_u32(c.max_warmup.map(|v| v as u32));
+        w.f64(c.nsigma);
+        w.opt_u64(c.ttl);
+        w.opt_u64(c.max_clock_step);
+        w.opt_u64(c.queue_capacity.map(|v| v as u64));
+        w.u8(match c.queue_policy {
+            QueuePolicy::Block => 0,
+            QueuePolicy::Reject => 1,
+        });
+        encode_detector_config(w, &c.detector);
+        encode_score_config(w, &c.score);
+        encode_forecast_options(w, &c.forecast);
+        encode_backend_select(w, &c.backend);
+    }
+
+    fn encode_solver_v8(w: &mut Writer, s: &SolverState) {
+        match s {
+            SolverState::Warmup { y, u, pw, qw } => {
+                w.u8(0);
+                w.vec_f64(y);
+                w.vec_f64(u);
+                w.vec_f64(pw);
+                w.vec_f64(qw);
+            }
+            SolverState::Steady { m, lo, dd, zo } => {
+                w.u8(1);
+                w.u64(*m);
+                w.vec_f64(lo);
+                w.vec_f64(dd);
+                w.vec_f64(zo);
+            }
+        }
+    }
+
+    fn encode_decomposer_v8(w: &mut Writer, s: &OneShotStlState) {
+        encode_detector_config(w, &s.config);
+        w.u64(s.period);
+        w.u64(s.t);
+        w.u64(s.m);
+        w.i64(s.shift);
+        w.vec_f64(&s.v);
+        w.f64_pair(s.y_hist);
+        w.f64_pair(s.u_hist);
+        w.u32(s.iters.len() as u32);
+        for it in &s.iters {
+            encode_solver_v8(w, &it.solver);
+            w.f64_pair(it.pw_hist);
+            w.f64_pair(it.qw_hist);
+            w.f64_pair(it.tau_hist);
+        }
+        encode_nsigma(w, &s.nsigma);
+        w.u8(s.initialized as u8);
+    }
+
     #[test]
     fn delta_roundtrip_and_fold_reproduce_the_full_image() {
         let base = sample_snapshot();
@@ -1453,9 +1677,9 @@ mod tests {
         }
         assert_eq!(back.clock, snap.clock);
         assert_eq!(back.batches, snap.batches);
-        // ...and a v3 image re-encodes as v7 (upgrade-on-rewrite)
+        // ...and a v3 image re-encodes as v9 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 8, "re-encoded version");
+        assert_eq!(re[8], 9, "re-encoded version");
         decode(&re).expect("upgraded image decodes");
     }
 
@@ -1544,7 +1768,7 @@ mod tests {
         w.string("live");
         w.u64(7);
         w.u8(1);
-        encode_decomposer(&mut w, &live_dec);
+        encode_decomposer_v8(&mut w, &live_dec);
         encode_nsigma(&mut w, &live_ns);
 
         let back = decode(&w.buf).expect("v4 must stay readable");
@@ -1595,9 +1819,9 @@ mod tests {
             assert_eq!(va.score.to_bits(), vb.score.to_bits());
             assert_eq!(va.is_anomaly, vb.is_anomaly);
         }
-        // ...and a v4 image re-encodes as v7 (upgrade-on-rewrite)
+        // ...and a v4 image re-encodes as v9 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 8, "re-encoded version");
+        assert_eq!(re[8], 9, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
     }
 
@@ -1689,7 +1913,7 @@ mod tests {
         w.string("live");
         w.u64(7);
         w.u8(1);
-        encode_decomposer(&mut w, &live_dec);
+        encode_decomposer_v8(&mut w, &live_dec);
         encode_scorer(&mut w, &live_scorer);
 
         let back = decode(&w.buf).expect("v5 must stay readable");
@@ -1730,9 +1954,9 @@ mod tests {
             assert_eq!(va.score.to_bits(), vb.score.to_bits());
             assert_eq!(va.is_anomaly, vb.is_anomaly);
         }
-        // ...and a v5 image re-encodes as v7 (upgrade-on-rewrite)
+        // ...and a v5 image re-encodes as v9 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 8, "re-encoded version");
+        assert_eq!(re[8], 9, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
     }
 
@@ -1842,7 +2066,7 @@ mod tests {
         w.string("live");
         w.u64(7);
         w.u8(1);
-        encode_decomposer(&mut w, &live_dec);
+        encode_decomposer_v8(&mut w, &live_dec);
         encode_scorer(&mut w, &live_scorer);
         w.u8(1);
         encode_forecast_state(&mut w, &live_forecast);
@@ -1885,9 +2109,9 @@ mod tests {
             assert_eq!(va.score.to_bits(), vb.score.to_bits());
             assert_eq!(va.is_anomaly, vb.is_anomaly);
         }
-        // ...and a v6 image re-encodes as v7 (upgrade-on-rewrite)
+        // ...and a v6 image re-encodes as v9 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 8, "re-encoded version");
+        assert_eq!(re[8], 9, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
     }
 
@@ -1911,7 +2135,7 @@ mod tests {
         w.bytes(MAGIC);
         w.u16(7);
         w.u8(KIND_FULL);
-        encode_config(&mut w, &config); // v7 config layout == v8 (backend incl.)
+        encode_config_v8(&mut w, &config); // v7 config layout == v8 (backend incl.)
         w.u64(7); // clock
         w.u64(3); // batches
         w.u64(0); // totals, v7 layout: four counters, no health counters
@@ -1952,7 +2176,7 @@ mod tests {
         bad.bytes(MAGIC);
         bad.u16(7);
         bad.u8(KIND_FULL);
-        encode_config(&mut bad, &config);
+        encode_config_v8(&mut bad, &config);
         bad.u64(7);
         bad.u64(3);
         bad.u64(0);
@@ -1970,10 +2194,226 @@ mod tests {
             "quarantine tag must not decode from a pre-v8 image"
         );
 
-        // ...and a v7 image re-encodes as v8 (upgrade-on-rewrite)
+        // ...and a v7 image re-encodes as v9 (upgrade-on-rewrite)
         let re = encode(&back);
-        assert_eq!(re[8], 8, "re-encoded version");
+        assert_eq!(re[8], 9, "re-encoded version");
         assert_eq!(decode(&re).unwrap(), back);
+    }
+
+    /// A v9 reader must keep decoding hand-encoded v8 images: the config
+    /// ends after the backend selection (compression comes back `Exact`,
+    /// `spill_after` `None` — what every v8 writer ran), the state
+    /// vectors are untagged plain `f64`s, the Quarantined phase decodes,
+    /// and re-encoding upgrades to v9.
+    #[test]
+    fn v8_snapshots_still_decode() {
+        let t = 12usize;
+        let y: Vec<f64> = (0..8 * t)
+            .map(|i| 1.5 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut det = oneshotstl::StdAnomalyDetector::with_score(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+            ScoreConfig::default(),
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..] {
+            det.update_scored(v);
+        }
+        let live_dec = det.decomposer.to_state();
+        let live_scorer = det.scorer().to_state();
+        let config = FleetConfig::fixed_period(t);
+
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u16(8);
+        w.u8(KIND_FULL);
+        encode_config_v8(&mut w, &config);
+        w.u64(7); // clock
+        w.u64(3); // batches
+        w.u64(1); // totals, v8 layout: all seven counters
+        w.u64(2);
+        w.u64(300);
+        w.u64(4);
+        w.u64(5);
+        w.u64(6);
+        w.u64(7);
+        w.u64(2); // series count
+                  // series 0: live with v8 layout (untagged f64 vectors)
+        w.string("live");
+        w.u64(9);
+        w.u8(1);
+        encode_decomposer_v8(&mut w, &live_dec);
+        encode_scorer(&mut w, &live_scorer);
+        w.u8(0); // no forecast head
+        w.u8(0); // no backend state
+                 // series 1: quarantined (the v8 phase tag)
+        w.string("q");
+        w.u64(5);
+        w.u8(3);
+        w.u8(1); // QuarantineCause::Panic
+        w.u64(11);
+
+        let back = decode(&w.buf).expect("v8 must stay readable");
+        assert_eq!(back.config.compression, StateCompression::Exact);
+        assert_eq!(back.config.spill_after, None);
+        assert_eq!(back.config, config);
+        assert_eq!(
+            back.totals,
+            CarriedTotals {
+                evicted: 1,
+                admitted: 2,
+                points: 300,
+                anomalies: 4,
+                wal_retries: 5,
+                shard_restarts: 6,
+                undurable_batches: 7,
+            },
+            "v8 health counters decode"
+        );
+        match &back.series[0].phase {
+            PhaseSnapshot::Live { decomposer, scorer, forecast, backend } => {
+                assert_eq!(decomposer, &live_dec, "decomposer state bit-identical");
+                assert_eq!(scorer, &live_scorer, "scorer state bit-identical");
+                assert!(forecast.is_none() && backend.is_none());
+            }
+            _ => panic!("series 0 must be live"),
+        }
+        assert_eq!(
+            back.series[1].phase,
+            PhaseSnapshot::Quarantined { cause: QuarantineCause::Panic, dropped: 11 }
+        );
+        // the restored detector continues bit-identically to the v8
+        // writer's uninterrupted continuation
+        let PhaseSnapshot::Live { decomposer, scorer, .. } = back.series[0].phase.clone()
+        else {
+            unreachable!();
+        };
+        let mut restored = oneshotstl::StdAnomalyDetector::from_parts(
+            oneshotstl::OneShotStl::from_state(decomposer).unwrap(),
+            oneshotstl::ResidualScorer::from_state(scorer),
+        );
+        for i in 0..3 * t {
+            let x = 1.5
+                + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+                + if i == t { 4.0 } else { 0.0 };
+            let (pa, va) = det.update_scored(x);
+            let (pb, vb) = restored.update_scored(x);
+            assert_eq!(pa.residual.to_bits(), pb.residual.to_bits());
+            assert_eq!(va.score.to_bits(), vb.score.to_bits());
+            assert_eq!(va.is_anomaly, vb.is_anomaly);
+        }
+        // ...and a v8 image re-encodes as v9 (upgrade-on-rewrite)
+        let re = encode(&back);
+        assert_eq!(re[8], 9, "re-encoded version");
+        assert_eq!(decode(&re).unwrap(), back);
+    }
+
+    /// Compact mode: state vectors land delta-encoded at `f32` precision
+    /// — materially smaller, reconstructed within `f32`-delta tolerance,
+    /// still restorable into a running detector, and **byte-stable under
+    /// re-encode** so repeated snapshot cycles do not drift.
+    #[test]
+    fn compact_compression_shrinks_and_reencodes_stably() {
+        let t = 24usize;
+        let y: Vec<f64> = (0..10 * t)
+            .map(|i| 50.0 + 8.0 * (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+            .collect();
+        let mut det = oneshotstl::StdAnomalyDetector::new(
+            oneshotstl::OneShotStl::new(OneShotStlConfig::default()),
+            5.0,
+        );
+        det.init(&y[..4 * t], t).unwrap();
+        for &v in &y[4 * t..] {
+            det.update(v);
+        }
+        let live = SeriesSnapshot {
+            key: SeriesKey::new("live"),
+            last_seen: 60,
+            phase: PhaseSnapshot::Live {
+                decomposer: det.decomposer.to_state(),
+                scorer: det.scorer().to_state(),
+                forecast: None,
+                backend: None,
+            },
+        };
+        let mut snap = FleetSnapshot {
+            config: FleetConfig {
+                compression: StateCompression::Compact,
+                ..FleetConfig::fixed_period(t)
+            },
+            clock: 99,
+            batches: 7,
+            totals: CarriedTotals::default(),
+            series: vec![live],
+        };
+        let compact = encode(&snap);
+        snap.config.compression = StateCompression::Exact;
+        let exact = encode(&snap);
+        assert!(
+            compact.len() < exact.len() * 3 / 4,
+            "compact must be materially smaller: {} vs {} bytes",
+            compact.len(),
+            exact.len()
+        );
+        let back = decode(&compact).expect("compact image decodes");
+        assert_eq!(back.config.compression, StateCompression::Compact);
+        let PhaseSnapshot::Live { decomposer, .. } = &back.series[0].phase else {
+            unreachable!();
+        };
+        let orig = det.decomposer.to_state();
+        assert_eq!(decomposer.v.len(), orig.v.len());
+        for (a, b) in decomposer.v.iter().zip(&orig.v) {
+            assert!(
+                (a - b).abs() <= 1e-3 * b.abs().max(1.0),
+                "f32-delta tolerance: {a} vs {b}"
+            );
+        }
+        // the reconstruction restores into a working detector
+        oneshotstl::OneShotStl::from_state(decomposer.clone())
+            .expect("compact-restored state is structurally valid");
+        // re-encode is byte-identical: encode∘decode is the identity on
+        // compact images, so repeated snapshot cycles are stable
+        assert_eq!(encode(&back), compact, "compact re-encode must not drift");
+    }
+
+    /// Cold-tier series blobs round-trip bit-identically — even when the
+    /// engine snapshots compact, the cold store stays exact — and
+    /// corrupted blobs are rejected with typed errors.
+    #[test]
+    fn series_blob_roundtrips_exactly() {
+        let snap = sample_snapshot();
+        for s in &snap.series {
+            let blob = encode_series_blob(s);
+            assert_eq!(&decode_series_blob(&blob).unwrap(), s);
+            assert!(decode_series_blob(&blob[..blob.len() - 1]).is_err(), "truncated blob");
+            let mut trailing = blob.clone();
+            trailing.push(0);
+            assert!(decode_series_blob(&trailing).is_err(), "trailing bytes");
+        }
+        let mut bad_version = encode_series_blob(&snap.series[0]);
+        bad_version[0] = 0xEE;
+        assert!(matches!(
+            decode_series_blob(&bad_version),
+            Err(CodecError::UnsupportedVersion(_))
+        ));
+    }
+
+    /// The delta chain-header parser reads `(prev_batches, batches)`
+    /// without touching the series body, and refuses full images.
+    #[test]
+    fn delta_chain_header_parses_without_the_body() {
+        let delta = FleetDelta {
+            config: FleetConfig::fixed_period(24),
+            prev_batches: 90,
+            clock: 300,
+            batches: 130,
+            totals: CarriedTotals::default(),
+            series: vec![],
+            tombstones: vec![SeriesKey::new("gone")],
+        };
+        assert_eq!(decode_delta_chain(&encode_delta(&delta)).unwrap(), (90, 130));
+        assert!(decode_delta_chain(&encode(&sample_snapshot())).is_err());
     }
 
     /// Live backend state — every variant — round-trips through the v7

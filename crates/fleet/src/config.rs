@@ -235,6 +235,27 @@ fn validate_shift_search(ss: &ShiftSearchConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// How per-series numeric state is laid out in snapshot bytes (codec v9).
+///
+/// The per-series footprint is dominated by the seasonal buffer and the
+/// solver vectors — `O(T)` `f64`s each. [`StateCompression::Compact`]
+/// stores them delta-encoded with `f32` deltas (first element exact, each
+/// subsequent element reconstructed as `prev + f32(x − prev)`), roughly
+/// halving snapshot bytes per series. The encoding is **lossy** at `f32`
+/// delta precision, so it trades the bit-identical-restore guarantee for
+/// footprint — the right trade for a million-series archive tier, the
+/// wrong one for the hot path. The default keeps today's exact `f64`
+/// layout; the cold tier (`crate::cold_tier`) always spills exact bytes
+/// regardless of this setting, because rehydration must be bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StateCompression {
+    /// Exact `f64` bit patterns (bit-identical restore; the default).
+    #[default]
+    Exact,
+    /// Delta-encoded `f32` seasonal/solver vectors (lossy, ~2× smaller).
+    Compact,
+}
+
 /// What a full bounded shard queue does to a new batch submission.
 ///
 /// Only meaningful with [`FleetConfig::queue_capacity`] set; with
@@ -307,6 +328,20 @@ pub struct FleetConfig {
     /// state). Series admitted under another selection carry their
     /// backend state through snapshots (codec v7) and crash recovery.
     pub backend: BackendSelect,
+    /// Snapshot state layout (codec v9): exact `f64` (default,
+    /// bit-identical restore) or delta-encoded `f32` vectors (lossy,
+    /// roughly half the bytes per live series). See [`StateCompression`].
+    pub compression: StateCompression,
+    /// Spill series idle for more than this many clock ticks to the
+    /// on-disk cold tier (when one is attached; see
+    /// [`crate::FleetEngine::attach_cold_dir`]). Distinct from [`ttl`]:
+    /// a spilled series is *not* gone — its next point rehydrates it
+    /// bit-identically through the normal shard path — whereas TTL
+    /// eviction forgets it entirely. When both are set, `spill_after`
+    /// must be strictly smaller than `ttl`. `None` disables spilling.
+    ///
+    /// [`ttl`]: FleetConfig::ttl
+    pub spill_after: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -325,6 +360,8 @@ impl Default for FleetConfig {
             score: ScoreConfig::default(),
             forecast: ForecastOptions::default(),
             backend: BackendSelect::default(),
+            compression: StateCompression::default(),
+            spill_after: None,
         }
     }
 }
@@ -390,6 +427,17 @@ impl FleetConfig {
         if self.queue_capacity == Some(0) {
             return Err("queue_capacity must be >= 1 (or None for unbounded)".into());
         }
+        if self.spill_after == Some(0) {
+            return Err("spill_after must be >= 1 (or None to disable spilling)".into());
+        }
+        if let (Some(spill), Some(ttl)) = (self.spill_after, self.ttl) {
+            if spill >= ttl {
+                return Err(format!(
+                    "spill_after ({spill}) must be < ttl ({ttl}): a series must go cold \
+                     before it is forgotten"
+                ));
+            }
+        }
         validate_shift_search(&self.detector.shift_search)?;
         self.score.validate()?;
         self.forecast.validate()?;
@@ -441,6 +489,19 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(bounded.validate(), Ok(()));
+    }
+
+    #[test]
+    fn degenerate_spill_configs_are_rejected() {
+        let zero = FleetConfig { spill_after: Some(0), ..Default::default() };
+        assert!(zero.validate().is_err());
+        let inverted =
+            FleetConfig { spill_after: Some(500), ttl: Some(500), ..Default::default() };
+        assert!(inverted.validate().is_err());
+        let ok = FleetConfig { spill_after: Some(200), ttl: Some(500), ..Default::default() };
+        assert_eq!(ok.validate(), Ok(()));
+        let no_ttl = FleetConfig { spill_after: Some(200), ..Default::default() };
+        assert_eq!(no_ttl.validate(), Ok(()));
     }
 
     #[test]

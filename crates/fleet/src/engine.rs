@@ -212,6 +212,9 @@ pub struct FleetEngine {
     /// contact. The memory cost is one plain-data copy of the fleet —
     /// the price of being able to rebuild a shard without disk.
     shadow: BTreeMap<SeriesKey, SeriesSnapshot>,
+    /// Cold-tier directory, once attached — respawned workers reopen
+    /// their shard's cold file from here.
+    cold_dir: Option<std::path::PathBuf>,
 }
 
 impl FleetEngine {
@@ -318,6 +321,7 @@ impl FleetEngine {
             supervise: true,
             degrade: false,
             shadow: BTreeMap::new(),
+            cold_dir: None,
         })
     }
 
@@ -418,6 +422,11 @@ impl FleetEngine {
         state.set_snapshot_baseline(self.last_collect);
         state.wal = self.wal.as_ref().map(|(w, _)| Arc::clone(w));
         state.degrade = self.degrade;
+        if let Some(dir) = &self.cold_dir {
+            // an unreadable cold file degrades the respawned shard to
+            // hot-only (cold series re-warm) rather than failing the heal
+            state.cold = crate::cold_tier::ColdStore::open(dir, shard).ok();
+        }
         let (sender, rx) = Self::shard_channel(&self.config);
         let depth = Arc::new(AtomicUsize::new(0));
         let worker_depth = Arc::clone(&depth);
@@ -465,8 +474,8 @@ impl FleetEngine {
     /// submission with [`FleetError::Backpressure`] *before* anything is
     /// sent, logged, or clocked — the batch can be retried verbatim. With
     /// [`QueuePolicy::Block`] the call blocks until every target shard has
-    /// queue room. One caveat under either policy: when a TTL is
-    /// configured, every 64th submission runs the eviction sweep
+    /// queue room. One caveat under either policy: when a TTL or spill
+    /// threshold is configured, every 64th submission runs the idle sweep
     /// synchronously (its control messages use blocking sends and the
     /// call waits for every shard's reply), so that submission can stall
     /// briefly even under `Reject` — the sweep must stay at a
@@ -549,7 +558,9 @@ impl FleetEngine {
         self.clock = clock;
         self.batches = seq;
         self.pending.push_back(PendingBatch { n, targets, reply_rx });
-        if self.config.ttl.is_some() && self.batches.is_multiple_of(TTL_SWEEP_EVERY) {
+        if (self.config.ttl.is_some() || self.config.spill_after.is_some())
+            && self.batches.is_multiple_of(TTL_SWEEP_EVERY)
+        {
             self.evict_idle(self.clock)?;
         }
         Ok(())
@@ -677,23 +688,34 @@ impl FleetEngine {
         rx.recv().map_err(|_| FleetError::ShardDown)?
     }
 
-    /// Evicts series whose `last_seen` is more than the configured TTL
-    /// behind `now`. Returns how many series were evicted. No-op without a
-    /// configured TTL.
+    /// Runs the idle sweep at clock `now`: evicts series whose `last_seen`
+    /// is more than the configured TTL behind it (hot and cold-resident
+    /// alike), and — with [`FleetConfig::spill_after`] set and a cold tier
+    /// attached ([`FleetEngine::attach_cold_dir`]) — spills series idle
+    /// beyond that threshold to disk. Returns how many series were
+    /// evicted (spills preserve state and are counted in
+    /// [`crate::FleetStats::spills`] instead). No-op with neither a TTL
+    /// nor a spill threshold configured.
     ///
     /// Liveness clocks live in the engine's (possibly step-bounded) clock
     /// domain, so `now` is clamped the same way records are: with
     /// `max_clock_step` configured, a wall-clock `now` far ahead of the
     /// engine clock cannot evict the whole fleet in one call.
     pub fn evict_idle(&mut self, now: u64) -> Result<usize, FleetError> {
-        let Some(ttl) = self.config.ttl else { return Ok(0) };
+        let (ttl, spill_after) = (self.config.ttl, self.config.spill_after);
+        if ttl.is_none() && spill_after.is_none() {
+            return Ok(0);
+        }
         let now = match self.config.max_clock_step {
             Some(step) => now.min(self.clock.saturating_add(step)),
             None => now,
         };
         let (tx, rx) = channel();
         for shard in 0..self.shard_count() {
-            self.send_or_respawn(shard, ShardMsg::EvictIdle { now, ttl, reply: tx.clone() })?;
+            self.send_or_respawn(
+                shard,
+                ShardMsg::EvictIdle { now, ttl, spill_after, reply: tx.clone() },
+            )?;
         }
         drop(tx);
         let mut total = 0;
@@ -701,6 +723,35 @@ impl FleetEngine {
             total += rx.recv().map_err(|_| FleetError::ShardDown)?;
         }
         Ok(total)
+    }
+
+    /// Installs the cold tier: every shard opens (or reopens) its cold
+    /// file under `dir`, and subsequent idle sweeps spill series idle
+    /// beyond [`FleetConfig::spill_after`] there. Respawned workers reopen
+    /// the same files. [`crate::DurableFleet`] attaches this
+    /// automatically (under `<dir>/cold`) when `spill_after` is set;
+    /// attach it before the first ingest so recovery replay observes the
+    /// same cold state the original run did.
+    pub fn attach_cold_dir(
+        &mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(), FleetError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| FleetError::Io(format!("creating {}: {e}", dir.display())))?;
+        let (tx, rx) = channel();
+        for shard in 0..self.shard_count() {
+            self.send_or_respawn(
+                shard,
+                ShardMsg::ColdCtl { dir: dir.clone(), reply: tx.clone() },
+            )?;
+        }
+        drop(tx);
+        for _ in 0..self.shard_count() {
+            rx.recv().map_err(|_| FleetError::ShardDown)?.map_err(FleetError::Io)?;
+        }
+        self.cold_dir = Some(dir);
+        Ok(())
     }
 
     /// Forecasts `1..=horizon` steps ahead for a batch of series, fanning
@@ -790,6 +841,10 @@ impl FleetEngine {
             stats.forecast_alarms += s.forecast_alarms;
             stats.damp_alarms += s.damp_alarms;
             stats.trend_alarms += s.trend_alarms;
+            stats.cold_resident += s.cold_resident;
+            stats.spills += s.spills;
+            stats.rehydrations += s.rehydrations;
+            stats.cold_errors += s.cold_errors;
         }
         stats.shards = per_shard;
         Ok(stats)

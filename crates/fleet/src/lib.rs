@@ -63,9 +63,13 @@
 //!   scoring stream **bit-identically**.
 //! - **Lifecycle.** Per-series last-seen clocks; series idle beyond
 //!   `config.ttl` are evicted (amortized sweep during ingest, or explicit
-//!   [`FleetEngine::evict_idle`]). [`FleetEngine::stats`] reports
-//!   live/warming/rejected counts, lifetime counters, and per-shard queue
-//!   depth.
+//!   [`FleetEngine::evict_idle`]). With [`FleetConfig::spill_after`] set
+//!   and a cold tier attached ([`FleetEngine::attach_cold_dir`]), idle
+//!   series instead *spill* to an on-disk cold store ([`cold_tier`]) and
+//!   drop out of the hot registry — their next point rehydrates them
+//!   through the normal shard path, bit-identically. [`FleetEngine::stats`]
+//!   reports live/warming/rejected/cold counts, lifetime counters, and
+//!   per-shard queue depth.
 //! - **Backpressure.** [`FleetEngine::submit`]/[`FleetEngine::next_batch`]
 //!   pipeline batches; with [`FleetConfig::queue_capacity`] set, shard
 //!   queues are bounded and a full shard either blocks the submitter or
@@ -122,6 +126,7 @@
 pub mod backend;
 pub mod batch;
 pub mod codec;
+pub mod cold_tier;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -138,7 +143,10 @@ pub use backend::{
     DetectorBackend, EnsembleFusion, EnsembleOptions, SeriesBackend,
 };
 pub use batch::ShardBatch;
-pub use config::{AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy, QueuePolicy};
+pub use cold_tier::ColdStore;
+pub use config::{
+    AdmitOptions, FleetConfig, ForecastOptions, PeriodPolicy, QueuePolicy, StateCompression,
+};
 pub use engine::{CarriedTotals, FleetDelta, FleetEngine, FleetSnapshot};
 pub use error::{CodecError, FleetError};
 pub use net::{NetClient, NetError, NetMessage, NetServer};

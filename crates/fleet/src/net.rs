@@ -467,6 +467,10 @@ fn encode_stats(w: &mut Writer, s: &FleetStats) {
     w.u64(s.wal_retries);
     w.u64(s.shard_restarts);
     w.u64(s.undurable_batches);
+    w.u64(s.cold_resident as u64);
+    w.u64(s.spills);
+    w.u64(s.rehydrations);
+    w.u64(s.cold_errors);
     w.u32(s.shards.len() as u32);
     for sh in &s.shards {
         w.u32(sh.shard as u32);
@@ -486,6 +490,10 @@ fn encode_stats(w: &mut Writer, s: &FleetStats) {
         w.u64(sh.forecast_alarms);
         w.u64(sh.damp_alarms);
         w.u64(sh.trend_alarms);
+        w.u64(sh.cold_resident as u64);
+        w.u64(sh.spills);
+        w.u64(sh.rehydrations);
+        w.u64(sh.cold_errors);
     }
 }
 
@@ -509,10 +517,14 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<FleetStats, CodecError> {
         wal_retries: r.u64()?,
         shard_restarts: r.u64()?,
         undurable_batches: r.u64()?,
+        cold_resident: r.u64()? as usize,
+        spills: r.u64()?,
+        rehydrations: r.u64()?,
+        cold_errors: r.u64()?,
         shards: Vec::new(),
     };
-    // u32 shard + 16 × u64
-    let n = checked_count(r, 132)?;
+    // u32 shard + 20 × u64
+    let n = checked_count(r, 164)?;
     s.shards.reserve(n);
     for _ in 0..n {
         s.shards.push(ShardStats {
@@ -533,6 +545,10 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<FleetStats, CodecError> {
             forecast_alarms: r.u64()?,
             damp_alarms: r.u64()?,
             trend_alarms: r.u64()?,
+            cold_resident: r.u64()? as usize,
+            spills: r.u64()?,
+            rehydrations: r.u64()?,
+            cold_errors: r.u64()?,
         });
     }
     Ok(s)

@@ -10,6 +10,7 @@
 //!   delta-00000000000000008192.fdelta  dirty series since seq 4096
 //!   snap-00000000000000065536.fsnap    periodic full-base rewrite
 //!   wal-00000000000000065536-0000.flog shared log of batches 65537…
+//!   cold/cold-0000.fcold               per-shard cold tier (spill_after)
 //! ```
 //!
 //! Every ingested batch is appended to the shared WAL *before* it is
@@ -25,7 +26,11 @@
 //! [`DurableFleet::checkpoint`]) a full base is rewritten, bounding both
 //! chain length and recovery fan-in. When an image is confirmed durable,
 //! WAL segments it covers and bases/deltas beyond
-//! [`DurabilityConfig::keep_snapshots`] are deleted.
+//! [`DurabilityConfig::keep_snapshots`] are deleted — and a kept segment
+//! whose whole batch range is already re-derivable from the
+//! snapshot/delta chain of every surviving base below it is compacted
+//! away, so the WAL footprint tracks the un-imaged tail instead of the
+//! retention window.
 //!
 //! ## Recovery
 //!
@@ -265,6 +270,7 @@ impl DurableFleet {
             )));
         }
         let mut engine = FleetEngine::new(config)?;
+        attach_cold_tier(&mut engine, &dcfg)?;
         let base = engine.snapshot()?;
         write_snapshot_file(&dcfg.dir, 0, &base).map_err(io_err)?;
         Self::attach(engine, dcfg, 0, 0, 0)
@@ -328,6 +334,11 @@ impl DurableFleet {
         }
         let base_seq = base.batches;
         let mut engine = FleetEngine::restore(base)?;
+        // re-attach the cold tier *before* WAL replay: replayed batches
+        // must spill and rehydrate through the same on-disk store the
+        // uninterrupted engine used, or recovery would diverge from the
+        // prefix rule for series that crossed the hot/cold boundary
+        attach_cold_tier(&mut engine, &dcfg)?;
 
         // gather every frame from segments at or after the anchor base;
         // stale pre-base segments are garbage a crash kept alive
@@ -746,8 +757,12 @@ impl DurableFleet {
     }
 
     /// Deletes full bases beyond `keep_snapshots`, the deltas chained at
-    /// or below the oldest base kept, and WAL segments older than it.
-    /// Only runs after a durable ack, so the newest image always survives.
+    /// or below the oldest base kept, and WAL segments older than it —
+    /// then compacts the survivors: a kept segment whose whole batch
+    /// range is durable *and* re-derivable from the snapshot/delta chain
+    /// of every kept base at or below it can serve no recovery, so its
+    /// files are dropped too. Only runs after a durable ack, so the
+    /// newest image always survives.
     fn prune(&self) -> Result<(), FleetError> {
         let listing = scan_dir(&self.dcfg.dir)?;
         let keep_from = {
@@ -767,11 +782,69 @@ impl DurableFleet {
                 let _ = fs::remove_file(path);
             }
         }
+        let mut kept_segments: Vec<(u64, &Vec<(usize, PathBuf)>)> = Vec::new();
         for (start, files) in &listing.segments {
             if *start < keep_from {
                 for (_, path) in files {
                     let _ = fs::remove_file(path);
                 }
+            } else {
+                kept_segments.push((*start, files));
+            }
+        }
+
+        // Segment compaction. A segment starting at `s` holds the batches
+        // in `(s, s_next]`, where `s_next` is the next rotation. Recovery
+        // anchors at some kept base `b` and folds its delta chain to
+        // `reach(b)` before touching the WAL, so the segment is dead iff
+        // for *every* kept base `b ≤ s` (any of them is a fallback anchor
+        // if newer images turn out corrupt) the chain already reaches
+        // `s_next` — and the range is confirmed durable. The newest
+        // segment is the live one and never a candidate.
+        let bases: Vec<u64> =
+            listing.snapshots.iter().map(|(s, _)| *s).filter(|s| *s >= keep_from).collect();
+        if bases.is_empty() || kept_segments.len() < 2 {
+            return Ok(());
+        }
+        // delta links of the kept chain: image seq → the image chained on
+        // it (header-only decode; a corrupt delta just contributes no
+        // link, which conservatively keeps segments)
+        let mut links: BTreeMap<u64, u64> = BTreeMap::new();
+        for (seq, path) in &listing.deltas {
+            if *seq <= keep_from {
+                continue;
+            }
+            let Ok(raw) = load_blob_file(path) else { continue };
+            if let Ok((prev, batches)) = codec::decode_delta_chain(&raw[12..]) {
+                if batches == *seq && prev < batches {
+                    links.insert(prev, batches);
+                }
+            }
+        }
+        // `prev < batches` above makes every link strictly increasing, so
+        // this walk terminates
+        let reach = |b: u64| {
+            let mut r = b;
+            while let Some(next) = links.get(&r) {
+                r = *next;
+            }
+            r
+        };
+        for w in kept_segments.windows(2) {
+            let (start, files) = (w[0].0, w[0].1);
+            let next_start = w[1].0;
+            if next_start > self.durable_snapshot {
+                continue;
+            }
+            let mut anchors = bases.iter().copied().filter(|b| *b <= start).peekable();
+            if anchors.peek().is_none() {
+                continue;
+            }
+            if anchors.any(|b| reach(b) < next_start) {
+                continue; // some fallback anchor still needs this tail
+            }
+            for (_, path) in files {
+                let _ = fs::remove_file(path);
             }
         }
         Ok(())
@@ -945,6 +1018,20 @@ fn remove_stale_tmp(dir: &Path) -> Result<(), FleetError> {
                 let _ = fs::remove_file(entry.path());
             }
         }
+    }
+    Ok(())
+}
+
+/// Attaches the on-disk cold tier under `dir/cold` when the fleet config
+/// opts into spilling. No-op otherwise: a fleet without
+/// [`crate::FleetConfig::spill_after`] keeps every series hot and writes
+/// no cold files.
+fn attach_cold_tier(
+    engine: &mut FleetEngine,
+    dcfg: &DurabilityConfig,
+) -> Result<(), FleetError> {
+    if engine.config().spill_after.is_some() {
+        engine.attach_cold_dir(dcfg.dir.join("cold"))?;
     }
     Ok(())
 }

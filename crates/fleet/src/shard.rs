@@ -6,6 +6,7 @@
 //! logged (write-ahead).
 
 use crate::batch::ShardBatch;
+use crate::cold_tier::ColdStore;
 use crate::config::{AdmitOptions, FleetConfig};
 use crate::error::FleetError;
 use crate::fault::{self, FaultOp};
@@ -14,7 +15,7 @@ use crate::types::{PointOutput, Record, ScoredPoint, SeriesKey, ShardStats};
 use crate::wal::{encode_record_into, GroupWal};
 use oneshotstl::{IncrementalSolver, UpdateScratch};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -390,14 +391,27 @@ pub enum ShardMsg {
         /// Reply channel.
         reply: Sender<ShardStats>,
     },
-    /// Evict series idle beyond `ttl` at clock `now`; reply with the count.
+    /// Run the idle sweep at clock `now`: evict series idle beyond `ttl`
+    /// (hot and cold-resident) and spill series idle beyond `spill_after`
+    /// to the cold tier. Reply with the evicted count.
     EvictIdle {
         /// Current engine clock.
         now: u64,
-        /// Idle threshold.
-        ttl: u64,
+        /// Eviction threshold (`None`: nothing is forgotten).
+        ttl: Option<u64>,
+        /// Spill threshold (`None`, or no cold store attached: nothing
+        /// leaves memory).
+        spill_after: Option<u64>,
         /// Reply channel.
         reply: Sender<usize>,
+    },
+    /// Open (or reopen) this shard's cold store under `dir`; reply with
+    /// the outcome. See [`crate::FleetEngine::attach_cold_dir`].
+    ColdCtl {
+        /// Directory holding the per-shard cold files.
+        dir: PathBuf,
+        /// Reply channel.
+        reply: Sender<Result<(), String>>,
     },
     /// Forecast `1..=horizon` steps ahead for a batch of series on this
     /// shard (see [`crate::FleetEngine::forecast`]).
@@ -448,6 +462,9 @@ pub struct ShardState {
     pub removed: Vec<SeriesKey>,
     /// Whether a snapshot collection has happened (tombstone tracking on).
     track_deltas: bool,
+    /// The shard's cold tier (`None` until
+    /// [`crate::FleetEngine::attach_cold_dir`] installs one).
+    pub cold: Option<ColdStore>,
     /// Lifetime counters.
     pub evicted: u64,
     /// Series promoted to live.
@@ -456,6 +473,13 @@ pub struct ShardState {
     pub points: u64,
     /// Anomalies flagged.
     pub anomalies: u64,
+    /// Series spilled to the cold tier.
+    pub spills: u64,
+    /// Cold series rehydrated on their next point.
+    pub rehydrations: u64,
+    /// Cold-tier I/O or decode failures survived (the shard degrades —
+    /// spill skipped or series re-warmed — instead of panicking).
+    pub cold_errors: u64,
 }
 
 impl ShardState {
@@ -472,10 +496,14 @@ impl ShardState {
             snapshot_seq: 0,
             removed: Vec::new(),
             track_deltas: false,
+            cold: None,
             evicted: 0,
             admitted: 0,
             points: 0,
             anomalies: 0,
+            spills: 0,
+            rehydrations: 0,
+            cold_errors: 0,
         }
     }
 
@@ -502,18 +530,53 @@ impl ShardState {
         liveness_t: u64,
         seq: u64,
     ) -> u32 {
-        match self.registry.slot_of_hashed(hash, key) {
-            Some(slot) => slot,
-            None => self.registry.insert_hashed(
-                hash,
-                SeriesEntry {
-                    key: key.clone(),
-                    state: SeriesState::new(&self.config),
-                    last_seen: liveness_t,
-                    dirty_seq: seq,
-                },
-            ),
+        if let Some(slot) = self.registry.slot_of_hashed(hash, key) {
+            return slot;
         }
+        if let Some(slot) = self.rehydrate_hashed(hash, key, seq) {
+            return slot;
+        }
+        self.registry.insert_hashed(
+            hash,
+            SeriesEntry {
+                key: key.clone(),
+                state: SeriesState::new(&self.config),
+                last_seen: liveness_t,
+                dirty_seq: seq,
+            },
+        )
+    }
+
+    /// Pulls a cold-resident series back into the registry: decodes its
+    /// blob, rebuilds the state, and inserts it with its stored liveness
+    /// clock — bit-identical to a series that never spilled. `None` when
+    /// the key is not cold (the normal admission path takes over) or the
+    /// blob is unreadable (counted in `cold_errors`; the series re-warms).
+    fn rehydrate_hashed(&mut self, hash: u64, key: &SeriesKey, seq: u64) -> Option<u32> {
+        if !self.cold.as_ref().is_some_and(|c| c.is_fresh(key)) {
+            return None;
+        }
+        let restored =
+            self.cold.as_mut().expect("cold store checked above").take_blob(key).ok().and_then(
+                |(_, blob)| {
+                    let snap = crate::codec::decode_series_blob(&blob).ok()?;
+                    // a blob recorded under the wrong key is corruption
+                    if snap.key != *key {
+                        return None;
+                    }
+                    let state = SeriesState::from_snapshot(snap.phase, &self.config).ok()?;
+                    Some((snap.last_seen, state))
+                },
+            );
+        let Some((last_seen, state)) = restored else {
+            self.cold_errors += 1;
+            return None;
+        };
+        self.rehydrations += 1;
+        Some(self.registry.insert_hashed(
+            hash,
+            SeriesEntry { key: key.clone(), state, last_seen, dirty_seq: seq },
+        ))
     }
 
     /// Processes one record against an already-resolved slot.
@@ -675,22 +738,85 @@ impl ShardState {
         }
     }
 
-    /// Evicts entries idle beyond `ttl`, returning how many were removed.
-    /// Removed keys become tombstones of the next delta snapshot.
-    pub fn evict_idle(&mut self, now: u64, ttl: u64) -> usize {
-        let mut evicted = 0;
+    /// The idle sweep: evicts entries idle beyond `ttl` (hot ones, and —
+    /// with a cold store attached — cold-resident ones, whose records are
+    /// tombstoned so a reopen cannot resurrect them), and spills hot
+    /// entries idle beyond `spill_after` to the cold tier. Returns how
+    /// many series were evicted; spilled keys become tombstones of the
+    /// next delta snapshot (their state lives in the cold file now), and
+    /// a spill failure leaves the series hot for the next sweep.
+    pub fn evict_idle(
+        &mut self,
+        now: u64,
+        ttl: Option<u64>,
+        spill_after: Option<u64>,
+    ) -> usize {
+        let mut evicted = 0usize;
+        let mut cold_io = false;
         for slot in 0..self.registry.slots.len() as u32 {
             let Some(e) = &self.registry.slots[slot as usize] else { continue };
-            if now.saturating_sub(e.last_seen) > ttl {
+            let idle = now.saturating_sub(e.last_seen);
+            if ttl.is_some_and(|ttl| idle > ttl) {
                 let Some(entry) = self.registry.remove_slot(slot) else { continue };
                 if self.track_deltas {
-                    self.removed.push(entry.key);
+                    self.removed.push(entry.key.clone());
+                }
+                // the file may still hold this key (a stale record from a
+                // past spill); a reopen would resurrect ancient state
+                if let Some(cold) = &mut self.cold {
+                    match cold.tombstone(&entry.key) {
+                        Ok(wrote) => cold_io |= wrote,
+                        Err(_) => self.cold_errors += 1,
+                    }
                 }
                 evicted += 1;
+                continue;
+            }
+            if spill_after.is_none_or(|after| idle <= after) || self.cold.is_none() {
+                continue;
+            }
+            let snap = SeriesSnapshot {
+                key: e.key.clone(),
+                last_seen: e.last_seen,
+                phase: e.state.to_snapshot(),
+            };
+            let blob = crate::codec::encode_series_blob(&snap);
+            let cold = self.cold.as_mut().expect("cold store checked above");
+            match cold.put(&snap.key, snap.last_seen, &blob) {
+                Ok(()) => {
+                    cold_io = true;
+                    self.registry.remove_slot(slot);
+                    if self.track_deltas {
+                        self.removed.push(snap.key);
+                    }
+                    self.spills += 1;
+                }
+                // degraded: the series stays hot; retried next sweep
+                Err(_) => self.cold_errors += 1,
+            }
+        }
+        // the cold half of TTL eviction: entries that aged out on disk
+        if let (Some(ttl), Some(cold)) = (ttl, self.cold.as_mut()) {
+            match cold.expire_idle(now, ttl) {
+                Ok(n) => {
+                    cold_io |= n > 0;
+                    evicted += n;
+                }
+                Err(_) => self.cold_errors += 1,
+            }
+        }
+        if cold_io {
+            // one fsync (and at most one compaction) per sweep that wrote
+            let cold = self.cold.as_mut().expect("cold_io implies a store");
+            if cold.sync().is_err() {
+                self.cold_errors += 1;
+            }
+            if cold.maybe_compact().is_err() {
+                self.cold_errors += 1;
             }
         }
         self.evicted += evicted as u64;
-        evicted as usize
+        evicted
     }
 
     /// Serializes the registry (`delta`: only entries dirty since the last
@@ -763,6 +889,10 @@ impl ShardState {
             admitted: self.admitted,
             points: self.points,
             anomalies: self.anomalies,
+            cold_resident: self.cold.as_ref().map_or(0, ColdStore::resident),
+            spills: self.spills,
+            rehydrations: self.rehydrations,
+            cold_errors: self.cold_errors,
             ..Default::default()
         };
         for e in self.registry.iter() {
@@ -905,8 +1035,18 @@ pub fn run_worker(
                 s.queue_depth = queue_depth.load(Ordering::Relaxed);
                 let _ = reply.send(s);
             }
-            ShardMsg::EvictIdle { now, ttl, reply } => {
-                let _ = reply.send(state.evict_idle(now, ttl));
+            ShardMsg::EvictIdle { now, ttl, spill_after, reply } => {
+                let _ = reply.send(state.evict_idle(now, ttl, spill_after));
+            }
+            ShardMsg::ColdCtl { dir, reply } => {
+                let outcome = match ColdStore::open(&dir, state.index) {
+                    Ok(store) => {
+                        state.cold = Some(store);
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("cold store on shard {}: {e}", state.index)),
+                };
+                let _ = reply.send(outcome);
             }
             ShardMsg::Forecast { items, horizon, reply } => {
                 let out = items

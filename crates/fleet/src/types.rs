@@ -185,6 +185,17 @@ pub struct FleetStats {
     /// (lifetime count). These batches are served but will not survive a
     /// crash until durability re-arms with a fresh full snapshot.
     pub undurable_batches: u64,
+    /// Series currently resident in the cold tier (spilled to disk,
+    /// rehydrated on their next point; 0 without a cold store).
+    pub cold_resident: usize,
+    /// Series spilled to the cold tier (resets on restore, like the
+    /// diagnostic counters).
+    pub spills: u64,
+    /// Cold series rehydrated on their next point (same caveat).
+    pub rehydrations: u64,
+    /// Cold-tier I/O or decode failures survived in degraded fashion —
+    /// spill skipped or series re-warmed (same caveat).
+    pub cold_errors: u64,
     /// Per-shard breakdown.
     pub shards: Vec<ShardStats>,
 }
@@ -227,6 +238,14 @@ pub struct ShardStats {
     pub damp_alarms: u64,
     /// Trend-CUSUM-backend alarms across this shard's live series.
     pub trend_alarms: u64,
+    /// Series resident in this shard's cold tier.
+    pub cold_resident: usize,
+    /// Series this shard spilled to its cold tier (resets on restore).
+    pub spills: u64,
+    /// Cold series this shard rehydrated (resets on restore).
+    pub rehydrations: u64,
+    /// Cold-tier failures this shard survived (resets on restore).
+    pub cold_errors: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for the fleet engine.
+
+Parses a freshly generated ``BENCH_fleet.json`` (written by
+``fleet_throughput``, including in ``--quick`` mode, which always measures
+the two gate configurations) and fails when steady-state ingest throughput
+regresses more than the allowed fraction from the committed baseline.
+
+Baselines are the committed full-run numbers for this repo's seed host.
+They are deliberately hardcoded next to the tolerance: updating them is a
+reviewed change to this file, not an artifact side effect. CI hosts differ
+from the seed host, so the tolerance is wide (>20% regression fails, per
+the roadmap) — the gate catches algorithmic cliffs (an accidental O(n)
+in the hot loop, a codec blow-up), not single-digit jitter.
+
+Usage: python3 scripts/bench_check.py [path/to/BENCH_fleet.json]
+"""
+
+import json
+import sys
+
+# (workload, series, shards) -> committed points/sec baseline
+BASELINES = {
+    ("steady", 10_000, 1): 727_072.0,
+    ("steady", 100_000, 1): 611_691.0,
+}
+
+MAX_REGRESSION = 0.20
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_fleet.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"[bench_check] FAIL: cannot parse {path}: {e}")
+        return 1
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        print(f"[bench_check] FAIL: {path} has no 'runs' array")
+        return 1
+
+    failures = 0
+    for (workload, series, shards), baseline in sorted(BASELINES.items()):
+        rows = [
+            r
+            for r in runs
+            if r.get("workload") == workload
+            and r.get("series") == series
+            and r.get("shards") == shards
+        ]
+        if not rows:
+            print(
+                f"[bench_check] FAIL: no {workload} {series}@{shards} run in "
+                f"{path} — the gate configuration was not measured"
+            )
+            failures += 1
+            continue
+        # the fresh file holds one row per configuration; be robust to
+        # duplicates by gating on the best one (reruns only ever add noise
+        # downward)
+        pps = max(r.get("points_per_sec", 0.0) for r in rows)
+        floor = baseline * (1.0 - MAX_REGRESSION)
+        verdict = "ok" if pps >= floor else "REGRESSED"
+        print(
+            f"[bench_check] {workload} {series}@{shards}: {pps:,.0f} pts/s "
+            f"(baseline {baseline:,.0f}, floor {floor:,.0f}) {verdict}"
+        )
+        if pps < floor:
+            failures += 1
+
+    if failures:
+        print(f"[bench_check] FAIL: {failures} gate(s) regressed")
+        return 1
+    print("[bench_check] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

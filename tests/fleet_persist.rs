@@ -677,6 +677,151 @@ fn forecast_state_survives_crash_recovery_bit_identically() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Cold-tier crash recovery: series spilled to the on-disk cold store,
+/// rehydrated, crashed, and recovered must score bit-identically to a
+/// twin that kept everything hot the whole time. This pins the full
+/// tiered lifecycle — spill during the amortized sweep, rehydrate on the
+/// next point, cold-store reattachment *before* WAL replay so the replay
+/// re-runs the same spill/rehydrate sequence against the same bytes.
+#[test]
+fn cold_tier_crash_recovery_is_bit_identical() {
+    let n_series = 6;
+    let crash_at = 230u64;
+    let total = 260u64;
+    let streams = build_streams(n_series);
+    let dir = test_dir("cold-tier");
+    let cfg = FleetConfig { spill_after: Some(20), ..config() };
+
+    // phase plan: all series live to t=100, series-3..5 then idle long
+    // enough for the sweep (every 64 batches) to spill them, everyone
+    // returns at t=200 (rehydration), crash at 230, finish at 260
+    let tick = |t: u64| -> Vec<Record> {
+        let active = if (100..200).contains(&t) { 3 } else { n_series };
+        streams[..active]
+            .iter()
+            .enumerate()
+            .map(|(s, y)| Record::new(format!("series-{s}"), t, y[t as usize]))
+            .collect()
+    };
+
+    // reference twin: same config (the sweep cadence must match), but no
+    // cold store attached — its idle series simply stay hot
+    let mut reference = FleetEngine::new(cfg.clone()).unwrap();
+    let mut ref_outputs = Vec::new();
+    for t in 0..total {
+        ref_outputs.push(reference.ingest(tick(t)).unwrap());
+    }
+    assert_eq!(reference.stats().unwrap().spills, 0, "no cold store on the twin");
+
+    let dcfg = DurabilityConfig { snapshot_every: 60, ..DurabilityConfig::new(&dir) };
+    let mut durable = DurableFleet::create(cfg, dcfg.clone()).unwrap();
+    for t in 0..crash_at {
+        let out = durable.ingest(tick(t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "pre-crash");
+        if t == 199 {
+            let s = durable.engine().stats().unwrap();
+            assert_eq!(s.cold_resident, 3, "idle series are cold before they return");
+            assert_eq!(s.spills, 3);
+            assert_eq!(s.live, 3, "spilled series left the hot registry");
+        }
+    }
+    let s = durable.engine().stats().unwrap();
+    assert_eq!(s.rehydrations, 3, "returning points pulled the series back");
+    assert_eq!(s.cold_resident, 0);
+    assert_eq!(s.live, n_series);
+    assert_eq!(s.cold_errors, 0);
+    drop(durable); // crash: no checkpoint, no clean shutdown
+
+    let cold_files = fs::read_dir(dir.join("cold"))
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "fcold"))
+        .count();
+    assert_eq!(cold_files, 3, "one cold file per shard");
+
+    // recovery reattaches the cold tier before WAL replay, so the replay
+    // re-spills and re-rehydrates against the same on-disk bytes
+    let mut recovered = DurableFleet::open(dcfg).unwrap();
+    assert_eq!(recovered.engine().batches(), crash_at, "nothing durable was lost");
+    for t in crash_at..total {
+        let out = recovered.ingest(tick(t)).unwrap();
+        assert_outputs_bit_identical(&out, &ref_outputs[t as usize], "post-recovery");
+    }
+    let got = recovered.engine().stats().unwrap();
+    let want = reference.stats().unwrap();
+    assert_eq!(got.live, want.live);
+    assert_eq!(got.points, want.points);
+    assert_eq!(got.anomalies, want.anomalies);
+    assert_eq!(got.cold_resident, 0, "everyone is hot again");
+    assert_eq!(got.cold_errors, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// WAL-segment compaction: a segment whose batches are re-derivable from
+/// the durable snapshot/delta chain of every surviving base below it is
+/// dropped by prune — and what survives is exactly what the *worst-case*
+/// fallback anchor still needs, pinned by deleting the newest base and
+/// recovering through the chain + the kept tail.
+#[test]
+fn covered_wal_segments_are_compacted_and_fallback_still_recovers() {
+    let n_series = 8;
+    let streams = build_streams(n_series);
+    let dir = test_dir("wal-compact");
+    let dcfg = DurabilityConfig {
+        snapshot_every: 20,
+        max_delta_chain: 100, // cadence stays on deltas: base 0 + d20 d40 …
+        ..DurabilityConfig::new(&dir)
+    };
+
+    let mut reference = FleetEngine::new(config()).unwrap();
+    let mut ref_outputs = Vec::new();
+    for t in 0..90u64 {
+        ref_outputs.push(reference.ingest(batch(&streams, t)).unwrap());
+    }
+
+    let mut durable = DurableFleet::create(config(), dcfg.clone()).unwrap();
+    for t in 0..90u64 {
+        durable.ingest(batch(&streams, t)).unwrap();
+    }
+    // forced full base at 90: every pending image is durable, prune runs
+    durable.checkpoint().unwrap();
+    drop(durable);
+
+    // segments at 0/20/40/60 are covered by the delta chain reaching 80
+    // from the fallback base 0 and are gone; (80,90] survives because the
+    // chain from base 0 only reaches 80, and wal-90 is the live segment
+    let mut starts: Vec<u64> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            oneshotstl_suite::fleet::wal::parse_segment_name(e.file_name().to_str()?)
+                .map(|(start, _)| start)
+        })
+        .collect();
+    starts.sort();
+    starts.dedup();
+    assert_eq!(starts, vec![80, 90], "covered segments compacted, needed tail kept");
+
+    // destroy the newest full base: recovery must fall back to base 0,
+    // fold the delta chain to 80, and replay (80, 90] from the kept tail
+    let newest = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fsnap"))
+        .max()
+        .unwrap();
+    assert!(newest.to_str().unwrap().contains("0090"), "checkpoint base is newest");
+    fs::remove_file(&newest).unwrap();
+
+    let mut recovered = DurableFleet::open(dcfg).unwrap();
+    assert_eq!(recovered.engine().batches(), 90, "chain + kept tail reach the end");
+    for t in 90..110u64 {
+        let out = recovered.ingest(batch(&streams, t)).unwrap();
+        let expected = reference.ingest(batch(&streams, t)).unwrap();
+        assert_outputs_bit_identical(&out, &expected, "after fallback recovery");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// The stats-counter crash-recovery contract, mirroring
 /// `fleet_snapshot::stats_counters_obey_the_snapshot_contract`. Lifetime
 /// counters carry across recovery; the diagnostic counters (shift search,

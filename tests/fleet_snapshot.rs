@@ -658,3 +658,186 @@ fn stats_counters_obey_the_snapshot_contract() {
     // the uninterrupted engine's — counters aside, no state was dropped
     assert_eq!(reference.snapshot_bytes().unwrap(), restored.snapshot_bytes().unwrap());
 }
+
+/// Codec v8 read-compatibility, pinned at the *integration* level with a
+/// hand-encoded byte blob (not re-encoded by this build's writer): a v8
+/// fleet snapshot — live series with untagged f64 state vectors, a
+/// quarantined tombstone, the seven v8 lifetime counters, a config tail
+/// without the v9 compression/spill fields — must restore through the
+/// public API and continue scoring bit-identically to an uninterrupted
+/// detector fed the same stream. If the v9 decoder's version gates drift,
+/// this blob is the tripwire no unit-level round-trip can replace.
+#[test]
+fn pinned_v8_snapshot_blob_restores_and_continues_bit_identically() {
+    use oneshotstl_suite::core::{
+        OneShotStl, OneShotStlConfig, ScoreConfig, StdAnomalyDetector,
+    };
+
+    // generated by the v8 writer of commit history past: config
+    // fixed_period(12), clock 95, batches 96, totals {1,2,300,4,5,6,7},
+    // series "live" (t=12 sine, 96 points through init+update) and "q"
+    // (quarantined, cause Panic, 11 dropped)
+    const V8_BLOB_HEX: &str = concat!(
+        "4f5353544c464c540800000400000003000000000c0000000000000000000014400000000000",
+        "000000000059400000000000005940000000000000f03f080000001400000000000000000014",
+        "4000000000000000e03f00bbbdd7d9df7cdb3d010400000002000000000000e03f0000000000",
+        "001840ae47e17a14aeef3f00000000000000f03f4000000000000000000000f83f005f000000",
+        "000000006000000000000000010000000000000002000000000000002c010000000000000400",
+        "0000000000000500000000000000060000000000000007000000000000000200000000000000",
+        "040000006c6976655f0000000000000001000000000000594000000000000059400000000000",
+        "00f03f0800000014000000000000000000144000000000000000e03f00bbbdd7d9df7cdb3d01",
+        "040000000c000000000000006000000000000000300000000000000000000000000000000c00",
+        "000000000000a975fb3e06eef53e41479d892a00e03f0909deaea4b6eb3f067ee5fa1c00f03f",
+        "41770e65b0b6eb3f88c9ce213400e03f24df0c193890f93e8c2dad719bffdfbf65b7d66349b6",
+        "ebbfdde4cc58d0ffefbf47dee14c4cb6ebbf773bc8b7a4ffdfbf52b3a7178549e43f08000000",
+        "0000f03ff50758ed4cb6ebbf2d85ce27a7ffdfbf080000000130000000000000002000000000",
+        "000000000000000000f03f00000000000000000000000000000000000000000000000063d557",
+        "14ca2b6d3f000000000000f03f00000000000000000000000000000000cb2b1abd38fff4bfb2",
+        "ff491fcf08e53f000000000000f03f0000000000000000000000000000000000000000000000",
+        "001c5704e7872b6d3f000000000000f03fb59ee4df35cad63f831f5ad69dd4c6bf6cf6380017",
+        "fff4bfcb52373dad08e53f000000000000000000000000000000000000000000000000000000",
+        "0000000000000000000000000000000000000000000e647b2c02cad63f0377aff369d4c6bf00",
+        "0000000000000000000000000000000000000000000000000000000000000004000000000000",
+        "005ded42b6388d714015d4f51a6af1ff3f4441e087608d7140d47d0c3c6af1ff3f0400000000",
+        "0000004c870b8190933140f6fb642df6dad2bf117a4eff91733140c0a80840dffce1bf000000",
+        "000000f03f000000000000f03f000000000000f03f000000000000f03fdc4aa68fe8fff73fea",
+        "9d15a5e8fff73f0130000000000000002000000000000000000000000000f03f000000000000",
+        "000000000000000000000000000000000000cd0b2ae93398fd3d000000000000f03f00000000",
+        "000000000000000000000000177144c68518f5bfa7f357c68518e53f000000000000f03f0000",
+        "000000000000000000000000000000000000000000001bcbbaf99adcf53d000000000000f03f",
+        "016d4c2e1762d43fd9465f2e1762c4bf6b3b682f2533f5bf22b7762f2533e53f000000000000",
+        "0000000000000000000000000000000000000000000000000000000000000000000000000000",
+        "00000000f6d698ca94ccd43f9b0ca7ca94ccc4bf000000000000000000000000000000000000",
+        "00000000000000000000000000000400000000000000d9d984bcec4ce141cc67e2ffffffff3f",
+        "382a544a7f6be7416523eaffffffff3f0400000000000000af41e01a4bff50405788c47a08b3",
+        "cdbf043504c554f84b409b6be624a0ffdfbfd646486b77db6e410766ce04e6e257412ed8766e",
+        "0a365c41e487167a0c7c6341737a3c5f3dfff73fa7dae70541fff73f01300000000000000020",
+        "00000000000000000000000000f03f0000000000000000000000000000000000000000000000",
+        "00a75c5bd49a3b2b3e000000000000f03f000000000000000000000000000000006442544071",
+        "5bfcbf2f521541715bec3f000000000000f03f00000000000000000000000000000000000000",
+        "0000000000f9b341c0073e133e000000000000f03fd2be225de3b6e83f9701cb5de3b6d8bf31",
+        "ef1262cbc0febf88e75c62cbc0ee3f0000000000000000000000000000000000000000000000",
+        "000000000000000000000000000000000000000000000000000b71340e9781ed3f9a697b0e97",
+        "81ddbf0000000000000000000000000000000000000000000000000000000000000000040000",
+        "0000000000d607089a03cdb241292326ffffffff3f3b621b5ea89bca41e107b3ffffffff3f04",
+        "00000000000000f3cc58f1ed2d68402e53d6600db3cdbfd90224556ff766406492c1eea0ffdf",
+        "bf8bcc0c118a3a01413ba9442079870141e905b310089642411900acca72675f41c7a5bbe2e6",
+        "fff73fc7fb5ef5e6fff73f0130000000000000002000000000000000000000000000f03f0000",
+        "000000000000000000000000000000000000000000005c576efb4ead023e000000000000f03f",
+        "000000000000000000000000000000009936f30f0ca5f7bf64d00e100ca5e73f000000000000",
+        "f03f0000000000000000000000000000000000000000000000007f4a78c0f58ff43d00000000",
+        "0000f03f92823e503094de3f833462503094cebfb4ee0a9ae7b2f6bfa384199ae7b2e63f0000",
+        "0000000000000000000000000000000000000000000000000000000000000000000000000000",
+        "0000000000000000a51bf8739ecbda3f745309749ecbcabf0000000000000000000000000000",
+        "0000000000000000000000000000000000000400000000000000bfa6f4a2d569db4162a5daff",
+        "ffffff3f6effdee35ee6e8410a70ebffffffff3f0400000000000000ed8aa81296b2444027eb",
+        "356c08b3cdbf3f9162fdac0a4b40bef42a23a0ffdfbfed9aec36f64c6c4120b117a580785b41",
+        "e58e2ca9f2c36041c3cb6b2726b06a41cc7af0c30100f83f9f04572c0100f83f013000000000",
+        "0000002000000000000000000000000000f03f00000000000000000000000000000000000000",
+        "000000000037ab238bba2e313e000000000000f03f0000000000000000000000000000000013",
+        "5a90fb7d1df7bfd4f056fc7d1de73f000000000000f03f000000000000000000000000000000",
+        "000000000000000000434e8ce206ff223e000000000000f03fa3036099f875dc3f5d87549af8",
+        "75ccbf9e7c10bdda03f9bfd84887bdda03e93f00000000000000000000000000000000000000",
+        "00000000000000000000000000000000000000000000000000000000005005ccaab507e23f8c",
+        "a521abb507d2bf00000000000000000000000000000000000000000000000000000000000000",
+        "0004000000000000002d39c41936ccad415714edfeffffff3f5f2b811fe8f3ba41c90768ffff",
+        "ffff3f040000000000000011113087af714d405741d0350ab3cdbf03131494863e4e40ea446c",
+        "a1a0ffdfbfb30b66df19b4344126cca7bdc0042b41a0be658b1af6304103ccc7a33e704341aa",
+        "567b010e00f83fc609bc440d00f83f0130000000000000002000000000000000000000000000",
+        "f03f000000000000000000000000000000000000000000000000a9e3c148abd7133e00000000",
+        "0000f03f00000000000000000000000000000000b0063e91cab2fcbffc348591cab2ec3f0000",
+        "00000000f03f0000000000000000000000000000000000000000000000003f479b50ab4d0c3e",
+        "000000000000f03ff19ba74f9565e93fdd99e64f9565d9bf87c3e3e77f41fdbf2b8417e87f41",
+        "ed3f000000000000000000000000000000000000000000000000000000000000000000000000",
+        "000000000000000000000000136d90f3ff82ea3f0653bff3ff82dabf00000000000000000000",
+        "000000000000000000000000000000000000000000000400000000000000fa5e002aa2cdc941",
+        "53a1b0ffffffff3f369eb6bdf616d241a964c7ffffffff3f04000000000000001b7b0c72c619",
+        "5b403ef8c24809b3cdbff57958f600185e4016d0427ca0ffdfbfc6dd98469b4424412b54a331",
+        "73b325411b3b22087b365a411caaaa06fe2e63414c833690f9fff73f7bfd3142f9fff73f0130",
+        "000000000000002000000000000000000000000000f03f000000000000000000000000000000",
+        "000000000000000000fdd42a03f202ef3d000000000000f03f00000000000000000000000000",
+        "0000008b4dcb2fd270febf970dda2fd270ee3f000000000000f03f0000000000000000000000",
+        "00000000000000000000000000ea98a1116787103e000000000000f03f02bc366aa4e1ec3fa2",
+        "ba446aa4e1dcbf6db006a74f02f8bf674b38a74f02e83f000000000000000000000000000000",
+        "0000000000000000000000000000000000000000000000000000000000000000004845d9829f",
+        "04e03fa35dfa829f04d0bf000000000000000000000000000000000000000000000000000000",
+        "00000000000400000000000000871cb7758f82f041877ef0ffffffff3f61fcee42dcf9ce4164",
+        "e2bdffffffff3f0400000000000000ccbcd4f97a5660409dd7387b08b3cdbfe4142fa1340a63",
+        "405d4c25afa0ffdfbf1baadf1737ba3341d98d27721e403a4154a9a304c31283419c15ebbed6",
+        "d85341729b8736eafff73f9cf8eb27eafff73f01300000000000000020000000000000000000",
+        "00000000f03f0000000000000000000000000000000000000000000000006cc4e19d977ffe3d",
+        "000000000000f03f00000000000000000000000000000000ebd0b69ced95fbbf781bd19ced95",
+        "eb3f000000000000f03f000000000000000000000000000000000000000000000000a437e4d7",
+        "3ea3f23d000000000000f03f65da2a42db2be73fe7ef4042db2bd7bfdc4d9413c51cfbbf5b18",
+        "a413c51ceb3f0000000000000000000000000000000000000000000000000000000000000000",
+        "000000000000000000000000000000006c0f652e8a39e63f2b01722e8a39d6bf000000000000",
+        "00000000000000000000000000000000000000000000000000000400000000000000197615c4",
+        "aac9e0416880e1ffffffff3f9737bcc6a278eb41c15cedffffffff3f04000000000000009deb",
+        "8e9228134b40ed8b7f6f08b3cdbfa13dbf70c9625240785a3527a0ffdfbf3b0fceac63cb5941",
+        "d4a08ebb52866141b64f61889b1e6f41b2170774f26b7841f5b30962e8fff73f787cf091e8ff",
+        "f73f00000000000014406000000000000000c96f060a9b34323f50914fcd8172443e01020000",
+        "00000000e03f0000000000001840ae47e17a14aeef3f00000000000014406000000000000000",
+        "c96f060a9b34323f50914fcd8172443e00000000000000000000000000000000785c17c257b4",
+        "394000000100000071050000000000000003010b00000000000000",
+    );
+    let bytes: Vec<u8> = (0..V8_BLOB_HEX.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&V8_BLOB_HEX[i..i + 2], 16).unwrap())
+        .collect();
+
+    let mut restored = FleetEngine::restore_bytes(&bytes).expect("v8 blob must decode");
+    let stats = restored.stats().unwrap();
+    assert_eq!(stats.live, 1);
+    assert_eq!(stats.quarantined, 1);
+    assert_eq!((stats.evicted, stats.admitted), (1, 2), "v8 lifetime counters carried");
+    assert_eq!((stats.points, stats.anomalies), (300, 4));
+    assert_eq!(stats.wal_retries, 5, "v8 health counters carried");
+    assert_eq!(stats.shard_restarts, 6);
+    assert_eq!(stats.undurable_batches, 7);
+    assert_eq!(stats.cold_resident, 0, "pre-cold-tier snapshots carry no cold state");
+    assert_eq!((stats.spills, stats.rehydrations, stats.cold_errors), (0, 0, 0));
+
+    // rebuild the blob's detector through the public API and continue the
+    // twin streams: the v8-restored engine must track it bit for bit
+    let t = 12usize;
+    let y: Vec<f64> = (0..8 * t)
+        .map(|i| 1.5 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin())
+        .collect();
+    let mut twin = StdAnomalyDetector::with_score(
+        OneShotStl::new(OneShotStlConfig::default()),
+        5.0,
+        ScoreConfig::default(),
+    );
+    twin.init(&y[..4 * t], t).unwrap();
+    for &v in &y[4 * t..] {
+        twin.update_scored(v);
+    }
+    for i in 0..3 * t {
+        let x = 1.5
+            + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin()
+            + if i == t { 4.0 } else { 0.0 };
+        let (pt, vt) = twin.update_scored(x);
+        let out = restored.ingest_one("live", 96 + i as u64, x).unwrap();
+        match &out.output {
+            PointOutput::Scored { point, score, is_anomaly } => {
+                assert_eq!(point.residual.to_bits(), pt.residual.to_bits(), "i={i}");
+                assert_eq!(point.trend.to_bits(), pt.trend.to_bits(), "i={i}");
+                assert_eq!(point.seasonal.to_bits(), pt.seasonal.to_bits(), "i={i}");
+                assert_eq!(score.to_bits(), vt.score.to_bits(), "i={i}");
+                assert_eq!(*is_anomaly, vt.is_anomaly, "i={i}");
+            }
+            other => panic!("live series must score, got {other:?} at i={i}"),
+        }
+    }
+
+    // upgrade-on-rewrite: the v8 image re-snapshots as v9 and the copy
+    // continues in lockstep with the original
+    let v9_bytes = restored.snapshot_bytes().unwrap();
+    let mut upgraded = FleetEngine::restore_bytes(&v9_bytes).unwrap();
+    for i in 0..t {
+        let x = 1.5 + (2.0 * std::f64::consts::PI * i as f64 / t as f64).sin();
+        let a = restored.ingest_one("live", 200 + i as u64, x).unwrap();
+        let b = upgraded.ingest_one("live", 200 + i as u64, x).unwrap();
+        assert_eq!(a.output, b.output, "v9 rewrite diverged at i={i}");
+    }
+}
